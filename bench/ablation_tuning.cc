@@ -1,0 +1,120 @@
+// Ablations for the design choices DESIGN.md calls out beyond Fig. 7:
+//
+//  1. blocks/threads launch tuning (§3.2: "These clauses help tune the map
+//     and combine kernel performance") — a sweep over launch geometries for
+//     one IO-intensive and one compute-intensive benchmark.
+//  2. kvpairs clause (§3.2/§4.3): global-KV-store footprint and aggregation
+//     efficiency with and without the hint.
+//  3. Inter-node heterogeneity (§9 future work, implemented here): job
+//     makespans on a cluster whose second half runs at half speed.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "hadoop/engine.h"
+
+using namespace hd;
+
+namespace {
+
+void LaunchTuningSweep(const char* id) {
+  const apps::Benchmark& b = apps::GetBenchmark(id);
+  gpurt::JobProgram job =
+      gpurt::CompileJob(b.map_source, b.combine_source, b.reduce_source);
+  const std::string split = b.generate(bench::kMeasuredSplitBytes, 1);
+  std::cout << "Launch tuning, " << id << " (map kernel ms):\n";
+  Table t({"blocks\\threads", "64", "128", "256"});
+  for (int blocks : {15, 30, 60, 120}) {
+    Table& row = t.Row();
+    row.Cell(std::to_string(blocks));
+    for (int threads : {64, 128, 256}) {
+      gpusim::GpuDevice device(gpusim::DeviceConfig::TeslaK40());
+      gpurt::GpuTaskOptions opts;
+      opts.num_reducers = b.map_only ? 0 : b.num_reducers();
+      opts.blocks = blocks;
+      opts.threads = threads;
+      auto r = gpurt::GpuMapTask(job, &device, opts).Run(split);
+      row.Cell(r.phases.map * 1e3, 3);
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\n";
+}
+
+void KvpairsFootprint() {
+  std::cout << "kvpairs clause: KV-store footprint (WC with/without hint)\n";
+  const apps::Benchmark& wc = apps::GetBenchmark("WC");
+  std::string hinted = wc.map_source;
+  hinted.insert(hinted.find("vallength(1)") + 12, " kvpairs(300)");
+  Table t({"Variant", "allocated slots", "whitespace slots", "sort (ms)"});
+  for (bool with_hint : {false, true}) {
+    gpurt::JobProgram job =
+        gpurt::CompileJob(with_hint ? hinted : wc.map_source,
+                          wc.combine_source, wc.reduce_source);
+    gpusim::GpuDevice device(gpusim::DeviceConfig::TeslaK40());
+    gpurt::GpuTaskOptions opts;
+    opts.num_reducers = wc.num_reducers();
+    auto r = gpurt::GpuMapTask(job, &device, opts)
+                 .Run(wc.generate(bench::kMeasuredSplitBytes, 1));
+    t.Row()
+        .Cell(with_hint ? "kvpairs(300)" : "no hint (all free memory)")
+        .Cell(r.stats.allocated_slots)
+        .Cell(r.stats.whitespace_slots)
+        .Cell(r.phases.sort * 1e3, 3);
+  }
+  t.Print(std::cout);
+  std::cout << "\n";
+}
+
+void Heterogeneity() {
+  std::cout << "Inter-node heterogeneity (extension): 8 slaves, second half "
+               "at 0.5x speed\n";
+  hadoop::CalibratedTaskSource::Params p;
+  p.num_maps = 256;
+  p.num_reducers = 4;
+  p.cpu_task_sec = 20.0;
+  p.gpu_task_sec = 4.0;
+  p.variation = 0.1;
+  hadoop::ClusterConfig base;
+  base.num_slaves = 8;
+  base.map_slots_per_node = 4;
+  base.gpus_per_node = 1;
+
+  Table t({"Cluster", "CPU-only (s)", "GPU-first (s)", "Tail (s)",
+           "Tail speedup"});
+  for (bool hetero : {false, true}) {
+    hadoop::ClusterConfig c = base;
+    if (hetero) {
+      c.node_speed_factors = {1, 1, 1, 1, 2, 2, 2, 2};
+    }
+    double times[3];
+    int i = 0;
+    for (auto policy : {sched::Policy::kCpuOnly, sched::Policy::kGpuFirst,
+                        sched::Policy::kTail}) {
+      hadoop::CalibratedTaskSource source(p);
+      times[i++] = hadoop::JobEngine(c, &source, policy).Run().makespan_sec;
+    }
+    t.Row()
+        .Cell(hetero ? "heterogeneous" : "homogeneous")
+        .Cell(times[0], 1)
+        .Cell(times[1], 1)
+        .Cell(times[2], 1)
+        .Cell(times[0] / times[2], 2);
+  }
+  t.Print(std::cout);
+  std::cout << "\nTail scheduling keeps helping under node heterogeneity; "
+               "the straggling slow\nnodes lengthen every policy's tail "
+               "(locality-vs-speed trade-offs are future work,\npaper 9).\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablations beyond Fig. 7\n\n";
+  LaunchTuningSweep("HS");
+  LaunchTuningSweep("CL");
+  KvpairsFootprint();
+  Heterogeneity();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hd::bench {
+
+gpurt::GpuTaskOptions BaselineGpuOptions() {
+  gpurt::GpuTaskOptions o;
+  o.vectorize_map = false;
+  o.vectorize_combine = false;
+  o.use_texture = false;
+  o.record_stealing = false;
+  o.aggregate_before_sort = false;
+  return o;
+}
+
+MeasuredTask MeasureTask(const apps::Benchmark& bench,
+                         const MeasureConfig& config) {
+  gpurt::JobProgram job = gpurt::CompileJob(
+      bench.map_source, bench.combine_source, bench.reduce_source);
+  const std::string split = bench.generate(config.split_bytes, config.seed);
+  const int reducers = bench.map_only ? 0 : bench.num_reducers();
+
+  MeasuredTask m;
+  {
+    gpurt::CpuTaskOptions copts;
+    copts.num_reducers = reducers;
+    copts.io = config.io;
+    m.cpu = gpurt::CpuMapTask(job, config.cpu, copts).Run(split);
+  }
+  {
+    gpusim::GpuDevice device(config.device);
+    gpurt::GpuTaskOptions gopts;
+    gopts.num_reducers = reducers;
+    gopts.io = config.io;
+    m.gpu = gpurt::GpuMapTask(job, &device, gopts).Run(split);
+  }
+  if (config.measure_baseline) {
+    gpusim::GpuDevice device(config.device);
+    gpurt::GpuTaskOptions gopts = BaselineGpuOptions();
+    gopts.num_reducers = reducers;
+    gopts.io = config.io;
+    m.gpu_baseline = gpurt::GpuMapTask(job, &device, gopts).Run(split);
+  }
+  return m;
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  HD_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace hd::bench

@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper. Single
+// GPU/CPU tasks are executed functionally on generated splits (scaled down
+// from the 256 MB production fileSplits); cluster-scale runs replay the
+// measured task times through the discrete-event engine at Table 2's task
+// counts. All reported numbers are modeled (deterministic) times.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "apps/benchmark.h"
+#include "gpurt/cpu_task.h"
+#include "gpurt/gpu_task.h"
+#include "gpurt/job_program.h"
+#include "gpusim/device.h"
+
+namespace hd::bench {
+
+// Size of the generated fileSplit a single measured task processes. The
+// production split is 256 MB (Table 3); we scale durations by the ratio
+// when replaying cluster-scale runs.
+constexpr std::int64_t kMeasuredSplitBytes = 192 << 10;
+constexpr double kProductionScale =
+    static_cast<double>(256LL << 20) / kMeasuredSplitBytes;
+
+struct MeasuredTask {
+  gpurt::MapTaskResult cpu;
+  gpurt::MapTaskResult gpu;            // all optimisations on
+  gpurt::MapTaskResult gpu_baseline;   // baseline-translated (§7.4)
+  double CpuSec() const { return cpu.phases.Total(); }
+  double GpuSec() const { return gpu.phases.Total(); }
+  double GpuBaselineSec() const { return gpu_baseline.phases.Total(); }
+  double Speedup() const { return CpuSec() / GpuSec(); }
+  double BaselineSpeedup() const { return CpuSec() / GpuBaselineSec(); }
+};
+
+struct MeasureConfig {
+  gpusim::DeviceConfig device = gpusim::DeviceConfig::TeslaK40();
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  gpurt::IoConfig io;
+  std::int64_t split_bytes = kMeasuredSplitBytes;
+  std::uint64_t seed = 20150615;  // HPDC'15
+  bool measure_baseline = true;
+};
+
+// Runs one data-local map(+combine) task of `bench` on the CPU path, the
+// optimised GPU path, and (optionally) the baseline-translated GPU path.
+MeasuredTask MeasureTask(const apps::Benchmark& bench,
+                         const MeasureConfig& config);
+
+// GPU task options with every compiler/runtime optimisation disabled
+// (the "baseline translated" bars of Fig. 5).
+gpurt::GpuTaskOptions BaselineGpuOptions();
+
+double GeoMean(const std::vector<double>& xs);
+
+}  // namespace hd::bench

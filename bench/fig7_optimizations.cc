@@ -1,0 +1,112 @@
+// Reproduces Fig. 7: the effect of each individual optimisation on the
+// kernel it targets —
+//   7a texture memory on map kernels (KM, CL),
+//   7b vectorised KV read/write on combine kernels,
+//   7c vectorised read/write on map kernels,
+//   7d record stealing on map kernels,
+//   7e KV-pair aggregation before the sort kernel.
+// Each experiment toggles exactly one optimisation and reports the affected
+// kernel's speedup (off-time / on-time).
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "gpusim/device.h"
+
+namespace {
+
+using namespace hd;
+
+// Runs the GPU task for `bench` with options produced by `tweak`, and
+// returns the phase breakdown.
+gpurt::MapTaskResult RunWith(
+    const apps::Benchmark& b,
+    const std::function<void(gpurt::GpuTaskOptions*)>& tweak,
+    std::int64_t split_bytes) {
+  gpurt::JobProgram job =
+      gpurt::CompileJob(b.map_source, b.combine_source, b.reduce_source);
+  const std::string split = b.generate(split_bytes, 20150615);
+  gpusim::GpuDevice device(gpusim::DeviceConfig::TeslaK40());
+  gpurt::GpuTaskOptions opts;
+  opts.num_reducers = b.map_only ? 0 : b.num_reducers();
+  tweak(&opts);
+  return gpurt::GpuMapTask(job, &device, opts).Run(split);
+}
+
+void Section(const char* title, const std::vector<std::string>& ids,
+             const std::function<void(gpurt::GpuTaskOptions*)>& disable,
+             double gpurt::PhaseBreakdown::* phase,
+             std::int64_t split_bytes = bench::kMeasuredSplitBytes) {
+  std::cout << title << "\n";
+  Table t({"Benchmark", "off (ms)", "on (ms)", "speedup"});
+  for (const auto& id : ids) {
+    const apps::Benchmark& b = apps::GetBenchmark(id);
+    auto on = RunWith(b, [](gpurt::GpuTaskOptions*) {}, split_bytes);
+    auto off = RunWith(b, disable, split_bytes);
+    t.Row()
+        .Cell(id)
+        .Cell(off.phases.*phase * 1e3, 3)
+        .Cell(on.phases.*phase * 1e3, 3)
+        .Cell(off.phases.*phase / on.phases.*phase, 2);
+  }
+  t.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 7: effects of individual optimisations (kernel-level "
+               "speedups)\n\n";
+
+  Section("(a) Texture memory on map kernels (paper: ~2x on KM, CL)",
+          {"KM", "CL"},
+          [](gpurt::GpuTaskOptions* o) { o->use_texture = false; },
+          &gpurt::PhaseBreakdown::map);
+
+  Section("(b) Vectorized KV read/write on combine kernels (paper: <=2.7x)",
+          {"GR", "HS", "WC", "HR", "LR"},
+          [](gpurt::GpuTaskOptions* o) { o->vectorize_combine = false; },
+          &gpurt::PhaseBreakdown::combine);
+
+  Section("(c) Vectorized read/write on map kernels (paper: <=1.7x)",
+          {"GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"},
+          [](gpurt::GpuTaskOptions* o) { o->vectorize_map = false; },
+          &gpurt::PhaseBreakdown::map);
+
+  // Record stealing only matters once each thread owns several records
+  // (production splits hold ~70 records per launched thread): measure on a
+  // larger split.
+  Section("(d) Record stealing on map kernels (paper: <=1.36x)",
+          {"GR", "HS", "WC", "HR", "KM"},
+          [](gpurt::GpuTaskOptions* o) { o->record_stealing = false; },
+          &gpurt::PhaseBreakdown::map, 6 * bench::kMeasuredSplitBytes);
+
+  Section("(e) KV aggregation before sort (paper: <=7.6x on sort)",
+          {"GR", "HS", "WC", "HR", "LR", "KM", "CL"},
+          [](gpurt::GpuTaskOptions* o) { o->aggregate_before_sort = false; },
+          &gpurt::PhaseBreakdown::sort);
+
+  std::cout << "(ablation) Block-level vs global record stealing "
+               "(design argument of 4.1)\n";
+  hd::Table t({"Benchmark", "global (ms)", "block (ms)", "benefit"});
+  for (const char* id : {"WC", "HR"}) {
+    const apps::Benchmark& b = apps::GetBenchmark(id);
+    auto block = RunWith(b, [](gpurt::GpuTaskOptions*) {},
+                         bench::kMeasuredSplitBytes);
+    auto global = RunWith(b,
+                          [](gpurt::GpuTaskOptions* o) {
+                            o->record_stealing = false;
+                            o->global_stealing = true;
+                          },
+                          bench::kMeasuredSplitBytes);
+    t.Row()
+        .Cell(id)
+        .Cell(global.phases.map * 1e3, 3)
+        .Cell(block.phases.map * 1e3, 3)
+        .Cell(global.phases.map / block.phases.map, 2);
+  }
+  t.Print(std::cout);
+  return 0;
+}

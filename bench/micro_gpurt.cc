@@ -1,0 +1,99 @@
+// Microbenchmarks of the GPU MapReduce runtime primitives (google-benchmark).
+// These measure the *simulator's* wall-clock throughput — useful for keeping
+// the functional simulation fast — and report the modeled device time of
+// each kernel as a counter.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "gpurt/kv.h"
+#include "gpurt/kvstore.h"
+#include "gpurt/records.h"
+#include "gpurt/sort.h"
+#include "gpusim/kernel.h"
+
+namespace {
+
+using namespace hd;
+
+std::vector<gpurt::KvPair> MakePairs(int n) {
+  Prng prng(99);
+  std::vector<gpurt::KvPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pairs.push_back({"w" + std::to_string(prng.NextBounded(5000)), "1"});
+  }
+  return pairs;
+}
+
+void BM_PartitionOf(benchmark::State& state) {
+  auto pairs = MakePairs(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gpurt::PartitionOf(pairs[i++ % pairs.size()].key, 48));
+  }
+}
+BENCHMARK(BM_PartitionOf);
+
+void BM_SortPairsByKey(benchmark::State& state) {
+  const auto base = MakePairs(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto copy = base;
+    gpurt::SortPairsByKey(&copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortPairsByKey)->Range(1 << 8, 1 << 14);
+
+void BM_KvStoreEmit(benchmark::State& state) {
+  const auto pairs = MakePairs(1024);
+  for (auto _ : state) {
+    gpurt::GlobalKvStore store(64, 1 << 16, 30, 16);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      store.Emit(static_cast<int>(i % 64), pairs[i]);
+    }
+    benchmark::DoNotOptimize(store.total_emitted());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_KvStoreEmit);
+
+void BM_LocateRecords(benchmark::State& state) {
+  std::string data;
+  Prng prng(5);
+  while (static_cast<std::int64_t>(data.size()) < state.range(0)) {
+    data.append(std::string(8 + prng.NextBounded(60), 'x'));
+    data += '\n';
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpurt::LocateRecords(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LocateRecords)->Range(1 << 12, 1 << 18);
+
+void BM_ChargeSortKernel(benchmark::State& state) {
+  const auto cfg = gpusim::DeviceConfig::TeslaK40();
+  for (auto _ : state) {
+    gpusim::KernelSim kernel(cfg, 30, 256, "sort");
+    gpurt::ChargeSortKernel(kernel, state.range(0), 30, true);
+    benchmark::DoNotOptimize(kernel.Finish().elapsed_sec);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChargeSortKernel)->Range(1 << 10, 1 << 18);
+
+void BM_KernelFinish(benchmark::State& state) {
+  const auto cfg = gpusim::DeviceConfig::TeslaK40();
+  for (auto _ : state) {
+    gpusim::KernelSim kernel(cfg, 30, 128, "finish");
+    kernel.ChargeOp(0, 0, minic::OpClass::kIntAlu, 1000);
+    benchmark::DoNotOptimize(kernel.Finish().elapsed_sec);
+  }
+}
+BENCHMARK(BM_KernelFinish);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Microbenchmarks of the mini-C frontend (google-benchmark): lexer, parser,
+// and interpreter throughput over the wordcount filter. The interpreter is
+// the inner loop of every functional experiment, so its wall-clock
+// throughput bounds how large a split the benches can process.
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmark.h"
+#include "apps/gen.h"
+#include "minic/interp.h"
+#include "minic/lexer.h"
+#include "minic/parser.h"
+
+namespace {
+
+using namespace hd;
+
+const std::string& WcMapSource() {
+  static const std::string src = apps::GetBenchmark("WC").map_source;
+  return src;
+}
+
+void BM_LexWordcount(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::Lex(WcMapSource()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(WcMapSource().size()));
+}
+BENCHMARK(BM_LexWordcount);
+
+void BM_ParseWordcount(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::Parse(WcMapSource()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(WcMapSource().size()));
+}
+BENCHMARK(BM_ParseWordcount);
+
+void BM_InterpWordcountMap(benchmark::State& state) {
+  auto unit = minic::Parse(WcMapSource());
+  const std::string input =
+      apps::GenZipfText(state.range(0), /*seed=*/3);
+  for (auto _ : state) {
+    minic::TextIoEnv io(input);
+    minic::CountingHooks hooks;
+    minic::Interp interp(*unit, &io, &hooks);
+    benchmark::DoNotOptimize(interp.RunMain());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_InterpWordcountMap)->Range(1 << 10, 1 << 16);
+
+void BM_InterpBlackScholesRecord(benchmark::State& state) {
+  auto unit = minic::Parse(apps::GetBenchmark("BS").map_source);
+  const std::string input = apps::GenOptions(256, /*seed=*/3);
+  for (auto _ : state) {
+    minic::TextIoEnv io(input);
+    minic::CountingHooks hooks;
+    minic::Interp interp(*unit, &io, &hooks);
+    benchmark::DoNotOptimize(interp.RunMain());
+  }
+}
+BENCHMARK(BM_InterpBlackScholesRecord);
+
+void BM_ZipfGenerator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::GenZipfText(state.range(0), 7));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZipfGenerator)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table 3: the two cluster configurations the evaluation uses,
+// as this repository models them.
+#include <iostream>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "gpurt/io_config.h"
+#include "gpusim/config.h"
+
+int main() {
+  using namespace hd;
+  const auto k40 = gpusim::DeviceConfig::TeslaK40();
+  const auto m2090 = gpusim::DeviceConfig::TeslaM2090();
+  const auto xeon1 = gpusim::CpuConfig::XeonE5_2680();
+  const auto xeon2 = gpusim::CpuConfig::XeonX5560();
+  const gpurt::IoConfig io1;
+  const gpurt::IoConfig io2 = gpurt::IoConfig::InMemory();
+
+  std::cout << "Table 3: Cluster Setups Used\n\n";
+  Table t({"Property", "Cluster1", "Cluster2"});
+  t.Row().Cell("#nodes").Cell("48 (+1 master)").Cell("32 (+1 master)");
+  t.Row().Cell("CPU").Cell(xeon1.name).Cell(xeon2.name);
+  t.Row().Cell("#CPU cores (map slots)").Cell(20).Cell(4);
+  t.Row().Cell("GPU(s)").Cell(k40.name).Cell("3x " + m2090.name);
+  t.Row().Cell("GPU SMs").Cell(k40.num_sms).Cell(m2090.num_sms);
+  t.Row()
+      .Cell("GPU memory")
+      .Cell(HumanBytes(static_cast<std::uint64_t>(k40.global_mem_bytes)))
+      .Cell(HumanBytes(static_cast<std::uint64_t>(m2090.global_mem_bytes)));
+  t.Row()
+      .Cell("Storage")
+      .Cell("disk (" + FormatDouble(io1.hdfs_read_bytes_per_sec / 1e6, 0) +
+            " MB/s read)")
+      .Cell("in-memory (" +
+            FormatDouble(io2.hdfs_read_bytes_per_sec / 1e9, 1) + " GB/s)");
+  t.Row().Cell("HDFS block size").Cell("256 MiB").Cell("256 MiB");
+  t.Row().Cell("HDFS replication").Cell(3).Cell(1);
+  t.Row().Cell("Reduce slots / node").Cell(2).Cell(2);
+  t.Row().Cell("Speculative execution").Cell("Off").Cell("Off");
+  t.Row().Cell("% maps before reduce").Cell(20).Cell(20);
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Iterative kmeans: the paper notes kmeans is an *iterative* clustering
+// application — each MapReduce job assigns points to centroids and the
+// reduce phase recomputes them, feeding the next iteration.
+//
+// This example drives multiple HeteroDoop jobs in a loop: after every job,
+// the reducer's new centroids are spliced into the next iteration's map
+// source (the host program embeds them as the sharedRO/texture table), and
+// the loop stops when centroids stop moving. 2-D points with %.2f values
+// keep the sources readable.
+//
+// Build & run:  cmake --build build && ./build/examples/iterative_kmeans
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "common/prng.h"
+#include "common/strings.h"
+#include "hadoop/engine.h"
+#include "hadoop/functional_source.h"
+
+namespace {
+
+constexpr int kK = 4;      // clusters
+constexpr int kDims = 2;   // point dimensionality
+
+// Map source with the current centroid table embedded as an initialised
+// read-only array (texture memory on the GPU).
+std::string MapSource(const std::vector<double>& centroids) {
+  std::ostringstream os;
+  os << R"(
+int nextTok(char *line, int offset, char *buf, int read, int maxb) {
+  int i = offset;
+  int j = 0;
+  while (i < read && (line[i] == ' ' || line[i] == '\n')) i++;
+  if (i >= read || line[i] == '\0') return -1;
+  while (i < read && line[i] != ' ' && line[i] != '\n' &&
+         line[i] != '\0' && j < maxb - 1) {
+    buf[j] = line[i];
+    i++;
+    j++;
+  }
+  buf[j] = '\0';
+  return i;
+}
+int main() {
+  double centroids[)" << kK * kDims << R"(];
+)";
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    os << "  centroids[" << i << "] = " << hd::FormatDouble(centroids[i], 6)
+       << ";\n";
+  }
+  os << R"(
+  char tok[32], vbuf[64], *line;
+  size_t nbytes = 4096;
+  int read, offset, best, c, d;
+  double point[2];
+  double dist, bestDist, diff;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(best) value(vbuf) vallength(64) kvpairs(1) \
+    texture(centroids)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    offset = 0;
+    for (d = 0; d < 2; d++) {
+      offset = nextTok(line, offset, tok, read, 32);
+      if (offset == -1) break;
+      point[d] = atof(tok);
+    }
+    if (offset == -1) continue;
+    bestDist = 1.0e30;
+    best = 0;
+    for (c = 0; c < )" << kK << R"(; c++) {
+      dist = 0.0;
+      for (d = 0; d < 2; d++) {
+        diff = point[d] - centroids[c * 2 + d];
+        dist += diff * diff;
+      }
+      if (dist < bestDist) {
+        bestDist = dist;
+        best = c;
+      }
+    }
+    sprintf(vbuf, "%.2f %.2f", point[0], point[1]);
+    printf("%d\t%s\n", best, vbuf);
+  }
+  free(line);
+  return 0;
+}
+)";
+  return os.str();
+}
+
+// Averages member points per centroid.
+constexpr const char* kReduceSource = R"(
+int main() {
+  char key[16], prevKey[16];
+  double sx, sy, x, y;
+  int count;
+  prevKey[0] = '\0';
+  sx = 0.0; sy = 0.0; count = 0;
+  while (scanf("%s %lf %lf", key, &x, &y) == 3) {
+    if (strcmp(key, prevKey) != 0) {
+      if (prevKey[0] != '\0')
+        printf("%s\t%.6f %.6f\n", prevKey, sx / count, sy / count);
+      strcpy(prevKey, key);
+      sx = 0.0; sy = 0.0; count = 0;
+    }
+    sx += x; sy += y; count++;
+  }
+  if (prevKey[0] != '\0')
+    printf("%s\t%.6f %.6f\n", prevKey, sx / count, sy / count);
+  return 0;
+}
+)";
+
+// Four well-separated Gaussian blobs.
+std::vector<std::string> GenerateBlobs(int points_per_split, int splits) {
+  const double means[kK][kDims] = {{2, 2}, {8, 2}, {2, 8}, {8, 8}};
+  std::vector<std::string> out;
+  hd::Prng prng(1234);
+  for (int s = 0; s < splits; ++s) {
+    std::string split;
+    for (int i = 0; i < points_per_split; ++i) {
+      const auto blob = prng.NextBounded(kK);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.2f %.2f\n",
+                    means[blob][0] + 0.8 * prng.NextGaussian(),
+                    means[blob][1] + 0.8 * prng.NextGaussian());
+      split += buf;
+    }
+    out.push_back(std::move(split));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hd;
+
+  const std::vector<std::string> splits = GenerateBlobs(800, 4);
+
+  // Deliberately poor initial centroids: all in one corner.
+  std::vector<double> centroids = {1, 1, 1.5, 1, 1, 1.5, 1.5, 1.5};
+
+  hadoop::ClusterConfig cluster;
+  cluster.num_slaves = 2;
+  cluster.map_slots_per_node = 2;
+  cluster.gpus_per_node = 1;
+  cluster.heartbeat_sec = 0.05;
+
+  std::cout << "Iterative kmeans: " << kK << " clusters, "
+            << splits.size() * 800 << " points, tail scheduling\n\n";
+  for (int iter = 1; iter <= 8; ++iter) {
+    gpurt::JobProgram job =
+        gpurt::CompileJob(MapSource(centroids), "", kReduceSource);
+    hadoop::FunctionalTaskSource::Options fopts;
+    fopts.num_reducers = 2;
+    hadoop::FunctionalTaskSource source(job, splits, fopts);
+    hadoop::JobResult r =
+        hadoop::JobEngine(cluster, &source, sched::Policy::kTail).Run();
+
+    // Splice the reducer's centroids into the next iteration.
+    std::vector<double> next = centroids;
+    for (const auto& kv : r.final_output) {
+      const int c = std::stoi(kv.key);
+      const auto fields = SplitWhitespace(kv.value);
+      for (int d = 0; d < kDims && d < static_cast<int>(fields.size()); ++d) {
+        next[static_cast<std::size_t>(c * kDims + d)] =
+            std::strtod(fields[static_cast<std::size_t>(d)].c_str(), nullptr);
+      }
+    }
+    double movement = 0.0;
+    for (std::size_t i = 0; i < centroids.size(); ++i) {
+      movement += std::abs(next[i] - centroids[i]);
+    }
+    centroids = std::move(next);
+
+    std::cout << "iter " << iter << ": movement = "
+              << FormatDouble(movement, 4) << ", centroids =";
+    for (int c = 0; c < kK; ++c) {
+      std::cout << " (" << FormatDouble(centroids[c * 2], 2) << ","
+                << FormatDouble(centroids[c * 2 + 1], 2) << ")";
+    }
+    std::cout << " [" << r.gpu_tasks << " GPU tasks]\n";
+    if (movement < 1e-3) {
+      std::cout << "\nConverged after " << iter << " iterations.\n";
+      break;
+    }
+  }
+  return 0;
+}

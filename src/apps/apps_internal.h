@@ -1,0 +1,17 @@
+// Internal: per-application factories assembled by the registry.
+#pragma once
+
+#include "apps/benchmark.h"
+
+namespace hd::apps {
+
+Benchmark MakeGrep();            // GR
+Benchmark MakeHistMovies();      // HS
+Benchmark MakeWordcount();       // WC
+Benchmark MakeHistRatings();     // HR
+Benchmark MakeLinearRegression();  // LR
+Benchmark MakeKmeans();          // KM
+Benchmark MakeClassification();  // CL
+Benchmark MakeBlackScholes();    // BS
+
+}  // namespace hd::apps

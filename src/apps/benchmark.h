@@ -1,0 +1,72 @@
+// The benchmark suite (Table 2): six PUMA applications plus two scientific
+// workloads, each expressed as HeteroDoop-annotated mini-C streaming
+// filters with a synthetic input generator and a native C++ golden
+// reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpurt/kv.h"
+
+namespace hd::apps {
+
+// Table 2 row, per cluster.
+struct ClusterParams {
+  bool available = true;  // KM does not fit Cluster2's GPUs (§7.3)
+  int reduce_tasks = 0;
+  int map_tasks = 0;
+  double input_gb = 0.0;
+};
+
+struct Benchmark {
+  std::string id;    // "WC"
+  std::string name;  // "Wordcount"
+  bool io_intensive = false;
+  bool has_combiner = false;
+  bool map_only = false;
+  // Fraction of CPU-only job time with map+combine active (Table 2 col 2).
+  int pct_map_combine_active = 90;
+
+  // HeteroDoop-annotated streaming filter sources (mini-C).
+  std::string map_source;
+  std::string combine_source;  // empty when has_combiner is false
+  std::string reduce_source;   // empty for map-only jobs
+
+  // Generates one fileSplit of approximately `bytes`.
+  std::string (*generate)(std::int64_t bytes, std::uint64_t seed);
+
+  // Reference implementation: the expected final job output for the given
+  // splits, as unsorted pairs.
+  std::vector<gpurt::KvPair> (*golden)(const std::vector<std::string>& splits);
+
+  // Whether the job output is bitwise-deterministic across schedules (pure
+  // integer aggregation / per-record computation). Floating accumulations
+  // (KM, LR) depend on addition order and need tolerance comparison.
+  bool exact_output = true;
+
+  ClusterParams cluster1;
+  ClusterParams cluster2;
+
+  int num_reducers() const { return cluster1.reduce_tasks; }
+};
+
+// All eight benchmarks in the paper's Table 2 order:
+// GR, HS, WC, HR, LR, KM, CL, BS.
+const std::vector<Benchmark>& AllBenchmarks();
+
+// Lookup by id; HD_CHECKs on unknown ids.
+const Benchmark& GetBenchmark(const std::string& id);
+
+// Compares job output against the golden reference. For exact benchmarks
+// the sorted pair multisets must match; otherwise keys must match and
+// whitespace-separated numeric fields must agree within `tol` relative
+// error. Returns an empty string on success, else a description of the
+// first mismatch.
+std::string CompareWithGolden(const Benchmark& bench,
+                              std::vector<gpurt::KvPair> golden,
+                              std::vector<gpurt::KvPair> actual,
+                              double tol = 1e-6);
+
+}  // namespace hd::apps

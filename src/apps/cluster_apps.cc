@@ -1,0 +1,288 @@
+// Kmeans (KM) and Classification (CL): centroid-based compute-intensive
+// benchmarks (§7.1). Records are variable-length rating vectors ("each
+// record contains a list of movie ratings, some records have fewer reviews
+// than others", §4.1) — the record-size skew that motivates record
+// stealing. Both scan a read-only centroid table per record, the access
+// pattern the texture clause accelerates (Fig. 7a). KM emits the vector for
+// centroid recomputation (no combiner, heavy values); CL only classifies.
+#include <cmath>
+#include <map>
+
+#include "apps/apps_internal.h"
+#include "apps/gen.h"
+#include "apps/golden_util.h"
+#include "apps/sources.h"
+
+namespace hd::apps {
+namespace {
+
+constexpr int kMaxDims = 64;
+constexpr int kCentroids = 32;
+
+// Shared prologue: deterministic centroid table; distance over the rated
+// dimensions only (sparse-vector kmeans).
+constexpr const char* kCentroidInit = R"(
+  double centroids[2048];  /* 32 centroids x 64 dims */
+  int ci;
+  int lcg;
+  lcg = 12345;
+  for (ci = 0; ci < 2048; ci++) {
+    lcg = (lcg * 1103515245 + 12345) % 2147483647;
+    centroids[ci] = (lcg % 1000) / 100.0;
+  }
+)";
+
+constexpr const char* kParseLoop = R"(
+    offset = 0;
+    dims = 0;
+    while (dims < 64 &&
+           (offset = nextTok(line, offset, tok, read, 32)) != -1) {
+      point[dims] = atof(tok);
+      dims++;
+    }
+    if (dims < 1) continue;
+)";
+
+constexpr const char* kNearestLoop = R"(
+    bestDist = 1.0e30;
+    best = 0;
+    for (c = 0; c < 32; c++) {
+      dist = 0.0;
+      for (d = 0; d < dims; d++) {
+        diff = point[d] - centroids[c * 64 + d];
+        dist += diff * diff;
+      }
+      if (dist < bestDist) {
+        bestDist = dist;
+        best = c;
+      }
+    }
+)";
+
+std::string KmeansMapSource() {
+  return std::string(kNextTokSource) + "int main() {\n" + kCentroidInit + R"(
+  char tok[32], vbuf[384], *line;
+  size_t nbytes = 8192;
+  int read, offset, best, c, d, pos, dims;
+  double point[64];
+  double dist, bestDist, diff;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(best) value(vbuf) vallength(384) kvpairs(1) \
+    texture(centroids)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+)" + std::string(kParseLoop) + std::string(kNearestLoop) + R"(
+    pos = sprintf(vbuf, "%d", dims);
+    for (d = 0; d < dims; d++) {
+      pos += sprintf(vbuf + pos, " %d", (int) point[d]);
+    }
+    printf("%d\t%s\n", best, vbuf);
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+// Averages the member vectors per centroid, per rated dimension (one
+// sparse kmeans iteration). Values arrive as "dims f0 f1 ... f<dims-1>".
+constexpr const char* kKmeansReduceSource = R"(
+int main() {
+  char key[16], prevKey[16], vbuf[1400];
+  double sums[64], x;
+  int counts[64];
+  int d, dims, pos, maxdims;
+  prevKey[0] = '\0';
+  maxdims = 0;
+  for (d = 0; d < 64; d++) {
+    sums[d] = 0.0;
+    counts[d] = 0;
+  }
+  while (scanf("%s %d", key, &dims) == 2) {
+    if (strcmp(key, prevKey) != 0) {
+      if (prevKey[0] != '\0') {
+        pos = 0;
+        for (d = 0; d < maxdims; d++) {
+          if (counts[d] > 0) {
+            pos += sprintf(vbuf + pos, "%.3f ", sums[d] / counts[d]);
+          } else {
+            pos += sprintf(vbuf + pos, "0.000 ");
+          }
+        }
+        printf("%s\t%s\n", prevKey, vbuf);
+      }
+      strcpy(prevKey, key);
+      for (d = 0; d < 64; d++) {
+        sums[d] = 0.0;
+        counts[d] = 0;
+      }
+      maxdims = 0;
+    }
+    if (dims > maxdims) maxdims = dims;
+    for (d = 0; d < dims; d++) {
+      scanf("%lf", &x);
+      sums[d] += x;
+      counts[d] = counts[d] + 1;
+    }
+  }
+  if (prevKey[0] != '\0') {
+    pos = 0;
+    for (d = 0; d < maxdims; d++) {
+      if (counts[d] > 0) {
+        pos += sprintf(vbuf + pos, "%.3f ", sums[d] / counts[d]);
+      } else {
+        pos += sprintf(vbuf + pos, "0.000 ");
+      }
+    }
+    printf("%s\t%s\n", prevKey, vbuf);
+  }
+  return 0;
+}
+)";
+
+std::string ClassificationMapSource() {
+  return std::string(kNextTokSource) + "int main() {\n" + kCentroidInit + R"(
+  char tok[32], *line;
+  size_t nbytes = 8192;
+  int read, offset, best, c, d, one, dims;
+  double point[64];
+  double dist, bestDist, diff;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(best) value(one) vallength(1) kvpairs(1) \
+    texture(centroids)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    one = 1;
+)" + std::string(kParseLoop) + std::string(kNearestLoop) + R"(
+    printf("%d\t%d\n", best, one);
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+// Nearest centroid of one parsed point, replicating the mini-C arithmetic.
+int NearestCentroid(const std::vector<double>& point,
+                    const std::vector<double>& centroids) {
+  double best_dist = 1.0e30;
+  int best = 0;
+  for (int c = 0; c < kCentroids; ++c) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < point.size(); ++d) {
+      const double diff =
+          point[d] - centroids[static_cast<std::size_t>(c) * kMaxDims + d];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<double>> ParsePoints(
+    const std::vector<std::string>& splits) {
+  std::vector<std::vector<double>> points;
+  for (const auto& split : splits) {
+    for (const auto& rec : Records(split)) {
+      auto toks = RecordTokens(rec);
+      if (toks.empty()) continue;
+      std::vector<double> p;
+      for (std::size_t d = 0; d < toks.size() && d < kMaxDims; ++d) {
+        p.push_back(std::strtod(toks[d].c_str(), nullptr));
+      }
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+std::vector<gpurt::KvPair> KmeansGolden(
+    const std::vector<std::string>& splits) {
+  const std::vector<double> centroids = KmeansCentroids();
+  struct Acc {
+    std::vector<double> sums = std::vector<double>(kMaxDims, 0.0);
+    std::vector<long long> counts = std::vector<long long>(kMaxDims, 0);
+    int maxdims = 0;
+  };
+  std::map<int, Acc> acc;
+  for (const auto& p : ParsePoints(splits)) {
+    const int best = NearestCentroid(p, centroids);
+    Acc& a = acc[best];
+    a.maxdims = std::max(a.maxdims, static_cast<int>(p.size()));
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      // The reducer consumes the mapper's integer rendering of each rating.
+      a.sums[d] += static_cast<double>(static_cast<long long>(p[d]));
+      a.counts[d]++;
+    }
+  }
+  std::vector<gpurt::KvPair> out;
+  for (const auto& [cid, a] : acc) {
+    std::string v;
+    for (int d = 0; d < a.maxdims; ++d) {
+      if (a.counts[static_cast<std::size_t>(d)] > 0) {
+        v += RenderF("%.3f",
+                     a.sums[static_cast<std::size_t>(d)] /
+                         static_cast<double>(
+                             a.counts[static_cast<std::size_t>(d)]));
+      } else {
+        v += "0.000";
+      }
+      v += ' ';
+    }
+    out.push_back({std::to_string(cid), std::move(v)});
+  }
+  return out;
+}
+
+std::vector<gpurt::KvPair> ClassificationGolden(
+    const std::vector<std::string>& splits) {
+  const std::vector<double> centroids = KmeansCentroids();
+  std::map<int, long long> counts;
+  for (const auto& p : ParsePoints(splits)) {
+    counts[NearestCentroid(p, centroids)]++;
+  }
+  std::vector<gpurt::KvPair> out;
+  for (const auto& [cid, n] : counts) {
+    out.push_back({std::to_string(cid), std::to_string(n)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Benchmark MakeKmeans() {
+  Benchmark b;
+  b.id = "KM";
+  b.name = "Kmeans";
+  b.io_intensive = false;
+  b.has_combiner = false;
+  b.pct_map_combine_active = 89;
+  b.map_source = KmeansMapSource();
+  b.reduce_source = kKmeansReduceSource;
+  b.generate = GenRatingVectors;
+  b.golden = KmeansGolden;
+  b.exact_output = false;  // double accumulation order varies with schedule
+  b.cluster1 = {true, 16, 4800, 923.0};
+  b.cluster2 = {false, 16, 0, 0.0};  // exceeds Cluster2 GPU memory (§7.3)
+  return b;
+}
+
+Benchmark MakeClassification() {
+  Benchmark b;
+  b.id = "CL";
+  b.name = "Classification";
+  b.io_intensive = false;
+  b.has_combiner = false;
+  b.pct_map_combine_active = 92;
+  b.map_source = ClassificationMapSource();
+  b.reduce_source = SumFilterSource(/*with_directive=*/false, 16);
+  b.generate = GenRatingVectors;
+  b.golden = ClassificationGolden;
+  b.exact_output = true;
+  b.cluster1 = {true, 16, 4800, 923.0};
+  b.cluster2 = {true, 16, 3200, 72.0};
+  return b;
+}
+
+}  // namespace hd::apps

@@ -1,0 +1,135 @@
+#include "apps/gen.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace hd::apps {
+namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string GenZipfText(std::int64_t bytes, std::uint64_t seed) {
+  HD_CHECK(bytes > 0);
+  Prng prng(seed);
+  static const ZipfSampler zipf(5000, 1.05);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 128);
+  while (static_cast<std::int64_t>(out.size()) < bytes) {
+    // Mostly short lines with a heavy tail (~1% run to hundreds of words),
+    // mirroring real text corpora — the record-size skew that motivates
+    // record stealing (§4.1).
+    int words = 4 + static_cast<int>(prng.NextBounded(9));
+    if (prng.NextBounded(100) == 0) {
+      words = 100 + static_cast<int>(prng.NextBounded(150));
+    }
+    for (int w = 0; w < words; ++w) {
+      if (w) out += ' ';
+      out += "w" + std::to_string(zipf.Sample(prng));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string GenRatings(std::int64_t bytes, std::uint64_t seed) {
+  HD_CHECK(bytes > 0);
+  Prng prng(seed);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 128);
+  std::int64_t movie = 0;
+  while (static_cast<std::int64_t>(out.size()) < bytes) {
+    out += "m" + std::to_string(movie++);
+    // Review counts are heavy-tailed: most movies have a handful, a few
+    // (blockbusters) have hundreds — the kmeans imbalance §4.1 describes.
+    int n = 1 + static_cast<int>(prng.NextBounded(24));
+    if (prng.NextBounded(50) == 0) {
+      n = 100 + static_cast<int>(prng.NextBounded(300));
+    }
+    for (int i = 0; i < n; ++i) {
+      out += ' ';
+      out += std::to_string(1 + prng.NextBounded(5));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string GenPoints32(std::int64_t bytes, std::uint64_t seed) {
+  HD_CHECK(bytes > 0);
+  Prng prng(seed);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 192);
+  while (static_cast<std::int64_t>(out.size()) < bytes) {
+    for (int d = 0; d < 32; ++d) {
+      if (d) out += ' ';
+      out += Fmt("%.3f", prng.NextDouble(0.0, 10.0));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string GenRatingVectors(std::int64_t bytes, std::uint64_t seed) {
+  HD_CHECK(bytes > 0);
+  Prng prng(seed);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 256);
+  while (static_cast<std::int64_t>(out.size()) < bytes) {
+    int n = 4 + static_cast<int>(prng.NextBounded(13));
+    if (prng.NextBounded(20) == 0) {
+      n = 48 + static_cast<int>(prng.NextBounded(17));  // heavy tail
+    }
+    for (int i = 0; i < n; ++i) {
+      if (i) out += ' ';
+      out += std::to_string(1 + prng.NextBounded(5));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string GenRegressors(std::int64_t bytes, std::uint64_t seed) {
+  HD_CHECK(bytes > 0);
+  Prng prng(seed);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 64);
+  while (static_cast<std::int64_t>(out.size()) < bytes) {
+    const int reg = static_cast<int>(prng.NextBounded(12));
+    const double slope = 0.5 + 0.25 * reg;
+    const double x = prng.NextDouble(0.0, 100.0);
+    const double noise = prng.NextGaussian();
+    const double y = slope * x + 3.0 + noise;
+    out += "reg" + std::to_string(reg) + " " + Fmt("%.4f", x) + " " +
+           Fmt("%.4f", y) + "\n";
+  }
+  return out;
+}
+
+std::string GenOptions(std::int64_t bytes, std::uint64_t seed) {
+  HD_CHECK(bytes > 0);
+  Prng prng(seed);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 96);
+  std::int64_t id = 0;
+  while (static_cast<std::int64_t>(out.size()) < bytes) {
+    const double spot = prng.NextDouble(20.0, 180.0);
+    const double strike = spot * prng.NextDouble(0.7, 1.3);
+    const double rate = prng.NextDouble(0.01, 0.08);
+    const double vol = prng.NextDouble(0.1, 0.6);
+    const double expiry = prng.NextDouble(0.25, 2.0);
+    out += "opt" + std::to_string(id++) + " " + Fmt("%.4f", spot) + " " +
+           Fmt("%.4f", strike) + " " + Fmt("%.4f", rate) + " " +
+           Fmt("%.4f", vol) + " " + Fmt("%.4f", expiry) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hd::apps

@@ -1,0 +1,34 @@
+// Synthetic input generators. Each produces one fileSplit of roughly the
+// requested byte count, deterministically from a seed. Record-shape
+// properties mirror the paper's datasets: zipfian word frequencies for the
+// text corpora, variable ratings-per-movie for the movie data (the record
+// skew that motivates record stealing), fixed-dimension vectors for the
+// clustering inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hd::apps {
+
+// Zipf-distributed words over a synthetic vocabulary; 4-12 words per line.
+std::string GenZipfText(std::int64_t bytes, std::uint64_t seed);
+
+// Movie ratings: "m<id> r1 r2 ... rn" with n in [1, 24], ratings 1..5.
+std::string GenRatings(std::int64_t bytes, std::uint64_t seed);
+
+// 32-dimensional points: "f0 f1 ... f31" with fixed %.3f rendering.
+std::string GenPoints32(std::int64_t bytes, std::uint64_t seed);
+
+// Variable-length rating vectors for the clustering benchmarks:
+// "r1 r2 ... rn" with n mostly in [4, 16] and a heavy tail up to 64 —
+// the record-size skew record stealing exploits (§4.1).
+std::string GenRatingVectors(std::int64_t bytes, std::uint64_t seed);
+
+// Regressor rows: "reg<id> x y" with id in [0, 12) (12 regressors, §7.1).
+std::string GenRegressors(std::int64_t bytes, std::uint64_t seed);
+
+// Options: "opt<id> S K r v T" with plausible pricing parameters.
+std::string GenOptions(std::int64_t bytes, std::uint64_t seed);
+
+}  // namespace hd::apps

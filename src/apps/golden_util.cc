@@ -1,0 +1,76 @@
+#include "apps/golden_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hd::apps {
+
+std::vector<std::string> Records(const std::string& split) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < split.size()) {
+    std::size_t nl = split.find('\n', pos);
+    if (nl == std::string::npos) {
+      out.push_back(split.substr(pos));
+      break;
+    }
+    out.push_back(split.substr(pos, nl - pos + 1));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> ExtractWords(const std::string& split, int max_word) {
+  std::vector<std::string> words;
+  for (const std::string& rec : Records(split)) {
+    const int read = static_cast<int>(rec.size());
+    int i = 0;
+    for (;;) {
+      while (i < read && !std::isalnum(static_cast<unsigned char>(rec[i]))) {
+        ++i;
+      }
+      if (i >= read) break;
+      std::string w;
+      while (i < read && std::isalnum(static_cast<unsigned char>(rec[i])) &&
+             static_cast<int>(w.size()) < max_word - 1) {
+        w += rec[i];
+        ++i;
+      }
+      words.push_back(std::move(w));
+    }
+  }
+  return words;
+}
+
+std::vector<std::string> RecordTokens(const std::string& record) {
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char c : record) {
+    if (c == ' ' || c == '\t' || c == '\n') {
+      if (!cur.empty()) toks.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) toks.push_back(std::move(cur));
+  return toks;
+}
+
+std::string RenderF(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+std::vector<double> KmeansCentroids() {
+  std::vector<double> c(2048);
+  std::int64_t seed = 12345;
+  for (int i = 0; i < 2048; ++i) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    c[static_cast<std::size_t>(i)] = static_cast<double>(seed % 1000) / 100.0;
+  }
+  return c;
+}
+
+}  // namespace hd::apps

@@ -1,0 +1,29 @@
+// Helpers shared by the golden reference implementations. These replicate
+// the mini-C helper functions bit-for-bit (same truncation, same parsing)
+// so integer-aggregation benchmarks compare exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hd::apps {
+
+// Replicates getWord (Listing 1): alphanumeric runs, truncated to
+// max_word-1 chars; an overlong run continues as further words.
+std::vector<std::string> ExtractWords(const std::string& split, int max_word);
+
+// Whitespace tokens of one record.
+std::vector<std::string> RecordTokens(const std::string& record);
+
+// Splits a fileSplit into newline-terminated records (mirroring getline).
+std::vector<std::string> Records(const std::string& split);
+
+// snprintf(fmt, v) — the exact rendering printf/sprintf apply.
+std::string RenderF(const char* fmt, double v);
+
+// The shared 32x64 centroid table of KM/CL, replicating the mini-C LCG
+// initialisation (64-bit integer arithmetic).
+std::vector<double> KmeansCentroids();
+
+}  // namespace hd::apps

@@ -1,0 +1,142 @@
+// Histmovies (HS) and Histratings (HR): the histogram benchmarks (§7.1).
+// Both read the movie-ratings dataset; HS bins per-movie average ratings,
+// HR bins every individual rating (feeding the combiner far more data,
+// which is what makes HR compute-intensive).
+#include <map>
+
+#include "apps/apps_internal.h"
+#include "apps/gen.h"
+#include "apps/golden_util.h"
+#include "apps/sources.h"
+
+namespace hd::apps {
+namespace {
+
+std::string HistMoviesMapSource() {
+  return std::string(kNextTokSource) + R"(
+int main() {
+  char tok[32], *line;
+  size_t nbytes = 8192;
+  int read, offset, one, bin, count;
+  double sum, avg;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(bin) value(one) vallength(1) kvpairs(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    offset = nextTok(line, 0, tok, read, 32);  /* movie id */
+    sum = 0.0;
+    count = 0;
+    one = 1;
+    while ((offset = nextTok(line, offset, tok, read, 32)) != -1) {
+      sum += atof(tok);
+      count++;
+    }
+    if (count > 0) {
+      avg = sum / count;
+      bin = (int) (avg * 2.0);  /* half-star bins: 2..10 */
+      printf("%d\t%d\n", bin, one);
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+std::string HistRatingsMapSource() {
+  return std::string(kNextTokSource) + R"(
+int main() {
+  char tok[32], *line;
+  size_t nbytes = 8192;
+  int read, offset, one, rating;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(rating) value(one) vallength(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    offset = nextTok(line, 0, tok, read, 32);  /* movie id */
+    one = 1;
+    while ((offset = nextTok(line, offset, tok, read, 32)) != -1) {
+      rating = atoi(tok);
+      printf("%d\t%d\n", rating, one);
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+std::vector<gpurt::KvPair> HistMoviesGolden(
+    const std::vector<std::string>& splits) {
+  std::map<std::string, long long> counts;
+  for (const auto& split : splits) {
+    for (const auto& rec : Records(split)) {
+      auto toks = RecordTokens(rec);
+      if (toks.size() < 2) continue;
+      double sum = 0.0;
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        sum += std::strtod(toks[i].c_str(), nullptr);
+      }
+      const double avg = sum / static_cast<double>(toks.size() - 1);
+      const int bin = static_cast<int>(avg * 2.0);
+      counts[std::to_string(bin)]++;
+    }
+  }
+  std::vector<gpurt::KvPair> out;
+  for (const auto& [k, v] : counts) out.push_back({k, std::to_string(v)});
+  return out;
+}
+
+std::vector<gpurt::KvPair> HistRatingsGolden(
+    const std::vector<std::string>& splits) {
+  std::map<std::string, long long> counts;
+  for (const auto& split : splits) {
+    for (const auto& rec : Records(split)) {
+      auto toks = RecordTokens(rec);
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        counts[std::to_string(std::strtoll(toks[i].c_str(), nullptr, 10))]++;
+      }
+    }
+  }
+  std::vector<gpurt::KvPair> out;
+  for (const auto& [k, v] : counts) out.push_back({k, std::to_string(v)});
+  return out;
+}
+
+}  // namespace
+
+Benchmark MakeHistMovies() {
+  Benchmark b;
+  b.id = "HS";
+  b.name = "Histmovies";
+  b.io_intensive = true;
+  b.has_combiner = true;
+  b.pct_map_combine_active = 91;
+  b.map_source = HistMoviesMapSource();
+  b.combine_source = SumFilterSource(/*with_directive=*/true, 16);
+  b.reduce_source = SumFilterSource(/*with_directive=*/false, 16);
+  b.generate = GenRatings;
+  b.golden = HistMoviesGolden;
+  b.exact_output = true;
+  b.cluster1 = {true, 8, 4800, 1190.0};
+  b.cluster2 = {true, 8, 640, 159.0};
+  return b;
+}
+
+Benchmark MakeHistRatings() {
+  Benchmark b;
+  b.id = "HR";
+  b.name = "Histratings";
+  b.io_intensive = false;  // compute-intensive (Table 2)
+  b.has_combiner = true;
+  b.pct_map_combine_active = 92;
+  b.map_source = HistRatingsMapSource();
+  b.combine_source = SumFilterSource(/*with_directive=*/true, 16);
+  b.reduce_source = SumFilterSource(/*with_directive=*/false, 16);
+  b.generate = GenRatings;
+  b.golden = HistRatingsGolden;
+  b.exact_output = true;
+  b.cluster1 = {true, 5, 4800, 591.0};
+  b.cluster2 = {true, 5, 2560, 160.0};
+  return b;
+}
+
+}  // namespace hd::apps

@@ -1,0 +1,259 @@
+// Linear regression (LR) and BlackScholes (BS): the scientific workloads
+// (§7.1). LR computes per-regressor partial sums with a component-wise sum
+// combiner; BS is the map-only option-pricing kernel (the paper's most
+// compute-intensive benchmark, 128 pricing iterations per option).
+#include <cmath>
+#include <map>
+
+#include "apps/apps_internal.h"
+#include "apps/gen.h"
+#include "apps/golden_util.h"
+#include "apps/sources.h"
+
+namespace hd::apps {
+namespace {
+
+std::string LinearRegressionMapSource() {
+  return std::string(kNextTokSource) + R"(
+int main() {
+  char rid[16], tok[32], vbuf[160], *line;
+  size_t nbytes = 4096;
+  int read, offset;
+  double x, y;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(rid) value(vbuf) keylength(16) \
+    vallength(160) kvpairs(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    offset = nextTok(line, 0, rid, read, 16);
+    if (offset == -1) continue;
+    offset = nextTok(line, offset, tok, read, 32);
+    if (offset == -1) continue;
+    x = atof(tok);
+    offset = nextTok(line, offset, tok, read, 32);
+    if (offset == -1) continue;
+    y = atof(tok);
+    sprintf(vbuf, "1 %.6f %.6f %.6f %.6f", x, y, x * x, x * y);
+    printf("%s\t%s\n", rid, vbuf);
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+// Component-wise sum of the (n, sx, sy, sxx, sxy) tuples per regressor.
+std::string LrSumFilter(bool with_directive) {
+  std::string src = R"(
+int main() {
+  char key[16], prevKey[16], vbuf[200];
+  double n, sx, sy, sxx, sxy;
+  double an, ax, ay, axx, axy;
+  int read;
+  prevKey[0] = '\0';
+  an = 0.0; ax = 0.0; ay = 0.0; axx = 0.0; axy = 0.0;
+)";
+  if (with_directive) {
+    src += "  #pragma mapreduce combiner key(prevKey) value(vbuf) \\\n"
+           "    keyin(key) valuein(n) keylength(16) vallength(200) \\\n"
+           "    firstprivate(prevKey, an, ax, ay, axx, axy)\n";
+  }
+  src += R"(  {
+    while ((read = scanf("%s %lf %lf %lf %lf %lf", key, &n, &sx, &sy,
+                         &sxx, &sxy)) == 6) {
+      if (strcmp(key, prevKey) != 0) {
+        if (prevKey[0] != '\0') {
+          sprintf(vbuf, "%.6f %.6f %.6f %.6f %.6f", an, ax, ay, axx, axy);
+          printf("%s\t%s\n", prevKey, vbuf);
+        }
+        strcpy(prevKey, key);
+        an = 0.0; ax = 0.0; ay = 0.0; axx = 0.0; axy = 0.0;
+      }
+      an += n; ax += sx; ay += sy; axx += sxx; axy += sxy;
+    }
+    if (prevKey[0] != '\0') {
+      sprintf(vbuf, "%.6f %.6f %.6f %.6f %.6f", an, ax, ay, axx, axy);
+      printf("%s\t%s\n", prevKey, vbuf);
+    }
+  }
+  return 0;
+}
+)";
+  return src;
+}
+
+// Final fit: slope and intercept per regressor from the summed tuples.
+constexpr const char* kLrReduceSource = R"(
+int main() {
+  char key[16], prevKey[16];
+  double n, sx, sy, sxx, sxy;
+  double an, ax, ay, axx, axy;
+  double slope, intercept;
+  prevKey[0] = '\0';
+  an = 0.0; ax = 0.0; ay = 0.0; axx = 0.0; axy = 0.0;
+  while (scanf("%s %lf %lf %lf %lf %lf", key, &n, &sx, &sy, &sxx, &sxy)
+         == 6) {
+    if (strcmp(key, prevKey) != 0) {
+      if (prevKey[0] != '\0') {
+        slope = (an * axy - ax * ay) / (an * axx - ax * ax);
+        intercept = (ay - slope * ax) / an;
+        printf("%s\t%.4f %.4f\n", prevKey, slope, intercept);
+      }
+      strcpy(prevKey, key);
+      an = 0.0; ax = 0.0; ay = 0.0; axx = 0.0; axy = 0.0;
+    }
+    an += n; ax += sx; ay += sy; axx += sxx; axy += sxy;
+  }
+  if (prevKey[0] != '\0') {
+    slope = (an * axy - ax * ay) / (an * axx - ax * ax);
+    intercept = (ay - slope * ax) / an;
+    printf("%s\t%.4f %.4f\n", prevKey, slope, intercept);
+  }
+  return 0;
+}
+)";
+
+std::string BlackScholesMapSource() {
+  return std::string(kNextTokSource) + R"(
+double cndf(double x) {
+  return 0.5 * (1.0 + erf(x / 1.4142135623730951));
+}
+int main() {
+  char id[24], tok[32], vbuf[64], *line;
+  size_t nbytes = 4096;
+  int read, offset, it;
+  double S, K, r, v, T, d1, d2, call, put;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(id) value(vbuf) keylength(24) vallength(64) \
+    kvpairs(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    offset = nextTok(line, 0, id, read, 24);
+    if (offset == -1) continue;
+    offset = nextTok(line, offset, tok, read, 32);
+    S = atof(tok);
+    offset = nextTok(line, offset, tok, read, 32);
+    K = atof(tok);
+    offset = nextTok(line, offset, tok, read, 32);
+    r = atof(tok);
+    offset = nextTok(line, offset, tok, read, 32);
+    v = atof(tok);
+    offset = nextTok(line, offset, tok, read, 32);
+    T = atof(tok);
+    call = 0.0;
+    put = 0.0;
+    for (it = 0; it < 128; it++) {
+      d1 = (log(S / K) + (r + 0.5 * v * v) * T) / (v * sqrt(T));
+      d2 = d1 - v * sqrt(T);
+      call = S * cndf(d1) - K * exp(-r * T) * cndf(d2);
+      put = K * exp(-r * T) * cndf(-d2) - S * cndf(-d1);
+    }
+    sprintf(vbuf, "%.6f %.6f", call, put);
+    printf("%s\t%s\n", id, vbuf);
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+std::vector<gpurt::KvPair> LinearRegressionGolden(
+    const std::vector<std::string>& splits) {
+  struct Acc {
+    double n = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;
+  };
+  std::map<std::string, Acc> acc;
+  auto round6 = [](double v) {
+    return std::strtod(RenderF("%.6f", v).c_str(), nullptr);
+  };
+  for (const auto& split : splits) {
+    for (const auto& rec : Records(split)) {
+      auto toks = RecordTokens(rec);
+      if (toks.size() < 3) continue;
+      const double x = std::strtod(toks[1].c_str(), nullptr);
+      const double y = std::strtod(toks[2].c_str(), nullptr);
+      Acc& a = acc[toks[0]];
+      // The combiner consumes the mapper's %.6f renderings.
+      a.n += 1;
+      a.sx += round6(x);
+      a.sy += round6(y);
+      a.sxx += round6(x * x);
+      a.sxy += round6(x * y);
+    }
+  }
+  std::vector<gpurt::KvPair> out;
+  for (const auto& [rid, a] : acc) {
+    const double slope =
+        (a.n * a.sxy - a.sx * a.sy) / (a.n * a.sxx - a.sx * a.sx);
+    const double intercept = (a.sy - slope * a.sx) / a.n;
+    out.push_back({rid, RenderF("%.4f", slope) + " " +
+                            RenderF("%.4f", intercept)});
+  }
+  return out;
+}
+
+std::vector<gpurt::KvPair> BlackScholesGolden(
+    const std::vector<std::string>& splits) {
+  auto cndf = [](double x) {
+    return 0.5 * (1.0 + std::erf(x / 1.4142135623730951));
+  };
+  std::vector<gpurt::KvPair> out;
+  for (const auto& split : splits) {
+    for (const auto& rec : Records(split)) {
+      auto toks = RecordTokens(rec);
+      if (toks.size() < 6) continue;
+      const double S = std::strtod(toks[1].c_str(), nullptr);
+      const double K = std::strtod(toks[2].c_str(), nullptr);
+      const double r = std::strtod(toks[3].c_str(), nullptr);
+      const double v = std::strtod(toks[4].c_str(), nullptr);
+      const double T = std::strtod(toks[5].c_str(), nullptr);
+      const double d1 =
+          (std::log(S / K) + (r + 0.5 * v * v) * T) / (v * std::sqrt(T));
+      const double d2 = d1 - v * std::sqrt(T);
+      const double call =
+          S * cndf(d1) - K * std::exp(-r * T) * cndf(d2);
+      const double put =
+          K * std::exp(-r * T) * cndf(-d2) - S * cndf(-d1);
+      out.push_back(
+          {toks[0], RenderF("%.6f", call) + " " + RenderF("%.6f", put)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Benchmark MakeLinearRegression() {
+  Benchmark b;
+  b.id = "LR";
+  b.name = "Linear Regression";
+  b.io_intensive = false;
+  b.has_combiner = true;
+  b.pct_map_combine_active = 86;
+  b.map_source = LinearRegressionMapSource();
+  b.combine_source = LrSumFilter(/*with_directive=*/true);
+  b.reduce_source = kLrReduceSource;
+  b.generate = GenRegressors;
+  b.golden = LinearRegressionGolden;
+  b.exact_output = false;  // double accumulation order varies with schedule
+  b.cluster1 = {true, 16, 2560, 714.0};
+  b.cluster2 = {true, 16, 3840, 356.0};
+  return b;
+}
+
+Benchmark MakeBlackScholes() {
+  Benchmark b;
+  b.id = "BS";
+  b.name = "BlackScholes";
+  b.io_intensive = false;
+  b.has_combiner = false;
+  b.map_only = true;
+  b.pct_map_combine_active = 100;
+  b.map_source = BlackScholesMapSource();
+  b.generate = GenOptions;
+  b.golden = BlackScholesGolden;
+  b.exact_output = true;
+  b.cluster1 = {true, 0, 3600, 890.0};
+  b.cluster2 = {true, 0, 5120, 210.0};
+  return b;
+}
+
+}  // namespace hd::apps

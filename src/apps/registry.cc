@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <tuple>
+#include <sstream>
+
+#include "apps/apps_internal.h"
+#include "apps/benchmark.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hd::apps {
+
+const std::vector<Benchmark>& AllBenchmarks() {
+  static const std::vector<Benchmark> kAll = [] {
+    std::vector<Benchmark> v;
+    v.push_back(MakeGrep());
+    v.push_back(MakeHistMovies());
+    v.push_back(MakeWordcount());
+    v.push_back(MakeHistRatings());
+    v.push_back(MakeLinearRegression());
+    v.push_back(MakeKmeans());
+    v.push_back(MakeClassification());
+    v.push_back(MakeBlackScholes());
+    return v;
+  }();
+  return kAll;
+}
+
+const Benchmark& GetBenchmark(const std::string& id) {
+  for (const auto& b : AllBenchmarks()) {
+    if (b.id == id) return b;
+  }
+  HD_CHECK_MSG(false, "unknown benchmark '" << id << "'");
+}
+
+namespace {
+
+std::vector<gpurt::KvPair> Sorted(std::vector<gpurt::KvPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const gpurt::KvPair& a, const gpurt::KvPair& b) {
+              return std::tie(a.key, a.value) < std::tie(b.key, b.value);
+            });
+  return pairs;
+}
+
+bool ValuesClose(const std::string& a, const std::string& b, double tol,
+                 std::string* why) {
+  const auto fa = SplitWhitespace(a);
+  const auto fb = SplitWhitespace(b);
+  if (fa.size() != fb.size()) {
+    *why = "field count differs: '" + a + "' vs '" + b + "'";
+    return false;
+  }
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double x = std::strtod(fa[i].c_str(), nullptr);
+    const double y = std::strtod(fb[i].c_str(), nullptr);
+    const double scale = std::max({std::abs(x), std::abs(y), 1.0});
+    if (std::abs(x - y) > tol * scale) {
+      *why = "field " + std::to_string(i) + ": " + fa[i] + " vs " + fb[i];
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CompareWithGolden(const Benchmark& bench,
+                              std::vector<gpurt::KvPair> golden,
+                              std::vector<gpurt::KvPair> actual,
+                              double tol) {
+  golden = Sorted(std::move(golden));
+  actual = Sorted(std::move(actual));
+  if (golden.size() != actual.size()) {
+    return bench.id + ": pair count mismatch: golden " +
+           std::to_string(golden.size()) + " vs actual " +
+           std::to_string(actual.size());
+  }
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    if (golden[i].key != actual[i].key) {
+      return bench.id + ": key mismatch at " + std::to_string(i) + ": '" +
+             golden[i].key + "' vs '" + actual[i].key + "'";
+    }
+    if (bench.exact_output) {
+      if (golden[i].value != actual[i].value) {
+        return bench.id + ": value mismatch for key '" + golden[i].key +
+               "': '" + golden[i].value + "' vs '" + actual[i].value + "'";
+      }
+    } else {
+      std::string why;
+      if (!ValuesClose(golden[i].value, actual[i].value, tol, &why)) {
+        return bench.id + ": value mismatch for key '" + golden[i].key +
+               "': " + why;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace hd::apps

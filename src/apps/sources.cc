@@ -1,0 +1,72 @@
+#include "apps/sources.h"
+
+namespace hd::apps {
+
+const char* kGetWordSource = R"(
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+  int i = offset;
+  int j = 0;
+  while (i < read && !isalnum(line[i])) i++;
+  if (i >= read) return -1;
+  while (i < read && isalnum(line[i]) && j < maxw - 1) {
+    word[j] = line[i];
+    i++;
+    j++;
+  }
+  word[j] = '\0';
+  return i - offset;
+}
+)";
+
+const char* kNextTokSource = R"(
+int nextTok(char *line, int offset, char *buf, int read, int maxb) {
+  int i = offset;
+  int j = 0;
+  while (i < read && (line[i] == ' ' || line[i] == '\t' ||
+                      line[i] == '\n')) i++;
+  if (i >= read || line[i] == '\0') return -1;
+  while (i < read && line[i] != ' ' && line[i] != '\t' &&
+         line[i] != '\n' && line[i] != '\0' && j < maxb - 1) {
+    buf[j] = line[i];
+    i++;
+    j++;
+  }
+  buf[j] = '\0';
+  return i;
+}
+)";
+
+std::string SumFilterSource(bool with_directive, int key_bytes) {
+  const std::string kb = std::to_string(key_bytes);
+  std::string src = "int main() {\n";
+  src += "  char key[" + kb + "], prevKey[" + kb + "];\n";
+  src += R"(  int count, val, read;
+  prevKey[0] = '\0';
+  count = 0;
+)";
+  if (with_directive) {
+    src += "  #pragma mapreduce combiner key(prevKey) value(count) \\\n"
+           "    keyin(key) valuein(val) keylength(" + kb + ") vallength(1) \\\n"
+           "    firstprivate(prevKey, count)\n";
+  }
+  src += R"(  {
+    while ((read = scanf("%s %d", key, &val)) == 2) {
+      if (strcmp(key, prevKey) == 0) {
+        count += val;
+      } else {
+        if (prevKey[0] != '\0')
+          printf("%s\t%d\n", prevKey, count);
+        strcpy(prevKey, key);
+        count = val;
+      }
+    }
+    if (prevKey[0] != '\0')
+      printf("%s\t%d\n", prevKey, count);
+  }
+  return 0;
+}
+)";
+  return src;
+}
+
+}  // namespace hd::apps

@@ -1,0 +1,22 @@
+// Shared mini-C source fragments for the benchmark filters.
+#pragma once
+
+#include <string>
+
+namespace hd::apps {
+
+// Word extractor used by the text benchmarks (Listing 1's getWord): skips
+// non-alphanumerics, copies up to maxw-1 chars, returns chars consumed
+// from `offset` or -1 at end of record.
+extern const char* kGetWordSource;
+
+// Whitespace tokenizer used by the numeric benchmarks: copies the next
+// token into buf and returns the new offset, or -1 at end of record.
+extern const char* kNextTokSource;
+
+// A sum combiner/reducer over "<key> <int>" streams, emitting "key\tsum".
+// `with_directive` adds the HeteroDoop combiner pragma; `key_bytes` sizes
+// the key buffers (and the keylength clause).
+std::string SumFilterSource(bool with_directive, int key_bytes);
+
+}  // namespace hd::apps

@@ -1,0 +1,127 @@
+// Wordcount (WC) and Grep (GR): the IO-intensive text benchmarks (§7.1).
+#include <map>
+
+#include "apps/apps_internal.h"
+#include "apps/gen.h"
+#include "apps/golden_util.h"
+#include "apps/sources.h"
+
+namespace hd::apps {
+namespace {
+
+// Listing 1, plus the getWord helper it calls.
+std::string WordcountMapSource() {
+  return std::string(kGetWordSource) + R"(
+int main() {
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+// Emits <word, 1> only for words containing the search pattern.
+std::string GrepMapSource() {
+  return std::string(kGetWordSource) + R"(
+int main() {
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      if (strstr(word, "w1") != NULL) {
+        printf("%s\t%d\n", word, one);
+      }
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+}
+
+std::vector<gpurt::KvPair> CountsToPairs(
+    const std::map<std::string, long long>& counts) {
+  std::vector<gpurt::KvPair> out;
+  out.reserve(counts.size());
+  for (const auto& [k, v] : counts) out.push_back({k, std::to_string(v)});
+  return out;
+}
+
+std::vector<gpurt::KvPair> WordcountGolden(
+    const std::vector<std::string>& splits) {
+  std::map<std::string, long long> counts;
+  for (const auto& split : splits) {
+    for (auto& w : ExtractWords(split, 30)) counts[w]++;
+  }
+  return CountsToPairs(counts);
+}
+
+std::vector<gpurt::KvPair> GrepGolden(const std::vector<std::string>& splits) {
+  std::map<std::string, long long> counts;
+  for (const auto& split : splits) {
+    for (auto& w : ExtractWords(split, 30)) {
+      if (w.find("w1") != std::string::npos) counts[w]++;
+    }
+  }
+  return CountsToPairs(counts);
+}
+
+}  // namespace
+
+Benchmark MakeWordcount() {
+  Benchmark b;
+  b.id = "WC";
+  b.name = "Wordcount";
+  b.io_intensive = true;
+  b.has_combiner = true;
+  b.pct_map_combine_active = 91;
+  b.map_source = WordcountMapSource();
+  b.combine_source = SumFilterSource(/*with_directive=*/true, 30);
+  b.reduce_source = SumFilterSource(/*with_directive=*/false, 30);
+  b.generate = GenZipfText;
+  b.golden = WordcountGolden;
+  b.exact_output = true;
+  b.cluster1 = {true, 48, 5760, 844.0};
+  b.cluster2 = {true, 32, 1024, 151.0};
+  return b;
+}
+
+Benchmark MakeGrep() {
+  Benchmark b;
+  b.id = "GR";
+  b.name = "Grep";
+  b.io_intensive = true;
+  b.has_combiner = true;
+  b.pct_map_combine_active = 69;
+  b.map_source = GrepMapSource();
+  b.combine_source = SumFilterSource(/*with_directive=*/true, 30);
+  b.reduce_source = SumFilterSource(/*with_directive=*/false, 30);
+  b.generate = GenZipfText;
+  b.golden = GrepGolden;
+  b.exact_output = true;
+  b.cluster1 = {true, 16, 7632, 902.0};
+  b.cluster2 = {true, 16, 2880, 340.0};
+  return b;
+}
+
+}  // namespace hd::apps

@@ -1,0 +1,43 @@
+// Lightweight invariant checking used across HeteroDoop modules.
+//
+// HD_CHECK is active in all build types: simulator state corruption must
+// never silently produce wrong experiment numbers.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hd {
+
+// Thrown on violated invariants; carries the failing expression and site.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HD_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hd
+
+#define HD_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::hd::detail::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HD_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream hd_os_;                                    \
+      hd_os_ << msg;                                                \
+      ::hd::detail::CheckFailed(#expr, __FILE__, __LINE__, hd_os_.str()); \
+    }                                                               \
+  } while (0)

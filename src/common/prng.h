@@ -1,0 +1,120 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// Every experiment in the repository must be bit-reproducible across
+// machines, so we avoid std::mt19937 distribution differences and implement
+// both the generator (xoshiro256**) and the samplers ourselves.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hd {
+
+// SplitMix64: used to seed xoshiro and as a cheap stateless hash.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x;
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    HD_CHECK(bound > 0);
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Standard normal via Box–Muller (deterministic; no cached spare to keep
+  // the state trivially serialisable).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over ranks [0, n); used for synthetic text
+// corpora where word frequency follows a power law (as in the PUMA
+// wikipedia inputs the paper uses).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent) : cdf_(n) {
+    HD_CHECK(n > 0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::size_t Sample(Prng& prng) const {
+    const double u = prng.NextDouble();
+    // Binary search the first cdf entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hd

@@ -1,0 +1,32 @@
+// Small string utilities shared by the frontend, runtime, and generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hd {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Formats a double with fixed precision (locale-independent).
+std::string FormatDouble(double v, int precision);
+
+// Human-readable byte count, e.g. "1.5 MiB".
+std::string HumanBytes(std::uint64_t bytes);
+
+}  // namespace hd

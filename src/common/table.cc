@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace hd {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(std::string v) {
+  HD_CHECK_MSG(!rows_.empty(), "Cell() before Row()");
+  rows_.back().push_back(std::move(v));
+  return *this;
+}
+
+Table& Table::Cell(const char* v) { return Cell(std::string(v)); }
+
+Table& Table::Cell(double v, int precision) {
+  return Cell(FormatDouble(v, precision));
+}
+
+Table& Table::Cell(std::uint64_t v) { return Cell(std::to_string(v)); }
+
+Table& Table::Cell(std::int64_t v) { return Cell(std::to_string(v)); }
+
+Table& Table::Cell(int v) { return Cell(std::to_string(v)); }
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace hd

@@ -1,0 +1,37 @@
+// Console table printer used by the bench harnesses to emit paper-style
+// tables and figure series.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hd {
+
+// Accumulates rows of string cells and prints them as an aligned ASCII
+// table. Numeric convenience overloads format through FormatDouble.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Begins a new row; cells are appended with Cell().
+  Table& Row();
+  Table& Cell(std::string v);
+  Table& Cell(const char* v);
+  Table& Cell(double v, int precision = 2);
+  Table& Cell(std::uint64_t v);
+  Table& Cell(std::int64_t v);
+  Table& Cell(int v);
+
+  // Prints the table with a rule under the header.
+  void Print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hd

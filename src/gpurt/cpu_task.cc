@@ -1,0 +1,129 @@
+#include "gpurt/cpu_task.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "gpurt/records.h"
+#include "gpurt/sort.h"
+#include "gpusim/cpu_model.h"
+#include "minic/interp.h"
+
+namespace hd::gpurt {
+
+namespace {
+
+// Framework-side sort cost on one core: n*log2(n) key comparisons, each
+// touching the key bytes once plus branch/bookkeeping overhead.
+double CpuSortSeconds(const std::vector<std::vector<KvPair>>& partitions,
+                      const gpusim::CpuConfig& cpu) {
+  double cycles = 0.0;
+  for (const auto& part : partitions) {
+    const auto n = static_cast<double>(part.size());
+    if (n < 2) continue;
+    double key_bytes = 0.0;
+    for (const auto& kv : part) key_bytes += static_cast<double>(kv.key.size());
+    key_bytes /= n;
+    const double per_compare =
+        key_bytes * (cpu.cycles_mem + cpu.cycles_int_alu) + 4 * cpu.cycles_branch;
+    cycles += n * std::ceil(std::log2(n)) * per_compare;
+  }
+  return cycles / (cpu.clock_ghz * 1e9);
+}
+
+std::int64_t OutputBytes(const std::vector<std::vector<KvPair>>& partitions) {
+  std::int64_t bytes = 0;
+  for (const auto& part : partitions) {
+    for (const auto& kv : part) {
+      bytes += static_cast<std::int64_t>(kv.key.size() + kv.value.size() + 2);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+CpuMapTask::CpuMapTask(const JobProgram& job, const gpusim::CpuConfig& cpu,
+                       CpuTaskOptions options)
+    : job_(job), cpu_(cpu), opts_(std::move(options)) {
+  HD_CHECK_MSG(job_.map.map_plan.has_value(), "job has no mapper plan");
+}
+
+MapTaskResult CpuMapTask::Run(const std::string& file_split) {
+  MapTaskResult result;
+  result.stats.records =
+      static_cast<std::int64_t>(LocateRecords(file_split).size());
+  result.phases.input_read =
+      opts_.io.ReadSeconds(static_cast<double>(file_split.size()));
+
+  // Map: the sequential filter over the whole fileSplit.
+  gpusim::CpuTimingHooks map_hooks(cpu_);
+  minic::TextIoEnv map_io(file_split);
+  minic::Interp map_interp(*job_.map.unit, &map_io, &map_hooks);
+  map_interp.RunMain();
+  std::vector<KvPair> pairs = ParseKvText(map_io.output());
+  result.stats.map_kv_pairs = static_cast<std::int64_t>(pairs.size());
+  // Hadoop Streaming pipes every record into the filter and every KV pair
+  // back through the JVM (§2.2); the GPU path bypasses this (§5.2).
+  const double streaming_overhead_sec =
+      (static_cast<double>(result.stats.records) *
+           cpu_.streaming_cycles_per_record +
+       static_cast<double>(pairs.size()) * cpu_.streaming_cycles_per_kv) /
+      (cpu_.clock_ghz * 1e9);
+  result.phases.map = map_hooks.seconds() + streaming_overhead_sec;
+
+  const bool map_only = opts_.num_reducers <= 0;
+  const int num_partitions = map_only ? 1 : opts_.num_reducers;
+  std::vector<std::vector<KvPair>> partitions(
+      static_cast<std::size_t>(num_partitions));
+  for (auto& kv : pairs) {
+    const int p = map_only ? 0 : PartitionOf(kv.key, num_partitions);
+    partitions[static_cast<std::size_t>(p)].push_back(std::move(kv));
+  }
+
+  if (!map_only) {
+    for (auto& part : partitions) SortPairsByKey(&part);
+    result.phases.sort = CpuSortSeconds(partitions, cpu_);
+    result.stats.sort_elements = result.stats.map_kv_pairs;
+
+    if (job_.has_combiner()) {
+      gpusim::CpuTimingHooks comb_hooks(cpu_);
+      std::int64_t out_pairs = 0;
+      for (auto& part : partitions) {
+        if (part.empty()) continue;
+        minic::TextIoEnv comb_io(FormatKvText(part));
+        minic::Interp comb_interp(*job_.combine->unit, &comb_io, &comb_hooks);
+        comb_interp.RunMain();
+        part = ParseKvText(comb_io.output());
+        out_pairs += static_cast<std::int64_t>(part.size());
+      }
+      result.phases.combine = comb_hooks.seconds();
+      result.stats.out_kv_pairs = out_pairs;
+    } else {
+      result.stats.out_kv_pairs = result.stats.map_kv_pairs;
+    }
+  } else {
+    result.stats.out_kv_pairs = result.stats.map_kv_pairs;
+  }
+
+  result.stats.output_bytes = OutputBytes(partitions);
+  const auto bytes = static_cast<double>(result.stats.output_bytes);
+  result.phases.output_write = map_only ? opts_.io.HdfsWriteSeconds(bytes)
+                                        : opts_.io.LocalWriteSeconds(bytes);
+  result.partitions = std::move(partitions);
+  return result;
+}
+
+ReduceResult RunReduce(const minic::TranslationUnit& reduce_unit,
+                       const std::vector<KvPair>& sorted_pairs,
+                       const gpusim::CpuConfig& cpu) {
+  gpusim::CpuTimingHooks hooks(cpu);
+  minic::TextIoEnv io(FormatKvText(sorted_pairs));
+  minic::Interp interp(reduce_unit, &io, &hooks);
+  interp.RunMain();
+  ReduceResult r;
+  r.output = ParseKvText(io.output());
+  r.seconds = hooks.seconds();
+  return r;
+}
+
+}  // namespace hd::gpurt

@@ -1,0 +1,44 @@
+// The CPU ("gcc") execution path: the unmodified streaming filter runs on
+// one core through the interpreter, with Hadoop's per-task sort and the
+// combiner applied by the framework — baseline Hadoop Streaming behaviour.
+#pragma once
+
+#include <string>
+
+#include "gpurt/io_config.h"
+#include "gpurt/job_program.h"
+#include "gpurt/task_result.h"
+#include "gpusim/config.h"
+
+namespace hd::gpurt {
+
+struct CpuTaskOptions {
+  int num_reducers = 1;  // <= 0 selects a map-only job
+  IoConfig io;
+};
+
+class CpuMapTask {
+ public:
+  CpuMapTask(const JobProgram& job, const gpusim::CpuConfig& cpu,
+             CpuTaskOptions options);
+
+  MapTaskResult Run(const std::string& file_split);
+
+ private:
+  const JobProgram& job_;
+  const gpusim::CpuConfig& cpu_;
+  CpuTaskOptions opts_;
+};
+
+// Runs a streaming reduce program over an already merged-and-sorted pair
+// stream (the framework's sort phase output); returns the emitted lines and
+// the modeled single-core seconds.
+struct ReduceResult {
+  std::vector<KvPair> output;
+  double seconds = 0.0;
+};
+ReduceResult RunReduce(const minic::TranslationUnit& reduce_unit,
+                       const std::vector<KvPair>& sorted_pairs,
+                       const gpusim::CpuConfig& cpu);
+
+}  // namespace hd::gpurt

@@ -1,0 +1,633 @@
+#include "gpurt/gpu_task.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+#include "gpurt/kvstore.h"
+#include "gpurt/records.h"
+#include "gpurt/sort.h"
+#include "minic/interp.h"
+
+namespace hd::gpurt {
+
+using gpusim::KernelSim;
+using minic::Interp;
+using minic::MemObject;
+using minic::MemSpace;
+using minic::Ptr;
+using minic::Scalar;
+using minic::Value;
+using translator::KernelPlan;
+using translator::VarClass;
+using translator::VarPlan;
+
+namespace {
+
+// Frees device allocations when the task ends (including via exception).
+class DeviceAllocGuard {
+ public:
+  explicit DeviceAllocGuard(gpusim::GpuDevice* device) : device_(device) {}
+  ~DeviceAllocGuard() {
+    for (auto id : ids_) device_->Free(id);
+  }
+  DeviceAllocGuard(const DeviceAllocGuard&) = delete;
+  DeviceAllocGuard& operator=(const DeviceAllocGuard&) = delete;
+
+  void Add(std::int64_t id) { ids_.push_back(id); }
+  std::int64_t Malloc(std::int64_t bytes, const std::string& tag) {
+    const std::int64_t id = device_->Malloc(bytes, tag);
+    ids_.push_back(id);
+    return id;
+  }
+
+ private:
+  gpusim::GpuDevice* device_;
+  std::vector<std::int64_t> ids_;
+};
+
+// Host-side values captured at region entry (the kernel parameters of
+// Listings 3/4: sharedRO contents, firstprivate initial values).
+struct HostSnapshot {
+  std::map<std::string, std::vector<std::int64_t>> ints;
+  std::map<std::string, std::vector<double>> floats;
+  std::int64_t total_bytes = 0;
+};
+
+HostSnapshot CaptureSnapshot(const translator::TranslatedProgram& prog,
+                             const KernelPlan& plan) {
+  minic::TextIoEnv io("");
+  minic::CountingHooks hooks;
+  Interp interp(*prog.unit, &io, &hooks);
+  HD_CHECK_MSG(interp.RunMainUntilRegion(*plan.region),
+               "host prologue never reached the mapreduce region");
+  HostSnapshot snap;
+  for (const VarPlan& v : plan.vars) {
+    if (v.cls == VarClass::kPrivate) continue;
+    MemObject* obj = interp.Lookup(v.name);
+    HD_CHECK_MSG(obj != nullptr, "variable '" << v.name
+                                              << "' not live at region entry");
+    HD_CHECK_MSG(!obj->is_ptr_cell(),
+                 "cannot transfer pointer variable '"
+                     << v.name << "' to the device; pass data, not pointers");
+    if (obj->IsFloatElem()) {
+      auto& dst = snap.floats[v.name];
+      dst.resize(static_cast<std::size_t>(obj->size()));
+      for (std::int64_t i = 0; i < obj->size(); ++i) dst[i] = obj->LoadFloat(i);
+    } else {
+      auto& dst = snap.ints[v.name];
+      dst.resize(static_cast<std::size_t>(obj->size()));
+      for (std::int64_t i = 0; i < obj->size(); ++i) dst[i] = obj->LoadInt(i);
+    }
+    snap.total_bytes += obj->size() * obj->elem_bytes();
+  }
+  return snap;
+}
+
+void InitFromSnapshot(MemObject* obj, const HostSnapshot& snap,
+                      const std::string& name) {
+  if (auto it = snap.ints.find(name); it != snap.ints.end()) {
+    HD_CHECK(obj->size() >= static_cast<std::int64_t>(it->second.size()));
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      obj->StoreInt(static_cast<std::int64_t>(i), it->second[i]);
+    }
+    return;
+  }
+  if (auto it = snap.floats.find(name); it != snap.floats.end()) {
+    HD_CHECK(obj->size() >= static_cast<std::int64_t>(it->second.size()));
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      obj->StoreFloat(static_cast<std::int64_t>(i), it->second[i]);
+    }
+    return;
+  }
+  HD_CHECK_MSG(false, "no snapshot value for '" << name << "'");
+}
+
+std::int64_t VarBytes(const minic::Type& t) {
+  const std::int64_t n = t.is_array ? t.array_size : 1;
+  return n * minic::ScalarSize(t.scalar);
+}
+
+// Shared (per-task) device objects for sharedRO arrays and texture arrays.
+struct SharedDeviceVars {
+  std::map<std::string, MemObject*> objects;
+};
+
+// Builds the shared device-resident objects and charges their copy-in.
+SharedDeviceVars BuildSharedVars(minic::Memory* device_memory,
+                                 const KernelPlan& plan,
+                                 const HostSnapshot& snap, bool use_texture,
+                                 DeviceAllocGuard* guard, double* copy_sec,
+                                 const gpusim::GpuDevice& device) {
+  SharedDeviceVars out;
+  for (const VarPlan& v : plan.vars) {
+    if (v.cls != VarClass::kSharedROArray && v.cls != VarClass::kTexture) {
+      continue;
+    }
+    const MemSpace space = (v.cls == VarClass::kTexture && use_texture)
+                               ? MemSpace::kDeviceTexture
+                               : MemSpace::kDeviceGlobal;
+    MemObject* obj = device_memory->Alloc("dev_" + v.name, v.type.scalar,
+                                          v.type.is_array ? v.type.array_size
+                                                          : 1,
+                                          space);
+    InitFromSnapshot(obj, snap, v.name);
+    guard->Malloc(VarBytes(v.type), v.name);
+    *copy_sec += device.TransferSeconds(VarBytes(v.type));
+    out.objects[v.name] = obj;
+  }
+  return out;
+}
+
+// Binds all plan variables into `interp`'s current scope for one simulated
+// GPU thread (Algorithm 1's handleVariables).
+void BindPlanVars(Interp& interp, const KernelPlan& plan,
+                  const HostSnapshot& snap, const SharedDeviceVars& shared,
+                  KernelSim& kernel, int block, int lane,
+                  MemSpace private_array_space) {
+  for (const VarPlan& v : plan.vars) {
+    switch (v.cls) {
+      case VarClass::kSharedROScalar: {
+        MemObject* obj = interp.memory().Alloc("const_" + v.name,
+                                               v.type.scalar, 1,
+                                               MemSpace::kDeviceConstant);
+        InitFromSnapshot(obj, snap, v.name);
+        interp.Bind(v.name, obj, v.type);
+        break;
+      }
+      case VarClass::kSharedROArray:
+      case VarClass::kTexture: {
+        auto it = shared.objects.find(v.name);
+        HD_CHECK(it != shared.objects.end());
+        interp.Bind(v.name, it->second, v.type);
+        break;
+      }
+      case VarClass::kFirstPrivate:
+      case VarClass::kPrivate: {
+        MemObject* obj;
+        if (v.type.is_pointer) {
+          obj = interp.memory().AllocPtrCell(v.name, 1, MemSpace::kDeviceLocal);
+        } else if (v.type.is_array) {
+          obj = interp.memory().Alloc(v.name, v.type.scalar,
+                                      v.type.array_size, private_array_space);
+        } else {
+          obj = interp.memory().Alloc(v.name, v.type.scalar, 1,
+                                      MemSpace::kDeviceLocal);
+        }
+        if (v.cls == VarClass::kFirstPrivate) {
+          HD_CHECK_MSG(!v.type.is_pointer,
+                       "firstprivate pointer '" << v.name << "' unsupported");
+          InitFromSnapshot(obj, snap, v.name);
+          // insertInKernelCopyCode: each thread copies the FP master copy
+          // from global memory into its private storage (one sequential
+          // run).
+          kernel.ChargeGlobalBytes(block, lane, VarBytes(v.type),
+                                   /*vectorized=*/true,
+                                   /*granule_bytes=*/VarBytes(v.type));
+        }
+        interp.Bind(v.name, obj, v.type);
+        break;
+      }
+    }
+  }
+}
+
+// Emulates the record distribution the map kernel produces.
+//
+// Records are statically split across threadblocks (contiguous ranges);
+// within a block, record stealing hands the next record to whichever thread
+// frees up first — which converges to a least-loaded greedy assignment by
+// record size. The functional simulator executes threads sequentially, so
+// we reproduce that schedule analytically instead of with live atomics (the
+// atomic costs are still charged per fetch in the kernel).
+//
+// Modes:
+//   * block stealing (paper default): greedy within each block,
+//   * global stealing (ablation):     greedy across all threads,
+//   * static:                         contiguous chunk per thread (Fig. 7d
+//                                     baseline).
+std::vector<std::vector<std::int64_t>> AssignRecords(
+    const std::vector<Record>& records, int blocks, int threads,
+    bool stealing, bool global_stealing,
+    std::int64_t max_records_per_thread) {
+  const int total_threads = blocks * threads;
+  std::vector<std::vector<std::int64_t>> assignment(
+      static_cast<std::size_t>(total_threads));
+  const auto n = static_cast<std::int64_t>(records.size());
+  const std::int64_t per_block = (n + blocks - 1) / blocks;
+
+  if (!stealing && !global_stealing) {
+    for (int b = 0; b < blocks; ++b) {
+      const std::int64_t lo = std::min<std::int64_t>(b * per_block, n);
+      const std::int64_t hi = std::min<std::int64_t>(lo + per_block, n);
+      const std::int64_t per_thread = (hi - lo + threads - 1) / threads;
+      for (int t = 0; t < threads && per_thread > 0; ++t) {
+        const std::int64_t s = std::min(lo + t * per_thread, hi);
+        const std::int64_t e = std::min(s + per_thread, hi);
+        for (std::int64_t r = s; r < e; ++r) {
+          assignment[static_cast<std::size_t>(b) * threads + t].push_back(r);
+        }
+      }
+    }
+    return assignment;
+  }
+
+  // Greedy least-loaded (by record bytes): min-heap of (load, thread).
+  using Slot = std::pair<std::int64_t, int>;  // (accumulated bytes, tid)
+  auto assign_range = [&](std::int64_t lo, std::int64_t hi, int tid_base,
+                          int tid_count) {
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+    for (int t = 0; t < tid_count; ++t) heap.emplace(0, tid_base + t);
+    for (std::int64_t r = lo; r < hi; ++r) {
+      Slot s = heap.top();
+      heap.pop();
+      auto& list = assignment[static_cast<std::size_t>(s.second)];
+      if (static_cast<std::int64_t>(list.size()) >= max_records_per_thread) {
+        // This thread's KV portion is exhausted (§4.1's stealing limit);
+        // it leaves the pool.
+        --r;
+        HD_CHECK_MSG(!heap.empty(), "all threads hit the stealing limit with "
+                                    "records left over");
+        continue;
+      }
+      list.push_back(r);
+      heap.emplace(s.first + records[static_cast<std::size_t>(r)].length,
+                   s.second);
+    }
+  };
+
+  if (global_stealing) {
+    assign_range(0, n, 0, total_threads);
+  } else {
+    for (int b = 0; b < blocks; ++b) {
+      const std::int64_t lo = std::min<std::int64_t>(b * per_block, n);
+      const std::int64_t hi = std::min<std::int64_t>(lo + per_block, n);
+      assign_range(lo, hi, b * threads, threads);
+    }
+  }
+  return assignment;
+}
+
+// Parses one streaming printf payload into a KV pair; enforces the
+// one-pair-per-printf convention of the mapper/combiner regions.
+KvPair EmittedPair(const std::string& text, int line) {
+  HD_CHECK_MSG(!text.empty() && text.back() == '\n',
+               "KV emit at line " << line << " must end with \\n");
+  const std::string body = text.substr(0, text.size() - 1);
+  HD_CHECK_MSG(body.find('\n') == std::string::npos,
+               "KV emit at line " << line << " contains multiple records");
+  return ParseKvLine(body);
+}
+
+}  // namespace
+
+GpuMapTask::GpuMapTask(const JobProgram& job, gpusim::GpuDevice* device,
+                       GpuTaskOptions options)
+    : job_(job), device_(device), opts_(std::move(options)) {
+  HD_CHECK(device_ != nullptr);
+  HD_CHECK_MSG(job_.map.map_plan.has_value(), "job has no mapper plan");
+}
+
+MapTaskResult GpuMapTask::Run(const std::string& file_split) {
+  const KernelPlan& map_plan = *job_.map.map_plan;
+  const auto& dcfg = device_->config();
+
+  // Default launch: four co-resident blocks per SM of 256 threads — enough
+  // warps to hide memory latency at full occupancy.
+  int blocks = opts_.blocks > 0 ? opts_.blocks
+               : map_plan.blocks_hint > 0 ? map_plan.blocks_hint
+                                          : 4 * dcfg.num_sms;
+  int threads = opts_.threads > 0 ? opts_.threads
+                : map_plan.threads_hint > 0 ? map_plan.threads_hint
+                                            : 256;
+  HD_CHECK(threads % dcfg.warp_size == 0);
+  const int total_threads = blocks * threads;
+
+  MapTaskResult result;
+  DeviceAllocGuard guard(device_);
+
+  // --- Fig. 1 step 1: copy the fileSplit from HDFS into device memory. ---
+  const auto input_bytes = static_cast<std::int64_t>(file_split.size());
+  guard.Malloc(input_bytes, "ip");
+  result.phases.input_read =
+      opts_.io.ReadSeconds(static_cast<double>(input_bytes)) +
+      device_->TransferSeconds(input_bytes);
+
+  // Device-resident input buffer. Records are NUL-terminated in place (the
+  // record locator rewrites '\n' so that in-kernel C string functions stop
+  // at record boundaries).
+  minic::Memory device_memory;
+  MemObject* ip = device_memory.Alloc("ip", Scalar::kChar, input_bytes,
+                                      MemSpace::kDeviceGlobal);
+  for (std::int64_t i = 0; i < input_bytes; ++i) {
+    const char c = file_split[static_cast<std::size_t>(i)];
+    ip->StoreInt(i, c == '\n' ? '\0' : c);
+  }
+
+  // --- Fig. 1 step 2: record-locating kernel. ----------------------------
+  const std::vector<Record> records = LocateRecords(file_split);
+  result.stats.records = static_cast<std::int64_t>(records.size());
+  // Runtime-library kernels (record locator, aggregation, sort) launch
+  // with their own tuned geometry, independent of the user kernel's
+  // blocks/threads clauses.
+  const int rt_blocks = 2 * dcfg.num_sms;
+  const int rt_threads = 256;
+  {
+    KernelSim locate(dcfg, rt_blocks, rt_threads, "record_count");
+    ChargeLocateKernel(locate, input_bytes);
+    result.phases.record_count = locate.Finish().elapsed_sec;
+  }
+  guard.Malloc(static_cast<std::int64_t>(records.size()) * 16,
+               "recordLocator");
+
+  // --- Fig. 1 step 3: allocate the global KV store. ----------------------
+  const std::int64_t pair_bytes =
+      map_plan.kv.key_slot_bytes + map_plan.kv.val_slot_bytes + 4;
+  std::int64_t budget = opts_.kv_store_bytes;
+  if (budget == 0) {
+    // "The translator allocates all free GPU memory" (§3.2); the driver
+    // holds back a tenth for combine output and bookkeeping buffers.
+    budget = device_->free_bytes() * 9 / 10;
+  }
+  std::int64_t slots = budget / pair_bytes;
+  if (map_plan.kvpairs_hint > 0) {
+    // kvpairs clause: at most `hint` pairs per record, so the store can
+    // shrink to (records + one slack slot per thread) * hint.
+    slots = std::min<std::int64_t>(
+        slots, (result.stats.records + total_threads) * map_plan.kvpairs_hint);
+  }
+  slots = std::max<std::int64_t>(slots, total_threads);
+  GlobalKvStore kvstore(total_threads, slots, map_plan.kv.key_slot_bytes,
+                        map_plan.kv.val_slot_bytes);
+  guard.Malloc(slots * pair_bytes, "globalKVStore");
+  guard.Malloc(static_cast<std::int64_t>(total_threads) * 4, "devKvCount");
+  result.stats.allocated_slots = slots;
+
+  // --- Fig. 1 step 4: the map kernel. -------------------------------------
+  const HostSnapshot map_snap = CaptureSnapshot(job_.map, map_plan);
+  double shared_copy_sec = 0.0;
+  const SharedDeviceVars map_shared =
+      BuildSharedVars(&device_memory, map_plan, map_snap, opts_.use_texture,
+                      &guard, &shared_copy_sec, *device_);
+  result.phases.input_read += shared_copy_sec;
+
+  // Record-stealing limit: a thread may steal only while its KV portion
+  // has room (§4.1). Known only when the kvpairs clause bounds emissions.
+  const std::int64_t max_records_per_thread =
+      map_plan.kvpairs_hint > 0
+          ? std::max<std::int64_t>(1, kvstore.slots_per_thread() /
+                                          map_plan.kvpairs_hint)
+          : std::numeric_limits<std::int64_t>::max();
+
+  KernelSim map_kernel(dcfg, blocks, threads, "map");
+  map_kernel.set_vectorization_enabled(opts_.vectorize_map);
+  const std::vector<std::vector<std::int64_t>> assignment = AssignRecords(
+      records, blocks, threads, opts_.record_stealing, opts_.global_stealing,
+      max_records_per_thread);
+
+  for (int b = 0; b < blocks; ++b) {
+    for (int t = 0; t < threads; ++t) {
+      minic::TextIoEnv dead_io("");
+      Interp::Options iopts;
+      iopts.default_space = MemSpace::kDeviceLocal;
+      Interp interp(*job_.map.unit, &dead_io, &map_kernel.Hooks(b, t), iopts);
+      interp.PushScope();
+      BindPlanVars(interp, map_plan, map_snap, map_shared, map_kernel, b, t,
+                   MemSpace::kDeviceLocal);
+
+      const int tid = b * threads + t;
+      const std::vector<std::int64_t>& my_records =
+          assignment[static_cast<std::size_t>(tid)];
+      std::size_t cursor = 0;
+
+      // getRecord (§5.2): replaces getline in the kernel (Listing 3).
+      interp.OverrideBuiltin(
+          "getline",
+          [&, b, t, tid, cursor](
+              Interp& in, const std::vector<Value>& args) mutable -> Value {
+            if (args.size() < 2) throw minic::InterpError("getline: bad args");
+            // Each fetch bumps the stealing counter: a shared-memory atomic
+            // per block (Listing 3's recordIndex) — or a global atomic in
+            // the ablated global-queue scheme.
+            if (opts_.global_stealing) {
+              map_kernel.ChargeGlobalAtomic(b, t);
+            } else if (opts_.record_stealing) {
+              map_kernel.ChargeSharedAtomic(b, t);
+            }
+            if (cursor >= my_records.size() || kvstore.Full(tid)) {
+              return Value::Int(-1);
+            }
+            const std::int64_t idx = my_records[cursor++];
+            // Read the recordLocator entry (offset+length).
+            map_kernel.ChargeGlobalAccess(b, t, &records, idx * 16, 16,
+                                          /*vectorizable=*/true);
+            const Record& r = records[static_cast<std::size_t>(idx)];
+            Ptr cell = in.RequirePtr(args[0], "getline line pointer");
+            HD_CHECK_MSG(cell.obj->is_ptr_cell(),
+                         "getline: first arg must be char**");
+            cell.obj->StorePtr(cell.index, Ptr{ip, r.offset});
+            if (args.size() >= 3 && args[1].kind == Value::Kind::kPtr &&
+                !args[1].p.IsNull()) {
+              in.StoreThroughPtr(args[1].p, Value::Int(r.length + 1));
+            }
+            return Value::Int(r.length);
+          });
+
+      // emitKV: replaces printf in the kernel (Listing 3).
+      interp.OverrideBuiltin(
+          "printf",
+          [&, b, t, tid](Interp& in, const std::vector<Value>& args) -> Value {
+            const std::string fmt = in.ReadString(args.at(0));
+            const std::string text = in.Format(fmt, args, 1);
+            // Each thread's portion fills sequentially: successive emits
+            // land in adjacent slots of the global KV store. emitKV copies
+            // the actual key/value bytes (plus terminators) into the fixed
+            // slots; the padding is never touched.
+            const std::int64_t slot_bytes =
+                map_plan.kv.key_slot_bytes + map_plan.kv.val_slot_bytes;
+            const std::int64_t pair_index =
+                tid * kvstore.slots_per_thread() + kvstore.CountFor(tid);
+            const std::int64_t slot_off = pair_index * slot_bytes;
+            KvPair pair = EmittedPair(text, map_plan.region->line);
+            const std::int64_t data_bytes =
+                static_cast<std::int64_t>(pair.key.size() +
+                                          pair.value.size()) + 2;
+            kvstore.Emit(tid, std::move(pair));
+            map_kernel.ChargeGlobalAccess(b, t, &kvstore, slot_off,
+                                          std::min(data_bytes, slot_bytes),
+                                          /*vectorizable=*/true);
+            // indexArray entry (devKvCount stays in a register until
+            // mapFinish, Listing 3).
+            map_kernel.ChargeGlobalAccess(b, t, &map_plan, pair_index * 4, 4,
+                                          /*vectorizable=*/true);
+            return Value::Int(static_cast<std::int64_t>(text.size()));
+          });
+
+      interp.ExecRegion(*map_plan.region);
+      interp.PopScope();
+    }
+  }
+  {
+    auto report = map_kernel.Finish();
+    result.phases.map = report.elapsed_sec;
+    result.stats.texture_hits = report.texture_hits;
+    result.stats.texture_misses = report.texture_misses;
+    result.stats.shared_atomics = report.shared_atomics;
+    result.stats.global_atomics = report.global_atomics;
+    result.stats.map_compute_cycles = report.compute_cycles;
+    result.stats.map_mem_cycles = report.mem_cycles;
+  }
+  result.stats.map_kv_pairs = kvstore.total_emitted();
+  result.stats.whitespace_slots = kvstore.WhitespaceSlots();
+
+  const bool map_only = opts_.num_reducers <= 0;
+  const int num_partitions = map_only ? 1 : opts_.num_reducers;
+
+  // --- Fig. 1 step 5: aggregation (whitespace compaction). ----------------
+  if (!map_only && opts_.aggregate_before_sort) {
+    KernelSim agg_kernel(dcfg, rt_blocks, rt_threads, "aggregate");
+    kvstore.ChargeAggregation(agg_kernel);
+    result.phases.aggregate = agg_kernel.Finish().elapsed_sec;
+  }
+
+  std::vector<std::vector<KvPair>> partitions(
+      static_cast<std::size_t>(num_partitions));
+  const std::int64_t bounding_box = kvstore.UsedBoundingBoxSlots();
+  {
+    std::vector<KvPair> all = kvstore.TakeAll();
+    for (auto& kv : all) {
+      const int p = map_only ? 0 : PartitionOf(kv.key, num_partitions);
+      partitions[static_cast<std::size_t>(p)].push_back(std::move(kv));
+    }
+  }
+
+  if (!map_only) {
+
+    // --- Fig. 1 step 6: intermediate sort per partition. ------------------
+    KernelSim sort_kernel(dcfg, rt_blocks, rt_threads, "sort");
+    // Without compaction the pairs sit scattered over the used bounding
+    // box: the merge needs log2(spread) extra levels and random key loads.
+    int extra_passes = 0;
+    if (!opts_.aggregate_before_sort && result.stats.map_kv_pairs > 0) {
+      const double spread = static_cast<double>(bounding_box) /
+                            static_cast<double>(result.stats.map_kv_pairs);
+      while ((1LL << extra_passes) < static_cast<std::int64_t>(spread)) {
+        ++extra_passes;
+      }
+    }
+    std::int64_t sort_elements_total = 0;
+    for (auto& part : partitions) {
+      SortPairsByKey(&part);
+      const std::int64_t n = static_cast<std::int64_t>(part.size());
+      sort_elements_total += n;
+      ChargeSortKernel(sort_kernel, n, map_plan.kv.key_slot_bytes,
+                       /*vectorized=*/true,
+                       /*compacted=*/opts_.aggregate_before_sort,
+                       extra_passes);
+    }
+    result.stats.sort_elements = sort_elements_total;
+    result.phases.sort = sort_kernel.Finish().elapsed_sec;
+  }
+
+  // --- Fig. 1 step 7: combine kernel. -------------------------------------
+  if (!map_only && job_.has_combiner()) {
+    const KernelPlan& cplan = *job_.combine->combine_plan;
+    const HostSnapshot comb_snap = CaptureSnapshot(*job_.combine, cplan);
+    double comb_copy_sec = 0.0;
+    const SharedDeviceVars comb_shared =
+        BuildSharedVars(&device_memory, cplan, comb_snap, opts_.use_texture,
+                        &guard, &comb_copy_sec, *device_);
+
+    KernelSim comb_kernel(dcfg, blocks, threads, "combine");
+    comb_kernel.set_vectorization_enabled(opts_.vectorize_combine);
+    const int warps_per_block = threads / dcfg.warp_size;
+    const int total_warps = blocks * warps_per_block;
+
+    std::int64_t combine_out_pairs = 0;
+    int warp_cursor = 0;
+    for (auto& part : partitions) {
+      if (part.empty()) continue;
+      const std::int64_t n = static_cast<std::int64_t>(part.size());
+      // Each warp takes kvsPerThread pairs (Listing 4): bound chunks so a
+      // warp never serialises more than ~1k pairs, while jobs
+      // with few reducers still spread across all warps.
+      const std::int64_t chunks_per_partition = std::max<std::int64_t>(
+          std::max(1, total_warps / num_partitions), (n + 1023) / 1024);
+      const std::int64_t chunk_size =
+          (n + chunks_per_partition - 1) / chunks_per_partition;
+      std::vector<KvPair> combined;
+      for (std::int64_t start = 0; start < n; start += chunk_size) {
+        const std::int64_t end = std::min(start + chunk_size, n);
+        const int warp = warp_cursor++ % total_warps;
+        const int cb = warp / warps_per_block;
+        const int cl = (warp % warps_per_block) * dcfg.warp_size;
+
+        // getKV: the warp streams its chunk of the sorted partition.
+        std::string chunk_text;
+        for (std::int64_t i = start; i < end; ++i) {
+          chunk_text += part[static_cast<std::size_t>(i)].key;
+          chunk_text += ' ';
+          chunk_text += part[static_cast<std::size_t>(i)].value;
+          chunk_text += '\n';
+        }
+        comb_kernel.ChargeGlobalBytes(
+            cb, cl,
+            static_cast<std::int64_t>(chunk_text.size()) + 4 * (end - start),
+            /*vectorized=*/true,
+            /*granule_bytes=*/static_cast<std::int64_t>(chunk_text.size()));
+
+        minic::TextIoEnv chunk_io(std::move(chunk_text));
+        Interp::Options iopts;
+        iopts.default_space = MemSpace::kDeviceLocal;
+        Interp interp(*job_.combine->unit, &chunk_io,
+                      &comb_kernel.Hooks(cb, cl), iopts);
+        interp.PushScope();
+        // Private arrays of the combiner live in shared memory (Listing 4).
+        BindPlanVars(interp, cplan, comb_snap, comb_shared, comb_kernel, cb,
+                     cl, MemSpace::kDeviceShared);
+        interp.OverrideBuiltin(
+            "printf", [&, cb, cl](Interp& in,
+                                  const std::vector<Value>& args) -> Value {
+              const std::string fmt = in.ReadString(args.at(0));
+              const std::string text = in.Format(fmt, args, 1);
+              combined.push_back(EmittedPair(text, cplan.region->line));
+              comb_kernel.ChargeGlobalBytes(
+                  cb, cl, static_cast<std::int64_t>(text.size()) + 2,
+                  /*vectorized=*/true,
+                  /*granule_bytes=*/static_cast<std::int64_t>(text.size()) + 2);
+              return Value::Int(static_cast<std::int64_t>(text.size()));
+            });
+        interp.ExecRegion(*cplan.region);
+        interp.PopScope();
+      }
+      combine_out_pairs += static_cast<std::int64_t>(combined.size());
+      part = std::move(combined);
+    }
+    result.phases.combine = comb_kernel.Finish().elapsed_sec;
+    result.stats.out_kv_pairs = combine_out_pairs;
+  } else {
+    result.stats.out_kv_pairs = result.stats.map_kv_pairs;
+  }
+
+  // --- Fig. 1 step 8: write the output. ------------------------------------
+  std::int64_t out_bytes = 0;
+  for (const auto& part : partitions) {
+    for (const auto& kv : part) {
+      out_bytes += static_cast<std::int64_t>(kv.key.size() +
+                                             kv.value.size() + 2);
+    }
+  }
+  result.stats.output_bytes = out_bytes;
+  result.phases.output_write =
+      device_->TransferSeconds(out_bytes) +
+      (map_only ? opts_.io.HdfsWriteSeconds(static_cast<double>(out_bytes))
+                : opts_.io.LocalWriteSeconds(static_cast<double>(out_bytes)));
+
+  result.partitions = std::move(partitions);
+  return result;
+}
+
+}  // namespace hd::gpurt

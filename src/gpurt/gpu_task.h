@@ -1,0 +1,60 @@
+// The GPU host driver: runs one map(+combine) task on the simulated device,
+// implementing the Fig. 1 flow — copy fileSplit in, locate/count records,
+// allocate the global KV store, launch the map kernel (with record
+// stealing), aggregate, sort, launch the combine kernel, write output.
+#pragma once
+
+#include <string>
+
+#include "gpurt/io_config.h"
+#include "gpurt/job_program.h"
+#include "gpurt/task_result.h"
+#include "gpusim/device.h"
+
+namespace hd::gpurt {
+
+struct GpuTaskOptions {
+  // Launch shape; 0 = defaults (blocks = 2x SMs, threads = 128) or the
+  // directive's blocks/threads hints if present.
+  int blocks = 0;
+  int threads = 0;
+
+  // Compiler/runtime optimisations (all on by default; the Fig. 5/7
+  // ablations switch them off individually).
+  bool vectorize_map = true;        // char4 loads in map kernel (Fig. 7c)
+  bool vectorize_combine = true;    // char4 KV loads in combine (Fig. 7b)
+  bool use_texture = true;          // honour texture placement (Fig. 7a)
+  bool record_stealing = true;      // block-level dynamic records (Fig. 7d)
+  bool aggregate_before_sort = true;  // KV compaction before sort (Fig. 7e)
+  // Ablation of the paper's design argument in §4.1: a global work queue
+  // instead of per-threadblock stealing (expensive global atomics).
+  bool global_stealing = false;
+
+  int num_reducers = 1;
+  // Global KV store budget; 0 = "all free GPU memory" (§3.2), of which the
+  // driver keeps a fraction back for the combine output buffers.
+  std::int64_t kv_store_bytes = 0;
+
+  IoConfig io;
+};
+
+class GpuMapTask {
+ public:
+  // `job.map` must carry a mapper plan. The device models one physical GPU;
+  // callers serialise tasks on it (the GPU driver of §5.1 admits a single
+  // task per GPU at a time).
+  GpuMapTask(const JobProgram& job, gpusim::GpuDevice* device,
+             GpuTaskOptions options);
+
+  // Executes the task on `file_split`. Throws gpusim::DeviceOomError when
+  // the split or KV store exceeds device memory (the Hadoop layer treats
+  // that as a task failure and reschedules, §5.1).
+  MapTaskResult Run(const std::string& file_split);
+
+ private:
+  const JobProgram& job_;
+  gpusim::GpuDevice* device_;
+  GpuTaskOptions opts_;
+};
+
+}  // namespace hd::gpurt

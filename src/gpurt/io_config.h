@@ -1,0 +1,40 @@
+// Node-level I/O parameters used by both CPU and GPU task models.
+#pragma once
+
+namespace hd::gpurt {
+
+struct IoConfig {
+  // Reading a data-local fileSplit out of HDFS (local disk path).
+  double hdfs_read_bytes_per_sec = 300e6;
+  // Writing intermediate map+combine output to the node-local disk.
+  double disk_write_bytes_per_sec = 150e6;
+  // Writing final output to HDFS (replicated, slower than local disk).
+  double hdfs_write_bytes_per_sec = 90e6;
+  // Hadoop checksums everything it writes (CRC32 per 512-byte chunk);
+  // charged on the CPU at this rate.
+  double checksum_cycles_per_byte = 0.8;
+  double cpu_clock_ghz = 2.8;
+
+  // An in-memory deployment (Cluster2 has no disks, Table 3).
+  static IoConfig InMemory() {
+    IoConfig io;
+    io.hdfs_read_bytes_per_sec = 2.0e9;
+    io.disk_write_bytes_per_sec = 1.5e9;
+    io.hdfs_write_bytes_per_sec = 1.2e9;
+    return io;
+  }
+
+  double ReadSeconds(double bytes) const {
+    return bytes / hdfs_read_bytes_per_sec;
+  }
+  double LocalWriteSeconds(double bytes) const {
+    return bytes / disk_write_bytes_per_sec +
+           bytes * checksum_cycles_per_byte / (cpu_clock_ghz * 1e9);
+  }
+  double HdfsWriteSeconds(double bytes) const {
+    return bytes / hdfs_write_bytes_per_sec +
+           bytes * checksum_cycles_per_byte / (cpu_clock_ghz * 1e9);
+  }
+};
+
+}  // namespace hd::gpurt

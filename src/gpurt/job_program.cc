@@ -1,0 +1,29 @@
+#include "gpurt/job_program.h"
+
+#include "common/check.h"
+#include "minic/parser.h"
+
+namespace hd::gpurt {
+
+JobProgram CompileJob(const std::string& map_source,
+                      const std::string& combine_source,
+                      const std::string& reduce_source) {
+  JobProgram job;
+  job.map = translator::Translate(map_source);
+  HD_CHECK_MSG(job.map.map_plan.has_value(),
+               "map source carries no mapper directive");
+  if (!combine_source.empty()) {
+    job.combine = translator::Translate(combine_source);
+    HD_CHECK_MSG(job.combine->combine_plan.has_value(),
+                 "combine source carries no combiner directive");
+  }
+  if (!reduce_source.empty()) {
+    auto unit = minic::Parse(reduce_source);
+    HD_CHECK_MSG(unit->FindFunction("main") != nullptr,
+                 "reduce source has no main()");
+    job.reduce = std::shared_ptr<minic::TranslationUnit>(std::move(unit));
+  }
+  return job;
+}
+
+}  // namespace hd::gpurt

@@ -1,0 +1,32 @@
+// A compiled MapReduce job: the translated map filter, the optional
+// translated combine filter, and the optional (CPU-only, §3.1) reduce
+// filter. This is the unit the Hadoop layer distributes: the same compiled
+// artifact serves both the CPU ("gcc") and GPU ("nvcc") execution paths.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "minic/ast.h"
+#include "translator/translator.h"
+
+namespace hd::gpurt {
+
+struct JobProgram {
+  translator::TranslatedProgram map;  // must carry a map plan
+  std::optional<translator::TranslatedProgram> combine;
+  // Plain streaming reducer (no directives); null for map-only jobs whose
+  // output goes straight to HDFS.
+  std::shared_ptr<minic::TranslationUnit> reduce;
+
+  bool has_combiner() const { return combine.has_value(); }
+  bool map_only() const { return reduce == nullptr && !has_combiner(); }
+};
+
+// Compiles the three filter sources. Empty strings mean "absent".
+JobProgram CompileJob(const std::string& map_source,
+                      const std::string& combine_source = "",
+                      const std::string& reduce_source = "");
+
+}  // namespace hd::gpurt

@@ -1,0 +1,58 @@
+#include "gpurt/kv.h"
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace hd::gpurt {
+
+int PartitionOf(std::string_view key, int num_partitions) {
+  HD_CHECK(num_partitions > 0);
+  // FNV-1a over the key bytes, folded through SplitMix64 for avalanche.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(SplitMix64(h) % static_cast<std::uint64_t>(num_partitions));
+}
+
+std::string FormatKv(const KvPair& kv) {
+  std::string out;
+  out.reserve(kv.key.size() + kv.value.size() + 2);
+  out += kv.key;
+  out += '\t';
+  out += kv.value;
+  out += '\n';
+  return out;
+}
+
+KvPair ParseKvLine(std::string_view line) {
+  const std::size_t tab = line.find('\t');
+  if (tab == std::string_view::npos) {
+    return KvPair{std::string(line), std::string()};
+  }
+  return KvPair{std::string(line.substr(0, tab)),
+                std::string(line.substr(tab + 1))};
+}
+
+std::vector<KvPair> ParseKvText(std::string_view text) {
+  std::vector<KvPair> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    if (nl > pos) out.push_back(ParseKvLine(text.substr(pos, nl - pos)));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::string FormatKvText(const std::vector<KvPair>& pairs) {
+  std::string out;
+  for (const auto& kv : pairs) out += FormatKv(kv);
+  return out;
+}
+
+bool KvKeyLess(const KvPair& a, const KvPair& b) { return a.key < b.key; }
+
+}  // namespace hd::gpurt

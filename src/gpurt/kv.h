@@ -1,0 +1,44 @@
+// Key-value pair primitives shared by the CPU and GPU task paths.
+//
+// Hadoop Streaming represents KV pairs as text lines "key \t value". Both
+// execution paths of HeteroDoop produce and consume this representation, so
+// the two paths are byte-compatible (a GPU task can be re-run on a CPU and
+// vice versa — the fault-tolerance story of §5.1 depends on this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hd::gpurt {
+
+struct KvPair {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KvPair&) const = default;
+};
+
+// Hadoop's default HashPartitioner analog: stable across processes.
+int PartitionOf(std::string_view key, int num_partitions);
+
+// "key\tvalue\n"
+std::string FormatKv(const KvPair& kv);
+
+// Parses one streaming output line; the first tab separates key from value.
+// Lines without a tab become {line, ""}.
+KvPair ParseKvLine(std::string_view line);
+
+// Splits a streaming output buffer into KV pairs (one per line).
+std::vector<KvPair> ParseKvText(std::string_view text);
+
+// Serialises pairs back to streaming text.
+std::string FormatKvText(const std::vector<KvPair>& pairs);
+
+// Byte-wise key comparison used by the intermediate sort (§5.3): memcmp
+// ordering over the key text, ties broken by original position via
+// stable sort at the call sites.
+bool KvKeyLess(const KvPair& a, const KvPair& b);
+
+}  // namespace hd::gpurt

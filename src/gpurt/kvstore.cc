@@ -1,0 +1,97 @@
+#include "gpurt/kvstore.h"
+
+#include <algorithm>
+
+namespace hd::gpurt {
+
+GlobalKvStore::GlobalKvStore(int num_threads, std::int64_t total_slots,
+                             int key_slot_bytes, int val_slot_bytes)
+    : num_threads_(num_threads),
+      total_slots_(total_slots),
+      slots_per_thread_(total_slots / num_threads),
+      key_slot_bytes_(key_slot_bytes),
+      val_slot_bytes_(val_slot_bytes),
+      portions_(static_cast<std::size_t>(num_threads)) {
+  HD_CHECK(num_threads > 0);
+  HD_CHECK_MSG(slots_per_thread_ > 0,
+               "KV store too small: " << total_slots << " slots across "
+                                      << num_threads << " threads");
+  HD_CHECK(key_slot_bytes > 0);
+  HD_CHECK(val_slot_bytes > 0);
+}
+
+void GlobalKvStore::Emit(int thread, KvPair kv) {
+  HD_CHECK(thread >= 0 && thread < num_threads_);
+  auto& portion = portions_[thread];
+  HD_CHECK_MSG(static_cast<std::int64_t>(portion.size()) < slots_per_thread_,
+               "thread " << thread << " overflowed its KV store portion ("
+                         << slots_per_thread_ << " slots)");
+  HD_CHECK_MSG(static_cast<int>(kv.key.size()) <= key_slot_bytes_,
+               "key '" << kv.key << "' exceeds keylength slot ("
+                       << key_slot_bytes_ << ")");
+  HD_CHECK_MSG(static_cast<int>(kv.value.size()) <= val_slot_bytes_,
+               "value '" << kv.value << "' exceeds vallength slot ("
+                         << val_slot_bytes_ << ")");
+  portion.push_back(std::move(kv));
+  ++total_emitted_;
+}
+
+std::int64_t GlobalKvStore::CountFor(int thread) const {
+  HD_CHECK(thread >= 0 && thread < num_threads_);
+  return static_cast<std::int64_t>(portions_[thread].size());
+}
+
+bool GlobalKvStore::Full(int thread) const {
+  return CountFor(thread) >= slots_per_thread_;
+}
+
+std::int64_t GlobalKvStore::max_count_per_thread() const {
+  std::int64_t m = 0;
+  for (const auto& p : portions_) {
+    m = std::max(m, static_cast<std::int64_t>(p.size()));
+  }
+  return m;
+}
+
+std::int64_t GlobalKvStore::UsedBoundingBoxSlots() const {
+  // Slots the sort must consider without aggregation: every thread's
+  // portion up to the maximum used count (the scattered-pairs bounding
+  // box). Over-allocation and emission skew both widen it.
+  return max_count_per_thread() * num_threads_;
+}
+
+std::int64_t GlobalKvStore::WhitespaceSlots() const {
+  return UsedBoundingBoxSlots() - total_emitted_;
+}
+
+void GlobalKvStore::ChargeAggregation(gpusim::KernelSim& kernel) const {
+  // Phase 1: parallel exclusive scan of the per-thread KV counts
+  // (work-efficient: ~2N shared-memory ops across N = num_threads_).
+  kernel.DistributeUnits(
+      2 * static_cast<std::int64_t>(num_threads_),
+      [&kernel](int b, int t, std::int64_t units) {
+        kernel.ChargeShared(b, t, units);
+        kernel.ChargeOp(b, t, minic::OpClass::kIntAlu, units);
+      });
+  // Phase 2: each real pair's indirection entry is read and rewritten
+  // (8 bytes, streaming).
+  kernel.DistributeUnits(
+      total_emitted(), [&kernel](int b, int t, std::int64_t moves) {
+        kernel.ChargeGlobalBytes(b, t, moves * 8, /*vectorized=*/true,
+                                 /*granule_bytes=*/moves * 8);
+        kernel.ChargeOp(b, t, minic::OpClass::kIntAlu, moves);
+      });
+}
+
+std::vector<KvPair> GlobalKvStore::TakeAll() {
+  std::vector<KvPair> out;
+  out.reserve(static_cast<std::size_t>(total_emitted_));
+  for (auto& p : portions_) {
+    for (auto& kv : p) out.push_back(std::move(kv));
+    p.clear();
+  }
+  total_emitted_ = 0;
+  return out;
+}
+
+}  // namespace hd::gpurt

@@ -1,0 +1,64 @@
+// The global KV store (§4.1/§4.3): a statically allocated device region in
+// which every map-kernel thread owns a contiguous portion of fixed-size
+// key/value slots. Threads that emit fewer pairs than their portion leave
+// whitespace — empty slots scattered between portions — which the
+// aggregation pass (parallel scan + index rewrite, §5.3) compacts away
+// before the intermediate sort.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "gpurt/kv.h"
+#include "gpusim/kernel.h"
+
+namespace hd::gpurt {
+
+class GlobalKvStore {
+ public:
+  GlobalKvStore(int num_threads, std::int64_t total_slots, int key_slot_bytes,
+                int val_slot_bytes);
+
+  int num_threads() const { return num_threads_; }
+  std::int64_t total_slots() const { return total_slots_; }
+  std::int64_t slots_per_thread() const { return slots_per_thread_; }
+  int key_slot_bytes() const { return key_slot_bytes_; }
+  int val_slot_bytes() const { return val_slot_bytes_; }
+  std::int64_t slot_bytes() const { return key_slot_bytes_ + val_slot_bytes_; }
+  std::int64_t store_bytes() const { return total_slots_ * slot_bytes(); }
+
+  // Appends a pair to `thread`'s portion. HD_CHECKs slot capacity and the
+  // declared slot widths (a key longer than its slot is a program bug the
+  // keylength clause should have prevented).
+  void Emit(int thread, KvPair kv);
+
+  std::int64_t CountFor(int thread) const;
+  bool Full(int thread) const;
+  std::int64_t total_emitted() const { return total_emitted_; }
+
+  // Empty slots inside the bounding box of used slots — what the sort
+  // would have to wade through without aggregation.
+  std::int64_t max_count_per_thread() const;
+  std::int64_t UsedBoundingBoxSlots() const;
+  std::int64_t WhitespaceSlots() const;
+
+  // Charges the aggregation pass: a work-efficient parallel scan over the
+  // per-thread counts plus one indirection-array rewrite per real pair.
+  void ChargeAggregation(gpusim::KernelSim& kernel) const;
+
+  // All pairs in thread order (the order the compacted indirection array
+  // yields). Leaves the store empty.
+  std::vector<KvPair> TakeAll();
+
+ private:
+  int num_threads_;
+  std::int64_t total_slots_;
+  std::int64_t slots_per_thread_;
+  int key_slot_bytes_;
+  int val_slot_bytes_;
+  std::vector<std::vector<KvPair>> portions_;
+  std::int64_t total_emitted_ = 0;
+};
+
+}  // namespace hd::gpurt

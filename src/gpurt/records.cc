@@ -1,0 +1,31 @@
+#include "gpurt/records.h"
+
+namespace hd::gpurt {
+
+std::vector<Record> LocateRecords(std::string_view data) {
+  std::vector<Record> out;
+  std::int64_t start = 0;
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(data.size()); ++i) {
+    if (data[i] == '\n') {
+      out.push_back(Record{start, i - start + 1});
+      start = i + 1;
+    }
+  }
+  if (start < static_cast<std::int64_t>(data.size())) {
+    out.push_back(
+        Record{start, static_cast<std::int64_t>(data.size()) - start});
+  }
+  return out;
+}
+
+void ChargeLocateKernel(gpusim::KernelSim& kernel, std::int64_t input_bytes) {
+  kernel.DistributeUnits(
+      input_bytes, [&kernel](int b, int t, std::int64_t bytes) {
+        // Contiguous chunk scan with vector loads.
+        kernel.ChargeGlobalBytes(b, t, bytes, /*vectorized=*/true,
+                                 /*granule_bytes=*/bytes);
+        kernel.ChargeOp(b, t, minic::OpClass::kIntAlu, (bytes + 3) / 4);
+      });
+}
+
+}  // namespace hd::gpurt

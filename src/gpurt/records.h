@@ -1,0 +1,29 @@
+// Record location: the runtime kernel that pre-determines the records in an
+// input fileSplit (§5.2), enabling record stealing in the map kernel.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/kernel.h"
+
+namespace hd::gpurt {
+
+struct Record {
+  std::int64_t offset = 0;
+  // Length including the record terminator ('\n'), matching what getline
+  // reports on the CPU path.
+  std::int64_t length = 0;
+};
+
+// Finds newline-delimited records in the buffer. A trailing record without
+// a final newline is still a record (its stored length counts only its
+// bytes).
+std::vector<Record> LocateRecords(std::string_view data);
+
+// Charges the record-counting kernel: every byte of the input is scanned
+// once with vectorised loads, spread across the launched lanes.
+void ChargeLocateKernel(gpusim::KernelSim& kernel, std::int64_t input_bytes);
+
+}  // namespace hd::gpurt

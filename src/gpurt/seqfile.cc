@@ -1,0 +1,152 @@
+#include "gpurt/seqfile.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace hd::gpurt {
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'S', '1'};
+constexpr std::uint32_t kSyncMarker = 0x53594E43;  // "SYNC"
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = CrcTable()[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+SeqFileWriter::SeqFileWriter(int sync_interval)
+    : sync_interval_(sync_interval) {
+  HD_CHECK(sync_interval > 0);
+  buf_.append(kMagic, sizeof kMagic);
+}
+
+void SeqFileWriter::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_ += static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void SeqFileWriter::PutBytes(const std::string& s) {
+  PutU32(static_cast<std::uint32_t>(s.size()));
+  buf_ += s;
+}
+
+void SeqFileWriter::Append(const KvPair& kv) {
+  HD_CHECK_MSG(!finished_, "Append after Finish");
+  if (records_ > 0 && records_ % sync_interval_ == 0) {
+    PutU32(kSyncMarker);
+  }
+  PutBytes(kv.key);
+  PutBytes(kv.value);
+  ++records_;
+}
+
+void SeqFileWriter::Append(const std::vector<KvPair>& pairs) {
+  for (const auto& kv : pairs) Append(kv);
+}
+
+std::string SeqFileWriter::Finish() {
+  HD_CHECK_MSG(!finished_, "double Finish");
+  finished_ = true;
+  PutU32(kSyncMarker);
+  PutU32(static_cast<std::uint32_t>(records_));
+  PutU32(Crc32(buf_.data(), buf_.size()));
+  return std::move(buf_);
+}
+
+SeqFileReader::SeqFileReader(std::string bytes) : bytes_(std::move(bytes)) {
+  if (bytes_.size() < sizeof kMagic + 12 ||
+      bytes_.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    throw SeqFileError("not a HeteroDoop sequence file");
+  }
+  // Validate trailer CRC over everything before it.
+  const std::size_t crc_pos = bytes_.size() - 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(
+                  static_cast<unsigned char>(bytes_[crc_pos + i]))
+              << (8 * i);
+  }
+  if (Crc32(bytes_.data(), crc_pos) != stored) {
+    throw SeqFileError("sequence file CRC mismatch");
+  }
+  // Record count sits just before the CRC.
+  std::uint32_t count = 0;
+  for (int i = 0; i < 4; ++i) {
+    count |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[crc_pos - 4 + i]))
+             << (8 * i);
+  }
+  expected_records_ = count;
+  pos_ = sizeof kMagic;
+}
+
+std::uint32_t SeqFileReader::GetU32() {
+  if (pos_ + 4 > bytes_.size()) throw SeqFileError("truncated sequence file");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::string SeqFileReader::GetBytes(std::uint32_t len) {
+  if (pos_ + len > bytes_.size()) throw SeqFileError("truncated record");
+  std::string s = bytes_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+bool SeqFileReader::Next(KvPair* kv) {
+  if (records_ == expected_records_) return false;
+  std::uint32_t len = GetU32();
+  while (len == 0x53594E43u) {  // sync marker; keys this long cannot occur
+    len = GetU32();
+  }
+  if (len > bytes_.size()) throw SeqFileError("implausible key length");
+  kv->key = GetBytes(len);
+  kv->value = GetBytes(GetU32());
+  ++records_;
+  return true;
+}
+
+std::string WriteSeqFile(const std::vector<KvPair>& pairs) {
+  SeqFileWriter w;
+  w.Append(pairs);
+  return w.Finish();
+}
+
+std::vector<KvPair> ReadSeqFile(const std::string& bytes) {
+  SeqFileReader r(bytes);
+  std::vector<KvPair> out;
+  KvPair kv;
+  while (r.Next(&kv)) out.push_back(kv);
+  return out;
+}
+
+}  // namespace hd::gpurt

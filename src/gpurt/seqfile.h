@@ -1,0 +1,74 @@
+// SequenceFile-style binary KV container (§5.2): the GPU driver writes its
+// map+combine output to local disk "in a Hadoop-compatible binary format
+// (SequenceFileFormat)". This is a faithful *framing* implementation — a
+// magic header, length-prefixed key/value records, periodic sync markers,
+// and a CRC32 per block — not Hadoop's exact on-disk bytes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpurt/kv.h"
+
+namespace hd::gpurt {
+
+class SeqFileError : public std::runtime_error {
+ public:
+  explicit SeqFileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// CRC-32 (IEEE 802.3, reflected) over a byte range.
+std::uint32_t Crc32(const void* data, std::size_t len);
+
+class SeqFileWriter {
+ public:
+  // `sync_interval` records between sync markers (Hadoop uses ~bytes; a
+  // record count keeps the format simple).
+  explicit SeqFileWriter(int sync_interval = 64);
+
+  void Append(const KvPair& kv);
+  void Append(const std::vector<KvPair>& pairs);
+
+  // Finalises the trailer (record count + whole-file CRC) and returns the
+  // serialised bytes.
+  std::string Finish();
+
+  std::int64_t records_written() const { return records_; }
+
+ private:
+  void PutU32(std::uint32_t v);
+  void PutBytes(const std::string& s);
+
+  int sync_interval_;
+  std::int64_t records_ = 0;
+  std::string buf_;
+  bool finished_ = false;
+};
+
+// Streaming reader over SeqFileWriter output; verifies framing and CRC.
+class SeqFileReader {
+ public:
+  explicit SeqFileReader(std::string bytes);
+
+  // Returns false at end of data. Throws SeqFileError on corruption.
+  bool Next(KvPair* kv);
+
+  std::int64_t records_read() const { return records_; }
+
+ private:
+  std::uint32_t GetU32();
+  std::string GetBytes(std::uint32_t len);
+
+  std::string bytes_;
+  std::size_t pos_ = 0;
+  std::int64_t records_ = 0;
+  std::int64_t expected_records_ = -1;
+};
+
+// Convenience: full round trips.
+std::string WriteSeqFile(const std::vector<KvPair>& pairs);
+std::vector<KvPair> ReadSeqFile(const std::string& bytes);
+
+}  // namespace hd::gpurt

@@ -1,0 +1,35 @@
+// Intermediate sort (§5.3): indirection-based GPU merge sort.
+//
+// The paper modifies the Satish/Harris/Garland merge sort to sort an
+// indirection array instead of the variable-length KV pairs themselves,
+// avoiding large data movement in device memory. Functionally we sort
+// indices with a stable bytewise key comparison; the cost model charges
+// log2(n) merge passes, each reading every considered slot's key through
+// the indirection array and writing back a 4-byte index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpurt/kv.h"
+#include "gpusim/kernel.h"
+
+namespace hd::gpurt {
+
+// Stable, bytewise-key sort of `pairs` in place (the functional result).
+void SortPairsByKey(std::vector<KvPair>* pairs);
+
+// Charges the merge-sort kernel for sorting `sort_elements` pairs with keys
+// of `key_slot_bytes`. `vectorized` selects char4 key loads.
+//
+// When the KV pairs were aggregated first (`compacted` = true) the merge
+// passes stream densely packed slots. Without compaction the pairs sit
+// scattered across the per-thread portions of the global KV store: the
+// merge needs `extra_global_passes` more levels (the address space is
+// log2(whitespace-spread) times wider) and its key loads are random
+// rather than streaming — the sort inefficiency Fig. 7e quantifies.
+void ChargeSortKernel(gpusim::KernelSim& kernel, std::int64_t sort_elements,
+                      int key_slot_bytes, bool vectorized,
+                      bool compacted = true, int extra_global_passes = 0);
+
+}  // namespace hd::gpurt

@@ -1,0 +1,60 @@
+// Result of one map(+combine) task, common to the CPU and GPU paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpurt/kv.h"
+
+namespace hd::gpurt {
+
+// Per-phase modeled seconds (the Fig. 6 breakdown). Phases that a path does
+// not run stay zero (e.g. record_count on the CPU path).
+struct PhaseBreakdown {
+  double input_read = 0.0;
+  double record_count = 0.0;
+  double map = 0.0;
+  double aggregate = 0.0;
+  double sort = 0.0;
+  double combine = 0.0;
+  double output_write = 0.0;
+
+  double Total() const {
+    return input_read + record_count + map + aggregate + sort + combine +
+           output_write;
+  }
+};
+
+struct TaskStats {
+  std::int64_t records = 0;
+  std::int64_t map_kv_pairs = 0;
+  std::int64_t out_kv_pairs = 0;
+  std::int64_t allocated_slots = 0;
+  std::int64_t whitespace_slots = 0;
+  std::int64_t sort_elements = 0;
+  std::int64_t texture_hits = 0;
+  std::int64_t texture_misses = 0;
+  std::int64_t shared_atomics = 0;
+  std::int64_t global_atomics = 0;
+  // Map-kernel roofline terms (modeled cycles), for diagnostics/ablations.
+  double map_compute_cycles = 0.0;
+  double map_mem_cycles = 0.0;
+  std::int64_t output_bytes = 0;
+};
+
+struct MapTaskResult {
+  // Post map(+combine) pairs, one vector per reduce partition; pairs within
+  // a partition are key-grouped. For map-only jobs there is exactly one
+  // partition holding the final output.
+  std::vector<std::vector<KvPair>> partitions;
+  PhaseBreakdown phases;
+  TaskStats stats;
+
+  std::int64_t TotalPairs() const {
+    std::int64_t n = 0;
+    for (const auto& p : partitions) n += static_cast<std::int64_t>(p.size());
+    return n;
+  }
+};
+
+}  // namespace hd::gpurt

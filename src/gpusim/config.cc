@@ -1,0 +1,49 @@
+#include "gpusim/config.h"
+
+namespace hd::gpusim {
+
+DeviceConfig DeviceConfig::TeslaK40() {
+  DeviceConfig c;
+  c.name = "Tesla K40 (Kepler)";
+  c.num_sms = 15;
+  c.max_resident_warps = 64;
+  c.core_clock_ghz = 0.745;
+  c.global_mem_bytes = 12LL << 30;
+  c.dram_bytes_per_cycle = 380.0;  // ~288 GB/s at 745 MHz
+  c.texture_cache_lines = 384;     // 48 KiB read-only cache per SM
+  return c;
+}
+
+DeviceConfig DeviceConfig::TeslaM2090() {
+  DeviceConfig c;
+  c.name = "Tesla M2090 (Fermi)";
+  c.num_sms = 16;
+  c.max_resident_warps = 48;
+  c.core_clock_ghz = 0.65;
+  c.global_mem_bytes = 6LL << 30;
+  c.dram_bytes_per_cycle = 270.0;  // ~177 GB/s at 650 MHz
+  c.texture_cache_lines = 96;      // 12 KiB texture cache per SM
+  c.cycles_special = 6.0;  // Fermi SFU
+  c.atomic_global = 500.0;         // Fermi atomics are slower
+  c.pcie_bytes_per_sec = 4.0e9;
+  return c;
+}
+
+CpuConfig CpuConfig::XeonE5_2680() {
+  CpuConfig c;
+  c.name = "Intel Xeon E5-2680 v2";
+  c.clock_ghz = 2.8;
+  return c;
+}
+
+CpuConfig CpuConfig::XeonX5560() {
+  CpuConfig c;
+  c.name = "Intel Xeon X5560";
+  c.clock_ghz = 2.8;
+  c.cycles_int_alu = 0.5;
+  c.cycles_float_alu = 0.7;
+  c.cycles_mem = 1.6;
+  return c;
+}
+
+}  // namespace hd::gpusim

@@ -1,0 +1,45 @@
+// CPU-side timing hooks: models one core running a Hadoop Streaming filter.
+#pragma once
+
+#include "gpusim/config.h"
+#include "minic/hooks.h"
+
+namespace hd::gpusim {
+
+// Accumulates modeled seconds for a single-core CPU execution of the
+// interpreted program (the paper's baseline Hadoop map/combine task body).
+class CpuTimingHooks : public minic::ExecHooks {
+ public:
+  explicit CpuTimingHooks(const CpuConfig& config) : config_(config) {}
+
+  void OnOp(minic::OpClass op, std::int64_t count) override {
+    double per;
+    switch (op) {
+      case minic::OpClass::kIntAlu: per = config_.cycles_int_alu; break;
+      case minic::OpClass::kIntMul: per = config_.cycles_int_mul; break;
+      case minic::OpClass::kIntDiv: per = config_.cycles_int_div; break;
+      case minic::OpClass::kFloatAlu: per = config_.cycles_float_alu; break;
+      case minic::OpClass::kFloatDiv: per = config_.cycles_float_div; break;
+      case minic::OpClass::kSpecial: per = config_.cycles_special; break;
+      case minic::OpClass::kBranch: per = config_.cycles_branch; break;
+      case minic::OpClass::kCall: per = config_.cycles_call; break;
+      default: per = 1.0; break;
+    }
+    cycles_ += per * static_cast<double>(count);
+  }
+
+  void OnMemAccess(const minic::MemObject&, std::int64_t,
+                   std::int64_t elem_count, bool, bool) override {
+    cycles_ += config_.cycles_mem * static_cast<double>(elem_count);
+  }
+
+  double cycles() const { return cycles_; }
+  double seconds() const { return cycles_ / (config_.clock_ghz * 1e9); }
+  void Reset() { cycles_ = 0.0; }
+
+ private:
+  const CpuConfig& config_;
+  double cycles_ = 0.0;
+};
+
+}  // namespace hd::gpusim

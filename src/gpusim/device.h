@@ -1,0 +1,77 @@
+// The simulated GPU device: bounded non-virtual memory plus host-link and
+// clock conversions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+#include "gpusim/config.h"
+
+namespace hd::gpusim {
+
+// Thrown when a device allocation exceeds the remaining global memory —
+// GPUs have no virtual memory (§2.1), so this is a hard failure the runtime
+// must design around (and the reason KM cannot run on Cluster2, §7.3).
+class DeviceOomError : public std::runtime_error {
+ public:
+  explicit DeviceOomError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class GpuDevice {
+ public:
+  explicit GpuDevice(DeviceConfig config) : config_(std::move(config)) {}
+
+  const DeviceConfig& config() const { return config_; }
+
+  // Reserves `bytes` of device global memory; returns an allocation handle.
+  std::int64_t Malloc(std::int64_t bytes, const std::string& tag) {
+    HD_CHECK(bytes >= 0);
+    if (bytes > free_bytes()) {
+      throw DeviceOomError("device OOM allocating " + std::to_string(bytes) +
+                           " bytes for '" + tag + "' (free: " +
+                           std::to_string(free_bytes()) + ")");
+    }
+    const std::int64_t id = next_id_++;
+    allocations_[id] = bytes;
+    used_ += bytes;
+    return id;
+  }
+
+  void Free(std::int64_t id) {
+    auto it = allocations_.find(id);
+    HD_CHECK_MSG(it != allocations_.end(), "double free of allocation " << id);
+    used_ -= it->second;
+    allocations_.erase(it);
+  }
+
+  void FreeAll() {
+    allocations_.clear();
+    used_ = 0;
+  }
+
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t free_bytes() const {
+    return config_.global_mem_bytes - used_;
+  }
+
+  // PCIe transfer time for `bytes` (either direction).
+  double TransferSeconds(std::int64_t bytes) const {
+    return static_cast<double>(bytes) / config_.pcie_bytes_per_sec;
+  }
+
+  double CyclesToSeconds(double cycles) const {
+    return cycles / (config_.core_clock_ghz * 1e9);
+  }
+
+ private:
+  DeviceConfig config_;
+  std::map<std::int64_t, std::int64_t> allocations_;
+  std::int64_t next_id_ = 1;
+  std::int64_t used_ = 0;
+};
+
+}  // namespace hd::gpusim

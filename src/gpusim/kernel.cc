@@ -1,0 +1,257 @@
+#include "gpusim/kernel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hd::gpusim {
+
+using minic::MemSpace;
+using minic::OpClass;
+
+KernelSim::KernelSim(const DeviceConfig& config, int num_blocks,
+                     int threads_per_block, std::string name)
+    : config_(config),
+      num_blocks_(num_blocks),
+      threads_per_block_(threads_per_block),
+      name_(std::move(name)) {
+  HD_CHECK(num_blocks > 0);
+  HD_CHECK(threads_per_block > 0);
+  lanes_.resize(static_cast<std::size_t>(num_blocks) * threads_per_block);
+  hooks_.resize(lanes_.size());
+  texture_caches_.reserve(config_.num_sms);
+  for (int i = 0; i < config_.num_sms; ++i) {
+    texture_caches_.emplace_back(config_.texture_cache_lines,
+                                 config_.mem_line_bytes);
+  }
+}
+
+LaneStats& KernelSim::Lane(int block, int lane) {
+  HD_CHECK(block >= 0 && block < num_blocks_);
+  HD_CHECK(lane >= 0 && lane < threads_per_block_);
+  return lanes_[static_cast<std::size_t>(block) * threads_per_block_ + lane];
+}
+
+minic::ExecHooks& KernelSim::Hooks(int block, int lane) {
+  auto& slot =
+      hooks_[static_cast<std::size_t>(block) * threads_per_block_ + lane];
+  if (!slot) slot = std::make_unique<LaneHooks>(this, block, lane);
+  return *slot;
+}
+
+void KernelSim::ChargeOp(int block, int lane, OpClass op, std::int64_t count) {
+  double per;
+  switch (op) {
+    case OpClass::kIntAlu: per = config_.cycles_int_alu; break;
+    case OpClass::kIntMul: per = config_.cycles_int_mul; break;
+    case OpClass::kIntDiv: per = config_.cycles_int_div; break;
+    case OpClass::kFloatAlu: per = config_.cycles_float_alu; break;
+    case OpClass::kFloatDiv: per = config_.cycles_float_div; break;
+    case OpClass::kSpecial: per = config_.cycles_special; break;
+    case OpClass::kBranch: per = config_.cycles_branch; break;
+    case OpClass::kCall: per = config_.cycles_call; break;
+    default: per = 1.0; break;
+  }
+  Lane(block, lane).compute_cycles += per * static_cast<double>(count);
+}
+
+void KernelSim::ChargeSharedAtomic(int block, int lane) {
+  Lane(block, lane).mem_cycles += config_.atomic_shared;
+  ++shared_atomics_;
+}
+
+void KernelSim::ChargeGlobalAtomic(int block, int lane) {
+  Lane(block, lane).mem_cycles += config_.atomic_global;
+  ++global_atomics_;
+}
+
+void KernelSim::ChargeGlobalAccess(int block, int lane, const void* obj_id,
+                                   std::int64_t byte_offset,
+                                   std::int64_t bytes, bool vectorizable) {
+  if (bytes <= 0) return;
+  LaneStats& s = Lane(block, lane);
+  const bool vec = vectorizable && vectorization_enabled_;
+  const std::int64_t line_bytes = config_.mem_line_bytes;
+  const std::int64_t first = byte_offset / line_bytes;
+  const std::int64_t last = (byte_offset + bytes - 1) / line_bytes;
+  // Every access issues at least L1-hit latency; lines beyond the lane's
+  // most recent one additionally pay the DRAM miss.
+  const std::int64_t accesses =
+      vec ? (bytes + config_.vector_width_bytes - 1) /
+                config_.vector_width_bytes
+          : bytes;
+  s.mem_cycles += static_cast<double>(accesses) * config_.l1_latency;
+  s.compute_cycles += static_cast<double>(accesses) * config_.cycles_mem_issue;
+  for (std::int64_t line = first; line <= last; ++line) {
+    if (s.TouchLine(obj_id, line)) continue;  // hit
+    s.mem_cycles += config_.global_latency - config_.l1_latency;
+    ++s.transactions;
+    s.bytes_moved += line_bytes;
+  }
+}
+
+void KernelSim::ChargeGlobalBytes(int block, int lane, std::int64_t bytes,
+                                  bool vectorized, std::int64_t granule_bytes) {
+  if (bytes <= 0) return;
+  LaneStats& s = Lane(block, lane);
+  const bool vec = vectorized && vectorization_enabled_;
+  if (granule_bytes <= 0) granule_bytes = bytes;
+  const std::int64_t line_bytes = config_.mem_line_bytes;
+  // Each granule-sized run starts at an unrelated address: one DRAM miss
+  // per line it spans; accesses within a line hit on chip.
+  const std::int64_t runs = (bytes + granule_bytes - 1) / granule_bytes;
+  const std::int64_t lines_per_run =
+      (granule_bytes + line_bytes - 1) / line_bytes;
+  const std::int64_t misses = runs * lines_per_run;
+  const std::int64_t accesses =
+      vec ? (bytes + config_.vector_width_bytes - 1) /
+                config_.vector_width_bytes
+          : bytes;
+  s.mem_cycles += static_cast<double>(accesses) * config_.l1_latency +
+                  static_cast<double>(misses) *
+                      (config_.global_latency - config_.l1_latency);
+  s.compute_cycles += static_cast<double>(accesses) * config_.cycles_mem_issue;
+  s.transactions += misses;
+  s.bytes_moved += misses * line_bytes;
+  // A bulk stream displaces the lane's tracked lines.
+  s.DropLines();
+}
+
+void KernelSim::DistributeUnits(
+    std::int64_t total_units,
+    const std::function<void(int block, int lane, std::int64_t units)>& fn) {
+  if (total_units <= 0) return;
+  const std::int64_t lanes_total =
+      static_cast<std::int64_t>(num_blocks_) * threads_per_block_;
+  const std::int64_t base = total_units / lanes_total;
+  const std::int64_t extra = total_units % lanes_total;
+  std::int64_t i = 0;
+  for (int b = 0; b < num_blocks_; ++b) {
+    for (int t = 0; t < threads_per_block_; ++t, ++i) {
+      const std::int64_t units = base + (i < extra ? 1 : 0);
+      if (units > 0) fn(b, t, units);
+    }
+  }
+}
+
+void KernelSim::ChargeTexture(int block, int lane, const void* obj_id,
+                              std::int64_t byte_offset, std::int64_t bytes) {
+  if (bytes <= 0) return;
+  const int sm = block % config_.num_sms;
+  const int misses = texture_caches_[sm].Access(obj_id, byte_offset, bytes);
+  const std::int64_t lines =
+      (byte_offset + bytes - 1) / config_.mem_line_bytes -
+      byte_offset / config_.mem_line_bytes + 1;
+  LaneStats& s = Lane(block, lane);
+  s.mem_cycles += misses * config_.global_latency +
+                  static_cast<double>(lines - misses) *
+                      config_.texture_hit_latency;
+  s.compute_cycles += static_cast<double>(lines) * config_.cycles_mem_issue;
+  s.transactions += lines;
+  s.bytes_moved += static_cast<std::int64_t>(misses) * config_.mem_line_bytes;
+}
+
+void KernelSim::ChargeShared(int block, int lane, std::int64_t accesses) {
+  LaneStats& s = Lane(block, lane);
+  s.mem_cycles += static_cast<double>(accesses) * config_.shared_latency;
+  s.compute_cycles +=
+      static_cast<double>(accesses) * config_.cycles_mem_issue;
+}
+
+void LaneHooks::OnOp(OpClass op, std::int64_t count) {
+  kernel_->ChargeOp(block_, lane_, op, count);
+}
+
+void LaneHooks::OnMemAccess(const minic::MemObject& obj, std::int64_t index,
+                            std::int64_t elem_count, bool is_write,
+                            bool vectorizable) {
+  const std::int64_t bytes = elem_count * obj.elem_bytes();
+  switch (obj.space()) {
+    case MemSpace::kDeviceLocal:
+      // Private scalars/arrays compile to registers or L1-resident local
+      // memory: charge pipeline cost only.
+      kernel_->Lane(block_, lane_).compute_cycles +=
+          static_cast<double>(elem_count);
+      return;
+    case MemSpace::kDeviceShared:
+      kernel_->ChargeShared(block_, lane_, elem_count);
+      return;
+    case MemSpace::kDeviceConstant:
+      kernel_->Lane(block_, lane_).mem_cycles +=
+          kernel_->config_.constant_latency;
+      return;
+    case MemSpace::kDeviceTexture:
+      HD_CHECK_MSG(!is_write, "write to texture memory object '"
+                                  << obj.name() << "'");
+      kernel_->ChargeTexture(block_, lane_, &obj, index * obj.elem_bytes(),
+                             bytes);
+      return;
+    case MemSpace::kDeviceGlobal:
+      kernel_->ChargeGlobalAccess(block_, lane_, &obj,
+                                  index * obj.elem_bytes(), bytes,
+                                  vectorizable);
+      return;
+    case MemSpace::kHost:
+      HD_CHECK_MSG(false, "GPU kernel '" << kernel_->name()
+                                         << "' touched host object '"
+                                         << obj.name() << "'");
+  }
+}
+
+KernelReport KernelSim::Finish() const {
+  KernelReport r;
+  const int warp = config_.warp_size;
+  const int warps_per_block = (threads_per_block_ + warp - 1) / warp;
+  std::vector<double> sm_cycles(config_.num_sms, 0.0);
+  // Per-SM accumulation: an SM issues its resident warps' instructions
+  // back-to-back (compute sums), overlaps memory latency across all warps
+  // assigned to it (up to the residency limit), and cannot finish before
+  // its slowest single lane (SIMD straggler).
+  std::vector<double> sm_compute(config_.num_sms, 0.0);
+  std::vector<double> sm_mem(config_.num_sms, 0.0);
+  std::vector<double> sm_critical(config_.num_sms, 0.0);
+  std::vector<int> sm_warps(config_.num_sms, 0);
+  for (int b = 0; b < num_blocks_; ++b) {
+    const int sm = b % config_.num_sms;
+    for (int w = 0; w < warps_per_block; ++w) {
+      double warp_max_compute = 0.0;
+      for (int t = w * warp; t < std::min((w + 1) * warp, threads_per_block_);
+           ++t) {
+        const LaneStats& s =
+            lanes_[static_cast<std::size_t>(b) * threads_per_block_ + t];
+        warp_max_compute = std::max(warp_max_compute, s.compute_cycles);
+        sm_mem[sm] += s.mem_cycles;
+        sm_critical[sm] =
+            std::max(sm_critical[sm], s.compute_cycles + s.mem_cycles);
+        r.transactions += s.transactions;
+        r.bytes_moved += s.bytes_moved;
+      }
+      sm_compute[sm] += warp_max_compute;
+      r.compute_cycles += warp_max_compute;
+    }
+    sm_warps[sm] += warps_per_block;
+  }
+  for (int sm = 0; sm < config_.num_sms; ++sm) {
+    r.mem_cycles += sm_mem[sm];
+    const double hiding = std::max(
+        1, std::min(sm_warps[sm], config_.max_resident_warps));
+    sm_cycles[sm] =
+        std::max({sm_compute[sm], sm_mem[sm] / hiding, sm_critical[sm]});
+  }
+  double device_cycles = *std::max_element(sm_cycles.begin(), sm_cycles.end());
+  // Device-wide DRAM bandwidth roof.
+  device_cycles = std::max(
+      device_cycles,
+      static_cast<double>(r.bytes_moved) / config_.dram_bytes_per_cycle);
+  r.elapsed_sec = config_.launch_overhead_sec +
+                  device_cycles / (config_.core_clock_ghz * 1e9);
+  for (const auto& cache : texture_caches_) {
+    r.texture_hits += cache.hits();
+    r.texture_misses += cache.misses();
+  }
+  r.shared_atomics = shared_atomics_;
+  r.global_atomics = global_atomics_;
+  return r;
+}
+
+}  // namespace hd::gpusim

@@ -1,0 +1,155 @@
+// Kernel execution timing: per-lane operation accounting rolled up into a
+// roofline-style device time.
+//
+// Functional execution happens lane-by-lane in the embedding runtime (one
+// mini-C interpreter run per simulated thread). Each lane's hooks accumulate
+// compute cycles and memory-latency cycles; KernelSim then models:
+//   * warp SIMD lockstep: a warp's compute time is the max over its lanes
+//     (load imbalance across records — what record stealing attacks),
+//   * latency hiding: memory latency is overlapped across the block's warps
+//     up to the device's resident-warp limit,
+//   * DRAM bandwidth: a device-wide roof on total bytes moved,
+//   * SM scheduling: blocks round-robin over SMs; the kernel finishes when
+//     the busiest SM does.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/config.h"
+#include "gpusim/texture_cache.h"
+#include "minic/hooks.h"
+
+namespace hd::gpusim {
+
+struct LaneStats {
+  double compute_cycles = 0.0;
+  double mem_cycles = 0.0;
+  std::int64_t transactions = 0;
+  std::int64_t bytes_moved = 0;
+  // Recently touched 128-byte lines (a tiny per-lane L1 image): sequential
+  // parsing of a record re-hits its current line until it crosses a line
+  // boundary, and interleaved streams (KV slot + index array) do not
+  // thrash each other.
+  static constexpr int kLineSlots = 4;
+  std::array<std::pair<const void*, std::int64_t>, kLineSlots> lines{};
+  int next_line_slot = 0;
+
+  bool TouchLine(const void* obj, std::int64_t line) {
+    for (auto& [o, l] : lines) {
+      if (o == obj && l == line) return true;
+    }
+    lines[static_cast<std::size_t>(next_line_slot)] = {obj, line};
+    next_line_slot = (next_line_slot + 1) % kLineSlots;
+    return false;
+  }
+  void DropLines() {
+    lines.fill({nullptr, -1});
+  }
+};
+
+struct KernelReport {
+  double elapsed_sec = 0.0;
+  double compute_cycles = 0.0;   // sum of warp-max compute
+  double mem_cycles = 0.0;       // sum of lane memory latency
+  std::int64_t transactions = 0;
+  std::int64_t bytes_moved = 0;
+  std::int64_t texture_hits = 0;
+  std::int64_t texture_misses = 0;
+  std::int64_t shared_atomics = 0;
+  std::int64_t global_atomics = 0;
+};
+
+class KernelSim;
+
+// minic::ExecHooks adapter for one simulated GPU thread.
+class LaneHooks : public minic::ExecHooks {
+ public:
+  LaneHooks(KernelSim* kernel, int block, int lane)
+      : kernel_(kernel), block_(block), lane_(lane) {}
+
+  void OnOp(minic::OpClass op, std::int64_t count) override;
+  void OnMemAccess(const minic::MemObject& obj, std::int64_t index,
+                   std::int64_t elem_count, bool is_write,
+                   bool vectorizable) override;
+
+ private:
+  KernelSim* kernel_;
+  int block_;
+  int lane_;
+};
+
+class KernelSim {
+ public:
+  KernelSim(const DeviceConfig& config, int num_blocks, int threads_per_block,
+            std::string name);
+
+  const std::string& name() const { return name_; }
+  int num_blocks() const { return num_blocks_; }
+  int threads_per_block() const { return threads_per_block_; }
+
+  // Disables the vector-data-type optimisation (§4.1) for this kernel:
+  // accesses marked vectorizable are charged as scalar accesses instead.
+  // Used by the Fig. 7b/7c ablations.
+  void set_vectorization_enabled(bool on) { vectorization_enabled_ = on; }
+  bool vectorization_enabled() const { return vectorization_enabled_; }
+
+  // Hooks object for thread `lane` of `block` (stable for kernel lifetime).
+  minic::ExecHooks& Hooks(int block, int lane);
+
+  // Direct charges used by runtime primitives.
+  void ChargeOp(int block, int lane, minic::OpClass op, std::int64_t count);
+  void ChargeSharedAtomic(int block, int lane);
+  void ChargeGlobalAtomic(int block, int lane);
+
+  // A global-memory access at a known location: `obj_id` identifies the
+  // buffer, `byte_offset`/`bytes` the touched range. Accesses within the
+  // lane's most recent 128-byte line hit on chip (L1); crossing lines pay
+  // DRAM latency. Vectorizable accesses issue one instruction per
+  // vector_width_bytes, scalar ones one per byte-element.
+  void ChargeGlobalAccess(int block, int lane, const void* obj_id,
+                          std::int64_t byte_offset, std::int64_t bytes,
+                          bool vectorizable);
+
+  // A bulk global-memory stream without a tracked location (sort key loads
+  // through the indirection array, combine chunk streams, copies).
+  // `granule_bytes` is the contiguous run length — each run starts at an
+  // unrelated address and pays one DRAM miss, the rest of the run hits.
+  void ChargeGlobalBytes(int block, int lane, std::int64_t bytes,
+                         bool vectorized, std::int64_t granule_bytes = 0);
+
+  // Splits `total_units` of kernel-wide work over the lanes (lane 0 first);
+  // lanes beyond the available work receive nothing.
+  void DistributeUnits(std::int64_t total_units,
+                       const std::function<void(int block, int lane,
+                                                std::int64_t units)>& fn);
+  // Texture-path access for a given object range.
+  void ChargeTexture(int block, int lane, const void* obj_id,
+                     std::int64_t byte_offset, std::int64_t bytes);
+  void ChargeShared(int block, int lane, std::int64_t accesses);
+
+  LaneStats& Lane(int block, int lane);
+
+  // Rolls the lane stats up into the kernel elapsed time.
+  KernelReport Finish() const;
+
+ private:
+  friend class LaneHooks;
+
+  const DeviceConfig& config_;
+  int num_blocks_;
+  int threads_per_block_;
+  std::string name_;
+  std::vector<LaneStats> lanes_;                // [block * tpb + lane]
+  std::vector<std::unique_ptr<LaneHooks>> hooks_;
+  std::vector<TextureCacheSim> texture_caches_;  // one per SM
+  bool vectorization_enabled_ = true;
+  std::int64_t shared_atomics_ = 0;
+  std::int64_t global_atomics_ = 0;
+};
+
+}  // namespace hd::gpusim

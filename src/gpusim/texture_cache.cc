@@ -1,0 +1,45 @@
+#include "gpusim/texture_cache.h"
+
+namespace hd::gpusim {
+
+bool TextureCacheSim::Touch(const Key& k) {
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  lru_.push_front(k);
+  map_[k] = lru_.begin();
+  if (static_cast<int>(lru_.size()) > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+int TextureCacheSim::Access(const void* obj_id, std::int64_t byte_offset,
+                            std::int64_t bytes) {
+  HD_CHECK(byte_offset >= 0);
+  HD_CHECK(bytes > 0);
+  const std::int64_t first = byte_offset / line_bytes_;
+  const std::int64_t last = (byte_offset + bytes - 1) / line_bytes_;
+  int miss_count = 0;
+  for (std::int64_t line = first; line <= last; ++line) {
+    if (Touch(Key{obj_id, line})) {
+      ++hits_;
+    } else {
+      ++misses_;
+      ++miss_count;
+    }
+  }
+  return miss_count;
+}
+
+void TextureCacheSim::Reset() {
+  lru_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace hd::gpusim

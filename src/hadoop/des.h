@@ -1,0 +1,59 @@
+// Minimal discrete-event simulation core for the cluster engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hd::hadoop {
+
+// A deterministic event queue: ties in time break by insertion order.
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void At(double time, Fn fn) {
+    HD_CHECK_MSG(time >= now_, "event scheduled in the past");
+    heap_.push(Event{time, seq_++, std::move(fn)});
+  }
+
+  void After(double delay, Fn fn) { At(now_ + delay, std::move(fn)); }
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  // Runs one event; returns false when the queue is empty.
+  bool Step() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  // Drains the queue.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Fn fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace hd::hadoop

@@ -1,0 +1,150 @@
+#include "hadoop/functional_source.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "gpurt/sort.h"
+
+namespace hd::hadoop {
+
+FunctionalTaskSource::FunctionalTaskSource(const gpurt::JobProgram& job,
+                                           const hdfs::Hdfs& fs,
+                                           std::string input_path,
+                                           Options options)
+    : job_(job),
+      fs_(&fs),
+      input_path_(std::move(input_path)),
+      opts_(std::move(options)),
+      device_(opts_.device) {
+  HD_CHECK_MSG(fs.HasContent(input_path_),
+               "functional source needs content-backed splits");
+}
+
+FunctionalTaskSource::FunctionalTaskSource(const gpurt::JobProgram& job,
+                                           std::vector<std::string> splits,
+                                           Options options)
+    : job_(job),
+      splits_(std::move(splits)),
+      opts_(std::move(options)),
+      device_(opts_.device) {}
+
+int FunctionalTaskSource::num_map_tasks() const {
+  return fs_ != nullptr ? fs_->NumSplits(input_path_)
+                        : static_cast<int>(splits_.size());
+}
+
+const std::string& FunctionalTaskSource::SplitContent(int idx) const {
+  if (fs_ != nullptr) return fs_->SplitContent(input_path_, idx);
+  HD_CHECK(idx >= 0 && idx < static_cast<int>(splits_.size()));
+  return splits_[static_cast<std::size_t>(idx)];
+}
+
+MapTaskTiming FunctionalTaskSource::MapTask(int idx, bool on_gpu) {
+  const std::string& split = SplitContent(idx);
+  gpurt::MapTaskResult result;
+  if (on_gpu) {
+    gpurt::GpuTaskOptions gopts = opts_.gpu;
+    gopts.num_reducers = opts_.num_reducers;
+    gopts.io = opts_.io;
+    try {
+      result = gpurt::GpuMapTask(job_, &device_, gopts).Run(split);
+    } catch (const gpusim::DeviceOomError& e) {
+      throw GpuTaskFailure(e.what());
+    }
+  } else {
+    gpurt::CpuTaskOptions copts;
+    copts.num_reducers = opts_.num_reducers;
+    copts.io = opts_.io;
+    result = gpurt::CpuMapTask(job_, opts_.cpu, copts).Run(split);
+  }
+  MapTaskTiming timing;
+  timing.seconds = result.phases.Total();
+  timing.output_bytes = result.stats.output_bytes;
+  map_results_[idx] = std::move(result);
+  return timing;
+}
+
+const gpurt::MapTaskResult& FunctionalTaskSource::TaskResult(int idx) const {
+  auto it = map_results_.find(idx);
+  HD_CHECK_MSG(it != map_results_.end(), "task " << idx << " never ran");
+  return it->second;
+}
+
+void FunctionalTaskSource::EnsureReduced() {
+  if (reduced_) return;
+  HD_CHECK_MSG(static_cast<int>(map_results_.size()) == num_map_tasks(),
+               "reduce phase requested before all maps completed");
+  const int reducers = num_reducers();
+  reduce_outputs_.assign(static_cast<std::size_t>(std::max(1, reducers)), {});
+  reduce_seconds_.assign(reduce_outputs_.size(), 0.0);
+  if (reducers == 0) {
+    // Map-only: output is the concatenation of every task's single
+    // partition, in task order.
+    for (const auto& [idx, result] : map_results_) {
+      auto& out = reduce_outputs_[0];
+      out.insert(out.end(), result.partitions[0].begin(),
+                 result.partitions[0].end());
+    }
+    reduced_ = true;
+    return;
+  }
+  for (int r = 0; r < reducers; ++r) {
+    // Merge this reducer's partition from every map task, then sort — the
+    // reduce-side sort phase (§2.2).
+    std::vector<gpurt::KvPair> merged;
+    for (const auto& [idx, result] : map_results_) {
+      const auto& part = result.partitions[static_cast<std::size_t>(r)];
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    gpurt::SortPairsByKey(&merged);
+    double seconds = 0.0;
+    // Merge cost: n log2(waves) comparisons on key bytes.
+    const double n = static_cast<double>(merged.size());
+    if (n > 1) {
+      double key_bytes = 0.0;
+      for (const auto& kv : merged) {
+        key_bytes += static_cast<double>(kv.key.size());
+      }
+      key_bytes /= n;
+      const double per_cmp = key_bytes * (opts_.cpu.cycles_mem +
+                                          opts_.cpu.cycles_int_alu) +
+                             4 * opts_.cpu.cycles_branch;
+      seconds += n * std::ceil(std::log2(n)) * per_cmp /
+                 (opts_.cpu.clock_ghz * 1e9);
+    }
+    auto& out = reduce_outputs_[static_cast<std::size_t>(r)];
+    if (job_.reduce != nullptr) {
+      gpurt::ReduceResult rr = gpurt::RunReduce(*job_.reduce, merged, opts_.cpu);
+      out = std::move(rr.output);
+      seconds += rr.seconds;
+    } else {
+      out = std::move(merged);
+    }
+    std::int64_t out_bytes = 0;
+    for (const auto& kv : out) {
+      out_bytes += static_cast<std::int64_t>(kv.key.size() +
+                                             kv.value.size() + 2);
+    }
+    seconds += opts_.io.HdfsWriteSeconds(static_cast<double>(out_bytes));
+    reduce_seconds_[static_cast<std::size_t>(r)] = seconds;
+  }
+  reduced_ = true;
+}
+
+double FunctionalTaskSource::ReduceSeconds(int reducer) {
+  EnsureReduced();
+  HD_CHECK(reducer >= 0 &&
+           reducer < static_cast<int>(reduce_seconds_.size()));
+  return reduce_seconds_[static_cast<std::size_t>(reducer)];
+}
+
+std::vector<gpurt::KvPair> FunctionalTaskSource::FinalOutput() {
+  EnsureReduced();
+  std::vector<gpurt::KvPair> out;
+  for (const auto& part : reduce_outputs_) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace hd::hadoop

@@ -1,0 +1,65 @@
+// TaskTimeSource that actually executes every task through the gpurt
+// CPU/GPU paths, yielding both modeled durations and the job's real output.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpurt/cpu_task.h"
+#include "gpurt/gpu_task.h"
+#include "gpurt/job_program.h"
+#include "gpusim/device.h"
+#include "hadoop/task_source.h"
+#include "hdfs/hdfs.h"
+
+namespace hd::hadoop {
+
+class FunctionalTaskSource : public TaskTimeSource {
+ public:
+  struct Options {
+    gpusim::DeviceConfig device = gpusim::DeviceConfig::TeslaK40();
+    gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+    gpurt::GpuTaskOptions gpu;  // num_reducers is overridden
+    gpurt::IoConfig io;
+    int num_reducers = 1;  // <= 0 selects map-only
+  };
+
+  // Splits come either from an HDFS file (content-backed) ...
+  FunctionalTaskSource(const gpurt::JobProgram& job, const hdfs::Hdfs& fs,
+                       std::string input_path, Options options);
+  // ... or directly from memory.
+  FunctionalTaskSource(const gpurt::JobProgram& job,
+                       std::vector<std::string> splits, Options options);
+
+  int num_map_tasks() const override;
+  int num_reducers() const override {
+    return std::max(0, opts_.num_reducers);
+  }
+
+  MapTaskTiming MapTask(int idx, bool on_gpu) override;
+  double ReduceSeconds(int reducer) override;
+  std::vector<gpurt::KvPair> FinalOutput() override;
+
+  // Latest attempt's result for a task (tests inspect phases).
+  const gpurt::MapTaskResult& TaskResult(int idx) const;
+
+ private:
+  const std::string& SplitContent(int idx) const;
+  void EnsureReduced();
+
+  const gpurt::JobProgram& job_;
+  const hdfs::Hdfs* fs_ = nullptr;
+  std::string input_path_;
+  std::vector<std::string> splits_;  // when not HDFS-backed
+  Options opts_;
+  gpusim::GpuDevice device_;
+
+  std::map<int, gpurt::MapTaskResult> map_results_;
+  bool reduced_ = false;
+  std::vector<std::vector<gpurt::KvPair>> reduce_outputs_;
+  std::vector<double> reduce_seconds_;
+};
+
+}  // namespace hd::hadoop

@@ -1,0 +1,107 @@
+// Task execution/timing sources for the cluster engine.
+//
+// The engine is agnostic to how task durations arise:
+//   * FunctionalTaskSource (functional_source.h) actually executes every
+//     task through the gpurt CPU/GPU paths — used by tests and examples on
+//     small inputs, giving end-to-end output correctness plus timing;
+//   * CalibratedTaskSource replays representative measured durations with
+//     deterministic per-task variation — used by the cluster-scale Fig. 4
+//     benches, where Table 2's thousands of multi-hundred-MB splits cannot
+//     be materialised.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "gpurt/kv.h"
+
+namespace hd::hadoop {
+
+// A map attempt failed on the GPU (device OOM, driver error). The engine
+// reschedules the task — §5.1's fault-tolerance path.
+class GpuTaskFailure : public std::runtime_error {
+ public:
+  explicit GpuTaskFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct MapTaskTiming {
+  double seconds = 0.0;
+  std::int64_t output_bytes = 0;
+};
+
+class TaskTimeSource {
+ public:
+  virtual ~TaskTimeSource() = default;
+
+  virtual int num_map_tasks() const = 0;
+  virtual int num_reducers() const = 0;
+
+  // Runs (or estimates) map task `idx` on a CPU core or a GPU. Throws
+  // GpuTaskFailure when on_gpu and the task cannot run there.
+  virtual MapTaskTiming MapTask(int idx, bool on_gpu) = 0;
+
+  // Compute seconds of reduce task `reducer` (merge + reduce function +
+  // output write), excluding the shuffle which the engine models from
+  // output bytes. Only called after every map task has completed.
+  virtual double ReduceSeconds(int reducer) = 0;
+
+  // Final job output (functional sources only; empty otherwise).
+  virtual std::vector<gpurt::KvPair> FinalOutput() { return {}; }
+};
+
+// Replays representative task durations with deterministic log-normal-ish
+// per-task variation.
+class CalibratedTaskSource : public TaskTimeSource {
+ public:
+  struct Params {
+    int num_maps = 1;
+    int num_reducers = 1;
+    double cpu_task_sec = 1.0;
+    double gpu_task_sec = 1.0;
+    // Relative per-task spread (paper reports <5% run-to-run variation but
+    // record-size skew across splits is larger).
+    double variation = 0.10;
+    std::int64_t map_output_bytes = 1 << 20;
+    double reduce_sec = 1.0;
+    // False models a job whose GPU tasks always fail (kmeans exceeds the
+    // M2090's memory on Cluster2, §7.3).
+    bool gpu_supported = true;
+    std::uint64_t seed = 1;
+  };
+
+  explicit CalibratedTaskSource(Params p) : p_(p) {
+    HD_CHECK(p_.num_maps >= 1);
+    HD_CHECK(p_.cpu_task_sec > 0);
+    HD_CHECK(p_.gpu_task_sec > 0);
+  }
+
+  int num_map_tasks() const override { return p_.num_maps; }
+  int num_reducers() const override { return p_.num_reducers; }
+
+  MapTaskTiming MapTask(int idx, bool on_gpu) override {
+    if (on_gpu && !p_.gpu_supported) {
+      throw GpuTaskFailure("job unsupported on GPU (device memory)");
+    }
+    const double base = on_gpu ? p_.gpu_task_sec : p_.cpu_task_sec;
+    // Same per-task factor on both paths: the skew comes from the split,
+    // not from the processor.
+    Prng prng(SplitMix64(p_.seed) ^ static_cast<std::uint64_t>(idx));
+    const double factor = 1.0 + p_.variation * prng.NextGaussian();
+    MapTaskTiming t;
+    t.seconds = base * std::max(0.2, factor);
+    t.output_bytes = p_.map_output_bytes;
+    return t;
+  }
+
+  double ReduceSeconds(int) override { return p_.reduce_sec; }
+
+ private:
+  Params p_;
+};
+
+}  // namespace hd::hadoop

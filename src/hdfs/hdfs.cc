@@ -1,0 +1,128 @@
+#include "hdfs/hdfs.h"
+
+#include <algorithm>
+
+namespace hd::hdfs {
+
+Hdfs::Hdfs(int num_datanodes, HdfsConfig config, std::uint64_t placement_seed)
+    : num_datanodes_(num_datanodes),
+      config_(config),
+      prng_(placement_seed),
+      usage_(static_cast<std::size_t>(num_datanodes), 0) {
+  HD_CHECK(num_datanodes > 0);
+  HD_CHECK(config_.replication >= 1);
+  HD_CHECK_MSG(config_.replication <= num_datanodes,
+               "replication factor exceeds cluster size");
+}
+
+std::vector<int> Hdfs::PlaceReplicas() {
+  // Primary replica round-robins over DataNodes (writer-local placement in
+  // real HDFS; round-robin spreads load for generated inputs). Secondary
+  // replicas land on distinct random nodes.
+  std::vector<int> replicas;
+  replicas.push_back(next_node_);
+  next_node_ = (next_node_ + 1) % num_datanodes_;
+  while (static_cast<int>(replicas.size()) < config_.replication) {
+    const int candidate =
+        static_cast<int>(prng_.NextBounded(static_cast<std::uint64_t>(num_datanodes_)));
+    if (std::find(replicas.begin(), replicas.end(), candidate) ==
+        replicas.end()) {
+      replicas.push_back(candidate);
+    }
+  }
+  return replicas;
+}
+
+void Hdfs::PutFile(const std::string& path, std::vector<std::string> splits) {
+  HD_CHECK_MSG(!files_.count(path), "file '" << path << "' already exists");
+  File f;
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    SplitInfo s;
+    s.path = path;
+    s.index = static_cast<int>(i);
+    s.bytes = static_cast<std::int64_t>(splits[i].size());
+    HD_CHECK_MSG(s.bytes <= config_.block_size,
+                 "split " << i << " exceeds the HDFS block size");
+    s.replicas = PlaceReplicas();
+    for (int r : s.replicas) usage_[r] += s.bytes;
+    f.splits.push_back(std::move(s));
+  }
+  f.contents = std::move(splits);
+  files_.emplace(path, std::move(f));
+}
+
+void Hdfs::PutSyntheticFile(const std::string& path, int num_splits,
+                            std::int64_t bytes_per_split) {
+  HD_CHECK_MSG(!files_.count(path), "file '" << path << "' already exists");
+  HD_CHECK(num_splits >= 0);
+  HD_CHECK_MSG(bytes_per_split <= config_.block_size,
+               "split size exceeds the HDFS block size");
+  File f;
+  for (int i = 0; i < num_splits; ++i) {
+    SplitInfo s;
+    s.path = path;
+    s.index = i;
+    s.bytes = bytes_per_split;
+    s.replicas = PlaceReplicas();
+    for (int r : s.replicas) usage_[r] += s.bytes;
+    f.splits.push_back(std::move(s));
+  }
+  files_.emplace(path, std::move(f));
+}
+
+bool Hdfs::Exists(const std::string& path) const { return files_.count(path); }
+
+void Hdfs::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  HD_CHECK_MSG(it != files_.end(), "no such file '" << path << "'");
+  for (const auto& s : it->second.splits) {
+    for (int r : s.replicas) usage_[r] -= s.bytes;
+  }
+  files_.erase(it);
+}
+
+const Hdfs::File& Hdfs::GetFile(const std::string& path) const {
+  auto it = files_.find(path);
+  HD_CHECK_MSG(it != files_.end(), "no such file '" << path << "'");
+  return it->second;
+}
+
+int Hdfs::NumSplits(const std::string& path) const {
+  return static_cast<int>(GetFile(path).splits.size());
+}
+
+const SplitInfo& Hdfs::Split(const std::string& path, int index) const {
+  const File& f = GetFile(path);
+  HD_CHECK(index >= 0 && index < static_cast<int>(f.splits.size()));
+  return f.splits[static_cast<std::size_t>(index)];
+}
+
+std::vector<SplitInfo> Hdfs::Splits(const std::string& path) const {
+  return GetFile(path).splits;
+}
+
+bool Hdfs::HasContent(const std::string& path) const {
+  return !GetFile(path).contents.empty();
+}
+
+const std::string& Hdfs::SplitContent(const std::string& path,
+                                      int index) const {
+  const File& f = GetFile(path);
+  HD_CHECK_MSG(!f.contents.empty(),
+               "file '" << path << "' is synthetic (no content)");
+  HD_CHECK(index >= 0 && index < static_cast<int>(f.contents.size()));
+  return f.contents[static_cast<std::size_t>(index)];
+}
+
+std::int64_t Hdfs::NodeUsage(int node) const {
+  HD_CHECK(node >= 0 && node < num_datanodes_);
+  return usage_[static_cast<std::size_t>(node)];
+}
+
+std::int64_t Hdfs::TotalBytes(const std::string& path) const {
+  std::int64_t total = 0;
+  for (const auto& s : GetFile(path).splits) total += s.bytes;
+  return total;
+}
+
+}  // namespace hd::hdfs

@@ -1,0 +1,88 @@
+// Simulated HDFS (§2.2): files stored as fixed-size blocks (fileSplits)
+// replicated across DataNodes. The JobTracker queries block locations to
+// schedule data-local map tasks; non-local tasks pay a network read.
+//
+// Two storage modes coexist:
+//   * content-backed files (PutFile) hold real split text for functional
+//     cluster runs,
+//   * synthetic files (PutSyntheticFile) record only split sizes, for the
+//     cluster-scale calibrated experiments (Table 2's 7632-split inputs
+//     need no materialised bytes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace hd::hdfs {
+
+struct HdfsConfig {
+  std::int64_t block_size = 256LL << 20;  // Table 3: 256 MB
+  int replication = 3;                    // Table 3 (Cluster1); 1 on Cluster2
+};
+
+struct SplitInfo {
+  std::string path;
+  int index = 0;
+  std::int64_t bytes = 0;
+  std::vector<int> replicas;  // DataNode ids
+  bool IsLocalTo(int node) const {
+    for (int r : replicas) {
+      if (r == node) return true;
+    }
+    return false;
+  }
+};
+
+class Hdfs {
+ public:
+  Hdfs(int num_datanodes, HdfsConfig config, std::uint64_t placement_seed = 7);
+
+  int num_datanodes() const { return num_datanodes_; }
+  const HdfsConfig& config() const { return config_; }
+
+  // Stores a content-backed file; each element is one fileSplit. Split
+  // sizes must respect the block size.
+  void PutFile(const std::string& path, std::vector<std::string> splits);
+
+  // Stores a metadata-only file of `num_splits` splits of `bytes_per_split`.
+  void PutSyntheticFile(const std::string& path, int num_splits,
+                        std::int64_t bytes_per_split);
+
+  bool Exists(const std::string& path) const;
+  void Delete(const std::string& path);
+
+  int NumSplits(const std::string& path) const;
+  const SplitInfo& Split(const std::string& path, int index) const;
+  std::vector<SplitInfo> Splits(const std::string& path) const;
+
+  // Content of a content-backed split; HD_CHECKs on synthetic files.
+  const std::string& SplitContent(const std::string& path, int index) const;
+  bool HasContent(const std::string& path) const;
+
+  // Bytes stored per DataNode (replicas counted).
+  std::int64_t NodeUsage(int node) const;
+  std::int64_t TotalBytes(const std::string& path) const;
+
+ private:
+  struct File {
+    std::vector<SplitInfo> splits;
+    std::vector<std::string> contents;  // empty for synthetic files
+  };
+
+  std::vector<int> PlaceReplicas();
+  const File& GetFile(const std::string& path) const;
+
+  int num_datanodes_;
+  HdfsConfig config_;
+  Prng prng_;
+  int next_node_ = 0;  // round-robin primary placement
+  std::map<std::string, File> files_;
+  std::vector<std::int64_t> usage_;
+};
+
+}  // namespace hd::hdfs

@@ -1,0 +1,169 @@
+// Abstract syntax tree for the mini-C dialect.
+//
+// The tree is owned top-down through std::unique_ptr. The interpreter and
+// translator walk it read-only; the translator additionally records per-node
+// annotations (e.g. rewritten builtin calls) in side tables keyed by node
+// pointers, so the AST itself stays immutable after parsing.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/types.h"
+
+namespace hd::minic {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// Directives (Table 1 of the paper).
+// ---------------------------------------------------------------------------
+
+// A parsed `#pragma mapreduce ...` directive. Clause arguments are kept as
+// raw identifier/number strings; the translator resolves them against the
+// symbol table.
+struct Directive {
+  enum class Kind { kMapper, kCombiner };
+  Kind kind = Kind::kMapper;
+  // clause name -> argument list (in source order).
+  std::map<std::string, std::vector<std::string>> clauses;
+  int line = 0;
+
+  bool Has(const std::string& clause) const { return clauses.count(clause); }
+  // Single-argument accessor; checks arity.
+  const std::string& Arg(const std::string& clause) const;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions.
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kVarRef,
+  kIndex,     // base[index]
+  kUnary,     // -x, !x, ~x, *p, &x, ++x, --x, x++, x--
+  kBinary,
+  kAssign,    // =, +=, -=, *=, /=, %=
+  kCall,
+  kCast,
+  kTernary,
+  kSizeof,
+};
+
+enum class UnOp { kNeg, kNot, kBitNot, kDeref, kAddrOf, kPreInc, kPreDec,
+                  kPostInc, kPostDec };
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMod, kLt, kLe, kGt, kGe, kEq,
+                   kNe, kAnd, kOr, kBitAnd, kBitOr, kBitXor, kShl, kShr };
+enum class AssignOp { kAssign, kAdd, kSub, kMul, kDiv, kMod };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // Literals.
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string string_value;  // kStringLit; kVarRef name; kCall callee
+
+  // Operators.
+  UnOp un_op{};
+  BinOp bin_op{};
+  AssignOp assign_op{};
+
+  // Children (meaning depends on kind):
+  //   kIndex:   a = base, b = index
+  //   kUnary:   a = operand
+  //   kBinary:  a, b
+  //   kAssign:  a = lhs, b = rhs
+  //   kTernary: a = cond, b = then, c = else
+  //   kCast:    a = operand (cast_type below)
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;  // kCall arguments
+  Type cast_type;             // kCast / kSizeof
+
+  explicit Expr(ExprKind k, int ln) : kind(k), line(ln) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kExpr,
+  kDecl,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+};
+
+// One declarator within a declaration statement, e.g. `char word[30]` or
+// `char *line = ...`.
+struct Declarator {
+  std::string name;
+  Type type;
+  ExprPtr init;  // may be null
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;                 // kExpr, kReturn (nullable), conditions
+  std::vector<Declarator> decls;  // kDecl
+  StmtPtr then_stmt, else_stmt;   // kIf
+  StmtPtr body;                   // loops
+  // kFor: init_stmt (decl or expr stmt, nullable), expr = condition
+  // (nullable), step (nullable).
+  StmtPtr init_stmt;
+  ExprPtr step;
+  std::vector<StmtPtr> stmts;     // kBlock
+
+  // A HeteroDoop directive attached to this statement (while loop or block),
+  // or null. Owned here.
+  std::unique_ptr<Directive> directive;
+
+  explicit Stmt(StmtKind k, int ln) : kind(k), line(ln) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations / translation unit.
+// ---------------------------------------------------------------------------
+
+struct Param {
+  std::string name;
+  Type type;
+};
+
+struct FunctionDef {
+  std::string name;
+  Type return_type;
+  std::vector<Param> params;
+  StmtPtr body;
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<std::unique_ptr<FunctionDef>> functions;
+
+  const FunctionDef* FindFunction(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f->name == name) return f.get();
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hd::minic

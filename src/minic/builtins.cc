@@ -1,0 +1,293 @@
+// Default builtin set for the mini-C interpreter: the subset of libc the
+// HeteroDoop benchmarks use. GPU execution overrides the stdio entries
+// (getline/scanf/printf) with runtime equivalents, exactly as the paper's
+// translator swaps them for getRecord/getKV/emitKV/storeKV.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "minic/interp.h"
+
+namespace hd::minic {
+namespace {
+
+// Number of conversions applied, or -1 (EOF) if input ran out before the
+// first conversion — matching C scanf.
+Value ScanfImpl(Interp& in, const std::vector<Value>& args) {
+  if (args.empty()) throw InterpError("scanf: missing format");
+  const std::string fmt = in.ReadString(args[0]);
+  std::size_t ai = 1;
+  int converted = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') continue;  // literal whitespace/chars: token split
+    ++i;
+    while (i < fmt.size() && (fmt[i] == 'l' || fmt[i] == 'h')) ++i;
+    if (i >= fmt.size()) throw InterpError("scanf: malformed format");
+    const char conv = fmt[i];
+    std::string tok;
+    if (!in.io().NextToken(&tok)) {
+      return Value::Int(converted == 0 ? -1 : converted);
+    }
+    if (ai >= args.size()) throw InterpError("scanf: too few arguments");
+    const Value& dst = args[ai++];
+    switch (conv) {
+      case 's':
+        in.WriteString(dst, tok);
+        break;
+      case 'd': case 'i': {
+        Ptr p = in.RequirePtr(dst, "scanf %d");
+        in.StoreThroughPtr(p, Value::Int(std::strtoll(tok.c_str(), nullptr, 10)));
+        break;
+      }
+      case 'f': case 'e': case 'g': {
+        Ptr p = in.RequirePtr(dst, "scanf %f");
+        in.StoreThroughPtr(p, Value::Float(std::strtod(tok.c_str(), nullptr)));
+        break;
+      }
+      case 'c': {
+        Ptr p = in.RequirePtr(dst, "scanf %c");
+        in.StoreThroughPtr(p, Value::Int(tok.empty() ? 0 : tok[0]));
+        break;
+      }
+      default:
+        throw InterpError(std::string("scanf: unsupported conversion %") + conv);
+    }
+    ++converted;
+  }
+  return Value::Int(converted);
+}
+
+Value GetlineImpl(Interp& in, const std::vector<Value>& args) {
+  if (args.size() < 2) throw InterpError("getline: needs (&line, &n, stdin)");
+  Ptr line_cell = in.RequirePtr(args[0], "getline line pointer");
+  HD_CHECK_MSG(line_cell.obj->is_ptr_cell(),
+               "getline: first argument must be a char** (got data pointer)");
+  std::string rec;
+  if (!in.io().NextLine(&rec)) return Value::Int(-1);
+  Ptr buf = line_cell.obj->LoadPtr(line_cell.index);
+  const auto needed = static_cast<std::int64_t>(rec.size()) + 1;
+  if (buf.IsNull()) {
+    MemObject* obj =
+        in.memory().Alloc("getline_buf", Scalar::kChar, needed, in.default_space());
+    buf = Ptr{obj, 0};
+    line_cell.obj->StorePtr(line_cell.index, buf);
+  } else if (buf.obj->size() - buf.index < needed) {
+    // realloc semantics: grow the underlying object.
+    buf.obj->Resize(buf.index + needed);
+  }
+  // Update *n if provided.
+  if (args.size() >= 3 && args[1].kind == Value::Kind::kPtr &&
+      !args[1].p.IsNull()) {
+    in.StoreThroughPtr(args[1].p, Value::Int(buf.obj->size() - buf.index));
+  }
+  buf.obj->WriteCString(buf.index, rec);
+  in.hooks().OnMemAccess(*buf.obj, buf.index, needed, /*is_write=*/true,
+                         /*vectorizable=*/true);
+  return Value::Int(static_cast<std::int64_t>(rec.size()));
+}
+
+Value PrintfImpl(Interp& in, const std::vector<Value>& args) {
+  if (args.empty()) throw InterpError("printf: missing format");
+  const std::string fmt = in.ReadString(args[0]);
+  std::string out = in.Format(fmt, args, 1);
+  in.io().Write(out);
+  return Value::Int(static_cast<std::int64_t>(out.size()));
+}
+
+Value SprintfImpl(Interp& in, const std::vector<Value>& args) {
+  if (args.size() < 2) throw InterpError("sprintf: needs (buf, fmt, ...)");
+  const std::string fmt = in.ReadString(args[1]);
+  std::string out = in.Format(fmt, args, 2);
+  in.WriteString(args[0], out);
+  return Value::Int(static_cast<std::int64_t>(out.size()));
+}
+
+// Reads chars of `v` (which must point into a char object) until NUL,
+// charging a single vectorizable scan.
+std::string ReadStr(Interp& in, const Value& v, const char* what) {
+  Ptr p = in.RequirePtr(v, what);
+  std::string s = p.obj->ReadCString(p.index);
+  in.hooks().OnMemAccess(*p.obj, p.index,
+                         static_cast<std::int64_t>(s.size()) + 1,
+                         /*is_write=*/false, /*vectorizable=*/true);
+  return s;
+}
+
+void RegisterString(Interp& interp) {
+  interp.OverrideBuiltin("strlen", [](Interp& in, const std::vector<Value>& a) {
+    std::string s = ReadStr(in, a.at(0), "strlen");
+    in.hooks().OnOp(OpClass::kIntAlu, static_cast<std::int64_t>(s.size()));
+    return Value::Int(static_cast<std::int64_t>(s.size()));
+  });
+  interp.OverrideBuiltin("strcmp", [](Interp& in, const std::vector<Value>& a) {
+    std::string x = ReadStr(in, a.at(0), "strcmp");
+    std::string y = ReadStr(in, a.at(1), "strcmp");
+    in.hooks().OnOp(OpClass::kIntAlu,
+                    static_cast<std::int64_t>(std::min(x.size(), y.size()) + 1));
+    const int c = std::strcmp(x.c_str(), y.c_str());
+    return Value::Int(c < 0 ? -1 : c > 0 ? 1 : 0);
+  });
+  interp.OverrideBuiltin("strncmp", [](Interp& in, const std::vector<Value>& a) {
+    std::string x = ReadStr(in, a.at(0), "strncmp");
+    std::string y = ReadStr(in, a.at(1), "strncmp");
+    const auto n = static_cast<std::size_t>(a.at(2).AsInt());
+    in.hooks().OnOp(OpClass::kIntAlu, static_cast<std::int64_t>(n));
+    const int c = std::strncmp(x.c_str(), y.c_str(), n);
+    return Value::Int(c < 0 ? -1 : c > 0 ? 1 : 0);
+  });
+  interp.OverrideBuiltin("strcpy", [](Interp& in, const std::vector<Value>& a) {
+    std::string s = ReadStr(in, a.at(1), "strcpy src");
+    in.WriteString(a.at(0), s);
+    return a.at(0);
+  });
+  interp.OverrideBuiltin("strncpy", [](Interp& in, const std::vector<Value>& a) {
+    std::string s = ReadStr(in, a.at(1), "strncpy src");
+    const auto n = static_cast<std::size_t>(a.at(2).AsInt());
+    if (s.size() > n) s.resize(n);
+    in.WriteString(a.at(0), s);
+    return a.at(0);
+  });
+  interp.OverrideBuiltin("strcat", [](Interp& in, const std::vector<Value>& a) {
+    std::string d = ReadStr(in, a.at(0), "strcat dst");
+    std::string s = ReadStr(in, a.at(1), "strcat src");
+    in.WriteString(a.at(0), d + s);
+    return a.at(0);
+  });
+  interp.OverrideBuiltin("strstr", [](Interp& in, const std::vector<Value>& a) {
+    Ptr hay = in.RequirePtr(a.at(0), "strstr");
+    std::string h = ReadStr(in, a.at(0), "strstr hay");
+    std::string n = ReadStr(in, a.at(1), "strstr needle");
+    in.hooks().OnOp(OpClass::kIntAlu,
+                    static_cast<std::int64_t>(h.size() + n.size()));
+    std::size_t pos = h.find(n);
+    if (pos == std::string::npos) return Value::Null();
+    return Value::Pointer(Ptr{hay.obj, hay.index + static_cast<std::int64_t>(pos)});
+  });
+  interp.OverrideBuiltin("memset", [](Interp& in, const std::vector<Value>& a) {
+    Ptr p = in.RequirePtr(a.at(0), "memset");
+    const std::int64_t v = a.at(1).AsInt();
+    const std::int64_t n = a.at(2).AsInt();
+    for (std::int64_t i = 0; i < n; ++i) p.obj->StoreInt(p.index + i, v);
+    in.hooks().OnMemAccess(*p.obj, p.index, n, /*is_write=*/true,
+                           /*vectorizable=*/true);
+    return a.at(0);
+  });
+}
+
+void RegisterMath(Interp& interp) {
+  auto unary = [&interp](const char* name, double (*fn)(double),
+                         OpClass op) {
+    interp.OverrideBuiltin(name, [fn, op](Interp& in,
+                                          const std::vector<Value>& a) {
+      in.hooks().OnOp(op);
+      return Value::Float(fn(a.at(0).AsFloat()));
+    });
+  };
+  unary("sqrt", std::sqrt, OpClass::kSpecial);
+  unary("exp", std::exp, OpClass::kSpecial);
+  unary("log", std::log, OpClass::kSpecial);
+  unary("log10", std::log10, OpClass::kSpecial);
+  unary("erf", std::erf, OpClass::kSpecial);
+  unary("sin", std::sin, OpClass::kSpecial);
+  unary("cos", std::cos, OpClass::kSpecial);
+  unary("fabs", std::fabs, OpClass::kFloatAlu);
+  unary("floor", std::floor, OpClass::kFloatAlu);
+  unary("ceil", std::ceil, OpClass::kFloatAlu);
+  interp.OverrideBuiltin("pow", [](Interp& in, const std::vector<Value>& a) {
+    in.hooks().OnOp(OpClass::kSpecial);
+    return Value::Float(std::pow(a.at(0).AsFloat(), a.at(1).AsFloat()));
+  });
+  interp.OverrideBuiltin("fmax", [](Interp& in, const std::vector<Value>& a) {
+    in.hooks().OnOp(OpClass::kFloatAlu);
+    return Value::Float(std::fmax(a.at(0).AsFloat(), a.at(1).AsFloat()));
+  });
+  interp.OverrideBuiltin("fmin", [](Interp& in, const std::vector<Value>& a) {
+    in.hooks().OnOp(OpClass::kFloatAlu);
+    return Value::Float(std::fmin(a.at(0).AsFloat(), a.at(1).AsFloat()));
+  });
+  interp.OverrideBuiltin("abs", [](Interp& in, const std::vector<Value>& a) {
+    in.hooks().OnOp(OpClass::kIntAlu);
+    return Value::Int(std::llabs(a.at(0).AsInt()));
+  });
+}
+
+void RegisterCtype(Interp& interp) {
+  auto pred = [&interp](const char* name, int (*fn)(int)) {
+    interp.OverrideBuiltin(name, [fn](Interp& in,
+                                      const std::vector<Value>& a) {
+      in.hooks().OnOp(OpClass::kIntAlu);
+      const int c = static_cast<int>(a.at(0).AsInt()) & 0xFF;
+      return Value::Int(fn(c) ? 1 : 0);
+    });
+  };
+  pred("isspace", std::isspace);
+  pred("isalpha", std::isalpha);
+  pred("isdigit", std::isdigit);
+  pred("isalnum", std::isalnum);
+  interp.OverrideBuiltin("tolower", [](Interp& in, const std::vector<Value>& a) {
+    in.hooks().OnOp(OpClass::kIntAlu);
+    return Value::Int(std::tolower(static_cast<int>(a.at(0).AsInt()) & 0xFF));
+  });
+  interp.OverrideBuiltin("toupper", [](Interp& in, const std::vector<Value>& a) {
+    in.hooks().OnOp(OpClass::kIntAlu);
+    return Value::Int(std::toupper(static_cast<int>(a.at(0).AsInt()) & 0xFF));
+  });
+}
+
+void RegisterStdlib(Interp& interp) {
+  interp.OverrideBuiltin("malloc", [](Interp& in, const std::vector<Value>& a) {
+    const std::int64_t n = a.at(0).AsInt();
+    if (n < 0) throw InterpError("malloc: negative size");
+    MemObject* obj =
+        in.memory().Alloc("malloc", Scalar::kChar, n, in.default_space());
+    return Value::Pointer(Ptr{obj, 0});
+  });
+  interp.OverrideBuiltin("free", [](Interp& in, const std::vector<Value>& a) {
+    (void)in;
+    if (a.at(0).kind == Value::Kind::kPtr && !a.at(0).p.IsNull()) {
+      a.at(0).p.obj->MarkFreed();
+    }
+    return Value::Int(0);
+  });
+  interp.OverrideBuiltin("atoi", [](Interp& in, const std::vector<Value>& a) {
+    std::string s = ReadStr(in, a.at(0), "atoi");
+    in.hooks().OnOp(OpClass::kIntAlu, static_cast<std::int64_t>(s.size()) + 1);
+    return Value::Int(std::strtoll(s.c_str(), nullptr, 10));
+  });
+  interp.OverrideBuiltin("atof", [](Interp& in, const std::vector<Value>& a) {
+    std::string s = ReadStr(in, a.at(0), "atof");
+    in.hooks().OnOp(OpClass::kIntAlu, static_cast<std::int64_t>(s.size()) + 1);
+    return Value::Float(std::strtod(s.c_str(), nullptr));
+  });
+  interp.OverrideBuiltin("exit", [](Interp& in,
+                                    const std::vector<Value>& a) -> Value {
+    (void)in;
+    throw InterpError("exit(" + std::to_string(a.at(0).AsInt()) + ") called");
+  });
+}
+
+}  // namespace
+
+void RegisterDefaultBuiltins(Interp& interp) {
+  interp.OverrideBuiltin("getline", GetlineImpl);
+  interp.OverrideBuiltin("scanf", ScanfImpl);
+  interp.OverrideBuiltin("printf", PrintfImpl);
+  interp.OverrideBuiltin("sprintf", SprintfImpl);
+  interp.OverrideBuiltin("fprintf", [](Interp& in,
+                                       const std::vector<Value>& a) {
+    // fprintf(stderr/stdout, fmt, ...) — stream argument ignored.
+    if (a.size() < 2) throw InterpError("fprintf: needs (stream, fmt, ...)");
+    const std::string fmt = in.ReadString(a[1]);
+    std::string out = in.Format(fmt, a, 2);
+    in.io().Write(out);
+    return Value::Int(static_cast<std::int64_t>(out.size()));
+  });
+  RegisterString(interp);
+  RegisterMath(interp);
+  RegisterCtype(interp);
+  RegisterStdlib(interp);
+}
+
+}  // namespace hd::minic

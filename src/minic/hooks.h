@@ -1,0 +1,71 @@
+// Execution hooks: the interpreter reports every operation it performs so
+// that the CPU and GPU cost models can charge time for it.
+//
+// The same functional execution drives both paths; only the hooks differ.
+// This mirrors the paper's single-source property: the "gcc path" and the
+// "nvcc path" run the same program with different backends.
+#pragma once
+
+#include <cstdint>
+
+#include "minic/value.h"
+
+namespace hd::minic {
+
+// Operation classes with distinct costs in the models.
+enum class OpClass : std::uint8_t {
+  kIntAlu,     // integer add/sub/logic/compare
+  kIntMul,
+  kIntDiv,
+  kFloatAlu,   // fp add/sub/mul/compare
+  kFloatDiv,   // fp divide
+  kSpecial,    // sqrt/exp/log/erf/pow — SFU-class operations
+  kBranch,
+  kCall,
+};
+
+// Receives one callback per abstract operation. `count` batches identical
+// ops (e.g. a memcpy of N elements is one call with elem_count == N so the
+// GPU model can coalesce/vectorise it).
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+
+  virtual void OnOp(OpClass /*op*/, std::int64_t /*count*/ = 1) {}
+
+  // A contiguous access of `elem_count` elements of `obj` starting at
+  // `index`. `vectorizable` marks accesses the translator may turn into
+  // char4-style vector loads (runtime-library copies of array keys/values).
+  virtual void OnMemAccess(const MemObject& /*obj*/, std::int64_t /*index*/,
+                           std::int64_t /*elem_count*/, bool /*is_write*/,
+                           bool /*vectorizable*/ = false) {}
+};
+
+// Counts operations without charging time; used by tests and by the CPU
+// cycle model.
+class CountingHooks : public ExecHooks {
+ public:
+  void OnOp(OpClass op, std::int64_t count = 1) override {
+    counts_[static_cast<int>(op)] += count;
+    total_ops_ += count;
+  }
+  void OnMemAccess(const MemObject&, std::int64_t, std::int64_t elem_count,
+                   bool is_write, bool) override {
+    (is_write ? mem_writes_ : mem_reads_) += elem_count;
+  }
+
+  std::int64_t count(OpClass op) const {
+    return counts_[static_cast<int>(op)];
+  }
+  std::int64_t total_ops() const { return total_ops_; }
+  std::int64_t mem_reads() const { return mem_reads_; }
+  std::int64_t mem_writes() const { return mem_writes_; }
+
+ private:
+  std::int64_t counts_[8] = {};
+  std::int64_t total_ops_ = 0;
+  std::int64_t mem_reads_ = 0;
+  std::int64_t mem_writes_ = 0;
+};
+
+}  // namespace hd::minic

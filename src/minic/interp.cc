@@ -1,0 +1,776 @@
+#include "minic/interp.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hd::minic {
+
+std::string MemObject::ReadCString(std::int64_t idx) const {
+  HD_CHECK_MSG(elem_ == Scalar::kChar && !is_ptr_cell_,
+               "ReadCString on non-char object '" << name_ << "'");
+  std::string out;
+  for (std::int64_t i = idx;; ++i) {
+    CheckIndex(i);
+    const char c = static_cast<char>(i_[i]);
+    if (c == '\0') break;
+    out += c;
+  }
+  return out;
+}
+
+void MemObject::WriteCString(std::int64_t idx, std::string_view s) {
+  HD_CHECK_MSG(elem_ == Scalar::kChar && !is_ptr_cell_,
+               "WriteCString on non-char object '" << name_ << "'");
+  CheckIndex(idx);
+  CheckIndex(idx + static_cast<std::int64_t>(s.size()));
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    i_[idx + static_cast<std::int64_t>(i)] = static_cast<signed char>(s[i]);
+  }
+  i_[idx + static_cast<std::int64_t>(s.size())] = 0;
+}
+
+Interp::Interp(const TranslationUnit& unit, IoEnv* io, ExecHooks* hooks,
+               Options opts)
+    : unit_(unit), io_(io), hooks_(hooks), opts_(opts) {
+  HD_CHECK(io_ != nullptr);
+  HD_CHECK(hooks_ != nullptr);
+  frames_.emplace_back();
+  frames_.back().scopes.emplace_back();
+  RegisterDefaultBuiltins(*this);
+}
+
+void Interp::OverrideBuiltin(const std::string& name, BuiltinFn fn) {
+  builtins_[name] = std::move(fn);
+}
+
+void Interp::Fail(int line, const std::string& msg) const {
+  std::ostringstream os;
+  os << "runtime error at line " << line << ": " << msg;
+  throw InterpError(os.str());
+}
+
+void Interp::Step(int line) {
+  if (++steps_ > opts_.max_steps) {
+    Fail(line, "step limit exceeded (possible infinite loop)");
+  }
+}
+
+Interp::Binding* Interp::FindBinding(const std::string& name) {
+  auto& scopes = frames_.back().scopes;
+  for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+    auto f = it->find(name);
+    if (f != it->end()) return &f->second;
+  }
+  return nullptr;
+}
+
+const Interp::Binding* Interp::FindBinding(const std::string& name) const {
+  return const_cast<Interp*>(this)->FindBinding(name);
+}
+
+void Interp::PushScope() { frames_.back().scopes.emplace_back(); }
+
+void Interp::PopScope() {
+  HD_CHECK(frames_.back().scopes.size() > 1);
+  frames_.back().scopes.pop_back();
+}
+
+void Interp::Bind(const std::string& name, MemObject* obj, Type type) {
+  frames_.back().scopes.back()[name] = Binding{obj, type};
+}
+
+MemObject* Interp::Lookup(const std::string& name) const {
+  const Binding* b = FindBinding(name);
+  return b ? b->obj : nullptr;
+}
+
+void Interp::ExecRegion(const Stmt& stmt) {
+  Flow flow = ExecStmt(stmt);
+  if (flow == Flow::kBreak || flow == Flow::kContinue) {
+    Fail(stmt.line, "control flow escaped the mapreduce region");
+  }
+}
+
+bool Interp::RunMainUntilRegion(const Stmt& region) {
+  const FunctionDef* fn = unit_.FindFunction("main");
+  if (fn == nullptr) throw InterpError("no main() function");
+  frames_.emplace_back();
+  frames_.back().scopes.emplace_back();
+  stop_at_ = &region;
+  reached_stop_ = false;
+  ExecStmt(*fn->body);
+  stop_at_ = nullptr;
+  if (!reached_stop_) {
+    frames_.pop_back();
+    return false;
+  }
+  // Frame intentionally left alive: the caller reads variables via Lookup().
+  return true;
+}
+
+std::int64_t Interp::RunMain() {
+  if (unit_.FindFunction("main") == nullptr) {
+    throw InterpError("no main() function");
+  }
+  Value v = CallUserFunction("main", {});
+  return v.AsInt();
+}
+
+Value Interp::CallUserFunction(const std::string& name,
+                               std::vector<Value> args) {
+  const FunctionDef* fn = unit_.FindFunction(name);
+  if (fn == nullptr) throw InterpError("unknown function '" + name + "'");
+  if (args.size() != fn->params.size()) {
+    throw InterpError("wrong argument count for '" + name + "'");
+  }
+  if (frames_.size() > 64) throw InterpError("call stack too deep");
+  hooks_->OnOp(OpClass::kCall);
+  frames_.emplace_back();
+  frames_.back().scopes.emplace_back();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const Param& p = fn->params[i];
+    if (p.type.is_pointer) {
+      MemObject* cell = memory_.AllocPtrCell(p.name, 1, opts_.default_space);
+      Ptr pv = args[i].kind == Value::Kind::kPtr ? args[i].p : Ptr{};
+      if (args[i].kind == Value::Kind::kInt && args[i].i != 0) {
+        Fail(fn->line, "non-null integer passed as pointer parameter");
+      }
+      cell->StorePtr(0, pv);
+      Bind(p.name, cell, p.type);
+    } else {
+      MemObject* cell =
+          memory_.Alloc(p.name, p.type.scalar, 1, opts_.default_space);
+      if (p.type.IsFloating()) {
+        cell->StoreFloat(0, args[i].AsFloat());
+      } else {
+        cell->StoreInt(0, args[i].AsInt());
+      }
+      Bind(p.name, cell, p.type);
+    }
+  }
+  return_value_ = Value::Int(0);
+  Flow flow = ExecStmt(*fn->body);
+  if (flow == Flow::kBreak || flow == Flow::kContinue) {
+    Fail(fn->line, "break/continue escaped function body");
+  }
+  Value result = return_value_;
+  frames_.pop_back();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------------
+
+Interp::Flow Interp::ExecStmt(const Stmt& s) {
+  if (stop_at_ == &s) {
+    // Region breakpoint (RunMainUntilRegion): unwind as if returning.
+    reached_stop_ = true;
+    return_value_ = Value::Int(0);
+    return Flow::kReturn;
+  }
+  Step(s.line);
+  switch (s.kind) {
+    case StmtKind::kExpr:
+      EvalExpr(*s.expr);
+      return Flow::kNormal;
+    case StmtKind::kDecl:
+      ExecDecl(s);
+      return Flow::kNormal;
+    case StmtKind::kBlock: {
+      PushScope();
+      Flow flow = Flow::kNormal;
+      for (const auto& sub : s.stmts) {
+        flow = ExecStmt(*sub);
+        if (flow != Flow::kNormal) break;
+      }
+      // When unwinding towards a region breakpoint, keep the scopes alive:
+      // the embedder reads the captured variables afterwards.
+      if (stop_at_ == nullptr || !reached_stop_) PopScope();
+      return flow;
+    }
+    case StmtKind::kIf: {
+      hooks_->OnOp(OpClass::kBranch);
+      if (EvalExpr(*s.expr).IsTruthy()) return ExecStmt(*s.then_stmt);
+      if (s.else_stmt) return ExecStmt(*s.else_stmt);
+      return Flow::kNormal;
+    }
+    case StmtKind::kWhile: {
+      for (;;) {
+        Step(s.line);
+        hooks_->OnOp(OpClass::kBranch);
+        if (!EvalExpr(*s.expr).IsTruthy()) return Flow::kNormal;
+        Flow flow = ExecStmt(*s.body);
+        if (flow == Flow::kBreak) return Flow::kNormal;
+        if (flow == Flow::kReturn) return flow;
+      }
+    }
+    case StmtKind::kDoWhile: {
+      for (;;) {
+        Step(s.line);
+        Flow flow = ExecStmt(*s.body);
+        if (flow == Flow::kBreak) return Flow::kNormal;
+        if (flow == Flow::kReturn) return flow;
+        hooks_->OnOp(OpClass::kBranch);
+        if (!EvalExpr(*s.expr).IsTruthy()) return Flow::kNormal;
+      }
+    }
+    case StmtKind::kFor: {
+      PushScope();
+      if (s.init_stmt) ExecStmt(*s.init_stmt);
+      Flow result = Flow::kNormal;
+      for (;;) {
+        Step(s.line);
+        hooks_->OnOp(OpClass::kBranch);
+        if (s.expr && !EvalExpr(*s.expr).IsTruthy()) break;
+        Flow flow = ExecStmt(*s.body);
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn) {
+          result = flow;
+          break;
+        }
+        if (s.step) EvalExpr(*s.step);
+      }
+      if (stop_at_ == nullptr || !reached_stop_) PopScope();
+      return result;
+    }
+    case StmtKind::kReturn:
+      return_value_ = s.expr ? EvalExpr(*s.expr) : Value::Int(0);
+      return Flow::kReturn;
+    case StmtKind::kBreak:
+      return Flow::kBreak;
+    case StmtKind::kContinue:
+      return Flow::kContinue;
+  }
+  Fail(s.line, "unhandled statement kind");
+}
+
+void Interp::ExecDecl(const Stmt& s) {
+  for (const auto& d : s.decls) {
+    MemObject* obj;
+    if (d.type.is_pointer) {
+      obj = memory_.AllocPtrCell(d.name, 1, opts_.default_space);
+    } else if (d.type.is_array) {
+      obj = memory_.Alloc(d.name, d.type.scalar, d.type.array_size,
+                          opts_.default_space);
+    } else {
+      obj = memory_.Alloc(d.name, d.type.scalar, 1, opts_.default_space);
+    }
+    Bind(d.name, obj, d.type);
+    if (d.init) {
+      Value v = EvalExpr(*d.init);
+      if (d.type.is_pointer) {
+        if (v.kind == Value::Kind::kPtr) {
+          obj->StorePtr(0, v.p);
+        } else if (v.AsInt() == 0) {
+          obj->StorePtr(0, Ptr{});
+        } else {
+          Fail(s.line, "initialising pointer from non-pointer");
+        }
+      } else if (d.type.is_array) {
+        // Array initialisation from a string literal.
+        if (d.init->kind == ExprKind::kStringLit &&
+            d.type.scalar == Scalar::kChar) {
+          obj->WriteCString(0, d.init->string_value);
+        } else {
+          Fail(s.line, "unsupported array initialiser");
+        }
+      } else if (d.type.IsFloating()) {
+        obj->StoreFloat(0, v.AsFloat());
+      } else {
+        obj->StoreInt(0, v.AsInt());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions.
+// ---------------------------------------------------------------------------
+
+MemObject* Interp::StringLiteralObject(const Expr& e) {
+  auto it = string_literals_.find(&e);
+  if (it != string_literals_.end()) return it->second;
+  MemObject* obj = memory_.Alloc(
+      "\"" + e.string_value + "\"", Scalar::kChar,
+      static_cast<std::int64_t>(e.string_value.size()) + 1, opts_.default_space);
+  obj->WriteCString(0, e.string_value);
+  string_literals_.emplace(&e, obj);
+  return obj;
+}
+
+Value Interp::LoadFrom(const Ptr& p, int line, bool charge) {
+  if (p.IsNull()) Fail(line, "null pointer dereference");
+  if (charge) hooks_->OnMemAccess(*p.obj, p.index, 1, /*is_write=*/false);
+  if (p.obj->is_ptr_cell()) return Value::Pointer(p.obj->LoadPtr(p.index));
+  if (p.obj->IsFloatElem()) return Value::Float(p.obj->LoadFloat(p.index));
+  return Value::Int(p.obj->LoadInt(p.index));
+}
+
+void Interp::StoreTo(const Ptr& p, const Value& v, int line, bool charge) {
+  if (p.IsNull()) Fail(line, "null pointer store");
+  if (charge) hooks_->OnMemAccess(*p.obj, p.index, 1, /*is_write=*/true);
+  if (p.obj->is_ptr_cell()) {
+    if (v.kind == Value::Kind::kPtr) {
+      p.obj->StorePtr(p.index, v.p);
+    } else if (v.AsInt() == 0) {
+      p.obj->StorePtr(p.index, Ptr{});
+    } else {
+      Fail(line, "storing non-pointer into pointer variable");
+    }
+    return;
+  }
+  if (p.obj->IsFloatElem()) {
+    p.obj->StoreFloat(p.index, v.AsFloat());
+  } else {
+    p.obj->StoreInt(p.index, v.AsInt());
+  }
+}
+
+Ptr Interp::EvalLValue(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kVarRef: {
+      Binding* b = FindBinding(e.string_value);
+      if (b == nullptr) Fail(e.line, "unknown variable '" + e.string_value + "'");
+      return Ptr{b->obj, 0};
+    }
+    case ExprKind::kIndex: {
+      Value base = EvalExpr(*e.a);
+      if (base.kind != Value::Kind::kPtr) {
+        Fail(e.line, "indexing a non-pointer");
+      }
+      std::int64_t idx = EvalExpr(*e.b).AsInt();
+      hooks_->OnOp(OpClass::kIntAlu);
+      return Ptr{base.p.obj, base.p.index + idx};
+    }
+    case ExprKind::kUnary:
+      if (e.un_op == UnOp::kDeref) {
+        Value v = EvalExpr(*e.a);
+        if (v.kind != Value::Kind::kPtr) Fail(e.line, "dereferencing non-pointer");
+        return v.p;
+      }
+      break;
+    default:
+      break;
+  }
+  Fail(e.line, "expression is not assignable");
+}
+
+Value Interp::EvalExpr(const Expr& e) {
+  Step(e.line);
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return Value::Int(e.int_value);
+    case ExprKind::kFloatLit:
+      return Value::Float(e.float_value);
+    case ExprKind::kStringLit:
+      return Value::Pointer(Ptr{StringLiteralObject(e), 0});
+    case ExprKind::kVarRef: {
+      // Builtin constants usable without declaration.
+      if (e.string_value == "NULL") return Value::Null();
+      if (e.string_value == "EOF") return Value::Int(-1);
+      if (e.string_value == "stdin" || e.string_value == "stdout" ||
+          e.string_value == "stderr") {
+        return Value::Int(0);
+      }
+      Binding* b = FindBinding(e.string_value);
+      if (b == nullptr) Fail(e.line, "unknown variable '" + e.string_value + "'");
+      if (b->type.is_array) return Value::Pointer(Ptr{b->obj, 0});
+      // Scalar and pointer variables live in registers: no memory charge.
+      return LoadFrom(Ptr{b->obj, 0}, e.line, /*charge=*/false);
+    }
+    case ExprKind::kIndex: {
+      Ptr p = EvalLValue(e);
+      return LoadFrom(p, e.line);
+    }
+    case ExprKind::kUnary:
+      return EvalUnary(e);
+    case ExprKind::kBinary:
+      return EvalBinary(e);
+    case ExprKind::kAssign: {
+      Ptr lhs = EvalLValue(*e.a);
+      Value rhs = EvalExpr(*e.b);
+      // Scalar variables are register-resident; only indexed/deref stores
+      // charge memory.
+      const bool charge = e.a->kind != ExprKind::kVarRef;
+      if (e.assign_op != AssignOp::kAssign) {
+        Value cur = LoadFrom(lhs, e.line, charge);
+        BinOp op;
+        switch (e.assign_op) {
+          case AssignOp::kAdd: op = BinOp::kAdd; break;
+          case AssignOp::kSub: op = BinOp::kSub; break;
+          case AssignOp::kMul: op = BinOp::kMul; break;
+          case AssignOp::kDiv: op = BinOp::kDiv; break;
+          case AssignOp::kMod: op = BinOp::kMod; break;
+          default: op = BinOp::kAdd; break;
+        }
+        rhs = ApplyBin(op, cur, rhs, e.line);
+      }
+      StoreTo(lhs, rhs, e.line, charge);
+      // Result must reflect the (possibly narrowed) stored value.
+      return LoadFrom(lhs, e.line, /*charge=*/false);
+    }
+    case ExprKind::kCall:
+      return EvalCall(e);
+    case ExprKind::kCast: {
+      Value v = EvalExpr(*e.a);
+      if (e.cast_type.is_pointer) {
+        if (v.kind == Value::Kind::kPtr) return v;  // reinterpret: keep object
+        if (v.AsInt() == 0) return Value::Null();
+        Fail(e.line, "casting non-pointer to pointer");
+      }
+      if (e.cast_type.IsFloating()) {
+        double d = v.AsFloat();
+        if (e.cast_type.scalar == Scalar::kFloat) {
+          d = static_cast<float>(d);
+        }
+        return Value::Float(d);
+      }
+      std::int64_t i = v.AsInt();
+      if (e.cast_type.scalar == Scalar::kChar) i = static_cast<signed char>(i);
+      return Value::Int(i);
+    }
+    case ExprKind::kTernary: {
+      hooks_->OnOp(OpClass::kBranch);
+      return EvalExpr(*e.a).IsTruthy() ? EvalExpr(*e.b) : EvalExpr(*e.c);
+    }
+    case ExprKind::kSizeof: {
+      if (e.a) {
+        // sizeof expr: only variable references are supported.
+        if (e.a->kind == ExprKind::kVarRef) {
+          Binding* b = FindBinding(e.a->string_value);
+          if (b == nullptr) Fail(e.line, "sizeof of unknown variable");
+          if (b->type.is_array) {
+            return Value::Int(b->type.array_size * ScalarSize(b->type.scalar));
+          }
+          if (b->type.is_pointer) return Value::Int(8);
+          return Value::Int(ScalarSize(b->type.scalar));
+        }
+        Fail(e.line, "unsupported sizeof operand");
+      }
+      if (e.cast_type.is_pointer) return Value::Int(8);
+      return Value::Int(ScalarSize(e.cast_type.scalar));
+    }
+  }
+  Fail(e.line, "unhandled expression kind");
+}
+
+Value Interp::EvalUnary(const Expr& e) {
+  switch (e.un_op) {
+    case UnOp::kNeg: {
+      Value v = EvalExpr(*e.a);
+      hooks_->OnOp(v.kind == Value::Kind::kFloat ? OpClass::kFloatAlu
+                                                 : OpClass::kIntAlu);
+      if (v.kind == Value::Kind::kFloat) return Value::Float(-v.f);
+      return Value::Int(-v.AsInt());
+    }
+    case UnOp::kNot: {
+      Value v = EvalExpr(*e.a);
+      hooks_->OnOp(OpClass::kIntAlu);
+      return Value::Int(v.IsTruthy() ? 0 : 1);
+    }
+    case UnOp::kBitNot: {
+      Value v = EvalExpr(*e.a);
+      hooks_->OnOp(OpClass::kIntAlu);
+      return Value::Int(~v.AsInt());
+    }
+    case UnOp::kDeref: {
+      Value v = EvalExpr(*e.a);
+      if (v.kind != Value::Kind::kPtr) Fail(e.line, "dereferencing non-pointer");
+      return LoadFrom(v.p, e.line);
+    }
+    case UnOp::kAddrOf: {
+      Ptr p = EvalLValue(*e.a);
+      return Value::Pointer(p);
+    }
+    case UnOp::kPreInc:
+    case UnOp::kPreDec:
+    case UnOp::kPostInc:
+    case UnOp::kPostDec: {
+      Ptr p = EvalLValue(*e.a);
+      const bool charge = e.a->kind != ExprKind::kVarRef;
+      Value old = LoadFrom(p, e.line, charge);
+      const std::int64_t delta =
+          (e.un_op == UnOp::kPreInc || e.un_op == UnOp::kPostInc) ? 1 : -1;
+      hooks_->OnOp(old.kind == Value::Kind::kFloat ? OpClass::kFloatAlu
+                                                   : OpClass::kIntAlu);
+      Value next;
+      if (old.kind == Value::Kind::kFloat) {
+        next = Value::Float(old.f + delta);
+      } else if (old.kind == Value::Kind::kPtr) {
+        next = Value::Pointer(Ptr{old.p.obj, old.p.index + delta});
+      } else {
+        next = Value::Int(old.i + delta);
+      }
+      StoreTo(p, next, e.line, charge);
+      const bool pre =
+          e.un_op == UnOp::kPreInc || e.un_op == UnOp::kPreDec;
+      return pre ? next : old;
+    }
+  }
+  Fail(e.line, "unhandled unary operator");
+}
+
+Value Interp::ApplyBin(BinOp op, const Value& a, const Value& b, int line) {
+  // Pointer arithmetic and comparisons.
+  if (a.kind == Value::Kind::kPtr || b.kind == Value::Kind::kPtr) {
+    hooks_->OnOp(OpClass::kIntAlu);
+    auto as_ptr = [](const Value& v) { return v.p; };
+    switch (op) {
+      case BinOp::kAdd: {
+        if (a.kind == Value::Kind::kPtr) {
+          return Value::Pointer(Ptr{a.p.obj, a.p.index + b.AsInt()});
+        }
+        return Value::Pointer(Ptr{b.p.obj, b.p.index + a.AsInt()});
+      }
+      case BinOp::kSub: {
+        if (a.kind == Value::Kind::kPtr && b.kind == Value::Kind::kPtr) {
+          HD_CHECK_MSG(a.p.obj == b.p.obj, "pointer difference across objects");
+          return Value::Int(a.p.index - b.p.index);
+        }
+        if (a.kind == Value::Kind::kPtr) {
+          return Value::Pointer(Ptr{a.p.obj, a.p.index - b.AsInt()});
+        }
+        break;
+      }
+      case BinOp::kEq:
+      case BinOp::kNe: {
+        bool eq;
+        if (a.kind == Value::Kind::kPtr && b.kind == Value::Kind::kPtr) {
+          eq = a.p.obj == b.p.obj && a.p.index == b.p.index;
+        } else {
+          const Value& pv = a.kind == Value::Kind::kPtr ? a : b;
+          const Value& iv = a.kind == Value::Kind::kPtr ? b : a;
+          if (iv.AsInt() != 0) Fail(line, "comparing pointer to integer");
+          eq = as_ptr(pv).IsNull();
+        }
+        return Value::Int((op == BinOp::kEq) == eq ? 1 : 0);
+      }
+      case BinOp::kLt: case BinOp::kLe: case BinOp::kGt: case BinOp::kGe: {
+        if (a.kind == Value::Kind::kPtr && b.kind == Value::Kind::kPtr &&
+            a.p.obj == b.p.obj) {
+          std::int64_t x = a.p.index, y = b.p.index;
+          bool r = op == BinOp::kLt   ? x < y
+                   : op == BinOp::kLe ? x <= y
+                   : op == BinOp::kGt ? x > y
+                                      : x >= y;
+          return Value::Int(r ? 1 : 0);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    Fail(line, "unsupported pointer operation");
+  }
+
+  const bool flt = a.kind == Value::Kind::kFloat || b.kind == Value::Kind::kFloat;
+  if (flt) {
+    const double x = a.AsFloat(), y = b.AsFloat();
+    switch (op) {
+      case BinOp::kAdd: hooks_->OnOp(OpClass::kFloatAlu); return Value::Float(x + y);
+      case BinOp::kSub: hooks_->OnOp(OpClass::kFloatAlu); return Value::Float(x - y);
+      case BinOp::kMul: hooks_->OnOp(OpClass::kFloatAlu); return Value::Float(x * y);
+      case BinOp::kDiv:
+        hooks_->OnOp(OpClass::kFloatDiv);
+        if (y == 0.0) Fail(line, "floating divide by zero");
+        return Value::Float(x / y);
+      case BinOp::kMod: Fail(line, "operator %% on floating operands");
+      case BinOp::kLt: hooks_->OnOp(OpClass::kFloatAlu); return Value::Int(x < y);
+      case BinOp::kLe: hooks_->OnOp(OpClass::kFloatAlu); return Value::Int(x <= y);
+      case BinOp::kGt: hooks_->OnOp(OpClass::kFloatAlu); return Value::Int(x > y);
+      case BinOp::kGe: hooks_->OnOp(OpClass::kFloatAlu); return Value::Int(x >= y);
+      case BinOp::kEq: hooks_->OnOp(OpClass::kFloatAlu); return Value::Int(x == y);
+      case BinOp::kNe: hooks_->OnOp(OpClass::kFloatAlu); return Value::Int(x != y);
+      case BinOp::kAnd: return Value::Int(a.IsTruthy() && b.IsTruthy());
+      case BinOp::kOr: return Value::Int(a.IsTruthy() || b.IsTruthy());
+      default: Fail(line, "bitwise operator on floating operands");
+    }
+  }
+  const std::int64_t x = a.AsInt(), y = b.AsInt();
+  switch (op) {
+    case BinOp::kAdd: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x + y);
+    case BinOp::kSub: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x - y);
+    case BinOp::kMul: hooks_->OnOp(OpClass::kIntMul); return Value::Int(x * y);
+    case BinOp::kDiv:
+      hooks_->OnOp(OpClass::kIntDiv);
+      if (y == 0) Fail(line, "integer divide by zero");
+      return Value::Int(x / y);
+    case BinOp::kMod:
+      hooks_->OnOp(OpClass::kIntDiv);
+      if (y == 0) Fail(line, "integer modulo by zero");
+      return Value::Int(x % y);
+    case BinOp::kLt: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x < y);
+    case BinOp::kLe: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x <= y);
+    case BinOp::kGt: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x > y);
+    case BinOp::kGe: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x >= y);
+    case BinOp::kEq: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x == y);
+    case BinOp::kNe: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x != y);
+    case BinOp::kAnd: return Value::Int(x != 0 && y != 0);
+    case BinOp::kOr: return Value::Int(x != 0 || y != 0);
+    case BinOp::kBitAnd: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x & y);
+    case BinOp::kBitOr: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x | y);
+    case BinOp::kBitXor: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x ^ y);
+    case BinOp::kShl: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x << y);
+    case BinOp::kShr: hooks_->OnOp(OpClass::kIntAlu); return Value::Int(x >> y);
+  }
+  Fail(line, "unhandled binary operator");
+}
+
+Value Interp::EvalBinary(const Expr& e) {
+  // Short-circuit evaluation for && and ||.
+  if (e.bin_op == BinOp::kAnd) {
+    hooks_->OnOp(OpClass::kBranch);
+    if (!EvalExpr(*e.a).IsTruthy()) return Value::Int(0);
+    return Value::Int(EvalExpr(*e.b).IsTruthy() ? 1 : 0);
+  }
+  if (e.bin_op == BinOp::kOr) {
+    hooks_->OnOp(OpClass::kBranch);
+    if (EvalExpr(*e.a).IsTruthy()) return Value::Int(1);
+    return Value::Int(EvalExpr(*e.b).IsTruthy() ? 1 : 0);
+  }
+  Value a = EvalExpr(*e.a);
+  Value b = EvalExpr(*e.b);
+  return ApplyBin(e.bin_op, a, b, e.line);
+}
+
+Value Interp::EvalCall(const Expr& e) {
+  const std::string& name = e.string_value;
+  // User functions take precedence so benchmarks can define helpers like
+  // getWord without clashing with the builtin table.
+  if (unit_.FindFunction(name) != nullptr) {
+    std::vector<Value> args;
+    args.reserve(e.args.size());
+    for (const auto& a : e.args) args.push_back(EvalExpr(*a));
+    return CallUserFunction(name, std::move(args));
+  }
+  auto it = builtins_.find(name);
+  if (it == builtins_.end()) Fail(e.line, "unknown function '" + name + "'");
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (const auto& a : e.args) args.push_back(EvalExpr(*a));
+  hooks_->OnOp(OpClass::kCall);
+  return it->second(*this, args);
+}
+
+// ---------------------------------------------------------------------------
+// Builtin support services.
+// ---------------------------------------------------------------------------
+
+Ptr Interp::RequirePtr(const Value& v, const char* what) {
+  if (v.kind != Value::Kind::kPtr || v.p.IsNull()) {
+    throw InterpError(std::string("expected non-null pointer for ") + what);
+  }
+  return v.p;
+}
+
+std::string Interp::ReadString(const Value& v) {
+  Ptr p = RequirePtr(v, "string argument");
+  std::string s = p.obj->ReadCString(p.index);
+  hooks_->OnMemAccess(*p.obj, p.index,
+                      static_cast<std::int64_t>(s.size()) + 1,
+                      /*is_write=*/false, /*vectorizable=*/true);
+  return s;
+}
+
+void Interp::WriteString(const Value& v, std::string_view s) {
+  Ptr p = RequirePtr(v, "string destination");
+  p.obj->WriteCString(p.index, s);
+  hooks_->OnMemAccess(*p.obj, p.index, static_cast<std::int64_t>(s.size()) + 1,
+                      /*is_write=*/true, /*vectorizable=*/true);
+}
+
+void Interp::StoreThroughPtr(const Ptr& p, const Value& v) {
+  StoreTo(p, v, 0);
+}
+
+std::string Interp::Format(const std::string& fmt,
+                           const std::vector<Value>& args,
+                           std::size_t first_arg) {
+  std::string out;
+  std::size_t ai = first_arg;
+  auto next_arg = [&]() -> const Value& {
+    if (ai >= args.size()) {
+      throw InterpError("printf: too few arguments for format '" + fmt + "'");
+    }
+    return args[ai++];
+  };
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out += fmt[i];
+      continue;
+    }
+    ++i;
+    if (i >= fmt.size()) throw InterpError("printf: trailing %");
+    if (fmt[i] == '%') {
+      out += '%';
+      continue;
+    }
+    // Collect the spec: flags, width, precision, length, conversion.
+    std::string spec = "%";
+    while (i < fmt.size() &&
+           (std::isdigit(static_cast<unsigned char>(fmt[i])) ||
+            fmt[i] == '.' || fmt[i] == '-' || fmt[i] == '+' || fmt[i] == '0' ||
+            fmt[i] == ' ')) {
+      spec += fmt[i++];
+    }
+    // Length modifiers are folded into our widened representation.
+    while (i < fmt.size() && (fmt[i] == 'l' || fmt[i] == 'h' || fmt[i] == 'z')) {
+      ++i;
+    }
+    if (i >= fmt.size()) throw InterpError("printf: malformed format");
+    const char conv = fmt[i];
+    char buf[256];
+    switch (conv) {
+      case 'd': case 'i': {
+        spec += "lld";
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<long long>(next_arg().AsInt()));
+        out += buf;
+        break;
+      }
+      case 'u': case 'x': case 'X': {
+        spec += "ll";
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<unsigned long long>(next_arg().AsInt()));
+        out += buf;
+        break;
+      }
+      case 'f': case 'e': case 'g': case 'E': case 'G': {
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(), next_arg().AsFloat());
+        out += buf;
+        break;
+      }
+      case 'c': {
+        spec += 'c';
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<int>(next_arg().AsInt()));
+        out += buf;
+        break;
+      }
+      case 's': {
+        std::string s = ReadString(next_arg());
+        if (spec == "%") {
+          out += s;
+        } else {
+          spec += 's';
+          std::vector<char> big(s.size() + 64);
+          std::snprintf(big.data(), big.size(), spec.c_str(), s.c_str());
+          out += big.data();
+        }
+        break;
+      }
+      default:
+        throw InterpError(std::string("printf: unsupported conversion %") +
+                          conv);
+    }
+  }
+  // Formatting cost: proportional to output length.
+  hooks_->OnOp(OpClass::kIntAlu, static_cast<std::int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace hd::minic

@@ -1,0 +1,149 @@
+// Tree-walking interpreter for the mini-C dialect.
+//
+// This is HeteroDoop's "gcc path": benchmark sources execute on the CPU
+// through this interpreter, reading records from an IoEnv and emitting KV
+// text exactly like a Hadoop Streaming filter. The GPU path reuses the same
+// interpreter per simulated thread, with builtins overridden by the runtime
+// (getline→getRecord, printf→emitKV, scanf→getKV) and hooks wired to the
+// device cost model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minic/ast.h"
+#include "minic/hooks.h"
+#include "minic/io.h"
+#include "minic/value.h"
+
+namespace hd::minic {
+
+class InterpError : public std::runtime_error {
+ public:
+  explicit InterpError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Interp {
+ public:
+  struct Options {
+    // Abort knob against runaway user programs.
+    std::int64_t max_steps = 500'000'000;
+    // Memory space for objects the interpreted program creates (locals,
+    // string literals, malloc). The GPU runtime sets kDeviceLocal so
+    // region-internal variables are charged as registers/private storage.
+    MemSpace default_space = MemSpace::kHost;
+  };
+
+  using BuiltinFn =
+      std::function<Value(Interp&, const std::vector<Value>&)>;
+
+  Interp(const TranslationUnit& unit, IoEnv* io, ExecHooks* hooks,
+         Options opts);
+  Interp(const TranslationUnit& unit, IoEnv* io, ExecHooks* hooks)
+      : Interp(unit, io, hooks, Options()) {}
+
+  // Replaces or adds a builtin (used by the GPU runtime).
+  void OverrideBuiltin(const std::string& name, BuiltinFn fn);
+
+  // Runs `int main()`; returns its exit code.
+  std::int64_t RunMain();
+
+  // Runs main() until `region` is about to execute, then stops. Returns
+  // true if the region was reached; the call frame is left alive so the
+  // embedder can inspect variable values via Lookup() — this is how the GPU
+  // host driver captures firstprivate initial values and sharedRO array
+  // contents to pass as kernel parameters (Algorithm 1).
+  bool RunMainUntilRegion(const Stmt& region);
+
+  // Calls a named user function with already-evaluated arguments.
+  Value CallUserFunction(const std::string& name, std::vector<Value> args);
+
+  // --- embedder API (GPU kernel execution) --------------------------------
+  // The runtime pre-binds kernel variables into a fresh scope, then executes
+  // the annotated region statement directly.
+  void PushScope();
+  void PopScope();
+  void Bind(const std::string& name, MemObject* obj, Type type);
+  // Looks up a binding in the current call frame; null if absent.
+  MemObject* Lookup(const std::string& name) const;
+  // Executes one statement in the current environment (break/continue/
+  // return escaping the region are errors).
+  void ExecRegion(const Stmt& stmt);
+
+  // --- services for builtins ----------------------------------------------
+  Memory& memory() { return memory_; }
+  MemSpace default_space() const { return opts_.default_space; }
+  IoEnv& io() { return *io_; }
+  ExecHooks& hooks() { return *hooks_; }
+  const TranslationUnit& unit() const { return unit_; }
+
+  // Reads a C string through a pointer value (with read cost charged).
+  std::string ReadString(const Value& v);
+  // Writes a C string through a pointer value (with write cost charged).
+  void WriteString(const Value& v, std::string_view s);
+  // printf-style formatting shared by printf/sprintf; reads %s args through
+  // ReadString.
+  std::string Format(const std::string& fmt, const std::vector<Value>& args,
+                     std::size_t first_arg);
+  // Dereference helpers used by scanf-style builtins.
+  Ptr RequirePtr(const Value& v, const char* what);
+  void StoreThroughPtr(const Ptr& p, const Value& v);
+
+  std::int64_t steps() const { return steps_; }
+
+ private:
+  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+  struct Binding {
+    MemObject* obj = nullptr;
+    Type type;
+  };
+  using Scope = std::unordered_map<std::string, Binding>;
+  struct Frame {
+    std::vector<Scope> scopes;
+  };
+
+  [[noreturn]] void Fail(int line, const std::string& msg) const;
+  void Step(int line);
+
+  Binding* FindBinding(const std::string& name);
+  const Binding* FindBinding(const std::string& name) const;
+
+  Flow ExecStmt(const Stmt& s);
+  void ExecDecl(const Stmt& s);
+
+  Value EvalExpr(const Expr& e);
+  // Resolves an expression to a storage location.
+  Ptr EvalLValue(const Expr& e);
+  Value LoadFrom(const Ptr& p, int line, bool charge = true);
+  void StoreTo(const Ptr& p, const Value& v, int line, bool charge = true);
+
+  Value EvalBinary(const Expr& e);
+  Value EvalUnary(const Expr& e);
+  Value EvalCall(const Expr& e);
+  Value ApplyBin(BinOp op, const Value& a, const Value& b, int line);
+
+  MemObject* StringLiteralObject(const Expr& e);
+
+  const TranslationUnit& unit_;
+  IoEnv* io_;
+  ExecHooks* hooks_;
+  Options opts_;
+  Memory memory_;
+  std::vector<Frame> frames_;
+  Value return_value_;
+  const Stmt* stop_at_ = nullptr;
+  bool reached_stop_ = false;
+  std::int64_t steps_ = 0;
+  std::unordered_map<std::string, BuiltinFn> builtins_;
+  std::unordered_map<const Expr*, MemObject*> string_literals_;
+};
+
+// Installs the default CPU builtin set (stdio, string.h, math.h, ctype.h,
+// malloc/free). Called by the constructor; exposed for tests.
+void RegisterDefaultBuiltins(Interp& interp);
+
+}  // namespace hd::minic

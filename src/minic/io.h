@@ -1,0 +1,72 @@
+// The stdio abstraction seen by mini-C programs.
+//
+// Hadoop Streaming runs map/combine/reduce as unix filters: records arrive
+// on stdin and KV pairs leave on stdout. IoEnv is that pipe. The CPU path
+// uses TextIoEnv over in-memory buffers; the GPU path substitutes an
+// environment whose reads come from the device-resident fileSplit
+// (getRecord) and whose writes go to the global KV store (emitKV/storeKV).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hd::minic {
+
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  // getline(): fetches the next full input record including its trailing
+  // '\n' (if the source had one). Returns false at EOF.
+  virtual bool NextLine(std::string* line) = 0;
+
+  // scanf(): fetches the next whitespace-delimited token. Returns false at
+  // EOF. Token and line cursors are shared, as with real stdio.
+  virtual bool NextToken(std::string* tok) = 0;
+
+  // printf(): appends formatted output.
+  virtual void Write(std::string_view text) = 0;
+};
+
+// IoEnv over in-memory text buffers.
+class TextIoEnv : public IoEnv {
+ public:
+  explicit TextIoEnv(std::string input) : input_(std::move(input)) {}
+
+  bool NextLine(std::string* line) override {
+    if (pos_ >= input_.size()) return false;
+    std::size_t nl = input_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      *line = input_.substr(pos_);
+      pos_ = input_.size();
+    } else {
+      *line = input_.substr(pos_, nl - pos_ + 1);
+      pos_ = nl + 1;
+    }
+    return true;
+  }
+
+  bool NextToken(std::string* tok) override {
+    while (pos_ < input_.size() && IsSpace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size()) return false;
+    std::size_t start = pos_;
+    while (pos_ < input_.size() && !IsSpace(input_[pos_])) ++pos_;
+    *tok = input_.substr(start, pos_ - start);
+    return true;
+  }
+
+  void Write(std::string_view text) override { output_.append(text); }
+
+  const std::string& output() const { return output_; }
+  std::string TakeOutput() { return std::move(output_); }
+
+ private:
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+  std::string input_;
+  std::size_t pos_ = 0;
+  std::string output_;
+};
+
+}  // namespace hd::minic

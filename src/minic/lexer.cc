@@ -1,0 +1,406 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+namespace hd::minic {
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& Keywords() {
+  static const std::unordered_map<std::string_view, Tok> kMap = {
+      {"int", Tok::kKwInt},         {"char", Tok::kKwChar},
+      {"float", Tok::kKwFloat},     {"double", Tok::kKwDouble},
+      {"void", Tok::kKwVoid},       {"long", Tok::kKwLong},
+      {"unsigned", Tok::kKwUnsigned}, {"const", Tok::kKwConst},
+      {"size_t", Tok::kKwSizeT},    {"if", Tok::kKwIf},
+      {"else", Tok::kKwElse},       {"while", Tok::kKwWhile},
+      {"do", Tok::kKwDo},           {"for", Tok::kKwFor},
+      {"return", Tok::kKwReturn},   {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue}, {"sizeof", Tok::kKwSizeof},
+  };
+  return kMap;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> out;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEof()) break;
+      if (Peek() == '#') {
+        Token t = LexDirectiveLine();
+        if (t.kind == Tok::kPragma) out.push_back(std::move(t));
+        continue;
+      }
+      out.push_back(LexToken());
+    }
+    Token eof;
+    eof.kind = Tok::kEof;
+    eof.line = line_;
+    eof.col = col_;
+    out.push_back(eof);
+    return out;
+  }
+
+ private:
+  bool AtEof() const { return pos_ >= src_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  [[noreturn]] void Fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "lex error at " << line_ << ":" << col_ << ": " << msg;
+    throw LexError(os.str());
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '/' && Peek(1) == '/') {
+        while (!AtEof() && Peek() != '\n') Advance();
+        continue;
+      }
+      if (Peek() == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEof() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEof()) Fail("unterminated block comment");
+        Advance();
+        Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  // Consumes a full '#...' line. Returns a kPragma token for #pragma lines;
+  // #include and other directives are skipped (kind kEof sentinel).
+  Token LexDirectiveLine() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    std::string text;
+    for (;;) {
+      if (AtEof()) break;
+      char c = Peek();
+      if (c == '\\' && (Peek(1) == '\n' || (Peek(1) == '\r' && Peek(2) == '\n'))) {
+        // Line continuation: fold into a space.
+        Advance();
+        while (!AtEof() && Peek() != '\n') Advance();
+        if (!AtEof()) Advance();
+        text += ' ';
+        continue;
+      }
+      if (c == '\n') {
+        Advance();
+        break;
+      }
+      text += Advance();
+    }
+    std::string_view body(text);
+    // Strip leading '#'.
+    body.remove_prefix(1);
+    while (!body.empty() && std::isspace(static_cast<unsigned char>(body[0]))) {
+      body.remove_prefix(1);
+    }
+    if (body.rfind("pragma", 0) == 0) {
+      t.kind = Tok::kPragma;
+      body.remove_prefix(6);
+      while (!body.empty() &&
+             std::isspace(static_cast<unsigned char>(body[0]))) {
+        body.remove_prefix(1);
+      }
+      t.text = std::string(body);
+    } else {
+      t.kind = Tok::kEof;  // ignored directive (#include etc.)
+    }
+    return t;
+  }
+
+  Token LexToken() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (!AtEof() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        ident += Advance();
+      }
+      auto it = Keywords().find(ident);
+      if (it != Keywords().end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = Tok::kIdent;
+      }
+      t.text = std::move(ident);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber();
+    }
+    if (c == '"') return LexString();
+    if (c == '\'') return LexChar();
+    return LexOperator();
+  }
+
+  Token LexNumber() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    std::string num;
+    bool is_float = false;
+    // Hex literals.
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      num += Advance();
+      num += Advance();
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) num += Advance();
+      t.kind = Tok::kIntLit;
+      t.int_value = std::strtoll(num.c_str(), nullptr, 16);
+      t.text = std::move(num);
+      return t;
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) num += Advance();
+    if (Peek() == '.') {
+      is_float = true;
+      num += Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) num += Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_float = true;
+      num += Advance();
+      if (Peek() == '+' || Peek() == '-') num += Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) num += Advance();
+    }
+    // Suffixes (f, L, u) are accepted and ignored.
+    while (Peek() == 'f' || Peek() == 'F' || Peek() == 'l' || Peek() == 'L' ||
+           Peek() == 'u' || Peek() == 'U') {
+      if (Peek() == 'f' || Peek() == 'F') is_float = true;
+      Advance();
+    }
+    if (is_float) {
+      t.kind = Tok::kFloatLit;
+      t.float_value = std::strtod(num.c_str(), nullptr);
+    } else {
+      t.kind = Tok::kIntLit;
+      t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    t.text = std::move(num);
+    return t;
+  }
+
+  char LexEscape() {
+    char e = Advance();
+    switch (e) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default: Fail(std::string("unknown escape \\") + e);
+    }
+  }
+
+  Token LexString() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    t.kind = Tok::kStringLit;
+    Advance();  // opening quote
+    std::string s;
+    for (;;) {
+      if (AtEof()) Fail("unterminated string literal");
+      char c = Advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        s += LexEscape();
+      } else {
+        s += c;
+      }
+    }
+    t.text = std::move(s);
+    return t;
+  }
+
+  Token LexChar() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    t.kind = Tok::kCharLit;
+    Advance();  // opening quote
+    if (AtEof()) Fail("unterminated char literal");
+    char c = Advance();
+    if (c == '\\') c = LexEscape();
+    t.int_value = static_cast<unsigned char>(c);
+    if (Peek() != '\'') Fail("unterminated char literal");
+    Advance();
+    return t;
+  }
+
+  Token LexOperator() {
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    char c = Advance();
+    auto two = [&](char second, Tok with, Tok without) {
+      if (Peek() == second) {
+        Advance();
+        t.kind = with;
+      } else {
+        t.kind = without;
+      }
+    };
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; break;
+      case ')': t.kind = Tok::kRParen; break;
+      case '{': t.kind = Tok::kLBrace; break;
+      case '}': t.kind = Tok::kRBrace; break;
+      case '[': t.kind = Tok::kLBracket; break;
+      case ']': t.kind = Tok::kRBracket; break;
+      case ';': t.kind = Tok::kSemi; break;
+      case ',': t.kind = Tok::kComma; break;
+      case '~': t.kind = Tok::kTilde; break;
+      case '?': t.kind = Tok::kQuestion; break;
+      case ':': t.kind = Tok::kColon; break;
+      case '.': t.kind = Tok::kDot; break;
+      case '^': t.kind = Tok::kCaret; break;
+      case '+':
+        if (Peek() == '+') { Advance(); t.kind = Tok::kPlusPlus; }
+        else two('=', Tok::kPlusAssign, Tok::kPlus);
+        break;
+      case '-':
+        if (Peek() == '-') { Advance(); t.kind = Tok::kMinusMinus; }
+        else if (Peek() == '>') { Advance(); t.kind = Tok::kArrow; }
+        else two('=', Tok::kMinusAssign, Tok::kMinus);
+        break;
+      case '*': two('=', Tok::kStarAssign, Tok::kStar); break;
+      case '/': two('=', Tok::kSlashAssign, Tok::kSlash); break;
+      case '%': two('=', Tok::kPercentAssign, Tok::kPercent); break;
+      case '=': two('=', Tok::kEq, Tok::kAssign); break;
+      case '!': two('=', Tok::kNe, Tok::kBang); break;
+      case '&':
+        if (Peek() == '&') { Advance(); t.kind = Tok::kAndAnd; }
+        else t.kind = Tok::kAmp;
+        break;
+      case '|':
+        if (Peek() == '|') { Advance(); t.kind = Tok::kOrOr; }
+        else t.kind = Tok::kPipe;
+        break;
+      case '<':
+        if (Peek() == '<') { Advance(); t.kind = Tok::kShl; }
+        else two('=', Tok::kLe, Tok::kLt);
+        break;
+      case '>':
+        if (Peek() == '>') { Advance(); t.kind = Tok::kShr; }
+        else two('=', Tok::kGe, Tok::kGt);
+        break;
+      default:
+        Fail(std::string("unexpected character '") + c + "'");
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) { return Lexer(source).Run(); }
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "end of file";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kCharLit: return "char literal";
+    case Tok::kPragma: return "#pragma";
+    case Tok::kKwInt: return "'int'";
+    case Tok::kKwChar: return "'char'";
+    case Tok::kKwFloat: return "'float'";
+    case Tok::kKwDouble: return "'double'";
+    case Tok::kKwVoid: return "'void'";
+    case Tok::kKwLong: return "'long'";
+    case Tok::kKwUnsigned: return "'unsigned'";
+    case Tok::kKwConst: return "'const'";
+    case Tok::kKwSizeT: return "'size_t'";
+    case Tok::kKwIf: return "'if'";
+    case Tok::kKwElse: return "'else'";
+    case Tok::kKwWhile: return "'while'";
+    case Tok::kKwDo: return "'do'";
+    case Tok::kKwFor: return "'for'";
+    case Tok::kKwReturn: return "'return'";
+    case Tok::kKwBreak: return "'break'";
+    case Tok::kKwContinue: return "'continue'";
+    case Tok::kKwSizeof: return "'sizeof'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kStarAssign: return "'*='";
+    case Tok::kSlashAssign: return "'/='";
+    case Tok::kPercentAssign: return "'%='";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kColon: return "':'";
+    case Tok::kArrow: return "'->'";
+    case Tok::kDot: return "'.'";
+  }
+  return "?";
+}
+
+}  // namespace hd::minic

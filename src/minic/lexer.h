@@ -1,0 +1,30 @@
+// Hand-written lexer for the mini-C dialect accepted by HeteroDoop.
+//
+// Notable departures from a stock C lexer:
+//   * `#pragma ...` lines are lexed into a single kPragma token (line
+//     continuations with a trailing backslash are folded), because the
+//     HeteroDoop directives attach to the statement that follows them.
+//   * `#include <...>` lines are skipped — benchmark sources carry the usual
+//     stdio/string/math includes for portability to a real compiler, but the
+//     builtins are provided by the runtime here.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minic/token.h"
+
+namespace hd::minic {
+
+// Thrown on malformed input; carries line/column context in what().
+class LexError : public std::runtime_error {
+ public:
+  explicit LexError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Tokenises the whole translation unit. The final token is kEof.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace hd::minic

@@ -1,0 +1,634 @@
+#include "minic/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/check.h"
+#include "minic/lexer.h"
+
+namespace hd::minic {
+
+const std::string& Directive::Arg(const std::string& clause) const {
+  auto it = clauses.find(clause);
+  HD_CHECK_MSG(it != clauses.end(), "missing clause '" << clause << "'");
+  HD_CHECK_MSG(it->second.size() == 1,
+               "clause '" << clause << "' expects one argument");
+  return it->second[0];
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  std::unique_ptr<TranslationUnit> ParseUnit() {
+    auto unit = std::make_unique<TranslationUnit>();
+    while (!At(Tok::kEof)) {
+      if (Accept(Tok::kSemi)) continue;
+      unit->functions.push_back(ParseFunction());
+    }
+    return unit;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Next() const { return toks_[pos_ + 1 < toks_.size() ? pos_ + 1 : pos_]; }
+  bool At(Tok k) const { return Cur().kind == k; }
+  bool Accept(Tok k) {
+    if (At(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token Expect(Tok k) {
+    if (!At(k)) {
+      Fail(std::string("expected ") + TokName(k) + ", found " +
+           TokName(Cur().kind));
+    }
+    return toks_[pos_++];
+  }
+  [[noreturn]] void Fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "parse error at " << Cur().line << ":" << Cur().col << ": " << msg;
+    throw ParseError(os.str());
+  }
+
+  bool AtTypeKeyword() const {
+    switch (Cur().kind) {
+      case Tok::kKwInt:
+      case Tok::kKwChar:
+      case Tok::kKwFloat:
+      case Tok::kKwDouble:
+      case Tok::kKwVoid:
+      case Tok::kKwLong:
+      case Tok::kKwUnsigned:
+      case Tok::kKwConst:
+      case Tok::kKwSizeT:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Parses the base scalar type (const/unsigned/long decorations folded).
+  Scalar ParseBaseType() {
+    while (Accept(Tok::kKwConst) || Accept(Tok::kKwUnsigned)) {
+    }
+    Scalar s;
+    switch (Cur().kind) {
+      case Tok::kKwInt: s = Scalar::kInt; break;
+      case Tok::kKwChar: s = Scalar::kChar; break;
+      case Tok::kKwFloat: s = Scalar::kFloat; break;
+      case Tok::kKwDouble: s = Scalar::kDouble; break;
+      case Tok::kKwVoid: s = Scalar::kVoid; break;
+      case Tok::kKwLong: s = Scalar::kInt; break;
+      case Tok::kKwSizeT: s = Scalar::kInt; break;
+      default: Fail("expected a type");
+    }
+    ++pos_;
+    // 'long long', 'long int', 'unsigned int' tails.
+    while (Accept(Tok::kKwLong) || Accept(Tok::kKwInt)) {
+    }
+    while (Accept(Tok::kKwConst)) {
+    }
+    return s;
+  }
+
+  // --- declarations --------------------------------------------------------
+
+  std::unique_ptr<FunctionDef> ParseFunction() {
+    auto fn = std::make_unique<FunctionDef>();
+    fn->line = Cur().line;
+    Scalar base = ParseBaseType();
+    Type ret{base, false, false, 0};
+    if (Accept(Tok::kStar)) ret = Type::PointerTo(base);
+    fn->return_type = ret;
+    fn->name = Expect(Tok::kIdent).text;
+    Expect(Tok::kLParen);
+    if (!At(Tok::kRParen)) {
+      if (At(Tok::kKwVoid) && Next().kind == Tok::kRParen) {
+        ++pos_;  // 'void' parameter list
+      } else {
+        do {
+          fn->params.push_back(ParseParam());
+        } while (Accept(Tok::kComma));
+      }
+    }
+    Expect(Tok::kRParen);
+    fn->body = ParseBlock();
+    return fn;
+  }
+
+  Param ParseParam() {
+    Scalar base = ParseBaseType();
+    Type t{base, false, false, 0};
+    while (Accept(Tok::kStar)) t = Type::PointerTo(base);
+    Param p;
+    p.name = Expect(Tok::kIdent).text;
+    if (Accept(Tok::kLBracket)) {
+      // Array parameters decay to pointers; a size, if present, is ignored.
+      if (!At(Tok::kRBracket)) ParseExpr();
+      Expect(Tok::kRBracket);
+      t = Type::PointerTo(base);
+    }
+    p.type = t;
+    return p;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  StmtPtr ParseBlock() {
+    Expect(Tok::kLBrace);
+    auto blk = std::make_unique<Stmt>(StmtKind::kBlock, Cur().line);
+    while (!At(Tok::kRBrace)) {
+      if (At(Tok::kEof)) Fail("unterminated block");
+      blk->stmts.push_back(ParseStmt());
+    }
+    Expect(Tok::kRBrace);
+    return blk;
+  }
+
+  StmtPtr ParseStmt() {
+    if (At(Tok::kPragma)) {
+      Token p = toks_[pos_++];
+      auto dir = ParseDirective(p.text, p.line);
+      StmtPtr s = ParseStmt();
+      if (dir) {
+        if (s->kind != StmtKind::kWhile && s->kind != StmtKind::kBlock &&
+            s->kind != StmtKind::kFor) {
+          Fail("mapreduce directive must precede a while loop or a block");
+        }
+        s->directive = std::move(dir);
+      }
+      return s;
+    }
+    if (At(Tok::kLBrace)) return ParseBlock();
+    if (AtTypeKeyword()) return ParseDeclStmt();
+    switch (Cur().kind) {
+      case Tok::kKwIf: return ParseIf();
+      case Tok::kKwWhile: return ParseWhile();
+      case Tok::kKwDo: return ParseDoWhile();
+      case Tok::kKwFor: return ParseFor();
+      case Tok::kKwReturn: {
+        auto s = std::make_unique<Stmt>(StmtKind::kReturn, Cur().line);
+        ++pos_;
+        if (!At(Tok::kSemi)) s->expr = ParseExpr();
+        Expect(Tok::kSemi);
+        return s;
+      }
+      case Tok::kKwBreak: {
+        auto s = std::make_unique<Stmt>(StmtKind::kBreak, Cur().line);
+        ++pos_;
+        Expect(Tok::kSemi);
+        return s;
+      }
+      case Tok::kKwContinue: {
+        auto s = std::make_unique<Stmt>(StmtKind::kContinue, Cur().line);
+        ++pos_;
+        Expect(Tok::kSemi);
+        return s;
+      }
+      default: {
+        auto s = std::make_unique<Stmt>(StmtKind::kExpr, Cur().line);
+        s->expr = ParseExpr();
+        Expect(Tok::kSemi);
+        return s;
+      }
+    }
+  }
+
+  StmtPtr ParseDeclStmt() {
+    auto s = std::make_unique<Stmt>(StmtKind::kDecl, Cur().line);
+    Scalar base = ParseBaseType();
+    do {
+      Declarator d;
+      Type t{base, false, false, 0};
+      while (Accept(Tok::kStar)) t = Type::PointerTo(base);
+      d.name = Expect(Tok::kIdent).text;
+      if (Accept(Tok::kLBracket)) {
+        ExprPtr size = ParseExpr();
+        Expect(Tok::kRBracket);
+        t = Type::ArrayOf(base, FoldConstInt(*size));
+      }
+      d.type = t;
+      if (Accept(Tok::kAssign)) d.init = ParseAssign();
+      s->decls.push_back(std::move(d));
+    } while (Accept(Tok::kComma));
+    Expect(Tok::kSemi);
+    return s;
+  }
+
+  StmtPtr ParseIf() {
+    auto s = std::make_unique<Stmt>(StmtKind::kIf, Cur().line);
+    Expect(Tok::kKwIf);
+    Expect(Tok::kLParen);
+    s->expr = ParseExpr();
+    Expect(Tok::kRParen);
+    s->then_stmt = ParseStmt();
+    if (Accept(Tok::kKwElse)) s->else_stmt = ParseStmt();
+    return s;
+  }
+
+  StmtPtr ParseWhile() {
+    auto s = std::make_unique<Stmt>(StmtKind::kWhile, Cur().line);
+    Expect(Tok::kKwWhile);
+    Expect(Tok::kLParen);
+    s->expr = ParseExpr();
+    Expect(Tok::kRParen);
+    s->body = ParseStmt();
+    return s;
+  }
+
+  StmtPtr ParseDoWhile() {
+    auto s = std::make_unique<Stmt>(StmtKind::kDoWhile, Cur().line);
+    Expect(Tok::kKwDo);
+    s->body = ParseStmt();
+    Expect(Tok::kKwWhile);
+    Expect(Tok::kLParen);
+    s->expr = ParseExpr();
+    Expect(Tok::kRParen);
+    Expect(Tok::kSemi);
+    return s;
+  }
+
+  StmtPtr ParseFor() {
+    auto s = std::make_unique<Stmt>(StmtKind::kFor, Cur().line);
+    Expect(Tok::kKwFor);
+    Expect(Tok::kLParen);
+    if (!At(Tok::kSemi)) {
+      if (AtTypeKeyword()) {
+        s->init_stmt = ParseDeclStmt();  // consumes ';'
+      } else {
+        auto init = std::make_unique<Stmt>(StmtKind::kExpr, Cur().line);
+        init->expr = ParseExpr();
+        Expect(Tok::kSemi);
+        s->init_stmt = std::move(init);
+      }
+    } else {
+      Expect(Tok::kSemi);
+    }
+    if (!At(Tok::kSemi)) s->expr = ParseExpr();
+    Expect(Tok::kSemi);
+    if (!At(Tok::kRParen)) s->step = ParseExpr();
+    Expect(Tok::kRParen);
+    s->body = ParseStmt();
+    return s;
+  }
+
+  // --- expressions ---------------------------------------------------------
+  // Full expressions use the comma-free C precedence ladder. The top-level
+  // ParseExpr is assignment (we never need the comma operator).
+
+  ExprPtr ParseExpr() { return ParseAssign(); }
+
+  ExprPtr ParseAssign() {
+    ExprPtr lhs = ParseTernary();
+    AssignOp op;
+    switch (Cur().kind) {
+      case Tok::kAssign: op = AssignOp::kAssign; break;
+      case Tok::kPlusAssign: op = AssignOp::kAdd; break;
+      case Tok::kMinusAssign: op = AssignOp::kSub; break;
+      case Tok::kStarAssign: op = AssignOp::kMul; break;
+      case Tok::kSlashAssign: op = AssignOp::kDiv; break;
+      case Tok::kPercentAssign: op = AssignOp::kMod; break;
+      default: return lhs;
+    }
+    int line = Cur().line;
+    ++pos_;
+    auto e = std::make_unique<Expr>(ExprKind::kAssign, line);
+    e->assign_op = op;
+    e->a = std::move(lhs);
+    e->b = ParseAssign();
+    return e;
+  }
+
+  ExprPtr ParseTernary() {
+    ExprPtr cond = ParseBinary(0);
+    if (!At(Tok::kQuestion)) return cond;
+    int line = Cur().line;
+    ++pos_;
+    auto e = std::make_unique<Expr>(ExprKind::kTernary, line);
+    e->a = std::move(cond);
+    e->b = ParseExpr();
+    Expect(Tok::kColon);
+    e->c = ParseTernary();
+    return e;
+  }
+
+  // Precedence climbing over binary operators.
+  static int Prec(Tok t) {
+    switch (t) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq: case Tok::kNe: return 6;
+      case Tok::kLt: case Tok::kGt: case Tok::kLe: case Tok::kGe: return 7;
+      case Tok::kShl: case Tok::kShr: return 8;
+      case Tok::kPlus: case Tok::kMinus: return 9;
+      case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 10;
+      default: return -1;
+    }
+  }
+
+  static BinOp ToBinOp(Tok t) {
+    switch (t) {
+      case Tok::kOrOr: return BinOp::kOr;
+      case Tok::kAndAnd: return BinOp::kAnd;
+      case Tok::kPipe: return BinOp::kBitOr;
+      case Tok::kCaret: return BinOp::kBitXor;
+      case Tok::kAmp: return BinOp::kBitAnd;
+      case Tok::kEq: return BinOp::kEq;
+      case Tok::kNe: return BinOp::kNe;
+      case Tok::kLt: return BinOp::kLt;
+      case Tok::kGt: return BinOp::kGt;
+      case Tok::kLe: return BinOp::kLe;
+      case Tok::kGe: return BinOp::kGe;
+      case Tok::kShl: return BinOp::kShl;
+      case Tok::kShr: return BinOp::kShr;
+      case Tok::kPlus: return BinOp::kAdd;
+      case Tok::kMinus: return BinOp::kSub;
+      case Tok::kStar: return BinOp::kMul;
+      case Tok::kSlash: return BinOp::kDiv;
+      case Tok::kPercent: return BinOp::kMod;
+      default: HD_CHECK_MSG(false, "not a binary operator"); return BinOp::kAdd;
+    }
+  }
+
+  ExprPtr ParseBinary(int min_prec) {
+    ExprPtr lhs = ParseUnary();
+    for (;;) {
+      int prec = Prec(Cur().kind);
+      if (prec < 0 || prec < min_prec) return lhs;
+      Tok op_tok = Cur().kind;
+      int line = Cur().line;
+      ++pos_;
+      ExprPtr rhs = ParseBinary(prec + 1);
+      auto e = std::make_unique<Expr>(ExprKind::kBinary, line);
+      e->bin_op = ToBinOp(op_tok);
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    int line = Cur().line;
+    auto mk_unary = [&](UnOp op) {
+      ++pos_;
+      auto e = std::make_unique<Expr>(ExprKind::kUnary, line);
+      e->un_op = op;
+      e->a = ParseUnary();
+      return e;
+    };
+    switch (Cur().kind) {
+      case Tok::kMinus: return mk_unary(UnOp::kNeg);
+      case Tok::kBang: return mk_unary(UnOp::kNot);
+      case Tok::kTilde: return mk_unary(UnOp::kBitNot);
+      case Tok::kStar: return mk_unary(UnOp::kDeref);
+      case Tok::kAmp: return mk_unary(UnOp::kAddrOf);
+      case Tok::kPlusPlus: return mk_unary(UnOp::kPreInc);
+      case Tok::kMinusMinus: return mk_unary(UnOp::kPreDec);
+      case Tok::kPlus: ++pos_; return ParseUnary();
+      case Tok::kKwSizeof: {
+        ++pos_;
+        auto e = std::make_unique<Expr>(ExprKind::kSizeof, line);
+        if (At(Tok::kLParen) && IsTypeTok(Next().kind)) {
+          ++pos_;
+          e->cast_type = ParseTypeName();
+          Expect(Tok::kRParen);
+        } else {
+          e->a = ParseUnary();
+        }
+        return e;
+      }
+      case Tok::kLParen:
+        if (IsTypeTok(Next().kind)) {
+          // Cast expression: (type) unary
+          ++pos_;
+          Type t = ParseTypeName();
+          Expect(Tok::kRParen);
+          auto e = std::make_unique<Expr>(ExprKind::kCast, line);
+          e->cast_type = t;
+          e->a = ParseUnary();
+          return e;
+        }
+        break;
+      default:
+        break;
+    }
+    return ParsePostfix();
+  }
+
+  static bool IsTypeTok(Tok t) {
+    switch (t) {
+      case Tok::kKwInt: case Tok::kKwChar: case Tok::kKwFloat:
+      case Tok::kKwDouble: case Tok::kKwVoid: case Tok::kKwLong:
+      case Tok::kKwUnsigned: case Tok::kKwConst: case Tok::kKwSizeT:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Type ParseTypeName() {
+    Scalar base = ParseBaseType();
+    Type t{base, false, false, 0};
+    while (Accept(Tok::kStar)) t = Type::PointerTo(base);
+    return t;
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr e = ParsePrimary();
+    for (;;) {
+      int line = Cur().line;
+      if (Accept(Tok::kLBracket)) {
+        auto idx = std::make_unique<Expr>(ExprKind::kIndex, line);
+        idx->a = std::move(e);
+        idx->b = ParseExpr();
+        Expect(Tok::kRBracket);
+        e = std::move(idx);
+      } else if (At(Tok::kPlusPlus) || At(Tok::kMinusMinus)) {
+        auto u = std::make_unique<Expr>(ExprKind::kUnary, line);
+        u->un_op = At(Tok::kPlusPlus) ? UnOp::kPostInc : UnOp::kPostDec;
+        ++pos_;
+        u->a = std::move(e);
+        e = std::move(u);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    int line = Cur().line;
+    switch (Cur().kind) {
+      case Tok::kIntLit: {
+        auto e = std::make_unique<Expr>(ExprKind::kIntLit, line);
+        e->int_value = Cur().int_value;
+        ++pos_;
+        return e;
+      }
+      case Tok::kCharLit: {
+        auto e = std::make_unique<Expr>(ExprKind::kIntLit, line);
+        e->int_value = Cur().int_value;
+        ++pos_;
+        return e;
+      }
+      case Tok::kFloatLit: {
+        auto e = std::make_unique<Expr>(ExprKind::kFloatLit, line);
+        e->float_value = Cur().float_value;
+        ++pos_;
+        return e;
+      }
+      case Tok::kStringLit: {
+        auto e = std::make_unique<Expr>(ExprKind::kStringLit, line);
+        e->string_value = Cur().text;
+        ++pos_;
+        return e;
+      }
+      case Tok::kIdent: {
+        std::string name = Cur().text;
+        ++pos_;
+        if (At(Tok::kLParen)) {
+          auto e = std::make_unique<Expr>(ExprKind::kCall, line);
+          e->string_value = std::move(name);
+          ++pos_;
+          if (!At(Tok::kRParen)) {
+            do {
+              e->args.push_back(ParseAssign());
+            } while (Accept(Tok::kComma));
+          }
+          Expect(Tok::kRParen);
+          return e;
+        }
+        auto e = std::make_unique<Expr>(ExprKind::kVarRef, line);
+        e->string_value = std::move(name);
+        return e;
+      }
+      case Tok::kLParen: {
+        ++pos_;
+        ExprPtr e = ParseExpr();
+        Expect(Tok::kRParen);
+        return e;
+      }
+      default:
+        Fail(std::string("unexpected token ") + TokName(Cur().kind));
+    }
+  }
+
+  // Folds small constant integer expressions (array sizes).
+  std::int64_t FoldConstInt(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return e.int_value;
+      case ExprKind::kSizeof:
+        if (!e.a) return ScalarSize(e.cast_type.scalar);
+        break;
+      case ExprKind::kUnary:
+        if (e.un_op == UnOp::kNeg) return -FoldConstInt(*e.a);
+        break;
+      case ExprKind::kBinary: {
+        std::int64_t a = FoldConstInt(*e.a), b = FoldConstInt(*e.b);
+        switch (e.bin_op) {
+          case BinOp::kAdd: return a + b;
+          case BinOp::kSub: return a - b;
+          case BinOp::kMul: return a * b;
+          case BinOp::kDiv: HD_CHECK(b != 0); return a / b;
+          default: break;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    Fail("array size must be a constant integer expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TranslationUnit> Parse(std::string_view source) {
+  return Parser(Lex(source)).ParseUnit();
+}
+
+std::unique_ptr<Directive> ParseDirective(std::string_view pragma_text,
+                                          int line) {
+  // Tokenise the clause list with the regular lexer.
+  std::vector<Token> toks = Lex(pragma_text);
+  std::size_t i = 0;
+  auto at_end = [&] { return toks[i].kind == Tok::kEof; };
+  if (at_end() || toks[i].kind != Tok::kIdent ||
+      toks[i].text != "mapreduce") {
+    return nullptr;  // some other pragma; ignored
+  }
+  ++i;
+  auto dir = std::make_unique<Directive>();
+  dir->line = line;
+  bool kind_seen = false;
+  while (!at_end()) {
+    if (toks[i].kind != Tok::kIdent) {
+      throw ParseError("malformed mapreduce directive at line " +
+                       std::to_string(line));
+    }
+    std::string name = toks[i++].text;
+    if (name == "mapper" || name == "combiner") {
+      dir->kind = name == "mapper" ? Directive::Kind::kMapper
+                                   : Directive::Kind::kCombiner;
+      kind_seen = true;
+      continue;
+    }
+    // clause '(' arg (',' arg)* ')'
+    if (toks[i].kind != Tok::kLParen) {
+      throw ParseError("clause '" + name + "' expects arguments at line " +
+                       std::to_string(line));
+    }
+    ++i;
+    std::vector<std::string> args;
+    while (toks[i].kind != Tok::kRParen) {
+      if (toks[i].kind == Tok::kIdent) {
+        args.push_back(toks[i].text);
+      } else if (toks[i].kind == Tok::kIntLit) {
+        args.push_back(std::to_string(toks[i].int_value));
+      } else {
+        throw ParseError("bad argument in clause '" + name + "' at line " +
+                         std::to_string(line));
+      }
+      ++i;
+      if (toks[i].kind == Tok::kComma) ++i;
+    }
+    ++i;  // ')'
+    if (dir->clauses.count(name)) {
+      throw ParseError("duplicate clause '" + name + "' at line " +
+                       std::to_string(line));
+    }
+    dir->clauses.emplace(std::move(name), std::move(args));
+  }
+  if (!kind_seen) {
+    throw ParseError("mapreduce directive needs 'mapper' or 'combiner'");
+  }
+  return dir;
+}
+
+std::string TypeName(const Type& t) {
+  std::string base;
+  switch (t.scalar) {
+    case Scalar::kVoid: base = "void"; break;
+    case Scalar::kChar: base = "char"; break;
+    case Scalar::kInt: base = "int"; break;
+    case Scalar::kFloat: base = "float"; break;
+    case Scalar::kDouble: base = "double"; break;
+  }
+  if (t.is_pointer) return base + "*";
+  if (t.is_array) return base + "[" + std::to_string(t.array_size) + "]";
+  return base;
+}
+
+}  // namespace hd::minic

@@ -1,0 +1,27 @@
+// Recursive-descent parser for the mini-C dialect.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "minic/ast.h"
+
+namespace hd::minic {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Parses a full translation unit (a set of function definitions).
+std::unique_ptr<TranslationUnit> Parse(std::string_view source);
+
+// Parses the body of a `#pragma mapreduce ...` directive (the text after
+// "#pragma"). Returns null if the pragma is not a mapreduce directive.
+// Throws ParseError on a malformed mapreduce directive.
+std::unique_ptr<Directive> ParseDirective(std::string_view pragma_text,
+                                          int line);
+
+}  // namespace hd::minic

@@ -1,0 +1,280 @@
+#include "minic/sema.h"
+
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hd::minic {
+namespace {
+
+// Builtins that only *write* through their pointer argument at the given
+// position; passing an outer array there does not force firstprivate.
+bool BuiltinWritesArg(const std::string& callee, std::size_t arg_index) {
+  if (callee == "strcpy" || callee == "strncpy" || callee == "sprintf" ||
+      callee == "memset") {
+    return arg_index == 0;
+  }
+  if (callee == "getline") return arg_index <= 1;
+  if (callee == "scanf") return arg_index >= 1;
+  return false;
+}
+
+// Tracks per-variable first-access direction while walking the region.
+class RegionWalker {
+ public:
+  RegionWalker(const std::map<std::string, Type>& visible, RegionInfo* out)
+      : visible_(visible), out_(out) {
+    scopes_.emplace_back();
+  }
+
+  void WalkStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        WalkExpr(*s.expr, Access::kRead);
+        break;
+      case StmtKind::kDecl:
+        for (const auto& d : s.decls) {
+          if (d.init) WalkExpr(*d.init, Access::kRead);
+          scopes_.back().insert(d.name);
+        }
+        break;
+      case StmtKind::kBlock:
+        scopes_.emplace_back();
+        for (const auto& sub : s.stmts) WalkStmt(*sub);
+        scopes_.pop_back();
+        break;
+      case StmtKind::kIf:
+        WalkExpr(*s.expr, Access::kRead);
+        WalkStmt(*s.then_stmt);
+        if (s.else_stmt) WalkStmt(*s.else_stmt);
+        break;
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+        WalkExpr(*s.expr, Access::kRead);
+        WalkStmt(*s.body);
+        break;
+      case StmtKind::kFor:
+        scopes_.emplace_back();
+        if (s.init_stmt) WalkStmt(*s.init_stmt);
+        if (s.expr) WalkExpr(*s.expr, Access::kRead);
+        WalkStmt(*s.body);
+        if (s.step) WalkExpr(*s.step, Access::kRead);
+        scopes_.pop_back();
+        break;
+      case StmtKind::kReturn:
+        if (s.expr) WalkExpr(*s.expr, Access::kRead);
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        break;
+    }
+  }
+
+  const std::set<std::string>& written() const { return written_; }
+
+ private:
+  enum class Access { kRead, kWrite, kReadWrite };
+
+  bool DeclaredInside(const std::string& name) const {
+    for (const auto& sc : scopes_) {
+      if (sc.count(name)) return true;
+    }
+    return false;
+  }
+
+  void Note(const std::string& name, Access acc) {
+    if (DeclaredInside(name)) return;
+    auto it = visible_.find(name);
+    if (it == visible_.end()) return;  // builtin constant or function name
+    out_->used_outer.insert(name);
+    out_->outer_types.emplace(name, it->second);
+    if (acc != Access::kWrite && !written_.count(name)) {
+      out_->read_before_write.insert(name);
+    }
+    if (acc != Access::kRead) written_.insert(name);
+  }
+
+  void WalkExpr(const Expr& e, Access acc) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kStringLit:
+        return;
+      case ExprKind::kVarRef:
+        Note(e.string_value, acc);
+        return;
+      case ExprKind::kIndex:
+        // base[idx]: the base array is touched with direction `acc`; the
+        // index is always read.
+        WalkExpr(*e.a, acc);
+        WalkExpr(*e.b, Access::kRead);
+        return;
+      case ExprKind::kUnary:
+        switch (e.un_op) {
+          case UnOp::kPreInc: case UnOp::kPreDec:
+          case UnOp::kPostInc: case UnOp::kPostDec:
+            WalkExpr(*e.a, Access::kReadWrite);
+            return;
+          case UnOp::kAddrOf:
+            // Taking the address escapes the variable: conservatively
+            // read-write (except as handled in call args below).
+            WalkExpr(*e.a, Access::kReadWrite);
+            return;
+          case UnOp::kDeref:
+            WalkExpr(*e.a, acc == Access::kWrite ? Access::kReadWrite : acc);
+            return;
+          default:
+            WalkExpr(*e.a, Access::kRead);
+            return;
+        }
+      case ExprKind::kBinary:
+        WalkExpr(*e.a, Access::kRead);
+        WalkExpr(*e.b, Access::kRead);
+        return;
+      case ExprKind::kAssign:
+        // The RHS is evaluated before the store; a compound assignment also
+        // reads the LHS before writing it.
+        WalkExpr(*e.b, Access::kRead);
+        WalkExpr(*e.a, e.assign_op == AssignOp::kAssign ? Access::kWrite
+                                                        : Access::kReadWrite);
+        return;
+      case ExprKind::kCall: {
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          const Expr& arg = *e.args[i];
+          const bool write_only = BuiltinWritesArg(e.string_value, i);
+          // A bare array/pointer name (or &var) passed to a write-only
+          // builtin position counts as a write; anything else is a read
+          // (conservative for user functions).
+          if (write_only) {
+            if (arg.kind == ExprKind::kVarRef) {
+              WalkExpr(arg, Access::kWrite);
+              continue;
+            }
+            if (arg.kind == ExprKind::kUnary && arg.un_op == UnOp::kAddrOf &&
+                arg.a->kind == ExprKind::kVarRef) {
+              Note(arg.a->string_value, Access::kWrite);
+              continue;
+            }
+          }
+          WalkExpr(arg, Access::kRead);
+        }
+        return;
+      }
+      case ExprKind::kCast:
+        WalkExpr(*e.a, acc);
+        return;
+      case ExprKind::kTernary:
+        WalkExpr(*e.a, Access::kRead);
+        WalkExpr(*e.b, Access::kRead);
+        WalkExpr(*e.c, Access::kRead);
+        return;
+      case ExprKind::kSizeof:
+        return;
+    }
+  }
+
+  const std::map<std::string, Type>& visible_;
+  RegionInfo* out_;
+  std::vector<std::set<std::string>> scopes_;
+  std::set<std::string> written_;
+};
+
+// Walks the function body, maintaining the visible-symbol map, until it
+// reaches `region`; returns true when found (map then holds the symbols
+// visible at that point).
+bool CollectVisible(const Stmt& s, const Stmt& region,
+                    std::map<std::string, Type>* visible) {
+  if (&s == &region) return true;
+  switch (s.kind) {
+    case StmtKind::kDecl:
+      for (const auto& d : s.decls) (*visible)[d.name] = d.type;
+      return false;
+    case StmtKind::kBlock: {
+      // Clone-on-descend so declarations inside nested blocks do not leak.
+      std::map<std::string, Type> inner = *visible;
+      for (const auto& sub : s.stmts) {
+        if (&*sub == &region || CollectVisible(*sub, region, &inner)) {
+          *visible = inner;
+          return true;
+        }
+      }
+      return false;
+    }
+    case StmtKind::kIf:
+      if (s.then_stmt && CollectVisible(*s.then_stmt, region, visible)) {
+        return true;
+      }
+      if (s.else_stmt && CollectVisible(*s.else_stmt, region, visible)) {
+        return true;
+      }
+      return false;
+    case StmtKind::kWhile:
+    case StmtKind::kDoWhile:
+      return s.body && CollectVisible(*s.body, region, visible);
+    case StmtKind::kFor: {
+      std::map<std::string, Type> inner = *visible;
+      if (s.init_stmt && CollectVisible(*s.init_stmt, region, &inner)) {
+        *visible = inner;
+        return true;
+      }
+      if (s.body && CollectVisible(*s.body, region, &inner)) {
+        *visible = inner;
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+RegionInfo AnalyzeRegion(const FunctionDef& fn, const Stmt& region) {
+  std::map<std::string, Type> visible;
+  for (const auto& p : fn.params) visible[p.name] = p.type;
+  bool found = (&*fn.body == &region);
+  if (!found) found = CollectVisible(*fn.body, region, &visible);
+  HD_CHECK_MSG(found, "region not found inside function '" << fn.name << "'");
+  RegionInfo info;
+  RegionWalker walker(visible, &info);
+  walker.WalkStmt(region);
+  for (const auto& name : info.used_outer) {
+    if (!walker.written().count(name)) info.never_written.insert(name);
+  }
+  return info;
+}
+
+const Stmt* FindDirectiveRegion(const FunctionDef& fn, Directive::Kind kind) {
+  const Stmt* found = nullptr;
+  std::function<void(const Stmt&)> walk = [&](const Stmt& s) {
+    if (found) return;
+    if (s.directive && s.directive->kind == kind) {
+      found = &s;
+      return;
+    }
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& sub : s.stmts) walk(*sub);
+        break;
+      case StmtKind::kIf:
+        if (s.then_stmt) walk(*s.then_stmt);
+        if (s.else_stmt) walk(*s.else_stmt);
+        break;
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+        if (s.body) walk(*s.body);
+        break;
+      case StmtKind::kFor:
+        if (s.body) walk(*s.body);
+        break;
+      default:
+        break;
+    }
+  };
+  walk(*fn.body);
+  return found;
+}
+
+}  // namespace hd::minic

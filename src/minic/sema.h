@@ -1,0 +1,41 @@
+// Region analysis for the translator (supports Algorithm 1 of the paper).
+//
+// Given a function and a directive-annotated region inside it, computes:
+//   * which variables used inside the region are declared outside it
+//     (the kernel's external variables, to be classified as sharedRO /
+//     firstprivate / private),
+//   * which of those are read before they are written (the compiler's
+//     automatic firstprivate detection described in §3.2),
+//   * the declared type of every external variable.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "minic/ast.h"
+
+namespace hd::minic {
+
+struct RegionInfo {
+  // Variables referenced in the region but declared outside it.
+  std::set<std::string> used_outer;
+  // Subset of used_outer whose first access in the region may be a read
+  // (conservative): these need firstprivate initialisation.
+  std::set<std::string> read_before_write;
+  // Subset of used_outer that is never written inside the region: eligible
+  // for sharedRO placement.
+  std::set<std::string> never_written;
+  // Declared types of used_outer variables.
+  std::map<std::string, Type> outer_types;
+};
+
+// Analyzes `region` (a statement within fn->body). HD_CHECKs that the
+// region is actually reachable inside the function body.
+RegionInfo AnalyzeRegion(const FunctionDef& fn, const Stmt& region);
+
+// Finds the first statement in the function carrying a directive of the
+// given kind, or null.
+const Stmt* FindDirectiveRegion(const FunctionDef& fn, Directive::Kind kind);
+
+}  // namespace hd::minic

@@ -1,0 +1,91 @@
+// Token definitions for the mini-C frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hd::minic {
+
+enum class Tok {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kCharLit,
+  kPragma,  // full "#pragma ..." line (with continuations folded in)
+  // Keywords.
+  kKwInt,
+  kKwChar,
+  kKwFloat,
+  kKwDouble,
+  kKwVoid,
+  kKwLong,
+  kKwUnsigned,
+  kKwConst,
+  kKwSizeT,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwDo,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwSizeof,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPercentAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kShl,
+  kShr,
+  kQuestion,
+  kColon,
+  kArrow,
+  kDot,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;     // identifier spelling, literal text, or pragma body
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+// Returns a human-readable name for diagnostics.
+const char* TokName(Tok t);
+
+}  // namespace hd::minic

@@ -1,0 +1,61 @@
+// Type representation for the mini-C dialect.
+//
+// The dialect supports the scalar types the HeteroDoop benchmarks use,
+// one-level pointers, and fixed or unsized arrays of scalars. Types are
+// small value objects; no interning is needed at this scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hd::minic {
+
+enum class Scalar : std::uint8_t {
+  kVoid,
+  kChar,
+  kInt,     // also covers 'long' and 'size_t' (64-bit in the interpreter)
+  kFloat,
+  kDouble,
+};
+
+struct Type {
+  Scalar scalar = Scalar::kInt;
+  // 0 = plain scalar; 1 = pointer-to-scalar or array-of-scalar.
+  bool is_pointer = false;
+  bool is_array = false;
+  std::int64_t array_size = 0;  // 0 when unknown (parameter arrays)
+
+  static Type Void() { return {Scalar::kVoid, false, false, 0}; }
+  static Type Char() { return {Scalar::kChar, false, false, 0}; }
+  static Type Int() { return {Scalar::kInt, false, false, 0}; }
+  static Type Float() { return {Scalar::kFloat, false, false, 0}; }
+  static Type Double() { return {Scalar::kDouble, false, false, 0}; }
+  static Type PointerTo(Scalar s) { return {s, true, false, 0}; }
+  static Type ArrayOf(Scalar s, std::int64_t n) { return {s, false, true, n}; }
+
+  bool IsScalarValue() const { return !is_pointer && !is_array; }
+  bool IsFloating() const {
+    return IsScalarValue() &&
+           (scalar == Scalar::kFloat || scalar == Scalar::kDouble);
+  }
+  bool IsIndexable() const { return is_pointer || is_array; }
+
+  bool operator==(const Type&) const = default;
+};
+
+// Size of one element in bytes, matching C on a 64-bit target (the paper's
+// keylength/vallength clauses count elements; byte math uses these sizes).
+constexpr std::int64_t ScalarSize(Scalar s) {
+  switch (s) {
+    case Scalar::kVoid: return 0;
+    case Scalar::kChar: return 1;
+    case Scalar::kInt: return 4;
+    case Scalar::kFloat: return 4;
+    case Scalar::kDouble: return 8;
+  }
+  return 0;
+}
+
+std::string TypeName(const Type& t);
+
+}  // namespace hd::minic

@@ -1,0 +1,237 @@
+// Runtime values and the memory model for the mini-C interpreter.
+//
+// Every variable — scalar or array — is backed by a MemObject. Pointers are
+// (object, element-index) pairs, which gives us bounds checking for free and
+// lets the GPU cost model attribute every access to a memory space.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "minic/types.h"
+
+namespace hd::minic {
+
+// Where an object lives, for cost attribution. Host objects are ordinary
+// CPU memory; the device spaces mirror the CUDA hierarchy the paper uses.
+enum class MemSpace : std::uint8_t {
+  kHost,
+  kDeviceGlobal,
+  kDeviceShared,
+  kDeviceConstant,
+  kDeviceTexture,
+  kDeviceLocal,  // registers / per-thread private storage
+};
+
+struct Ptr;
+
+// A contiguous typed allocation. Elements are stored widened (int64 for
+// integral scalars, double for floating scalars). A MemObject can also be a
+// "pointer cell" array, backing pointer-typed variables and parameters.
+class MemObject {
+ public:
+  struct PtrCellTag {};
+
+  MemObject(std::string name, Scalar elem, std::int64_t count,
+            MemSpace space)
+      : name_(std::move(name)), elem_(elem), space_(space) {
+    HD_CHECK(count >= 0);
+    if (IsFloatElem()) {
+      f_.assign(static_cast<std::size_t>(count), 0.0);
+    } else {
+      i_.assign(static_cast<std::size_t>(count), 0);
+    }
+  }
+
+  MemObject(std::string name, PtrCellTag, std::int64_t count, MemSpace space);
+
+  const std::string& name() const { return name_; }
+  Scalar elem() const { return elem_; }
+  MemSpace space() const { return space_; }
+  void set_space(MemSpace s) { space_ = s; }
+  bool is_ptr_cell() const { return is_ptr_cell_; }
+  bool IsFloatElem() const {
+    return elem_ == Scalar::kFloat || elem_ == Scalar::kDouble;
+  }
+  std::int64_t size() const {
+    if (is_ptr_cell_) return static_cast<std::int64_t>(p_.size());
+    return static_cast<std::int64_t>(IsFloatElem() ? f_.size() : i_.size());
+  }
+  std::int64_t elem_bytes() const {
+    return is_ptr_cell_ ? 8 : ScalarSize(elem_);
+  }
+
+  void CheckIndex(std::int64_t idx) const {
+    HD_CHECK_MSG(!freed_, "use after free of '" << name_ << "'");
+    HD_CHECK_MSG(idx >= 0 && idx < size(),
+                 "out-of-bounds access to '" << name_ << "' index " << idx
+                                             << " (size " << size() << ")");
+  }
+
+  std::int64_t LoadInt(std::int64_t idx) const {
+    HD_CHECK_MSG(!is_ptr_cell_, "data access to pointer cell '" << name_ << "'");
+    CheckIndex(idx);
+    return IsFloatElem() ? static_cast<std::int64_t>(f_[idx]) : i_[idx];
+  }
+  double LoadFloat(std::int64_t idx) const {
+    CheckIndex(idx);
+    return IsFloatElem() ? f_[idx] : static_cast<double>(i_[idx]);
+  }
+  void StoreInt(std::int64_t idx, std::int64_t v) {
+    CheckIndex(idx);
+    if (IsFloatElem()) {
+      f_[idx] = static_cast<double>(v);
+    } else {
+      i_[idx] = Narrow(v);
+    }
+  }
+  void StoreFloat(std::int64_t idx, double v) {
+    CheckIndex(idx);
+    if (IsFloatElem()) {
+      f_[idx] = elem_ == Scalar::kFloat ? static_cast<float>(v) : v;
+    } else {
+      i_[idx] = Narrow(static_cast<std::int64_t>(v));
+    }
+  }
+
+  // Grows an integral object (used by getline's realloc semantics).
+  void Resize(std::int64_t count) {
+    if (IsFloatElem()) {
+      f_.resize(static_cast<std::size_t>(count), 0.0);
+    } else {
+      i_.resize(static_cast<std::size_t>(count), 0);
+    }
+  }
+
+  Ptr LoadPtr(std::int64_t idx) const;
+  void StorePtr(std::int64_t idx, const Ptr& p);
+
+  void MarkFreed() { freed_ = true; }
+  bool freed() const { return freed_; }
+
+  // Reads a NUL-terminated string starting at idx (char objects only).
+  std::string ReadCString(std::int64_t idx) const;
+  // Writes a string plus NUL terminator at idx; checks capacity.
+  void WriteCString(std::int64_t idx, std::string_view s);
+
+ private:
+  std::int64_t Narrow(std::int64_t v) const {
+    return elem_ == Scalar::kChar ? static_cast<signed char>(v) : v;
+  }
+  std::string name_;
+  Scalar elem_;
+  MemSpace space_;
+  bool is_ptr_cell_ = false;
+  bool freed_ = false;
+  std::vector<std::int64_t> i_;
+  std::vector<double> f_;
+  std::vector<Ptr> p_;
+};
+
+// A typed pointer value: element index within an object. A null pointer has
+// obj == nullptr.
+struct Ptr {
+  MemObject* obj = nullptr;
+  std::int64_t index = 0;
+  bool IsNull() const { return obj == nullptr; }
+};
+
+inline MemObject::MemObject(std::string name, PtrCellTag, std::int64_t count,
+                            MemSpace space)
+    : name_(std::move(name)),
+      elem_(Scalar::kVoid),
+      space_(space),
+      is_ptr_cell_(true),
+      p_(static_cast<std::size_t>(count)) {}
+
+inline Ptr MemObject::LoadPtr(std::int64_t idx) const {
+  HD_CHECK_MSG(is_ptr_cell_, "LoadPtr on data object '" << name_ << "'");
+  CheckIndex(idx);
+  return p_[idx];
+}
+
+inline void MemObject::StorePtr(std::int64_t idx, const Ptr& p) {
+  HD_CHECK_MSG(is_ptr_cell_, "StorePtr on data object '" << name_ << "'");
+  CheckIndex(idx);
+  p_[idx] = p;
+}
+
+// A runtime value. The interpreter keeps C's int/float distinction so that
+// `1/2 == 0` while `1.0/2 == 0.5`.
+struct Value {
+  enum class Kind : std::uint8_t { kInt, kFloat, kPtr };
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  double f = 0.0;
+  Ptr p;
+
+  static Value Int(std::int64_t v) {
+    Value x;
+    x.kind = Kind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value Float(double v) {
+    Value x;
+    x.kind = Kind::kFloat;
+    x.f = v;
+    return x;
+  }
+  static Value Pointer(Ptr p) {
+    Value x;
+    x.kind = Kind::kPtr;
+    x.p = p;
+    return x;
+  }
+  static Value Null() { return Pointer(Ptr{}); }
+
+  bool IsTruthy() const {
+    switch (kind) {
+      case Kind::kInt: return i != 0;
+      case Kind::kFloat: return f != 0.0;
+      case Kind::kPtr: return !p.IsNull();
+    }
+    return false;
+  }
+  std::int64_t AsInt() const {
+    switch (kind) {
+      case Kind::kInt: return i;
+      case Kind::kFloat: return static_cast<std::int64_t>(f);
+      case Kind::kPtr: return p.IsNull() ? 0 : 1;
+    }
+    return 0;
+  }
+  double AsFloat() const {
+    return kind == Kind::kFloat ? f : static_cast<double>(AsInt());
+  }
+};
+
+// Owns all MemObjects created during one interpreter run. Objects are stable
+// in memory (deque of unique_ptr) so raw MemObject* stays valid.
+class Memory {
+ public:
+  MemObject* Alloc(std::string name, Scalar elem, std::int64_t count,
+                   MemSpace space = MemSpace::kHost) {
+    objects_.push_back(
+        std::make_unique<MemObject>(std::move(name), elem, count, space));
+    return objects_.back().get();
+  }
+
+  MemObject* AllocPtrCell(std::string name, std::int64_t count = 1,
+                          MemSpace space = MemSpace::kHost) {
+    objects_.push_back(std::make_unique<MemObject>(
+        std::move(name), MemObject::PtrCellTag{}, count, space));
+    return objects_.back().get();
+  }
+
+  std::size_t num_objects() const { return objects_.size(); }
+
+ private:
+  std::deque<std::unique_ptr<MemObject>> objects_;
+};
+
+}  // namespace hd::minic

@@ -1,0 +1,53 @@
+#include "sched/policy.h"
+
+#include <algorithm>
+
+namespace hd::sched {
+
+const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kCpuOnly: return "cpu-only";
+    case Policy::kGpuFirst: return "gpu-first";
+    case Policy::kTail: return "tail";
+  }
+  return "?";
+}
+
+int MaxTasksThisHeartbeat(Policy policy, const NodeSched& node,
+                          int pending_maps, double max_speedup,
+                          int num_slaves) {
+  const int free_slots =
+      node.free_cpu_slots +
+      (policy == Policy::kCpuOnly ? 0 : node.free_gpu_slots);
+  if (policy != Policy::kTail || node.num_gpus == 0) return free_slots;
+  // TailScheduleOnJT: once the job tail begins, hand a TaskTracker only as
+  // many tasks as it has *idle* GPUs (at most numGPUs per heartbeat).
+  // Otherwise the TaskTracker's forced-GPU placement would pile the final
+  // tasks into one node's GPU queue while other nodes' GPUs idle — exactly
+  // the queuing effect §6.2 says this cap exists to counter.
+  const double job_tail =
+      static_cast<double>(node.num_gpus) * max_speedup * num_slaves;
+  if (static_cast<double>(pending_maps) < job_tail) {
+    return std::min(free_slots, node.free_gpu_slots);
+  }
+  return free_slots;
+}
+
+bool PlaceOnGpu(Policy policy, const NodeSched& node,
+                double maps_remaining_per_node) {
+  switch (policy) {
+    case Policy::kCpuOnly:
+      return false;
+    case Policy::kGpuFirst:
+      return node.free_gpu_slots > 0;
+    case Policy::kTail: {
+      const double task_tail =
+          static_cast<double>(node.num_gpus) * node.ave_speedup;
+      if (maps_remaining_per_node <= task_tail) return true;  // tail: force
+      return node.free_gpu_slots > 0;  // body: GPU-first
+    }
+  }
+  return false;
+}
+
+}  // namespace hd::sched

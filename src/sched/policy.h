@@ -1,0 +1,51 @@
+// Scheduling policies (§6): CPU-only baseline Hadoop, GPU-first, and the
+// paper's tail scheduling (Algorithm 2).
+//
+// Note on Algorithm 2's pseudocode: its TaskTracker branch reads
+// `taskTail <= numMapsRemainingPerNode -> forceGPUexecution`, which taken
+// literally would force every task of a long job onto the GPU from the
+// first heartbeat, idling all CPU cores — contradicting both the
+// surrounding prose ("all slots ... force their tasks on the GPU(s) once
+// the taskTail begins") and Fig. 3. We implement the reading consistent
+// with the prose and the figure: the tail begins when the node's share of
+// remaining maps drops to what its GPUs can absorb in one CPU-task time,
+// i.e. force GPU iff numMapsRemainingPerNode <= taskTail.
+#pragma once
+
+namespace hd::sched {
+
+enum class Policy {
+  kCpuOnly,   // baseline Hadoop: GPUs unused
+  kGpuFirst,  // §6.1's simplistic scheme
+  kTail,      // Algorithm 2
+};
+
+const char* PolicyName(Policy p);
+
+// Per-node view used by the policy decisions.
+struct NodeSched {
+  int free_cpu_slots = 0;
+  int free_gpu_slots = 0;
+  int num_gpus = 0;
+  // Average GPU-over-CPU task speedup observed on this TaskTracker
+  // (aveSpeedup). 1.0 until both paths have samples.
+  double ave_speedup = 1.0;
+};
+
+// JobTracker side (TailScheduleOnJT): how many tasks to hand this
+// TaskTracker in the current heartbeat response. `pending_maps` is the
+// job-wide unscheduled map count; `max_speedup` the maximum speedup
+// reported by any TaskTracker.
+int MaxTasksThisHeartbeat(Policy policy, const NodeSched& node,
+                          int pending_maps, double max_speedup,
+                          int num_slaves);
+
+// TaskTracker side (TailScheduleOnTT): whether this task must run on a GPU.
+// `maps_remaining_per_node` is the JobTracker's estimate shipped in the
+// heartbeat response. For kGpuFirst this returns true exactly when a GPU
+// slot is free; for kTail it additionally forces the GPU once the tail
+// begins (callers queue on the GPU when no slot is free).
+bool PlaceOnGpu(Policy policy, const NodeSched& node,
+                double maps_remaining_per_node);
+
+}  // namespace hd::sched

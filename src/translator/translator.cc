@@ -1,0 +1,221 @@
+#include "translator/translator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "minic/parser.h"
+
+namespace hd::translator {
+
+using minic::Directive;
+using minic::Scalar;
+using minic::Type;
+
+const char* VarClassName(VarClass c) {
+  switch (c) {
+    case VarClass::kSharedROScalar: return "sharedRO-scalar(constant)";
+    case VarClass::kSharedROArray: return "sharedRO-array(global)";
+    case VarClass::kTexture: return "texture";
+    case VarClass::kFirstPrivate: return "firstprivate";
+    case VarClass::kPrivate: return "private";
+  }
+  return "?";
+}
+
+const VarPlan* KernelPlan::FindVar(const std::string& name) const {
+  for (const auto& v : vars) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Derives the KV-store slot width for one emitted variable.
+int SlotBytes(const Type& t, int declared_len, const TranslateOptions& opts) {
+  if (declared_len > 0) {
+    // keylength/vallength count elements of the emitted variable.
+    const std::int64_t elem =
+        t.is_array || t.is_pointer ? minic::ScalarSize(t.scalar) : 1;
+    // char arrays: length == bytes; numeric: render as text.
+    if (t.scalar == Scalar::kChar && (t.is_array || t.is_pointer)) {
+      return declared_len;
+    }
+    if (!t.is_array && !t.is_pointer) {
+      return t.IsFloating() ? opts.double_text_bytes : opts.int_text_bytes;
+    }
+    return static_cast<int>(declared_len * elem);
+  }
+  if (t.scalar == Scalar::kChar && t.is_array) {
+    return static_cast<int>(t.array_size);
+  }
+  if (t.IsFloating()) return opts.double_text_bytes;
+  return opts.int_text_bytes;
+}
+
+int ParseIntArg(const Directive& dir, const std::string& clause) {
+  if (!dir.Has(clause)) return 0;
+  const std::string& a = dir.Arg(clause);
+  try {
+    return std::stoi(a);
+  } catch (const std::exception&) {
+    throw TranslateError("clause '" + clause + "' expects an integer, got '" +
+                         a + "'");
+  }
+}
+
+// Implements Algorithm 1: classifies every variable the region uses but
+// does not declare.
+void ClassifyVariables(const Directive& dir, const minic::RegionInfo& info,
+                       const TranslateOptions& opts, KernelPlan* plan) {
+  std::set<std::string> shared_ro, texture, first_private;
+  auto collect = [&](const char* clause, std::set<std::string>* out) {
+    auto it = dir.clauses.find(clause);
+    if (it == dir.clauses.end()) return;
+    for (const auto& name : it->second) {
+      if (!info.used_outer.count(name)) {
+        throw TranslateError("clause '" + std::string(clause) +
+                             "' names variable '" + name +
+                             "' that the region does not use");
+      }
+      out->insert(name);
+    }
+  };
+  collect("sharedRO", &shared_ro);
+  collect("texture", &texture);
+  collect("firstprivate", &first_private);
+
+  for (const auto& name : shared_ro) {
+    if (!info.never_written.count(name)) {
+      throw TranslateError("sharedRO variable '" + name +
+                           "' is written inside the region");
+    }
+  }
+  for (const auto& name : texture) {
+    const Type& t = info.outer_types.at(name);
+    if (!t.is_array && !t.is_pointer) {
+      throw TranslateError("texture clause expects an array, got scalar '" +
+                           name + "'");
+    }
+    if (!info.never_written.count(name)) {
+      throw TranslateError("texture variable '" + name +
+                           "' is written inside the region");
+    }
+  }
+
+  for (const auto& name : info.used_outer) {
+    VarPlan vp;
+    vp.name = name;
+    vp.type = info.outer_types.at(name);
+    if (texture.count(name)) {
+      vp.cls = VarClass::kTexture;
+    } else if (shared_ro.count(name)) {
+      vp.cls = vp.type.IsScalarValue() ? VarClass::kSharedROScalar
+                                       : VarClass::kSharedROArray;
+    } else if (first_private.count(name)) {
+      vp.cls = VarClass::kFirstPrivate;
+    } else if (opts.auto_firstprivate && info.read_before_write.count(name)) {
+      // Automatic detection (§3.2): read-before-write externals must be
+      // initialised from their host values.
+      vp.cls = VarClass::kFirstPrivate;
+    } else {
+      vp.cls = VarClass::kPrivate;
+    }
+    plan->vars.push_back(std::move(vp));
+  }
+  std::sort(plan->vars.begin(), plan->vars.end(),
+            [](const VarPlan& a, const VarPlan& b) { return a.name < b.name; });
+}
+
+KernelPlan BuildPlan(const minic::FunctionDef& fn, const minic::Stmt& region,
+                     const TranslateOptions& opts) {
+  const Directive& dir = *region.directive;
+  KernelPlan plan;
+  plan.kind = dir.kind;
+  plan.fn = &fn;
+  plan.region = &region;
+  plan.directive = &dir;
+
+  const minic::RegionInfo info = minic::AnalyzeRegion(fn, region);
+
+  // Mandatory clauses (Table 1).
+  if (!dir.Has("key") || !dir.Has("value")) {
+    throw TranslateError("mapreduce directive requires key(...) and "
+                         "value(...) clauses");
+  }
+  plan.key_var = dir.Arg("key");
+  plan.value_var = dir.Arg("value");
+  if (dir.kind == Directive::Kind::kCombiner) {
+    if (!dir.Has("keyin") || !dir.Has("valuein")) {
+      throw TranslateError("combiner directive requires keyin(...) and "
+                           "valuein(...) clauses");
+    }
+    plan.keyin_var = dir.Arg("keyin");
+    plan.valuein_var = dir.Arg("valuein");
+  } else {
+    if (dir.Has("keyin") || dir.Has("valuein")) {
+      throw TranslateError("keyin/valuein are only valid on the combiner");
+    }
+  }
+
+  auto type_of = [&](const std::string& name, const char* what) -> Type {
+    auto it = info.outer_types.find(name);
+    if (it == info.outer_types.end()) {
+      throw TranslateError(std::string(what) + " variable '" + name +
+                           "' is not used in the region or not declared");
+    }
+    return it->second;
+  };
+
+  const Type key_t = type_of(plan.key_var, "key");
+  const Type val_t = type_of(plan.value_var, "value");
+  if (dir.kind == Directive::Kind::kCombiner) {
+    type_of(plan.keyin_var, "keyin");
+    type_of(plan.valuein_var, "valuein");
+  }
+
+  plan.kv.key_is_array = key_t.is_array || key_t.is_pointer;
+  plan.kv.val_is_array = val_t.is_array || val_t.is_pointer;
+  plan.kv.key_slot_bytes =
+      SlotBytes(key_t, ParseIntArg(dir, "keylength"), opts);
+  plan.kv.val_slot_bytes =
+      SlotBytes(val_t, ParseIntArg(dir, "vallength"), opts);
+  HD_CHECK(plan.kv.key_slot_bytes > 0);
+  HD_CHECK(plan.kv.val_slot_bytes > 0);
+
+  plan.kvpairs_hint = ParseIntArg(dir, "kvpairs");
+  plan.blocks_hint = ParseIntArg(dir, "blocks");
+  plan.threads_hint = ParseIntArg(dir, "threads");
+  if (dir.kind == Directive::Kind::kCombiner && plan.kvpairs_hint != 0) {
+    throw TranslateError("kvpairs is only valid on the mapper");
+  }
+
+  ClassifyVariables(dir, info, opts, &plan);
+  return plan;
+}
+
+}  // namespace
+
+TranslatedProgram Translate(const std::string& source,
+                            const TranslateOptions& options) {
+  TranslatedProgram out;
+  out.unit = minic::Parse(source);
+  const minic::FunctionDef* main_fn = out.unit->FindFunction("main");
+  if (main_fn == nullptr) {
+    throw TranslateError("program has no main() function");
+  }
+  if (const minic::Stmt* region =
+          minic::FindDirectiveRegion(*main_fn, Directive::Kind::kMapper)) {
+    out.map_plan = BuildPlan(*main_fn, *region, options);
+  }
+  if (const minic::Stmt* region =
+          minic::FindDirectiveRegion(*main_fn, Directive::Kind::kCombiner)) {
+    out.combine_plan = BuildPlan(*main_fn, *region, options);
+  }
+  if (!out.map_plan && !out.combine_plan) {
+    throw TranslateError("no mapreduce directive found in main()");
+  }
+  return out;
+}
+
+}  // namespace hd::translator

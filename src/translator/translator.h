@@ -1,0 +1,105 @@
+// The HeteroDoop source-to-source translator (§4 of the paper).
+//
+// Input: a sequential Hadoop Streaming filter program in mini-C carrying
+// `#pragma mapreduce mapper|combiner ...` directives (Table 1).
+// Output: a TranslatedProgram — the parsed AST plus a KernelPlan per
+// directive. A KernelPlan is this repository's analog of the generated CUDA
+// kernel of Listings 3/4: it records the region to execute per GPU thread,
+// the Algorithm-1 classification of every external variable (constant /
+// texture / global / firstprivate / private placement), the KV slot layout
+// for the global KV store, and the launch-tuning hints (blocks/threads/
+// kvpairs). The GPU runtime (src/gpurt) consumes the plan to execute the
+// region per simulated thread with the stdio builtins swapped for
+// getRecord/emitKV/getKV/storeKV, exactly as the paper's translator swaps
+// the calls in the generated source.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+#include "minic/sema.h"
+
+namespace hd::translator {
+
+class TranslateError : public std::runtime_error {
+ public:
+  explicit TranslateError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Placement of one kernel-external variable (Algorithm 1).
+enum class VarClass {
+  kSharedROScalar,  // kernel parameter -> constant memory
+  kSharedROArray,   // device global memory, copied in
+  kTexture,         // texture memory, copied in (read-only cache)
+  kFirstPrivate,    // private per thread, initialised from host value
+  kPrivate,         // private per thread, uninitialised
+};
+
+const char* VarClassName(VarClass c);
+
+struct VarPlan {
+  std::string name;
+  minic::Type type;
+  VarClass cls = VarClass::kPrivate;
+};
+
+// Fixed-slot layout of emitted KV pairs in the global KV store. Keys and
+// values are stored as NUL-padded text so the GPU path emits byte-identical
+// pairs to the CPU streaming path (printf "%s\t%d\n").
+struct KvLayout {
+  int key_slot_bytes = 0;
+  int val_slot_bytes = 0;
+  bool key_is_array = false;  // char[] keys/values enable char4 vector R/W
+  bool val_is_array = false;
+};
+
+struct KernelPlan {
+  minic::Directive::Kind kind = minic::Directive::Kind::kMapper;
+  const minic::FunctionDef* fn = nullptr;
+  const minic::Stmt* region = nullptr;
+  const minic::Directive* directive = nullptr;
+
+  std::vector<VarPlan> vars;
+
+  std::string key_var;
+  std::string value_var;
+  // Combiner only (incoming KV pair variables).
+  std::string keyin_var;
+  std::string valuein_var;
+
+  KvLayout kv;
+
+  // Launch hints; 0 = use runtime defaults.
+  int kvpairs_hint = 0;
+  int blocks_hint = 0;
+  int threads_hint = 0;
+
+  const VarPlan* FindVar(const std::string& name) const;
+};
+
+struct TranslatedProgram {
+  std::shared_ptr<minic::TranslationUnit> unit;
+  std::optional<KernelPlan> map_plan;
+  std::optional<KernelPlan> combine_plan;
+};
+
+struct TranslateOptions {
+  // When false, only user-annotated firstprivate variables are initialised
+  // (disables the compiler's automatic detection; used by ablation tests).
+  bool auto_firstprivate = true;
+  // Text slot widths for keys/values rendered from numeric variables.
+  int int_text_bytes = 16;
+  int double_text_bytes = 28;
+};
+
+// Parses `source` and builds kernel plans for every mapreduce directive in
+// main(). Throws TranslateError (or Lex/Parse errors) on invalid input.
+TranslatedProgram Translate(const std::string& source,
+                            const TranslateOptions& options = {});
+
+}  // namespace hd::translator

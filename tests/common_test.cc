@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace hd {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(HD_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsOnFalse) {
+  EXPECT_THROW(HD_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageCarriesContext) {
+  try {
+    HD_CHECK_MSG(2 > 3, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2 > 3"), std::string::npos);
+  }
+}
+
+TEST(Prng, Deterministic) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, BoundedStaysInRange) {
+  Prng p(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(p.NextBounded(13), 13u);
+  }
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng p(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = p.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, GaussianMomentsRoughlyStandard) {
+  Prng p(123);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = p.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Zipf, RankZeroMostFrequent) {
+  Prng p(5);
+  ZipfSampler z(100, 1.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[z.Sample(p)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(Zipf, AllRanksReachable) {
+  Prng p(6);
+  ZipfSampler z(4, 0.5);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) counts[z.Sample(p)]++;
+  EXPECT_EQ(counts.size(), 4u);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto v = Split("a,,b,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  auto v = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "foo");
+  EXPECT_EQ(v[2], "baz");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x y \t"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, JoinAndAffixes) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_TRUE(StartsWith("wordcount", "word"));
+  EXPECT_FALSE(StartsWith("wc", "word"));
+  EXPECT_TRUE(EndsWith("map.c", ".c"));
+  EXPECT_FALSE(EndsWith("map.c", ".cu"));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(FormatDouble(-0.125, 3), "-0.125");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(256ull << 20), "256.0 MiB");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.Row().Cell("wc").Cell(2.78, 2);
+  t.Row().Cell("blackscholes").Cell(std::uint64_t{47});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("wc"), std::string::npos);
+  EXPECT_NE(s.find("2.78"), std::string::npos);
+  EXPECT_NE(s.find("blackscholes"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.Cell("x"), CheckError);
+}
+
+}  // namespace
+}  // namespace hd

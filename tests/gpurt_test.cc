@@ -1,0 +1,559 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpurt/cpu_task.h"
+#include "gpurt/gpu_task.h"
+#include "gpurt/kv.h"
+#include "gpurt/kvstore.h"
+#include "gpurt/records.h"
+#include "gpurt/sort.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hd::gpurt {
+namespace {
+
+using gpusim::DeviceConfig;
+using gpusim::GpuDevice;
+
+// --- fixtures -------------------------------------------------------------
+
+constexpr const char* kWordcountMap = R"(
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+  int i = offset;
+  int j = 0;
+  while (i < read && !isalnum(line[i])) i++;
+  if (i >= read) return -1;
+  while (i < read && isalnum(line[i]) && j < maxw - 1) {
+    word[j] = line[i];
+    i++;
+    j++;
+  }
+  word[j] = '\0';
+  return i - offset;
+}
+int main() {
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(1) kvpairs(32)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+
+constexpr const char* kWordcountCombine = R"(
+int main() {
+  char word[30], prevWord[30];
+  int count, val, read;
+  prevWord[0] = '\0';
+  count = 0;
+  #pragma mapreduce combiner key(prevWord) value(count) \
+    keyin(word) valuein(val) keylength(30) vallength(1) \
+    firstprivate(prevWord, count)
+  {
+    while ((read = scanf("%s %d", word, &val)) == 2) {
+      if (strcmp(word, prevWord) == 0) {
+        count += val;
+      } else {
+        if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+        strcpy(prevWord, word);
+        count = val;
+      }
+    }
+    if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+  }
+  return 0;
+}
+)";
+
+// Map-only doubler: emits <n, 2n> per input line.
+constexpr const char* kDoublerMap = R"(
+int main() {
+  char *line;
+  size_t n = 64;
+  int read, v, w;
+  line = (char*) malloc(n);
+  #pragma mapreduce mapper key(v) value(w)
+  while ((read = getline(&line, &n, stdin)) != -1) {
+    v = atoi(line);
+    w = v * 2;
+    printf("%d\t%d\n", v, w);
+  }
+  free(line);
+  return 0;
+}
+)";
+
+// Texture-friendly map: every record scans a read-only table.
+constexpr const char* kTableScanMap = R"(
+int main() {
+  double table[256];
+  int i;
+  for (i = 0; i < 256; i++) table[i] = i * 0.5;
+  char *line;
+  size_t n = 64;
+  int read, k;
+  double s;
+  line = (char*) malloc(n);
+  #pragma mapreduce mapper key(k) value(s) texture(table) kvpairs(1)
+  while ((read = getline(&line, &n, stdin)) != -1) {
+    k = atoi(line);
+    s = 0.0;
+    for (i = 0; i < 256; i++) s += table[(k + i) % 256];
+    printf("%d\t%f\n", k, s);
+  }
+  free(line);
+  return 0;
+}
+)";
+
+DeviceConfig TestDevice() {
+  DeviceConfig c = DeviceConfig::TeslaK40();
+  c.num_sms = 4;
+  return c;
+}
+
+std::string WordsInput() {
+  return "the cat sat on the mat\nthe dog ate the bone\ncat and dog\n";
+}
+
+std::string NumbersInput(int n) {
+  std::string s;
+  for (int i = 0; i < n; ++i) s += std::to_string(i % 97) + "\n";
+  return s;
+}
+
+// Sums the numeric values per key across all partitions.
+std::map<std::string, long> KeySums(
+    const std::vector<std::vector<KvPair>>& partitions) {
+  std::map<std::string, long> sums;
+  for (const auto& part : partitions) {
+    for (const auto& kv : part) sums[kv.key] += std::stol(kv.value);
+  }
+  return sums;
+}
+
+GpuTaskOptions SmallGpuOpts(int reducers) {
+  GpuTaskOptions o;
+  o.blocks = 4;
+  o.threads = 32;
+  o.num_reducers = reducers;
+  return o;
+}
+
+// --- kv helpers ------------------------------------------------------------
+
+TEST(Kv, PartitionStableAndInRange) {
+  for (int r : {1, 2, 7, 48}) {
+    for (const char* k : {"", "a", "hello", "the", "12345"}) {
+      const int p = PartitionOf(k, r);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, r);
+      EXPECT_EQ(p, PartitionOf(k, r)) << "unstable for " << k;
+    }
+  }
+}
+
+TEST(Kv, PartitionSpreadsKeys) {
+  std::map<int, int> hist;
+  for (int i = 0; i < 1000; ++i) hist[PartitionOf(std::to_string(i), 8)]++;
+  EXPECT_EQ(hist.size(), 8u);
+}
+
+TEST(Kv, FormatParseRoundtrip) {
+  KvPair kv{"key", "some value"};
+  EXPECT_EQ(ParseKvLine("key\tsome value"), kv);
+  EXPECT_EQ(FormatKv(kv), "key\tsome value\n");
+  auto pairs = ParseKvText("a\t1\nb\t2\n");
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[1].key, "b");
+  EXPECT_EQ(FormatKvText(pairs), "a\t1\nb\t2\n");
+}
+
+TEST(Kv, LineWithoutTab) {
+  EXPECT_EQ(ParseKvLine("solo"), (KvPair{"solo", ""}));
+}
+
+// --- records ----------------------------------------------------------------
+
+TEST(Records, LocatesNewlineDelimited) {
+  auto r = LocateRecords("ab\ncdef\n\nx");
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0].offset, 0);
+  EXPECT_EQ(r[0].length, 3);
+  EXPECT_EQ(r[1].offset, 3);
+  EXPECT_EQ(r[1].length, 5);
+  EXPECT_EQ(r[2].length, 1);  // empty line
+  EXPECT_EQ(r[3].offset, 9);
+  EXPECT_EQ(r[3].length, 1);  // no trailing newline
+}
+
+TEST(Records, EmptyInput) { EXPECT_TRUE(LocateRecords("").empty()); }
+
+// --- KV store ----------------------------------------------------------------
+
+TEST(KvStore, EmitAndCounts) {
+  GlobalKvStore store(4, 40, 8, 8);
+  EXPECT_EQ(store.slots_per_thread(), 10);
+  store.Emit(0, {"a", "1"});
+  store.Emit(0, {"b", "2"});
+  store.Emit(3, {"c", "3"});
+  EXPECT_EQ(store.CountFor(0), 2);
+  EXPECT_EQ(store.CountFor(3), 1);
+  EXPECT_EQ(store.total_emitted(), 3);
+  // Bounding box: max(2) * 4 threads = 8 slots; 3 used.
+  EXPECT_EQ(store.UsedBoundingBoxSlots(), 8);
+  EXPECT_EQ(store.WhitespaceSlots(), 5);
+}
+
+TEST(KvStore, PortionOverflowThrows) {
+  GlobalKvStore store(2, 4, 8, 8);  // 2 slots per thread
+  store.Emit(0, {"a", "1"});
+  store.Emit(0, {"b", "2"});
+  EXPECT_THROW(store.Emit(0, {"c", "3"}), CheckError);
+}
+
+TEST(KvStore, OversizedKeyThrows) {
+  GlobalKvStore store(1, 4, 4, 4);
+  EXPECT_THROW(store.Emit(0, {"toolongkey", "1"}), CheckError);
+}
+
+TEST(KvStore, TakeAllPreservesThreadOrder) {
+  GlobalKvStore store(2, 8, 8, 8);
+  store.Emit(1, {"late", "1"});
+  store.Emit(0, {"early", "1"});
+  auto all = store.TakeAll();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].key, "early");
+  EXPECT_EQ(all[1].key, "late");
+  EXPECT_EQ(store.total_emitted(), 0);
+}
+
+// --- CPU task ----------------------------------------------------------------
+
+TEST(CpuTask, WordcountWithCombiner) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  CpuTaskOptions opts;
+  opts.num_reducers = 2;
+  CpuMapTask task(job, cpu, opts);
+  auto result = task.Run(WordsInput());
+  auto sums = KeySums(result.partitions);
+  EXPECT_EQ(sums["the"], 4);
+  EXPECT_EQ(sums["cat"], 2);
+  EXPECT_EQ(sums["dog"], 2);
+  EXPECT_EQ(sums["bone"], 1);
+  EXPECT_GT(result.phases.map, 0.0);
+  EXPECT_GT(result.phases.sort, 0.0);
+  EXPECT_GT(result.phases.combine, 0.0);
+  EXPECT_GT(result.phases.output_write, 0.0);
+  EXPECT_EQ(result.phases.record_count, 0.0);
+  EXPECT_EQ(result.stats.records, 3);
+}
+
+TEST(CpuTask, CombinerShrinksOutput) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  CpuTaskOptions opts;
+  opts.num_reducers = 1;
+  CpuMapTask task(job, cpu, opts);
+  auto result = task.Run("a a a a b\n");
+  EXPECT_EQ(result.stats.map_kv_pairs, 5);
+  EXPECT_EQ(result.stats.out_kv_pairs, 2);
+}
+
+TEST(CpuTask, MapOnlyJob) {
+  JobProgram job = CompileJob(kDoublerMap);
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  CpuTaskOptions opts;
+  opts.num_reducers = 0;
+  CpuMapTask task(job, cpu, opts);
+  auto result = task.Run("3\n5\n");
+  ASSERT_EQ(result.partitions.size(), 1u);
+  ASSERT_EQ(result.partitions[0].size(), 2u);
+  EXPECT_EQ(result.partitions[0][0], (KvPair{"3", "6"}));
+  EXPECT_EQ(result.phases.sort, 0.0);
+  EXPECT_EQ(result.phases.combine, 0.0);
+}
+
+// --- GPU task ----------------------------------------------------------------
+
+TEST(GpuTask, WordcountMatchesCpuAggregates) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  CpuTaskOptions copts;
+  copts.num_reducers = 2;
+  auto cpu_result = CpuMapTask(job, cpu, copts).Run(WordsInput());
+
+  GpuDevice device(TestDevice());
+  GpuMapTask task(job, &device, SmallGpuOpts(2));
+  auto gpu_result = task.Run(WordsInput());
+
+  // Combine outputs may be partially aggregated on the GPU (§4.2), but the
+  // per-key sums must agree.
+  EXPECT_EQ(KeySums(cpu_result.partitions), KeySums(gpu_result.partitions));
+  EXPECT_EQ(gpu_result.stats.records, 3);
+  EXPECT_EQ(gpu_result.stats.map_kv_pairs, cpu_result.stats.map_kv_pairs);
+}
+
+TEST(GpuTask, MapOnlyOutputsMatchCpuExactly) {
+  JobProgram job = CompileJob(kDoublerMap);
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  CpuTaskOptions copts;
+  copts.num_reducers = 0;
+  auto cpu_result = CpuMapTask(job, cpu, copts).Run(NumbersInput(50));
+
+  GpuDevice device(TestDevice());
+  GpuMapTask task(job, &device, SmallGpuOpts(0));
+  auto gpu_result = task.Run(NumbersInput(50));
+
+  ASSERT_EQ(gpu_result.partitions.size(), 1u);
+  // Record stealing permutes order; compare as sorted multisets.
+  auto cp = cpu_result.partitions[0];
+  auto gp = gpu_result.partitions[0];
+  auto by_kv = [](const KvPair& a, const KvPair& b) {
+    return std::tie(a.key, a.value) < std::tie(b.key, b.value);
+  };
+  std::sort(cp.begin(), cp.end(), by_kv);
+  std::sort(gp.begin(), gp.end(), by_kv);
+  EXPECT_EQ(cp, gp);
+}
+
+TEST(GpuTask, PhasesPopulated) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  GpuDevice device(TestDevice());
+  GpuMapTask task(job, &device, SmallGpuOpts(2));
+  auto r = task.Run(WordsInput());
+  EXPECT_GT(r.phases.input_read, 0.0);
+  EXPECT_GT(r.phases.record_count, 0.0);
+  EXPECT_GT(r.phases.map, 0.0);
+  EXPECT_GT(r.phases.aggregate, 0.0);
+  EXPECT_GT(r.phases.sort, 0.0);
+  EXPECT_GT(r.phases.combine, 0.0);
+  EXPECT_GT(r.phases.output_write, 0.0);
+  EXPECT_GT(r.stats.shared_atomics, 0);
+  EXPECT_EQ(r.stats.global_atomics, 0);
+}
+
+TEST(GpuTask, DeviceMemoryReleasedAfterRun) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  GpuDevice device(TestDevice());
+  GpuMapTask task(job, &device, SmallGpuOpts(2));
+  task.Run(WordsInput());
+  EXPECT_EQ(device.used_bytes(), 0);
+}
+
+TEST(GpuTask, OomOnTinyDevice) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  DeviceConfig cfg = TestDevice();
+  cfg.global_mem_bytes = 128;  // cannot even hold the input
+  GpuDevice device(cfg);
+  GpuMapTask task(job, &device, SmallGpuOpts(2));
+  EXPECT_THROW(task.Run(WordsInput()), gpusim::DeviceOomError);
+  EXPECT_EQ(device.used_bytes(), 0);  // guard released partial allocations
+}
+
+TEST(GpuTask, KvpairsHintShrinksStore) {
+  // kWordcountMap carries kvpairs(32): allocation is bounded by records.
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  GpuDevice device(TestDevice());
+  GpuMapTask task(job, &device, SmallGpuOpts(2));
+  auto r = task.Run(WordsInput());
+  const std::int64_t full_store_slots =
+      device.config().global_mem_bytes / (30 + 16 + 4);
+  EXPECT_LT(r.stats.allocated_slots, full_store_slots / 2);
+}
+
+TEST(GpuTask, RecordStealingBeatsStaticOnSkewedRecords) {
+  // No kvpairs clause: the huge records emit hundreds of pairs.
+  std::string map_src = kWordcountMap;
+  const std::string hint = " kvpairs(32)";
+  map_src.erase(map_src.find(hint), hint.size());
+  JobProgram job = CompileJob(map_src, kWordcountCombine);
+  // Two adjacent huge records in a sea of tiny ones: the static contiguous
+  // split hands both to thread 0, while stealing spreads them across
+  // threads.
+  std::string input;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 300; ++j) input += "word" + std::to_string(j) + " ";
+    input += "\n";
+  }
+  for (int i = 0; i < 126; ++i) input += "a\n";
+
+  GpuTaskOptions steal = SmallGpuOpts(2);
+  steal.blocks = 1;
+  steal.threads = 64;
+  GpuTaskOptions fixed = steal;
+  fixed.record_stealing = false;
+
+  GpuDevice d1(TestDevice()), d2(TestDevice());
+  auto r_steal = GpuMapTask(job, &d1, steal).Run(input);
+  auto r_fixed = GpuMapTask(job, &d2, fixed).Run(input);
+  EXPECT_LT(r_steal.phases.map, r_fixed.phases.map);
+  EXPECT_EQ(KeySums(r_steal.partitions), KeySums(r_fixed.partitions));
+}
+
+TEST(GpuTask, GlobalStealingCostsMoreThanBlockStealing) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  const std::string input = NumbersInput(400);
+  GpuTaskOptions block_steal = SmallGpuOpts(2);
+  GpuTaskOptions global_steal = block_steal;
+  global_steal.global_stealing = true;
+  GpuDevice d1(TestDevice()), d2(TestDevice());
+  auto r_block = GpuMapTask(job, &d1, block_steal).Run(input);
+  auto r_global = GpuMapTask(job, &d2, global_steal).Run(input);
+  EXPECT_GT(r_global.stats.global_atomics, 0);
+  EXPECT_LT(r_block.phases.map, r_global.phases.map);
+  EXPECT_EQ(KeySums(r_block.partitions), KeySums(r_global.partitions));
+}
+
+TEST(GpuTask, VectorizationSpeedsUpCombine) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  const std::string input = WordsInput() + WordsInput() + WordsInput();
+  GpuTaskOptions vec = SmallGpuOpts(2);
+  GpuTaskOptions novec = vec;
+  novec.vectorize_combine = false;
+  GpuDevice d1(TestDevice()), d2(TestDevice());
+  auto r_vec = GpuMapTask(job, &d1, vec).Run(input);
+  auto r_novec = GpuMapTask(job, &d2, novec).Run(input);
+  EXPECT_LT(r_vec.phases.combine, r_novec.phases.combine);
+  EXPECT_EQ(KeySums(r_vec.partitions), KeySums(r_novec.partitions));
+}
+
+TEST(GpuTask, VectorizationSpeedsUpMap) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  const std::string input = WordsInput() + WordsInput();
+  GpuTaskOptions vec = SmallGpuOpts(2);
+  GpuTaskOptions novec = vec;
+  novec.vectorize_map = false;
+  GpuDevice d1(TestDevice()), d2(TestDevice());
+  auto r_vec = GpuMapTask(job, &d1, vec).Run(input);
+  auto r_novec = GpuMapTask(job, &d2, novec).Run(input);
+  EXPECT_LT(r_vec.phases.map, r_novec.phases.map);
+}
+
+TEST(GpuTask, AggregationSpeedsUpSort) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine);
+  // Skewed emission (some threads emit many pairs) creates whitespace.
+  std::string input;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 30; ++j) input += "w" + std::to_string(j) + " ";
+    input += "\n";
+  }
+  for (int i = 0; i < 120; ++i) input += "x\n";
+  GpuTaskOptions agg = SmallGpuOpts(2);
+  GpuTaskOptions noagg = agg;
+  noagg.aggregate_before_sort = false;
+  GpuDevice d1(TestDevice()), d2(TestDevice());
+  auto r_agg = GpuMapTask(job, &d1, agg).Run(input);
+  auto r_noagg = GpuMapTask(job, &d2, noagg).Run(input);
+  EXPECT_GT(r_agg.stats.whitespace_slots, 0);
+  EXPECT_LT(r_agg.phases.sort, r_noagg.phases.sort);
+  EXPECT_GT(r_agg.phases.aggregate, 0.0);
+  EXPECT_EQ(r_noagg.phases.aggregate, 0.0);
+  EXPECT_EQ(KeySums(r_agg.partitions), KeySums(r_noagg.partitions));
+}
+
+TEST(GpuTask, TextureSpeedsUpTableScan) {
+  JobProgram job = CompileJob(kTableScanMap);
+  const std::string input = NumbersInput(200);
+  GpuTaskOptions tex = SmallGpuOpts(2);
+  GpuTaskOptions notex = tex;
+  notex.use_texture = false;
+  GpuDevice d1(TestDevice()), d2(TestDevice());
+  auto r_tex = GpuMapTask(job, &d1, tex).Run(input);
+  auto r_notex = GpuMapTask(job, &d2, notex).Run(input);
+  EXPECT_GT(r_tex.stats.texture_hits, 0);
+  EXPECT_EQ(r_notex.stats.texture_hits, 0);
+  EXPECT_LT(r_tex.phases.map, r_notex.phases.map);
+  EXPECT_EQ(KeySums(r_tex.partitions), KeySums(r_notex.partitions));
+}
+
+TEST(GpuTask, TableScanMatchesCpuValues) {
+  JobProgram job = CompileJob(kTableScanMap);
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  CpuTaskOptions copts;
+  copts.num_reducers = 2;
+  auto cpu_r = CpuMapTask(job, cpu, copts).Run(NumbersInput(40));
+  GpuDevice device(TestDevice());
+  auto gpu_r = GpuMapTask(job, &device, SmallGpuOpts(2)).Run(NumbersInput(40));
+  // No combiner: partitions should match exactly after sorting.
+  ASSERT_EQ(cpu_r.partitions.size(), gpu_r.partitions.size());
+  for (std::size_t p = 0; p < cpu_r.partitions.size(); ++p) {
+    auto c = cpu_r.partitions[p], g = gpu_r.partitions[p];
+    auto by_kv = [](const KvPair& a, const KvPair& b) {
+      return std::tie(a.key, a.value) < std::tie(b.key, b.value);
+    };
+    std::sort(c.begin(), c.end(), by_kv);
+    std::sort(g.begin(), g.end(), by_kv);
+    EXPECT_EQ(c, g) << "partition " << p;
+  }
+}
+
+// --- reduce ------------------------------------------------------------------
+
+constexpr const char* kSumReduce = R"(
+int main() {
+  char word[30], prevWord[30];
+  int count, val;
+  prevWord[0] = '\0';
+  count = 0;
+  while (scanf("%s %d", word, &val) == 2) {
+    if (strcmp(word, prevWord) == 0) {
+      count += val;
+    } else {
+      if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+      strcpy(prevWord, word);
+      count = val;
+    }
+  }
+  if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+  return 0;
+}
+)";
+
+TEST(Reduce, SumsSortedStream) {
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine, kSumReduce);
+  std::vector<KvPair> sorted = {{"a", "2"}, {"a", "3"}, {"b", "1"}};
+  auto r = RunReduce(*job.reduce, sorted, gpusim::CpuConfig::XeonE5_2680());
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(r.output[0], (KvPair{"a", "5"}));
+  EXPECT_EQ(r.output[1], (KvPair{"b", "1"}));
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Reduce, RestoresCombinerEquivalence) {
+  // GPU combine may emit partial aggregates; the reducer must converge to
+  // the same final answer as the CPU pipeline.
+  JobProgram job = CompileJob(kWordcountMap, kWordcountCombine, kSumReduce);
+  const std::string input = WordsInput() + WordsInput();
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  CpuTaskOptions copts;
+  copts.num_reducers = 1;
+  auto cpu_r = CpuMapTask(job, cpu, copts).Run(input);
+  GpuDevice device(TestDevice());
+  auto gpu_r = GpuMapTask(job, &device, SmallGpuOpts(1)).Run(input);
+
+  auto finish = [&](const std::vector<std::vector<KvPair>>& parts) {
+    std::vector<KvPair> merged = parts[0];
+    SortPairsByKey(&merged);
+    return RunReduce(*job.reduce, merged, cpu).output;
+  };
+  EXPECT_EQ(finish(cpu_r.partitions), finish(gpu_r.partitions));
+}
+
+}  // namespace
+}  // namespace hd::gpurt

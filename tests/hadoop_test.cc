@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "hadoop/engine.h"
+#include "hadoop/functional_source.h"
+#include "hadoop/task_source.h"
+
+namespace hd::hadoop {
+namespace {
+
+using sched::Policy;
+
+CalibratedTaskSource::Params BaseParams() {
+  CalibratedTaskSource::Params p;
+  p.num_maps = 64;
+  p.num_reducers = 2;
+  p.cpu_task_sec = 12.0;
+  p.gpu_task_sec = 2.0;  // 6x speedup
+  p.variation = 0.0;
+  p.map_output_bytes = 1 << 20;
+  p.reduce_sec = 1.0;
+  return p;
+}
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.num_slaves = 4;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(2.0, [&] { order.push_back(2); });
+  q.At(1.0, [&] { order.push_back(1); });
+  q.At(1.0, [&] { order.push_back(11); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, PastEventRejected) {
+  EventQueue q;
+  q.At(5.0, [] {});
+  q.Step();
+  EXPECT_THROW(q.At(1.0, [] {}), CheckError);
+}
+
+TEST(Calibrated, DeterministicAndScaled) {
+  CalibratedTaskSource::Params p = BaseParams();
+  p.variation = 0.2;
+  CalibratedTaskSource a(p), b(p);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.MapTask(i, false).seconds, b.MapTask(i, false).seconds);
+    // Same per-task factor on both paths: GPU/CPU ratio is constant.
+    EXPECT_NEAR(a.MapTask(i, false).seconds / a.MapTask(i, true).seconds,
+                6.0, 1e-9);
+  }
+}
+
+TEST(Calibrated, UnsupportedGpuThrows) {
+  CalibratedTaskSource::Params p = BaseParams();
+  p.gpu_supported = false;
+  CalibratedTaskSource src(p);
+  EXPECT_THROW(src.MapTask(0, true), GpuTaskFailure);
+  EXPECT_NO_THROW(src.MapTask(0, false));
+}
+
+TEST(Engine, CpuOnlyUsesNoGpus) {
+  CalibratedTaskSource src(BaseParams());
+  JobEngine engine(SmallCluster(), &src, Policy::kCpuOnly);
+  JobResult r = engine.Run();
+  EXPECT_EQ(r.gpu_tasks, 0);
+  EXPECT_EQ(r.cpu_tasks, 64);
+  EXPECT_GT(r.makespan_sec, 0.0);
+  // 64 tasks / 8 CPU slots = 8 waves of 12s plus scheduling latency.
+  EXPECT_GE(r.makespan_sec, 8 * 12.0);
+  EXPECT_LT(r.makespan_sec, 8 * 12.0 + 40.0);
+}
+
+TEST(Engine, GpuFirstBeatsCpuOnly) {
+  CalibratedTaskSource src1(BaseParams()), src2(BaseParams());
+  JobResult cpu_only =
+      JobEngine(SmallCluster(), &src1, Policy::kCpuOnly).Run();
+  JobResult gpu_first =
+      JobEngine(SmallCluster(), &src2, Policy::kGpuFirst).Run();
+  EXPECT_GT(gpu_first.gpu_tasks, 0);
+  EXPECT_EQ(gpu_first.gpu_tasks + gpu_first.cpu_tasks, 64);
+  EXPECT_LT(gpu_first.makespan_sec, cpu_only.makespan_sec);
+}
+
+TEST(Engine, TailBeatsGpuFirstOnFig3LikeScenario) {
+  // Fig. 3: one slave with 2 CPU slots and 1 GPU (6x), 19 tasks.
+  CalibratedTaskSource::Params p = BaseParams();
+  p.num_maps = 19;
+  p.num_reducers = 0;
+  p.cpu_task_sec = 12.0;
+  p.gpu_task_sec = 2.0;
+  ClusterConfig c;
+  c.num_slaves = 1;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  c.heartbeat_sec = 0.2;
+  CalibratedTaskSource src1(p), src2(p);
+  JobResult gpu_first = JobEngine(c, &src1, Policy::kGpuFirst).Run();
+  JobResult tail = JobEngine(c, &src2, Policy::kTail).Run();
+  EXPECT_LT(tail.makespan_sec, gpu_first.makespan_sec);
+  EXPECT_GT(tail.gpu_tasks, gpu_first.gpu_tasks);
+}
+
+TEST(Engine, TailNeverMuchWorseThanGpuFirst) {
+  for (double gpu_sec : {1.0, 3.0, 6.0, 12.0}) {
+    CalibratedTaskSource::Params p = BaseParams();
+    p.gpu_task_sec = gpu_sec;
+    CalibratedTaskSource src1(p), src2(p);
+    JobResult gpu_first =
+        JobEngine(SmallCluster(), &src1, Policy::kGpuFirst).Run();
+    JobResult tail = JobEngine(SmallCluster(), &src2, Policy::kTail).Run();
+    EXPECT_LE(tail.makespan_sec, gpu_first.makespan_sec * 1.10)
+        << "gpu_task_sec=" << gpu_sec;
+  }
+}
+
+TEST(Engine, SpeedupObservedConvergesToTruth) {
+  CalibratedTaskSource src(BaseParams());
+  JobResult r = JobEngine(SmallCluster(), &src, Policy::kGpuFirst).Run();
+  EXPECT_NEAR(r.max_observed_speedup, 6.0, 0.5);
+}
+
+TEST(Engine, GpuFailuresFallBackToCpu) {
+  CalibratedTaskSource::Params p = BaseParams();
+  p.gpu_supported = false;
+  CalibratedTaskSource src(p);
+  JobResult r = JobEngine(SmallCluster(), &src, Policy::kGpuFirst).Run();
+  EXPECT_GT(r.gpu_failures, 0);
+  EXPECT_EQ(r.gpu_tasks, 0);
+  EXPECT_EQ(r.cpu_tasks, 64);
+}
+
+TEST(Engine, ReduceExtendsMakespan) {
+  CalibratedTaskSource::Params p = BaseParams();
+  p.reduce_sec = 30.0;
+  CalibratedTaskSource src(p);
+  JobResult r = JobEngine(SmallCluster(), &src, Policy::kGpuFirst).Run();
+  EXPECT_GT(r.makespan_sec, r.map_phase_end_sec + 29.0);
+}
+
+TEST(Engine, MapOnlyJobEndsWithMaps) {
+  CalibratedTaskSource::Params p = BaseParams();
+  p.num_reducers = 0;
+  CalibratedTaskSource src(p);
+  JobResult r = JobEngine(SmallCluster(), &src, Policy::kGpuFirst).Run();
+  EXPECT_DOUBLE_EQ(r.makespan_sec, r.map_phase_end_sec);
+}
+
+TEST(Engine, LocalityPreferredWhenHdfsAttached) {
+  CalibratedTaskSource::Params p = BaseParams();
+  p.num_maps = 32;
+  CalibratedTaskSource src(p);
+  hdfs::Hdfs fs(4, hdfs::HdfsConfig{.block_size = 1 << 20, .replication = 3});
+  fs.PutSyntheticFile("/in", 32, 1 << 20);
+  ClusterConfig c = SmallCluster();
+  JobEngine engine(c, &src, Policy::kGpuFirst, &fs, "/in");
+  JobResult r = engine.Run();
+  // With replication 3 over 4 nodes most tasks should be data-local.
+  EXPECT_LT(r.nonlocal_tasks, 8);
+}
+
+TEST(Engine, SplitCountMismatchRejected) {
+  CalibratedTaskSource src(BaseParams());  // 64 maps
+  hdfs::Hdfs fs(4, hdfs::HdfsConfig{});
+  fs.PutSyntheticFile("/in", 10, 1 << 20);
+  EXPECT_THROW(
+      JobEngine(SmallCluster(), &src, Policy::kGpuFirst, &fs, "/in"),
+      CheckError);
+}
+
+TEST(Engine, MoreGpusShortenJob) {
+  double prev = 1e30;
+  for (int gpus : {1, 2, 3}) {
+    CalibratedTaskSource::Params p = BaseParams();
+    p.num_maps = 128;
+    CalibratedTaskSource src(p);
+    ClusterConfig c = SmallCluster();
+    c.gpus_per_node = gpus;
+    JobResult r = JobEngine(c, &src, Policy::kTail).Run();
+    EXPECT_LT(r.makespan_sec, prev) << gpus << " GPUs";
+    prev = r.makespan_sec;
+  }
+}
+
+TEST(Engine, HeterogeneousNodesSlowTheJobProportionally) {
+  // Extension (paper 9 future work): per-node speed factors.
+  CalibratedTaskSource::Params p = BaseParams();
+  p.num_reducers = 0;
+  CalibratedTaskSource fast_src(p), mixed_src(p);
+  ClusterConfig fast = SmallCluster();
+  JobResult r_fast = JobEngine(fast, &fast_src, Policy::kCpuOnly).Run();
+  ClusterConfig mixed = SmallCluster();
+  mixed.node_speed_factors = {1.0, 1.0, 2.0, 2.0};  // half the nodes at 2x
+  JobResult r_mixed = JobEngine(mixed, &mixed_src, Policy::kCpuOnly).Run();
+  EXPECT_GT(r_mixed.makespan_sec, r_fast.makespan_sec * 1.15);
+  EXPECT_LT(r_mixed.makespan_sec, r_fast.makespan_sec * 2.1);
+  EXPECT_EQ(r_mixed.cpu_tasks, 64);
+}
+
+TEST(Engine, HeterogeneityStillBenefitsFromGpus) {
+  CalibratedTaskSource::Params p = BaseParams();
+  CalibratedTaskSource src1(p), src2(p);
+  ClusterConfig c = SmallCluster();
+  c.node_speed_factors = {1.0, 1.5, 2.0, 3.0};
+  JobResult cpu_only = JobEngine(c, &src1, Policy::kCpuOnly).Run();
+  JobResult tail = JobEngine(c, &src2, Policy::kTail).Run();
+  EXPECT_LT(tail.makespan_sec, cpu_only.makespan_sec);
+}
+
+TEST(Engine, TraceRecordsSchedule) {
+  CalibratedTaskSource::Params p = BaseParams();
+  p.num_maps = 4;
+  p.num_reducers = 0;
+  CalibratedTaskSource src(p);
+  ClusterConfig c = SmallCluster();
+  std::ostringstream trace;
+  c.trace = &trace;
+  JobEngine(c, &src, Policy::kGpuFirst).Run();
+  const std::string t = trace.str();
+  // 4 starts + 4 finishes, each tagged with a processor.
+  EXPECT_EQ(std::count(t.begin(), t.end(), '\n'), 8);
+  EXPECT_NE(t.find(" GPU"), std::string::npos);
+  EXPECT_NE(t.find("start task=0"), std::string::npos);
+  EXPECT_NE(t.find("finish task=3"), std::string::npos);
+}
+
+TEST(Engine, BadSpeedFactorsRejected) {
+  CalibratedTaskSource src(BaseParams());
+  ClusterConfig c = SmallCluster();
+  c.node_speed_factors = {1.0, 2.0};  // wrong arity for 4 slaves
+  EXPECT_THROW(JobEngine(c, &src, Policy::kCpuOnly), CheckError);
+  c.node_speed_factors = {1.0, 1.0, 0.0, 1.0};
+  EXPECT_THROW(JobEngine(c, &src, Policy::kCpuOnly), CheckError);
+}
+
+// --- functional cluster run -------------------------------------------------
+
+constexpr const char* kWcMap = R"(
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+  int i = offset;
+  int j = 0;
+  while (i < read && !isalnum(line[i])) i++;
+  if (i >= read) return -1;
+  while (i < read && isalnum(line[i]) && j < maxw - 1) {
+    word[j] = line[i]; i++; j++;
+  }
+  word[j] = '\0';
+  return i - offset;
+}
+int main() {
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0; offset = 0; one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+
+constexpr const char* kWcCombine = R"(
+int main() {
+  char word[30], prevWord[30];
+  int count, val, read;
+  prevWord[0] = '\0';
+  count = 0;
+  #pragma mapreduce combiner key(prevWord) value(count) keyin(word) \
+    valuein(val) keylength(30) vallength(1) firstprivate(prevWord, count)
+  {
+    while ((read = scanf("%s %d", word, &val)) == 2) {
+      if (strcmp(word, prevWord) == 0) { count += val; }
+      else {
+        if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+        strcpy(prevWord, word);
+        count = val;
+      }
+    }
+    if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+  }
+  return 0;
+}
+)";
+
+constexpr const char* kWcReduce = R"(
+int main() {
+  char word[30], prevWord[30];
+  int count, val;
+  prevWord[0] = '\0';
+  count = 0;
+  while (scanf("%s %d", word, &val) == 2) {
+    if (strcmp(word, prevWord) == 0) { count += val; }
+    else {
+      if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+      strcpy(prevWord, word);
+      count = val;
+    }
+  }
+  if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+  return 0;
+}
+)";
+
+TEST(FunctionalCluster, WordcountEndToEnd) {
+  gpurt::JobProgram job = gpurt::CompileJob(kWcMap, kWcCombine, kWcReduce);
+  std::vector<std::string> splits = {
+      "the cat sat\n", "on the mat\n", "the dog ate\n", "the bone now\n",
+      "cat and dog\n", "mat and bone\n"};
+  FunctionalTaskSource::Options fopts;
+  fopts.num_reducers = 2;
+  fopts.gpu.blocks = 2;
+  fopts.gpu.threads = 32;
+
+  std::map<std::string, long> expect = {
+      {"the", 4}, {"cat", 2}, {"sat", 1}, {"on", 1},  {"mat", 2},
+      {"dog", 2}, {"ate", 1}, {"bone", 2}, {"now", 1}, {"and", 2}};
+
+  for (Policy policy : {Policy::kCpuOnly, Policy::kGpuFirst, Policy::kTail}) {
+    FunctionalTaskSource source(job, splits, fopts);
+    ClusterConfig c;
+    c.num_slaves = 2;
+    c.map_slots_per_node = 2;
+    c.gpus_per_node = 1;
+    c.heartbeat_sec = 0.01;
+    JobResult r = JobEngine(c, &source, policy).Run();
+    std::map<std::string, long> got;
+    for (const auto& kv : r.final_output) got[kv.key] += std::stol(kv.value);
+    EXPECT_EQ(got, expect) << sched::PolicyName(policy);
+    EXPECT_EQ(r.cpu_tasks + r.gpu_tasks, 6) << sched::PolicyName(policy);
+    if (policy != Policy::kCpuOnly) {
+      EXPECT_GT(r.gpu_tasks, 0) << sched::PolicyName(policy);
+    }
+  }
+}
+
+TEST(FunctionalCluster, HdfsBackedRunMatchesInMemory) {
+  gpurt::JobProgram job = gpurt::CompileJob(kWcMap, kWcCombine, kWcReduce);
+  std::vector<std::string> splits = {"alpha beta\n", "beta gamma\n",
+                                     "gamma alpha\n", "alpha beta gamma\n"};
+  hdfs::Hdfs fs(2, hdfs::HdfsConfig{.block_size = 1 << 20, .replication = 2});
+  fs.PutFile("/wc", splits);
+  FunctionalTaskSource::Options fopts;
+  fopts.num_reducers = 1;
+  fopts.gpu.blocks = 2;
+  fopts.gpu.threads = 32;
+  FunctionalTaskSource hdfs_src(job, fs, "/wc", fopts);
+  FunctionalTaskSource mem_src(job, splits, fopts);
+  ClusterConfig c;
+  c.num_slaves = 2;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  c.heartbeat_sec = 0.01;
+  auto r1 = JobEngine(c, &hdfs_src, Policy::kGpuFirst, &fs, "/wc").Run();
+  auto r2 = JobEngine(c, &mem_src, Policy::kGpuFirst).Run();
+  EXPECT_EQ(r1.final_output, r2.final_output);
+}
+
+TEST(FunctionalCluster, GpuOomFallsBackAndStillCorrect) {
+  gpurt::JobProgram job = gpurt::CompileJob(kWcMap, kWcCombine, kWcReduce);
+  std::vector<std::string> splits = {"aa bb\n", "bb cc\n"};
+  FunctionalTaskSource::Options fopts;
+  fopts.num_reducers = 1;
+  fopts.device.global_mem_bytes = 64;  // everything OOMs on the GPU
+  FunctionalTaskSource source(job, splits, fopts);
+  ClusterConfig c;
+  c.num_slaves = 1;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  c.heartbeat_sec = 0.01;
+  JobResult r = JobEngine(c, &source, Policy::kGpuFirst).Run();
+  EXPECT_GT(r.gpu_failures, 0);
+  EXPECT_EQ(r.gpu_tasks, 0);
+  std::map<std::string, long> got;
+  for (const auto& kv : r.final_output) got[kv.key] += std::stol(kv.value);
+  EXPECT_EQ(got["bb"], 2);
+}
+
+}  // namespace
+}  // namespace hd::hadoop

@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include "minic/interp.h"
+#include "minic/parser.h"
+
+namespace hd::minic {
+namespace {
+
+// Runs main() over `input`, returning captured stdout.
+std::string RunProgram(std::string_view src, std::string input = "",
+                std::int64_t* exit_code = nullptr) {
+  auto unit = Parse(src);
+  TextIoEnv io(std::move(input));
+  CountingHooks hooks;
+  Interp interp(*unit, &io, &hooks);
+  std::int64_t rc = interp.RunMain();
+  if (exit_code) *exit_code = rc;
+  return io.TakeOutput();
+}
+
+TEST(Interp, ReturnsExitCode) {
+  std::int64_t rc = -1;
+  RunProgram("int main() { return 7; }", "", &rc);
+  EXPECT_EQ(rc, 7);
+}
+
+TEST(Interp, IntegerArithmeticIsCLike) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    printf("%d %d %d %d\n", 7/2, 7%2, -7/2, 1+2*3);
+    return 0; })"),
+            "3 1 -3 7\n");
+}
+
+TEST(Interp, FloatPromotion) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    printf("%.2f %.2f\n", 7.0/2, 1/2 + 0.5);
+    return 0; })"),
+            "3.50 0.50\n");
+}
+
+TEST(Interp, FloatNarrowingOnFloatVar) {
+  // Storing into a float variable rounds to float precision.
+  EXPECT_EQ(RunProgram(R"(int main() {
+    float f; f = 0.1;
+    printf("%.9f\n", f);
+    return 0; })"),
+            "0.100000001\n");
+}
+
+TEST(Interp, CharNarrowing) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char c; c = 321;           /* wraps to 65 */
+    printf("%c %d\n", c, c);
+    return 0; })"),
+            "A 65\n");
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  EXPECT_EQ(RunProgram(R"(
+int boom() { printf("boom"); return 1; }
+int main() {
+  int x; x = 0;
+  if (x != 0 && boom()) { }
+  if (x == 0 || boom()) { }
+  printf("ok\n");
+  return 0; })"),
+            "ok\n");
+}
+
+TEST(Interp, ArraysAndPointerArithmetic) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int a[5];
+    int i;
+    for (i = 0; i < 5; i++) a[i] = i * i;
+    int *p; p = a + 2;
+    printf("%d %d %d\n", a[4], *p, p[1]);
+    return 0; })"),
+            "16 4 9\n");
+}
+
+TEST(Interp, AddressOfScalar) {
+  EXPECT_EQ(RunProgram(R"(
+void setit(int *p) { *p = 42; }
+int main() {
+  int x; x = 0;
+  setit(&x);
+  printf("%d\n", x);
+  return 0; })"),
+            "42\n");
+}
+
+TEST(Interp, RecursionWorks) {
+  EXPECT_EQ(RunProgram(R"(
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() { printf("%d\n", fact(10)); return 0; })"),
+            "3628800\n");
+}
+
+TEST(Interp, StringBuiltins) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char a[16], b[16];
+    strcpy(a, "hello");
+    strcpy(b, a);
+    strcat(b, "!");
+    printf("%d %d %s\n", strcmp(a, b), strlen(b), b);
+    return 0; })"),
+            "-1 6 hello!\n");
+}
+
+TEST(Interp, StrstrFindsSubstring) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char h[32];
+    strcpy(h, "mapreduce");
+    char *p; p = strstr(h, "red");
+    if (p != NULL) printf("%s\n", p);
+    p = strstr(h, "gpu");
+    if (p == NULL) printf("none\n");
+    return 0; })"),
+            "reduce\nnone\n");
+}
+
+TEST(Interp, AtoiAtof) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    printf("%d %.2f\n", atoi("123"), atof("2.5"));
+    return 0; })"),
+            "123 2.50\n");
+}
+
+TEST(Interp, GetlineReadsRecords) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char *line; size_t n; int read;
+    n = 64;
+    line = (char*) malloc(n * sizeof(char));
+    while ((read = getline(&line, &n, stdin)) != -1) {
+      printf("%d:%s", read, line);
+    }
+    free(line);
+    return 0; })",
+                "ab\ncdef\n"),
+            "3:ab\n5:cdef\n");
+}
+
+TEST(Interp, GetlineGrowsBuffer) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char *line; size_t n; int read;
+    n = 2;
+    line = (char*) malloc(n);
+    read = getline(&line, &n, stdin);
+    printf("%d %d\n", read, n >= 11);
+    return 0; })",
+                "0123456789\n"),
+            "11 1\n");
+}
+
+TEST(Interp, ScanfParsesTokens) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char w[16]; int v; double d;
+    while (scanf("%s %d %lf", w, &v, &d) == 3) {
+      printf("%s=%d/%.1f\n", w, v, d);
+    }
+    return 0; })",
+                "cat 3 1.5\ndog 4 2.5\n"),
+            "cat=3/1.5\ndog=4/2.5\n");
+}
+
+TEST(Interp, ScanfReturnsEofOnExhausted) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int v;
+    printf("%d\n", scanf("%d", &v));
+    return 0; })",
+                ""),
+            "-1\n");
+}
+
+TEST(Interp, SprintfFormats) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char buf[64];
+    sprintf(buf, "%s-%03d", "id", 7);
+    printf("%s\n", buf);
+    return 0; })"),
+            "id-007\n");
+}
+
+TEST(Interp, MathBuiltins) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    printf("%.2f %.2f %.2f %.2f\n", sqrt(16.0), pow(2.0, 10.0),
+           fabs(-2.5), exp(0.0));
+    return 0; })"),
+            "4.00 1024.00 2.50 1.00\n");
+}
+
+TEST(Interp, OutOfBoundsThrows) {
+  EXPECT_THROW(RunProgram("int main() { int a[3]; a[3] = 1; return 0; }"),
+               CheckError);
+}
+
+TEST(Interp, UseAfterFreeThrows) {
+  EXPECT_THROW(RunProgram(R"(int main() {
+    char *p; p = (char*) malloc(4);
+    free(p);
+    p[0] = 'x';
+    return 0; })"),
+               CheckError);
+}
+
+TEST(Interp, NullDerefThrows) {
+  EXPECT_THROW(RunProgram("int main() { char *p; p = NULL; p[0] = 1; return 0; }"),
+               InterpError);
+}
+
+TEST(Interp, DivideByZeroThrows) {
+  EXPECT_THROW(RunProgram("int main() { int x; x = 0; return 1 / x; }"),
+               InterpError);
+}
+
+TEST(Interp, StepLimitStopsInfiniteLoop) {
+  auto unit = Parse("int main() { while (1) { } return 0; }");
+  TextIoEnv io("");
+  CountingHooks hooks;
+  Interp::Options opts;
+  opts.max_steps = 10'000;
+  Interp interp(*unit, &io, &hooks, opts);
+  EXPECT_THROW(interp.RunMain(), InterpError);
+}
+
+TEST(Interp, UnknownFunctionThrows) {
+  EXPECT_THROW(RunProgram("int main() { frobnicate(1); return 0; }"), InterpError);
+}
+
+TEST(Interp, HooksCountOperations) {
+  auto unit = Parse(R"(int main() {
+    int i, s; s = 0;
+    for (i = 0; i < 100; i++) s += i * 2;
+    return s; })");
+  TextIoEnv io("");
+  CountingHooks hooks;
+  Interp interp(*unit, &io, &hooks);
+  interp.RunMain();
+  EXPECT_GE(hooks.count(OpClass::kIntMul), 100);
+  EXPECT_GE(hooks.count(OpClass::kBranch), 100);
+  EXPECT_GT(hooks.total_ops(), 300);
+}
+
+TEST(Interp, HooksCountMemoryTraffic) {
+  auto unit = Parse(R"(int main() {
+    int a[64]; int i;
+    for (i = 0; i < 64; i++) a[i] = i;
+    int s; s = 0;
+    for (i = 0; i < 64; i++) s += a[i];
+    return s; })");
+  TextIoEnv io("");
+  CountingHooks hooks;
+  Interp interp(*unit, &io, &hooks);
+  interp.RunMain();
+  EXPECT_EQ(hooks.mem_writes(), 64);
+  EXPECT_EQ(hooks.mem_reads(), 64);
+}
+
+TEST(Interp, TernaryAndBitOps) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int x; x = 5;
+    printf("%d %d %d %d %d %d\n", x > 3 ? 1 : 2, x & 3, x | 8, x ^ 1,
+           x << 2, x >> 1);
+    return 0; })"),
+            "1 1 13 4 20 2\n");
+}
+
+TEST(Interp, CastsBetweenScalars) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    double d; d = 3.9;
+    int i; i = (int) d;
+    double back; back = (double) i / 2;
+    float f; f = (float) 0.1;
+    printf("%d %.1f %d\n", i, back, f < 0.1000001);
+    return 0; })"),
+            "3 1.5 1\n");
+}
+
+TEST(Interp, DoWhileRunsBodyAtLeastOnce) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int n; n = 10;
+    do { printf("%d", n); n++; } while (n < 10);
+    printf("\n");
+    return 0; })"),
+            "10\n");
+}
+
+TEST(Interp, PointerComparisonsWithinObject) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int a[8];
+    int *p; int *q;
+    p = a + 2;
+    q = a + 5;
+    printf("%d %d %d %d\n", p < q, q - p, p == a + 2, p != q);
+    return 0; })"),
+            "1 3 1 1\n");
+}
+
+TEST(Interp, IncrementDecrementSemantics) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int i; i = 5;
+    printf("%d %d %d %d %d\n", i++, i, ++i, i--, --i);
+    return 0; })"),
+            "5 6 7 7 5\n");
+}
+
+TEST(Interp, MemsetFillsRange) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char b[8];
+    memset(b, 120, 7);
+    b[7] = '\0';
+    printf("%s\n", b);
+    return 0; })"),
+            "xxxxxxx\n");
+}
+
+TEST(Interp, StrncpyAndStrncmp) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    char d[16];
+    strncpy(d, "abcdef", 3);
+    printf("%s %d %d\n", d, strncmp("abcx", "abcy", 3),
+           strncmp("abcx", "abcy", 4));
+    return 0; })"),
+            "abc 0 -1\n");
+}
+
+TEST(Interp, NegativeModuloMatchesC) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    printf("%d %d\n", -7 % 3, 7 % -3);
+    return 0; })"),
+            "-1 1\n");
+}
+
+TEST(Interp, BreakEscapesOnlyInnerLoop) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int i, j, n; n = 0;
+    for (i = 0; i < 3; i++) {
+      for (j = 0; j < 10; j++) {
+        if (j == 2) break;
+        n++;
+      }
+    }
+    printf("%d\n", n);
+    return 0; })"),
+            "6\n");
+}
+
+TEST(Interp, ContinueSkipsRest) {
+  EXPECT_EQ(RunProgram(R"(int main() {
+    int i, n; n = 0;
+    for (i = 0; i < 10; i++) {
+      if (i % 2 == 0) continue;
+      n += i;
+    }
+    printf("%d\n", n);
+    return 0; })"),
+            "25\n");
+}
+
+// --- The paper's Listing 1 + Listing 2: wordcount, end to end on the CPU
+// path (interpreter as the "gcc" backend of Hadoop Streaming). -------------
+
+constexpr const char* kWordcountMap = R"(
+#include <stdio.h>
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+  int i = offset;
+  int j = 0;
+  while (i < read && !isalnum(line[i])) i++;
+  if (i >= read) return -1;
+  while (i < read && isalnum(line[i]) && j < maxw - 1) {
+    word[j] = line[i];
+    i++;
+    j++;
+  }
+  word[j] = '\0';
+  return i - offset;
+}
+int main() {
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+
+constexpr const char* kWordcountCombine = R"(
+#include <stdio.h>
+int main() {
+  char word[30], prevWord[30];
+  int count, val, read;
+  prevWord[0] = '\0';
+  count = 0;
+  #pragma mapreduce combiner key(prevWord) value(count) \
+    keyin(word) valuein(val) keylength(30) vallength(1) \
+    firstprivate(prevWord, count)
+  {
+    while ((read = scanf("%s %d", word, &val)) == 2) {
+      if (strcmp(word, prevWord) == 0) {
+        count += val;
+      } else {
+        if (prevWord[0] != '\0')
+          printf("%s\t%d\n", prevWord, count);
+        strcpy(prevWord, word);
+        count = val;
+      }
+    }
+    if (prevWord[0] != '\0')
+      printf("%s\t%d\n", prevWord, count);
+  }
+  return 0;
+}
+)";
+
+TEST(Wordcount, MapEmitsKvPairs) {
+  EXPECT_EQ(RunProgram(kWordcountMap, "the cat\nthe dog\n"),
+            "the\t1\ncat\t1\nthe\t1\ndog\t1\n");
+}
+
+TEST(Wordcount, MapSplitsPunctuation) {
+  EXPECT_EQ(RunProgram(kWordcountMap, "a,b;;c\n"), "a\t1\nb\t1\nc\t1\n");
+}
+
+TEST(Wordcount, MapTruncatesLongWords) {
+  std::string input(40, 'x');
+  input += "\n";
+  std::string out = RunProgram(kWordcountMap, input);
+  // 30-char buffer holds 29 chars + NUL; the rest forms a second word.
+  EXPECT_EQ(out, std::string(29, 'x') + "\t1\n" + std::string(11, 'x') +
+                     "\t1\n");
+}
+
+TEST(Wordcount, CombineSumsSortedRuns) {
+  EXPECT_EQ(RunProgram(kWordcountCombine, "cat 1\ncat 1\ndog 1\n"),
+            "cat\t2\ndog\t1\n");
+}
+
+TEST(Wordcount, CombineEmptyInputEmitsNothing) {
+  EXPECT_EQ(RunProgram(kWordcountCombine, ""), "");
+}
+
+TEST(Wordcount, MapThenSortThenCombineMatchesExpected) {
+  std::string mapped = RunProgram(kWordcountMap, "b a b\na b a\n");
+  // Shuffle-sort the KV lines like the framework would.
+  std::vector<std::string> lines;
+  std::istringstream is(mapped);
+  std::string l;
+  while (std::getline(is, l)) lines.push_back(l);
+  std::sort(lines.begin(), lines.end());
+  std::string sorted;
+  for (auto& s : lines) sorted += s + "\n";
+  EXPECT_EQ(RunProgram(kWordcountCombine, sorted), "a\t3\nb\t3\n");
+}
+
+}  // namespace
+}  // namespace hd::minic

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "minic/lexer.h"
+
+namespace hd::minic {
+namespace {
+
+std::vector<Tok> Kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const auto& t : Lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = Lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, Identifiers) {
+  auto toks = Lex("foo _bar baz42");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz42");
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(Kinds("int char while"),
+            (std::vector<Tok>{Tok::kKwInt, Tok::kKwChar, Tok::kKwWhile,
+                              Tok::kEof}));
+}
+
+TEST(Lexer, IntLiterals) {
+  auto toks = Lex("0 42 0x1F");
+  EXPECT_EQ(toks[0].int_value, 0);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 31);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto toks = Lex("1.5 2e3 0.5f 3.");
+  EXPECT_EQ(toks[0].kind, Tok::kFloatLit);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 0.5);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 3.0);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto toks = Lex(R"("a\tb\n" "\\" "\0")");
+  EXPECT_EQ(toks[0].text, "a\tb\n");
+  EXPECT_EQ(toks[1].text, "\\");
+  EXPECT_EQ(toks[2].text, std::string(1, '\0'));
+}
+
+TEST(Lexer, CharLiterals) {
+  auto toks = Lex(R"('a' '\0' '\t')");
+  EXPECT_EQ(toks[0].int_value, 'a');
+  EXPECT_EQ(toks[1].int_value, 0);
+  EXPECT_EQ(toks[2].int_value, '\t');
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  EXPECT_EQ(Kinds("++ + += == = <= << <"),
+            (std::vector<Tok>{Tok::kPlusPlus, Tok::kPlus, Tok::kPlusAssign,
+                              Tok::kEq, Tok::kAssign, Tok::kLe, Tok::kShl,
+                              Tok::kLt, Tok::kEof}));
+}
+
+TEST(Lexer, CommentsSkipped) {
+  EXPECT_EQ(Kinds("a // comment\n b /* multi\nline */ c"),
+            (std::vector<Tok>{Tok::kIdent, Tok::kIdent, Tok::kIdent,
+                              Tok::kEof}));
+}
+
+TEST(Lexer, PragmaCapturedAsSingleToken) {
+  auto toks = Lex("#pragma mapreduce mapper key(word) value(one)\nint x;");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kPragma);
+  EXPECT_EQ(toks[0].text, "mapreduce mapper key(word) value(one)");
+  EXPECT_EQ(toks[1].kind, Tok::kKwInt);
+}
+
+TEST(Lexer, PragmaLineContinuation) {
+  auto toks = Lex("#pragma mapreduce mapper key(word) \\\n value(one)\n");
+  ASSERT_EQ(toks[0].kind, Tok::kPragma);
+  EXPECT_NE(toks[0].text.find("value(one)"), std::string::npos);
+  EXPECT_NE(toks[0].text.find("key(word)"), std::string::npos);
+}
+
+TEST(Lexer, IncludesSkipped) {
+  auto toks = Lex("#include <stdio.h>\nint main");
+  EXPECT_EQ(toks[0].kind, Tok::kKwInt);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = Lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(Lex("\"abc"), LexError);
+}
+
+TEST(Lexer, UnknownCharThrows) { EXPECT_THROW(Lex("int @"), LexError); }
+
+TEST(Lexer, UnterminatedCommentThrows) {
+  EXPECT_THROW(Lex("/* nope"), LexError);
+}
+
+}  // namespace
+}  // namespace hd::minic

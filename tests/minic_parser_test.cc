@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "minic/parser.h"
+
+namespace hd::minic {
+namespace {
+
+std::unique_ptr<TranslationUnit> Ok(std::string_view src) {
+  auto unit = Parse(src);
+  EXPECT_NE(unit, nullptr);
+  return unit;
+}
+
+TEST(Parser, EmptyUnit) {
+  auto u = Ok("");
+  EXPECT_TRUE(u->functions.empty());
+}
+
+TEST(Parser, SimpleFunction) {
+  auto u = Ok("int main() { return 0; }");
+  ASSERT_EQ(u->functions.size(), 1u);
+  EXPECT_EQ(u->functions[0]->name, "main");
+  EXPECT_EQ(u->functions[0]->return_type, Type::Int());
+}
+
+TEST(Parser, Parameters) {
+  auto u = Ok("int f(char *s, int n, double x) { return n; }");
+  const auto& ps = u->functions[0]->params;
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[0].type, Type::PointerTo(Scalar::kChar));
+  EXPECT_EQ(ps[1].type, Type::Int());
+  EXPECT_EQ(ps[2].type, Type::Double());
+}
+
+TEST(Parser, ArrayParamDecays) {
+  auto u = Ok("int f(float v[]) { return 0; }");
+  EXPECT_EQ(u->functions[0]->params[0].type, Type::PointerTo(Scalar::kFloat));
+}
+
+TEST(Parser, VoidParamList) {
+  auto u = Ok("int main(void) { return 0; }");
+  EXPECT_TRUE(u->functions[0]->params.empty());
+}
+
+TEST(Parser, Declarations) {
+  auto u = Ok(R"(
+    int main() {
+      char word[30], *line;
+      int a = 3, b;
+      double d = 1.5;
+      return 0;
+    })");
+  const Stmt& body = *u->functions[0]->body;
+  ASSERT_EQ(body.kind, StmtKind::kBlock);
+  const Stmt& decl = *body.stmts[0];
+  ASSERT_EQ(decl.kind, StmtKind::kDecl);
+  ASSERT_EQ(decl.decls.size(), 2u);
+  EXPECT_EQ(decl.decls[0].type, Type::ArrayOf(Scalar::kChar, 30));
+  EXPECT_EQ(decl.decls[1].type, Type::PointerTo(Scalar::kChar));
+  const Stmt& decl2 = *body.stmts[1];
+  EXPECT_NE(decl2.decls[0].init, nullptr);
+  EXPECT_EQ(decl2.decls[1].init, nullptr);
+}
+
+TEST(Parser, ArraySizeConstantFolded) {
+  auto u = Ok("int main() { char buf[10*3+2]; return 0; }");
+  EXPECT_EQ(u->functions[0]->body->stmts[0]->decls[0].type.array_size, 32);
+}
+
+TEST(Parser, NonConstArraySizeThrows) {
+  EXPECT_THROW(Parse("int main() { int n = 3; char b[n]; return 0; }"),
+               ParseError);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto u = Ok("int main() { int x; x = 1 + 2 * 3; return x; }");
+  const Expr& assign = *u->functions[0]->body->stmts[1]->expr;
+  ASSERT_EQ(assign.kind, ExprKind::kAssign);
+  const Expr& rhs = *assign.b;
+  ASSERT_EQ(rhs.kind, ExprKind::kBinary);
+  EXPECT_EQ(rhs.bin_op, BinOp::kAdd);
+  EXPECT_EQ(rhs.b->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, AssignmentRightAssociative) {
+  auto u = Ok("int main() { int a; int b; a = b = 1; return a; }");
+  const Expr& e = *u->functions[0]->body->stmts[2]->expr;
+  ASSERT_EQ(e.kind, ExprKind::kAssign);
+  EXPECT_EQ(e.b->kind, ExprKind::kAssign);
+}
+
+TEST(Parser, CastExpression) {
+  auto u = Ok("int main() { char *p; p = (char*) malloc(10); return 0; }");
+  const Expr& assign = *u->functions[0]->body->stmts[1]->expr;
+  EXPECT_EQ(assign.b->kind, ExprKind::kCast);
+  EXPECT_EQ(assign.b->cast_type, Type::PointerTo(Scalar::kChar));
+}
+
+TEST(Parser, SizeofTypeAndExpr) {
+  auto u = Ok(R"(int main() {
+    int a; a = sizeof(double);
+    int b[4]; a = sizeof b;
+    return a; })");
+  const Expr& s1 = *u->functions[0]->body->stmts[1]->expr->b;
+  EXPECT_EQ(s1.kind, ExprKind::kSizeof);
+  EXPECT_EQ(s1.cast_type.scalar, Scalar::kDouble);
+}
+
+TEST(Parser, ControlFlowForms) {
+  auto u = Ok(R"(int main() {
+    int i, s; s = 0;
+    for (i = 0; i < 10; i++) s += i;
+    while (s > 0) { s--; if (s == 5) break; else continue; }
+    do { s++; } while (s < 3);
+    return s; })");
+  const auto& stmts = u->functions[0]->body->stmts;
+  EXPECT_EQ(stmts[2]->kind, StmtKind::kFor);
+  EXPECT_EQ(stmts[3]->kind, StmtKind::kWhile);
+  EXPECT_EQ(stmts[4]->kind, StmtKind::kDoWhile);
+}
+
+TEST(Parser, ForWithDeclInit) {
+  auto u = Ok("int main() { for (int i = 0; i < 4; ++i) { } return 0; }");
+  const Stmt& f = *u->functions[0]->body->stmts[0];
+  ASSERT_EQ(f.kind, StmtKind::kFor);
+  EXPECT_EQ(f.init_stmt->kind, StmtKind::kDecl);
+}
+
+TEST(Parser, TernaryExpression) {
+  auto u = Ok("int main() { int a; a = 1 ? 2 : 3; return a; }");
+  EXPECT_EQ(u->functions[0]->body->stmts[1]->expr->b->kind,
+            ExprKind::kTernary);
+}
+
+TEST(Parser, PragmaAttachesToWhile) {
+  auto u = Ok(R"(
+int main() {
+  char word[30];
+  int one;
+  #pragma mapreduce mapper key(word) value(one) kvpairs(10)
+  while (1) { break; }
+  return 0;
+})");
+  const Stmt& loop = *u->functions[0]->body->stmts[2];
+  ASSERT_EQ(loop.kind, StmtKind::kWhile);
+  ASSERT_NE(loop.directive, nullptr);
+  EXPECT_EQ(loop.directive->kind, Directive::Kind::kMapper);
+  EXPECT_EQ(loop.directive->Arg("key"), "word");
+  EXPECT_EQ(loop.directive->Arg("value"), "one");
+  EXPECT_EQ(loop.directive->Arg("kvpairs"), "10");
+}
+
+TEST(Parser, PragmaAttachesToBlock) {
+  auto u = Ok(R"(
+int main() {
+  char prev[30]; int count;
+  #pragma mapreduce combiner key(prev) value(count) keyin(prev) valuein(count) \
+    firstprivate(prev, count)
+  {
+    while (0) { }
+  }
+  return 0;
+})");
+  const Stmt& blk = *u->functions[0]->body->stmts[2];
+  ASSERT_EQ(blk.kind, StmtKind::kBlock);
+  ASSERT_NE(blk.directive, nullptr);
+  EXPECT_EQ(blk.directive->kind, Directive::Kind::kCombiner);
+  const auto& fp = blk.directive->clauses.at("firstprivate");
+  ASSERT_EQ(fp.size(), 2u);
+  EXPECT_EQ(fp[0], "prev");
+  EXPECT_EQ(fp[1], "count");
+}
+
+TEST(Parser, PragmaOnPlainStatementThrows) {
+  EXPECT_THROW(Parse(R"(
+int main() {
+  int x;
+  #pragma mapreduce mapper key(x) value(x)
+  x = 1;
+  return 0;
+})"),
+               ParseError);
+}
+
+TEST(Parser, NonMapreducePragmaIgnored) {
+  auto u = Ok(R"(
+int main() {
+  #pragma once something
+  int x;
+  x = 1;
+  return x;
+})");
+  EXPECT_EQ(u->functions[0]->body->stmts[0]->kind, StmtKind::kDecl);
+}
+
+TEST(ParseDirective, RejectsMalformed) {
+  EXPECT_THROW(ParseDirective("mapreduce mapper key", 1), ParseError);
+  EXPECT_THROW(ParseDirective("mapreduce key(a)", 1), ParseError);
+  EXPECT_THROW(ParseDirective("mapreduce mapper key(a) key(b)", 1),
+               ParseError);
+}
+
+TEST(ParseDirective, NullForOtherPragmas) {
+  EXPECT_EQ(ParseDirective("omp parallel for", 1), nullptr);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    Parse("int main() { int x = ; }");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("parse error"), std::string::npos);
+  }
+}
+
+TEST(Parser, MissingSemicolonThrows) {
+  EXPECT_THROW(Parse("int main() { int x x = 1; }"), ParseError);
+}
+
+}  // namespace
+}  // namespace hd::minic

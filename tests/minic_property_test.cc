@@ -1,0 +1,254 @@
+// Property-style tests of the mini-C interpreter: C-semantics equivalence
+// against native C++ evaluation across parameter sweeps, libc-equivalent
+// string behaviour, and robustness of the frontend against malformed input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/prng.h"
+#include "minic/interp.h"
+#include "minic/lexer.h"
+#include "minic/parser.h"
+
+namespace hd::minic {
+namespace {
+
+std::string RunProgram(const std::string& src, std::string input = "") {
+  auto unit = Parse(src);
+  TextIoEnv io(std::move(input));
+  CountingHooks hooks;
+  Interp interp(*unit, &io, &hooks);
+  interp.RunMain();
+  return io.TakeOutput();
+}
+
+// --- integer arithmetic equivalence ----------------------------------------
+
+class IntArithmetic : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(IntArithmetic, MatchesCpp) {
+  const auto [a, b] = GetParam();
+  std::string src = "int main() { int a, b; a = " + std::to_string(a) +
+                    "; b = " + std::to_string(b) + ";\n"
+                    "printf(\"%d %d %d %d %d %d %d\\n\", a + b, a - b, a * b,"
+                    " a / b, a % b, a < b, a == b); return 0; }";
+  char expect[160];
+  std::snprintf(expect, sizeof expect, "%d %d %d %d %d %d %d\n", a + b, a - b,
+                a * b, a / b, a % b, a < b, a == b);
+  EXPECT_EQ(RunProgram(src), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, IntArithmetic,
+    ::testing::Values(std::pair{7, 2}, std::pair{-7, 2}, std::pair{7, -2},
+                      std::pair{-7, -2}, std::pair{0, 5}, std::pair{100, 7},
+                      std::pair{-1, 1}, std::pair{12345, 89}));
+
+// --- floating point equivalence ---------------------------------------------
+
+class FloatArithmetic : public ::testing::TestWithParam<double> {};
+
+TEST_P(FloatArithmetic, MathBuiltinsMatchLibm) {
+  const double x = GetParam();
+  std::string src = "int main() { double x; x = " + std::to_string(x) +
+                    ";\nprintf(\"%.9f %.9f %.9f %.9f\\n\", sqrt(x), exp(x / "
+                    "10.0), log(x + 1.0), erf(x / 5.0)); return 0; }";
+  char expect[200];
+  std::snprintf(expect, sizeof expect, "%.9f %.9f %.9f %.9f\n", std::sqrt(x),
+                std::exp(x / 10.0), std::log(x + 1.0), std::erf(x / 5.0));
+  EXPECT_EQ(RunProgram(src), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, FloatArithmetic,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.25, 9.0, 144.5));
+
+// --- string builtins match libc ----------------------------------------------
+
+class StringPairs
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(StringPairs, StrcmpStrlenStrstrMatchLibc) {
+  const auto [a, b] = GetParam();
+  std::string src = std::string("int main() {\n") +
+                    "  char a[64], b[64];\n"
+                    "  strcpy(a, \"" + a + "\");\n"
+                    "  strcpy(b, \"" + b + "\");\n"
+                    "  int c; c = strcmp(a, b);\n"
+                    "  int sign; sign = 0;\n"
+                    "  if (c > 0) sign = 1;\n"
+                    "  if (c < 0) sign = -1;\n"
+                    "  printf(\"%d %d %d %d\\n\", sign, strlen(a), strlen(b),"
+                    " strstr(a, b) != NULL);\n"
+                    "  return 0; }";
+  const int c = std::strcmp(a, b);
+  char expect[80];
+  std::snprintf(expect, sizeof expect, "%d %zu %zu %d\n",
+                c > 0 ? 1 : (c < 0 ? -1 : 0), std::strlen(a), std::strlen(b),
+                std::strstr(a, b) != nullptr);
+  EXPECT_EQ(RunProgram(src), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StringPairs,
+    ::testing::Values(std::pair{"abc", "abc"}, std::pair{"abc", "abd"},
+                      std::pair{"abd", "abc"}, std::pair{"", ""},
+                      std::pair{"abc", ""}, std::pair{"mapreduce", "red"},
+                      std::pair{"short", "muchlongerneedle"}));
+
+// --- control-flow equivalence over loop shapes -------------------------------
+
+class LoopSums : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopSums, ForWhileDoAgree) {
+  const int n = GetParam();
+  std::string src = "int main() { int n, i, a, b, c;\n"
+                    "n = " + std::to_string(n) + ";\n"
+                    "a = 0; for (i = 0; i < n; i++) a += i;\n"
+                    "b = 0; i = 0; while (i < n) { b += i; i++; }\n"
+                    "c = 0; i = 0; if (n > 0) { do { c += i; i++; } while (i < n); }\n"
+                    "printf(\"%d %d %d\\n\", a, b, c); return 0; }";
+  const long long s = static_cast<long long>(n) * (n - 1) / 2;
+  char expect[80];
+  std::snprintf(expect, sizeof expect, "%lld %lld %lld\n", s, s, s);
+  EXPECT_EQ(RunProgram(src), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LoopSums, ::testing::Values(0, 1, 2, 17, 256));
+
+// --- printf format sweep ------------------------------------------------------
+
+TEST(Format, SpecifiersMatchSnprintf) {
+  struct Case {
+    const char* fmt;
+    double v;
+  };
+  for (const Case& c : {Case{"%.0f", 3.7}, Case{"%.3f", 3.14159},
+                        Case{"%8.2f", -1.5}, Case{"%e", 12345.678},
+                        Case{"%g", 0.00001234}}) {
+    // Render the literal at full precision (std::to_string truncates).
+    char lit[64];
+    std::snprintf(lit, sizeof lit, "%.17g", c.v);
+    std::string src = std::string("int main() { printf(\"") + c.fmt +
+                      "\\n\", " + lit + "); return 0; }";
+    char expect[80];
+    std::snprintf(expect, sizeof expect, (std::string(c.fmt) + "\n").c_str(),
+                  c.v);
+    EXPECT_EQ(RunProgram(src), expect) << c.fmt;
+  }
+}
+
+TEST(Format, IntSpecifiersMatchSnprintf) {
+  struct Case {
+    const char* fmt;
+    long long v;
+  };
+  for (const Case& c : {Case{"%d", -42}, Case{"%05d", 42}, Case{"%x", 48879},
+                        Case{"%u", 7}, Case{"%c", 65}}) {
+    std::string src = std::string("int main() { printf(\"") + c.fmt +
+                      "\\n\", " + std::to_string(c.v) + "); return 0; }";
+    char expect[80];
+    const std::string host_fmt =
+        std::string(c.fmt) == "%c" ? "%c\n"
+                                   : ("%ll" + std::string(c.fmt).substr(
+                                                  std::strlen(c.fmt) - 1) +
+                                      "\n");
+    if (std::string(c.fmt) == "%05d") {
+      std::snprintf(expect, sizeof expect, "%05lld\n", c.v);
+    } else if (std::string(c.fmt) == "%c") {
+      std::snprintf(expect, sizeof expect, "%c\n", static_cast<int>(c.v));
+    } else {
+      std::snprintf(expect, sizeof expect, host_fmt.c_str(), c.v);
+    }
+    EXPECT_EQ(RunProgram(src), expect) << c.fmt;
+  }
+}
+
+// --- determinism ---------------------------------------------------------------
+
+TEST(Determinism, SameProgramSameCounts) {
+  const char* src = R"(
+int main() {
+  char *line; size_t n = 64; int read; int total; total = 0;
+  line = (char*) malloc(n);
+  while ((read = getline(&line, &n, stdin)) != -1) total += read;
+  printf("%d\n", total);
+  return 0;
+})";
+  auto unit = Parse(src);
+  std::int64_t ops[2];
+  for (int i = 0; i < 2; ++i) {
+    TextIoEnv io("aaa\nbb\nc\n");
+    CountingHooks hooks;
+    Interp interp(*unit, &io, &hooks);
+    interp.RunMain();
+    ops[i] = hooks.total_ops();
+    EXPECT_EQ(io.output(), "9\n");
+  }
+  EXPECT_EQ(ops[0], ops[1]);
+}
+
+// --- frontend robustness: pseudo-random garbage must throw, never crash -------
+
+TEST(Robustness, RandomGarbageNeverCrashes) {
+  Prng prng(271828);
+  const char alphabet[] =
+      "abz019 \n\t(){}[];,+-*/%<>=!&|^~\"'.#pragma intwhile";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src;
+    const int len = 1 + static_cast<int>(prng.NextBounded(120));
+    for (int i = 0; i < len; ++i) {
+      src += alphabet[prng.NextBounded(sizeof alphabet - 1)];
+    }
+    try {
+      auto unit = Parse(src);
+      (void)unit;  // parsed fine: also acceptable
+    } catch (const LexError&) {
+    } catch (const ParseError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, RandomTokenSoupNeverCrashes) {
+  Prng prng(314159);
+  const std::vector<std::string> toks = {
+      "int",  "char", "while", "if",  "(", ")",  "{",  "}", ";",  "=",
+      "main", "x",    "42",    "1.5", "+", "*",  "[",  "]", ",",  "return",
+      "for",  "&",    "\"s\"", "!",   "-", "/*", "*/", "%", "do", "break"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src;
+    const int len = 1 + static_cast<int>(prng.NextBounded(60));
+    for (int i = 0; i < len; ++i) {
+      src += toks[prng.NextBounded(toks.size())] + " ";
+    }
+    try {
+      auto unit = Parse(src);
+      (void)unit;
+    } catch (const LexError&) {
+    } catch (const ParseError&) {
+    } catch (const CheckError&) {
+    }
+  }
+  SUCCEED();
+}
+
+// --- interpreter guards under adversarial programs -----------------------------
+
+TEST(Robustness, DeepRecursionRejectedGracefully) {
+  EXPECT_THROW(RunProgram("int f(int n) { return f(n + 1); }\n"
+                          "int main() { return f(0); }"),
+               InterpError);
+}
+
+TEST(Robustness, HugeAllocationIsJustMemory) {
+  // 1M-element array: must work (the interpreter is not the place for
+  // arbitrary limits).
+  EXPECT_EQ(RunProgram("int main() { char b[1000000]; b[999999] = 65;\n"
+                       "printf(\"%c\\n\", b[999999]); return 0; }"),
+            "A\n");
+}
+
+}  // namespace
+}  // namespace hd::minic

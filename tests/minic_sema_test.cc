@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace hd::minic {
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<TranslationUnit> unit;
+  RegionInfo info;
+  const Stmt* region = nullptr;
+};
+
+Analyzed Analyze(std::string_view src, Directive::Kind kind) {
+  Analyzed a;
+  a.unit = Parse(src);
+  const FunctionDef* main_fn = a.unit->FindFunction("main");
+  EXPECT_NE(main_fn, nullptr);
+  a.region = FindDirectiveRegion(*main_fn, kind);
+  EXPECT_NE(a.region, nullptr);
+  a.info = AnalyzeRegion(*main_fn, *a.region);
+  return a;
+}
+
+TEST(Sema, FindsMapperRegion) {
+  auto a = Analyze(R"(
+int main() {
+  int x;
+  #pragma mapreduce mapper key(x) value(x)
+  while (0) { x = 1; }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_EQ(a.region->kind, StmtKind::kWhile);
+}
+
+TEST(Sema, MissingRegionReturnsNull) {
+  auto unit = Parse("int main() { return 0; }");
+  EXPECT_EQ(FindDirectiveRegion(*unit->FindFunction("main"),
+                                Directive::Kind::kMapper),
+            nullptr);
+}
+
+TEST(Sema, OuterVariablesCollected) {
+  auto a = Analyze(R"(
+int main() {
+  int outer1, outer2, unused;
+  #pragma mapreduce mapper key(outer1) value(outer2)
+  while (outer1 < 10) {
+    int inner;
+    inner = outer1;
+    outer2 = inner + 1;
+    outer1 = outer1 + 1;
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_TRUE(a.info.used_outer.count("outer1"));
+  EXPECT_TRUE(a.info.used_outer.count("outer2"));
+  EXPECT_FALSE(a.info.used_outer.count("unused"));
+  EXPECT_FALSE(a.info.used_outer.count("inner"));
+}
+
+TEST(Sema, OuterTypesRecorded) {
+  auto a = Analyze(R"(
+int main() {
+  double centroids[8];
+  char word[30];
+  int n;
+  #pragma mapreduce mapper key(word) value(n)
+  while (n < 3) { n = n + (int) centroids[0] + word[0]; }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_EQ(a.info.outer_types.at("centroids"),
+            Type::ArrayOf(Scalar::kDouble, 8));
+  EXPECT_EQ(a.info.outer_types.at("word"), Type::ArrayOf(Scalar::kChar, 30));
+  EXPECT_EQ(a.info.outer_types.at("n"), Type::Int());
+}
+
+TEST(Sema, ReadBeforeWriteDetected) {
+  auto a = Analyze(R"(
+int main() {
+  int rbw, wfirst, ronly;
+  #pragma mapreduce mapper key(rbw) value(wfirst)
+  while (ronly) {
+    rbw = rbw + 1;      /* compound: read-before-write */
+    wfirst = 5;          /* written first */
+    rbw = wfirst + ronly;
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_TRUE(a.info.read_before_write.count("rbw"));
+  EXPECT_TRUE(a.info.read_before_write.count("ronly"));
+  EXPECT_FALSE(a.info.read_before_write.count("wfirst"));
+}
+
+TEST(Sema, NeverWrittenEligibleForSharedRO) {
+  auto a = Analyze(R"(
+int main() {
+  double table[16];
+  int acc, i;
+  #pragma mapreduce mapper key(acc) value(acc)
+  while (i < 16) { acc += (int) table[i]; i++; }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_TRUE(a.info.never_written.count("table"));
+  EXPECT_FALSE(a.info.never_written.count("acc"));
+  EXPECT_FALSE(a.info.never_written.count("i"));
+}
+
+TEST(Sema, WriteOnlyBuiltinArgsDoNotForceFirstprivate) {
+  auto a = Analyze(R"(
+int main() {
+  char word[30];
+  char *line; size_t n; int read;
+  #pragma mapreduce mapper key(word) value(read)
+  while ((read = getline(&line, &n, stdin)) != -1) {
+    strcpy(word, line);
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  // word is only ever written (strcpy dst); line is written by getline but
+  // then read by strcpy src.
+  EXPECT_FALSE(a.info.read_before_write.count("word"));
+  EXPECT_FALSE(a.info.read_before_write.count("n"));
+}
+
+TEST(Sema, UserFunctionArgsConservativelyRead) {
+  auto a = Analyze(R"(
+int helper(char *b) { return b[0]; }
+int main() {
+  char buf[8];
+  int r;
+  #pragma mapreduce mapper key(buf) value(r)
+  while (r) { r = helper(buf); }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_TRUE(a.info.read_before_write.count("buf"));
+}
+
+TEST(Sema, ShadowingInsideRegion) {
+  auto a = Analyze(R"(
+int main() {
+  int x;
+  #pragma mapreduce mapper key(x) value(x)
+  while (1) {
+    int x;
+    x = 2;
+    break;
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  // The outer x is shadowed before any region use; only the loop condition
+  // uses literals.
+  EXPECT_FALSE(a.info.used_outer.count("x"));
+}
+
+TEST(Sema, CombinerRegionInsideBlock) {
+  auto a = Analyze(R"(
+int main() {
+  char prev[30]; int count;
+  #pragma mapreduce combiner key(prev) value(count) keyin(prev) valuein(count)
+  {
+    while (scanf("%s %d", prev, &count) == 2) { }
+  }
+  return 0;
+})",
+                   Directive::Kind::kCombiner);
+  EXPECT_EQ(a.region->kind, StmtKind::kBlock);
+  EXPECT_TRUE(a.info.used_outer.count("prev"));
+  EXPECT_TRUE(a.info.used_outer.count("count"));
+}
+
+}  // namespace
+}  // namespace hd::minic

@@ -1,0 +1,247 @@
+// Property tests over the GPU task pipeline and the cluster engine:
+// invariants that must hold for every launch geometry, optimisation
+// combination, and scheduling policy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "apps/benchmark.h"
+#include "gpurt/cpu_task.h"
+#include "gpurt/gpu_task.h"
+#include "hadoop/engine.h"
+#include "hadoop/functional_source.h"
+
+namespace hd {
+namespace {
+
+using apps::Benchmark;
+using apps::GetBenchmark;
+using sched::Policy;
+
+std::map<std::string, long> KeySums(const gpurt::MapTaskResult& r) {
+  std::map<std::string, long> sums;
+  for (const auto& part : r.partitions) {
+    for (const auto& kv : part) sums[kv.key] += std::stol(kv.value);
+  }
+  return sums;
+}
+
+// --- GPU task invariants across launch geometries ---------------------------
+
+struct GeometryCase {
+  int blocks;
+  int threads;
+};
+
+class LaunchGeometry : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(LaunchGeometry, WordcountSumsInvariant) {
+  const auto [blocks, threads] = GetParam();
+  const Benchmark& wc = GetBenchmark("WC");
+  gpurt::JobProgram job =
+      gpurt::CompileJob(wc.map_source, wc.combine_source, wc.reduce_source);
+  const std::string split = wc.generate(6000, 77);
+
+  gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  gpurt::CpuTaskOptions copts;
+  copts.num_reducers = 3;
+  const auto cpu_sums = KeySums(gpurt::CpuMapTask(job, cpu, copts).Run(split));
+
+  gpusim::GpuDevice device(gpusim::DeviceConfig::TeslaK40());
+  gpurt::GpuTaskOptions gopts;
+  gopts.num_reducers = 3;
+  gopts.blocks = blocks;
+  gopts.threads = threads;
+  auto gpu = gpurt::GpuMapTask(job, &device, gopts).Run(split);
+  EXPECT_EQ(KeySums(gpu), cpu_sums)
+      << blocks << "x" << threads;
+  EXPECT_EQ(device.used_bytes(), 0);
+  EXPECT_GT(gpu.phases.Total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LaunchGeometry,
+    ::testing::Values(GeometryCase{1, 32}, GeometryCase{1, 256},
+                      GeometryCase{3, 64}, GeometryCase{16, 32},
+                      GeometryCase{8, 128}, GeometryCase{60, 256}),
+    [](const ::testing::TestParamInfo<GeometryCase>& info) {
+      return "b" + std::to_string(info.param.blocks) + "t" +
+             std::to_string(info.param.threads);
+    });
+
+// --- optimisation combinations never change results --------------------------
+
+class OptimizationMask : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizationMask, HistratingsResultsInvariant) {
+  const int mask = GetParam();
+  const Benchmark& hr = GetBenchmark("HR");
+  gpurt::JobProgram job =
+      gpurt::CompileJob(hr.map_source, hr.combine_source, hr.reduce_source);
+  const std::string split = hr.generate(5000, 13);
+
+  gpurt::GpuTaskOptions base;
+  base.num_reducers = 2;
+  base.blocks = 4;
+  base.threads = 64;
+  gpusim::GpuDevice d0(gpusim::DeviceConfig::TeslaK40());
+  const auto reference = KeySums(gpurt::GpuMapTask(job, &d0, base).Run(split));
+
+  gpurt::GpuTaskOptions opts = base;
+  opts.vectorize_map = mask & 1;
+  opts.vectorize_combine = mask & 2;
+  opts.use_texture = mask & 4;
+  opts.record_stealing = mask & 8;
+  opts.aggregate_before_sort = mask & 16;
+  gpusim::GpuDevice d1(gpusim::DeviceConfig::TeslaK40());
+  EXPECT_EQ(KeySums(gpurt::GpuMapTask(job, &d1, opts).Run(split)), reference)
+      << "mask=" << mask;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, OptimizationMask,
+                         ::testing::Range(0, 32));
+
+// --- device sweep -------------------------------------------------------------
+
+TEST(DeviceSweep, BothPaperDevicesRunEveryBenchmark) {
+  for (const auto& bench : apps::AllBenchmarks()) {
+    gpurt::JobProgram job = gpurt::CompileJob(
+        bench.map_source, bench.combine_source, bench.reduce_source);
+    const std::string split = bench.generate(2500, 3);
+    for (auto device_config : {gpusim::DeviceConfig::TeslaK40(),
+                               gpusim::DeviceConfig::TeslaM2090()}) {
+      gpusim::GpuDevice device(device_config);
+      gpurt::GpuTaskOptions opts;
+      opts.num_reducers = bench.map_only ? 0 : 2;
+      opts.blocks = 4;
+      opts.threads = 64;
+      auto r = gpurt::GpuMapTask(job, &device, opts).Run(split);
+      EXPECT_GT(r.stats.records, 0) << bench.id << " " << device_config.name;
+      EXPECT_GT(r.TotalPairs(), 0) << bench.id << " " << device_config.name;
+      EXPECT_EQ(device.used_bytes(), 0) << bench.id;
+    }
+  }
+}
+
+// --- cluster engine invariants across configuration sweeps --------------------
+
+struct EngineCase {
+  Policy policy;
+  int slaves;
+  int slots;
+  int gpus;
+  double gpu_sec;
+};
+
+class EngineSweep : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineSweep, ConservationAndBounds) {
+  const EngineCase c = GetParam();
+  hadoop::CalibratedTaskSource::Params p;
+  p.num_maps = 97;  // prime: exercises uneven waves
+  p.num_reducers = 2;
+  p.cpu_task_sec = 10.0;
+  p.gpu_task_sec = c.gpu_sec;
+  p.variation = 0.2;
+  p.reduce_sec = 1.0;
+  hadoop::CalibratedTaskSource source(p);
+  hadoop::ClusterConfig cluster;
+  cluster.num_slaves = c.slaves;
+  cluster.map_slots_per_node = c.slots;
+  cluster.gpus_per_node = c.gpus;
+  hadoop::JobResult r = hadoop::JobEngine(cluster, &source, c.policy).Run();
+
+  // Work conservation: every map ran exactly once.
+  EXPECT_EQ(r.cpu_tasks + r.gpu_tasks, 97);
+  if (c.policy == Policy::kCpuOnly) {
+    EXPECT_EQ(r.gpu_tasks, 0);
+  }
+
+  // Makespan lower bound: total work / total throughput.
+  const double cpu_rate = c.slaves * c.slots / p.cpu_task_sec;
+  const double gpu_rate = c.policy == Policy::kCpuOnly
+                              ? 0.0
+                              : c.slaves * c.gpus / p.gpu_task_sec;
+  const double lower = 97.0 / (cpu_rate + gpu_rate) * 0.75;  // w/ variation
+  EXPECT_GE(r.makespan_sec, lower);
+  // And a sanity upper bound: everything serial on one CPU slot.
+  EXPECT_LE(r.makespan_sec, 97.0 * p.cpu_task_sec * 1.3);
+  EXPECT_GE(r.makespan_sec, r.map_phase_end_sec);
+}
+
+std::vector<EngineCase> EngineCases() {
+  std::vector<EngineCase> cases;
+  for (Policy policy : {Policy::kCpuOnly, Policy::kGpuFirst, Policy::kTail}) {
+    for (int slaves : {1, 3, 8}) {
+      for (double gpu_sec : {1.0, 5.0}) {
+        cases.push_back({policy, slaves, 2, 1, gpu_sec});
+      }
+    }
+  }
+  cases.push_back({Policy::kTail, 4, 4, 3, 0.5});
+  cases.push_back({Policy::kGpuFirst, 4, 4, 3, 0.5});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EngineSweep,
+                         ::testing::ValuesIn(EngineCases()));
+
+// --- determinism of the full pipeline ------------------------------------------
+
+TEST(Determinism, IdenticalRunsProduceIdenticalResults) {
+  const Benchmark& gr = GetBenchmark("GR");
+  gpurt::JobProgram job =
+      gpurt::CompileJob(gr.map_source, gr.combine_source, gr.reduce_source);
+  std::vector<std::string> splits = {gr.generate(3000, 1),
+                                     gr.generate(3000, 2)};
+  double makespans[2];
+  std::vector<gpurt::KvPair> outputs[2];
+  for (int i = 0; i < 2; ++i) {
+    hadoop::FunctionalTaskSource::Options fopts;
+    fopts.num_reducers = 2;
+    hadoop::FunctionalTaskSource source(job, splits, fopts);
+    hadoop::ClusterConfig cluster;
+    cluster.num_slaves = 2;
+    cluster.map_slots_per_node = 1;
+    cluster.gpus_per_node = 1;
+    cluster.heartbeat_sec = 0.05;
+    hadoop::JobResult r =
+        hadoop::JobEngine(cluster, &source, Policy::kTail).Run();
+    makespans[i] = r.makespan_sec;
+    outputs[i] = r.final_output;
+  }
+  EXPECT_DOUBLE_EQ(makespans[0], makespans[1]);
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+// --- partial GPU failure injection ---------------------------------------------
+
+class FlakyGpuSource : public hadoop::TaskTimeSource {
+ public:
+  int num_map_tasks() const override { return 40; }
+  int num_reducers() const override { return 0; }
+  hadoop::MapTaskTiming MapTask(int idx, bool on_gpu) override {
+    if (on_gpu && idx % 3 == 0) {
+      throw hadoop::GpuTaskFailure("injected failure");
+    }
+    return {on_gpu ? 1.0 : 5.0, 1 << 10};
+  }
+  double ReduceSeconds(int) override { return 0.0; }
+};
+
+TEST(FaultInjection, PartialGpuFailuresStillComplete) {
+  FlakyGpuSource source;
+  hadoop::ClusterConfig cluster;
+  cluster.num_slaves = 2;
+  cluster.map_slots_per_node = 2;
+  cluster.gpus_per_node = 1;
+  hadoop::JobResult r =
+      hadoop::JobEngine(cluster, &source, Policy::kGpuFirst).Run();
+  EXPECT_EQ(r.cpu_tasks + r.gpu_tasks, 40);
+  EXPECT_GT(r.gpu_failures, 0);
+  EXPECT_GT(r.gpu_tasks, 0);  // non-multiples of 3 still run on the GPU
+}
+
+}  // namespace
+}  // namespace hd

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sched/policy.h"
+
+namespace hd::sched {
+namespace {
+
+NodeSched MakeNode(int free_cpu, int free_gpu, int gpus, double speedup) {
+  return NodeSched{free_cpu, free_gpu, gpus, speedup};
+}
+
+TEST(Policy, Names) {
+  EXPECT_STREQ(PolicyName(Policy::kCpuOnly), "cpu-only");
+  EXPECT_STREQ(PolicyName(Policy::kGpuFirst), "gpu-first");
+  EXPECT_STREQ(PolicyName(Policy::kTail), "tail");
+}
+
+TEST(Policy, CpuOnlyNeverUsesGpu) {
+  NodeSched n = MakeNode(2, 1, 1, 6.0);
+  EXPECT_FALSE(PlaceOnGpu(Policy::kCpuOnly, n, 0.5));
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kCpuOnly, n, 100, 6.0, 4), 2);
+}
+
+TEST(Policy, GpuFirstPrefersFreeGpu) {
+  EXPECT_TRUE(PlaceOnGpu(Policy::kGpuFirst, MakeNode(2, 1, 1, 6.0), 100));
+  EXPECT_FALSE(PlaceOnGpu(Policy::kGpuFirst, MakeNode(2, 0, 1, 6.0), 100));
+}
+
+TEST(Policy, GpuFirstCountsAllFreeSlots) {
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kGpuFirst, MakeNode(3, 1, 1, 6.0),
+                                  100, 6.0, 4),
+            4);
+}
+
+TEST(Policy, TailBodyBehavesLikeGpuFirst) {
+  // Plenty of maps remain: taskTail = 1 GPU * 6x = 6 < 100 remaining/node.
+  NodeSched n = MakeNode(2, 0, 1, 6.0);
+  EXPECT_FALSE(PlaceOnGpu(Policy::kTail, n, 100));
+  n.free_gpu_slots = 1;
+  EXPECT_TRUE(PlaceOnGpu(Policy::kTail, n, 100));
+}
+
+TEST(Policy, TailForcesGpuWhenTailBegins) {
+  // remaining/node (3) <= taskTail (6): force GPU even with the GPU busy.
+  NodeSched n = MakeNode(2, 0, 1, 6.0);
+  EXPECT_TRUE(PlaceOnGpu(Policy::kTail, n, 3.0));
+}
+
+TEST(Policy, TailThresholdScalesWithGpus) {
+  // 3 GPUs at 4x: taskTail = 12.
+  NodeSched n = MakeNode(2, 0, 3, 4.0);
+  EXPECT_TRUE(PlaceOnGpu(Policy::kTail, n, 12.0));
+  EXPECT_FALSE(PlaceOnGpu(Policy::kTail, n, 13.0));
+}
+
+TEST(Policy, JobTailCapsAssignmentsPerHeartbeat) {
+  // jobTail = 1 GPU * 6x * 4 slaves = 24. With 20 pending (< jobTail) the
+  // JobTracker hands out at most numGPUs tasks.
+  NodeSched n = MakeNode(5, 1, 1, 6.0);
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 20, 6.0, 4), 1);
+  // Before the tail, all free slots are fed.
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 100, 6.0, 4), 6);
+}
+
+TEST(Policy, SpeedupOfOneDisablesTailEffects) {
+  // Without observed speedup the tail degenerates to tiny thresholds.
+  NodeSched n = MakeNode(2, 0, 1, 1.0);
+  EXPECT_FALSE(PlaceOnGpu(Policy::kTail, n, 2.0));
+  EXPECT_TRUE(PlaceOnGpu(Policy::kTail, n, 1.0));
+}
+
+}  // namespace
+}  // namespace hd::sched

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "gpurt/seqfile.h"
+
+namespace hd::gpurt {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+}
+
+TEST(SeqFile, EmptyRoundtrip) {
+  EXPECT_TRUE(ReadSeqFile(WriteSeqFile({})).empty());
+}
+
+TEST(SeqFile, SimpleRoundtrip) {
+  std::vector<KvPair> pairs = {{"the", "4"}, {"cat", "2"}, {"", "empty key"},
+                               {"key", ""}};
+  EXPECT_EQ(ReadSeqFile(WriteSeqFile(pairs)), pairs);
+}
+
+TEST(SeqFile, BinarySafeValues) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary += static_cast<char>(i);
+  std::vector<KvPair> pairs = {{"bin", binary}, {binary, "rev"}};
+  EXPECT_EQ(ReadSeqFile(WriteSeqFile(pairs)), pairs);
+}
+
+TEST(SeqFile, SyncMarkersAcrossManyRecords) {
+  Prng prng(55);
+  std::vector<KvPair> pairs;
+  for (int i = 0; i < 1000; ++i) {
+    pairs.push_back({"k" + std::to_string(prng.NextBounded(100)),
+                     std::string(prng.NextBounded(40), 'v')});
+  }
+  SeqFileWriter w(/*sync_interval=*/7);
+  w.Append(pairs);
+  EXPECT_EQ(w.records_written(), 1000);
+  EXPECT_EQ(ReadSeqFile(w.Finish()), pairs);
+}
+
+TEST(SeqFile, CorruptionDetected) {
+  std::string bytes = WriteSeqFile({{"a", "1"}, {"b", "2"}});
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_THROW(ReadSeqFile(bytes), SeqFileError);
+}
+
+TEST(SeqFile, TruncationDetected) {
+  std::string bytes = WriteSeqFile({{"key", "value"}});
+  EXPECT_THROW(ReadSeqFile(bytes.substr(0, bytes.size() - 6)), SeqFileError);
+}
+
+TEST(SeqFile, GarbageRejected) {
+  EXPECT_THROW(ReadSeqFile("not a sequence file at all"), SeqFileError);
+  EXPECT_THROW(ReadSeqFile(""), SeqFileError);
+}
+
+TEST(SeqFile, DoubleFinishRejected) {
+  SeqFileWriter w;
+  w.Append(KvPair{"a", "1"});
+  w.Finish();
+  EXPECT_THROW(w.Finish(), CheckError);
+}
+
+TEST(SeqFile, StreamingReaderCounts) {
+  SeqFileReader r(WriteSeqFile({{"x", "1"}, {"y", "2"}, {"z", "3"}}));
+  KvPair kv;
+  int n = 0;
+  while (r.Next(&kv)) ++n;
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(r.records_read(), 3);
+  EXPECT_FALSE(r.Next(&kv));  // idempotent at EOF
+}
+
+}  // namespace
+}  // namespace hd::gpurt

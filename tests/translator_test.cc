@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "translator/translator.h"
+
+namespace hd::translator {
+namespace {
+
+constexpr const char* kWordcountMap = R"(
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+  return -1;
+}
+int main() {
+  char word[30], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  #pragma mapreduce mapper key(word) value(one) keylength(30) vallength(1)
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+
+constexpr const char* kWordcountCombine = R"(
+int main() {
+  char word[30], prevWord[30];
+  int count, val, read;
+  prevWord[0] = '\0';
+  count = 0;
+  #pragma mapreduce combiner key(prevWord) value(count) \
+    keyin(word) valuein(val) keylength(30) vallength(1) \
+    firstprivate(prevWord, count)
+  {
+    while ((read = scanf("%s %d", word, &val)) == 2) {
+      if (strcmp(word, prevWord) == 0) {
+        count += val;
+      } else {
+        if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+        strcpy(prevWord, word);
+        count = val;
+      }
+    }
+    if (prevWord[0] != '\0') printf("%s\t%d\n", prevWord, count);
+  }
+  return 0;
+}
+)";
+
+TEST(Translator, WordcountMapPlan) {
+  auto prog = Translate(kWordcountMap);
+  ASSERT_TRUE(prog.map_plan.has_value());
+  EXPECT_FALSE(prog.combine_plan.has_value());
+  const KernelPlan& p = *prog.map_plan;
+  EXPECT_EQ(p.kind, minic::Directive::Kind::kMapper);
+  EXPECT_EQ(p.key_var, "word");
+  EXPECT_EQ(p.value_var, "one");
+  EXPECT_EQ(p.kv.key_slot_bytes, 30);
+  EXPECT_TRUE(p.kv.key_is_array);
+  EXPECT_FALSE(p.kv.val_is_array);
+  ASSERT_NE(p.region, nullptr);
+  EXPECT_EQ(p.region->kind, minic::StmtKind::kWhile);
+}
+
+TEST(Translator, WordcountCombinePlan) {
+  auto prog = Translate(kWordcountCombine);
+  ASSERT_TRUE(prog.combine_plan.has_value());
+  const KernelPlan& p = *prog.combine_plan;
+  EXPECT_EQ(p.keyin_var, "word");
+  EXPECT_EQ(p.valuein_var, "val");
+  const VarPlan* prev = p.FindVar("prevWord");
+  ASSERT_NE(prev, nullptr);
+  EXPECT_EQ(prev->cls, VarClass::kFirstPrivate);
+  const VarPlan* count = p.FindVar("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->cls, VarClass::kFirstPrivate);
+  // Scratch variables are plain private.
+  EXPECT_EQ(p.FindVar("word")->cls, VarClass::kPrivate);
+  EXPECT_EQ(p.FindVar("read")->cls, VarClass::kPrivate);
+}
+
+TEST(Translator, SharedROScalarGoesToConstant) {
+  auto prog = Translate(R"(
+int main() {
+  int k; double threshold;
+  int key, value;
+  k = 4; threshold = 0.5;
+  #pragma mapreduce mapper key(key) value(value) sharedRO(k, threshold)
+  while (key < k) { value = (int) threshold + k; key++; }
+  return 0;
+})");
+  const KernelPlan& p = *prog.map_plan;
+  EXPECT_EQ(p.FindVar("k")->cls, VarClass::kSharedROScalar);
+  EXPECT_EQ(p.FindVar("threshold")->cls, VarClass::kSharedROScalar);
+}
+
+TEST(Translator, SharedROArrayGoesToGlobal) {
+  auto prog = Translate(R"(
+int main() {
+  double table[64];
+  int key, value;
+  #pragma mapreduce mapper key(key) value(value) sharedRO(table)
+  while (key < 4) { value = (int) table[key]; key++; }
+  return 0;
+})");
+  EXPECT_EQ(prog.map_plan->FindVar("table")->cls, VarClass::kSharedROArray);
+}
+
+TEST(Translator, TextureClauseForcesTexture) {
+  auto prog = Translate(R"(
+int main() {
+  double centroids[128];
+  int key, value;
+  #pragma mapreduce mapper key(key) value(value) texture(centroids)
+  while (key < 4) { value = (int) centroids[key]; key++; }
+  return 0;
+})");
+  EXPECT_EQ(prog.map_plan->FindVar("centroids")->cls, VarClass::kTexture);
+}
+
+TEST(Translator, TextureOnScalarRejected) {
+  EXPECT_THROW(Translate(R"(
+int main() {
+  double x; int key, value;
+  #pragma mapreduce mapper key(key) value(value) texture(x)
+  while (key < 4) { value = (int) x; key++; }
+  return 0;
+})"),
+               TranslateError);
+}
+
+TEST(Translator, SharedROWrittenRejected) {
+  EXPECT_THROW(Translate(R"(
+int main() {
+  int x; int key, value;
+  #pragma mapreduce mapper key(key) value(value) sharedRO(x)
+  while (key < 4) { x = 1; value = x; key++; }
+  return 0;
+})"),
+               TranslateError);
+}
+
+TEST(Translator, AutomaticFirstprivateDetection) {
+  const char* src = R"(
+int main() {
+  int seeded; seeded = 42;
+  int key, value;
+  #pragma mapreduce mapper key(key) value(value)
+  while (key < 4) { value = seeded + key; key++; }
+  return 0;
+})";
+  auto on = Translate(src);
+  EXPECT_EQ(on.map_plan->FindVar("seeded")->cls, VarClass::kFirstPrivate);
+  TranslateOptions opts;
+  opts.auto_firstprivate = false;
+  auto off = Translate(src, opts);
+  EXPECT_EQ(off.map_plan->FindVar("seeded")->cls, VarClass::kPrivate);
+}
+
+TEST(Translator, MissingKeyClauseRejected) {
+  EXPECT_THROW(Translate(R"(
+int main() {
+  int v;
+  #pragma mapreduce mapper value(v)
+  while (v < 1) { v++; }
+  return 0;
+})"),
+               TranslateError);
+}
+
+TEST(Translator, KeyinOnMapperRejected) {
+  EXPECT_THROW(Translate(R"(
+int main() {
+  int k, v;
+  #pragma mapreduce mapper key(k) value(v) keyin(k)
+  while (v < 1) { v++; k = v; }
+  return 0;
+})"),
+               TranslateError);
+}
+
+TEST(Translator, CombinerWithoutKeyinRejected) {
+  EXPECT_THROW(Translate(R"(
+int main() {
+  int k, v;
+  #pragma mapreduce combiner key(k) value(v)
+  while (v < 1) { v++; k = v; }
+  return 0;
+})"),
+               TranslateError);
+}
+
+TEST(Translator, KvpairsOnCombinerRejected) {
+  EXPECT_THROW(Translate(R"(
+int main() {
+  int k, v, ki, vi;
+  #pragma mapreduce combiner key(k) value(v) keyin(ki) valuein(vi) kvpairs(4)
+  while (scanf("%d %d", &ki, &vi) == 2) { k = ki; v = vi; printf("%d %d", k, v); }
+  return 0;
+})"),
+               TranslateError);
+}
+
+TEST(Translator, ClauseNamingUnusedVariableRejected) {
+  EXPECT_THROW(Translate(R"(
+int main() {
+  int k, v, ghost;
+  #pragma mapreduce mapper key(k) value(v) sharedRO(ghost)
+  while (v < 1) { v++; k = v; }
+  return 0;
+})"),
+               TranslateError);
+}
+
+TEST(Translator, LaunchHintsParsed) {
+  auto prog = Translate(R"(
+int main() {
+  int k, v;
+  #pragma mapreduce mapper key(k) value(v) kvpairs(12) blocks(30) threads(256)
+  while (v < 1) { v++; k = v; }
+  return 0;
+})");
+  EXPECT_EQ(prog.map_plan->kvpairs_hint, 12);
+  EXPECT_EQ(prog.map_plan->blocks_hint, 30);
+  EXPECT_EQ(prog.map_plan->threads_hint, 256);
+}
+
+TEST(Translator, NumericKeySlotUsesTextWidth) {
+  auto prog = Translate(R"(
+int main() {
+  int bin; double v;
+  #pragma mapreduce mapper key(bin) value(v)
+  while (bin < 4) { v = bin * 2.0; bin++; printf("%d\t%f\n", bin, v); }
+  return 0;
+})");
+  TranslateOptions defaults;
+  EXPECT_EQ(prog.map_plan->kv.key_slot_bytes, defaults.int_text_bytes);
+  EXPECT_EQ(prog.map_plan->kv.val_slot_bytes, defaults.double_text_bytes);
+}
+
+TEST(Translator, DirectiveOnForLoopAccepted) {
+  auto prog = Translate(R"(
+int main() {
+  int k, v, i;
+  #pragma mapreduce mapper key(k) value(v)
+  for (i = 0; i < 4; i++) {
+    k = i;
+    v = i * i;
+    printf("%d\t%d\n", k, v);
+  }
+  return 0;
+})");
+  EXPECT_EQ(prog.map_plan->region->kind, minic::StmtKind::kFor);
+}
+
+TEST(Translator, SharedROScalarUsableAlongsideTexture) {
+  auto prog = Translate(R"(
+int main() {
+  double table[32];
+  int k_count;
+  int key, value, i;
+  k_count = 4;
+  for (i = 0; i < 32; i++) table[i] = i;
+  #pragma mapreduce mapper key(key) value(value) texture(table) \
+    sharedRO(k_count)
+  while (key < k_count) { value = (int) table[key]; key++; }
+  return 0;
+})");
+  EXPECT_EQ(prog.map_plan->FindVar("table")->cls, VarClass::kTexture);
+  EXPECT_EQ(prog.map_plan->FindVar("k_count")->cls,
+            VarClass::kSharedROScalar);
+}
+
+TEST(Translator, NoDirectiveRejected) {
+  EXPECT_THROW(Translate("int main() { return 0; }"), TranslateError);
+}
+
+TEST(Translator, NoMainRejected) {
+  EXPECT_THROW(Translate("int helper() { return 0; }"), TranslateError);
+}
+
+TEST(Translator, MapAndCombineInOneProgram) {
+  // A single source can carry both phases (the runtime picks by phase).
+  auto prog = Translate(R"(
+int main() {
+  char key[8]; int v, ki, vi;
+  #pragma mapreduce mapper key(key) value(v)
+  while ((v = getline(&key, &v, stdin)) != -1) { printf("%s\t%d\n", key, v); }
+  #pragma mapreduce combiner key(key) value(v) keyin(key) valuein(vi)
+  {
+    while (scanf("%s %d", key, &vi) == 2) { v += vi; }
+  }
+  return 0;
+})");
+  EXPECT_TRUE(prog.map_plan.has_value());
+  EXPECT_TRUE(prog.combine_plan.has_value());
+}
+
+}  // namespace
+}  // namespace hd::translator
