@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_cluster1.dir/fig4a_cluster1.cc.o"
+  "CMakeFiles/fig4a_cluster1.dir/fig4a_cluster1.cc.o.d"
+  "fig4a_cluster1"
+  "fig4a_cluster1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_cluster1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

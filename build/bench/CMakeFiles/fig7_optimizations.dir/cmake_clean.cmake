@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_optimizations.dir/fig7_optimizations.cc.o"
+  "CMakeFiles/fig7_optimizations.dir/fig7_optimizations.cc.o.d"
+  "fig7_optimizations"
+  "fig7_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

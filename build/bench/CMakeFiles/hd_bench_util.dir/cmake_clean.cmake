@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/hd_bench_util.dir/bench_util.cc.o.d"
+  "libhd_bench_util.a"
+  "libhd_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gpurt.dir/micro_gpurt.cc.o"
+  "CMakeFiles/micro_gpurt.dir/micro_gpurt.cc.o.d"
+  "micro_gpurt"
+  "micro_gpurt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gpurt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

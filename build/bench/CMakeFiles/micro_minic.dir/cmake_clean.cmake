@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_minic.dir/micro_minic.cc.o"
+  "CMakeFiles/micro_minic.dir/micro_minic.cc.o.d"
+  "micro_minic"
+  "micro_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_clusters.dir/table3_clusters.cc.o"
+  "CMakeFiles/table3_clusters.dir/table3_clusters.cc.o.d"
+  "table3_clusters"
+  "table3_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_kmeans.dir/iterative_kmeans.cpp.o"
+  "CMakeFiles/iterative_kmeans.dir/iterative_kmeans.cpp.o.d"
+  "iterative_kmeans"
+  "iterative_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_analytics.dir/movie_analytics.cpp.o"
+  "CMakeFiles/movie_analytics.dir/movie_analytics.cpp.o.d"
+  "movie_analytics"
+  "movie_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cluster_apps.cc" "src/apps/CMakeFiles/hd_apps.dir/cluster_apps.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/cluster_apps.cc.o.d"
+  "/root/repo/src/apps/gen.cc" "src/apps/CMakeFiles/hd_apps.dir/gen.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/gen.cc.o.d"
+  "/root/repo/src/apps/golden_util.cc" "src/apps/CMakeFiles/hd_apps.dir/golden_util.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/golden_util.cc.o.d"
+  "/root/repo/src/apps/hist_apps.cc" "src/apps/CMakeFiles/hd_apps.dir/hist_apps.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/hist_apps.cc.o.d"
+  "/root/repo/src/apps/numeric_apps.cc" "src/apps/CMakeFiles/hd_apps.dir/numeric_apps.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/numeric_apps.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/hd_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/sources.cc" "src/apps/CMakeFiles/hd_apps.dir/sources.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/sources.cc.o.d"
+  "/root/repo/src/apps/text_apps.cc" "src/apps/CMakeFiles/hd_apps.dir/text_apps.cc.o" "gcc" "src/apps/CMakeFiles/hd_apps.dir/text_apps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpurt/CMakeFiles/hd_gpurt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/hd_translator.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/hd_minic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

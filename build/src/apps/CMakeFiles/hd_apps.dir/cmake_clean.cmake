@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_apps.dir/cluster_apps.cc.o"
+  "CMakeFiles/hd_apps.dir/cluster_apps.cc.o.d"
+  "CMakeFiles/hd_apps.dir/gen.cc.o"
+  "CMakeFiles/hd_apps.dir/gen.cc.o.d"
+  "CMakeFiles/hd_apps.dir/golden_util.cc.o"
+  "CMakeFiles/hd_apps.dir/golden_util.cc.o.d"
+  "CMakeFiles/hd_apps.dir/hist_apps.cc.o"
+  "CMakeFiles/hd_apps.dir/hist_apps.cc.o.d"
+  "CMakeFiles/hd_apps.dir/numeric_apps.cc.o"
+  "CMakeFiles/hd_apps.dir/numeric_apps.cc.o.d"
+  "CMakeFiles/hd_apps.dir/registry.cc.o"
+  "CMakeFiles/hd_apps.dir/registry.cc.o.d"
+  "CMakeFiles/hd_apps.dir/sources.cc.o"
+  "CMakeFiles/hd_apps.dir/sources.cc.o.d"
+  "CMakeFiles/hd_apps.dir/text_apps.cc.o"
+  "CMakeFiles/hd_apps.dir/text_apps.cc.o.d"
+  "libhd_apps.a"
+  "libhd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

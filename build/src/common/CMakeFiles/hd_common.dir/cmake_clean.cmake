@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_common.dir/strings.cc.o"
+  "CMakeFiles/hd_common.dir/strings.cc.o.d"
+  "CMakeFiles/hd_common.dir/table.cc.o"
+  "CMakeFiles/hd_common.dir/table.cc.o.d"
+  "libhd_common.a"
+  "libhd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpurt/cpu_task.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/cpu_task.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/cpu_task.cc.o.d"
+  "/root/repo/src/gpurt/gpu_task.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/gpu_task.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/gpu_task.cc.o.d"
+  "/root/repo/src/gpurt/job_program.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/job_program.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/job_program.cc.o.d"
+  "/root/repo/src/gpurt/kv.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/kv.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/kv.cc.o.d"
+  "/root/repo/src/gpurt/kvstore.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/kvstore.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/kvstore.cc.o.d"
+  "/root/repo/src/gpurt/records.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/records.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/records.cc.o.d"
+  "/root/repo/src/gpurt/seqfile.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/seqfile.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/seqfile.cc.o.d"
+  "/root/repo/src/gpurt/sort.cc" "src/gpurt/CMakeFiles/hd_gpurt.dir/sort.cc.o" "gcc" "src/gpurt/CMakeFiles/hd_gpurt.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/hd_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/hd_translator.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_gpurt.dir/cpu_task.cc.o"
+  "CMakeFiles/hd_gpurt.dir/cpu_task.cc.o.d"
+  "CMakeFiles/hd_gpurt.dir/gpu_task.cc.o"
+  "CMakeFiles/hd_gpurt.dir/gpu_task.cc.o.d"
+  "CMakeFiles/hd_gpurt.dir/job_program.cc.o"
+  "CMakeFiles/hd_gpurt.dir/job_program.cc.o.d"
+  "CMakeFiles/hd_gpurt.dir/kv.cc.o"
+  "CMakeFiles/hd_gpurt.dir/kv.cc.o.d"
+  "CMakeFiles/hd_gpurt.dir/kvstore.cc.o"
+  "CMakeFiles/hd_gpurt.dir/kvstore.cc.o.d"
+  "CMakeFiles/hd_gpurt.dir/records.cc.o"
+  "CMakeFiles/hd_gpurt.dir/records.cc.o.d"
+  "CMakeFiles/hd_gpurt.dir/seqfile.cc.o"
+  "CMakeFiles/hd_gpurt.dir/seqfile.cc.o.d"
+  "CMakeFiles/hd_gpurt.dir/sort.cc.o"
+  "CMakeFiles/hd_gpurt.dir/sort.cc.o.d"
+  "libhd_gpurt.a"
+  "libhd_gpurt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_gpurt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

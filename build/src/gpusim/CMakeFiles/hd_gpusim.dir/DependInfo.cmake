@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/config.cc" "src/gpusim/CMakeFiles/hd_gpusim.dir/config.cc.o" "gcc" "src/gpusim/CMakeFiles/hd_gpusim.dir/config.cc.o.d"
+  "/root/repo/src/gpusim/kernel.cc" "src/gpusim/CMakeFiles/hd_gpusim.dir/kernel.cc.o" "gcc" "src/gpusim/CMakeFiles/hd_gpusim.dir/kernel.cc.o.d"
+  "/root/repo/src/gpusim/texture_cache.cc" "src/gpusim/CMakeFiles/hd_gpusim.dir/texture_cache.cc.o" "gcc" "src/gpusim/CMakeFiles/hd_gpusim.dir/texture_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/hd_minic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_gpusim.dir/config.cc.o"
+  "CMakeFiles/hd_gpusim.dir/config.cc.o.d"
+  "CMakeFiles/hd_gpusim.dir/kernel.cc.o"
+  "CMakeFiles/hd_gpusim.dir/kernel.cc.o.d"
+  "CMakeFiles/hd_gpusim.dir/texture_cache.cc.o"
+  "CMakeFiles/hd_gpusim.dir/texture_cache.cc.o.d"
+  "libhd_gpusim.a"
+  "libhd_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoop/engine.cc" "src/hadoop/CMakeFiles/hd_hadoop.dir/engine.cc.o" "gcc" "src/hadoop/CMakeFiles/hd_hadoop.dir/engine.cc.o.d"
+  "/root/repo/src/hadoop/functional_source.cc" "src/hadoop/CMakeFiles/hd_hadoop.dir/functional_source.cc.o" "gcc" "src/hadoop/CMakeFiles/hd_hadoop.dir/functional_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpurt/CMakeFiles/hd_gpurt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/hd_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hd_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hd_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/hd_translator.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/hd_minic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_hadoop.dir/engine.cc.o"
+  "CMakeFiles/hd_hadoop.dir/engine.cc.o.d"
+  "CMakeFiles/hd_hadoop.dir/functional_source.cc.o"
+  "CMakeFiles/hd_hadoop.dir/functional_source.cc.o.d"
+  "libhd_hadoop.a"
+  "libhd_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_hdfs.dir/hdfs.cc.o"
+  "CMakeFiles/hd_hdfs.dir/hdfs.cc.o.d"
+  "libhd_hdfs.a"
+  "libhd_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

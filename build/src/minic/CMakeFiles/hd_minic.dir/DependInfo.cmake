@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/builtins.cc" "src/minic/CMakeFiles/hd_minic.dir/builtins.cc.o" "gcc" "src/minic/CMakeFiles/hd_minic.dir/builtins.cc.o.d"
+  "/root/repo/src/minic/interp.cc" "src/minic/CMakeFiles/hd_minic.dir/interp.cc.o" "gcc" "src/minic/CMakeFiles/hd_minic.dir/interp.cc.o.d"
+  "/root/repo/src/minic/lexer.cc" "src/minic/CMakeFiles/hd_minic.dir/lexer.cc.o" "gcc" "src/minic/CMakeFiles/hd_minic.dir/lexer.cc.o.d"
+  "/root/repo/src/minic/parser.cc" "src/minic/CMakeFiles/hd_minic.dir/parser.cc.o" "gcc" "src/minic/CMakeFiles/hd_minic.dir/parser.cc.o.d"
+  "/root/repo/src/minic/sema.cc" "src/minic/CMakeFiles/hd_minic.dir/sema.cc.o" "gcc" "src/minic/CMakeFiles/hd_minic.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

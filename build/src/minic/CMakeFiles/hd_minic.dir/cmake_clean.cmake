@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_minic.dir/builtins.cc.o"
+  "CMakeFiles/hd_minic.dir/builtins.cc.o.d"
+  "CMakeFiles/hd_minic.dir/interp.cc.o"
+  "CMakeFiles/hd_minic.dir/interp.cc.o.d"
+  "CMakeFiles/hd_minic.dir/lexer.cc.o"
+  "CMakeFiles/hd_minic.dir/lexer.cc.o.d"
+  "CMakeFiles/hd_minic.dir/parser.cc.o"
+  "CMakeFiles/hd_minic.dir/parser.cc.o.d"
+  "CMakeFiles/hd_minic.dir/sema.cc.o"
+  "CMakeFiles/hd_minic.dir/sema.cc.o.d"
+  "libhd_minic.a"
+  "libhd_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

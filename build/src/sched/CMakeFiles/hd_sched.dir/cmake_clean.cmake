@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_sched.dir/policy.cc.o"
+  "CMakeFiles/hd_sched.dir/policy.cc.o.d"
+  "libhd_sched.a"
+  "libhd_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

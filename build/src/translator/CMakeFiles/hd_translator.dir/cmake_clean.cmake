@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_translator.dir/translator.cc.o"
+  "CMakeFiles/hd_translator.dir/translator.cc.o.d"
+  "libhd_translator.a"
+  "libhd_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpurt_test.dir/gpurt_test.cc.o"
+  "CMakeFiles/gpurt_test.dir/gpurt_test.cc.o.d"
+  "gpurt_test"
+  "gpurt_test.pdb"
+  "gpurt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpurt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

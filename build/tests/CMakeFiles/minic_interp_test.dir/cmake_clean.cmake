@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_interp_test.dir/minic_interp_test.cc.o"
+  "CMakeFiles/minic_interp_test.dir/minic_interp_test.cc.o.d"
+  "minic_interp_test"
+  "minic_interp_test.pdb"
+  "minic_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_lexer_test.dir/minic_lexer_test.cc.o"
+  "CMakeFiles/minic_lexer_test.dir/minic_lexer_test.cc.o.d"
+  "minic_lexer_test"
+  "minic_lexer_test.pdb"
+  "minic_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_parser_test.dir/minic_parser_test.cc.o"
+  "CMakeFiles/minic_parser_test.dir/minic_parser_test.cc.o.d"
+  "minic_parser_test"
+  "minic_parser_test.pdb"
+  "minic_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_property_test.dir/minic_property_test.cc.o"
+  "CMakeFiles/minic_property_test.dir/minic_property_test.cc.o.d"
+  "minic_property_test"
+  "minic_property_test.pdb"
+  "minic_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_sema_test.dir/minic_sema_test.cc.o"
+  "CMakeFiles/minic_sema_test.dir/minic_sema_test.cc.o.d"
+  "minic_sema_test"
+  "minic_sema_test.pdb"
+  "minic_sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

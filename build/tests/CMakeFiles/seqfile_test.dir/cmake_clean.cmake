@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqfile_test.dir/seqfile_test.cc.o"
+  "CMakeFiles/seqfile_test.dir/seqfile_test.cc.o.d"
+  "seqfile_test"
+  "seqfile_test.pdb"
+  "seqfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

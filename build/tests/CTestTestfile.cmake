@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_sema_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_test[1]_include.cmake")
+include("/root/repo/build/tests/gpurt_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/hadoop_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_property_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_property_test[1]_include.cmake")
+include("/root/repo/build/tests/seqfile_test[1]_include.cmake")
