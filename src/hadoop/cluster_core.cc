@@ -1,0 +1,256 @@
+#include "hadoop/cluster_core.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hd::hadoop {
+
+void ValidateClusterConfig(const ClusterConfig& cfg) {
+  HD_CHECK_MSG(cfg.num_slaves > 0, "cluster needs at least one slave");
+  HD_CHECK_MSG(cfg.map_slots_per_node > 0,
+               "each slave needs at least one CPU map slot");
+  HD_CHECK_MSG(cfg.reduce_slots_per_node >= 0,
+               "reduce_slots_per_node must be non-negative");
+  HD_CHECK_MSG(cfg.gpus_per_node >= 0, "gpus_per_node must be non-negative");
+  HD_CHECK_MSG(cfg.heartbeat_sec > 0.0, "heartbeat_sec must be positive");
+  HD_CHECK_MSG(cfg.network_bytes_per_sec > 0.0,
+               "network_bytes_per_sec must be positive");
+  HD_CHECK_MSG(cfg.reduce_slowstart >= 0.0 && cfg.reduce_slowstart <= 1.0,
+               "reduce_slowstart must be a fraction in [0, 1]");
+  if (!cfg.node_speed_factors.empty()) {
+    HD_CHECK_MSG(static_cast<int>(cfg.node_speed_factors.size()) ==
+                     cfg.num_slaves,
+                 "node_speed_factors must have one entry per slave");
+    for (double f : cfg.node_speed_factors) {
+      HD_CHECK_MSG(f > 0.0, "node speed factors must be positive");
+    }
+  }
+}
+
+ClusterCore::ClusterCore(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  ValidateClusterConfig(cfg_);
+  nodes_.resize(static_cast<std::size_t>(cfg_.num_slaves));
+  for (auto& n : nodes_) {
+    n.free_cpu = cfg_.map_slots_per_node;
+    n.free_gpu = cfg_.gpus_per_node;
+  }
+}
+
+void ClusterCore::InitJob(JobState& job) {
+  HD_CHECK(job.source != nullptr);
+  if (job.fs != nullptr) {
+    HD_CHECK_MSG(job.fs->NumSplits(job.input_path) ==
+                     job.source->num_map_tasks(),
+                 "input file split count does not match the task source");
+  }
+  job.remaining_maps = job.source->num_map_tasks();
+  job.pending.resize(static_cast<std::size_t>(job.remaining_maps));
+  for (int i = 0; i < job.remaining_maps; ++i) job.pending[i] = i;
+  job.node_stats.assign(static_cast<std::size_t>(cfg_.num_slaves), {});
+}
+
+sched::NodeSched ClusterCore::SchedView(const JobState& job,
+                                        int node_id) const {
+  const NodeSlots& n = nodes_[static_cast<std::size_t>(node_id)];
+  const bool gpu_blind = job.policy == sched::Policy::kCpuOnly;
+  sched::NodeSched v;
+  v.free_cpu_slots = n.free_cpu;
+  v.free_gpu_slots = gpu_blind ? 0 : n.free_gpu;
+  v.num_gpus = gpu_blind ? 0 : cfg_.gpus_per_node;
+  v.ave_speedup =
+      job.node_stats[static_cast<std::size_t>(node_id)].AveSpeedup();
+  return v;
+}
+
+int ClusterCore::HeartbeatCap(const JobState& job, int node_id) const {
+  return sched::MaxTasksThisHeartbeat(
+      job.policy, SchedView(job, node_id),
+      static_cast<int>(job.pending.size()), job.max_speedup, cfg_.num_slaves);
+}
+
+bool ClusterCore::NodeHasUsableSlot(const JobState& job, int node_id) const {
+  const NodeSlots& n = nodes_[static_cast<std::size_t>(node_id)];
+  if (n.free_cpu > 0) return true;
+  return job.policy != sched::Policy::kCpuOnly && n.free_gpu > 0;
+}
+
+bool ClusterCore::IsLocal(const JobState& job, int node_id, int task) const {
+  if (job.fs == nullptr) return true;
+  return job.fs->Split(job.input_path, task).IsLocalTo(node_id);
+}
+
+std::vector<int> ClusterCore::PickTasks(JobState& job, int node_id,
+                                        int max_tasks) {
+  std::vector<int> picked;
+  if (max_tasks <= 0) return picked;
+  // Pass 1: data-local splits.
+  for (auto it = job.pending.begin();
+       it != job.pending.end() &&
+       static_cast<int>(picked.size()) < max_tasks;) {
+    if (IsLocal(job, node_id, *it)) {
+      picked.push_back(*it);
+      it = job.pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Pass 2: any split.
+  while (static_cast<int>(picked.size()) < max_tasks &&
+         !job.pending.empty()) {
+    picked.push_back(job.pending.front());
+    job.pending.erase(job.pending.begin());
+  }
+  return picked;
+}
+
+void ClusterCore::PlaceTask(JobState& job, int node_id, int task,
+                            double maps_remaining_per_node) {
+  NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
+  const bool want_gpu = sched::PlaceOnGpu(job.policy, SchedView(job, node_id),
+                                          maps_remaining_per_node);
+  if (want_gpu) {
+    if (node.free_gpu > 0) {
+      StartMap(job, node_id, task, /*on_gpu=*/true);
+    } else {
+      // Tail forcing with every local GPU busy: hand the task back so the
+      // next TaskTracker with an idle GPU picks it up, rather than queueing
+      // behind this node's GPU.
+      ++gpu_bounces_;
+      job.pending.insert(job.pending.begin(), task);
+    }
+    return;
+  }
+  if (node.free_cpu > 0) {
+    StartMap(job, node_id, task, /*on_gpu=*/false);
+  } else if (job.policy != sched::Policy::kCpuOnly && node.free_gpu > 0) {
+    StartMap(job, node_id, task, /*on_gpu=*/true);
+  } else {
+    // No capacity after all (tail cap raced with completions): put back.
+    job.pending.insert(job.pending.begin(), task);
+  }
+}
+
+void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu) {
+  NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
+  MapTaskTiming timing;
+  if (on_gpu) {
+    try {
+      timing = job.source->MapTask(task, /*on_gpu=*/true);
+    } catch (const GpuTaskFailure&) {
+      // §5.1: the failure is reported to the TaskTracker, the GPU driver is
+      // revived, and the task is rescheduled — here directly onto a CPU
+      // slot when one is free.
+      ++job.result.gpu_failures;
+      if (node.free_cpu > 0) {
+        StartMap(job, node_id, task, /*on_gpu=*/false);
+      } else {
+        job.pending.insert(job.pending.begin(), task);
+      }
+      return;
+    }
+    --node.free_gpu;
+    ++job.result.gpu_tasks;
+  } else {
+    timing = job.source->MapTask(task, /*on_gpu=*/false);
+    HD_CHECK(node.free_cpu > 0);
+    --node.free_cpu;
+    ++job.result.cpu_tasks;
+  }
+  ++job.running_tasks;
+  if (job.first_start_time < 0.0) job.first_start_time = events_.now();
+  double duration = timing.seconds;
+  if (!cfg_.node_speed_factors.empty()) {
+    duration *= cfg_.node_speed_factors[static_cast<std::size_t>(node_id)];
+  }
+  if (cfg_.trace != nullptr) {
+    *cfg_.trace << "t=" << events_.now();
+    if (trace_job_ids_) *cfg_.trace << " job=" << job.id;
+    *cfg_.trace << " start task=" << task << " node=" << node_id
+                << (on_gpu ? " GPU" : " CPU") << " dur=" << timing.seconds
+                << "\n";
+  }
+  if (!IsLocal(job, node_id, task)) {
+    ++job.result.nonlocal_tasks;
+    duration += static_cast<double>(job.fs->Split(job.input_path, task).bytes) /
+                cfg_.network_bytes_per_sec;
+  }
+  job.result.total_map_output_bytes += timing.output_bytes;
+  events_.After(duration, [this, &job, node_id, task, on_gpu, duration] {
+    FinishMap(job, node_id, task, on_gpu, duration);
+  });
+}
+
+void ClusterCore::FinishMap(JobState& job, int node_id, int task, bool on_gpu,
+                            double duration) {
+  NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
+  JobNodeStats& stats = job.node_stats[static_cast<std::size_t>(node_id)];
+  if (cfg_.trace != nullptr) {
+    *cfg_.trace << "t=" << events_.now();
+    if (trace_job_ids_) *cfg_.trace << " job=" << job.id;
+    *cfg_.trace << " finish task=" << task << " node=" << node_id
+                << (on_gpu ? " GPU" : " CPU") << "\n";
+  }
+  if (on_gpu) {
+    ++node.free_gpu;
+    gpu_busy_sec_ += duration;
+    stats.gpu_avg = (stats.gpu_avg * stats.gpu_n + duration) / (stats.gpu_n + 1);
+    ++stats.gpu_n;
+  } else {
+    ++node.free_cpu;
+    cpu_busy_sec_ += duration;
+    stats.cpu_avg = (stats.cpu_avg * stats.cpu_n + duration) / (stats.cpu_n + 1);
+    ++stats.cpu_n;
+  }
+  job.max_speedup = std::max(job.max_speedup, stats.AveSpeedup());
+  job.result.max_observed_speedup = job.max_speedup;
+  --job.remaining_maps;
+  ++job.maps_done;
+  --job.running_tasks;
+
+  OnMapsProgress(job);
+  OnTaskFinished(job, node_id);
+}
+
+void ClusterCore::OnMapsProgress(JobState& job) {
+  const int total = job.source->num_map_tasks();
+  if (!job.reduces_scheduled && job.source->num_reducers() > 0 &&
+      job.maps_done >= static_cast<int>(cfg_.reduce_slowstart * total)) {
+    job.reduces_scheduled = true;
+    const int reduce_capacity = cfg_.num_slaves * cfg_.reduce_slots_per_node;
+    HD_CHECK_MSG(job.source->num_reducers() <= reduce_capacity,
+                 "more reducers than reduce slots; wave scheduling of "
+                 "reducers is not modeled");
+    job.reduce_start.assign(
+        static_cast<std::size_t>(job.source->num_reducers()), events_.now());
+  }
+  if (job.remaining_maps == 0) FinishJob(job);
+}
+
+void ClusterCore::FinishJob(JobState& job) {
+  HD_CHECK(!job.done);
+  job.done = true;
+  job.result.map_phase_end_sec = events_.now();
+  double makespan = job.result.map_phase_end_sec;
+  if (job.source->num_reducers() > 0) {
+    if (!job.reduces_scheduled) {
+      job.reduce_start.assign(
+          static_cast<std::size_t>(job.source->num_reducers()), events_.now());
+    }
+    const double shuffle_bytes_per_reducer =
+        static_cast<double>(job.result.total_map_output_bytes) /
+        job.source->num_reducers();
+    for (int r = 0; r < job.source->num_reducers(); ++r) {
+      const double fetch_done =
+          std::max(job.result.map_phase_end_sec,
+                   job.reduce_start[static_cast<std::size_t>(r)] +
+                       shuffle_bytes_per_reducer / cfg_.network_bytes_per_sec);
+      makespan = std::max(makespan, fetch_done + job.source->ReduceSeconds(r));
+    }
+  }
+  job.result.makespan_sec = makespan;
+  job.result.final_output = job.source->FinalOutput();
+  OnJobFinished(job);
+}
+
+}  // namespace hd::hadoop

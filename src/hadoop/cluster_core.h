@@ -1,0 +1,161 @@
+// Cluster-level execution core shared by the single-job JobEngine and the
+// multi-job engine (src/multijob).
+//
+// The split mirrors real Hadoop 1.x: the *cluster* owns the TaskTrackers
+// (CPU/GPU map slots), the heartbeat clock and the DES event queue, while
+// each *job* owns its pending map list, per-TaskTracker speedup statistics
+// (Algorithm 2's aveSpeedup is tracked per job), reduce bookkeeping and
+// result counters. N active jobs can therefore share one set of
+// TaskTrackers; which job a freed slot serves is the caller's decision
+// (trivially "the job" for JobEngine, an inter-job scheduler for
+// multijob::MultiJobEngine).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gpurt/kv.h"
+#include "hadoop/des.h"
+#include "hadoop/task_source.h"
+#include "hdfs/hdfs.h"
+#include "sched/policy.h"
+
+namespace hd::hadoop {
+
+struct ClusterConfig {
+  int num_slaves = 4;
+  int map_slots_per_node = 4;    // CPU map slots (Table 3: 20 / 4)
+  int reduce_slots_per_node = 2;
+  int gpus_per_node = 0;
+  double heartbeat_sec = 3.0;
+  double network_bytes_per_sec = 1.0e9;  // shuffle / non-local reads
+  double reduce_slowstart = 0.2;  // Table 3: 20% maps before reduce starts
+  // Extension (paper §9 future work): inter-node heterogeneity. When
+  // non-empty, entry i scales every task duration on node i (e.g. 2.0 =
+  // an older node at half speed). Size must equal num_slaves.
+  std::vector<double> node_speed_factors;
+  // Optional schedule trace (one line per task start/finish), for debugging
+  // and for the Fig. 3 bench's timeline rendering.
+  std::ostream* trace = nullptr;
+};
+
+// HD_CHECKs every ClusterConfig invariant (positive slot/heartbeat/
+// bandwidth values, slowstart fraction in [0,1], speed-factor arity).
+// Called from the ClusterCore constructor; throws CheckError on violation.
+void ValidateClusterConfig(const ClusterConfig& cfg);
+
+struct JobResult {
+  double makespan_sec = 0.0;
+  double map_phase_end_sec = 0.0;
+  std::int64_t cpu_tasks = 0;
+  std::int64_t gpu_tasks = 0;
+  std::int64_t gpu_failures = 0;
+  std::int64_t nonlocal_tasks = 0;
+  std::int64_t total_map_output_bytes = 0;
+  double max_observed_speedup = 1.0;
+  // Functional sources only: the job's final output (reduce output, or map
+  // output for map-only jobs).
+  std::vector<gpurt::KvPair> final_output;
+};
+
+// Per-(job, TaskTracker) speedup bookkeeping: Algorithm 2's aveSpeedup,
+// tracked per job because different jobs see different GPU speedups.
+struct JobNodeStats {
+  double cpu_avg = 0.0;
+  std::int64_t cpu_n = 0;
+  double gpu_avg = 0.0;
+  std::int64_t gpu_n = 0;
+
+  double AveSpeedup() const {
+    if (cpu_n == 0 || gpu_n == 0 || gpu_avg <= 0.0) return 1.0;
+    return cpu_avg / gpu_avg;
+  }
+};
+
+// Everything belonging to one MapReduce job in flight.
+struct JobState {
+  int id = 0;
+  std::string label;  // app/bench id for traces and metrics
+  TaskTimeSource* source = nullptr;
+  sched::Policy policy = sched::Policy::kCpuOnly;
+  const hdfs::Hdfs* fs = nullptr;
+  std::string input_path;
+  int pool = 0;  // multijob Capacity scheduler pool
+
+  std::vector<int> pending;    // unscheduled map task ids (FIFO)
+  int remaining_maps = 0;      // scheduled-or-pending, not yet finished
+  int maps_done = 0;
+  int running_tasks = 0;       // currently occupying a slot (Fair shares)
+  double max_speedup = 1.0;
+  std::vector<JobNodeStats> node_stats;  // one per slave
+  bool reduces_scheduled = false;
+  std::vector<double> reduce_start;
+  bool done = false;
+
+  double submit_time = 0.0;
+  double first_start_time = -1.0;  // <0 until the first task launches
+  JobResult result;
+};
+
+// Free map slots of one TaskTracker. Cluster state: shared by all jobs.
+struct NodeSlots {
+  int free_cpu = 0;
+  int free_gpu = 0;
+};
+
+// Owns the cluster (nodes, slots, DES clock) and implements the map-task
+// placement/execution machinery for any JobState. Subclasses decide which
+// job each heartbeat serves and react to completions via the hooks.
+class ClusterCore {
+ public:
+  explicit ClusterCore(ClusterConfig cfg);
+  virtual ~ClusterCore() = default;
+
+ protected:
+  // Validates the job against the cluster and fills in the derived fields
+  // (pending list, per-node stats). Call once before scheduling it.
+  void InitJob(JobState& job);
+
+  // The sched::Policy view of `node_id` as seen by `job`: cluster slot
+  // availability plus the job's own speedup estimate. A kCpuOnly job sees
+  // zero GPUs even when the node has some (baseline Hadoop is GPU-blind).
+  sched::NodeSched SchedView(const JobState& job, int node_id) const;
+
+  // Algorithm 2's JobTracker side: how many tasks this job may receive
+  // from `node_id` in the current heartbeat response.
+  int HeartbeatCap(const JobState& job, int node_id) const;
+
+  // Whether `node_id` has any slot this job could occupy right now.
+  bool NodeHasUsableSlot(const JobState& job, int node_id) const;
+
+  // Picks up to `max_tasks` pending tasks, preferring node-local splits.
+  std::vector<int> PickTasks(JobState& job, int node_id, int max_tasks);
+  bool IsLocal(const JobState& job, int node_id, int task) const;
+
+  void PlaceTask(JobState& job, int node_id, int task,
+                 double maps_remaining_per_node);
+  void StartMap(JobState& job, int node_id, int task, bool on_gpu);
+  void FinishMap(JobState& job, int node_id, int task, bool on_gpu,
+                 double duration);
+  void OnMapsProgress(JobState& job);
+  void FinishJob(JobState& job);
+
+  // Called after each map completion (slot freed; Hadoop 1.x sends an
+  // out-of-band heartbeat here) and after a job's last map completes.
+  virtual void OnTaskFinished(JobState& job, int node_id) = 0;
+  virtual void OnJobFinished(JobState& job) { (void)job; }
+
+  ClusterConfig cfg_;
+  EventQueue events_;
+  std::vector<NodeSlots> nodes_;
+  bool trace_job_ids_ = false;  // multijob traces tag lines with job=<id>
+
+  // Cluster-level accounting for utilization / contention metrics.
+  double cpu_busy_sec_ = 0.0;   // map-slot-seconds spent on CPU tasks
+  double gpu_busy_sec_ = 0.0;   // GPU-slot-seconds spent on GPU tasks
+  std::int64_t gpu_bounces_ = 0;  // forced-GPU placements, every GPU busy
+};
+
+}  // namespace hd::hadoop

@@ -1,7 +1,5 @@
 #include "hadoop/engine.h"
 
-#include <algorithm>
-
 #include "common/check.h"
 
 namespace hd::hadoop {
@@ -9,223 +7,32 @@ namespace hd::hadoop {
 JobEngine::JobEngine(ClusterConfig config, TaskTimeSource* source,
                      sched::Policy policy, const hdfs::Hdfs* fs,
                      std::string input_path)
-    : cfg_(config),
-      source_(source),
-      policy_(policy),
-      fs_(fs),
-      input_path_(std::move(input_path)) {
-  HD_CHECK(source_ != nullptr);
-  HD_CHECK(cfg_.num_slaves > 0);
-  HD_CHECK(cfg_.map_slots_per_node > 0);
-  if (fs_ != nullptr) {
-    HD_CHECK_MSG(fs_->NumSplits(input_path_) == source_->num_map_tasks(),
-                 "input file split count does not match the task source");
-  }
-  if (!cfg_.node_speed_factors.empty()) {
-    HD_CHECK_MSG(static_cast<int>(cfg_.node_speed_factors.size()) ==
-                     cfg_.num_slaves,
-                 "node_speed_factors must have one entry per slave");
-    for (double f : cfg_.node_speed_factors) HD_CHECK(f > 0.0);
-  }
-  nodes_.resize(static_cast<std::size_t>(cfg_.num_slaves));
-  for (auto& n : nodes_) {
-    n.free_cpu = cfg_.map_slots_per_node;
-    n.free_gpu = policy_ == sched::Policy::kCpuOnly ? 0 : cfg_.gpus_per_node;
-  }
-  remaining_maps_ = source_->num_map_tasks();
-  pending_.resize(static_cast<std::size_t>(remaining_maps_));
-  for (int i = 0; i < remaining_maps_; ++i) pending_[i] = i;
-}
-
-sched::NodeSched JobEngine::SchedView(const Node& n) const {
-  sched::NodeSched v;
-  v.free_cpu_slots = n.free_cpu;
-  v.free_gpu_slots = n.free_gpu;
-  v.num_gpus = policy_ == sched::Policy::kCpuOnly ? 0 : cfg_.gpus_per_node;
-  v.ave_speedup = n.AveSpeedup();
-  return v;
-}
-
-bool JobEngine::IsLocal(int node_id, int task) const {
-  if (fs_ == nullptr) return true;
-  return fs_->Split(input_path_, task).IsLocalTo(node_id);
-}
-
-std::vector<int> JobEngine::PickTasks(int node_id, int max_tasks) {
-  std::vector<int> picked;
-  if (max_tasks <= 0) return picked;
-  // Pass 1: data-local splits.
-  for (auto it = pending_.begin();
-       it != pending_.end() && static_cast<int>(picked.size()) < max_tasks;) {
-    if (IsLocal(node_id, *it)) {
-      picked.push_back(*it);
-      it = pending_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  // Pass 2: any split.
-  while (static_cast<int>(picked.size()) < max_tasks && !pending_.empty()) {
-    picked.push_back(pending_.front());
-    pending_.erase(pending_.begin());
-  }
-  return picked;
+    : ClusterCore(std::move(config)) {
+  job_.source = source;
+  job_.policy = policy;
+  job_.fs = fs;
+  job_.input_path = std::move(input_path);
+  InitJob(job_);
 }
 
 void JobEngine::Heartbeat(int node_id) {
-  if (done_) return;
-  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (job_.done) return;
   // JobTracker side: choose how many tasks this response carries, and the
   // numMapsRemainingPerNode estimate it ships alongside (Algorithm 2,
   // lines 8-9) — both computed before handing out this response's tasks.
-  const int max_tasks = sched::MaxTasksThisHeartbeat(
-      policy_, SchedView(node), static_cast<int>(pending_.size()),
-      max_speedup_, cfg_.num_slaves);
+  const int max_tasks = HeartbeatCap(job_, node_id);
   const double remaining_per_node =
-      static_cast<double>(pending_.size()) / cfg_.num_slaves;
-  const std::vector<int> tasks = PickTasks(node_id, max_tasks);
+      static_cast<double>(job_.pending.size()) / cfg_.num_slaves;
+  const std::vector<int> tasks = PickTasks(job_, node_id, max_tasks);
   // TaskTracker side: place each assigned task.
-  for (int task : tasks) PlaceTask(node_id, task, remaining_per_node);
+  for (int task : tasks) PlaceTask(job_, node_id, task, remaining_per_node);
 }
 
-void JobEngine::PlaceTask(int node_id, int task,
-                          double maps_remaining_per_node) {
-  Node& node = nodes_[static_cast<std::size_t>(node_id)];
-  const bool want_gpu =
-      sched::PlaceOnGpu(policy_, SchedView(node), maps_remaining_per_node);
-  if (want_gpu) {
-    if (node.free_gpu > 0) {
-      StartMap(node_id, task, /*on_gpu=*/true);
-    } else {
-      // Tail forcing with every local GPU busy: hand the task back so the
-      // next TaskTracker with an idle GPU picks it up, rather than queueing
-      // behind this node's GPU.
-      pending_.insert(pending_.begin(), task);
-    }
-    return;
-  }
-  if (node.free_cpu > 0) {
-    StartMap(node_id, task, /*on_gpu=*/false);
-  } else if (node.free_gpu > 0) {
-    StartMap(node_id, task, /*on_gpu=*/true);
-  } else {
-    // No capacity after all (tail cap raced with completions): put back.
-    pending_.insert(pending_.begin(), task);
-  }
-}
-
-void JobEngine::StartMap(int node_id, int task, bool on_gpu) {
-  Node& node = nodes_[static_cast<std::size_t>(node_id)];
-  MapTaskTiming timing;
-  if (on_gpu) {
-    try {
-      timing = source_->MapTask(task, /*on_gpu=*/true);
-    } catch (const GpuTaskFailure&) {
-      // §5.1: the failure is reported to the TaskTracker, the GPU driver is
-      // revived, and the task is rescheduled — here directly onto a CPU
-      // slot when one is free.
-      ++result_.gpu_failures;
-      if (node.free_cpu > 0) {
-        StartMap(node_id, task, /*on_gpu=*/false);
-      } else {
-        pending_.insert(pending_.begin(), task);
-      }
-      return;
-    }
-    --node.free_gpu;
-    ++result_.gpu_tasks;
-  } else {
-    timing = source_->MapTask(task, /*on_gpu=*/false);
-    HD_CHECK(node.free_cpu > 0);
-    --node.free_cpu;
-    ++result_.cpu_tasks;
-  }
-  double duration = timing.seconds;
-  if (!cfg_.node_speed_factors.empty()) {
-    duration *= cfg_.node_speed_factors[static_cast<std::size_t>(node_id)];
-  }
-  if (cfg_.trace != nullptr) {
-    *cfg_.trace << "t=" << events_.now() << " start task=" << task
-                << " node=" << node_id << (on_gpu ? " GPU" : " CPU")
-                << " dur=" << timing.seconds << "\n";
-  }
-  if (!IsLocal(node_id, task)) {
-    ++result_.nonlocal_tasks;
-    duration += static_cast<double>(fs_->Split(input_path_, task).bytes) /
-                cfg_.network_bytes_per_sec;
-  }
-  result_.total_map_output_bytes += timing.output_bytes;
-  events_.After(duration, [this, node_id, task, on_gpu, duration] {
-    FinishMap(node_id, task, on_gpu, duration);
-  });
-}
-
-void JobEngine::FinishMap(int node_id, int task, bool on_gpu,
-                          double duration) {
-  Node& node = nodes_[static_cast<std::size_t>(node_id)];
-  if (cfg_.trace != nullptr) {
-    *cfg_.trace << "t=" << events_.now() << " finish task=" << task
-                << " node=" << node_id << (on_gpu ? " GPU" : " CPU") << "\n";
-  }
-  if (on_gpu) {
-    ++node.free_gpu;
-    node.gpu_avg = (node.gpu_avg * node.gpu_n + duration) / (node.gpu_n + 1);
-    ++node.gpu_n;
-  } else {
-    ++node.free_cpu;
-    node.cpu_avg = (node.cpu_avg * node.cpu_n + duration) / (node.cpu_n + 1);
-    ++node.cpu_n;
-  }
-  max_speedup_ = std::max(max_speedup_, node.AveSpeedup());
-  result_.max_observed_speedup = max_speedup_;
-  --remaining_maps_;
-  ++maps_done_;
-
-  OnMapsProgress();
-  if (!done_) {
+void JobEngine::OnTaskFinished(JobState& job, int node_id) {
+  if (!job.done) {
     // Out-of-band heartbeat on task completion (Hadoop 1.x behaviour).
     Heartbeat(node_id);
   }
-}
-
-void JobEngine::OnMapsProgress() {
-  const int total = source_->num_map_tasks();
-  if (!reduces_scheduled_ && source_->num_reducers() > 0 &&
-      maps_done_ >= static_cast<int>(cfg_.reduce_slowstart * total)) {
-    reduces_scheduled_ = true;
-    const int reduce_capacity = cfg_.num_slaves * cfg_.reduce_slots_per_node;
-    HD_CHECK_MSG(source_->num_reducers() <= reduce_capacity,
-                 "more reducers than reduce slots; wave scheduling of "
-                 "reducers is not modeled");
-    reduce_start_.assign(static_cast<std::size_t>(source_->num_reducers()),
-                         events_.now());
-  }
-  if (remaining_maps_ == 0) FinishJob();
-}
-
-void JobEngine::FinishJob() {
-  HD_CHECK(!done_);
-  done_ = true;
-  result_.map_phase_end_sec = events_.now();
-  double makespan = result_.map_phase_end_sec;
-  if (source_->num_reducers() > 0) {
-    if (!reduces_scheduled_) {
-      reduce_start_.assign(static_cast<std::size_t>(source_->num_reducers()),
-                           events_.now());
-    }
-    const double shuffle_bytes_per_reducer =
-        static_cast<double>(result_.total_map_output_bytes) /
-        source_->num_reducers();
-    for (int r = 0; r < source_->num_reducers(); ++r) {
-      const double fetch_done =
-          std::max(result_.map_phase_end_sec,
-                   reduce_start_[static_cast<std::size_t>(r)] +
-                       shuffle_bytes_per_reducer / cfg_.network_bytes_per_sec);
-      makespan = std::max(makespan, fetch_done + source_->ReduceSeconds(r));
-    }
-  }
-  result_.makespan_sec = makespan;
-  result_.final_output = source_->FinalOutput();
 }
 
 JobResult JobEngine::Run() {
@@ -239,7 +46,7 @@ JobResult JobEngine::Run() {
       JobEngine* engine;
       int node;
       void operator()() const {
-        if (engine->done_) return;
+        if (engine->job_.done) return;
         engine->Heartbeat(node);
         engine->events_.After(engine->cfg_.heartbeat_sec, Pulse{engine, node});
       }
@@ -247,8 +54,8 @@ JobResult JobEngine::Run() {
     events_.At(offset, Pulse{this, n});
   }
   events_.Run();
-  HD_CHECK_MSG(done_, "event queue drained before the job completed");
-  return result_;
+  HD_CHECK_MSG(job_.done, "event queue drained before the job completed");
+  return job_.result;
 }
 
 }  // namespace hd::hadoop

@@ -11,53 +11,19 @@
 //   * failed GPU attempts are rescheduled (fault tolerance),
 //   * reduce tasks start after the slow-start fraction of maps completes;
 //     their shuffle is modeled from map output volume.
+//
+// The slot/placement machinery lives in ClusterCore (cluster_core.h) so
+// that multijob::MultiJobEngine can run N concurrent jobs over the same
+// TaskTrackers; JobEngine is the single-tenant special case.
 #pragma once
 
-#include <optional>
-#include <ostream>
 #include <string>
-#include <vector>
 
-#include "gpurt/kv.h"
-#include "hadoop/des.h"
-#include "hadoop/task_source.h"
-#include "hdfs/hdfs.h"
-#include "sched/policy.h"
+#include "hadoop/cluster_core.h"
 
 namespace hd::hadoop {
 
-struct ClusterConfig {
-  int num_slaves = 4;
-  int map_slots_per_node = 4;    // CPU map slots (Table 3: 20 / 4)
-  int reduce_slots_per_node = 2;
-  int gpus_per_node = 0;
-  double heartbeat_sec = 3.0;
-  double network_bytes_per_sec = 1.0e9;  // shuffle / non-local reads
-  double reduce_slowstart = 0.2;  // Table 3: 20% maps before reduce starts
-  // Extension (paper §9 future work): inter-node heterogeneity. When
-  // non-empty, entry i scales every task duration on node i (e.g. 2.0 =
-  // an older node at half speed). Size must equal num_slaves.
-  std::vector<double> node_speed_factors;
-  // Optional schedule trace (one line per task start/finish), for debugging
-  // and for the Fig. 3 bench's timeline rendering.
-  std::ostream* trace = nullptr;
-};
-
-struct JobResult {
-  double makespan_sec = 0.0;
-  double map_phase_end_sec = 0.0;
-  std::int64_t cpu_tasks = 0;
-  std::int64_t gpu_tasks = 0;
-  std::int64_t gpu_failures = 0;
-  std::int64_t nonlocal_tasks = 0;
-  std::int64_t total_map_output_bytes = 0;
-  double max_observed_speedup = 1.0;
-  // Functional sources only: the job's final output (reduce output, or map
-  // output for map-only jobs).
-  std::vector<gpurt::KvPair> final_output;
-};
-
-class JobEngine {
+class JobEngine : private ClusterCore {
  public:
   // `fs`/`input_path` enable locality-aware scheduling; both optional.
   JobEngine(ClusterConfig config, TaskTimeSource* source,
@@ -67,47 +33,10 @@ class JobEngine {
   JobResult Run();
 
  private:
-  struct Node {
-    int free_cpu = 0;
-    int free_gpu = 0;
-    double cpu_avg = 0.0;
-    std::int64_t cpu_n = 0;
-    double gpu_avg = 0.0;
-    std::int64_t gpu_n = 0;
-
-    double AveSpeedup() const {
-      if (cpu_n == 0 || gpu_n == 0 || gpu_avg <= 0.0) return 1.0;
-      return cpu_avg / gpu_avg;
-    }
-  };
-
-  sched::NodeSched SchedView(const Node& n) const;
   void Heartbeat(int node_id);
-  void PlaceTask(int node_id, int task, double maps_remaining_per_node);
-  void StartMap(int node_id, int task, bool on_gpu);
-  void FinishMap(int node_id, int task, bool on_gpu, double duration);
-  void OnMapsProgress();
-  void FinishJob();
-  // Picks up to `max_tasks` pending tasks, preferring node-local splits.
-  std::vector<int> PickTasks(int node_id, int max_tasks);
-  bool IsLocal(int node_id, int task) const;
+  void OnTaskFinished(JobState& job, int node_id) override;
 
-  ClusterConfig cfg_;
-  TaskTimeSource* source_;
-  sched::Policy policy_;
-  const hdfs::Hdfs* fs_;
-  std::string input_path_;
-
-  EventQueue events_;
-  std::vector<Node> nodes_;
-  std::vector<int> pending_;   // unscheduled map task ids (FIFO)
-  int remaining_maps_ = 0;     // scheduled-or-pending, not yet finished
-  int maps_done_ = 0;
-  double max_speedup_ = 1.0;
-  bool reduces_scheduled_ = false;
-  std::vector<double> reduce_start_;
-  bool done_ = false;
-  JobResult result_;
+  JobState job_;
 };
 
 }  // namespace hd::hadoop

@@ -1,0 +1,158 @@
+#include "multijob/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hd::multijob {
+
+using hadoop::JobState;
+
+MultiJobEngine::MultiJobEngine(hadoop::ClusterConfig cfg,
+                               std::unique_ptr<InterJobScheduler> scheduler)
+    : hadoop::ClusterCore(std::move(cfg)), scheduler_(std::move(scheduler)) {
+  HD_CHECK(scheduler_ != nullptr);
+  trace_job_ids_ = true;
+}
+
+int MultiJobEngine::Submit(double when, JobSpec spec) {
+  HD_CHECK_MSG(when >= events_.now(), "submission scheduled in the past");
+  const int id = submitted_++;
+  auto job = std::make_unique<JobState>();
+  job->id = id;
+  job->label = spec.label;
+  job->source = spec.source;
+  job->policy = spec.policy;
+  job->fs = spec.fs;
+  job->input_path = std::move(spec.input_path);
+  job->pool = spec.pool;
+  job->submit_time = when;
+  InitJob(*job);
+  JobState* ptr = job.get();
+  jobs_.push_back(std::move(job));
+  events_.At(when, [this, ptr] { Activate(ptr); });
+  return id;
+}
+
+void MultiJobEngine::Activate(JobState* job) {
+  active_.push_back(job);
+  if (++active_jobs_ == 1) StartPulses();
+}
+
+void MultiJobEngine::StartPulses() {
+  const std::uint64_t gen = ++pulse_gen_;
+  for (int n = 0; n < cfg_.num_slaves; ++n) {
+    const double offset = cfg_.heartbeat_sec * (n + 1) / (cfg_.num_slaves + 1);
+    struct Pulse {
+      MultiJobEngine* engine;
+      int node;
+      std::uint64_t gen;
+      void operator()() const {
+        if (engine->pulse_gen_ != gen) return;  // cluster drained: retire
+        engine->ClusterHeartbeat(node);
+        engine->events_.After(engine->cfg_.heartbeat_sec, *this);
+      }
+    };
+    events_.After(offset, Pulse{this, n, gen});
+  }
+}
+
+void MultiJobEngine::ClusterHeartbeat(int node_id) {
+  // Per-job heartbeat allowances and numMapsRemainingPerNode estimates,
+  // computed once at response-construction time exactly as the single-job
+  // JobTracker does (Algorithm 2 lines 8-9).
+  const std::size_t n_active = active_.size();
+  std::vector<int> cap(n_active);
+  std::vector<int> assigned(n_active, 0);
+  std::vector<double> rem_per_node(n_active);
+  for (std::size_t i = 0; i < n_active; ++i) {
+    cap[i] = HeartbeatCap(*active_[i], node_id);
+    rem_per_node[i] =
+        static_cast<double>(active_[i]->pending.size()) / cfg_.num_slaves;
+  }
+  const std::vector<const JobState*> active_view(active_.begin(),
+                                                 active_.end());
+  // Fill the response slot-by-slot so Fair/Capacity shares interleave jobs
+  // within a single heartbeat, not only across heartbeats.
+  for (;;) {
+    std::vector<const JobState*> runnable;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < n_active; ++i) {
+      const JobState& job = *active_[i];
+      if (!job.pending.empty() && assigned[i] < cap[i] &&
+          NodeHasUsableSlot(job, node_id)) {
+        runnable.push_back(&job);
+        index.push_back(i);
+      }
+    }
+    if (runnable.empty()) break;
+    const std::size_t pick = scheduler_->PickJob(runnable, active_view);
+    HD_CHECK_MSG(pick < runnable.size(), "scheduler picked out of range");
+    const std::size_t i = index[pick];
+    JobState& job = *active_[i];
+    const std::vector<int> task = PickTasks(job, node_id, 1);
+    HD_CHECK(!task.empty());
+    // A bounce (forced-GPU with the GPU busy) still consumes the job's
+    // allowance, as it does in the single-job response.
+    ++assigned[i];
+    PlaceTask(job, node_id, task[0], rem_per_node[i]);
+  }
+}
+
+void MultiJobEngine::OnTaskFinished(JobState&, int node_id) {
+  // Out-of-band heartbeat on completion serves *all* jobs: the freed slot
+  // may well go to a different job than the one that finished.
+  if (!active_.empty()) ClusterHeartbeat(node_id);
+}
+
+void MultiJobEngine::OnJobFinished(JobState& job) {
+  // The map phase just drained; the modeled shuffle/reduce tail extends to
+  // result.makespan_sec. Hold the job active until then so closed-loop
+  // feeders and latency metrics see full completions.
+  const double delay = job.result.makespan_sec - events_.now();
+  HD_CHECK(delay >= 0.0);
+  events_.After(delay, [this, &job] { CompleteJob(job); });
+}
+
+void MultiJobEngine::CompleteJob(JobState& job) {
+  active_.erase(std::find(active_.begin(), active_.end(), &job));
+  ++completed_;
+  if (--active_jobs_ == 0) ++pulse_gen_;  // retire pulses lazily
+
+  JobStats stats;
+  stats.job_id = job.id;
+  stats.label = job.label;
+  stats.pool = job.pool;
+  stats.submit_sec = job.submit_time;
+  stats.start_sec = job.first_start_time;
+  stats.finish_sec = job.result.makespan_sec;
+  stats.result = job.result;
+  metrics_.jobs.push_back(stats);
+  if (on_job_done_) on_job_done_(stats);
+}
+
+WorkloadMetrics MultiJobEngine::Run() {
+  events_.Run();
+  HD_CHECK_MSG(completed_ == submitted_,
+               "event queue drained with jobs still in flight");
+  std::sort(metrics_.jobs.begin(), metrics_.jobs.end(),
+            [](const JobStats& a, const JobStats& b) {
+              return a.job_id < b.job_id;
+            });
+  for (const JobStats& j : metrics_.jobs) {
+    metrics_.makespan_sec = std::max(metrics_.makespan_sec, j.finish_sec);
+  }
+  const double horizon = metrics_.makespan_sec;
+  if (horizon > 0.0) {
+    metrics_.cpu_utilization =
+        cpu_busy_sec_ / (horizon * cfg_.num_slaves * cfg_.map_slots_per_node);
+    if (cfg_.gpus_per_node > 0) {
+      metrics_.gpu_utilization =
+          gpu_busy_sec_ / (horizon * cfg_.num_slaves * cfg_.gpus_per_node);
+    }
+  }
+  metrics_.gpu_bounces = gpu_bounces_;
+  return metrics_;
+}
+
+}  // namespace hd::multijob

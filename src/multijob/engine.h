@@ -1,0 +1,77 @@
+// Multi-job cluster engine: N MapReduce jobs share one simulated cluster's
+// TaskTrackers. Each heartbeat response is filled slot-by-slot: the
+// inter-job scheduler picks the job, the job's own sched::Policy picks the
+// processor (so Algorithm 2's tail forcing still applies within a job,
+// now competing with other jobs for the same GPU slots).
+//
+// Jobs are submitted at absolute simulated times (open-loop arrivals) or
+// from the completion callback (closed-loop streams); heartbeat pulses run
+// only while at least one job is in flight.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hadoop/cluster_core.h"
+#include "multijob/metrics.h"
+#include "multijob/scheduler.h"
+
+namespace hd::multijob {
+
+// One job submission: the task source, the per-job scheduling policy and
+// optional HDFS-backed locality, plus metrics labels.
+struct JobSpec {
+  hadoop::TaskTimeSource* source = nullptr;
+  sched::Policy policy = sched::Policy::kTail;
+  const hdfs::Hdfs* fs = nullptr;
+  std::string input_path;
+  int pool = 0;       // Capacity scheduler pool
+  std::string label;  // app id, reported in JobStats
+};
+
+class MultiJobEngine : public hadoop::ClusterCore {
+ public:
+  MultiJobEngine(hadoop::ClusterConfig cfg,
+                 std::unique_ptr<InterJobScheduler> scheduler);
+
+  // Schedules a submission at absolute simulated time `when` (>= now()).
+  // Valid before Run() and from within the completion callback. Returns
+  // the job id (submission order).
+  int Submit(double when, JobSpec spec);
+
+  // Invoked at each job's simulated completion time; may Submit() further
+  // jobs (closed-loop workloads).
+  void set_on_job_done(std::function<void(const JobStats&)> cb) {
+    on_job_done_ = std::move(cb);
+  }
+
+  // Runs until every submitted job completes; returns aggregate metrics.
+  WorkloadMetrics Run();
+
+  double now() const { return events_.now(); }
+  int active_jobs() const { return active_jobs_; }
+
+ private:
+  void Activate(hadoop::JobState* job);
+  void StartPulses();
+  // Serves every active job from one TaskTracker heartbeat.
+  void ClusterHeartbeat(int node_id);
+  void CompleteJob(hadoop::JobState& job);
+  void OnTaskFinished(hadoop::JobState& job, int node_id) override;
+  void OnJobFinished(hadoop::JobState& job) override;
+
+  std::unique_ptr<InterJobScheduler> scheduler_;
+  std::vector<std::unique_ptr<hadoop::JobState>> jobs_;  // stable addresses
+  std::vector<hadoop::JobState*> active_;  // maps in flight or reducing
+  int submitted_ = 0;
+  int completed_ = 0;
+  int active_jobs_ = 0;
+  // Heartbeat pulses carry a generation; bumping it retires them when the
+  // cluster drains, and Activate() starts a fresh set on 0 -> 1.
+  std::uint64_t pulse_gen_ = 0;
+  std::function<void(const JobStats&)> on_job_done_;
+  WorkloadMetrics metrics_;
+};
+
+}  // namespace hd::multijob

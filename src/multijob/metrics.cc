@@ -1,0 +1,56 @@
+#include "multijob/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hd::multijob {
+
+std::int64_t WorkloadMetrics::TotalCpuTasks() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.cpu_tasks;
+  return n;
+}
+
+std::int64_t WorkloadMetrics::TotalGpuTasks() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.gpu_tasks;
+  return n;
+}
+
+double WorkloadMetrics::MeanQueueWait() const {
+  if (jobs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& j : jobs) sum += j.QueueWait();
+  return sum / static_cast<double>(jobs.size());
+}
+
+double WorkloadMetrics::LatencyPercentile(double q) const {
+  HD_CHECK(q >= 0.0 && q <= 1.0);
+  if (jobs.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(jobs.size());
+  for (const auto& j : jobs) lat.push_back(j.Latency());
+  std::sort(lat.begin(), lat.end());
+  // Nearest-rank: smallest latency with at least q of the mass below it.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(lat.size())));
+  return lat[rank == 0 ? 0 : rank - 1];
+}
+
+double WorkloadMetrics::ThroughputJobsPerHour() const {
+  if (makespan_sec <= 0.0) return 0.0;
+  return static_cast<double>(jobs.size()) * 3600.0 / makespan_sec;
+}
+
+void PrintSummaryRow(std::ostream& os, const WorkloadMetrics& m) {
+  os << "jobs=" << m.jobs.size() << " makespan=" << m.makespan_sec
+     << "s p50=" << m.LatencyPercentile(0.50)
+     << "s p95=" << m.LatencyPercentile(0.95)
+     << "s p99=" << m.LatencyPercentile(0.99)
+     << "s wait=" << m.MeanQueueWait() << "s cpu=" << m.cpu_utilization
+     << " gpu=" << m.gpu_utilization << " bounces=" << m.gpu_bounces << "\n";
+}
+
+}  // namespace hd::multijob

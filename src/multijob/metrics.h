@@ -1,0 +1,51 @@
+// Per-job and cluster-level metrics for multi-job workloads: queue wait,
+// end-to-end latency percentiles, makespan, slot utilization and GPU
+// contention. Everything is derived from the DES clock, so two runs of the
+// same seeded workload produce bit-identical numbers.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hadoop/cluster_core.h"
+
+namespace hd::multijob {
+
+struct JobStats {
+  int job_id = 0;
+  std::string label;  // app/bench id
+  int pool = 0;       // Capacity scheduler pool
+  double submit_sec = 0.0;  // absolute simulated submission time
+  double start_sec = 0.0;   // first map task launch
+  double finish_sec = 0.0;  // completion incl. the modeled reduce phase
+  hadoop::JobResult result;
+
+  double QueueWait() const { return start_sec - submit_sec; }
+  double Latency() const { return finish_sec - submit_sec; }
+};
+
+struct WorkloadMetrics {
+  std::vector<JobStats> jobs;  // in submission (job id) order
+  double makespan_sec = 0.0;   // last job completion
+  // Busy-slot-seconds over (slots x makespan), for the map slots.
+  double cpu_utilization = 0.0;
+  double gpu_utilization = 0.0;
+  // Forced-GPU placements (tail forcing / GPU-first fallback) that found
+  // every local GPU busy and had to bounce back to the pending queue —
+  // the inter-job GPU-slot contention signal.
+  std::int64_t gpu_bounces = 0;
+
+  std::int64_t TotalCpuTasks() const;
+  std::int64_t TotalGpuTasks() const;
+  double MeanQueueWait() const;
+  // Nearest-rank percentile over per-job latencies; q in [0, 1].
+  double LatencyPercentile(double q) const;
+  double ThroughputJobsPerHour() const;
+};
+
+// One row per workload configuration, suitable for common/table.h benches.
+void PrintSummaryRow(std::ostream& os, const WorkloadMetrics& m);
+
+}  // namespace hd::multijob

@@ -1,0 +1,126 @@
+#include "multijob/scheduler.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace hd::multijob {
+namespace {
+
+using hadoop::JobState;
+
+class FifoScheduler final : public InterJobScheduler {
+ public:
+  const char* name() const override { return "fifo"; }
+
+  std::size_t PickJob(const std::vector<const JobState*>& runnable,
+                      const std::vector<const JobState*>&) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < runnable.size(); ++i) {
+      if (runnable[i]->id < runnable[best]->id) best = i;
+    }
+    return best;
+  }
+};
+
+class FairScheduler final : public InterJobScheduler {
+ public:
+  const char* name() const override { return "fair"; }
+
+  std::size_t PickJob(const std::vector<const JobState*>& runnable,
+                      const std::vector<const JobState*>&) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < runnable.size(); ++i) {
+      const JobState& a = *runnable[i];
+      const JobState& b = *runnable[best];
+      if (a.running_tasks < b.running_tasks ||
+          (a.running_tasks == b.running_tasks && a.id < b.id)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+class CapacityScheduler final : public InterJobScheduler {
+ public:
+  explicit CapacityScheduler(std::vector<double> weights)
+      : weights_(std::move(weights)) {
+    HD_CHECK_MSG(!weights_.empty(), "capacity scheduler needs >= 1 pool");
+    for (double w : weights_) HD_CHECK_MSG(w > 0.0, "pool weights positive");
+  }
+
+  const char* name() const override { return "capacity"; }
+
+  std::size_t PickJob(const std::vector<const JobState*>& runnable,
+                      const std::vector<const JobState*>& active) override {
+    // Cluster-wide running tasks per pool, over every in-flight job.
+    std::vector<int> running(weights_.size(), 0);
+    for (const JobState* j : active) {
+      running[PoolOf(*j)] += j->running_tasks;
+    }
+    // Most underserved pool among those with a runnable job.
+    double best_deficit = std::numeric_limits<double>::infinity();
+    std::size_t best = runnable.size();
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+      const std::size_t pool = PoolOf(*runnable[i]);
+      const double deficit =
+          static_cast<double>(running[pool]) / weights_[pool];
+      const bool better =
+          best == runnable.size() || deficit < best_deficit ||
+          (deficit == best_deficit &&
+           runnable[i]->id < runnable[best]->id);  // FIFO within the pool
+      if (better) {
+        best_deficit = deficit;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::size_t PoolOf(const JobState& j) const {
+    if (j.pool < 0 || j.pool >= static_cast<int>(weights_.size())) return 0;
+    return static_cast<std::size_t>(j.pool);
+  }
+
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+const char* SchedulerKindName(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kFair: return "fair";
+    case SchedulerKind::kCapacity: return "capacity";
+  }
+  return "?";
+}
+
+std::unique_ptr<InterJobScheduler> MakeFifoScheduler() {
+  return std::make_unique<FifoScheduler>();
+}
+
+std::unique_ptr<InterJobScheduler> MakeFairScheduler() {
+  return std::make_unique<FairScheduler>();
+}
+
+std::unique_ptr<InterJobScheduler> MakeCapacityScheduler(
+    std::vector<double> pool_weights) {
+  return std::make_unique<CapacityScheduler>(std::move(pool_weights));
+}
+
+std::unique_ptr<InterJobScheduler> MakeScheduler(
+    SchedulerKind kind, std::vector<double> pool_weights) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return MakeFifoScheduler();
+    case SchedulerKind::kFair: return MakeFairScheduler();
+    case SchedulerKind::kCapacity:
+      if (pool_weights.empty()) pool_weights = {2.0, 1.0};
+      return MakeCapacityScheduler(std::move(pool_weights));
+  }
+  return nullptr;
+}
+
+}  // namespace hd::multijob

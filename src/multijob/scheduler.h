@@ -1,0 +1,56 @@
+// Inter-job (JobTracker-level) schedulers: which job a freed map slot
+// serves next. Modeled on Hadoop 1.x's pluggable TaskScheduler — the
+// default FIFO JobQueueTaskScheduler, the FairScheduler and the
+// CapacityScheduler — simplified to the slot-granularity decision the DES
+// engine needs. They compose with the per-job sched::Policy: the inter-job
+// scheduler picks the *job*, the job's own policy (GPU-first, tail
+// forcing) then picks the *processor* for the task.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hadoop/cluster_core.h"
+
+namespace hd::multijob {
+
+enum class SchedulerKind { kFifo, kFair, kCapacity };
+
+const char* SchedulerKindName(SchedulerKind k);
+
+class InterJobScheduler {
+ public:
+  virtual ~InterJobScheduler() = default;
+  virtual const char* name() const = 0;
+
+  // Picks the job the next available slot should serve. `runnable` holds
+  // the active jobs that can take a task right now (pending maps, within
+  // their heartbeat allowance, a usable slot free); it is never empty.
+  // `active` holds every in-flight job, for cluster-wide share accounting.
+  // Returns an index into `runnable`.
+  virtual std::size_t PickJob(
+      const std::vector<const hadoop::JobState*>& runnable,
+      const std::vector<const hadoop::JobState*>& active) = 0;
+};
+
+// FIFO: strict submission order — the earliest-submitted runnable job gets
+// every slot until it has no pending maps.
+std::unique_ptr<InterJobScheduler> MakeFifoScheduler();
+
+// Fair: equal running-task shares — the slot goes to the runnable job with
+// the fewest currently running tasks, ties broken by submission order.
+std::unique_ptr<InterJobScheduler> MakeFairScheduler();
+
+// Capacity: jobs belong to pools (JobState::pool); each pool owns a slot
+// quota proportional to its weight. The slot goes to the runnable job of
+// the most underserved pool (cluster-wide running tasks / weight), FIFO
+// within the pool. Pools outside [0, weights.size()) get weight 1.
+std::unique_ptr<InterJobScheduler> MakeCapacityScheduler(
+    std::vector<double> pool_weights);
+
+// Factory over SchedulerKind; Capacity uses `pool_weights` (defaults to
+// two pools at 2:1 when empty).
+std::unique_ptr<InterJobScheduler> MakeScheduler(
+    SchedulerKind kind, std::vector<double> pool_weights = {});
+
+}  // namespace hd::multijob

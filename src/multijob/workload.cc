@@ -1,0 +1,134 @@
+#include "multijob/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "apps/benchmark.h"
+#include "common/check.h"
+#include "multijob/engine.h"
+
+namespace hd::multijob {
+
+std::vector<AppTemplate> Table2Mix(int maps_per_job, int num_reducers) {
+  HD_CHECK(maps_per_job >= 4);
+  HD_CHECK(num_reducers >= 1);
+  // Per-app calibration: CPU seconds for one 256 MB split (IO-intensive
+  // apps stream-bound, compute-intensive slower per byte) and the
+  // optimized single-task GPU speedups measured by bench/fig5_task_speedup
+  // (EXPERIMENTS.md "Fig. 5" table).
+  struct Calib {
+    const char* id;
+    double cpu_sec;
+    double speedup;
+  };
+  static constexpr Calib kCalib[] = {
+      {"GR", 14.0, 3.77}, {"HS", 15.0, 3.79}, {"WC", 22.0, 4.22},
+      {"HR", 18.0, 8.69}, {"LR", 20.0, 5.08}, {"KM", 26.0, 5.06},
+      {"CL", 24.0, 7.77}, {"BS", 30.0, 37.5},
+  };
+  // Per-app job sizes follow Table 2's Cluster1 map counts, rescaled so
+  // the mix average is maps_per_job.
+  double mean_maps = 0.0;
+  for (const Calib& c : kCalib) {
+    mean_maps += apps::GetBenchmark(c.id).cluster1.map_tasks;
+  }
+  mean_maps /= static_cast<double>(std::size(kCalib));
+  std::vector<AppTemplate> mix;
+  for (const Calib& c : kCalib) {
+    const apps::Benchmark& b = apps::GetBenchmark(c.id);
+    AppTemplate t;
+    t.id = b.id;
+    t.weight = 1.0;
+    t.pool = b.io_intensive ? 0 : 1;
+    const double scaled = maps_per_job * b.cluster1.map_tasks / mean_maps;
+    t.params.num_maps = std::clamp(static_cast<int>(std::lround(scaled)), 4,
+                                   4 * maps_per_job);
+    t.params.num_reducers = b.map_only ? 0 : num_reducers;
+    t.params.cpu_task_sec = c.cpu_sec;
+    t.params.gpu_task_sec = c.cpu_sec / c.speedup;
+    t.params.variation = 0.10;
+    t.params.map_output_bytes = 16 << 20;
+    t.params.reduce_sec = 4.0;
+    mix.push_back(t);
+  }
+  return mix;
+}
+
+WorkloadMetrics RunWorkload(const hadoop::ClusterConfig& cluster,
+                            SchedulerKind scheduler,
+                            const std::vector<AppTemplate>& mix,
+                            const WorkloadSpec& spec) {
+  HD_CHECK(!mix.empty());
+  HD_CHECK(spec.num_jobs > 0);
+  if (spec.mode == WorkloadSpec::Mode::kOpenPoisson) {
+    HD_CHECK(spec.arrival_rate_per_sec > 0.0);
+  } else {
+    HD_CHECK(spec.concurrency > 0);
+  }
+  std::vector<double> cum_weight;
+  double total_weight = 0.0;
+  for (const AppTemplate& t : mix) {
+    HD_CHECK(t.weight > 0.0);
+    total_weight += t.weight;
+    cum_weight.push_back(total_weight);
+  }
+
+  // Pre-sample the whole trace with a fixed draw order (app, then gap), so
+  // open- and closed-loop runs of one seed share the same job sequence.
+  Prng prng(SplitMix64(spec.seed ^ 0x6d756c74696a6f62ULL));  // "multijob"
+  struct Draw {
+    std::size_t app = 0;
+    double gap = 0.0;
+  };
+  std::vector<Draw> trace(static_cast<std::size_t>(spec.num_jobs));
+  for (Draw& d : trace) {
+    const double u = prng.NextDouble() * total_weight;
+    d.app = static_cast<std::size_t>(
+        std::lower_bound(cum_weight.begin(), cum_weight.end(), u) -
+        cum_weight.begin());
+    if (d.app >= mix.size()) d.app = mix.size() - 1;
+    // Exponential interarrival gap (ignored by the closed loop).
+    d.gap = -std::log(1.0 - prng.NextDouble()) / spec.arrival_rate_per_sec;
+  }
+
+  std::vector<std::unique_ptr<hadoop::CalibratedTaskSource>> sources;
+  sources.reserve(trace.size());
+  for (std::size_t j = 0; j < trace.size(); ++j) {
+    hadoop::CalibratedTaskSource::Params p = mix[trace[j].app].params;
+    p.seed = SplitMix64(spec.seed + 0x9e37 * (j + 1));
+    sources.push_back(std::make_unique<hadoop::CalibratedTaskSource>(p));
+  }
+
+  MultiJobEngine engine(cluster, MakeScheduler(scheduler));
+  auto spec_of = [&](std::size_t j) {
+    JobSpec s;
+    s.source = sources[j].get();
+    s.policy = spec.policy;
+    s.pool = mix[trace[j].app].pool;
+    s.label = mix[trace[j].app].id;
+    return s;
+  };
+
+  if (spec.mode == WorkloadSpec::Mode::kOpenPoisson) {
+    double t = 0.0;
+    for (std::size_t j = 0; j < trace.size(); ++j) {
+      t += trace[j].gap;
+      engine.Submit(t, spec_of(j));
+    }
+  } else {
+    std::size_t next = 0;
+    engine.set_on_job_done([&](const JobStats&) {
+      if (next < trace.size()) {
+        engine.Submit(engine.now(), spec_of(next));
+        ++next;
+      }
+    });
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(spec.concurrency), trace.size());
+    for (; next < k; ++next) engine.Submit(0.0, spec_of(next));
+  }
+  return engine.Run();
+}
+
+}  // namespace hd::multijob

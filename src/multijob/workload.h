@@ -1,0 +1,62 @@
+// Trace-driven workload generation: samples job streams over the Table 2
+// application mix and runs them through a MultiJobEngine.
+//
+// Two arrival models:
+//   * open-loop Poisson — jobs arrive at rate lambda regardless of cluster
+//     state (throughput/latency-vs-load sweeps);
+//   * closed-loop fixed concurrency — K jobs always in flight; a
+//     completion immediately submits the next (saturation throughput).
+// All sampling draws from common/prng.h, so a (mix, spec) pair replays
+// bit-identically across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "hadoop/cluster_core.h"
+#include "hadoop/task_source.h"
+#include "multijob/metrics.h"
+#include "multijob/scheduler.h"
+#include "sched/policy.h"
+
+namespace hd::multijob {
+
+// One entry of the app mix: a Table 2 benchmark scaled down to a
+// calibrated multi-wave job, plus its sampling weight.
+struct AppTemplate {
+  std::string id;      // Table 2 benchmark id ("WC", "BS", ...)
+  double weight = 1.0;
+  int pool = 0;        // Capacity scheduler pool
+  hadoop::CalibratedTaskSource::Params params;
+};
+
+// The eight Table 2 applications with representative calibrated durations:
+// CPU task seconds reflect the IO-vs-compute split and the per-app GPU
+// speedups match the optimized single-task measurements of the Fig. 5
+// harness (EXPERIMENTS.md). Map counts are Table 2's Cluster1 counts
+// scaled to `maps_per_job`; IO-intensive apps land in pool 0,
+// compute-intensive in pool 1.
+std::vector<AppTemplate> Table2Mix(int maps_per_job = 32,
+                                   int num_reducers = 2);
+
+struct WorkloadSpec {
+  enum class Mode { kOpenPoisson, kClosedLoop };
+  Mode mode = Mode::kOpenPoisson;
+  int num_jobs = 32;
+  double arrival_rate_per_sec = 0.02;  // open-loop lambda
+  int concurrency = 4;                 // closed-loop K
+  sched::Policy policy = sched::Policy::kTail;  // per-job policy
+  std::uint64_t seed = 1;
+};
+
+// Samples `spec.num_jobs` jobs from `mix` (weighted by AppTemplate::weight,
+// deterministic in spec.seed) and runs them on `cluster` under the given
+// inter-job scheduler. Owns every task source for the engine's lifetime.
+WorkloadMetrics RunWorkload(const hadoop::ClusterConfig& cluster,
+                            SchedulerKind scheduler,
+                            const std::vector<AppTemplate>& mix,
+                            const WorkloadSpec& spec);
+
+}  // namespace hd::multijob

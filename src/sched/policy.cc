@@ -41,6 +41,9 @@ bool PlaceOnGpu(Policy policy, const NodeSched& node,
     case Policy::kGpuFirst:
       return node.free_gpu_slots > 0;
     case Policy::kTail: {
+      // A GPU-less TaskTracker degenerates to plain Hadoop: taskTail would
+      // be 0 and the `<=` comparison would force-GPU once remaining hits 0.
+      if (node.num_gpus == 0) return false;
       const double task_tail =
           static_cast<double>(node.num_gpus) * node.ave_speedup;
       if (maps_remaining_per_node <= task_tail) return true;  // tail: force

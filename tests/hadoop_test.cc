@@ -237,6 +237,27 @@ TEST(Engine, TraceRecordsSchedule) {
   EXPECT_NE(t.find("finish task=3"), std::string::npos);
 }
 
+TEST(Engine, InvalidClusterConfigRejected) {
+  CalibratedTaskSource src(BaseParams());
+  auto reject = [&](void (*mutate)(ClusterConfig&)) {
+    ClusterConfig c = SmallCluster();
+    mutate(c);
+    EXPECT_THROW(JobEngine(c, &src, Policy::kCpuOnly), CheckError);
+  };
+  reject([](ClusterConfig& c) { c.num_slaves = 0; });
+  reject([](ClusterConfig& c) { c.map_slots_per_node = 0; });
+  reject([](ClusterConfig& c) { c.reduce_slots_per_node = -1; });
+  reject([](ClusterConfig& c) { c.gpus_per_node = -1; });
+  reject([](ClusterConfig& c) { c.heartbeat_sec = 0.0; });
+  reject([](ClusterConfig& c) { c.heartbeat_sec = -3.0; });
+  reject([](ClusterConfig& c) { c.network_bytes_per_sec = 0.0; });
+  reject([](ClusterConfig& c) { c.reduce_slowstart = -0.1; });
+  reject([](ClusterConfig& c) { c.reduce_slowstart = 1.5; });
+  // The defaults (and the test cluster) validate cleanly.
+  EXPECT_NO_THROW(ValidateClusterConfig(SmallCluster()));
+  EXPECT_NO_THROW(ValidateClusterConfig(ClusterConfig{}));
+}
+
 TEST(Engine, BadSpeedFactorsRejected) {
   CalibratedTaskSource src(BaseParams());
   ClusterConfig c = SmallCluster();

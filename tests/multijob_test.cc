@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/benchmark.h"
+#include "gpurt/job_program.h"
+#include "hadoop/engine.h"
+#include "hadoop/functional_source.h"
+#include "multijob/engine.h"
+#include "multijob/metrics.h"
+#include "multijob/scheduler.h"
+#include "multijob/workload.h"
+
+namespace hd::multijob {
+namespace {
+
+using hadoop::CalibratedTaskSource;
+using hadoop::ClusterConfig;
+using hadoop::JobState;
+using sched::Policy;
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.num_slaves = 4;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+CalibratedTaskSource::Params CalibParams(int maps, double cpu_sec = 12.0,
+                                         double gpu_sec = 2.0) {
+  CalibratedTaskSource::Params p;
+  p.num_maps = maps;
+  p.num_reducers = 2;
+  p.cpu_task_sec = cpu_sec;
+  p.gpu_task_sec = gpu_sec;
+  p.variation = 0.0;
+  p.reduce_sec = 1.0;
+  return p;
+}
+
+JobState MakeJobState(int id, int running, int pool = 0) {
+  JobState j;
+  j.id = id;
+  j.running_tasks = running;
+  j.pool = pool;
+  j.pending = {0};
+  return j;
+}
+
+// --- scheduler unit tests ---------------------------------------------------
+
+TEST(Scheduler, Names) {
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kFifo), "fifo");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kFair), "fair");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kCapacity), "capacity");
+  EXPECT_STREQ(MakeScheduler(SchedulerKind::kFifo)->name(), "fifo");
+  EXPECT_STREQ(MakeScheduler(SchedulerKind::kFair)->name(), "fair");
+  EXPECT_STREQ(MakeScheduler(SchedulerKind::kCapacity)->name(), "capacity");
+}
+
+TEST(Scheduler, FifoPicksEarliestSubmission) {
+  JobState a = MakeJobState(3, 0), b = MakeJobState(1, 5), c = MakeJobState(2, 0);
+  std::vector<const JobState*> runnable = {&a, &b, &c};
+  auto s = MakeFifoScheduler();
+  EXPECT_EQ(s->PickJob(runnable, runnable), 1u);  // id 1 wins despite load
+}
+
+TEST(Scheduler, FairPicksFewestRunningTasks) {
+  JobState a = MakeJobState(1, 4), b = MakeJobState(2, 1), c = MakeJobState(3, 1);
+  std::vector<const JobState*> runnable = {&a, &b, &c};
+  auto s = MakeFairScheduler();
+  EXPECT_EQ(s->PickJob(runnable, runnable), 1u);  // fewest, earliest id
+}
+
+TEST(Scheduler, CapacityPicksUnderservedPool) {
+  // Pool 0 (weight 3) runs 3 tasks, pool 1 (weight 1) runs 0: deficits are
+  // 1.0 vs 0.0, so the slot goes to pool 1 even though pool 0's job is
+  // older.
+  JobState a = MakeJobState(1, 3, /*pool=*/0), b = MakeJobState(2, 0, 1);
+  std::vector<const JobState*> runnable = {&a, &b};
+  auto s = MakeCapacityScheduler({3.0, 1.0});
+  EXPECT_EQ(s->PickJob(runnable, runnable), 1u);
+  // After pool 1 reaches its share the weighted deficits flip.
+  b.running_tasks = 2;
+  EXPECT_EQ(s->PickJob(runnable, runnable), 0u);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Metrics, NearestRankPercentiles) {
+  WorkloadMetrics m;
+  for (int i = 1; i <= 100; ++i) {
+    JobStats s;
+    s.job_id = i;
+    s.submit_sec = 0.0;
+    s.start_sec = 0.0;
+    s.finish_sec = static_cast<double>(i);
+    m.jobs.push_back(s);
+  }
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(1.00), 100.0);
+  EXPECT_DOUBLE_EQ(m.LatencyPercentile(0.0), 1.0);
+}
+
+// --- engine -----------------------------------------------------------------
+
+TEST(MultiJobEngine, SingleJobMatchesJobEngine) {
+  // With one job, the multi-job engine must reduce to the single-job path:
+  // same pulses, same placement, same makespan, for every policy.
+  for (Policy policy : {Policy::kCpuOnly, Policy::kGpuFirst, Policy::kTail}) {
+    CalibratedTaskSource single_src(CalibParams(64));
+    hadoop::JobResult single =
+        hadoop::JobEngine(SmallCluster(), &single_src, policy).Run();
+
+    CalibratedTaskSource multi_src(CalibParams(64));
+    MultiJobEngine engine(SmallCluster(), MakeFifoScheduler());
+    JobSpec spec;
+    spec.source = &multi_src;
+    spec.policy = policy;
+    engine.Submit(0.0, spec);
+    WorkloadMetrics m = engine.Run();
+
+    ASSERT_EQ(m.jobs.size(), 1u) << sched::PolicyName(policy);
+    EXPECT_DOUBLE_EQ(m.jobs[0].finish_sec, single.makespan_sec)
+        << sched::PolicyName(policy);
+    EXPECT_EQ(m.jobs[0].result.cpu_tasks, single.cpu_tasks);
+    EXPECT_EQ(m.jobs[0].result.gpu_tasks, single.gpu_tasks);
+  }
+}
+
+TEST(MultiJobEngine, FifoConcurrentOutputsMatchSequentialSingleJob) {
+  // N functional jobs submitted at once under FIFO must produce, per job,
+  // the same final output as running each through the single-job engine.
+  const std::vector<std::string> ids = {"WC", "GR", "HS"};
+  ClusterConfig c;
+  c.num_slaves = 2;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  c.heartbeat_sec = 0.01;
+
+  std::vector<gpurt::JobProgram> programs;
+  std::vector<std::vector<std::string>> split_sets;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const apps::Benchmark& b = apps::GetBenchmark(ids[i]);
+    programs.push_back(
+        gpurt::CompileJob(b.map_source, b.combine_source, b.reduce_source));
+    std::vector<std::string> splits;
+    for (int s = 0; s < 4; ++s) {
+      splits.push_back(b.generate(1200, /*seed=*/100 * (i + 1) + s));
+    }
+    split_sets.push_back(std::move(splits));
+  }
+
+  hadoop::FunctionalTaskSource::Options fopts;
+  fopts.num_reducers = 1;
+  fopts.gpu.blocks = 2;
+  fopts.gpu.threads = 32;
+
+  std::vector<std::vector<gpurt::KvPair>> sequential;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    hadoop::FunctionalTaskSource src(programs[i], split_sets[i], fopts);
+    sequential.push_back(
+        hadoop::JobEngine(c, &src, Policy::kGpuFirst).Run().final_output);
+  }
+
+  std::vector<std::unique_ptr<hadoop::FunctionalTaskSource>> sources;
+  MultiJobEngine engine(c, MakeFifoScheduler());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    sources.push_back(std::make_unique<hadoop::FunctionalTaskSource>(
+        programs[i], split_sets[i], fopts));
+    JobSpec spec;
+    spec.source = sources.back().get();
+    spec.policy = Policy::kGpuFirst;
+    spec.label = ids[i];
+    engine.Submit(0.0, spec);
+  }
+  WorkloadMetrics m = engine.Run();
+
+  ASSERT_EQ(m.jobs.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(m.jobs[i].label, ids[i]);
+    EXPECT_EQ(m.jobs[i].result.final_output, sequential[i]) << ids[i];
+  }
+}
+
+TEST(MultiJobEngine, ConcurrentJobsShareSlotsAndAllComplete) {
+  std::vector<std::unique_ptr<CalibratedTaskSource>> sources;
+  MultiJobEngine engine(SmallCluster(), MakeFairScheduler());
+  for (int j = 0; j < 5; ++j) {
+    sources.push_back(std::make_unique<CalibratedTaskSource>(CalibParams(16)));
+    JobSpec spec;
+    spec.source = sources.back().get();
+    spec.policy = Policy::kTail;
+    engine.Submit(0.0, spec);
+  }
+  WorkloadMetrics m = engine.Run();
+  ASSERT_EQ(m.jobs.size(), 5u);
+  for (const JobStats& j : m.jobs) {
+    EXPECT_EQ(j.result.cpu_tasks + j.result.gpu_tasks, 16);
+    EXPECT_GE(j.QueueWait(), 0.0);
+    EXPECT_GT(j.Latency(), 0.0);
+  }
+  EXPECT_GT(m.cpu_utilization, 0.0);
+  EXPECT_LE(m.cpu_utilization, 1.0 + 1e-9);
+  EXPECT_GT(m.gpu_utilization, 0.0);
+  EXPECT_LE(m.gpu_utilization, 1.0 + 1e-9);
+}
+
+TEST(MultiJobEngine, FairCutsShortJobLatencyUnderLongJob) {
+  // One long job monopolises a FIFO queue; Fair interleaves the shorts.
+  auto run = [](SchedulerKind kind) {
+    ClusterConfig c;
+    c.num_slaves = 2;
+    c.map_slots_per_node = 2;
+    c.gpus_per_node = 0;
+    std::vector<std::unique_ptr<CalibratedTaskSource>> sources;
+    MultiJobEngine engine(c, MakeScheduler(kind));
+    sources.push_back(std::make_unique<CalibratedTaskSource>(
+        CalibParams(64, /*cpu_sec=*/10.0)));
+    JobSpec long_spec;
+    long_spec.source = sources.back().get();
+    long_spec.policy = Policy::kCpuOnly;
+    engine.Submit(0.0, long_spec);
+    for (int j = 0; j < 3; ++j) {
+      sources.push_back(std::make_unique<CalibratedTaskSource>(
+          CalibParams(4, /*cpu_sec=*/10.0)));
+      JobSpec spec;
+      spec.source = sources.back().get();
+      spec.policy = Policy::kCpuOnly;
+      engine.Submit(1.0, spec);
+    }
+    WorkloadMetrics m = engine.Run();
+    double short_latency = 0.0;
+    for (std::size_t j = 1; j < m.jobs.size(); ++j) {
+      short_latency += m.jobs[j].Latency();
+    }
+    return short_latency / 3.0;
+  };
+  const double fifo = run(SchedulerKind::kFifo);
+  const double fair = run(SchedulerKind::kFair);
+  EXPECT_LT(fair, fifo * 0.5) << "fair=" << fair << " fifo=" << fifo;
+}
+
+TEST(MultiJobEngine, CapacityQuotaFavoursHeavyPool) {
+  // Two identical jobs in pools weighted 3:1 — the heavy pool's job gets
+  // ~3/4 of the slots and finishes first.
+  ClusterConfig c;
+  c.num_slaves = 2;
+  c.map_slots_per_node = 4;
+  c.gpus_per_node = 0;
+  std::vector<std::unique_ptr<CalibratedTaskSource>> sources;
+  MultiJobEngine engine(c, MakeCapacityScheduler({3.0, 1.0}));
+  for (int j = 0; j < 2; ++j) {
+    sources.push_back(std::make_unique<CalibratedTaskSource>(
+        CalibParams(48, /*cpu_sec=*/5.0)));
+    JobSpec spec;
+    spec.source = sources.back().get();
+    spec.policy = Policy::kCpuOnly;
+    spec.pool = j;
+    engine.Submit(0.0, spec);
+  }
+  WorkloadMetrics m = engine.Run();
+  ASSERT_EQ(m.jobs.size(), 2u);
+  EXPECT_LT(m.jobs[0].finish_sec, m.jobs[1].finish_sec * 0.75);
+}
+
+TEST(MultiJobEngine, ClosedLoopFeedsOnCompletionAndHoldsConcurrency) {
+  const int kTotal = 9, kConcurrency = 3;
+  std::vector<std::unique_ptr<CalibratedTaskSource>> sources;
+  for (int j = 0; j < kTotal; ++j) {
+    sources.push_back(std::make_unique<CalibratedTaskSource>(CalibParams(8)));
+  }
+  MultiJobEngine engine(SmallCluster(), MakeFifoScheduler());
+  int next = 0;
+  int max_active_seen = 0;
+  engine.set_on_job_done([&](const JobStats&) {
+    max_active_seen = std::max(max_active_seen, engine.active_jobs());
+    if (next < kTotal) {
+      JobSpec spec;
+      spec.source = sources[static_cast<std::size_t>(next)].get();
+      spec.policy = Policy::kTail;
+      engine.Submit(engine.now(), spec);
+      ++next;
+    }
+  });
+  for (; next < kConcurrency; ++next) {
+    JobSpec spec;
+    spec.source = sources[static_cast<std::size_t>(next)].get();
+    spec.policy = Policy::kTail;
+    engine.Submit(0.0, spec);
+  }
+  WorkloadMetrics m = engine.Run();
+  EXPECT_EQ(m.jobs.size(), static_cast<std::size_t>(kTotal));
+  EXPECT_LT(max_active_seen, kConcurrency);  // one just completed
+  // Later jobs were submitted mid-run, not at time zero.
+  EXPECT_GT(m.jobs.back().submit_sec, 0.0);
+}
+
+TEST(MultiJobEngine, TailContentionReportsGpuBounces) {
+  // Many small GPU-friendly jobs ending together: tail forcing repeatedly
+  // targets busy GPUs, which the contention counter must surface.
+  ClusterConfig c = SmallCluster();
+  c.heartbeat_sec = 0.2;
+  std::vector<std::unique_ptr<CalibratedTaskSource>> sources;
+  MultiJobEngine engine(c, MakeFairScheduler());
+  for (int j = 0; j < 6; ++j) {
+    sources.push_back(std::make_unique<CalibratedTaskSource>(
+        CalibParams(12, /*cpu_sec=*/12.0, /*gpu_sec=*/1.0)));
+    JobSpec spec;
+    spec.source = sources.back().get();
+    spec.policy = Policy::kTail;
+    engine.Submit(0.0, spec);
+  }
+  WorkloadMetrics m = engine.Run();
+  EXPECT_GT(m.gpu_bounces, 0);
+  EXPECT_GT(m.TotalGpuTasks(), 0);
+}
+
+// --- workload generator -----------------------------------------------------
+
+TEST(Workload, Table2MixCoversAllAppsWithScaledSizes) {
+  const std::vector<AppTemplate> mix = Table2Mix(32, 2);
+  ASSERT_EQ(mix.size(), 8u);
+  double mean = 0.0;
+  for (const AppTemplate& t : mix) {
+    EXPECT_GE(t.params.num_maps, 4);
+    EXPECT_GT(t.params.cpu_task_sec, t.params.gpu_task_sec);
+    mean += t.params.num_maps;
+  }
+  mean /= 8.0;
+  EXPECT_NEAR(mean, 32.0, 8.0);  // rounding aside, the mix averages out
+  // BS has the extreme Fig. 5 speedup.
+  const auto bs = std::find_if(mix.begin(), mix.end(),
+                               [](const AppTemplate& t) { return t.id == "BS"; });
+  ASSERT_NE(bs, mix.end());
+  EXPECT_GT(bs->params.cpu_task_sec / bs->params.gpu_task_sec, 30.0);
+}
+
+TEST(Workload, FixedSeedPoissonIsBitIdentical) {
+  WorkloadSpec spec;
+  spec.mode = WorkloadSpec::Mode::kOpenPoisson;
+  spec.num_jobs = 12;
+  spec.arrival_rate_per_sec = 0.02;
+  spec.policy = Policy::kTail;
+  spec.seed = 42;
+  const std::vector<AppTemplate> mix = Table2Mix(16, 2);
+  const WorkloadMetrics a = RunWorkload(SmallCluster(), SchedulerKind::kFair,
+                                        mix, spec);
+  const WorkloadMetrics b = RunWorkload(SmallCluster(), SchedulerKind::kFair,
+                                        mix, spec);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].label, b.jobs[j].label);
+    EXPECT_EQ(a.jobs[j].submit_sec, b.jobs[j].submit_sec);
+    EXPECT_EQ(a.jobs[j].start_sec, b.jobs[j].start_sec);
+    EXPECT_EQ(a.jobs[j].finish_sec, b.jobs[j].finish_sec);
+    EXPECT_EQ(a.jobs[j].result.gpu_tasks, b.jobs[j].result.gpu_tasks);
+  }
+  EXPECT_EQ(a.makespan_sec, b.makespan_sec);
+  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
+  EXPECT_EQ(a.gpu_utilization, b.gpu_utilization);
+  EXPECT_EQ(a.gpu_bounces, b.gpu_bounces);
+}
+
+TEST(Workload, DifferentSeedsDiverge) {
+  WorkloadSpec spec;
+  spec.num_jobs = 12;
+  spec.arrival_rate_per_sec = 0.02;
+  spec.seed = 1;
+  const std::vector<AppTemplate> mix = Table2Mix(16, 2);
+  const WorkloadMetrics a = RunWorkload(SmallCluster(), SchedulerKind::kFifo,
+                                        mix, spec);
+  spec.seed = 2;
+  const WorkloadMetrics b = RunWorkload(SmallCluster(), SchedulerKind::kFifo,
+                                        mix, spec);
+  EXPECT_NE(a.makespan_sec, b.makespan_sec);
+}
+
+TEST(Workload, ClosedLoopCompletesAllJobs) {
+  WorkloadSpec spec;
+  spec.mode = WorkloadSpec::Mode::kClosedLoop;
+  spec.num_jobs = 10;
+  spec.concurrency = 3;
+  spec.policy = Policy::kGpuFirst;
+  spec.seed = 7;
+  const WorkloadMetrics m = RunWorkload(SmallCluster(), SchedulerKind::kFifo,
+                                        Table2Mix(12, 2), spec);
+  EXPECT_EQ(m.jobs.size(), 10u);
+  EXPECT_GT(m.ThroughputJobsPerHour(), 0.0);
+}
+
+TEST(Workload, HigherArrivalRateRaisesTailLatency) {
+  const std::vector<AppTemplate> mix = Table2Mix(16, 2);
+  WorkloadSpec spec;
+  spec.num_jobs = 16;
+  spec.policy = Policy::kTail;
+  spec.seed = 3;
+  spec.arrival_rate_per_sec = 0.001;  // ~idle cluster
+  const WorkloadMetrics idle = RunWorkload(SmallCluster(),
+                                           SchedulerKind::kFifo, mix, spec);
+  spec.arrival_rate_per_sec = 0.05;  // heavy overlap
+  const WorkloadMetrics busy = RunWorkload(SmallCluster(),
+                                           SchedulerKind::kFifo, mix, spec);
+  EXPECT_GT(busy.LatencyPercentile(0.95), idle.LatencyPercentile(0.95));
+  EXPECT_GT(busy.MeanQueueWait(), idle.MeanQueueWait());
+}
+
+}  // namespace
+}  // namespace hd::multijob

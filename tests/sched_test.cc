@@ -62,6 +62,40 @@ TEST(Policy, JobTailCapsAssignmentsPerHeartbeat) {
   EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 100, 6.0, 4), 6);
 }
 
+TEST(Policy, ZeroGpusNeverPlaceOnGpuAndFeedAllCpuSlots) {
+  // A GPU-less TaskTracker (Cluster1 nodes without an accelerator, or a
+  // drained GPU pool) must degenerate to plain Hadoop for every policy.
+  NodeSched n = MakeNode(3, 0, /*gpus=*/0, /*speedup=*/1.0);
+  for (Policy p : {Policy::kGpuFirst, Policy::kTail}) {
+    EXPECT_FALSE(PlaceOnGpu(p, n, 100.0));
+    EXPECT_FALSE(PlaceOnGpu(p, n, 0.0));  // even in the tail
+    EXPECT_EQ(MaxTasksThisHeartbeat(p, n, 100, 6.0, 4), 3);
+    // The jobTail cap must not apply with num_gpus == 0 (it would hand out
+    // min(free, free_gpu) = 0 tasks forever and hang the job).
+    EXPECT_EQ(MaxTasksThisHeartbeat(p, n, 1, 6.0, 4), 3);
+  }
+}
+
+TEST(Policy, ColdStartSpeedupOfOneKeepsJobTailHarmless) {
+  // Before both paths have samples, aveSpeedup is 1.0: jobTail = gpus *
+  // 1.0 * slaves, so the per-heartbeat cap only engages when pending maps
+  // drop below the GPU count itself — never starving the CPU slots early.
+  NodeSched n = MakeNode(4, 1, 1, /*speedup=*/1.0);
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 5, 1.0, 4), 5);
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 4, 1.0, 4), 5);
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 3, 1.0, 4), 1);
+}
+
+TEST(Policy, SingleNodeTailOnset) {
+  // One slave, 2 GPUs at 5x: jobTail = 2 * 5 * 1 = 10 pending maps.
+  NodeSched n = MakeNode(4, 2, 2, 5.0);
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 10, 5.0, 1), 6);
+  EXPECT_EQ(MaxTasksThisHeartbeat(Policy::kTail, n, 9, 5.0, 1), 2);
+  // taskTail = 2 * 5 = 10 remaining on the (only) node forces the GPU.
+  EXPECT_TRUE(PlaceOnGpu(Policy::kTail, n, 10.0));
+  EXPECT_FALSE(PlaceOnGpu(Policy::kTail, MakeNode(4, 0, 2, 5.0), 10.5));
+}
+
 TEST(Policy, SpeedupOfOneDisablesTailEffects) {
   // Without observed speedup the tail degenerates to tiny thresholds.
   NodeSched n = MakeNode(2, 0, 1, 1.0);
