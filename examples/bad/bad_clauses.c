@@ -1,0 +1,17 @@
+/* hdlint negative case: directive-check violations (Table 1).
+ * Expect: HD105 (keyin on mapper), HD108 (non-integer kvpairs),
+ * HD109 (unknown clause), HD110 (variable in two placement clauses),
+ * HD111 (clause naming an unused variable) — all reported in ONE run. */
+int main() {
+  char word[32];
+  int count;
+  int lookup[16];
+  int i;
+  for (i = 0; i < 16; i++) lookup[i] = i;
+#pragma mapreduce mapper key(word) value(count) keyin(word) kvpairs(lots) sharedRO(lookup) texture(lookup) firstprivate(ghost) cache(word)
+  while (getRecord(word)) {
+    count = lookup[strlen(word) % 16];
+    printf("%s\t%d\n", word, count);
+  }
+  return 0;
+}

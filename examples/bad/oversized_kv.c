@@ -1,0 +1,16 @@
+/* hdlint negative case: kv-bounds violations.
+ * Expect: HD301 (keylength exceeds the declared char array — emitKV would
+ * read past the buffer) and HD303 (three emissions on one record path but
+ * kvpairs(2) reserves fewer slots). */
+int main() {
+  char word[16];
+  int one;
+#pragma mapreduce mapper key(word) value(one) keylength(32) kvpairs(2)
+  while (getRecord(word)) {
+    one = 1;
+    printf("%s\t%d\n", word, one);
+    printf("%s\t%d\n", word, one);
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+/* hdlint negative case: race-check violations.
+ * Expect: HD201 (write to a sharedRO array — a cross-thread write-write
+ * race) at the exact line:col of the store, plus HD204 (element write into
+ * a read-before-write outer array lands in a per-thread private copy). */
+int main() {
+  char word[32];
+  int histogram[64];
+  int bias[8];
+  int b;
+  int i;
+  for (i = 0; i < 64; i++) histogram[i] = 0;
+  for (i = 0; i < 8; i++) bias[i] = i;
+#pragma mapreduce mapper key(word) value(b) sharedRO(bias)
+  while (getRecord(word)) {
+    b = bias[0];
+    bias[0] = b + 1;
+    histogram[strlen(word) % 64] = histogram[strlen(word) % 64] + 1;
+    printf("%s\t%d\n", word, b);
+  }
+  return 0;
+}

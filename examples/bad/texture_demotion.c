@@ -1,0 +1,18 @@
+/* hdlint negative case: placement-audit findings (warnings only — hdlint
+ * exits 0 on this file; the lost optimisations do not block translation).
+ * Expect: HD402 (read-only array 'table' is indexed in the region but not
+ * placed in texture memory) and HD403 (keylength(30) gives a 30-byte key
+ * slot, not a multiple of 4, so KV accesses cannot vectorize to char4). */
+int main() {
+  char word[30];
+  double score;
+  double table[256];
+  int i;
+  for (i = 0; i < 256; i++) table[i] = i * 0.5;
+#pragma mapreduce mapper key(word) value(score) keylength(30)
+  while (getRecord(word)) {
+    score = table[strlen(word) % 256];
+    printf("%s\t%.3f\n", word, score);
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "analysis/analyzer.h"
+
+#include "analysis/passes.h"
+#include "minic/lexer.h"
+#include "minic/parser.h"
+
+namespace hd::analysis {
+
+const char* PlacementName(Placement p) {
+  switch (p) {
+    case Placement::kConstant: return "constant";
+    case Placement::kGlobal: return "global";
+    case Placement::kTexture: return "texture";
+    case Placement::kFirstPrivate: return "firstprivate";
+    case Placement::kPrivate: return "private";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ClauseNames(const minic::Directive& dir, const char* clause,
+                 const std::string& name) {
+  auto it = dir.clauses.find(clause);
+  if (it == dir.clauses.end()) return false;
+  for (const auto& arg : it->second) {
+    if (arg == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// Keep in lockstep with translator::ClassifyVariables (Algorithm 1): the
+// translator derives its VarClass from this decision, and a test pins the
+// two against each other over every benchmark source.
+PlacementDecision ClassifyPlacement(const std::string& name,
+                                    const RegionContext& rc,
+                                    const AnalyzerOptions& opts) {
+  const minic::Directive& dir = *rc.directive;
+  const minic::Type& t = rc.info.outer_types.at(name);
+  if (ClauseNames(dir, "texture", name)) {
+    return {Placement::kTexture,
+            "texture(...) clause: read-only, served by the texture cache"};
+  }
+  if (ClauseNames(dir, "sharedRO", name)) {
+    if (t.IsScalarValue()) {
+      return {Placement::kConstant,
+              "sharedRO scalar: passed as a kernel parameter (constant "
+              "memory)"};
+    }
+    return {Placement::kGlobal,
+            "sharedRO array: copied once into device global memory"};
+  }
+  if (ClauseNames(dir, "firstprivate", name)) {
+    return {Placement::kFirstPrivate,
+            "firstprivate(...) clause: per-thread copy initialised from the "
+            "host value"};
+  }
+  if (opts.auto_firstprivate && rc.info.read_before_write.count(name)) {
+    return {Placement::kFirstPrivate,
+            "read before written in the region: automatic firstprivate "
+            "detection (paper §3.2)"};
+  }
+  return {Placement::kPrivate,
+          "written before any read: uninitialised per-thread copy"};
+}
+
+int KvSlotBytes(const minic::Type& t, int declared_len, int int_text_bytes,
+                int double_text_bytes) {
+  using minic::Scalar;
+  if (declared_len > 0) {
+    // keylength/vallength count elements of the emitted variable.
+    const std::int64_t elem =
+        t.is_array || t.is_pointer ? minic::ScalarSize(t.scalar) : 1;
+    // char arrays: length == bytes; numeric: render as text.
+    if (t.scalar == Scalar::kChar && (t.is_array || t.is_pointer)) {
+      return declared_len;
+    }
+    if (!t.is_array && !t.is_pointer) {
+      return t.IsFloating() ? double_text_bytes : int_text_bytes;
+    }
+    return static_cast<int>(declared_len * elem);
+  }
+  if (t.scalar == Scalar::kChar && t.is_array) {
+    return static_cast<int>(t.array_size);
+  }
+  if (t.IsFloating()) return double_text_bytes;
+  return int_text_bytes;
+}
+
+void RunPasses(const minic::TranslationUnit& unit, const AnalyzerOptions& opts,
+               AnalysisResult* result) {
+  using minic::Directive;
+  DiagnosticEngine& de = result->diags;
+  const std::string& file = opts.source_name;
+
+  const minic::FunctionDef* main_fn = unit.FindFunction("main");
+  for (const auto& fn : unit.functions) {
+    if (fn.get() == main_fn) continue;
+    for (const minic::Stmt* r : minic::FindAllDirectiveRegions(*fn)) {
+      de.Warning("HD113", "directive-check", file, r->directive->line, 0,
+                 "mapreduce directive in function '" + fn->name +
+                     "' is ignored: the translator only offloads regions in "
+                     "main()",
+                 "move the annotated region into main()");
+    }
+  }
+  if (main_fn == nullptr) {
+    Diagnostic d;
+    d.severity = opts.require_directive ? Severity::kError : Severity::kWarning;
+    d.id = "HD101";
+    d.pass = "directive-check";
+    d.file = file;
+    d.message = "program has no main() function";
+    d.hint = "HeteroDoop filters are whole programs with a main() entry";
+    de.Add(std::move(d));
+    return;
+  }
+
+  bool seen_map = false, seen_combine = false;
+  for (const minic::Stmt* r : minic::FindAllDirectiveRegions(*main_fn)) {
+    const bool is_map = r->directive->kind == Directive::Kind::kMapper;
+    bool& seen = is_map ? seen_map : seen_combine;
+    if (seen) {
+      de.Warning("HD114", "directive-check", file, r->directive->line, 0,
+                 std::string("duplicate ") + (is_map ? "mapper" : "combiner") +
+                     " directive is ignored: the translator uses the first "
+                     "one only",
+                 "merge the regions or remove the extra directive");
+      continue;
+    }
+    seen = true;
+    RegionContext rc;
+    rc.fn = main_fn;
+    rc.region = r;
+    rc.directive = r->directive.get();
+    rc.info = minic::AnalyzeRegion(*main_fn, *r);
+    result->regions.push_back(std::move(rc));
+  }
+  if (result->regions.empty()) {
+    Diagnostic d;
+    d.severity = opts.require_directive ? Severity::kError : Severity::kNote;
+    d.id = "HD102";
+    d.pass = "directive-check";
+    d.file = file;
+    d.message = "no mapreduce directive found in main()";
+    d.hint = "annotate the record loop with #pragma mapreduce mapper "
+             "key(...) value(...)";
+    de.Add(std::move(d));
+  }
+
+  const PassContext ctx{&unit, &opts, &result->regions};
+  RunDirectiveCheck(ctx, &de);
+  RunRaceCheck(ctx, &de);
+  RunKvBounds(ctx, &de);
+  RunPlacementAudit(ctx, &de);
+  RunPortability(ctx, &de);
+  de.SortBySource();
+}
+
+AnalysisResult AnalyzeSource(const std::string& source,
+                             const AnalyzerOptions& opts) {
+  AnalysisResult result;
+  try {
+    result.unit = minic::Parse(source);
+  } catch (const std::exception& e) {
+    result.diags.Error("HD001", "parse", opts.source_name, 0, 0,
+                       std::string("cannot parse source: ") + e.what());
+    return result;
+  }
+  RunPasses(*result.unit, opts, &result);
+  return result;
+}
+
+}  // namespace hd::analysis

@@ -1,0 +1,104 @@
+// hdlint: multi-pass static analysis over directive-annotated mini-C.
+//
+// The analyzer parses a source, locates every `#pragma mapreduce` region,
+// runs region analysis (minic/sema), and then executes a fixed pipeline of
+// checking passes, each contributing structured diagnostics:
+//
+//   directive-check   Table 1 clause validation (arity, placement-clause
+//                     consistency, combiner-only clauses, integer args)
+//   race-check        writes to sharedRO/texture variables; accumulation
+//                     into auto-privatized state the host never sees
+//   kv-bounds         emitted key/value sizes vs KvLayout slots; kvpairs
+//                     hints vs static emission counts per record
+//   placement-audit   explains Algorithm 1 classifications; texture-eligible
+//                     arrays that lost texture placement; char[] KV slots
+//                     that will not vectorize to char4
+//   portability       recursion, calls to undefined functions, dynamic
+//                     allocation inside regions, potentially unbounded loops
+//
+// The translator runs the same pipeline before building kernel plans, so
+// invalid programs fail with every problem reported in one TranslateError
+// instead of dying on the first throw.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "minic/ast.h"
+#include "minic/sema.h"
+
+namespace hd::analysis {
+
+struct AnalyzerOptions {
+  // Name used in diagnostic locations ("<source>" for in-memory programs).
+  std::string source_name = "<source>";
+  // When true (translator mode) a missing main()/directive is an error;
+  // when false (lint mode) plain mini-C files lint fine without either.
+  bool require_directive = false;
+  // Emit one placement-audit note per external variable explaining its
+  // Algorithm 1 classification (hdlint --audit).
+  bool audit_notes = false;
+  // Mirror of TranslateOptions: classification and KV slot math must agree
+  // with the translator's.
+  bool auto_firstprivate = true;
+  int int_text_bytes = 16;
+  int double_text_bytes = 28;
+};
+
+// One directive-annotated region prepared for the passes.
+struct RegionContext {
+  const minic::FunctionDef* fn = nullptr;
+  const minic::Stmt* region = nullptr;
+  const minic::Directive* directive = nullptr;
+  minic::RegionInfo info;
+};
+
+struct AnalysisResult {
+  // Null when the source failed to lex/parse (an HD001 error is recorded).
+  std::shared_ptr<minic::TranslationUnit> unit;
+  std::vector<RegionContext> regions;  // directive regions found in main()
+  DiagnosticEngine diags;
+};
+
+// Mirror of the translator's Algorithm 1 placement decision, with the
+// reason spelled out (consumed by the placement-audit pass and by tests
+// that pin the mirror to translator::ClassifyVariables).
+enum class Placement {
+  kConstant,      // sharedRO scalar -> kernel parameter / constant memory
+  kGlobal,        // sharedRO array -> device global memory
+  kTexture,       // texture clause -> texture memory
+  kFirstPrivate,  // per-thread copy initialised from the host value
+  kPrivate,       // per-thread copy, uninitialised
+};
+
+const char* PlacementName(Placement p);
+
+struct PlacementDecision {
+  Placement placement = Placement::kPrivate;
+  std::string reason;
+};
+
+// Classifies one external variable of `rc` exactly as Algorithm 1 does.
+PlacementDecision ClassifyPlacement(const std::string& name,
+                                    const RegionContext& rc,
+                                    const AnalyzerOptions& opts);
+
+// KV-store slot width for one emitted variable: keylength/vallength count
+// elements; char arrays store raw bytes; numeric scalars render as text.
+// The translator's KvLayout is derived from this same function.
+int KvSlotBytes(const minic::Type& t, int declared_len, int int_text_bytes,
+                int double_text_bytes);
+
+// Parses `source` and runs every analysis pass. Lex/parse failures become
+// HD001 diagnostics (result.unit stays null); the passes never throw.
+AnalysisResult AnalyzeSource(const std::string& source,
+                             const AnalyzerOptions& opts = {});
+
+// Runs the passes over an already-parsed unit (shared with the translator,
+// which reuses the parse for plan building).
+void RunPasses(const minic::TranslationUnit& unit, const AnalyzerOptions& opts,
+               AnalysisResult* result);
+
+}  // namespace hd::analysis

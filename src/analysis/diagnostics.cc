@@ -1,0 +1,125 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hd::analysis {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+void DiagnosticEngine::Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void DiagnosticEngine::Error(std::string id, std::string pass,
+                             std::string file, int line, int col,
+                             std::string message, std::string hint) {
+  Add({Severity::kError, std::move(id), std::move(pass), std::move(file),
+       line, col, std::move(message), std::move(hint)});
+}
+
+void DiagnosticEngine::Warning(std::string id, std::string pass,
+                               std::string file, int line, int col,
+                               std::string message, std::string hint) {
+  Add({Severity::kWarning, std::move(id), std::move(pass), std::move(file),
+       line, col, std::move(message), std::move(hint)});
+}
+
+void DiagnosticEngine::Note(std::string id, std::string pass, std::string file,
+                            int line, int col, std::string message,
+                            std::string hint) {
+  Add({Severity::kNote, std::move(id), std::move(pass), std::move(file), line,
+       col, std::move(message), std::move(hint)});
+}
+
+namespace {
+
+int CountOf(const std::vector<Diagnostic>& ds, Severity s) {
+  return static_cast<int>(
+      std::count_if(ds.begin(), ds.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int DiagnosticEngine::ErrorCount() const {
+  return CountOf(diags_, Severity::kError);
+}
+int DiagnosticEngine::WarningCount() const {
+  return CountOf(diags_, Severity::kWarning);
+}
+int DiagnosticEngine::NoteCount() const {
+  return CountOf(diags_, Severity::kNote);
+}
+
+void DiagnosticEngine::SortBySource() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return static_cast<int>(a.severity) <
+                            static_cast<int>(b.severity);
+                   });
+}
+
+std::string DiagnosticEngine::RenderText() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    os << d.file << ':' << d.line << ':' << d.col << ": "
+       << SeverityName(d.severity) << ": " << d.message << " [" << d.pass
+       << ' ' << d.id << "]\n";
+    if (!d.hint.empty()) os << "  hint: " << d.hint << '\n';
+  }
+  os << ErrorCount() << " error(s), " << WarningCount() << " warning(s), "
+     << NoteCount() << " note(s)\n";
+  return os.str();
+}
+
+std::string DiagnosticEngine::RenderJson() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) os << ',';
+    os << "{\"file\":\"" << JsonEscape(d.file) << "\",\"line\":" << d.line
+       << ",\"col\":" << d.col << ",\"severity\":\"" << SeverityName(d.severity)
+       << "\",\"id\":\"" << JsonEscape(d.id) << "\",\"pass\":\""
+       << JsonEscape(d.pass) << "\",\"message\":\"" << JsonEscape(d.message)
+       << "\",\"hint\":\"" << JsonEscape(d.hint) << "\"}";
+  }
+  os << "],\"errors\":" << ErrorCount() << ",\"warnings\":" << WarningCount()
+     << ",\"notes\":" << NoteCount() << "}";
+  return os.str();
+}
+
+}  // namespace hd::analysis

@@ -1,0 +1,66 @@
+// Structured diagnostics for the HeteroDoop static analyzer (hdlint).
+//
+// Every finding carries a severity, a stable diagnostic ID (HDnnn — see the
+// table in DESIGN.md), the pass that produced it, a source location
+// (file:line:col, 0 meaning "unknown"), a human message, and an optional
+// fix-it hint. The DiagnosticEngine collects findings across passes so one
+// run reports every problem, and renders them as text (compiler-style) or
+// JSON (machine-readable, for editor/CI integration).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hd::analysis {
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string id;    // stable "HDnnn" code
+  std::string pass;  // producing pass, e.g. "directive-check"
+  std::string file;  // source name ("<source>" for in-memory programs)
+  int line = 0;      // 1-based; 0 = unknown
+  int col = 0;       // 1-based; 0 = unknown
+  std::string message;
+  std::string hint;  // fix-it suggestion; may be empty
+};
+
+class DiagnosticEngine {
+ public:
+  void Add(Diagnostic d);
+
+  // Convenience emitters. `hint` may be empty.
+  void Error(std::string id, std::string pass, std::string file, int line,
+             int col, std::string message, std::string hint = {});
+  void Warning(std::string id, std::string pass, std::string file, int line,
+               int col, std::string message, std::string hint = {});
+  void Note(std::string id, std::string pass, std::string file, int line,
+            int col, std::string message, std::string hint = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int ErrorCount() const;
+  int WarningCount() const;
+  int NoteCount() const;
+  bool HasErrors() const { return ErrorCount() > 0; }
+  bool empty() const { return diags_.empty(); }
+
+  // Stable sort by (file, line, col, severity) so multi-pass output reads in
+  // source order regardless of pass execution order.
+  void SortBySource();
+
+  // Compiler-style text: one "file:line:col: severity: message [pass ID]"
+  // line per diagnostic, hints indented underneath, plus a summary line.
+  std::string RenderText() const;
+
+  // {"diagnostics": [...], "errors": N, "warnings": N, "notes": N}
+  // (schema documented in DESIGN.md).
+  std::string RenderJson() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace hd::analysis

@@ -1,0 +1,81 @@
+// hdlint: command-line front end for the HeteroDoop static analyzer.
+//
+//   hdlint [--json] [--audit] [--werror] file.c ...
+//
+// Runs every analysis pass over each input and prints diagnostics as text
+// (or one JSON document per file with --json). Exit status: 0 when no file
+// produced an error, 1 when any did (or any warning under --werror), 2 on
+// usage/IO problems.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: hdlint [--json] [--audit] [--werror] file.c ...\n"
+               "  --json    print diagnostics as one JSON document per file\n"
+               "  --audit   add placement-audit notes explaining Algorithm 1\n"
+               "  --werror  treat warnings as errors for the exit status\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false, audit = false, werror = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hdlint: unknown option '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  bool failed = false;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "hdlint: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    hd::analysis::AnalyzerOptions opts;
+    opts.source_name = path;
+    opts.audit_notes = audit;
+    const hd::analysis::AnalysisResult result =
+        hd::analysis::AnalyzeSource(buf.str(), opts);
+
+    const std::string rendered =
+        json ? result.diags.RenderJson() + "\n" : result.diags.RenderText();
+    std::fputs(rendered.c_str(), stdout);
+    if (result.diags.HasErrors() ||
+        (werror && result.diags.WarningCount() > 0)) {
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

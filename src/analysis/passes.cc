@@ -1,0 +1,768 @@
+#include "analysis/passes.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace hd::analysis {
+
+namespace {
+
+using minic::Directive;
+using minic::Expr;
+using minic::ExprKind;
+using minic::Stmt;
+using minic::StmtKind;
+using minic::Type;
+
+const char* RegionKindName(const RegionContext& rc) {
+  return rc.directive->kind == Directive::Kind::kMapper ? "mapper" : "combiner";
+}
+
+bool ClauseNames(const Directive& dir, const char* clause,
+                 const std::string& name) {
+  auto it = dir.clauses.find(clause);
+  if (it == dir.clauses.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), name) !=
+         it->second.end();
+}
+
+// ---------------------------------------------------------------------------
+// directive-check: Table 1 clause validation.
+// ---------------------------------------------------------------------------
+
+// Clause schema. Arity: 1 = exactly one argument, -1 = one or more.
+struct ClauseSpec {
+  const char* name;
+  int arity;
+  bool integer;        // argument must be a positive integer
+  bool combiner_only;  // keyin/valuein
+  bool mapper_only;    // kvpairs
+};
+
+constexpr ClauseSpec kClauses[] = {
+    {"key", 1, false, false, false},
+    {"value", 1, false, false, false},
+    {"keyin", 1, false, true, false},
+    {"valuein", 1, false, true, false},
+    {"keylength", 1, true, false, false},
+    {"vallength", 1, true, false, false},
+    {"kvpairs", 1, true, false, true},
+    {"blocks", 1, true, false, false},
+    {"threads", 1, true, false, false},
+    {"sharedRO", -1, false, false, false},
+    {"texture", -1, false, false, false},
+    {"firstprivate", -1, false, false, false},
+};
+
+const ClauseSpec* FindClauseSpec(const std::string& name) {
+  for (const auto& spec : kClauses) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+// Returns the clause argument parsed as a positive integer, or 0 after
+// reporting HD108.
+int CheckedIntArg(const Directive& dir, const char* clause,
+                  const std::string& file, DiagnosticEngine* de) {
+  auto it = dir.clauses.find(clause);
+  if (it == dir.clauses.end() || it->second.size() != 1) return 0;
+  const std::string& a = it->second[0];
+  int value = 0;
+  try {
+    value = std::stoi(a);
+  } catch (const std::exception&) {
+    value = 0;
+  }
+  if (value <= 0) {
+    de->Error("HD108", "directive-check", file, dir.line, 0,
+              std::string("clause '") + clause +
+                  "' expects a positive integer, got '" + a + "'");
+    return 0;
+  }
+  return value;
+}
+
+void CheckRegionDirective(const RegionContext& rc, const AnalyzerOptions& opts,
+                          DiagnosticEngine* de) {
+  const Directive& dir = *rc.directive;
+  const std::string& file = opts.source_name;
+  const bool is_combiner = dir.kind == Directive::Kind::kCombiner;
+
+  for (const auto& [name, args] : dir.clauses) {
+    const ClauseSpec* spec = FindClauseSpec(name);
+    if (spec == nullptr) {
+      de->Warning("HD109", "directive-check", file, dir.line, 0,
+                  "unknown clause '" + name + "' is ignored",
+                  "supported clauses: key value keyin valuein keylength "
+                  "vallength kvpairs blocks threads sharedRO texture "
+                  "firstprivate (Table 1)");
+      continue;
+    }
+    if (spec->arity == 1 && args.size() != 1) {
+      de->Error("HD107", "directive-check", file, dir.line, 0,
+                "clause '" + name + "' expects exactly one argument, got " +
+                    std::to_string(args.size()));
+    } else if (spec->arity == -1 && args.empty()) {
+      de->Error("HD107", "directive-check", file, dir.line, 0,
+                "clause '" + name + "' expects at least one variable");
+    }
+    if (spec->integer) CheckedIntArg(dir, spec->name, file, de);
+    if (spec->combiner_only && !is_combiner) {
+      de->Error("HD105", "directive-check", file, dir.line, 0,
+                "clause '" + name + "' is only valid on the combiner",
+                "the mapper reads records with getRecord, not incoming KV "
+                "pairs");
+    }
+    if (spec->mapper_only && is_combiner) {
+      de->Error("HD106", "directive-check", file, dir.line, 0,
+                "clause '" + name + "' is only valid on the mapper",
+                "combiner output volume is bounded by its input pairs");
+    }
+  }
+
+  // Mandatory clauses.
+  if (!dir.Has("key") || !dir.Has("value")) {
+    de->Error("HD103", "directive-check", file, dir.line, 0,
+              "mapreduce directive requires key(...) and value(...) clauses");
+  }
+  if (is_combiner && (!dir.Has("keyin") || !dir.Has("valuein"))) {
+    de->Error("HD104", "directive-check", file, dir.line, 0,
+              "combiner directive requires keyin(...) and valuein(...) "
+              "clauses",
+              "name the variables scanf fills from the incoming KV stream");
+  }
+
+  // Single-variable clauses must name variables the region actually uses.
+  for (const char* clause : {"key", "value", "keyin", "valuein"}) {
+    auto it = dir.clauses.find(clause);
+    if (it == dir.clauses.end() || it->second.size() != 1) continue;
+    const std::string& var = it->second[0];
+    if (!rc.info.used_outer.count(var)) {
+      de->Error("HD111", "directive-check", file, dir.line, 0,
+                std::string(clause) + " variable '" + var +
+                    "' is not used in the region or not declared",
+                "declare '" + var + "' before the directive and reference it "
+                                    "inside the region");
+    }
+  }
+
+  // Placement clauses: arguments must be used in the region and may appear
+  // in at most one placement clause.
+  std::map<std::string, std::string> placement_of;
+  for (const char* clause : {"sharedRO", "texture", "firstprivate"}) {
+    auto it = dir.clauses.find(clause);
+    if (it == dir.clauses.end()) continue;
+    for (const auto& var : it->second) {
+      if (!rc.info.used_outer.count(var)) {
+        de->Error("HD111", "directive-check", file, dir.line, 0,
+                  "clause '" + std::string(clause) + "' names variable '" +
+                      var + "' that the region does not use",
+                  "remove '" + var + "' from the clause or reference it "
+                                     "inside the region");
+        continue;
+      }
+      auto [prev, inserted] = placement_of.emplace(var, clause);
+      if (!inserted) {
+        de->Error("HD110", "directive-check", file, dir.line, 0,
+                  "variable '" + var + "' appears in both '" + prev->second +
+                      "' and '" + clause + "' placement clauses",
+                  "a variable has exactly one Algorithm 1 placement");
+      }
+    }
+  }
+
+  // texture() demands an indexable (array/pointer) operand.
+  if (auto it = dir.clauses.find("texture"); it != dir.clauses.end()) {
+    for (const auto& var : it->second) {
+      auto t = rc.info.outer_types.find(var);
+      if (t != rc.info.outer_types.end() && t->second.IsScalarValue()) {
+        de->Error("HD112", "directive-check", file, dir.line, 0,
+                  "texture clause expects an array, got scalar '" + var + "'",
+                  "texture memory serves cached array reads; use sharedRO "
+                  "for scalars");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// race-check: cross-thread write hazards.
+// ---------------------------------------------------------------------------
+
+void CheckRegionRaces(const RegionContext& rc, const AnalyzerOptions& opts,
+                      DiagnosticEngine* de) {
+  const Directive& dir = *rc.directive;
+  const std::string& file = opts.source_name;
+  const bool is_mapper = dir.kind == Directive::Kind::kMapper;
+
+  auto clause_arg = [&](const char* clause) -> std::string {
+    auto it = dir.clauses.find(clause);
+    return it != dir.clauses.end() && it->second.size() == 1 ? it->second[0]
+                                                             : std::string();
+  };
+  const std::string key_var = clause_arg("key");
+  const std::string value_var = clause_arg("value");
+
+  for (const auto& [name, sites] : rc.info.write_sites) {
+    const bool shared_ro = ClauseNames(dir, "sharedRO", name);
+    const bool texture = ClauseNames(dir, "texture", name);
+    if (shared_ro || texture) {
+      // Every GPU thread executes the region concurrently: a write to
+      // shared memory is a write-write race across the whole grid.
+      for (const auto& s : sites) {
+        de->Error(shared_ro ? "HD201" : "HD202", "race-check", file, s.line,
+                  s.col,
+                  std::string(shared_ro ? "sharedRO" : "texture") +
+                      " variable '" + name + "' is written inside the " +
+                      RegionKindName(rc) +
+                      " region: cross-thread write-write race",
+                  s.via_builtin
+                      ? "the write happens through a builtin output "
+                        "argument; copy into a private variable instead"
+                      : "remove '" + name + "' from the " +
+                            (shared_ro ? "sharedRO" : "texture") +
+                            "(...) clause or assign to a private copy");
+      }
+      continue;
+    }
+    if (!is_mapper) continue;  // combiner threads own their key partitions
+    if (name == key_var || name == value_var) continue;
+    if (ClauseNames(dir, "firstprivate", name)) continue;
+    if (!rc.info.read_before_write.count(name)) continue;
+    // Read-before-write + written: Algorithm 1 privatizes a per-thread copy
+    // initialised from the host value, so host-visible state silently
+    // becomes thread-local. Accumulations lose every other thread's
+    // contribution; under a shared placement they would be a data race.
+    const Type& t = rc.info.outer_types.at(name);
+    if (t.is_array || t.is_pointer) {
+      for (const auto& s : sites) {
+        if (!s.element) continue;
+        de->Warning(
+            "HD204", "race-check", file, s.line, s.col,
+            "write to element of outer array '" + name +
+                "' lands in a per-thread private copy" +
+                (s.constant_index
+                     ? "; the index is the same for every thread, so a "
+                       "shared placement would make all threads collide on "
+                       "one location"
+                     : "; other threads' updates are lost and the host "
+                       "never sees the result"),
+            "cross-thread aggregation must flow through emitKV "
+            "(printf) and the combiner/reducer");
+      }
+    } else {
+      for (const auto& s : sites) {
+        if (!s.compound) continue;
+        de->Warning("HD203", "race-check", file, s.line, s.col,
+                    "accumulation into outer variable '" + name +
+                        "' updates a per-thread private copy: per-thread "
+                        "partial results are lost at region exit",
+                    "emit the partial value as a KV pair and sum in the "
+                    "combiner, or annotate firstprivate(" +
+                        name + ") if per-thread state is intended");
+        break;  // one report per variable is enough
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kv-bounds: slot sizing and kvpairs-hint consistency.
+// ---------------------------------------------------------------------------
+
+int CountPrintfInExpr(const Expr& e) {
+  int n = e.kind == ExprKind::kCall && e.string_value == "printf" ? 1 : 0;
+  if (e.a) n += CountPrintfInExpr(*e.a);
+  if (e.b) n += CountPrintfInExpr(*e.b);
+  if (e.c) n += CountPrintfInExpr(*e.c);
+  for (const auto& arg : e.args) n += CountPrintfInExpr(*arg);
+  return n;
+}
+
+// Static emission count per record iteration: the longest straight-line
+// path through the per-record body, with any emission nested in a further
+// loop reported as unbounded.
+struct EmitCount {
+  int max_path = 0;
+  bool in_loop = false;
+};
+
+EmitCount CountEmits(const Stmt& s) {
+  EmitCount ec;
+  switch (s.kind) {
+    case StmtKind::kExpr:
+    case StmtKind::kReturn:
+      if (s.expr) ec.max_path = CountPrintfInExpr(*s.expr);
+      break;
+    case StmtKind::kDecl:
+      for (const auto& d : s.decls) {
+        if (d.init) ec.max_path += CountPrintfInExpr(*d.init);
+      }
+      break;
+    case StmtKind::kBlock:
+      for (const auto& sub : s.stmts) {
+        EmitCount c = CountEmits(*sub);
+        ec.max_path += c.max_path;
+        ec.in_loop = ec.in_loop || c.in_loop;
+      }
+      break;
+    case StmtKind::kIf: {
+      ec.max_path = CountPrintfInExpr(*s.expr);
+      EmitCount t = CountEmits(*s.then_stmt);
+      EmitCount e = s.else_stmt ? CountEmits(*s.else_stmt) : EmitCount{};
+      ec.max_path += std::max(t.max_path, e.max_path);
+      ec.in_loop = t.in_loop || e.in_loop;
+      break;
+    }
+    case StmtKind::kWhile:
+    case StmtKind::kDoWhile:
+    case StmtKind::kFor: {
+      int inside = s.expr ? CountPrintfInExpr(*s.expr) : 0;
+      if (s.step) inside += CountPrintfInExpr(*s.step);
+      if (s.init_stmt) inside += CountEmits(*s.init_stmt).max_path;
+      EmitCount body = CountEmits(*s.body);
+      if (inside + body.max_path > 0 || body.in_loop) ec.in_loop = true;
+      break;
+    }
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      break;
+  }
+  return ec;
+}
+
+void CheckRegionKvBounds(const RegionContext& rc, const AnalyzerOptions& opts,
+                         DiagnosticEngine* de) {
+  const Directive& dir = *rc.directive;
+  const std::string& file = opts.source_name;
+
+  // Declared length clauses vs the declared capacity of the emitted array.
+  auto check_len = [&](const char* var_clause, const char* len_clause) {
+    auto vit = dir.clauses.find(var_clause);
+    auto lit = dir.clauses.find(len_clause);
+    if (vit == dir.clauses.end() || vit->second.size() != 1) return;
+    if (lit == dir.clauses.end() || lit->second.size() != 1) return;
+    const std::string& var = vit->second[0];
+    auto t = rc.info.outer_types.find(var);
+    if (t == rc.info.outer_types.end()) return;
+    if (!(t->second.is_array && t->second.scalar == minic::Scalar::kChar)) {
+      return;  // slot width for numeric/pointer emissions is text-rendered
+    }
+    int declared = 0;
+    try {
+      declared = std::stoi(lit->second[0]);
+    } catch (const std::exception&) {
+      return;  // HD108 already reported
+    }
+    const auto capacity = static_cast<int>(t->second.array_size);
+    if (declared <= 0 || capacity <= 0) return;
+    if (declared > capacity) {
+      de->Error("HD301", "kv-bounds", file, dir.line, 0,
+                std::string(len_clause) + "(" + std::to_string(declared) +
+                    ") exceeds the declared size of '" + var + "' (char[" +
+                    std::to_string(capacity) +
+                    "]): emitKV would read past the end of the buffer",
+                "shrink " + std::string(len_clause) + " to " +
+                    std::to_string(capacity) + " or grow the array");
+    } else if (declared < capacity) {
+      de->Warning("HD302", "kv-bounds", file, dir.line, 0,
+                  std::string(len_clause) + "(" + std::to_string(declared) +
+                      ") is smaller than '" + var + "' (char[" +
+                      std::to_string(capacity) +
+                      "]): emitted strings may be truncated in the KV store",
+                  "match " + std::string(len_clause) + " to the buffer size "
+                  "unless strings are known to be shorter");
+    }
+  };
+  check_len("key", "keylength");
+  check_len("value", "vallength");
+
+  if (dir.kind != Directive::Kind::kMapper) return;
+
+  // kvpairs hints vs static emission counts along each path.
+  const Stmt& region = *rc.region;
+  const Stmt* per_record = region.body ? region.body.get() : &region;
+  EmitCount ec = CountEmits(*per_record);
+  const int hint = [&] {
+    auto it = dir.clauses.find("kvpairs");
+    if (it == dir.clauses.end() || it->second.size() != 1) return 0;
+    try {
+      return std::max(0, std::stoi(it->second[0]));
+    } catch (const std::exception&) {
+      return 0;
+    }
+  }();
+  if (ec.max_path == 0 && !ec.in_loop) {
+    de->Warning("HD305", "kv-bounds", file, dir.line, 0,
+                "mapper region never emits a KV pair (no printf on any path)",
+                "emit with printf(\"%s\\t%d\\n\", key, value) — the "
+                "translator rewrites it to emitKV");
+    return;
+  }
+  if (hint > 0) {
+    if (ec.max_path > hint) {
+      de->Error("HD303", "kv-bounds", file, dir.line, 0,
+                "a record path emits " + std::to_string(ec.max_path) +
+                    " KV pairs but kvpairs(" + std::to_string(hint) +
+                    ") reserves fewer slots: the KV store portion would "
+                    "overflow",
+                "raise kvpairs to at least " + std::to_string(ec.max_path));
+    }
+    if (ec.in_loop) {
+      de->Warning("HD304", "kv-bounds", file, dir.line, 0,
+                  "emission inside a nested loop may exceed kvpairs(" +
+                      std::to_string(hint) + ") for records with many tokens",
+                  "size kvpairs for the worst-case emissions per record");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// placement-audit: explain Algorithm 1 decisions; flag lost optimisations.
+// ---------------------------------------------------------------------------
+
+void AuditRegionPlacement(const RegionContext& rc, const AnalyzerOptions& opts,
+                          DiagnosticEngine* de) {
+  const Directive& dir = *rc.directive;
+  const std::string& file = opts.source_name;
+
+  auto loc_of = [&](const std::string& name) -> std::pair<int, int> {
+    auto it = rc.info.first_use.find(name);
+    return it != rc.info.first_use.end() ? it->second
+                                         : std::pair{dir.line, 0};
+  };
+
+  if (opts.audit_notes) {
+    for (const auto& name : rc.info.used_outer) {
+      const PlacementDecision d = ClassifyPlacement(name, rc, opts);
+      auto [line, col] = loc_of(name);
+      de->Note("HD401", "placement-audit", file, line, col,
+               "'" + name + "' (" + minic::TypeName(rc.info.outer_types.at(
+                   name)) + ") placed " + PlacementName(d.placement) + ": " +
+                   d.reason);
+    }
+  }
+
+  auto clause_arg = [&](const char* clause) -> std::string {
+    auto it = dir.clauses.find(clause);
+    return it != dir.clauses.end() && it->second.size() == 1 ? it->second[0]
+                                                             : std::string();
+  };
+  const std::string key_var = clause_arg("key");
+  const std::string value_var = clause_arg("value");
+
+  // Texture-eligible read-only arrays that lost texture placement: indexed
+  // reads from a never-written fixed array are exactly the access pattern
+  // the texture cache accelerates (paper Fig. 7a).
+  if (dir.kind == Directive::Kind::kMapper) {
+    for (const auto& name : rc.info.used_outer) {
+      if (name == key_var || name == value_var) continue;
+      const Type& t = rc.info.outer_types.at(name);
+      if (!t.is_array || t.array_size <= 0) continue;
+      if (!rc.info.never_written.count(name)) continue;
+      if (!rc.info.indexed_read.count(name)) continue;
+      if (ClauseNames(dir, "texture", name) ||
+          ClauseNames(dir, "sharedRO", name)) {
+        continue;
+      }
+      auto [line, col] = loc_of(name);
+      de->Warning("HD402", "placement-audit", file, line, col,
+                  "read-only array '" + name +
+                      "' is indexed in the region but not placed in texture "
+                      "memory: every thread re-reads it from private copies",
+                  "add texture(" + name + ") to the directive to serve the "
+                  "reads from the texture cache");
+    }
+  }
+
+  // char[] keys/values vectorize to char4 only when the slot width is a
+  // multiple of 4.
+  auto check_vec = [&](const char* var_clause, const char* len_clause) {
+    const std::string var = clause_arg(var_clause);
+    if (var.empty()) return;
+    auto t = rc.info.outer_types.find(var);
+    if (t == rc.info.outer_types.end()) return;
+    if (!(t->second.scalar == minic::Scalar::kChar &&
+          (t->second.is_array || t->second.is_pointer))) {
+      return;
+    }
+    int declared_len = 0;
+    if (auto it = dir.clauses.find(len_clause);
+        it != dir.clauses.end() && it->second.size() == 1) {
+      try {
+        declared_len = std::stoi(it->second[0]);
+      } catch (const std::exception&) {
+        return;
+      }
+    }
+    const int slot = KvSlotBytes(t->second, declared_len,
+                                 opts.int_text_bytes, opts.double_text_bytes);
+    if (slot > 0 && slot % 4 != 0) {
+      de->Warning("HD403", "placement-audit", file, dir.line, 0,
+                  std::string(var_clause) + " '" + var + "' occupies a " +
+                      std::to_string(slot) +
+                      "-byte slot, not a multiple of 4: KV accesses cannot "
+                      "vectorize to char4 transactions",
+                  "pad " + std::string(len_clause) + " to " +
+                      std::to_string((slot + 3) / 4 * 4) +
+                      " to enable vectorized emitKV/getKV");
+    }
+  };
+  check_vec("key", "keylength");
+  check_vec("value", "vallength");
+}
+
+// ---------------------------------------------------------------------------
+// portability: constructs the GPU path cannot execute.
+// ---------------------------------------------------------------------------
+
+// Builtins the interpreter registers (minic/builtins.cc) plus the runtime
+// KV primitives the translator swaps in.
+const std::set<std::string>& KnownBuiltins() {
+  static const std::set<std::string> kBuiltins = {
+      "abs",      "atof",    "atoi",    "ceil",    "cos",     "erf",
+      "exit",     "exp",     "fabs",    "floor",   "fmax",    "fmin",
+      "fprintf",  "free",    "getline", "getline_buf", "isalnum",
+      "isalpha",  "isdigit", "isspace", "log",     "log10",   "malloc",
+      "memset",   "pow",     "printf",  "scanf",   "sin",     "sprintf",
+      "sqrt",     "strcat",  "strcmp",  "strcpy",  "strlen",  "strncmp",
+      "strncpy",  "strstr",  "tolower", "toupper",
+      // Runtime KV primitives (appear after builtin rewriting).
+      "getRecord", "emitKV", "getKV", "storeKV",
+  };
+  return kBuiltins;
+}
+
+// Calls the GPU runtime cannot service inside an offloaded region.
+bool HostOnlyCall(const std::string& callee) {
+  return callee == "malloc" || callee == "free" || callee == "exit" ||
+         callee == "fprintf";
+}
+
+void WalkExprs(const Stmt& s, const std::function<void(const Expr&)>& fn);
+
+void WalkExprTree(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  if (e.a) WalkExprTree(*e.a, fn);
+  if (e.b) WalkExprTree(*e.b, fn);
+  if (e.c) WalkExprTree(*e.c, fn);
+  for (const auto& arg : e.args) WalkExprTree(*arg, fn);
+}
+
+void WalkExprs(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+  if (s.expr) WalkExprTree(*s.expr, fn);
+  if (s.step) WalkExprTree(*s.step, fn);
+  for (const auto& d : s.decls) {
+    if (d.init) WalkExprTree(*d.init, fn);
+  }
+  for (const Stmt* sub : {s.then_stmt.get(), s.else_stmt.get(), s.body.get(),
+                          s.init_stmt.get()}) {
+    if (sub) WalkExprs(*sub, fn);
+  }
+  for (const auto& sub : s.stmts) WalkExprs(*sub, fn);
+}
+
+void WalkStmts(const Stmt& s, const std::function<void(const Stmt&)>& fn) {
+  fn(s);
+  for (const Stmt* sub : {s.then_stmt.get(), s.else_stmt.get(), s.body.get(),
+                          s.init_stmt.get()}) {
+    if (sub) WalkStmts(*sub, fn);
+  }
+  for (const auto& sub : s.stmts) WalkStmts(*sub, fn);
+}
+
+// Variables that might be modified by the loop body/step: assignment and
+// ++/-- targets, write-only builtin arguments, plus (conservatively) any
+// variable passed to a call or address-taken.
+void CollectModified(const Stmt& s, std::set<std::string>* out) {
+  WalkExprs(s, [out](const Expr& e) {
+    auto base_name = [](const Expr* b) -> const std::string* {
+      while (b->kind == ExprKind::kIndex || b->kind == ExprKind::kCast ||
+             (b->kind == ExprKind::kUnary && b->un_op == minic::UnOp::kDeref)) {
+        b = b->a.get();
+      }
+      return b->kind == ExprKind::kVarRef ? &b->string_value : nullptr;
+    };
+    if (e.kind == ExprKind::kAssign) {
+      if (const std::string* n = base_name(e.a.get())) out->insert(*n);
+    } else if (e.kind == ExprKind::kUnary) {
+      switch (e.un_op) {
+        case minic::UnOp::kPreInc:
+        case minic::UnOp::kPreDec:
+        case minic::UnOp::kPostInc:
+        case minic::UnOp::kPostDec:
+        case minic::UnOp::kAddrOf:
+          if (const std::string* n = base_name(e.a.get())) out->insert(*n);
+          break;
+        default:
+          break;
+      }
+    } else if (e.kind == ExprKind::kCall) {
+      for (const auto& arg : e.args) {
+        if (const std::string* n = base_name(arg.get())) out->insert(*n);
+      }
+    }
+  });
+}
+
+void CheckLoops(const minic::FunctionDef& fn, const AnalyzerOptions& opts,
+                DiagnosticEngine* de) {
+  WalkStmts(*fn.body, [&](const Stmt& s) {
+    if (s.kind != StmtKind::kWhile && s.kind != StmtKind::kDoWhile &&
+        s.kind != StmtKind::kFor) {
+      return;
+    }
+    if (!s.expr) return;  // for(;;) — deliberate
+    std::set<std::string> cond_vars;
+    bool cond_has_call = false;
+    WalkExprTree(*s.expr, [&](const Expr& e) {
+      if (e.kind == ExprKind::kVarRef) cond_vars.insert(e.string_value);
+      if (e.kind == ExprKind::kCall) cond_has_call = true;
+    });
+    if (cond_vars.empty() || cond_has_call) return;
+    std::set<std::string> modified;
+    CollectModified(*s.body, &modified);
+    if (s.step) {
+      WalkExprTree(*s.step, [&](const Expr& e) {
+        if (e.kind == ExprKind::kAssign || e.kind == ExprKind::kUnary) {
+          const Expr* b = e.a.get();
+          while (b != nullptr &&
+                 (b->kind == ExprKind::kIndex || b->kind == ExprKind::kCast ||
+                  (b->kind == ExprKind::kUnary &&
+                   b->un_op == minic::UnOp::kDeref))) {
+            b = b->a.get();
+          }
+          if (b != nullptr && b->kind == ExprKind::kVarRef) {
+            modified.insert(b->string_value);
+          }
+        }
+      });
+    }
+    const bool any_modified =
+        std::any_of(cond_vars.begin(), cond_vars.end(),
+                    [&](const std::string& v) { return modified.count(v); });
+    if (!any_modified) {
+      de->Warning("HD503", "portability", opts.source_name, s.line, s.col,
+                  "loop in '" + fn.name +
+                      "' never modifies its condition variables: the GPU "
+                      "thread would spin forever on unchanged outer state",
+                  "update one of the condition variables in the loop body");
+    }
+  });
+}
+
+void RunPortabilityImpl(const PassContext& ctx, DiagnosticEngine* de) {
+  const AnalyzerOptions& opts = *ctx.opts;
+  const std::string& file = opts.source_name;
+
+  // Call graph over defined functions.
+  std::map<std::string, std::set<std::string>> callees;
+  for (const auto& fn : ctx.unit->functions) {
+    auto& out = callees[fn->name];
+    WalkExprs(*fn->body, [&](const Expr& e) {
+      if (e.kind == ExprKind::kCall) out.insert(e.string_value);
+    });
+  }
+
+  // HD502: calls that resolve to neither a defined function nor a builtin.
+  for (const auto& fn : ctx.unit->functions) {
+    std::set<std::string> reported;
+    WalkExprs(*fn->body, [&](const Expr& e) {
+      if (e.kind != ExprKind::kCall) return;
+      const std::string& callee = e.string_value;
+      if (callees.count(callee) || KnownBuiltins().count(callee)) return;
+      if (!reported.insert(callee).second) return;
+      de->Error("HD502", "portability", file, e.line, e.col,
+                "call to undefined function '" + callee +
+                    "': not defined in this program and not a runtime "
+                    "builtin",
+                "define '" + callee + "' in the same file — the translator "
+                "inlines the whole program into the kernel");
+    });
+  }
+
+  // HD501: recursion (direct or mutual) — GPU kernels have no call stack
+  // for unbounded recursion and the interpreter mirrors that restriction.
+  std::set<std::string> in_cycle;
+  for (const auto& fn : ctx.unit->functions) {
+    std::set<std::string> visiting, done;
+    std::function<bool(const std::string&)> dfs =
+        [&](const std::string& name) -> bool {
+      if (visiting.count(name)) return true;
+      if (done.count(name) || !callees.count(name)) return false;
+      visiting.insert(name);
+      bool cyclic = false;
+      for (const auto& c : callees.at(name)) {
+        if (dfs(c)) cyclic = true;
+      }
+      visiting.erase(name);
+      done.insert(name);
+      return cyclic && name == fn->name;
+    };
+    if (dfs(fn->name)) in_cycle.insert(fn->name);
+  }
+  for (const auto& fn : ctx.unit->functions) {
+    if (in_cycle.count(fn->name)) {
+      de->Error("HD501", "portability", file, fn->line, 0,
+                "function '" + fn->name +
+                    "' is recursive: recursion cannot be offloaded",
+                "rewrite as an iterative loop with an explicit bound");
+    }
+  }
+
+  // HD504: host-only calls inside an offloaded region.
+  for (const RegionContext& rc : *ctx.regions) {
+    std::set<std::string> reported;
+    WalkExprs(*rc.region, [&](const Expr& e) {
+      if (e.kind != ExprKind::kCall || !HostOnlyCall(e.string_value)) return;
+      if (!reported.insert(e.string_value).second) return;
+      de->Error("HD504", "portability", file, e.line, e.col,
+                "'" + e.string_value + "' inside the " + RegionKindName(rc) +
+                    " region: the GPU runtime has no " +
+                    (e.string_value == "fprintf" ? "host stdio"
+                                                 : "heap/process control"),
+                "hoist the call out of the annotated region");
+    });
+  }
+
+  // HD503: loops that never update their condition.
+  for (const auto& fn : ctx.unit->functions) {
+    CheckLoops(*fn, opts, de);
+  }
+}
+
+}  // namespace
+
+void RunDirectiveCheck(const PassContext& ctx, DiagnosticEngine* de) {
+  for (const RegionContext& rc : *ctx.regions) {
+    CheckRegionDirective(rc, *ctx.opts, de);
+  }
+}
+
+void RunRaceCheck(const PassContext& ctx, DiagnosticEngine* de) {
+  for (const RegionContext& rc : *ctx.regions) {
+    CheckRegionRaces(rc, *ctx.opts, de);
+  }
+}
+
+void RunKvBounds(const PassContext& ctx, DiagnosticEngine* de) {
+  for (const RegionContext& rc : *ctx.regions) {
+    CheckRegionKvBounds(rc, *ctx.opts, de);
+  }
+}
+
+void RunPlacementAudit(const PassContext& ctx, DiagnosticEngine* de) {
+  for (const RegionContext& rc : *ctx.regions) {
+    AuditRegionPlacement(rc, *ctx.opts, de);
+  }
+}
+
+void RunPortability(const PassContext& ctx, DiagnosticEngine* de) {
+  RunPortabilityImpl(ctx, de);
+}
+
+}  // namespace hd::analysis

@@ -1,0 +1,30 @@
+// Internal pass interface for the hdlint analyzer. Each pass is a free
+// function over the prepared regions; passes never throw — every finding
+// goes through the DiagnosticEngine so one run reports all problems.
+#pragma once
+
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+
+namespace hd::analysis {
+
+struct PassContext {
+  const minic::TranslationUnit* unit = nullptr;
+  const AnalyzerOptions* opts = nullptr;
+  const std::vector<RegionContext>* regions = nullptr;
+};
+
+// Table 1 clause validation (HD103..HD112).
+void RunDirectiveCheck(const PassContext& ctx, DiagnosticEngine* de);
+// Cross-thread write hazards (HD201..HD204).
+void RunRaceCheck(const PassContext& ctx, DiagnosticEngine* de);
+// KV slot sizing and kvpairs-hint consistency (HD301..HD305).
+void RunKvBounds(const PassContext& ctx, DiagnosticEngine* de);
+// Algorithm 1 placement audit (HD401..HD403).
+void RunPlacementAudit(const PassContext& ctx, DiagnosticEngine* de);
+// Constructs the GPU path cannot execute (HD501..HD504).
+void RunPortability(const PassContext& ctx, DiagnosticEngine* de);
+
+}  // namespace hd::analysis

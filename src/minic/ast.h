@@ -67,6 +67,7 @@ enum class AssignOp { kAssign, kAdd, kSub, kMul, kDiv, kMod };
 struct Expr {
   ExprKind kind;
   int line = 0;
+  int col = 0;  // 1-based column of the token that starts the expression
 
   // Literals.
   std::int64_t int_value = 0;
@@ -89,7 +90,7 @@ struct Expr {
   std::vector<ExprPtr> args;  // kCall arguments
   Type cast_type;             // kCast / kSizeof
 
-  explicit Expr(ExprKind k, int ln) : kind(k), line(ln) {}
+  explicit Expr(ExprKind k, int ln, int c = 0) : kind(k), line(ln), col(c) {}
 };
 
 // ---------------------------------------------------------------------------
@@ -120,6 +121,7 @@ struct Declarator {
 struct Stmt {
   StmtKind kind;
   int line = 0;
+  int col = 0;  // 1-based column of the statement's first token
 
   ExprPtr expr;                 // kExpr, kReturn (nullable), conditions
   std::vector<Declarator> decls;  // kDecl
@@ -135,7 +137,7 @@ struct Stmt {
   // or null. Owned here.
   std::unique_ptr<Directive> directive;
 
-  explicit Stmt(StmtKind k, int ln) : kind(k), line(ln) {}
+  explicit Stmt(StmtKind k, int ln, int c = 0) : kind(k), line(ln), col(c) {}
 };
 
 // ---------------------------------------------------------------------------

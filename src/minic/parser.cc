@@ -142,7 +142,7 @@ class Parser {
 
   StmtPtr ParseBlock() {
     Expect(Tok::kLBrace);
-    auto blk = std::make_unique<Stmt>(StmtKind::kBlock, Cur().line);
+    auto blk = std::make_unique<Stmt>(StmtKind::kBlock, Cur().line, Cur().col);
     while (!At(Tok::kRBrace)) {
       if (At(Tok::kEof)) Fail("unterminated block");
       blk->stmts.push_back(ParseStmt());
@@ -173,26 +173,26 @@ class Parser {
       case Tok::kKwDo: return ParseDoWhile();
       case Tok::kKwFor: return ParseFor();
       case Tok::kKwReturn: {
-        auto s = std::make_unique<Stmt>(StmtKind::kReturn, Cur().line);
+        auto s = std::make_unique<Stmt>(StmtKind::kReturn, Cur().line, Cur().col);
         ++pos_;
         if (!At(Tok::kSemi)) s->expr = ParseExpr();
         Expect(Tok::kSemi);
         return s;
       }
       case Tok::kKwBreak: {
-        auto s = std::make_unique<Stmt>(StmtKind::kBreak, Cur().line);
+        auto s = std::make_unique<Stmt>(StmtKind::kBreak, Cur().line, Cur().col);
         ++pos_;
         Expect(Tok::kSemi);
         return s;
       }
       case Tok::kKwContinue: {
-        auto s = std::make_unique<Stmt>(StmtKind::kContinue, Cur().line);
+        auto s = std::make_unique<Stmt>(StmtKind::kContinue, Cur().line, Cur().col);
         ++pos_;
         Expect(Tok::kSemi);
         return s;
       }
       default: {
-        auto s = std::make_unique<Stmt>(StmtKind::kExpr, Cur().line);
+        auto s = std::make_unique<Stmt>(StmtKind::kExpr, Cur().line, Cur().col);
         s->expr = ParseExpr();
         Expect(Tok::kSemi);
         return s;
@@ -201,7 +201,7 @@ class Parser {
   }
 
   StmtPtr ParseDeclStmt() {
-    auto s = std::make_unique<Stmt>(StmtKind::kDecl, Cur().line);
+    auto s = std::make_unique<Stmt>(StmtKind::kDecl, Cur().line, Cur().col);
     Scalar base = ParseBaseType();
     do {
       Declarator d;
@@ -222,7 +222,7 @@ class Parser {
   }
 
   StmtPtr ParseIf() {
-    auto s = std::make_unique<Stmt>(StmtKind::kIf, Cur().line);
+    auto s = std::make_unique<Stmt>(StmtKind::kIf, Cur().line, Cur().col);
     Expect(Tok::kKwIf);
     Expect(Tok::kLParen);
     s->expr = ParseExpr();
@@ -233,7 +233,7 @@ class Parser {
   }
 
   StmtPtr ParseWhile() {
-    auto s = std::make_unique<Stmt>(StmtKind::kWhile, Cur().line);
+    auto s = std::make_unique<Stmt>(StmtKind::kWhile, Cur().line, Cur().col);
     Expect(Tok::kKwWhile);
     Expect(Tok::kLParen);
     s->expr = ParseExpr();
@@ -243,7 +243,7 @@ class Parser {
   }
 
   StmtPtr ParseDoWhile() {
-    auto s = std::make_unique<Stmt>(StmtKind::kDoWhile, Cur().line);
+    auto s = std::make_unique<Stmt>(StmtKind::kDoWhile, Cur().line, Cur().col);
     Expect(Tok::kKwDo);
     s->body = ParseStmt();
     Expect(Tok::kKwWhile);
@@ -255,14 +255,14 @@ class Parser {
   }
 
   StmtPtr ParseFor() {
-    auto s = std::make_unique<Stmt>(StmtKind::kFor, Cur().line);
+    auto s = std::make_unique<Stmt>(StmtKind::kFor, Cur().line, Cur().col);
     Expect(Tok::kKwFor);
     Expect(Tok::kLParen);
     if (!At(Tok::kSemi)) {
       if (AtTypeKeyword()) {
         s->init_stmt = ParseDeclStmt();  // consumes ';'
       } else {
-        auto init = std::make_unique<Stmt>(StmtKind::kExpr, Cur().line);
+        auto init = std::make_unique<Stmt>(StmtKind::kExpr, Cur().line, Cur().col);
         init->expr = ParseExpr();
         Expect(Tok::kSemi);
         s->init_stmt = std::move(init);
@@ -296,9 +296,9 @@ class Parser {
       case Tok::kPercentAssign: op = AssignOp::kMod; break;
       default: return lhs;
     }
-    int line = Cur().line;
+    int line = Cur().line, col = Cur().col;
     ++pos_;
-    auto e = std::make_unique<Expr>(ExprKind::kAssign, line);
+    auto e = std::make_unique<Expr>(ExprKind::kAssign, line, col);
     e->assign_op = op;
     e->a = std::move(lhs);
     e->b = ParseAssign();
@@ -308,9 +308,9 @@ class Parser {
   ExprPtr ParseTernary() {
     ExprPtr cond = ParseBinary(0);
     if (!At(Tok::kQuestion)) return cond;
-    int line = Cur().line;
+    int line = Cur().line, col = Cur().col;
     ++pos_;
-    auto e = std::make_unique<Expr>(ExprKind::kTernary, line);
+    auto e = std::make_unique<Expr>(ExprKind::kTernary, line, col);
     e->a = std::move(cond);
     e->b = ParseExpr();
     Expect(Tok::kColon);
@@ -365,10 +365,10 @@ class Parser {
       int prec = Prec(Cur().kind);
       if (prec < 0 || prec < min_prec) return lhs;
       Tok op_tok = Cur().kind;
-      int line = Cur().line;
+      int line = Cur().line, col = Cur().col;
       ++pos_;
       ExprPtr rhs = ParseBinary(prec + 1);
-      auto e = std::make_unique<Expr>(ExprKind::kBinary, line);
+      auto e = std::make_unique<Expr>(ExprKind::kBinary, line, col);
       e->bin_op = ToBinOp(op_tok);
       e->a = std::move(lhs);
       e->b = std::move(rhs);
@@ -377,10 +377,10 @@ class Parser {
   }
 
   ExprPtr ParseUnary() {
-    int line = Cur().line;
+    int line = Cur().line, col = Cur().col;
     auto mk_unary = [&](UnOp op) {
       ++pos_;
-      auto e = std::make_unique<Expr>(ExprKind::kUnary, line);
+      auto e = std::make_unique<Expr>(ExprKind::kUnary, line, col);
       e->un_op = op;
       e->a = ParseUnary();
       return e;
@@ -396,7 +396,7 @@ class Parser {
       case Tok::kPlus: ++pos_; return ParseUnary();
       case Tok::kKwSizeof: {
         ++pos_;
-        auto e = std::make_unique<Expr>(ExprKind::kSizeof, line);
+        auto e = std::make_unique<Expr>(ExprKind::kSizeof, line, col);
         if (At(Tok::kLParen) && IsTypeTok(Next().kind)) {
           ++pos_;
           e->cast_type = ParseTypeName();
@@ -412,7 +412,7 @@ class Parser {
           ++pos_;
           Type t = ParseTypeName();
           Expect(Tok::kRParen);
-          auto e = std::make_unique<Expr>(ExprKind::kCast, line);
+          auto e = std::make_unique<Expr>(ExprKind::kCast, line, col);
           e->cast_type = t;
           e->a = ParseUnary();
           return e;
@@ -445,15 +445,15 @@ class Parser {
   ExprPtr ParsePostfix() {
     ExprPtr e = ParsePrimary();
     for (;;) {
-      int line = Cur().line;
+      int line = Cur().line, col = Cur().col;
       if (Accept(Tok::kLBracket)) {
-        auto idx = std::make_unique<Expr>(ExprKind::kIndex, line);
+        auto idx = std::make_unique<Expr>(ExprKind::kIndex, line, col);
         idx->a = std::move(e);
         idx->b = ParseExpr();
         Expect(Tok::kRBracket);
         e = std::move(idx);
       } else if (At(Tok::kPlusPlus) || At(Tok::kMinusMinus)) {
-        auto u = std::make_unique<Expr>(ExprKind::kUnary, line);
+        auto u = std::make_unique<Expr>(ExprKind::kUnary, line, col);
         u->un_op = At(Tok::kPlusPlus) ? UnOp::kPostInc : UnOp::kPostDec;
         ++pos_;
         u->a = std::move(e);
@@ -465,28 +465,28 @@ class Parser {
   }
 
   ExprPtr ParsePrimary() {
-    int line = Cur().line;
+    int line = Cur().line, col = Cur().col;
     switch (Cur().kind) {
       case Tok::kIntLit: {
-        auto e = std::make_unique<Expr>(ExprKind::kIntLit, line);
+        auto e = std::make_unique<Expr>(ExprKind::kIntLit, line, col);
         e->int_value = Cur().int_value;
         ++pos_;
         return e;
       }
       case Tok::kCharLit: {
-        auto e = std::make_unique<Expr>(ExprKind::kIntLit, line);
+        auto e = std::make_unique<Expr>(ExprKind::kIntLit, line, col);
         e->int_value = Cur().int_value;
         ++pos_;
         return e;
       }
       case Tok::kFloatLit: {
-        auto e = std::make_unique<Expr>(ExprKind::kFloatLit, line);
+        auto e = std::make_unique<Expr>(ExprKind::kFloatLit, line, col);
         e->float_value = Cur().float_value;
         ++pos_;
         return e;
       }
       case Tok::kStringLit: {
-        auto e = std::make_unique<Expr>(ExprKind::kStringLit, line);
+        auto e = std::make_unique<Expr>(ExprKind::kStringLit, line, col);
         e->string_value = Cur().text;
         ++pos_;
         return e;
@@ -495,7 +495,7 @@ class Parser {
         std::string name = Cur().text;
         ++pos_;
         if (At(Tok::kLParen)) {
-          auto e = std::make_unique<Expr>(ExprKind::kCall, line);
+          auto e = std::make_unique<Expr>(ExprKind::kCall, line, col);
           e->string_value = std::move(name);
           ++pos_;
           if (!At(Tok::kRParen)) {
@@ -506,7 +506,7 @@ class Parser {
           Expect(Tok::kRParen);
           return e;
         }
-        auto e = std::make_unique<Expr>(ExprKind::kVarRef, line);
+        auto e = std::make_unique<Expr>(ExprKind::kVarRef, line, col);
         e->string_value = std::move(name);
         return e;
       }

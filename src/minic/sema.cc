@@ -73,8 +73,33 @@ class RegionWalker {
 
   const std::set<std::string>& written() const { return written_; }
 
+  // Resolves the pending constant-index flags once the full write set is
+  // known: an element write is region-constant-indexed when the index uses
+  // only literals and outer variables the region never modifies.
+  void Finalize() {
+    for (const auto& p : pending_) {
+      bool constant = !p.index_complex;
+      for (const auto& v : p.index_vars) {
+        if (!out_->used_outer.count(v) || written_.count(v)) {
+          constant = false;
+          break;
+        }
+      }
+      auto& site = out_->write_sites[p.name][p.site_index];
+      site.constant_index = site.element && constant;
+    }
+  }
+
  private:
   enum class Access { kRead, kWrite, kReadWrite };
+
+  // Deferred constant-index classification for one element write.
+  struct PendingWrite {
+    std::string name;
+    std::size_t site_index = 0;
+    std::vector<std::string> index_vars;
+    bool index_complex = false;  // index contains a call/deref: give up
+  };
 
   bool DeclaredInside(const std::string& name) const {
     for (const auto& sc : scopes_) {
@@ -83,16 +108,88 @@ class RegionWalker {
     return false;
   }
 
-  void Note(const std::string& name, Access acc) {
+  void Note(const std::string& name, Access acc, const Expr& at) {
     if (DeclaredInside(name)) return;
     auto it = visible_.find(name);
     if (it == visible_.end()) return;  // builtin constant or function name
-    out_->used_outer.insert(name);
+    if (out_->used_outer.insert(name).second) {
+      out_->first_use.emplace(name, std::pair{at.line, at.col});
+    }
     out_->outer_types.emplace(name, it->second);
     if (acc != Access::kWrite && !written_.count(name)) {
       out_->read_before_write.insert(name);
     }
     if (acc != Access::kRead) written_.insert(name);
+  }
+
+  void CollectIndexVars(const Expr& e, PendingWrite* p) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kStringLit:
+      case ExprKind::kSizeof:
+        return;
+      case ExprKind::kVarRef:
+        p->index_vars.push_back(e.string_value);
+        return;
+      case ExprKind::kBinary:
+        CollectIndexVars(*e.a, p);
+        CollectIndexVars(*e.b, p);
+        return;
+      case ExprKind::kCast:
+        CollectIndexVars(*e.a, p);
+        return;
+      case ExprKind::kUnary:
+        if (e.un_op == UnOp::kNeg || e.un_op == UnOp::kNot ||
+            e.un_op == UnOp::kBitNot) {
+          CollectIndexVars(*e.a, p);
+          return;
+        }
+        p->index_complex = true;
+        return;
+      default:
+        p->index_complex = true;
+        return;
+    }
+  }
+
+  // Records a write site for the base variable of `lhs` (drilling through
+  // casts, indexing, and dereferences). Direction bookkeeping is separate —
+  // this only feeds RegionInfo::write_sites.
+  void RecordWrite(const Expr& lhs, bool compound, bool via_builtin) {
+    const Expr* base = &lhs;
+    bool element = false;
+    const Expr* index = nullptr;
+    for (;;) {
+      if (base->kind == ExprKind::kCast) {
+        base = base->a.get();
+      } else if (base->kind == ExprKind::kIndex) {
+        element = true;
+        index = base->b.get();
+        base = base->a.get();
+      } else if (base->kind == ExprKind::kUnary &&
+                 base->un_op == UnOp::kDeref) {
+        element = true;
+        base = base->a.get();
+      } else {
+        break;
+      }
+    }
+    if (base->kind != ExprKind::kVarRef) return;
+    const std::string& name = base->string_value;
+    if (DeclaredInside(name) || !visible_.count(name)) return;
+    WriteSite ws;
+    ws.line = lhs.line;
+    ws.col = lhs.col;
+    ws.compound = compound;
+    ws.element = element;
+    ws.via_builtin = via_builtin;
+    PendingWrite p;
+    p.name = name;
+    p.site_index = out_->write_sites[name].size();
+    if (index != nullptr) CollectIndexVars(*index, &p);
+    pending_.push_back(std::move(p));
+    out_->write_sites[name].push_back(ws);
   }
 
   void WalkExpr(const Expr& e, Access acc) {
@@ -102,11 +199,16 @@ class RegionWalker {
       case ExprKind::kStringLit:
         return;
       case ExprKind::kVarRef:
-        Note(e.string_value, acc);
+        Note(e.string_value, acc, e);
         return;
       case ExprKind::kIndex:
         // base[idx]: the base array is touched with direction `acc`; the
         // index is always read.
+        if (e.a->kind == ExprKind::kVarRef && acc != Access::kWrite &&
+            !DeclaredInside(e.a->string_value) &&
+            visible_.count(e.a->string_value)) {
+          out_->indexed_read.insert(e.a->string_value);
+        }
         WalkExpr(*e.a, acc);
         WalkExpr(*e.b, Access::kRead);
         return;
@@ -114,11 +216,13 @@ class RegionWalker {
         switch (e.un_op) {
           case UnOp::kPreInc: case UnOp::kPreDec:
           case UnOp::kPostInc: case UnOp::kPostDec:
+            RecordWrite(*e.a, /*compound=*/true, /*via_builtin=*/false);
             WalkExpr(*e.a, Access::kReadWrite);
             return;
           case UnOp::kAddrOf:
             // Taking the address escapes the variable: conservatively
             // read-write (except as handled in call args below).
+            RecordWrite(*e.a, /*compound=*/true, /*via_builtin=*/false);
             WalkExpr(*e.a, Access::kReadWrite);
             return;
           case UnOp::kDeref:
@@ -136,6 +240,8 @@ class RegionWalker {
         // The RHS is evaluated before the store; a compound assignment also
         // reads the LHS before writing it.
         WalkExpr(*e.b, Access::kRead);
+        RecordWrite(*e.a, e.assign_op != AssignOp::kAssign,
+                    /*via_builtin=*/false);
         WalkExpr(*e.a, e.assign_op == AssignOp::kAssign ? Access::kWrite
                                                         : Access::kReadWrite);
         return;
@@ -148,12 +254,14 @@ class RegionWalker {
           // (conservative for user functions).
           if (write_only) {
             if (arg.kind == ExprKind::kVarRef) {
+              RecordWrite(arg, /*compound=*/false, /*via_builtin=*/true);
               WalkExpr(arg, Access::kWrite);
               continue;
             }
             if (arg.kind == ExprKind::kUnary && arg.un_op == UnOp::kAddrOf &&
                 arg.a->kind == ExprKind::kVarRef) {
-              Note(arg.a->string_value, Access::kWrite);
+              RecordWrite(*arg.a, /*compound=*/false, /*via_builtin=*/true);
+              Note(arg.a->string_value, Access::kWrite, *arg.a);
               continue;
             }
           }
@@ -178,6 +286,7 @@ class RegionWalker {
   RegionInfo* out_;
   std::vector<std::set<std::string>> scopes_;
   std::set<std::string> written_;
+  std::vector<PendingWrite> pending_;
 };
 
 // Walks the function body, maintaining the visible-symbol map, until it
@@ -240,6 +349,7 @@ RegionInfo AnalyzeRegion(const FunctionDef& fn, const Stmt& region) {
   RegionInfo info;
   RegionWalker walker(visible, &info);
   walker.WalkStmt(region);
+  walker.Finalize();
   for (const auto& name : info.used_outer) {
     if (!walker.written().count(name)) info.never_written.insert(name);
   }
@@ -275,6 +385,31 @@ const Stmt* FindDirectiveRegion(const FunctionDef& fn, Directive::Kind kind) {
   };
   walk(*fn.body);
   return found;
+}
+
+std::vector<const Stmt*> FindAllDirectiveRegions(const FunctionDef& fn) {
+  std::vector<const Stmt*> out;
+  std::function<void(const Stmt&)> walk = [&](const Stmt& s) {
+    if (s.directive) out.push_back(&s);
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& sub : s.stmts) walk(*sub);
+        break;
+      case StmtKind::kIf:
+        if (s.then_stmt) walk(*s.then_stmt);
+        if (s.else_stmt) walk(*s.else_stmt);
+        break;
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+      case StmtKind::kFor:
+        if (s.body) walk(*s.body);
+        break;
+      default:
+        break;
+    }
+  };
+  walk(*fn.body);
+  return out;
 }
 
 }  // namespace hd::minic

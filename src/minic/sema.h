@@ -12,10 +12,29 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "minic/ast.h"
 
 namespace hd::minic {
+
+// One write to an external variable inside the region, with enough context
+// for the static analyzer's race/placement diagnostics.
+struct WriteSite {
+  int line = 0;
+  int col = 0;
+  // Compound assignment or ++/-- (reads the old value before writing).
+  bool compound = false;
+  // Wrote one element (base[idx] / *ptr) rather than the whole variable.
+  bool element = false;
+  // Write happened through a write-only builtin argument (strcpy dst, scanf
+  // output, getline buffer, ...).
+  bool via_builtin = false;
+  // For element writes: the index expression is region-constant (literals
+  // and variables the region never modifies only) — every thread would hit
+  // the same location if the variable were shared.
+  bool constant_index = false;
+};
 
 struct RegionInfo {
   // Variables referenced in the region but declared outside it.
@@ -28,6 +47,13 @@ struct RegionInfo {
   std::set<std::string> never_written;
   // Declared types of used_outer variables.
   std::map<std::string, Type> outer_types;
+  // Every write to a used_outer variable, in source order.
+  std::map<std::string, std::vector<WriteSite>> write_sites;
+  // Location of the first reference to each used_outer variable.
+  std::map<std::string, std::pair<int, int>> first_use;  // line, col
+  // Subset of used_outer read through an index expression (base[idx]) —
+  // the access pattern texture placement accelerates.
+  std::set<std::string> indexed_read;
 };
 
 // Analyzes `region` (a statement within fn->body). HD_CHECKs that the
@@ -37,5 +63,8 @@ RegionInfo AnalyzeRegion(const FunctionDef& fn, const Stmt& region);
 // Finds the first statement in the function carrying a directive of the
 // given kind, or null.
 const Stmt* FindDirectiveRegion(const FunctionDef& fn, Directive::Kind kind);
+
+// Finds every directive-bearing statement in the function, in source order.
+std::vector<const Stmt*> FindAllDirectiveRegions(const FunctionDef& fn);
 
 }  // namespace hd::minic

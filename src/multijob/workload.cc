@@ -110,6 +110,9 @@ WorkloadMetrics RunWorkload(const hadoop::ClusterConfig& cluster,
     return s;
   };
 
+  // Must outlive the `if` below: the closed-loop refill callback captures it
+  // by reference and fires from inside engine.Run().
+  std::size_t next = 0;
   if (spec.mode == WorkloadSpec::Mode::kOpenPoisson) {
     double t = 0.0;
     for (std::size_t j = 0; j < trace.size(); ++j) {
@@ -117,7 +120,6 @@ WorkloadMetrics RunWorkload(const hadoop::ClusterConfig& cluster,
       engine.Submit(t, spec_of(j));
     }
   } else {
-    std::size_t next = 0;
     engine.set_on_job_done([&](const JobStats&) {
       if (next < trace.size()) {
         engine.Submit(engine.now(), spec_of(next));

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.h"
 #include "common/check.h"
-#include "minic/parser.h"
 
 namespace hd::translator {
 
 using minic::Directive;
-using minic::Scalar;
 using minic::Type;
 
 const char* VarClassName(VarClass c) {
@@ -31,26 +30,23 @@ const VarPlan* KernelPlan::FindVar(const std::string& name) const {
 
 namespace {
 
-// Derives the KV-store slot width for one emitted variable.
+// Mirrors TranslateOptions into the analyzer's knobs so the analysis layer
+// and the plan builder reason about the identical program model.
+analysis::AnalyzerOptions AnalyzerOptionsFor(const TranslateOptions& opts) {
+  analysis::AnalyzerOptions aopts;
+  aopts.source_name = opts.source_name;
+  aopts.require_directive = true;  // translator mode: no directive = error
+  aopts.auto_firstprivate = opts.auto_firstprivate;
+  aopts.int_text_bytes = opts.int_text_bytes;
+  aopts.double_text_bytes = opts.double_text_bytes;
+  return aopts;
+}
+
+// KV slot widths come from the analysis layer (single source of truth; the
+// kv-bounds pass checks against the same numbers the plan will use).
 int SlotBytes(const Type& t, int declared_len, const TranslateOptions& opts) {
-  if (declared_len > 0) {
-    // keylength/vallength count elements of the emitted variable.
-    const std::int64_t elem =
-        t.is_array || t.is_pointer ? minic::ScalarSize(t.scalar) : 1;
-    // char arrays: length == bytes; numeric: render as text.
-    if (t.scalar == Scalar::kChar && (t.is_array || t.is_pointer)) {
-      return declared_len;
-    }
-    if (!t.is_array && !t.is_pointer) {
-      return t.IsFloating() ? opts.double_text_bytes : opts.int_text_bytes;
-    }
-    return static_cast<int>(declared_len * elem);
-  }
-  if (t.scalar == Scalar::kChar && t.is_array) {
-    return static_cast<int>(t.array_size);
-  }
-  if (t.IsFloating()) return opts.double_text_bytes;
-  return opts.int_text_bytes;
+  return analysis::KvSlotBytes(t, declared_len, opts.int_text_bytes,
+                               opts.double_text_bytes);
 }
 
 int ParseIntArg(const Directive& dir, const std::string& clause) {
@@ -59,109 +55,67 @@ int ParseIntArg(const Directive& dir, const std::string& clause) {
   try {
     return std::stoi(a);
   } catch (const std::exception&) {
-    throw TranslateError("clause '" + clause + "' expects an integer, got '" +
-                         a + "'");
+    // Backstop only: the directive-check pass rejects this first (HD108).
+    throw TranslateError("line " + std::to_string(dir.line) + ": clause '" +
+                         clause + "' expects an integer, got '" + a + "'");
   }
 }
 
-// Implements Algorithm 1: classifies every variable the region uses but
-// does not declare.
-void ClassifyVariables(const Directive& dir, const minic::RegionInfo& info,
+VarClass ToVarClass(analysis::Placement p) {
+  switch (p) {
+    case analysis::Placement::kConstant: return VarClass::kSharedROScalar;
+    case analysis::Placement::kGlobal: return VarClass::kSharedROArray;
+    case analysis::Placement::kTexture: return VarClass::kTexture;
+    case analysis::Placement::kFirstPrivate: return VarClass::kFirstPrivate;
+    case analysis::Placement::kPrivate: return VarClass::kPrivate;
+  }
+  return VarClass::kPrivate;
+}
+
+// Implements Algorithm 1 by consuming the analysis layer's placement
+// decision for every variable the region uses but does not declare. The
+// race/clause validation itself lives in the analyzer passes, which ran
+// (and errored out) before plan building starts.
+void ClassifyVariables(const analysis::RegionContext& rc,
                        const TranslateOptions& opts, KernelPlan* plan) {
-  std::set<std::string> shared_ro, texture, first_private;
-  auto collect = [&](const char* clause, std::set<std::string>* out) {
-    auto it = dir.clauses.find(clause);
-    if (it == dir.clauses.end()) return;
-    for (const auto& name : it->second) {
-      if (!info.used_outer.count(name)) {
-        throw TranslateError("clause '" + std::string(clause) +
-                             "' names variable '" + name +
-                             "' that the region does not use");
-      }
-      out->insert(name);
-    }
-  };
-  collect("sharedRO", &shared_ro);
-  collect("texture", &texture);
-  collect("firstprivate", &first_private);
-
-  for (const auto& name : shared_ro) {
-    if (!info.never_written.count(name)) {
-      throw TranslateError("sharedRO variable '" + name +
-                           "' is written inside the region");
-    }
-  }
-  for (const auto& name : texture) {
-    const Type& t = info.outer_types.at(name);
-    if (!t.is_array && !t.is_pointer) {
-      throw TranslateError("texture clause expects an array, got scalar '" +
-                           name + "'");
-    }
-    if (!info.never_written.count(name)) {
-      throw TranslateError("texture variable '" + name +
-                           "' is written inside the region");
-    }
-  }
-
-  for (const auto& name : info.used_outer) {
+  analysis::AnalyzerOptions aopts = AnalyzerOptionsFor(opts);
+  for (const auto& name : rc.info.used_outer) {
     VarPlan vp;
     vp.name = name;
-    vp.type = info.outer_types.at(name);
-    if (texture.count(name)) {
-      vp.cls = VarClass::kTexture;
-    } else if (shared_ro.count(name)) {
-      vp.cls = vp.type.IsScalarValue() ? VarClass::kSharedROScalar
-                                       : VarClass::kSharedROArray;
-    } else if (first_private.count(name)) {
-      vp.cls = VarClass::kFirstPrivate;
-    } else if (opts.auto_firstprivate && info.read_before_write.count(name)) {
-      // Automatic detection (§3.2): read-before-write externals must be
-      // initialised from their host values.
-      vp.cls = VarClass::kFirstPrivate;
-    } else {
-      vp.cls = VarClass::kPrivate;
-    }
+    vp.type = rc.info.outer_types.at(name);
+    vp.cls = ToVarClass(analysis::ClassifyPlacement(name, rc, aopts).placement);
     plan->vars.push_back(std::move(vp));
   }
   std::sort(plan->vars.begin(), plan->vars.end(),
             [](const VarPlan& a, const VarPlan& b) { return a.name < b.name; });
 }
 
-KernelPlan BuildPlan(const minic::FunctionDef& fn, const minic::Stmt& region,
+KernelPlan BuildPlan(const analysis::RegionContext& rc,
                      const TranslateOptions& opts) {
-  const Directive& dir = *region.directive;
+  const Directive& dir = *rc.directive;
   KernelPlan plan;
   plan.kind = dir.kind;
-  plan.fn = &fn;
-  plan.region = &region;
+  plan.fn = rc.fn;
+  plan.region = rc.region;
   plan.directive = &dir;
 
-  const minic::RegionInfo info = minic::AnalyzeRegion(fn, region);
+  const minic::RegionInfo& info = rc.info;
 
-  // Mandatory clauses (Table 1).
-  if (!dir.Has("key") || !dir.Has("value")) {
-    throw TranslateError("mapreduce directive requires key(...) and "
-                         "value(...) clauses");
-  }
+  // Clause validation happened in the analyzer passes; Arg() is safe here
+  // because HD103/HD104/HD107 errors abort before plan building.
   plan.key_var = dir.Arg("key");
   plan.value_var = dir.Arg("value");
   if (dir.kind == Directive::Kind::kCombiner) {
-    if (!dir.Has("keyin") || !dir.Has("valuein")) {
-      throw TranslateError("combiner directive requires keyin(...) and "
-                           "valuein(...) clauses");
-    }
     plan.keyin_var = dir.Arg("keyin");
     plan.valuein_var = dir.Arg("valuein");
-  } else {
-    if (dir.Has("keyin") || dir.Has("valuein")) {
-      throw TranslateError("keyin/valuein are only valid on the combiner");
-    }
   }
 
   auto type_of = [&](const std::string& name, const char* what) -> Type {
     auto it = info.outer_types.find(name);
     if (it == info.outer_types.end()) {
-      throw TranslateError(std::string(what) + " variable '" + name +
+      // Backstop only: the directive-check pass rejects this first (HD111).
+      throw TranslateError("line " + std::to_string(dir.line) + ": " + what +
+                           " variable '" + name +
                            "' is not used in the region or not declared");
     }
     return it->second;
@@ -186,11 +140,8 @@ KernelPlan BuildPlan(const minic::FunctionDef& fn, const minic::Stmt& region,
   plan.kvpairs_hint = ParseIntArg(dir, "kvpairs");
   plan.blocks_hint = ParseIntArg(dir, "blocks");
   plan.threads_hint = ParseIntArg(dir, "threads");
-  if (dir.kind == Directive::Kind::kCombiner && plan.kvpairs_hint != 0) {
-    throw TranslateError("kvpairs is only valid on the mapper");
-  }
 
-  ClassifyVariables(dir, info, opts, &plan);
+  ClassifyVariables(rc, opts, &plan);
   return plan;
 }
 
@@ -198,21 +149,29 @@ KernelPlan BuildPlan(const minic::FunctionDef& fn, const minic::Stmt& region,
 
 TranslatedProgram Translate(const std::string& source,
                             const TranslateOptions& options) {
+  // Phase 1: run the full hdlint pass pipeline. Any error aborts with one
+  // TranslateError reporting every problem found, not just the first.
+  analysis::AnalysisResult ar =
+      analysis::AnalyzeSource(source, AnalyzerOptionsFor(options));
+  if (ar.diags.HasErrors()) {
+    throw TranslateError(
+        "mapreduce program failed static analysis:\n" + ar.diags.RenderText(),
+        ar.diags.diagnostics());
+  }
+  HD_CHECK(ar.unit != nullptr);
+
+  // Phase 2: build kernel plans from the regions the analyzer prepared
+  // (the parse and region analysis are shared, not redone).
   TranslatedProgram out;
-  out.unit = minic::Parse(source);
-  const minic::FunctionDef* main_fn = out.unit->FindFunction("main");
-  if (main_fn == nullptr) {
-    throw TranslateError("program has no main() function");
-  }
-  if (const minic::Stmt* region =
-          minic::FindDirectiveRegion(*main_fn, Directive::Kind::kMapper)) {
-    out.map_plan = BuildPlan(*main_fn, *region, options);
-  }
-  if (const minic::Stmt* region =
-          minic::FindDirectiveRegion(*main_fn, Directive::Kind::kCombiner)) {
-    out.combine_plan = BuildPlan(*main_fn, *region, options);
+  out.unit = ar.unit;
+  for (const analysis::RegionContext& rc : ar.regions) {
+    auto& slot = rc.directive->kind == Directive::Kind::kMapper
+                     ? out.map_plan
+                     : out.combine_plan;
+    if (!slot) slot = BuildPlan(rc, options);
   }
   if (!out.map_plan && !out.combine_plan) {
+    // Backstop only: HD102 is an error in translator mode.
     throw TranslateError("no mapreduce directive found in main()");
   }
   return out;

@@ -18,17 +18,33 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "minic/ast.h"
 #include "minic/sema.h"
 
 namespace hd::translator {
 
+// Raised when a program fails static analysis (or a backstop invariant).
+// what() is the rendered multi-diagnostic report; diagnostics() exposes the
+// structured findings (severity / HDnnn id / pass / file:line:col / hint)
+// for callers that want machine-readable errors.
 class TranslateError : public std::runtime_error {
  public:
   explicit TranslateError(const std::string& what)
       : std::runtime_error(what) {}
+  TranslateError(const std::string& what,
+                 std::vector<analysis::Diagnostic> diagnostics)
+      : std::runtime_error(what), diagnostics_(std::move(diagnostics)) {}
+
+  const std::vector<analysis::Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::vector<analysis::Diagnostic> diagnostics_;
 };
 
 // Placement of one kernel-external variable (Algorithm 1).
@@ -95,10 +111,14 @@ struct TranslateOptions {
   // Text slot widths for keys/values rendered from numeric variables.
   int int_text_bytes = 16;
   int double_text_bytes = 28;
+  // Name used in diagnostic locations ("<source>" for in-memory programs).
+  std::string source_name = "<source>";
 };
 
-// Parses `source` and builds kernel plans for every mapreduce directive in
-// main(). Throws TranslateError (or Lex/Parse errors) on invalid input.
+// Parses `source`, runs every hdlint analysis pass, and builds kernel plans
+// for every mapreduce directive in main(). Invalid programs throw one
+// TranslateError whose what() reports ALL analysis errors (not just the
+// first) and whose diagnostics() carries the structured findings.
 TranslatedProgram Translate(const std::string& source,
                             const TranslateOptions& options = {});
 

@@ -1,0 +1,437 @@
+// Tests for the hdlint static analyzer: diagnostics engine rendering,
+// pass behaviour over the examples/bad negative corpus (golden-compared),
+// clean runs over every registered benchmark app, and agreement between
+// the analysis layer's Algorithm 1 mirror and the translator's plans.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "apps/benchmark.h"
+#include "translator/translator.h"
+
+namespace hd::analysis {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool HasId(const DiagnosticEngine& de, const std::string& id) {
+  for (const auto& d : de.diagnostics()) {
+    if (d.id == id) return true;
+  }
+  return false;
+}
+
+const Diagnostic* FindId(const DiagnosticEngine& de, const std::string& id) {
+  for (const auto& d : de.diagnostics()) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// DiagnosticEngine.
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, CountsAndRenderText) {
+  DiagnosticEngine de;
+  de.Error("HD999", "test-pass", "a.c", 3, 7, "boom", "fix it");
+  de.Warning("HD998", "test-pass", "a.c", 1, 2, "hmm");
+  de.Note("HD997", "test-pass", "a.c", 5, 0, "fyi");
+  EXPECT_EQ(de.ErrorCount(), 1);
+  EXPECT_EQ(de.WarningCount(), 1);
+  EXPECT_EQ(de.NoteCount(), 1);
+  EXPECT_TRUE(de.HasErrors());
+
+  de.SortBySource();
+  EXPECT_EQ(de.diagnostics()[0].id, "HD998");  // line 1 first after sort
+  const std::string text = de.RenderText();
+  EXPECT_NE(text.find("a.c:3:7: error: boom [test-pass HD999]"),
+            std::string::npos);
+  EXPECT_NE(text.find("  hint: fix it"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 1 warning(s), 1 note(s)"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, RenderJsonEscapesSpecials) {
+  DiagnosticEngine de;
+  de.Error("HD999", "p", "dir/a \"b\".c", 1, 1, "line1\nline2\tend\\");
+  const std::string json = de.RenderJson();
+  EXPECT_NE(json.find("dir/a \\\"b\\\".c"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\tend\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one-line document
+}
+
+// ---------------------------------------------------------------------------
+// Golden corpus: examples/bad/<case>.c vs <case>.expected.
+// ---------------------------------------------------------------------------
+
+void CheckGolden(const std::string& name) {
+  const std::string dir = std::string(HD_REPO_DIR) + "/examples/bad/";
+  const std::string source = ReadFile(dir + name + ".c");
+  const std::string expected = ReadFile(dir + name + ".expected");
+  AnalyzerOptions opts;
+  opts.source_name = name + ".c";  // goldens are recorded with bare names
+  const AnalysisResult result = AnalyzeSource(source, opts);
+  EXPECT_EQ(result.diags.RenderText(), expected) << "corpus case " << name;
+}
+
+TEST(BadCorpus, BadClausesGolden) { CheckGolden("bad_clauses"); }
+TEST(BadCorpus, RacedSharedWriteGolden) { CheckGolden("raced_shared_write"); }
+TEST(BadCorpus, OversizedKvGolden) { CheckGolden("oversized_kv"); }
+TEST(BadCorpus, TextureDemotionGolden) { CheckGolden("texture_demotion"); }
+
+TEST(BadCorpus, ErrorCasesHaveErrorsDemotionDoesNot) {
+  const std::string dir = std::string(HD_REPO_DIR) + "/examples/bad/";
+  for (const char* name : {"bad_clauses", "raced_shared_write",
+                           "oversized_kv"}) {
+    const AnalysisResult r = AnalyzeSource(ReadFile(dir + name + ".c"));
+    EXPECT_TRUE(r.diags.HasErrors()) << name;
+  }
+  const AnalysisResult r =
+      AnalyzeSource(ReadFile(dir + "texture_demotion.c"));
+  EXPECT_FALSE(r.diags.HasErrors());
+  EXPECT_GE(r.diags.WarningCount(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Pass behaviour on focused inputs.
+// ---------------------------------------------------------------------------
+
+TEST(Analyzer, ReportsEveryProblemInOneRun) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char word[16];
+  int n;
+#pragma mapreduce mapper key(word) value(n) keyin(word) kvpairs(bad)
+  while (getRecord(word)) {
+    n = strlen(word);
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})");
+  EXPECT_TRUE(HasId(r.diags, "HD105"));  // keyin on mapper
+  EXPECT_TRUE(HasId(r.diags, "HD108"));  // non-integer kvpairs
+  EXPECT_GE(r.diags.ErrorCount(), 2);    // both reported, not just the first
+  const Diagnostic* d = FindId(r.diags, "HD105");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 5);  // directive line
+  EXPECT_EQ(d->pass, "directive-check");
+}
+
+TEST(Analyzer, RaceSitesCarryExactLocations) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char word[16];
+  int n;
+  int table[8];
+  int i;
+  for (i = 0; i < 8; i++) table[i] = i;
+#pragma mapreduce mapper key(word) value(n) sharedRO(table)
+  while (getRecord(word)) {
+    n = table[0];
+    table[0] = n;
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})");
+  const Diagnostic* d = FindId(r.diags, "HD201");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 11);  // the write site, not the directive
+  EXPECT_GT(d->col, 0);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(Analyzer, ConstantIndexCollisionIsCalledOut) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char word[16];
+  int out[4];
+  int n;
+  out[0] = 0;
+  n = out[0];
+#pragma mapreduce mapper key(word) value(n)
+  while (getRecord(word)) {
+    n = out[1] + 1;
+    out[1] = n;
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})");
+  const Diagnostic* d = FindId(r.diags, "HD204");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("same"), std::string::npos)
+      << "constant index should note the all-threads collision: "
+      << d->message;
+}
+
+TEST(Analyzer, KvBoundsLoopEmissionWarns) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char line[64];
+  char word[16];
+  int one;
+#pragma mapreduce mapper key(word) value(one) kvpairs(4)
+  while (getRecord(line)) {
+    int i;
+    for (i = 0; i < 4; i++) {
+      one = 1;
+      strncpy(word, line, 15);
+      printf("%s\t%d\n", word, one);
+    }
+  }
+  return 0;
+})");
+  EXPECT_TRUE(HasId(r.diags, "HD304"));
+  EXPECT_FALSE(r.diags.HasErrors());
+}
+
+TEST(Analyzer, MapperThatNeverEmitsWarns) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char word[16];
+  int n;
+#pragma mapreduce mapper key(word) value(n)
+  while (getRecord(word)) {
+    n = strlen(word);
+  }
+  return 0;
+})");
+  EXPECT_TRUE(HasId(r.diags, "HD305"));
+}
+
+TEST(Analyzer, PortabilityFindsRecursionAndUnknownCalls) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int fact(int n) {
+  if (n <= 1) return 1;
+  return n * fact(n - 1);
+}
+int main() {
+  char word[16];
+  int n;
+#pragma mapreduce mapper key(word) value(n)
+  while (getRecord(word)) {
+    n = fact(strlen(word)) + mystery(word);
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})");
+  EXPECT_TRUE(HasId(r.diags, "HD501"));
+  const Diagnostic* d = FindId(r.diags, "HD502");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("mystery"), std::string::npos);
+  EXPECT_EQ(d->line, 11);
+}
+
+TEST(Analyzer, HostOnlyCallInsideRegionIsError) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char word[16];
+  int n;
+#pragma mapreduce mapper key(word) value(n)
+  while (getRecord(word)) {
+    n = 1;
+    exit(1);
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})");
+  EXPECT_TRUE(HasId(r.diags, "HD504"));
+}
+
+TEST(Analyzer, UnboundedLoopWarns) {
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char word[16];
+  int n;
+#pragma mapreduce mapper key(word) value(n)
+  while (getRecord(word)) {
+    int i;
+    i = 0;
+    n = 0;
+    while (i < 10) { n = n + 1; }
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})");
+  const Diagnostic* d = FindId(r.diags, "HD503");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 10);
+}
+
+TEST(Analyzer, ParseFailureBecomesDiagnostic) {
+  const AnalysisResult r = AnalyzeSource("int main( {");
+  EXPECT_EQ(r.unit, nullptr);
+  EXPECT_TRUE(HasId(r.diags, "HD001"));
+  EXPECT_TRUE(r.diags.HasErrors());
+}
+
+TEST(Analyzer, LintModeIsLenientAboutMissingDirective) {
+  AnalyzerOptions lint;  // require_directive = false
+  const AnalysisResult r1 = AnalyzeSource("int main() { return 0; }", lint);
+  EXPECT_FALSE(r1.diags.HasErrors());
+  EXPECT_TRUE(HasId(r1.diags, "HD102"));
+
+  AnalyzerOptions strict;
+  strict.require_directive = true;
+  const AnalysisResult r2 =
+      AnalyzeSource("int main() { return 0; }", strict);
+  EXPECT_TRUE(r2.diags.HasErrors());
+}
+
+TEST(Analyzer, AuditNotesExplainEveryExternalVariable) {
+  AnalyzerOptions opts;
+  opts.audit_notes = true;
+  const AnalysisResult r = AnalyzeSource(R"(
+int main() {
+  char word[16];
+  int n;
+#pragma mapreduce mapper key(word) value(n)
+  while (getRecord(word)) {
+    n = 1;
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})",
+                                         opts);
+  int notes = 0;
+  for (const auto& d : r.diags.diagnostics()) {
+    if (d.id == "HD401") ++notes;
+  }
+  EXPECT_GE(notes, 2);  // word and n both explained
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark apps: hdlint-clean, and mirror agreement with the translator.
+// ---------------------------------------------------------------------------
+
+TEST(Apps, EveryBenchmarkSourceLintsWithoutErrors) {
+  for (const auto& b : apps::AllBenchmarks()) {
+    for (const auto& [tag, src] :
+         {std::pair<const char*, const std::string*>{"map", &b.map_source},
+          {"combine", &b.combine_source},
+          {"reduce", &b.reduce_source}}) {
+      if (src->empty()) continue;
+      AnalyzerOptions opts;
+      opts.source_name = b.id + ":" + tag;
+      const AnalysisResult r = AnalyzeSource(*src, opts);
+      EXPECT_FALSE(r.diags.HasErrors())
+          << b.id << " " << tag << " source:\n" << r.diags.RenderText();
+    }
+  }
+}
+
+Placement ExpectedPlacement(translator::VarClass c) {
+  switch (c) {
+    case translator::VarClass::kSharedROScalar: return Placement::kConstant;
+    case translator::VarClass::kSharedROArray: return Placement::kGlobal;
+    case translator::VarClass::kTexture: return Placement::kTexture;
+    case translator::VarClass::kFirstPrivate: return Placement::kFirstPrivate;
+    case translator::VarClass::kPrivate: return Placement::kPrivate;
+  }
+  return Placement::kPrivate;
+}
+
+// Pins analysis::ClassifyPlacement to the translator's VarPlan over every
+// benchmark: the two layers must never drift apart.
+TEST(Apps, PlacementMirrorAgreesWithTranslatorPlans) {
+  for (const auto& b : apps::AllBenchmarks()) {
+    for (const std::string* src : {&b.map_source, &b.combine_source}) {
+      if (src->empty()) continue;
+      const translator::TranslatedProgram tp = translator::Translate(*src);
+      AnalyzerOptions aopts;
+      const AnalysisResult ar = AnalyzeSource(*src, aopts);
+      ASSERT_FALSE(ar.diags.HasErrors()) << b.id;
+      for (const auto& plan : {tp.map_plan, tp.combine_plan}) {
+        if (!plan) continue;
+        const RegionContext* rc = nullptr;
+        for (const auto& region : ar.regions) {
+          if (region.directive->kind == plan->kind) rc = &region;
+        }
+        ASSERT_NE(rc, nullptr) << b.id;
+        for (const auto& vp : plan->vars) {
+          const PlacementDecision d = ClassifyPlacement(vp.name, *rc, aopts);
+          EXPECT_EQ(d.placement, ExpectedPlacement(vp.cls))
+              << b.id << " variable " << vp.name << ": " << d.reason;
+          EXPECT_FALSE(d.reason.empty());
+        }
+        // KV slot widths come from the same function the plan used.
+        const int declared_key =
+            plan->directive->Has("keylength")
+                ? std::stoi(plan->directive->Arg("keylength"))
+                : 0;
+        const auto key_t = rc->info.outer_types.at(plan->key_var);
+        EXPECT_EQ(KvSlotBytes(key_t, declared_key, 16, 28),
+                  plan->kv.key_slot_bytes)
+            << b.id;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Translate() integration: one throw carries all errors, with locations.
+// ---------------------------------------------------------------------------
+
+TEST(TranslateIntegration, SingleThrowReportsAllErrorsWithLocations) {
+  try {
+    translator::Translate(R"(
+int main() {
+  char word[16];
+  int n;
+  int table[4];
+  n = table[0];
+#pragma mapreduce mapper key(word) value(n) sharedRO(table) kvpairs(nope)
+  while (getRecord(word)) {
+    n = table[1];
+    table[1] = n + 1;
+    printf("%s\t%d\n", word, n);
+  }
+  return 0;
+})");
+    FAIL() << "expected TranslateError";
+  } catch (const translator::TranslateError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HD108"), std::string::npos) << what;  // bad kvpairs
+    EXPECT_NE(what.find("HD201"), std::string::npos) << what;  // raced write
+    ASSERT_GE(e.diagnostics().size(), 2u);
+    bool saw_site = false;
+    for (const auto& d : e.diagnostics()) {
+      if (d.id == "HD201") {
+        EXPECT_EQ(d.line, 10);
+        EXPECT_GT(d.col, 0);
+        saw_site = true;
+      }
+    }
+    EXPECT_TRUE(saw_site);
+  }
+}
+
+TEST(TranslateIntegration, ValidProgramStillTranslates) {
+  const translator::TranslatedProgram tp = translator::Translate(R"(
+int main() {
+  char word[16];
+  int one;
+#pragma mapreduce mapper key(word) value(one) keylength(16)
+  while (getRecord(word)) {
+    one = 1;
+    printf("%s\t%d\n", word, one);
+  }
+  return 0;
+})");
+  ASSERT_TRUE(tp.map_plan.has_value());
+  EXPECT_EQ(tp.map_plan->kv.key_slot_bytes, 16);
+}
+
+}  // namespace
+}  // namespace hd::analysis

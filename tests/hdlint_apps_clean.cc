@@ -1,0 +1,47 @@
+// ctest driver: writes every registered benchmark source (map / combine /
+// reduce) to a file and runs the real hdlint binary over it, requiring a
+// zero exit status — the shipped apps must lint clean.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "apps/benchmark.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <path-to-hdlint>\n", argv[0]);
+    return 2;
+  }
+  const std::string hdlint = argv[1];
+  int failures = 0;
+  for (const auto& b : hd::apps::AllBenchmarks()) {
+    const std::pair<const char*, const std::string*> parts[] = {
+        {"map", &b.map_source},
+        {"combine", &b.combine_source},
+        {"reduce", &b.reduce_source}};
+    for (const auto& [tag, src] : parts) {
+      if (src->empty()) continue;
+      const std::string path = b.id + "_" + tag + ".c";
+      std::ofstream(path) << *src;
+      const std::string cmd =
+          hdlint + " " + path + " > " + path + ".lint 2>&1";
+      if (std::system(cmd.c_str()) != 0) {
+        std::fprintf(stderr, "hdlint rejected %s:\n", path.c_str());
+        std::ifstream out(path + ".lint");
+        std::string line;
+        while (std::getline(out, line)) {
+          std::fprintf(stderr, "  %s\n", line.c_str());
+        }
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d app source(s) failed hdlint\n", failures);
+    return 1;
+  }
+  std::printf("all registered app sources lint clean\n");
+  return 0;
+}

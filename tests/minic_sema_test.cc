@@ -178,5 +178,135 @@ int main() {
   EXPECT_TRUE(a.info.used_outer.count("count"));
 }
 
+TEST(Sema, ReadThroughShortCircuitAndCountsAsReadBeforeWrite) {
+  // Both operands of && / || are treated as evaluated (conservative): a
+  // read of `limit` on the right of && still needs firstprivate init even
+  // though at runtime the left side may short-circuit past it.
+  auto a = Analyze(R"(
+int main() {
+  int flag, limit, n;
+  #pragma mapreduce mapper key(n) value(n)
+  while (0) {
+    if (flag && limit > 3) { n = 1; }
+    if (flag || limit > 9) { n = 2; }
+    printf("%d\t%d\n", n, n);
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_TRUE(a.info.read_before_write.count("flag"));
+  EXPECT_TRUE(a.info.read_before_write.count("limit"));
+  // n is written before its first read despite appearing under conditions.
+  EXPECT_FALSE(a.info.read_before_write.count("n"));
+}
+
+TEST(Sema, WriteThenReadInNestedBlockStaysWriteFirst) {
+  auto a = Analyze(R"(
+int main() {
+  int acc, probe;
+  #pragma mapreduce mapper key(acc) value(acc)
+  while (0) {
+    acc = 0;
+    {
+      {
+        probe = acc + 1;
+      }
+      acc = probe;
+    }
+    printf("%d\t%d\n", acc, acc);
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  // acc's first access is the write in the outer block; the nested-block
+  // read must not flip it to read-before-write.
+  EXPECT_FALSE(a.info.read_before_write.count("acc"));
+  EXPECT_FALSE(a.info.never_written.count("acc"));
+  EXPECT_FALSE(a.info.read_before_write.count("probe"));
+  ASSERT_EQ(a.info.write_sites.at("acc").size(), 2u);
+  EXPECT_FALSE(a.info.write_sites.at("acc")[0].element);
+  EXPECT_FALSE(a.info.write_sites.at("acc")[0].compound);
+}
+
+TEST(Sema, ElementVersusWholeArrayWriteSites) {
+  auto a = Analyze(R"(
+int main() {
+  char buf[32];
+  char src[32];
+  int cells[8];
+  int i, n;
+  #pragma mapreduce mapper key(buf) value(n)
+  while (0) {
+    strcpy(buf, src);
+    cells[0] = 1;
+    i = 2;
+    cells[i] = 2;
+    n = cells[0];
+    n += 1;
+    printf("%s\t%d\n", buf, n);
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  // strcpy writes `buf` whole, through a builtin output argument.
+  ASSERT_EQ(a.info.write_sites.at("buf").size(), 1u);
+  EXPECT_TRUE(a.info.write_sites.at("buf")[0].via_builtin);
+  EXPECT_FALSE(a.info.write_sites.at("buf")[0].element);
+  // cells[0] / cells[i]: element writes; the literal index is
+  // region-constant, the written `i` index is not.
+  ASSERT_EQ(a.info.write_sites.at("cells").size(), 2u);
+  EXPECT_TRUE(a.info.write_sites.at("cells")[0].element);
+  EXPECT_TRUE(a.info.write_sites.at("cells")[0].constant_index);
+  EXPECT_TRUE(a.info.write_sites.at("cells")[1].element);
+  EXPECT_FALSE(a.info.write_sites.at("cells")[1].constant_index);
+  // n += 1 is a compound (read-modify-write) site.
+  const auto& n_sites = a.info.write_sites.at("n");
+  ASSERT_EQ(n_sites.size(), 2u);
+  EXPECT_FALSE(n_sites[0].compound);
+  EXPECT_TRUE(n_sites[1].compound);
+  // Write sites carry real locations.
+  EXPECT_GT(n_sites[1].line, 0);
+  EXPECT_GT(n_sites[1].col, 0);
+}
+
+TEST(Sema, ConstantIndexUsesUnmodifiedOuterVariable) {
+  auto a = Analyze(R"(
+int main() {
+  int cells[8];
+  int k, n;
+  k = 3;
+  #pragma mapreduce mapper key(n) value(n)
+  while (0) {
+    cells[k] = 1;
+    n = cells[k];
+    printf("%d\t%d\n", n, n);
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  // `k` is an outer variable the region never writes, so cells[k] hits the
+  // same slot on every thread: region-constant index.
+  ASSERT_EQ(a.info.write_sites.at("cells").size(), 1u);
+  EXPECT_TRUE(a.info.write_sites.at("cells")[0].constant_index);
+}
+
+TEST(Sema, FirstUseAndIndexedReadTracking) {
+  auto a = Analyze(R"(
+int main() {
+  int table[8];
+  int n;
+  #pragma mapreduce mapper key(n) value(n)
+  while (0) {
+    n = table[2];
+    printf("%d\t%d\n", n, n);
+  }
+  return 0;
+})",
+                   Directive::Kind::kMapper);
+  EXPECT_TRUE(a.info.indexed_read.count("table"));
+  ASSERT_TRUE(a.info.first_use.count("table"));
+  EXPECT_EQ(a.info.first_use.at("table").first, 7);  // n = table[2];
+}
+
 }  // namespace
 }  // namespace hd::minic
