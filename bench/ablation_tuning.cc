@@ -7,26 +7,30 @@
 //     efficiency with and without the hint.
 //  3. Inter-node heterogeneity (§9 future work, implemented here): job
 //     makespans on a cluster whose second half runs at half speed.
-#include <iostream>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "common/strings.h"
-#include "common/table.h"
 #include "hadoop/engine.h"
 
 using namespace hd;
 
 namespace {
 
-void LaunchTuningSweep(const char* id) {
+void LaunchTuningSweep(bench::Reporter& rep, const char* id) {
   const apps::Benchmark& b = apps::GetBenchmark(id);
   gpurt::JobProgram job =
       gpurt::CompileJob(b.map_source, b.combine_source, b.reduce_source);
-  const std::string split = b.generate(bench::kMeasuredSplitBytes, 1);
-  std::cout << "Launch tuning, " << id << " (map kernel ms):\n";
-  Table t({"blocks\\threads", "64", "128", "256"});
+  const std::int64_t split_bytes = rep.smoke()
+                                       ? bench::kMeasuredSplitBytes / 12
+                                       : bench::kMeasuredSplitBytes;
+  const std::string split = b.generate(split_bytes, 1);
+  rep.out() << "Launch tuning, " << id << " (map kernel ms):\n";
+  auto& t = rep.AddTable(std::string("launch_tuning_") + id,
+                         {"blocks\\threads", "64", "128", "256"});
   for (int blocks : {15, 30, 60, 120}) {
-    Table& row = t.Row();
+    bench::ReportTable& row = t.Row();
     row.Cell(std::to_string(blocks));
     for (int threads : {64, 128, 256}) {
       gpusim::GpuDevice device(gpusim::DeviceConfig::TeslaK40());
@@ -34,20 +38,27 @@ void LaunchTuningSweep(const char* id) {
       opts.num_reducers = b.map_only ? 0 : b.num_reducers();
       opts.blocks = blocks;
       opts.threads = threads;
+      opts.metrics = rep.metrics();
       auto r = gpurt::GpuMapTask(job, &device, opts).Run(split);
+      rep.AddModeledSeconds(r.phases.Total());
       row.Cell(r.phases.map * 1e3, 3);
     }
   }
-  t.Print(std::cout);
-  std::cout << "\n";
+  rep.Print(t);
+  rep.out() << "\n";
 }
 
-void KvpairsFootprint() {
-  std::cout << "kvpairs clause: KV-store footprint (WC with/without hint)\n";
+void KvpairsFootprint(bench::Reporter& rep) {
+  rep.out() << "kvpairs clause: KV-store footprint (WC with/without hint)\n";
   const apps::Benchmark& wc = apps::GetBenchmark("WC");
   std::string hinted = wc.map_source;
   hinted.insert(hinted.find("vallength(1)") + 12, " kvpairs(300)");
-  Table t({"Variant", "allocated slots", "whitespace slots", "sort (ms)"});
+  const std::int64_t split_bytes = rep.smoke()
+                                       ? bench::kMeasuredSplitBytes / 12
+                                       : bench::kMeasuredSplitBytes;
+  auto& t = rep.AddTable(
+      "kvpairs_footprint",
+      {"Variant", "allocated slots", "whitespace slots", "sort (ms)"});
   for (bool with_hint : {false, true}) {
     gpurt::JobProgram job =
         gpurt::CompileJob(with_hint ? hinted : wc.map_source,
@@ -55,20 +66,22 @@ void KvpairsFootprint() {
     gpusim::GpuDevice device(gpusim::DeviceConfig::TeslaK40());
     gpurt::GpuTaskOptions opts;
     opts.num_reducers = wc.num_reducers();
+    opts.metrics = rep.metrics();
     auto r = gpurt::GpuMapTask(job, &device, opts)
-                 .Run(wc.generate(bench::kMeasuredSplitBytes, 1));
+                 .Run(wc.generate(split_bytes, 1));
+    rep.AddModeledSeconds(r.phases.Total());
     t.Row()
         .Cell(with_hint ? "kvpairs(300)" : "no hint (all free memory)")
         .Cell(r.stats.allocated_slots)
         .Cell(r.stats.whitespace_slots)
         .Cell(r.phases.sort * 1e3, 3);
   }
-  t.Print(std::cout);
-  std::cout << "\n";
+  rep.Print(t);
+  rep.out() << "\n";
 }
 
-void Heterogeneity() {
-  std::cout << "Inter-node heterogeneity (extension): 8 slaves, second half "
+void Heterogeneity(bench::Reporter& rep) {
+  rep.out() << "Inter-node heterogeneity (extension): 8 slaves, second half "
                "at 0.5x speed\n";
   hadoop::CalibratedTaskSource::Params p;
   p.num_maps = 256;
@@ -80,9 +93,12 @@ void Heterogeneity() {
   base.num_slaves = 8;
   base.map_slots_per_node = 4;
   base.gpus_per_node = 1;
+  base.metrics = rep.metrics();
 
-  Table t({"Cluster", "CPU-only (s)", "GPU-first (s)", "Tail (s)",
-           "Tail speedup"});
+  auto& t = rep.AddTable(
+      "heterogeneity",
+      {"Cluster", "CPU-only (s)", "GPU-first (s)", "Tail (s)",
+       "Tail speedup"});
   for (bool hetero : {false, true}) {
     hadoop::ClusterConfig c = base;
     if (hetero) {
@@ -93,7 +109,10 @@ void Heterogeneity() {
     for (auto policy : {sched::Policy::kCpuOnly, sched::Policy::kGpuFirst,
                         sched::Policy::kTail}) {
       hadoop::CalibratedTaskSource source(p);
-      times[i++] = hadoop::JobEngine(c, &source, policy).Run().makespan_sec;
+      double makespan =
+          hadoop::JobEngine(c, &source, policy).Run().makespan_sec;
+      rep.AddModeledSeconds(makespan);
+      times[i++] = makespan;
     }
     t.Row()
         .Cell(hetero ? "heterogeneous" : "homogeneous")
@@ -102,19 +121,20 @@ void Heterogeneity() {
         .Cell(times[2], 1)
         .Cell(times[0] / times[2], 2);
   }
-  t.Print(std::cout);
-  std::cout << "\nTail scheduling keeps helping under node heterogeneity; "
+  rep.Print(t);
+  rep.out() << "\nTail scheduling keeps helping under node heterogeneity; "
                "the straggling slow\nnodes lengthen every policy's tail "
                "(locality-vs-speed trade-offs are future work,\npaper 9).\n";
 }
 
 }  // namespace
 
-int main() {
-  std::cout << "Ablations beyond Fig. 7\n\n";
-  LaunchTuningSweep("HS");
-  LaunchTuningSweep("CL");
-  KvpairsFootprint();
-  Heterogeneity();
-  return 0;
+int main(int argc, char** argv) {
+  bench::Reporter rep("ablation_tuning", argc, argv);
+  rep.out() << "Ablations beyond Fig. 7\n\n";
+  LaunchTuningSweep(rep, "HS");
+  LaunchTuningSweep(rep, "CL");
+  KvpairsFootprint(rep);
+  Heterogeneity(rep);
+  return rep.Finish();
 }

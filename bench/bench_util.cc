@@ -1,8 +1,6 @@
 #include "bench/bench_util.h"
 
-#include <cmath>
-
-#include "common/check.h"
+#include "common/stats.h"
 
 namespace hd::bench {
 
@@ -28,6 +26,13 @@ MeasuredTask MeasureTask(const apps::Benchmark& bench,
     gpurt::CpuTaskOptions copts;
     copts.num_reducers = reducers;
     copts.io = config.io;
+    copts.sink = config.sink;
+    copts.metrics = config.metrics;
+    copts.track = config.track;
+    copts.trace_origin_sec = config.trace_origin_sec;
+    if (config.sink != nullptr) {
+      config.sink->NameThread(copts.track, bench.id + " cpu");
+    }
     m.cpu = gpurt::CpuMapTask(job, config.cpu, copts).Run(split);
   }
   {
@@ -35,6 +40,13 @@ MeasuredTask MeasureTask(const apps::Benchmark& bench,
     gpurt::GpuTaskOptions gopts;
     gopts.num_reducers = reducers;
     gopts.io = config.io;
+    gopts.sink = config.sink;
+    gopts.metrics = config.metrics;
+    gopts.track = {config.track.pid, config.track.tid + 4};
+    gopts.trace_origin_sec = config.trace_origin_sec;
+    if (config.sink != nullptr) {
+      config.sink->NameThread(gopts.track, bench.id + " gpu");
+    }
     m.gpu = gpurt::GpuMapTask(job, &device, gopts).Run(split);
   }
   if (config.measure_baseline) {
@@ -42,16 +54,20 @@ MeasuredTask MeasureTask(const apps::Benchmark& bench,
     gpurt::GpuTaskOptions gopts = BaselineGpuOptions();
     gopts.num_reducers = reducers;
     gopts.io = config.io;
+    gopts.sink = config.sink;
+    // The baseline run shares the registry's "gpurt.gpu" prefix with the
+    // optimised run; keep it off the registry so totals stay per-config.
+    gopts.track = {config.track.pid,
+                   config.track.tid + 4 + config.gpu_lane_stride};
+    gopts.trace_origin_sec = config.trace_origin_sec;
+    if (config.sink != nullptr) {
+      config.sink->NameThread(gopts.track, bench.id + " gpu baseline");
+    }
     m.gpu_baseline = gpurt::GpuMapTask(job, &device, gopts).Run(split);
   }
   return m;
 }
 
-double GeoMean(const std::vector<double>& xs) {
-  HD_CHECK(!xs.empty());
-  double log_sum = 0.0;
-  for (double x : xs) log_sum += std::log(x);
-  return std::exp(log_sum / static_cast<double>(xs.size()));
-}
+double GeoMean(const std::vector<double>& xs) { return stats::GeoMean(xs); }
 
 }  // namespace hd::bench

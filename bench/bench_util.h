@@ -15,6 +15,8 @@
 #include "gpurt/gpu_task.h"
 #include "gpurt/job_program.h"
 #include "gpusim/device.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace hd::bench {
 
@@ -43,6 +45,17 @@ struct MeasureConfig {
   std::int64_t split_bytes = kMeasuredSplitBytes;
   std::uint64_t seed = 20150615;  // HPDC'15
   bool measure_baseline = true;
+
+  // Observability (src/trace), forwarded into the task options; null =
+  // off. The three measured runs land on separate lanes under
+  // `track.pid`: CPU phases on track.tid, optimised-GPU on tid+4 (its
+  // kernel/SM lanes follow), baseline-GPU on tid+4+gpu_lane_stride.
+  trace::Sink* sink = nullptr;
+  trace::Registry* metrics = nullptr;
+  trace::Track track;
+  double trace_origin_sec = 0.0;
+  // Lanes reserved per GPU run (phase lane + kernel lane + per-SM lanes).
+  int gpu_lane_stride = 32;
 };
 
 // Runs one data-local map(+combine) task of `bench` on the CPU path, the
@@ -54,6 +67,8 @@ MeasuredTask MeasureTask(const apps::Benchmark& bench,
 // (the "baseline translated" bars of Fig. 5).
 gpurt::GpuTaskOptions BaselineGpuOptions();
 
+// Deprecated: forwards to stats::GeoMean (common/stats.h); kept so older
+// bench code compiles unchanged.
 double GeoMean(const std::vector<double>& xs);
 
 }  // namespace hd::bench

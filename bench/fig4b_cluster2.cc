@@ -2,26 +2,34 @@
 // 4-core Xeon + 3 Tesla M2090, in-memory storage), comparing GPU-first and
 // tail scheduling at 1, 2 and 3 GPUs per node. KM is absent: its working
 // set exceeds the M2090's device memory (§7.3).
-#include <iostream>
-
 #include "bench/bench_util.h"
-#include "common/strings.h"
-#include "common/table.h"
+#include "bench/reporter.h"
 #include "hadoop/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hd;
   using hadoop::CalibratedTaskSource;
   using hadoop::ClusterConfig;
   using hadoop::JobEngine;
   using sched::Policy;
 
-  std::cout << "Fig. 4(b): job speedup over CPU-only Hadoop, Cluster2\n"
+  bench::Reporter rep("fig4b_cluster2", argc, argv);
+  const std::int64_t split_bytes = rep.smoke()
+                                       ? bench::kMeasuredSplitBytes / 12
+                                       : bench::kMeasuredSplitBytes;
+  rep.Config("split_bytes", split_bytes);
+  rep.Config("num_slaves", 32);
+  rep.Config("map_slots_per_node", 4);
+  rep.Config("device", gpusim::DeviceConfig::TeslaM2090().name);
+
+  rep.out() << "Fig. 4(b): job speedup over CPU-only Hadoop, Cluster2\n"
             << "(32 slaves, 4 CPU map slots + 1..3 M2090 GPUs per node, "
                "in-memory)\n\n";
 
-  Table t({"Benchmark", "1GPU gf", "1GPU tail", "2GPU gf", "2GPU tail",
-           "3GPU gf", "3GPU tail"});
+  auto& t = rep.AddTable(
+      "fig4b", {"Benchmark", "1GPU gf", "1GPU tail", "2GPU gf", "2GPU tail",
+                "3GPU gf", "3GPU tail"});
+  int pid = 0;
   for (const auto& b : apps::AllBenchmarks()) {
     if (!b.cluster2.available) {
       t.Row().Cell(b.id).Cell("NA").Cell("NA").Cell("NA").Cell("NA")
@@ -33,6 +41,12 @@ int main() {
     mcfg.cpu = gpusim::CpuConfig::XeonX5560();
     mcfg.io = gpurt::IoConfig::InMemory();
     mcfg.measure_baseline = false;
+    mcfg.split_bytes = split_bytes;
+    mcfg.sink = rep.sink();
+    mcfg.metrics = rep.metrics();
+    mcfg.track.pid = pid;
+    if (mcfg.sink != nullptr) mcfg.sink->NameProcess(pid, b.id);
+    ++pid;
     const bench::MeasuredTask m = bench::MeasureTask(b, mcfg);
 
     CalibratedTaskSource::Params p;
@@ -50,27 +64,30 @@ int main() {
     cluster.map_slots_per_node = 4;
     cluster.reduce_slots_per_node = 2;
     cluster.network_bytes_per_sec = 2.0e9;  // QDR InfiniBand, in-memory
+    cluster.metrics = rep.metrics();
 
     CalibratedTaskSource baseline_source(p);
     cluster.gpus_per_node = 0;
     const double cpu_only =
         JobEngine(cluster, &baseline_source, Policy::kCpuOnly).Run()
             .makespan_sec;
+    rep.AddModeledSeconds(cpu_only);
 
-    Table& row = t.Row();
+    bench::ReportTable& row = t.Row();
     row.Cell(b.id);
     for (int gpus : {1, 2, 3}) {
       cluster.gpus_per_node = gpus;
       for (Policy policy : {Policy::kGpuFirst, Policy::kTail}) {
         CalibratedTaskSource source(p);
         hadoop::JobResult r = JobEngine(cluster, &source, policy).Run();
+        rep.AddModeledSeconds(r.makespan_sec);
         row.Cell(cpu_only / r.makespan_sec, 2);
       }
     }
   }
-  t.Print(std::cout);
-  std::cout << "\nExpected shape: speedups grow with GPU count; tail >= "
+  rep.Print(t);
+  rep.out() << "\nExpected shape: speedups grow with GPU count; tail >= "
                "GPU-first;\nIO-intensive apps gain more than on Cluster1 "
                "(fewer CPU cores, in-memory IO).\n";
-  return 0;
+  return rep.Finish();
 }

@@ -2,22 +2,36 @@
 // task run by one core, for the baseline-translated code and with all
 // compiler/runtime optimisations (vectorisation, texture memory, record
 // stealing, KV aggregation before sort).
-#include <iostream>
-
 #include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "common/strings.h"
-#include "common/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hd;
-  std::cout << "Fig. 5: single GPU-task speedup over one CPU core\n"
-            << "(split = " << bench::kMeasuredSplitBytes / 1024
+  bench::Reporter rep("fig5_task_speedup", argc, argv);
+  const std::int64_t split_bytes = rep.smoke()
+                                       ? bench::kMeasuredSplitBytes / 12
+                                       : bench::kMeasuredSplitBytes;
+  rep.Config("split_bytes", split_bytes);
+  rep.Config("device", gpusim::DeviceConfig::TeslaK40().name);
+
+  rep.out() << "Fig. 5: single GPU-task speedup over one CPU core\n"
+            << "(split = " << split_bytes / 1024
             << " KiB; production fileSplits are 256 MiB)\n\n";
-  Table t({"Benchmark", "Baseline x", "Optimized x", "Opt. gain"});
+  auto& t = rep.AddTable(
+      "fig5", {"Benchmark", "Baseline x", "Optimized x", "Opt. gain"});
   std::vector<double> speedups;
+  int pid = 0;
   for (const auto& b : apps::AllBenchmarks()) {
     bench::MeasureConfig cfg;
+    cfg.split_bytes = split_bytes;
+    cfg.sink = rep.sink();
+    cfg.metrics = rep.metrics();
+    cfg.track.pid = pid;
+    if (cfg.sink != nullptr) cfg.sink->NameProcess(pid, b.id);
+    ++pid;
     const bench::MeasuredTask m = bench::MeasureTask(b, cfg);
+    rep.AddModeledSeconds(m.CpuSec() + m.GpuSec() + m.GpuBaselineSec());
     t.Row()
         .Cell(b.id)
         .Cell(m.BaselineSpeedup(), 2)
@@ -25,9 +39,11 @@ int main() {
         .Cell(m.GpuBaselineSec() / m.GpuSec(), 2);
     speedups.push_back(m.Speedup());
   }
-  t.Print(std::cout);
-  std::cout << "\nGeometric-mean optimized task speedup: "
+  rep.Print(t);
+  auto& g = rep.AddTable("fig5_geomean", {"Geomean x"});
+  g.Row().Cell(bench::GeoMean(speedups), 2);
+  rep.out() << "\nGeometric-mean optimized task speedup: "
             << FormatDouble(bench::GeoMean(speedups), 2)
             << "x (paper: up to 47x for BS; IO-intensive apps lowest)\n";
-  return 0;
+  return rep.Finish();
 }

@@ -1,22 +1,36 @@
 // Reproduces Fig. 6: execution-time breakdown of a single GPU task into the
 // Fig. 1 phases — input read, record count, map, aggregate, sort, combine,
 // output write — as percentages per benchmark.
-#include <iostream>
-
 #include "bench/bench_util.h"
-#include "common/table.h"
+#include "bench/reporter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hd;
-  std::cout << "Fig. 6: execution-time breakdown of a GPU task (%)\n\n";
-  Table t({"Benchmark", "InRead", "RecCnt", "Map", "Aggr", "Sort", "Comb",
-           "OutWrite", "Total(ms)"});
+  bench::Reporter rep("fig6_breakdown", argc, argv);
+  const std::int64_t split_bytes = rep.smoke()
+                                       ? bench::kMeasuredSplitBytes / 12
+                                       : bench::kMeasuredSplitBytes;
+  rep.Config("split_bytes", split_bytes);
+  rep.Config("device", gpusim::DeviceConfig::TeslaK40().name);
+
+  rep.out() << "Fig. 6: execution-time breakdown of a GPU task (%)\n\n";
+  auto& t = rep.AddTable(
+      "fig6", {"Benchmark", "InRead", "RecCnt", "Map", "Aggr", "Sort", "Comb",
+               "OutWrite", "Total(ms)"});
+  int pid = 0;
   for (const auto& b : apps::AllBenchmarks()) {
     bench::MeasureConfig cfg;
     cfg.measure_baseline = false;
+    cfg.split_bytes = split_bytes;
+    cfg.sink = rep.sink();
+    cfg.metrics = rep.metrics();
+    cfg.track.pid = pid;
+    if (cfg.sink != nullptr) cfg.sink->NameProcess(pid, b.id);
+    ++pid;
     const bench::MeasuredTask m = bench::MeasureTask(b, cfg);
     const auto& p = m.gpu.phases;
     const double total = p.Total();
+    rep.AddModeledSeconds(total + m.CpuSec());
     auto pct = [&](double v) { return 100.0 * v / total; };
     t.Row()
         .Cell(b.id)
@@ -29,9 +43,9 @@ int main() {
         .Cell(pct(p.output_write), 1)
         .Cell(total * 1e3, 3);
   }
-  t.Print(std::cout);
-  std::cout << "\nExpected shape: aggregation negligible everywhere; WC "
+  rep.Print(t);
+  rep.out() << "\nExpected shape: aggregation negligible everywhere; WC "
                "sort-heavy (long keys);\nBS dominated by output write; "
                "KM/CL map-heavy.\n";
-  return 0;
+  return rep.Finish();
 }

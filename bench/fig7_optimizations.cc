@@ -8,10 +8,10 @@
 // Each experiment toggles exactly one optimisation and reports the affected
 // kernel's speedup (off-time / on-time).
 #include <functional>
-#include <iostream>
+#include <string>
 
 #include "bench/bench_util.h"
-#include "common/table.h"
+#include "bench/reporter.h"
 #include "gpusim/device.h"
 
 namespace {
@@ -19,11 +19,13 @@ namespace {
 using namespace hd;
 
 // Runs the GPU task for `bench` with options produced by `tweak`, and
-// returns the phase breakdown.
+// returns the phase breakdown. Each run gets its own trace pid so on/off
+// variants render side by side.
 gpurt::MapTaskResult RunWith(
     const apps::Benchmark& b,
     const std::function<void(gpurt::GpuTaskOptions*)>& tweak,
-    std::int64_t split_bytes) {
+    std::int64_t split_bytes, bench::Reporter& rep, int* pid,
+    const std::string& label) {
   gpurt::JobProgram job =
       gpurt::CompileJob(b.map_source, b.combine_source, b.reduce_source);
   const std::string split = b.generate(split_bytes, 20150615);
@@ -31,82 +33,106 @@ gpurt::MapTaskResult RunWith(
   gpurt::GpuTaskOptions opts;
   opts.num_reducers = b.map_only ? 0 : b.num_reducers();
   tweak(&opts);
-  return gpurt::GpuMapTask(job, &device, opts).Run(split);
+  opts.sink = rep.sink();
+  opts.metrics = rep.metrics();
+  opts.track.pid = *pid;
+  if (opts.sink != nullptr) opts.sink->NameProcess(*pid, label);
+  ++*pid;
+  gpurt::MapTaskResult r = gpurt::GpuMapTask(job, &device, opts).Run(split);
+  rep.AddModeledSeconds(r.phases.Total());
+  return r;
 }
 
-void Section(const char* title, const std::vector<std::string>& ids,
+void Section(bench::Reporter& rep, int* pid, const char* table_name,
+             const char* title, const std::vector<std::string>& ids,
              const std::function<void(gpurt::GpuTaskOptions*)>& disable,
              double gpurt::PhaseBreakdown::* phase,
-             std::int64_t split_bytes = bench::kMeasuredSplitBytes) {
-  std::cout << title << "\n";
-  Table t({"Benchmark", "off (ms)", "on (ms)", "speedup"});
+             std::int64_t split_bytes) {
+  rep.out() << title << "\n";
+  auto& t = rep.AddTable(table_name,
+                         {"Benchmark", "off (ms)", "on (ms)", "speedup"});
   for (const auto& id : ids) {
     const apps::Benchmark& b = apps::GetBenchmark(id);
-    auto on = RunWith(b, [](gpurt::GpuTaskOptions*) {}, split_bytes);
-    auto off = RunWith(b, disable, split_bytes);
+    auto on = RunWith(b, [](gpurt::GpuTaskOptions*) {}, split_bytes, rep,
+                      pid, std::string(table_name) + " " + id + " on");
+    auto off = RunWith(b, disable, split_bytes, rep, pid,
+                       std::string(table_name) + " " + id + " off");
     t.Row()
         .Cell(id)
         .Cell(off.phases.*phase * 1e3, 3)
         .Cell(on.phases.*phase * 1e3, 3)
         .Cell(off.phases.*phase / on.phases.*phase, 2);
   }
-  t.Print(std::cout);
-  std::cout << "\n";
+  rep.Print(t);
+  rep.out() << "\n";
 }
 
 }  // namespace
 
-int main() {
-  std::cout << "Fig. 7: effects of individual optimisations (kernel-level "
+int main(int argc, char** argv) {
+  bench::Reporter rep("fig7_optimizations", argc, argv);
+  const std::int64_t base = rep.smoke() ? bench::kMeasuredSplitBytes / 12
+                                        : bench::kMeasuredSplitBytes;
+  rep.Config("split_bytes", base);
+  int pid = 0;
+
+  rep.out() << "Fig. 7: effects of individual optimisations (kernel-level "
                "speedups)\n\n";
 
-  Section("(a) Texture memory on map kernels (paper: ~2x on KM, CL)",
+  Section(rep, &pid, "fig7a",
+          "(a) Texture memory on map kernels (paper: ~2x on KM, CL)",
           {"KM", "CL"},
           [](gpurt::GpuTaskOptions* o) { o->use_texture = false; },
-          &gpurt::PhaseBreakdown::map);
+          &gpurt::PhaseBreakdown::map, base);
 
-  Section("(b) Vectorized KV read/write on combine kernels (paper: <=2.7x)",
+  Section(rep, &pid, "fig7b",
+          "(b) Vectorized KV read/write on combine kernels (paper: <=2.7x)",
           {"GR", "HS", "WC", "HR", "LR"},
           [](gpurt::GpuTaskOptions* o) { o->vectorize_combine = false; },
-          &gpurt::PhaseBreakdown::combine);
+          &gpurt::PhaseBreakdown::combine, base);
 
-  Section("(c) Vectorized read/write on map kernels (paper: <=1.7x)",
+  Section(rep, &pid, "fig7c",
+          "(c) Vectorized read/write on map kernels (paper: <=1.7x)",
           {"GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"},
           [](gpurt::GpuTaskOptions* o) { o->vectorize_map = false; },
-          &gpurt::PhaseBreakdown::map);
+          &gpurt::PhaseBreakdown::map, base);
 
   // Record stealing only matters once each thread owns several records
   // (production splits hold ~70 records per launched thread): measure on a
   // larger split.
-  Section("(d) Record stealing on map kernels (paper: <=1.36x)",
+  Section(rep, &pid, "fig7d",
+          "(d) Record stealing on map kernels (paper: <=1.36x)",
           {"GR", "HS", "WC", "HR", "KM"},
           [](gpurt::GpuTaskOptions* o) { o->record_stealing = false; },
-          &gpurt::PhaseBreakdown::map, 6 * bench::kMeasuredSplitBytes);
+          &gpurt::PhaseBreakdown::map, 6 * base);
 
-  Section("(e) KV aggregation before sort (paper: <=7.6x on sort)",
+  Section(rep, &pid, "fig7e",
+          "(e) KV aggregation before sort (paper: <=7.6x on sort)",
           {"GR", "HS", "WC", "HR", "LR", "KM", "CL"},
           [](gpurt::GpuTaskOptions* o) { o->aggregate_before_sort = false; },
-          &gpurt::PhaseBreakdown::sort);
+          &gpurt::PhaseBreakdown::sort, base);
 
-  std::cout << "(ablation) Block-level vs global record stealing "
+  rep.out() << "(ablation) Block-level vs global record stealing "
                "(design argument of 4.1)\n";
-  hd::Table t({"Benchmark", "global (ms)", "block (ms)", "benefit"});
+  auto& t = rep.AddTable("fig7_stealing_ablation",
+                         {"Benchmark", "global (ms)", "block (ms)", "benefit"});
   for (const char* id : {"WC", "HR"}) {
     const apps::Benchmark& b = apps::GetBenchmark(id);
-    auto block = RunWith(b, [](gpurt::GpuTaskOptions*) {},
-                         bench::kMeasuredSplitBytes);
+    auto block = RunWith(b, [](gpurt::GpuTaskOptions*) {}, base, rep, &pid,
+                         std::string("stealing ") + id + " block");
     auto global = RunWith(b,
                           [](gpurt::GpuTaskOptions* o) {
                             o->record_stealing = false;
                             o->global_stealing = true;
                           },
-                          bench::kMeasuredSplitBytes);
+                          base, rep, &pid,
+                          std::string("stealing ") + id + " global");
     t.Row()
         .Cell(id)
         .Cell(global.phases.map * 1e3, 3)
         .Cell(block.phases.map * 1e3, 3)
         .Cell(global.phases.map / block.phases.map, 2);
   }
-  t.Print(std::cout);
-  return 0;
+  rep.Print(t);
+  return rep.Finish();
 }

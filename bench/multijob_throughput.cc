@@ -4,18 +4,20 @@
 // rate, plus a closed-loop saturation run. This is the experiment the
 // paper's Fig. 4 never exercises: how Algorithm 2's tail forcing behaves
 // when many jobs contend for the same GPU slots.
-#include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/table.h"
+#include "bench/reporter.h"
 #include "multijob/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hd;
   using multijob::SchedulerKind;
   using multijob::WorkloadMetrics;
   using multijob::WorkloadSpec;
+
+  bench::Reporter rep("multijob_throughput", argc, argv);
+  const int num_jobs = rep.smoke() ? 8 : 40;
 
   // A Cluster1-flavoured slice: 8 slaves x (4 CPU slots + 1 GPU).
   hadoop::ClusterConfig cluster;
@@ -23,6 +25,11 @@ int main() {
   cluster.map_slots_per_node = 4;
   cluster.reduce_slots_per_node = 2;
   cluster.gpus_per_node = 1;
+
+  rep.Config("num_jobs", num_jobs);
+  rep.Config("num_slaves", cluster.num_slaves);
+  rep.Config("map_slots_per_node", cluster.map_slots_per_node);
+  rep.Config("gpus_per_node", cluster.gpus_per_node);
 
   const std::vector<multijob::AppTemplate> mix = multijob::Table2Mix(24, 2);
   const std::vector<SchedulerKind> schedulers = {
@@ -33,23 +40,27 @@ int main() {
   // job per 100 s, heavily contended at one per 25 s.
   const std::vector<double> rates = {0.01, 0.04};
 
-  std::cout << "Multi-job throughput: 40 Poisson jobs over the Table 2 mix\n"
+  rep.out() << "Multi-job throughput: " << num_jobs
+            << " Poisson jobs over the Table 2 mix\n"
             << "on 8 slaves x (4 CPU slots + 1 GPU); latency includes queue\n"
             << "wait, maps, shuffle and reduce.\n\n";
 
-  Table t({"sched", "policy", "rate/s", "p50 s", "p95 s", "p99 s", "wait s",
-           "makespan s", "cpu%", "gpu%", "bounces", "jobs/h"});
+  auto& t = rep.AddTable(
+      "multijob_open",
+      {"sched", "policy", "rate/s", "p50 s", "p95 s", "p99 s", "wait s",
+       "makespan s", "cpu%", "gpu%", "bounces", "jobs/h"});
   for (double rate : rates) {
     for (SchedulerKind sk : schedulers) {
       for (sched::Policy policy : policies) {
         WorkloadSpec spec;
         spec.mode = WorkloadSpec::Mode::kOpenPoisson;
-        spec.num_jobs = 40;
+        spec.num_jobs = num_jobs;
         spec.arrival_rate_per_sec = rate;
         spec.policy = policy;
         spec.seed = 20150615;  // HPDC'15
         const WorkloadMetrics m =
             multijob::RunWorkload(cluster, sk, mix, spec);
+        rep.AddModeledSeconds(m.makespan_sec);
         t.Row()
             .Cell(multijob::SchedulerKindName(sk))
             .Cell(sched::PolicyName(policy))
@@ -66,20 +77,30 @@ int main() {
       }
     }
   }
-  t.Print(std::cout);
+  rep.Print(t);
 
-  std::cout << "\nClosed-loop saturation (8 jobs always in flight):\n\n";
-  Table cl({"sched", "policy", "p50 s", "p95 s", "makespan s", "cpu%", "gpu%",
-            "jobs/h"});
+  rep.out() << "\nClosed-loop saturation (8 jobs always in flight):\n\n";
+  auto& cl = rep.AddTable(
+      "multijob_closed",
+      {"sched", "policy", "p50 s", "p95 s", "makespan s", "cpu%", "gpu%",
+       "jobs/h"});
   for (SchedulerKind sk : schedulers) {
     for (sched::Policy policy : policies) {
       WorkloadSpec spec;
       spec.mode = WorkloadSpec::Mode::kClosedLoop;
-      spec.num_jobs = 40;
+      spec.num_jobs = num_jobs;
       spec.concurrency = 8;
       spec.policy = policy;
       spec.seed = 20150615;
-      const WorkloadMetrics m = multijob::RunWorkload(cluster, sk, mix, spec);
+      // One representative run (fair + tail) carries the structured trace
+      // and registry so the multi-job DES tracks have a single pid space.
+      hadoop::ClusterConfig c = cluster;
+      if (sk == SchedulerKind::kFair && policy == sched::Policy::kTail) {
+        c.sink = rep.sink();
+        c.metrics = rep.metrics();
+      }
+      const WorkloadMetrics m = multijob::RunWorkload(c, sk, mix, spec);
+      rep.AddModeledSeconds(m.makespan_sec);
       cl.Row()
           .Cell(multijob::SchedulerKindName(sk))
           .Cell(sched::PolicyName(policy))
@@ -91,12 +112,12 @@ int main() {
           .Cell(m.ThroughputJobsPerHour(), 1);
     }
   }
-  cl.Print(std::cout);
+  rep.Print(cl);
 
-  std::cout << "\nReading guide: tail >= gpu-first on p50 when load is low\n"
+  rep.out() << "\nReading guide: tail >= gpu-first on p50 when load is low\n"
                "(within-job tails dominate), but under heavy arrival rates\n"
                "forced-GPU placements from overlapping job tails contend for\n"
                "the same GPU slots (bounces column) and fair/capacity spread\n"
                "the queue wait that FIFO concentrates on late arrivals.\n";
-  return 0;
+  return rep.Finish();
 }

@@ -1,0 +1,252 @@
+#include "bench/reporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace hd::bench {
+
+namespace {
+
+json::Value JString(std::string s) {
+  json::Value v;
+  v.kind = json::Value::Kind::kString;
+  v.string = std::move(s);
+  return v;
+}
+
+json::Value JNumber(double d) {
+  json::Value v;
+  v.kind = json::Value::Kind::kNumber;
+  v.number = d;
+  return v;
+}
+
+json::Value JBool(bool b) {
+  json::Value v;
+  v.kind = json::Value::Kind::kBool;
+  v.boolean = b;
+  return v;
+}
+
+void WriteValue(json::Writer& w, const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::kNull: w.Null(); return;
+    case json::Value::Kind::kBool: w.Bool(v.boolean); return;
+    case json::Value::Kind::kNumber: w.Number(v.number); return;
+    case json::Value::Kind::kString: w.String(v.string); return;
+    case json::Value::Kind::kArray:
+      w.BeginArray();
+      for (const auto& e : v.array) WriteValue(w, e);
+      w.EndArray();
+      return;
+    case json::Value::Kind::kObject:
+      w.BeginObject();
+      for (const auto& [k, e] : v.object) {
+        w.Key(k);
+        WriteValue(w, e);
+      }
+      w.EndObject();
+      return;
+  }
+}
+
+// A sink for --quiet: swallow everything.
+class NullBuf : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+};
+
+NullBuf& TheNullBuf() {
+  static NullBuf buf;
+  return buf;
+}
+
+[[noreturn]] void Usage(const std::string& id, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--json <path>] [--trace <path>] [--smoke] "
+               "[--quiet]\n"
+               "  --json <path>   write the %s report\n"
+               "  --trace <path>  write a Chrome/Perfetto trace of the run\n"
+               "  --smoke         shrunk inputs (fast schema checks)\n"
+               "  --quiet         suppress the human-readable output\n",
+               id.c_str(), kSchema);
+  std::exit(code);
+}
+
+}  // namespace
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  HD_CHECK(!columns_.empty());
+}
+
+ReportTable& ReportTable::Row() {
+  HD_CHECK_MSG(rows_.empty() || rows_.back().size() == columns_.size(),
+               "table '" << title_ << "': previous row is incomplete");
+  rows_.emplace_back();
+  human_rows_.emplace_back();
+  return *this;
+}
+
+void ReportTable::Push(json::Value v, std::string human) {
+  HD_CHECK_MSG(!rows_.empty(), "Cell() before Row()");
+  HD_CHECK_MSG(rows_.back().size() < columns_.size(),
+               "table '" << title_ << "': more cells than columns");
+  rows_.back().push_back(std::move(v));
+  human_rows_.back().push_back(std::move(human));
+}
+
+ReportTable& ReportTable::Cell(std::string v) {
+  std::string human = v;
+  Push(JString(std::move(v)), std::move(human));
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(const char* v) { return Cell(std::string(v)); }
+
+ReportTable& ReportTable::Cell(double v, int precision) {
+  Push(JNumber(v), FormatDouble(v, precision));
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(std::uint64_t v) {
+  Push(JNumber(static_cast<double>(v)), std::to_string(v));
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(std::int64_t v) {
+  Push(JNumber(static_cast<double>(v)), std::to_string(v));
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(int v) {
+  return Cell(static_cast<std::int64_t>(v));
+}
+
+void ReportTable::PrintHuman(std::ostream& os) const {
+  Table t(columns_);
+  for (const auto& row : human_rows_) {
+    t.Row();
+    for (const auto& cell : row) t.Cell(cell);
+  }
+  t.Print(os);
+}
+
+Reporter::Reporter(std::string benchmark_id, int argc, char** argv)
+    : benchmark_id_(std::move(benchmark_id)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_ = true;
+    } else if (arg == "--quiet") {
+      quiet_ = true;
+    } else if (arg == "--json" || arg == "--trace") {
+      if (i + 1 >= argc) Usage(benchmark_id_, 2);
+      (arg == "--json" ? json_path_ : trace_path_) = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(benchmark_id_, 0);
+    } else {
+      Usage(benchmark_id_, 2);
+    }
+  }
+  if (!trace_path_.empty()) {
+    chrome_ = std::make_unique<trace::ChromeTraceSink>();
+  }
+  null_out_ = std::make_unique<std::ostream>(&TheNullBuf());
+}
+
+Reporter::~Reporter() { Finish(); }
+
+trace::Sink* Reporter::sink() { return chrome_.get(); }
+
+std::ostream& Reporter::out() { return quiet_ ? *null_out_ : std::cout; }
+
+ReportTable& Reporter::AddTable(std::string title,
+                                std::vector<std::string> columns) {
+  tables_.push_back(
+      std::make_unique<ReportTable>(std::move(title), std::move(columns)));
+  return *tables_.back();
+}
+
+void Reporter::Print(const ReportTable& t) { t.PrintHuman(out()); }
+
+void Reporter::Config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, JString(value));
+}
+void Reporter::Config(const std::string& key, const char* value) {
+  Config(key, std::string(value));
+}
+void Reporter::Config(const std::string& key, double value) {
+  config_.emplace_back(key, JNumber(value));
+}
+void Reporter::Config(const std::string& key, std::int64_t value) {
+  config_.emplace_back(key, JNumber(static_cast<double>(value)));
+}
+void Reporter::Config(const std::string& key, int value) {
+  Config(key, static_cast<std::int64_t>(value));
+}
+void Reporter::Config(const std::string& key, bool value) {
+  config_.emplace_back(key, JBool(value));
+}
+
+int Reporter::Finish() {
+  if (finished_) return 0;
+  finished_ = true;
+
+  if (!json_path_.empty()) {
+    std::ofstream f(json_path_, std::ios::binary);
+    HD_CHECK_MSG(f.good(), "cannot open --json path '" << json_path_ << "'");
+    json::Writer w(f);
+    w.BeginObject();
+    w.Key("schema").String(kSchema);
+    w.Key("benchmark").String(benchmark_id_);
+    w.Key("smoke").Bool(smoke_);
+    w.Key("config");
+    w.BeginObject();
+    for (const auto& [k, v] : config_) {
+      w.Key(k);
+      WriteValue(w, v);
+    }
+    w.EndObject();
+    w.Key("modeled_seconds").Number(modeled_seconds_);
+    w.Key("rows");
+    w.BeginArray();
+    for (const auto& t : tables_) {
+      for (const auto& row : t->rows_) {
+        w.BeginObject();
+        w.Key("table").String(t->title_);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          w.Key(t->columns_[c]);
+          WriteValue(w, row[c]);
+        }
+        w.EndObject();
+      }
+    }
+    w.EndArray();
+    w.Key("metrics");
+    std::ostringstream ms;
+    registry_.WriteJson(ms);
+    WriteValue(w, json::Parse(ms.str()));
+    w.EndObject();
+    f << "\n";
+    HD_CHECK_MSG(f.good(), "write to '" << json_path_ << "' failed");
+  }
+
+  if (!trace_path_.empty()) {
+    std::ofstream f(trace_path_, std::ios::binary);
+    HD_CHECK_MSG(f.good(), "cannot open --trace path '" << trace_path_
+                                                        << "'");
+    chrome_->Write(f);
+    HD_CHECK_MSG(f.good(), "write to '" << trace_path_ << "' failed");
+  }
+  return 0;
+}
+
+}  // namespace hd::bench

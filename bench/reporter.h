@@ -1,0 +1,140 @@
+// The shared bench reporting API.
+//
+// Every figure/table binary builds its output through one Reporter instead
+// of private std::cout formatting. The human-readable aligned tables stay
+// the default; the same rows additionally serialize to a stable JSON
+// schema and the run's trace::Sink events to a Chrome trace file:
+//
+//   <bench>                     # aligned tables on stdout (as before)
+//   <bench> --json out.json     # + machine-readable report
+//   <bench> --trace out.trace   # + Perfetto-loadable event trace
+//   <bench> --smoke             # shrunk inputs for fast schema checks
+//   <bench> --quiet             # suppress the human output
+//
+// JSON schema "heterodoop.bench.v1" (all keys always present):
+//   {
+//     "schema": "heterodoop.bench.v1",
+//     "benchmark": "<binary id>",
+//     "smoke": <bool>,
+//     "config": { <flat string/number/bool settings> },
+//     "modeled_seconds": <total modeled simulated time reported>,
+//     "rows": [ {"table": "<table title>", "<column>": <typed cell>, ...} ],
+//     "metrics": { <flat trace::Registry export> }
+//   }
+//
+// Determinism: cells are serialized with shortest-round-trip number
+// formatting and tables/rows in insertion order, so same-seed runs write
+// byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "trace/chrome.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace hd::bench {
+
+inline constexpr const char* kSchema = "heterodoop.bench.v1";
+
+// One table of the report: typed cells for the JSON rows plus the
+// human-formatted rendering. The Cell overloads mirror hd::Table.
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> columns);
+
+  ReportTable& Row();
+  ReportTable& Cell(std::string v);
+  ReportTable& Cell(const char* v);
+  ReportTable& Cell(double v, int precision = 2);
+  ReportTable& Cell(std::uint64_t v);
+  ReportTable& Cell(std::int64_t v);
+  ReportTable& Cell(int v);
+
+  const std::string& title() const { return title_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Renders the aligned human table (header, rule, rows).
+  void PrintHuman(std::ostream& os) const;
+
+ private:
+  friend class Reporter;
+  void Push(json::Value v, std::string human);
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<json::Value>> rows_;
+  std::vector<std::vector<std::string>> human_rows_;
+};
+
+// Owns the run's report state: parsed flags, tables, config echo, the
+// metrics registry, and (when --trace is given) the Chrome trace sink.
+class Reporter {
+ public:
+  // Parses --json/--trace/--quiet/--smoke from argv; prints usage and
+  // exits(2) on unknown arguments. `benchmark_id` names the binary in the
+  // report ("fig6_breakdown").
+  Reporter(std::string benchmark_id, int argc, char** argv);
+  ~Reporter();
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  bool smoke() const { return smoke_; }
+  bool quiet() const { return quiet_; }
+
+  // Null when --trace was not given: instrumentation stays disabled and
+  // modeled numbers are guaranteed bit-identical to an untraced run.
+  trace::Sink* sink();
+  // Always available: the registry the run's tasks/engines fill; exported
+  // under "metrics".
+  trace::Registry* metrics() { return &registry_; }
+
+  // Free-text human output (headings, reading guides); /dev/null-like
+  // under --quiet.
+  std::ostream& out();
+
+  // Registers a table; the reference stays valid for the Reporter's
+  // lifetime. Tables appear in the JSON rows in registration order.
+  ReportTable& AddTable(std::string title, std::vector<std::string> columns);
+  // Prints the aligned table to out() (call at the natural point in the
+  // human output flow).
+  void Print(const ReportTable& t);
+
+  // Flat config echo (cluster sizes, seeds, device names...).
+  void Config(const std::string& key, const std::string& value);
+  void Config(const std::string& key, const char* value);
+  void Config(const std::string& key, double value);
+  void Config(const std::string& key, std::int64_t value);
+  void Config(const std::string& key, int value);
+  void Config(const std::string& key, bool value);
+
+  // Accumulates the report's total modeled simulated seconds.
+  void AddModeledSeconds(double sec) { modeled_seconds_ += sec; }
+  double modeled_seconds() const { return modeled_seconds_; }
+
+  // Writes the JSON report and trace file if requested. Idempotent; the
+  // destructor calls it. Returns 0 (main's exit code).
+  int Finish();
+
+ private:
+  std::string benchmark_id_;
+  bool smoke_ = false;
+  bool quiet_ = false;
+  std::string json_path_;
+  std::string trace_path_;
+  bool finished_ = false;
+  double modeled_seconds_ = 0.0;
+
+  trace::Registry registry_;
+  std::unique_ptr<trace::ChromeTraceSink> chrome_;
+  std::vector<std::unique_ptr<ReportTable>> tables_;
+  std::vector<std::pair<std::string, json::Value>> config_;
+  std::unique_ptr<std::ostream> null_out_;
+};
+
+}  // namespace hd::bench

@@ -1,16 +1,18 @@
 // Reproduces Table 2: the benchmark suite and its per-cluster workload
 // parameters.
-#include <iostream>
+#include <string>
 
 #include "apps/benchmark.h"
+#include "bench/reporter.h"
 #include "common/strings.h"
-#include "common/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hd;
-  std::cout << "Table 2: Description of the Benchmarks Used\n\n";
-  Table t({"Benchmark", "%MapComb", "Nature", "Combiner", "Red(C1)",
-           "Red(C2)", "Maps(C1)", "Maps(C2)", "In GB(C1)", "In GB(C2)"});
+  bench::Reporter rep("table2_workloads", argc, argv);
+  rep.out() << "Table 2: Description of the Benchmarks Used\n\n";
+  auto& t = rep.AddTable(
+      "table2", {"Benchmark", "%MapComb", "Nature", "Combiner", "Red(C1)",
+                 "Red(C2)", "Maps(C1)", "Maps(C2)", "In GB(C1)", "In GB(C2)"});
   for (const auto& b : apps::AllBenchmarks()) {
     t.Row()
         .Cell(b.name + " (" + b.id + ")")
@@ -27,10 +29,10 @@ int main() {
         .Cell(b.cluster2.available ? FormatDouble(b.cluster2.input_gb, 0)
                                    : "NA");
   }
-  t.Print(std::cout);
-  std::cout << "\nEach benchmark ships as HeteroDoop-annotated mini-C "
+  rep.Print(t);
+  rep.out() << "\nEach benchmark ships as HeteroDoop-annotated mini-C "
                "streaming filters\n(map";
-  std::cout << " + optional combine/reduce) with a synthetic input "
+  rep.out() << " + optional combine/reduce) with a synthetic input "
                "generator.\n";
-  return 0;
+  return rep.Finish();
 }

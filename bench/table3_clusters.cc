@@ -1,13 +1,11 @@
 // Reproduces Table 3: the two cluster configurations the evaluation uses,
 // as this repository models them.
-#include <iostream>
-
+#include "bench/reporter.h"
 #include "common/strings.h"
-#include "common/table.h"
 #include "gpurt/io_config.h"
 #include "gpusim/config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hd;
   const auto k40 = gpusim::DeviceConfig::TeslaK40();
   const auto m2090 = gpusim::DeviceConfig::TeslaM2090();
@@ -16,8 +14,9 @@ int main() {
   const gpurt::IoConfig io1;
   const gpurt::IoConfig io2 = gpurt::IoConfig::InMemory();
 
-  std::cout << "Table 3: Cluster Setups Used\n\n";
-  Table t({"Property", "Cluster1", "Cluster2"});
+  bench::Reporter rep("table3_clusters", argc, argv);
+  rep.out() << "Table 3: Cluster Setups Used\n\n";
+  auto& t = rep.AddTable("table3", {"Property", "Cluster1", "Cluster2"});
   t.Row().Cell("#nodes").Cell("48 (+1 master)").Cell("32 (+1 master)");
   t.Row().Cell("CPU").Cell(xeon1.name).Cell(xeon2.name);
   t.Row().Cell("#CPU cores (map slots)").Cell(20).Cell(4);
@@ -38,6 +37,6 @@ int main() {
   t.Row().Cell("Reduce slots / node").Cell(2).Cell(2);
   t.Row().Cell("Speculative execution").Cell("Off").Cell("Off");
   t.Row().Cell("% maps before reduce").Cell(20).Cell(20);
-  t.Print(std::cout);
-  return 0;
+  rep.Print(t);
+  return rep.Finish();
 }

@@ -1,0 +1,338 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace hd::json {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  HD_CHECK_MSG(std::isfinite(v), "JSON cannot represent inf/nan");
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  HD_CHECK(res.ec == std::errc());
+  return std::string(buf, res.ptr);
+}
+
+void Writer::BeforeValue() {
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.is_object) {
+    HD_CHECK_MSG(top.key_pending, "JSON object value emitted without Key()");
+    top.key_pending = false;
+    return;
+  }
+  if (top.has_value) os_ << ',';
+  top.has_value = true;
+}
+
+Writer& Writer::BeginObject() {
+  BeforeValue();
+  os_ << '{';
+  stack_.push_back({/*is_object=*/true, false, false});
+  return *this;
+}
+
+Writer& Writer::EndObject() {
+  HD_CHECK(!stack_.empty() && stack_.back().is_object);
+  HD_CHECK_MSG(!stack_.back().key_pending, "JSON key without a value");
+  stack_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+Writer& Writer::BeginArray() {
+  BeforeValue();
+  os_ << '[';
+  stack_.push_back({/*is_object=*/false, false, false});
+  return *this;
+}
+
+Writer& Writer::EndArray() {
+  HD_CHECK(!stack_.empty() && !stack_.back().is_object);
+  stack_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+Writer& Writer::Key(std::string_view k) {
+  HD_CHECK(!stack_.empty() && stack_.back().is_object);
+  Level& top = stack_.back();
+  HD_CHECK_MSG(!top.key_pending, "two JSON keys in a row");
+  if (top.has_value) os_ << ',';
+  top.has_value = true;
+  top.key_pending = true;
+  os_ << '"' << Escape(k) << "\":";
+  return *this;
+}
+
+Writer& Writer::String(std::string_view v) {
+  BeforeValue();
+  os_ << '"' << Escape(v) << '"';
+  return *this;
+}
+
+Writer& Writer::Int(std::int64_t v) {
+  BeforeValue();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::Number(double v) {
+  BeforeValue();
+  os_ << FormatNumber(v);
+  return *this;
+}
+
+Writer& Writer::Bool(bool v) {
+  BeforeValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::Null() {
+  BeforeValue();
+  os_ << "null";
+  return *this;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value ParseValue() {
+    SkipWs();
+    const char c = Peek();
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.string = ParseString();
+        return v;
+      }
+      case 't':
+        if (!Consume("true")) Fail("bad literal");
+        return MakeBool(true);
+      case 'f':
+        if (!Consume("false")) Fail("bad literal");
+        return MakeBool(false);
+      case 'n':
+        if (!Consume("null")) Fail("bad literal");
+        return Value{};
+      default: return ParseNumber();
+    }
+  }
+
+  static Value MakeBool(bool b) {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the exporters never emit them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: Fail("bad escape");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) Fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v.number);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
+      Fail("malformed number");
+    }
+    return v;
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      v.object.emplace_back(std::move(key), ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+}  // namespace hd::json

@@ -1,0 +1,85 @@
+// Minimal JSON support shared by the trace/metrics exporters and the
+// schema-validation tests: a deterministic streaming writer (shortest
+// round-trip number formatting via std::to_chars, locale-independent) and a
+// small recursive-descent parser producing a Value tree.
+//
+// Determinism matters here: two runs of the same seeded simulation must
+// serialize byte-identical documents, so the writer never consults locale,
+// pointer values, or iteration order of unordered containers.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hd::json {
+
+// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string Escape(std::string_view s);
+
+// Formats a finite double with the shortest representation that parses back
+// to the same value. HD_CHECKs that `v` is finite (JSON has no inf/nan).
+std::string FormatNumber(double v);
+
+// Streaming writer with automatic comma/colon placement. Usage:
+//   Writer w(os);
+//   w.BeginObject(); w.Key("rows"); w.BeginArray(); ... w.EndArray();
+//   w.EndObject();
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  Writer& BeginObject();
+  Writer& EndObject();
+  Writer& BeginArray();
+  Writer& EndArray();
+  Writer& Key(std::string_view k);
+  Writer& String(std::string_view v);
+  Writer& Int(std::int64_t v);
+  Writer& Number(double v);
+  Writer& Bool(bool v);
+  Writer& Null();
+
+ private:
+  void BeforeValue();
+
+  std::ostream& os_;
+  // One entry per open container: is_object and whether a value has been
+  // emitted at this level yet (comma placement).
+  struct Level {
+    bool is_object = false;
+    bool has_value = false;
+    bool key_pending = false;
+  };
+  std::vector<Level> stack_;
+};
+
+// Parsed JSON value. Objects keep insertion (document) order.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // First member named `key`, or nullptr. Objects only.
+  const Value* Find(std::string_view key) const;
+};
+
+// Parses one complete JSON document; throws std::runtime_error (with the
+// byte offset) on malformed input or trailing garbage.
+Value Parse(std::string_view text);
+
+}  // namespace hd::json

@@ -1,0 +1,42 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hd::stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  HD_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) {
+    HD_CHECK_MSG(x > 0.0, "geometric mean needs positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double NearestRankPercentile(std::vector<double> xs, double q) {
+  HD_CHECK(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+double Utilization(double busy_sec, double capacity_units,
+                   double horizon_sec) {
+  if (capacity_units <= 0.0 || horizon_sec <= 0.0) return 0.0;
+  return busy_sec / (capacity_units * horizon_sec);
+}
+
+}  // namespace hd::stats

@@ -1,0 +1,30 @@
+// Shared statistics helpers.
+//
+// Consolidates the copies that used to live in bench/bench_util (geometric
+// mean) and src/multijob/metrics (nearest-rank percentiles, utilization):
+// the multijob metrics, the trace-layer Distribution metric and the bench
+// harnesses all compute through these, so percentile semantics cannot
+// drift between reports.
+#pragma once
+
+#include <vector>
+
+namespace hd::stats {
+
+// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+// Geometric mean; HD_CHECKs a non-empty, positive sample.
+double GeoMean(const std::vector<double>& xs);
+
+// Nearest-rank percentile, q in [0, 1]: the smallest sample with at least
+// q of the mass at or below it. Takes the sample by value (sorts a copy);
+// 0 for an empty sample. HD_CHECKs q's range.
+double NearestRankPercentile(std::vector<double> xs, double q);
+
+// busy time over capacity: busy_sec / (capacity_units * horizon_sec);
+// 0 when the horizon or capacity is empty.
+double Utilization(double busy_sec, double capacity_units,
+                   double horizon_sec);
+
+}  // namespace hd::stats

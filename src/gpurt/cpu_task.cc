@@ -110,6 +110,34 @@ MapTaskResult CpuMapTask::Run(const std::string& file_split) {
   result.phases.output_write = map_only ? opts_.io.HdfsWriteSeconds(bytes)
                                         : opts_.io.LocalWriteSeconds(bytes);
   result.partitions = std::move(partitions);
+
+  if (opts_.sink != nullptr) {
+    // Same canonical back-to-back layout as the GPU path: the phase-span
+    // durations sum to PhaseBreakdown::Total() exactly.
+    double at = opts_.trace_origin_sec;
+    auto emit_phase = [&](const char* name, double dur, trace::Args args) {
+      if (dur != 0.0) {
+        opts_.sink->Span("phase", name, opts_.track, at, dur,
+                         std::move(args));
+      }
+      at += dur;
+    };
+    emit_phase("input_read", result.phases.input_read,
+               {trace::Arg::Int(
+                   "bytes", static_cast<std::int64_t>(file_split.size()))});
+    emit_phase("map", result.phases.map,
+               {trace::Arg::Int("records", result.stats.records),
+                trace::Arg::Int("map_kv_pairs", result.stats.map_kv_pairs)});
+    emit_phase("sort", result.phases.sort,
+               {trace::Arg::Int("sort_elements", result.stats.sort_elements)});
+    emit_phase("combine", result.phases.combine,
+               {trace::Arg::Int("out_kv_pairs", result.stats.out_kv_pairs)});
+    emit_phase("output_write", result.phases.output_write,
+               {trace::Arg::Int("output_bytes", result.stats.output_bytes)});
+  }
+  if (opts_.metrics != nullptr) {
+    AddTaskMetrics(*opts_.metrics, result, "gpurt.cpu");
+  }
   return result;
 }
 

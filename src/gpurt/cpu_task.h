@@ -9,12 +9,22 @@
 #include "gpurt/job_program.h"
 #include "gpurt/task_result.h"
 #include "gpusim/config.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace hd::gpurt {
 
 struct CpuTaskOptions {
   int num_reducers = 1;  // <= 0 selects a map-only job
   IoConfig io;
+
+  // Observability (src/trace); null = off, see GpuTaskOptions. Phase spans
+  // land on `track` in task-local modeled seconds offset by
+  // `trace_origin_sec`.
+  trace::Sink* sink = nullptr;
+  trace::Registry* metrics = nullptr;
+  trace::Track track;
+  double trace_origin_sec = 0.0;
 };
 
 class CpuMapTask {

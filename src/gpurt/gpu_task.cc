@@ -5,6 +5,7 @@
 #include <queue>
 #include <map>
 #include <memory>
+#include <string_view>
 
 #include "common/check.h"
 #include "gpurt/kvstore.h"
@@ -282,6 +283,16 @@ KvPair EmittedPair(const std::string& text, int line) {
   return ParseKvLine(body);
 }
 
+// One launched kernel's roofline report, kept for trace emission only
+// (collected when opts_.sink is set; modeled numbers never depend on it).
+struct KernelTraceRec {
+  const char* phase;  // matching PhaseBreakdown field / phase-span name
+  gpusim::KernelReport report;
+  int blocks = 0;
+  int threads = 0;
+  bool per_sm = false;  // user kernels get per-SM busy lanes
+};
+
 }  // namespace
 
 GpuMapTask::GpuMapTask(const JobProgram& job, gpusim::GpuDevice* device,
@@ -308,6 +319,7 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
 
   MapTaskResult result;
   DeviceAllocGuard guard(device_);
+  std::vector<KernelTraceRec> kernel_traces;
 
   // --- Fig. 1 step 1: copy the fileSplit from HDFS into device memory. ---
   const auto input_bytes = static_cast<std::int64_t>(file_split.size());
@@ -338,7 +350,12 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
   {
     KernelSim locate(dcfg, rt_blocks, rt_threads, "record_count");
     ChargeLocateKernel(locate, input_bytes);
-    result.phases.record_count = locate.Finish().elapsed_sec;
+    gpusim::KernelReport report = locate.Finish();
+    result.phases.record_count = report.elapsed_sec;
+    if (opts_.sink != nullptr) {
+      kernel_traces.push_back(
+          {"record_count", std::move(report), rt_blocks, rt_threads, false});
+    }
   }
   guard.Malloc(static_cast<std::int64_t>(records.size()) * 16,
                "recordLocator");
@@ -479,6 +496,9 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
     result.stats.global_atomics = report.global_atomics;
     result.stats.map_compute_cycles = report.compute_cycles;
     result.stats.map_mem_cycles = report.mem_cycles;
+    if (opts_.sink != nullptr) {
+      kernel_traces.push_back({"map", std::move(report), blocks, threads, true});
+    }
   }
   result.stats.map_kv_pairs = kvstore.total_emitted();
   result.stats.whitespace_slots = kvstore.WhitespaceSlots();
@@ -490,7 +510,12 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
   if (!map_only && opts_.aggregate_before_sort) {
     KernelSim agg_kernel(dcfg, rt_blocks, rt_threads, "aggregate");
     kvstore.ChargeAggregation(agg_kernel);
-    result.phases.aggregate = agg_kernel.Finish().elapsed_sec;
+    gpusim::KernelReport report = agg_kernel.Finish();
+    result.phases.aggregate = report.elapsed_sec;
+    if (opts_.sink != nullptr) {
+      kernel_traces.push_back(
+          {"aggregate", std::move(report), rt_blocks, rt_threads, false});
+    }
   }
 
   std::vector<std::vector<KvPair>> partitions(
@@ -529,7 +554,12 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
                        extra_passes);
     }
     result.stats.sort_elements = sort_elements_total;
-    result.phases.sort = sort_kernel.Finish().elapsed_sec;
+    gpusim::KernelReport report = sort_kernel.Finish();
+    result.phases.sort = report.elapsed_sec;
+    if (opts_.sink != nullptr) {
+      kernel_traces.push_back(
+          {"sort", std::move(report), rt_blocks, rt_threads, false});
+    }
   }
 
   // --- Fig. 1 step 7: combine kernel. -------------------------------------
@@ -606,8 +636,13 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
       combine_out_pairs += static_cast<std::int64_t>(combined.size());
       part = std::move(combined);
     }
-    result.phases.combine = comb_kernel.Finish().elapsed_sec;
+    gpusim::KernelReport report = comb_kernel.Finish();
+    result.phases.combine = report.elapsed_sec;
     result.stats.out_kv_pairs = combine_out_pairs;
+    if (opts_.sink != nullptr) {
+      kernel_traces.push_back(
+          {"combine", std::move(report), blocks, threads, true});
+    }
   } else {
     result.stats.out_kv_pairs = result.stats.map_kv_pairs;
   }
@@ -627,6 +662,84 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
                 : opts_.io.LocalWriteSeconds(static_cast<double>(out_bytes)));
 
   result.partitions = std::move(partitions);
+
+  if (opts_.sink != nullptr) {
+    trace::Sink& sink = *opts_.sink;
+    const trace::Track kernel_lane{opts_.track.pid, opts_.track.tid + 1};
+    sink.NameThread(kernel_lane, "kernels");
+    const double clock_hz = dcfg.core_clock_ghz * 1e9;
+    double at = opts_.trace_origin_sec;
+    auto find_kernel = [&](std::string_view phase) -> const KernelTraceRec* {
+      for (const auto& k : kernel_traces) {
+        if (phase == k.phase) return &k;
+      }
+      return nullptr;
+    };
+    // Phases are laid out back-to-back in canonical PhaseBreakdown order,
+    // so summing the phase-span durations reproduces Total() exactly.
+    auto emit_phase = [&](const char* name, double dur, trace::Args args) {
+      if (dur != 0.0) {
+        sink.Span("phase", name, opts_.track, at, dur, std::move(args));
+        if (const KernelTraceRec* k = find_kernel(name)) {
+          const gpusim::KernelReport& r = k->report;
+          sink.Span(
+              "kernel", name, kernel_lane, at, r.elapsed_sec,
+              {trace::Arg::Int("blocks", k->blocks),
+               trace::Arg::Int("threads", k->threads),
+               trace::Arg::Float("device_cycles", r.device_cycles),
+               trace::Arg::Float("dram_roof_cycles", r.dram_roof_cycles),
+               trace::Arg::Float("compute_cycles", r.compute_cycles),
+               trace::Arg::Float("mem_cycles", r.mem_cycles),
+               trace::Arg::Int("transactions", r.transactions),
+               trace::Arg::Int("bytes_moved", r.bytes_moved),
+               trace::Arg::Float("texture_hit_rate", r.TextureHitRate())});
+          if (k->per_sm) {
+            for (std::size_t sm = 0; sm < r.sm_busy_cycles.size(); ++sm) {
+              const double busy = r.sm_busy_cycles[sm] / clock_hz;
+              if (busy == 0.0) continue;
+              const trace::Track sm_lane{
+                  opts_.track.pid,
+                  opts_.track.tid + 2 + static_cast<std::int32_t>(sm)};
+              sink.NameThread(sm_lane, "sm" + std::to_string(sm));
+              sink.Span("sm", name, sm_lane,
+                        at + dcfg.launch_overhead_sec, busy,
+                        {trace::Arg::Float("busy_cycles",
+                                           r.sm_busy_cycles[sm])});
+            }
+          }
+        }
+      }
+      at += dur;
+    };
+    emit_phase("input_read", result.phases.input_read,
+               {trace::Arg::Int("bytes", input_bytes)});
+    emit_phase("record_count", result.phases.record_count,
+               {trace::Arg::Int("records", result.stats.records)});
+    emit_phase("map", result.phases.map,
+               {trace::Arg::Int("records", result.stats.records),
+                trace::Arg::Int("map_kv_pairs", result.stats.map_kv_pairs),
+                trace::Arg::Int("allocated_slots",
+                                result.stats.allocated_slots),
+                trace::Arg::Int("whitespace_slots",
+                                result.stats.whitespace_slots),
+                trace::Arg::Int("texture_hits", result.stats.texture_hits),
+                trace::Arg::Int("texture_misses",
+                                result.stats.texture_misses),
+                trace::Arg::Int("shared_atomics",
+                                result.stats.shared_atomics),
+                trace::Arg::Int("global_atomics",
+                                result.stats.global_atomics)});
+    emit_phase("aggregate", result.phases.aggregate, {});
+    emit_phase("sort", result.phases.sort,
+               {trace::Arg::Int("sort_elements", result.stats.sort_elements)});
+    emit_phase("combine", result.phases.combine,
+               {trace::Arg::Int("out_kv_pairs", result.stats.out_kv_pairs)});
+    emit_phase("output_write", result.phases.output_write,
+               {trace::Arg::Int("output_bytes", result.stats.output_bytes)});
+  }
+  if (opts_.metrics != nullptr) {
+    AddTaskMetrics(*opts_.metrics, result, "gpurt.gpu");
+  }
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include "gpurt/job_program.h"
 #include "gpurt/task_result.h"
 #include "gpusim/device.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace hd::gpurt {
 
@@ -36,6 +38,16 @@ struct GpuTaskOptions {
   std::int64_t kv_store_bytes = 0;
 
   IoConfig io;
+
+  // Observability (src/trace). Null pointers disable tracing/metrics at
+  // near-zero cost and never perturb modeled numbers. Spans land in
+  // modeled task-local seconds offset by `trace_origin_sec`: the Fig. 1
+  // phases on `track`, per-kernel roofline spans on lane tid+1, per-SM
+  // busy spans of the user kernels on lanes tid+2+sm.
+  trace::Sink* sink = nullptr;
+  trace::Registry* metrics = nullptr;
+  trace::Track track;
+  double trace_origin_sec = 0.0;
 };
 
 class GpuMapTask {

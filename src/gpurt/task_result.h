@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gpurt/kv.h"
+#include "trace/metrics.h"
 
 namespace hd::gpurt {
 
@@ -25,6 +27,11 @@ struct PhaseBreakdown {
   }
 };
 
+// Deprecated as a reporting channel: new consumers should read these
+// numbers from the trace::Registry the task fills when
+// {Cpu,Gpu}TaskOptions::metrics is set (AddTaskMetrics below) instead of
+// plumbing TaskStats fields by hand; the struct remains the internal
+// carrier between the task paths and the registry.
 struct TaskStats {
   std::int64_t records = 0;
   std::int64_t map_kv_pairs = 0;
@@ -56,5 +63,37 @@ struct MapTaskResult {
     return n;
   }
 };
+
+// Folds one task's stats and phase breakdown into `registry` under
+// `prefix` (e.g. "gpurt.gpu"): integer stats accumulate as counters,
+// per-phase modeled seconds record into distributions — the shared
+// reporting channel for benches and tests.
+inline void AddTaskMetrics(trace::Registry& registry, const MapTaskResult& m,
+                           const std::string& prefix) {
+  const TaskStats& s = m.stats;
+  registry.counter(prefix + ".tasks").Add(1);
+  registry.counter(prefix + ".records").Add(s.records);
+  registry.counter(prefix + ".map_kv_pairs").Add(s.map_kv_pairs);
+  registry.counter(prefix + ".out_kv_pairs").Add(s.out_kv_pairs);
+  registry.counter(prefix + ".allocated_slots").Add(s.allocated_slots);
+  registry.counter(prefix + ".whitespace_slots").Add(s.whitespace_slots);
+  registry.counter(prefix + ".sort_elements").Add(s.sort_elements);
+  registry.counter(prefix + ".texture_hits").Add(s.texture_hits);
+  registry.counter(prefix + ".texture_misses").Add(s.texture_misses);
+  registry.counter(prefix + ".shared_atomics").Add(s.shared_atomics);
+  registry.counter(prefix + ".global_atomics").Add(s.global_atomics);
+  registry.counter(prefix + ".output_bytes").Add(s.output_bytes);
+  registry.gauge(prefix + ".map_compute_cycles").Set(s.map_compute_cycles);
+  registry.gauge(prefix + ".map_mem_cycles").Set(s.map_mem_cycles);
+  const PhaseBreakdown& p = m.phases;
+  registry.distribution(prefix + ".task_sec").Record(p.Total());
+  registry.distribution(prefix + ".input_read_sec").Record(p.input_read);
+  registry.distribution(prefix + ".record_count_sec").Record(p.record_count);
+  registry.distribution(prefix + ".map_sec").Record(p.map);
+  registry.distribution(prefix + ".aggregate_sec").Record(p.aggregate);
+  registry.distribution(prefix + ".sort_sec").Record(p.sort);
+  registry.distribution(prefix + ".combine_sec").Record(p.combine);
+  registry.distribution(prefix + ".output_write_sec").Record(p.output_write);
+}
 
 }  // namespace hd::gpurt

@@ -240,9 +240,11 @@ KernelReport KernelSim::Finish() const {
   }
   double device_cycles = *std::max_element(sm_cycles.begin(), sm_cycles.end());
   // Device-wide DRAM bandwidth roof.
-  device_cycles = std::max(
-      device_cycles,
-      static_cast<double>(r.bytes_moved) / config_.dram_bytes_per_cycle);
+  r.dram_roof_cycles =
+      static_cast<double>(r.bytes_moved) / config_.dram_bytes_per_cycle;
+  device_cycles = std::max(device_cycles, r.dram_roof_cycles);
+  r.device_cycles = device_cycles;
+  r.sm_busy_cycles = sm_cycles;
   r.elapsed_sec = config_.launch_overhead_sec +
                   device_cycles / (config_.core_clock_ghz * 1e9);
   for (const auto& cache : texture_caches_) {

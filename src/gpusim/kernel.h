@@ -56,12 +56,25 @@ struct KernelReport {
   double elapsed_sec = 0.0;
   double compute_cycles = 0.0;   // sum of warp-max compute
   double mem_cycles = 0.0;       // sum of lane memory latency
+  // Roofline terms resolved by Finish(): the cycles the busiest SM (or the
+  // DRAM roof, whichever binds) takes, the device-wide DRAM-bandwidth
+  // floor, and each SM's modeled busy cycles (for per-SM trace tracks).
+  double device_cycles = 0.0;
+  double dram_roof_cycles = 0.0;
+  std::vector<double> sm_busy_cycles;
   std::int64_t transactions = 0;
   std::int64_t bytes_moved = 0;
   std::int64_t texture_hits = 0;
   std::int64_t texture_misses = 0;
   std::int64_t shared_atomics = 0;
   std::int64_t global_atomics = 0;
+
+  double TextureHitRate() const {
+    const std::int64_t total = texture_hits + texture_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(texture_hits) /
+                            static_cast<double>(total);
+  }
 };
 
 class KernelSim;

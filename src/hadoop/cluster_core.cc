@@ -35,6 +35,39 @@ ClusterCore::ClusterCore(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     n.free_cpu = cfg_.map_slots_per_node;
     n.free_gpu = cfg_.gpus_per_node;
   }
+  if (cfg_.sink != nullptr) {
+    cfg_.sink->NameProcess(0, "jobtracker");
+    free_cpu_lanes_.resize(nodes_.size());
+    free_gpu_lanes_.resize(nodes_.size());
+    for (int node = 0; node < cfg_.num_slaves; ++node) {
+      cfg_.sink->NameProcess(node + 1, "node" + std::to_string(node));
+      cfg_.sink->NameThread(NodeTrack(node, 0), "tasktracker");
+      auto& cpu = free_cpu_lanes_[static_cast<std::size_t>(node)];
+      auto& gpu = free_gpu_lanes_[static_cast<std::size_t>(node)];
+      // Stored highest-first so acquiring from the back hands out the
+      // lowest free tid (tasks fill rows top-down in the viewer).
+      for (int s = cfg_.map_slots_per_node; s >= 1; --s) {
+        cfg_.sink->NameThread(NodeTrack(node, s),
+                              "cpu" + std::to_string(s - 1));
+        cpu.push_back(s);
+      }
+      for (int g = cfg_.gpus_per_node; g >= 1; --g) {
+        const int tid = cfg_.map_slots_per_node + g;
+        cfg_.sink->NameThread(NodeTrack(node, tid),
+                              "gpu" + std::to_string(g - 1));
+        gpu.push_back(tid);
+      }
+    }
+  }
+}
+
+void ClusterCore::EmitHeartbeat(int node_id) {
+  if (cfg_.sink == nullptr) return;
+  const NodeSlots& n = nodes_[static_cast<std::size_t>(node_id)];
+  cfg_.sink->Instant("hadoop", "heartbeat", NodeTrack(node_id, 0),
+                     events_.now(),
+                     {trace::Arg::Int("free_cpu", n.free_cpu),
+                      trace::Arg::Int("free_gpu", n.free_gpu)});
 }
 
 void ClusterCore::InitJob(JobState& job) {
@@ -107,8 +140,28 @@ std::vector<int> ClusterCore::PickTasks(JobState& job, int node_id,
 void ClusterCore::PlaceTask(JobState& job, int node_id, int task,
                             double maps_remaining_per_node) {
   NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
-  const bool want_gpu = sched::PlaceOnGpu(job.policy, SchedView(job, node_id),
-                                          maps_remaining_per_node);
+  const sched::NodeSched view = SchedView(job, node_id);
+  const bool want_gpu =
+      sched::PlaceOnGpu(job.policy, view, maps_remaining_per_node);
+  if (cfg_.sink != nullptr && job.policy == sched::Policy::kTail &&
+      sched::TailForces(view, maps_remaining_per_node)) {
+    // Algorithm 2's forced-GPU decision, with the inputs that produced it.
+    const trace::Args args = {
+        trace::Arg::Int("job", job.id),
+        trace::Arg::Int("task", task),
+        trace::Arg::Float("maps_remaining_per_node", maps_remaining_per_node),
+        trace::Arg::Float("ave_speedup", view.ave_speedup),
+        trace::Arg::Int("num_gpus", view.num_gpus),
+        trace::Arg::Int("free_cpu", view.free_cpu_slots),
+        trace::Arg::Int("free_gpu", view.free_gpu_slots)};
+    if (!job.tail_onset_traced) {
+      job.tail_onset_traced = true;
+      cfg_.sink->Instant("sched", "tail_onset", JobTrack(job), events_.now(),
+                         args);
+    }
+    cfg_.sink->Instant("sched", "forced_gpu", NodeTrack(node_id, 0),
+                       events_.now(), args);
+  }
   if (want_gpu) {
     if (node.free_gpu > 0) {
       StartMap(job, node_id, task, /*on_gpu=*/true);
@@ -117,6 +170,15 @@ void ClusterCore::PlaceTask(JobState& job, int node_id, int task,
       // next TaskTracker with an idle GPU picks it up, rather than queueing
       // behind this node's GPU.
       ++gpu_bounces_;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("hadoop.gpu_bounces").Add(1);
+      }
+      if (cfg_.sink != nullptr) {
+        cfg_.sink->Instant("sched", "gpu_bounce", NodeTrack(node_id, 0),
+                           events_.now(),
+                           {trace::Arg::Int("job", job.id),
+                            trace::Arg::Int("task", task)});
+      }
       job.pending.insert(job.pending.begin(), task);
     }
     return;
@@ -142,6 +204,15 @@ void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu) {
       // revived, and the task is rescheduled — here directly onto a CPU
       // slot when one is free.
       ++job.result.gpu_failures;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("hadoop.gpu_failures").Add(1);
+      }
+      if (cfg_.sink != nullptr) {
+        cfg_.sink->Instant("hadoop", "gpu_failure", NodeTrack(node_id, 0),
+                           events_.now(),
+                           {trace::Arg::Int("job", job.id),
+                            trace::Arg::Int("task", task)});
+      }
       if (node.free_cpu > 0) {
         StartMap(job, node_id, task, /*on_gpu=*/false);
       } else {
@@ -176,15 +247,42 @@ void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu) {
                 cfg_.network_bytes_per_sec;
   }
   job.result.total_map_output_bytes += timing.output_bytes;
-  events_.After(duration, [this, &job, node_id, task, on_gpu, duration] {
-    FinishMap(job, node_id, task, on_gpu, duration);
+  int lane = -1;
+  if (cfg_.sink != nullptr) {
+    auto& lanes = on_gpu ? free_gpu_lanes_[static_cast<std::size_t>(node_id)]
+                         : free_cpu_lanes_[static_cast<std::size_t>(node_id)];
+    HD_CHECK(!lanes.empty());
+    lane = lanes.back();
+    lanes.pop_back();
+  }
+  events_.After(duration, [this, &job, node_id, task, on_gpu, duration, lane] {
+    FinishMap(job, node_id, task, on_gpu, duration, lane);
   });
 }
 
 void ClusterCore::FinishMap(JobState& job, int node_id, int task, bool on_gpu,
-                            double duration) {
+                            double duration, int lane) {
   NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
   JobNodeStats& stats = job.node_stats[static_cast<std::size_t>(node_id)];
+  if (cfg_.sink != nullptr) {
+    cfg_.sink->Span("task", on_gpu ? "gpu_map" : "cpu_map",
+                    NodeTrack(node_id, lane), events_.now() - duration,
+                    duration,
+                    {trace::Arg::Int("job", job.id),
+                     trace::Arg::Int("task", task),
+                     trace::Arg::Str("label", job.label),
+                     trace::Arg::Float("duration_sec", duration)});
+    auto& lanes = on_gpu ? free_gpu_lanes_[static_cast<std::size_t>(node_id)]
+                         : free_cpu_lanes_[static_cast<std::size_t>(node_id)];
+    lanes.push_back(lane);
+  }
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter(on_gpu ? "hadoop.gpu_tasks" : "hadoop.cpu_tasks")
+        .Add(1);
+    cfg_.metrics
+        ->distribution(on_gpu ? "hadoop.gpu_task_sec" : "hadoop.cpu_task_sec")
+        .Record(duration);
+  }
   if (cfg_.trace != nullptr) {
     *cfg_.trace << "t=" << events_.now();
     if (trace_job_ids_) *cfg_.trace << " job=" << job.id;
@@ -223,6 +321,13 @@ void ClusterCore::OnMapsProgress(JobState& job) {
                  "reducers is not modeled");
     job.reduce_start.assign(
         static_cast<std::size_t>(job.source->num_reducers()), events_.now());
+    if (cfg_.sink != nullptr) {
+      cfg_.sink->Instant(
+          "hadoop", "reduce_slowstart", JobTrack(job), events_.now(),
+          {trace::Arg::Int("job", job.id),
+           trace::Arg::Int("maps_done", job.maps_done),
+           trace::Arg::Int("reducers", job.source->num_reducers())});
+    }
   }
   if (job.remaining_maps == 0) FinishJob(job);
 }
@@ -250,6 +355,32 @@ void ClusterCore::FinishJob(JobState& job) {
   }
   job.result.makespan_sec = makespan;
   job.result.final_output = job.source->FinalOutput();
+  if (cfg_.sink != nullptr) {
+    const std::string name =
+        job.label.empty() ? "job" + std::to_string(job.id) : job.label;
+    cfg_.sink->NameThread(JobTrack(job), "job" + std::to_string(job.id));
+    // Map phase and full job as nested spans on the job's JobTracker lane.
+    cfg_.sink->Span(
+        "job", name, JobTrack(job), job.submit_time,
+        makespan - job.submit_time,
+        {trace::Arg::Int("job", job.id),
+         trace::Arg::Str("policy", sched::PolicyName(job.policy)),
+         trace::Arg::Int("cpu_tasks", job.result.cpu_tasks),
+         trace::Arg::Int("gpu_tasks", job.result.gpu_tasks),
+         trace::Arg::Int("nonlocal_tasks", job.result.nonlocal_tasks),
+         trace::Arg::Float("max_observed_speedup",
+                           job.result.max_observed_speedup)});
+    if (job.first_start_time >= 0.0) {
+      cfg_.sink->Span("job", "map_phase", JobTrack(job), job.first_start_time,
+                      job.result.map_phase_end_sec - job.first_start_time,
+                      {trace::Arg::Int("maps", job.maps_done)});
+    }
+  }
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("hadoop.jobs").Add(1);
+    cfg_.metrics->distribution("hadoop.job_latency_sec")
+        .Record(makespan - job.submit_time);
+  }
   OnJobFinished(job);
 }
 

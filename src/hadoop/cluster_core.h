@@ -21,6 +21,8 @@
 #include "hadoop/task_source.h"
 #include "hdfs/hdfs.h"
 #include "sched/policy.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace hd::hadoop {
 
@@ -39,6 +41,14 @@ struct ClusterConfig {
   // Optional schedule trace (one line per task start/finish), for debugging
   // and for the Fig. 3 bench's timeline rendering.
   std::ostream* trace = nullptr;
+  // Structured observability (src/trace); null = off and bit-identical
+  // modeled numbers. Timestamps are DES virtual seconds. Track layout:
+  // pid 0 is the JobTracker (one lane per job id), pid node+1 is cluster
+  // node `node` with tid 0 for heartbeats/decisions, tids
+  // 1..map_slots_per_node its CPU map slots and the next gpus_per_node
+  // tids its GPU slots.
+  trace::Sink* sink = nullptr;
+  trace::Registry* metrics = nullptr;
 };
 
 // HD_CHECKs every ClusterConfig invariant (positive slot/heartbeat/
@@ -93,6 +103,7 @@ struct JobState {
   bool reduces_scheduled = false;
   std::vector<double> reduce_start;
   bool done = false;
+  bool tail_onset_traced = false;  // first forced-GPU decision emitted
 
   double submit_time = 0.0;
   double first_start_time = -1.0;  // <0 until the first task launches
@@ -138,9 +149,21 @@ class ClusterCore {
                  double maps_remaining_per_node);
   void StartMap(JobState& job, int node_id, int task, bool on_gpu);
   void FinishMap(JobState& job, int node_id, int task, bool on_gpu,
-                 double duration);
+                 double duration, int lane);
   void OnMapsProgress(JobState& job);
   void FinishJob(JobState& job);
+
+  // Trace helpers (no-ops when cfg_.sink is null). NodeTrack is lane `tid`
+  // of cluster node `node_id` under the layout documented on ClusterConfig;
+  // JobTrack is the job's JobTracker lane. EmitHeartbeat is called by the
+  // engines' heartbeat handlers.
+  trace::Track NodeTrack(int node_id, int tid) const {
+    return trace::Track{node_id + 1, tid};
+  }
+  trace::Track JobTrack(const JobState& job) const {
+    return trace::Track{0, job.id};
+  }
+  void EmitHeartbeat(int node_id);
 
   // Called after each map completion (slot freed; Hadoop 1.x sends an
   // out-of-band heartbeat here) and after a job's last map completes.
@@ -151,6 +174,12 @@ class ClusterCore {
   EventQueue events_;
   std::vector<NodeSlots> nodes_;
   bool trace_job_ids_ = false;  // multijob traces tag lines with job=<id>
+
+  // Per-node free trace lanes (tids), maintained only when cfg_.sink is
+  // set; a running task holds its lane from StartMap to FinishMap so
+  // overlapping tasks render on distinct rows.
+  std::vector<std::vector<int>> free_cpu_lanes_;
+  std::vector<std::vector<int>> free_gpu_lanes_;
 
   // Cluster-level accounting for utilization / contention metrics.
   double cpu_busy_sec_ = 0.0;   // map-slot-seconds spent on CPU tasks

@@ -17,6 +17,7 @@ JobEngine::JobEngine(ClusterConfig config, TaskTimeSource* source,
 
 void JobEngine::Heartbeat(int node_id) {
   if (job_.done) return;
+  EmitHeartbeat(node_id);
   // JobTracker side: choose how many tasks this response carries, and the
   // numMapsRemainingPerNode estimate it ships alongside (Algorithm 2,
   // lines 8-9) — both computed before handing out this response's tasks.

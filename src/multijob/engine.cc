@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stats.h"
 
 namespace hd::multijob {
 
@@ -58,6 +59,7 @@ void MultiJobEngine::StartPulses() {
 }
 
 void MultiJobEngine::ClusterHeartbeat(int node_id) {
+  EmitHeartbeat(node_id);
   // Per-job heartbeat allowances and numMapsRemainingPerNode estimates,
   // computed once at response-construction time exactly as the single-job
   // JobTracker does (Algorithm 2 lines 8-9).
@@ -119,6 +121,27 @@ void MultiJobEngine::CompleteJob(JobState& job) {
   ++completed_;
   if (--active_jobs_ == 0) ++pulse_gen_;  // retire pulses lazily
 
+  if (cfg_.sink != nullptr) {
+    if (job.first_start_time > job.submit_time) {
+      cfg_.sink->Span("multijob", "queue_wait", JobTrack(job),
+                      job.submit_time,
+                      job.first_start_time - job.submit_time,
+                      {trace::Arg::Int("job", job.id),
+                       trace::Arg::Int("pool", job.pool)});
+    }
+    cfg_.sink->Instant("multijob", "job_complete", JobTrack(job),
+                       events_.now(),
+                       {trace::Arg::Int("job", job.id),
+                        trace::Arg::Str("label", job.label)});
+  }
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("multijob.jobs_completed").Add(1);
+    cfg_.metrics->distribution("multijob.queue_wait_sec")
+        .Record(job.first_start_time - job.submit_time);
+    cfg_.metrics->distribution("multijob.job_latency_sec")
+        .Record(job.result.makespan_sec - job.submit_time);
+  }
+
   JobStats stats;
   stats.job_id = job.id;
   stats.label = job.label;
@@ -143,15 +166,23 @@ WorkloadMetrics MultiJobEngine::Run() {
     metrics_.makespan_sec = std::max(metrics_.makespan_sec, j.finish_sec);
   }
   const double horizon = metrics_.makespan_sec;
-  if (horizon > 0.0) {
-    metrics_.cpu_utilization =
-        cpu_busy_sec_ / (horizon * cfg_.num_slaves * cfg_.map_slots_per_node);
-    if (cfg_.gpus_per_node > 0) {
-      metrics_.gpu_utilization =
-          gpu_busy_sec_ / (horizon * cfg_.num_slaves * cfg_.gpus_per_node);
-    }
-  }
+  metrics_.cpu_utilization = stats::Utilization(
+      cpu_busy_sec_,
+      static_cast<double>(cfg_.num_slaves) * cfg_.map_slots_per_node,
+      horizon);
+  metrics_.gpu_utilization = stats::Utilization(
+      gpu_busy_sec_,
+      static_cast<double>(cfg_.num_slaves) * cfg_.gpus_per_node, horizon);
   metrics_.gpu_bounces = gpu_bounces_;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->gauge("multijob.makespan_sec").Set(metrics_.makespan_sec);
+    cfg_.metrics->gauge("multijob.cpu_utilization")
+        .Set(metrics_.cpu_utilization);
+    cfg_.metrics->gauge("multijob.gpu_utilization")
+        .Set(metrics_.gpu_utilization);
+    cfg_.metrics->counter("multijob.gpu_bounces").Set(gpu_bounces_);
+    cfg_.metrics->counter("multijob.jobs_submitted").Set(submitted_);
+  }
   return metrics_;
 }
 

@@ -1,9 +1,6 @@
 #include "multijob/metrics.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/check.h"
+#include "common/stats.h"
 
 namespace hd::multijob {
 
@@ -20,23 +17,17 @@ std::int64_t WorkloadMetrics::TotalGpuTasks() const {
 }
 
 double WorkloadMetrics::MeanQueueWait() const {
-  if (jobs.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& j : jobs) sum += j.QueueWait();
-  return sum / static_cast<double>(jobs.size());
+  std::vector<double> waits;
+  waits.reserve(jobs.size());
+  for (const auto& j : jobs) waits.push_back(j.QueueWait());
+  return stats::Mean(waits);
 }
 
 double WorkloadMetrics::LatencyPercentile(double q) const {
-  HD_CHECK(q >= 0.0 && q <= 1.0);
-  if (jobs.empty()) return 0.0;
   std::vector<double> lat;
   lat.reserve(jobs.size());
   for (const auto& j : jobs) lat.push_back(j.Latency());
-  std::sort(lat.begin(), lat.end());
-  // Nearest-rank: smallest latency with at least q of the mass below it.
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(lat.size())));
-  return lat[rank == 0 ? 0 : rank - 1];
+  return stats::NearestRankPercentile(std::move(lat), q);
 }
 
 double WorkloadMetrics::ThroughputJobsPerHour() const {

@@ -41,16 +41,21 @@ bool PlaceOnGpu(Policy policy, const NodeSched& node,
     case Policy::kGpuFirst:
       return node.free_gpu_slots > 0;
     case Policy::kTail: {
-      // A GPU-less TaskTracker degenerates to plain Hadoop: taskTail would
-      // be 0 and the `<=` comparison would force-GPU once remaining hits 0.
+      if (TailForces(node, maps_remaining_per_node)) return true;
       if (node.num_gpus == 0) return false;
-      const double task_tail =
-          static_cast<double>(node.num_gpus) * node.ave_speedup;
-      if (maps_remaining_per_node <= task_tail) return true;  // tail: force
       return node.free_gpu_slots > 0;  // body: GPU-first
     }
   }
   return false;
+}
+
+bool TailForces(const NodeSched& node, double maps_remaining_per_node) {
+  // A GPU-less TaskTracker degenerates to plain Hadoop: taskTail would be 0
+  // and the `<=` comparison would force-GPU once remaining hits 0.
+  if (node.num_gpus == 0) return false;
+  const double task_tail =
+      static_cast<double>(node.num_gpus) * node.ave_speedup;
+  return maps_remaining_per_node <= task_tail;
 }
 
 }  // namespace hd::sched

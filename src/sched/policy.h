@@ -48,4 +48,11 @@ int MaxTasksThisHeartbeat(Policy policy, const NodeSched& node,
 bool PlaceOnGpu(Policy policy, const NodeSched& node,
                 double maps_remaining_per_node);
 
+// Algorithm 2's tail predicate in isolation: whether a kTail node with this
+// view is past the tail onset (numMapsRemainingPerNode <= taskTail) and
+// therefore forces GPU execution. Exposed so instrumentation can
+// distinguish a forced-GPU placement from body GPU-first without
+// re-deriving the policy.
+bool TailForces(const NodeSched& node, double maps_remaining_per_node);
+
 }  // namespace hd::sched

@@ -1,0 +1,109 @@
+#include "trace/chrome.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace hd::trace {
+
+namespace {
+
+void WriteArgs(json::Writer& w, const Args& args) {
+  w.Key("args").BeginObject();
+  for (const Arg& a : args) {
+    w.Key(a.key);
+    switch (a.kind) {
+      case Arg::Kind::kInt: w.Int(a.i); break;
+      case Arg::Kind::kFloat: w.Number(a.f); break;
+      case Arg::Kind::kString: w.String(a.s); break;
+    }
+  }
+  w.EndObject();
+}
+
+constexpr double kMicrosPerSec = 1e6;
+
+}  // namespace
+
+void ChromeTraceSink::Span(std::string_view category, std::string_view name,
+                           Track track, double start_sec, double dur_sec,
+                           Args args) {
+  Event e;
+  e.phase = 'X';
+  e.category = std::string(category);
+  e.name = std::string(name);
+  e.track = track;
+  e.start_sec = start_sec;
+  e.dur_sec = dur_sec;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceSink::Instant(std::string_view category, std::string_view name,
+                              Track track, double at_sec, Args args) {
+  Event e;
+  e.phase = 'i';
+  e.category = std::string(category);
+  e.name = std::string(name);
+  e.track = track;
+  e.start_sec = at_sec;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceSink::NameProcess(std::int32_t pid, std::string_view name) {
+  for (const auto& [p, n] : process_names_) {
+    if (p == pid) return;  // first registration wins
+  }
+  process_names_.emplace_back(pid, std::string(name));
+}
+
+void ChromeTraceSink::NameThread(Track track, std::string_view name) {
+  for (const auto& [t, n] : thread_names_) {
+    if (t.pid == track.pid && t.tid == track.tid) return;
+  }
+  thread_names_.emplace_back(track, std::string(name));
+}
+
+void ChromeTraceSink::Write(std::ostream& os) const {
+  json::Writer w(os);
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const auto& [pid, name] : process_names_) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("process_name");
+    w.Key("pid").Int(pid);
+    w.Key("tid").Int(0);
+    w.Key("args").BeginObject().Key("name").String(name).EndObject();
+    w.EndObject();
+  }
+  for (const auto& [track, name] : thread_names_) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("thread_name");
+    w.Key("pid").Int(track.pid);
+    w.Key("tid").Int(track.tid);
+    w.Key("args").BeginObject().Key("name").String(name).EndObject();
+    w.EndObject();
+  }
+  for (const Event& e : events_) {
+    w.BeginObject();
+    w.Key("ph").String(std::string_view(&e.phase, 1));
+    w.Key("cat").String(e.category);
+    w.Key("name").String(e.name);
+    w.Key("pid").Int(e.track.pid);
+    w.Key("tid").Int(e.track.tid);
+    w.Key("ts").Number(e.start_sec * kMicrosPerSec);
+    if (e.phase == 'X') w.Key("dur").Number(e.dur_sec * kMicrosPerSec);
+    if (e.phase == 'i') w.Key("s").String("t");
+    WriteArgs(w, e.args);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+}
+
+}  // namespace hd::trace

@@ -1,0 +1,50 @@
+// Chrome trace-event exporter: collects Sink events in memory and writes a
+// chrome://tracing / Perfetto-loadable JSON document.
+//
+// Time-domain mapping: Sink timestamps are modeled seconds; Chrome's `ts`
+// and `dur` are microseconds, written as shortest-round-trip doubles so the
+// mapping is exact and two same-seed runs serialize byte-identical files.
+// Track naming goes through metadata events (`process_name`/`thread_name`),
+// emitted before the data events in registration order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hd::trace {
+
+class ChromeTraceSink final : public Sink {
+ public:
+  struct Event {
+    char phase = 'X';  // 'X' complete span, 'i' instant
+    std::string category;
+    std::string name;
+    Track track;
+    double start_sec = 0.0;
+    double dur_sec = 0.0;  // spans only
+    Args args;
+  };
+
+  void Span(std::string_view category, std::string_view name, Track track,
+            double start_sec, double dur_sec, Args args = {}) override;
+  void Instant(std::string_view category, std::string_view name, Track track,
+               double at_sec, Args args = {}) override;
+  void NameProcess(std::int32_t pid, std::string_view name) override;
+  void NameThread(Track track, std::string_view name) override;
+
+  const std::vector<Event>& events() const { return events_; }
+
+  // Serialises {"displayTimeUnit":"ms","traceEvents":[...]}.
+  void Write(std::ostream& os) const;
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::pair<std::int32_t, std::string>> process_names_;
+  std::vector<std::pair<Track, std::string>> thread_names_;
+};
+
+}  // namespace hd::trace

@@ -1,0 +1,111 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/stats.h"
+
+namespace hd::trace {
+
+double Distribution::Min() const {
+  HD_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Distribution::Max() const {
+  HD_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Distribution::Mean() const { return stats::Mean(samples_); }
+
+double Distribution::Percentile(double q) const {
+  return stats::NearestRankPercentile(samples_, q);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Distribution& Registry::distribution(std::string_view name) {
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_.emplace(std::string(name), Distribution{}).first;
+  }
+  return it->second;
+}
+
+const Counter* Registry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Distribution* Registry::FindDistribution(std::string_view name) const {
+  const auto it = distributions_.find(name);
+  return it == distributions_.end() ? nullptr : &it->second;
+}
+
+void Registry::WriteJson(std::ostream& os) const {
+  json::Writer w(os);
+  w.BeginObject();
+  // The three maps are each name-sorted; a merged walk keeps the whole
+  // document sorted by key (counter/gauge/distribution names never clash
+  // by convention — suffixed distribution keys sort adjacent regardless).
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  auto d = distributions_.begin();
+  auto next_is_counter = [&] {
+    if (c == counters_.end()) return false;
+    if (g != gauges_.end() && g->first < c->first) return false;
+    if (d != distributions_.end() && d->first < c->first) return false;
+    return true;
+  };
+  auto next_is_gauge = [&] {
+    if (g == gauges_.end()) return false;
+    if (d != distributions_.end() && d->first < g->first) return false;
+    return true;
+  };
+  while (c != counters_.end() || g != gauges_.end() ||
+         d != distributions_.end()) {
+    if (next_is_counter()) {
+      w.Key(c->first).Int(c->second.value());
+      ++c;
+    } else if (next_is_gauge()) {
+      w.Key(g->first).Number(g->second.value());
+      ++g;
+    } else {
+      const auto& [name, dist] = *d;
+      w.Key(name + ".count").Int(dist.count());
+      if (dist.count() > 0) {
+        w.Key(name + ".min").Number(dist.Min());
+        w.Key(name + ".mean").Number(dist.Mean());
+        w.Key(name + ".p50").Number(dist.Percentile(0.50));
+        w.Key(name + ".p95").Number(dist.Percentile(0.95));
+        w.Key(name + ".max").Number(dist.Max());
+      }
+      ++d;
+    }
+  }
+  w.EndObject();
+  os << '\n';
+}
+
+}  // namespace hd::trace

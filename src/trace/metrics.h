@@ -1,0 +1,87 @@
+// Typed metrics registry: named counters, gauges and sample distributions
+// with a deterministic flat-JSON export.
+//
+// The registry complements the event trace (trace.h): spans answer "where
+// did the time go in this run", the registry answers "what were the totals"
+// — task counts, KV volumes, texture hit rates, latency percentiles —
+// in a machine-readable form every bench/test shares. Like the Sink, a
+// null Registry* means "off" at every instrumentation site.
+//
+// Export is a single flat JSON object sorted by metric name: counters as
+// integers, gauges as numbers, distributions expanded to
+// `<name>.count/min/mean/p50/p95/max` (nearest-rank percentiles from
+// common/stats.h). Flat keys keep downstream validation trivial
+// (`json.load` + key lookup, no schema walker).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hd::trace {
+
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) { value_ += n; }
+  void Set(std::int64_t v) { value_ = v; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// A recorded sample set summarised at export time.
+class Distribution {
+ public:
+  void Record(double x) { samples_.push_back(x); }
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  // Nearest-rank percentile, q in [0, 1].
+  double Percentile(double q) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+class Registry {
+ public:
+  // Lookup-or-create. References stay valid for the Registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Distribution& distribution(std::string_view name);
+
+  // Lookup-only; nullptr when the metric was never touched.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Distribution* FindDistribution(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && distributions_.empty();
+  }
+
+  // The flat metrics JSON object described above.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Distribution, std::less<>> distributions_;
+};
+
+}  // namespace hd::trace

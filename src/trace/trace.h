@@ -1,0 +1,104 @@
+// Structured event tracing for the simulated stack.
+//
+// Every layer — gpusim kernels, the gpurt host driver, the hadoop DES, the
+// scheduling policies and the multi-job engine — reports *modeled-time*
+// events through one Sink interface:
+//
+//   * spans: a named interval [start, start+dur) on a track,
+//   * instants: a point event (a heartbeat, a forced-GPU decision),
+//
+// each carrying typed key/value args. Time is always modeled seconds in the
+// emitting layer's domain: task-local seconds for a single host-driver run
+// (offset by GpuTaskOptions::trace_origin_sec when embedded in a larger
+// timeline), DES virtual seconds for cluster runs. Device cycles are
+// converted to seconds by the emitter so one trace file has one time unit.
+//
+// Tracks map onto Chrome trace-event pid/tid pairs: pid groups related
+// lanes (a cluster node, a device, the JobTracker), tid is the lane within
+// it (a map slot, an SM, a job).
+//
+// The null sink is the null pointer: every instrumentation site guards on
+// `sink != nullptr`, so a disabled trace costs one branch and never touches
+// modeled state — seeded runs are bit-identical with tracing on or off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hd::trace {
+
+// One typed event argument.
+struct Arg {
+  enum class Kind { kInt, kFloat, kString };
+
+  std::string key;
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  double f = 0.0;
+  std::string s;
+
+  static Arg Int(std::string key, std::int64_t v) {
+    Arg a;
+    a.key = std::move(key);
+    a.kind = Kind::kInt;
+    a.i = v;
+    return a;
+  }
+  static Arg Float(std::string key, double v) {
+    Arg a;
+    a.key = std::move(key);
+    a.kind = Kind::kFloat;
+    a.f = v;
+    return a;
+  }
+  static Arg Str(std::string key, std::string v) {
+    Arg a;
+    a.key = std::move(key);
+    a.kind = Kind::kString;
+    a.s = std::move(v);
+    return a;
+  }
+};
+using Args = std::vector<Arg>;
+
+// Where an event renders; maps onto Chrome's pid/tid.
+struct Track {
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  // A complete interval [start_sec, start_sec + dur_sec) on `track`.
+  virtual void Span(std::string_view category, std::string_view name,
+                    Track track, double start_sec, double dur_sec,
+                    Args args = {}) = 0;
+
+  // A point event at `at_sec`.
+  virtual void Instant(std::string_view category, std::string_view name,
+                       Track track, double at_sec, Args args = {}) = 0;
+
+  // Viewer labels for a pid / a (pid, tid) lane. Idempotent per target.
+  virtual void NameProcess(std::int32_t pid, std::string_view name) = 0;
+  virtual void NameThread(Track track, std::string_view name) = 0;
+};
+
+// Discards everything. Instrumentation sites treat a null Sink* as "off",
+// so this exists for callers that want a non-null sink object (e.g. to
+// exercise the enabled code path without collecting).
+class NullSink final : public Sink {
+ public:
+  void Span(std::string_view, std::string_view, Track, double, double,
+            Args) override {}
+  void Instant(std::string_view, std::string_view, Track, double,
+               Args) override {}
+  void NameProcess(std::int32_t, std::string_view) override {}
+  void NameThread(Track, std::string_view) override {}
+};
+
+}  // namespace hd::trace

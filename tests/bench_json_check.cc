@@ -1,0 +1,146 @@
+// One schema test covering every bench binary: runs each with
+// `--smoke --quiet --json --trace` and validates the shared
+// "heterodoop.bench.v1" report schema plus the Chrome trace envelope with
+// the in-repo JSON parser. HD_BENCH_BIN_DIR is injected by CMake.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/reporter.h"
+#include "common/json.h"
+
+namespace {
+
+using hd::json::Parse;
+using hd::json::Value;
+
+constexpr const char* kBenches[] = {
+    "table2_workloads", "table3_clusters",  "fig3_tail_example",
+    "fig4a_cluster1",   "fig4b_cluster2",   "fig5_task_speedup",
+    "fig6_breakdown",   "fig7_optimizations", "ablation_tuning",
+    "multijob_throughput",
+};
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+void CheckReport(const std::string& bench, const std::string& path) {
+  const Value doc = Parse(Slurp(path));
+  ASSERT_TRUE(doc.is_object()) << bench;
+  const Value* schema = doc.Find("schema");
+  ASSERT_NE(schema, nullptr) << bench;
+  EXPECT_EQ(schema->string, "heterodoop.bench.v1") << bench;
+  const Value* id = doc.Find("benchmark");
+  ASSERT_NE(id, nullptr) << bench;
+  EXPECT_EQ(id->string, bench);
+  const Value* smoke = doc.Find("smoke");
+  ASSERT_NE(smoke, nullptr) << bench;
+  EXPECT_EQ(smoke->kind, Value::Kind::kBool) << bench;
+  const Value* config = doc.Find("config");
+  ASSERT_NE(config, nullptr) << bench;
+  EXPECT_TRUE(config->is_object()) << bench;
+  const Value* modeled = doc.Find("modeled_seconds");
+  ASSERT_NE(modeled, nullptr) << bench;
+  EXPECT_TRUE(modeled->is_number()) << bench;
+  const Value* rows = doc.Find("rows");
+  ASSERT_NE(rows, nullptr) << bench;
+  ASSERT_TRUE(rows->is_array()) << bench;
+  ASSERT_FALSE(rows->array.empty()) << bench;
+  for (const Value& row : rows->array) {
+    ASSERT_TRUE(row.is_object()) << bench;
+    const Value* table = row.Find("table");
+    ASSERT_NE(table, nullptr) << bench;
+    EXPECT_TRUE(table->is_string()) << bench;
+    // Beyond the table tag, each row carries at least one typed cell.
+    EXPECT_GE(row.object.size(), 2u) << bench;
+  }
+  const Value* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr) << bench;
+  EXPECT_TRUE(metrics->is_object()) << bench;
+}
+
+void CheckTrace(const std::string& bench, const std::string& path) {
+  const Value doc = Parse(Slurp(path));
+  ASSERT_TRUE(doc.is_object()) << bench;
+  const Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr) << bench;
+  ASSERT_TRUE(events->is_array()) << bench;
+  const std::set<std::string> allowed = {"M", "X", "i"};
+  for (const Value& e : events->array) {
+    ASSERT_TRUE(e.is_object()) << bench;
+    const Value* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr) << bench;
+    EXPECT_TRUE(allowed.count(ph->string)) << bench << " ph=" << ph->string;
+    EXPECT_NE(e.Find("pid"), nullptr) << bench;
+    EXPECT_NE(e.Find("tid"), nullptr) << bench;
+    EXPECT_NE(e.Find("name"), nullptr) << bench;
+  }
+}
+
+TEST(BenchJson, EveryBinaryEmitsTheSharedSchema) {
+  const std::string bin_dir = HD_BENCH_BIN_DIR;
+  for (const char* bench : kBenches) {
+    const std::string json_path =
+        bin_dir + "/" + bench + ".schema_check.json";
+    const std::string trace_path =
+        bin_dir + "/" + bench + ".schema_check.trace.json";
+    const std::string cmd = bin_dir + "/" + bench +
+                            " --smoke --quiet --json " + json_path +
+                            " --trace " + trace_path;
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    CheckReport(bench, json_path);
+    CheckTrace(bench, trace_path);
+    std::remove(json_path.c_str());
+    std::remove(trace_path.c_str());
+  }
+}
+
+TEST(Reporter, InProcessReportMatchesSchema) {
+  const std::string json_path =
+      std::string(HD_BENCH_BIN_DIR) + "/reporter_unit.json";
+  std::string arg_json = "--json";
+  std::string arg_path = json_path;
+  std::string arg_quiet = "--quiet";
+  std::string arg_smoke = "--smoke";
+  std::string prog = "unit";
+  char* argv[] = {prog.data(), arg_json.data(), arg_path.data(),
+                  arg_quiet.data(), arg_smoke.data()};
+  {
+    hd::bench::Reporter rep("unit", 5, argv);
+    EXPECT_TRUE(rep.smoke());
+    EXPECT_TRUE(rep.quiet());
+    EXPECT_EQ(rep.sink(), nullptr);  // no --trace
+    rep.Config("k", 3);
+    rep.metrics()->counter("unit.count").Add(2);
+    auto& t = rep.AddTable("t", {"name", "x"});
+    t.Row().Cell("a").Cell(1.5, 2);
+    rep.Print(t);
+    rep.AddModeledSeconds(4.25);
+    EXPECT_EQ(rep.Finish(), 0);
+  }
+  const Value doc = Parse(Slurp(json_path));
+  EXPECT_EQ(doc.Find("schema")->string, hd::bench::kSchema);
+  EXPECT_EQ(doc.Find("benchmark")->string, "unit");
+  EXPECT_TRUE(doc.Find("smoke")->boolean);
+  EXPECT_EQ(doc.Find("config")->Find("k")->number, 3.0);
+  EXPECT_EQ(doc.Find("modeled_seconds")->number, 4.25);
+  const Value* rows = doc.Find("rows");
+  ASSERT_EQ(rows->array.size(), 1u);
+  EXPECT_EQ(rows->array[0].Find("table")->string, "t");
+  EXPECT_EQ(rows->array[0].Find("name")->string, "a");
+  EXPECT_EQ(rows->array[0].Find("x")->number, 1.5);
+  EXPECT_EQ(doc.Find("metrics")->Find("unit.count")->number, 2.0);
+  std::remove(json_path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Pins the modeled numbers of representative fig4a/fig5 configurations to
+// their exact values from before the observability layer landed, with
+// tracing off and on: instrumentation must never perturb simulation
+// arithmetic, so these are exact double comparisons, not tolerances.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "hadoop/engine.h"
+#include "trace/chrome.h"
+#include "trace/metrics.h"
+
+namespace {
+
+using namespace hd;
+
+struct Pin {
+  const char* id;
+  double cpu_sec;
+  double gpu_sec;
+  double baseline_sec;
+  std::int64_t output_bytes;
+  double cpu_only_makespan;
+  double tail_makespan;
+};
+
+// Values recorded from the pre-trace tree at kMeasuredSplitBytes with the
+// Fig. 4(a) cluster (48 slaves, 20 map slots, 2 reduce slots, 1 GPU/node,
+// 6 GB/s network) and the Fig. 4(a) calibration (variation 0.10,
+// reduce_sec 8.0, production-scaled durations/output).
+constexpr Pin kPins[] = {
+    {"WC", 0.011663192023747989, 0.0027647908911792901,
+     0.0038288497837967402, 34605, 115.51844173930539, 99.487739298268963},
+    {"BS", 0.09269061022157904, 0.0024691671947906684,
+     0.0024715470605624805, 115491, 549.59423397684782, 233.35577433165221},
+};
+
+void CheckPin(const Pin& pin, trace::Sink* sink, trace::Registry* metrics) {
+  const apps::Benchmark& b = apps::GetBenchmark(pin.id);
+  bench::MeasureConfig cfg;
+  cfg.sink = sink;
+  cfg.metrics = metrics;
+  const bench::MeasuredTask m = bench::MeasureTask(b, cfg);
+  EXPECT_EQ(m.CpuSec(), pin.cpu_sec) << pin.id;
+  EXPECT_EQ(m.GpuSec(), pin.gpu_sec) << pin.id;
+  EXPECT_EQ(m.GpuBaselineSec(), pin.baseline_sec) << pin.id;
+  EXPECT_EQ(static_cast<std::int64_t>(m.gpu.stats.output_bytes),
+            pin.output_bytes)
+      << pin.id;
+
+  hadoop::CalibratedTaskSource::Params p;
+  p.num_maps = b.cluster1.map_tasks;
+  p.num_reducers = b.cluster1.reduce_tasks;
+  p.cpu_task_sec = m.CpuSec() * bench::kProductionScale;
+  p.gpu_task_sec = m.GpuSec() * bench::kProductionScale;
+  p.variation = 0.10;
+  p.map_output_bytes = static_cast<std::int64_t>(
+      m.gpu.stats.output_bytes * bench::kProductionScale);
+  p.reduce_sec = 8.0;
+
+  hadoop::ClusterConfig cluster;
+  cluster.num_slaves = 48;
+  cluster.map_slots_per_node = 20;
+  cluster.reduce_slots_per_node = 2;
+  cluster.gpus_per_node = 1;
+  cluster.network_bytes_per_sec = 6.0e9;
+  cluster.sink = sink;
+  cluster.metrics = metrics;
+
+  {
+    hadoop::CalibratedTaskSource source(p);
+    hadoop::ClusterConfig c = cluster;
+    c.gpus_per_node = 0;
+    const hadoop::JobResult r =
+        hadoop::JobEngine(c, &source, sched::Policy::kCpuOnly).Run();
+    EXPECT_EQ(r.makespan_sec, pin.cpu_only_makespan) << pin.id;
+  }
+  {
+    hadoop::CalibratedTaskSource source(p);
+    const hadoop::JobResult r =
+        hadoop::JobEngine(cluster, &source, sched::Policy::kTail).Run();
+    EXPECT_EQ(r.makespan_sec, pin.tail_makespan) << pin.id;
+  }
+}
+
+TEST(BenchPin, ModeledNumbersMatchPrePrValuesWithTracingOff) {
+  for (const Pin& pin : kPins) CheckPin(pin, nullptr, nullptr);
+}
+
+TEST(BenchPin, ModeledNumbersMatchPrePrValuesWithTracingOn) {
+  for (const Pin& pin : kPins) {
+    trace::ChromeTraceSink sink;
+    trace::Registry reg;
+    CheckPin(pin, &sink, &reg);
+    EXPECT_FALSE(sink.events().empty());
+    EXPECT_FALSE(reg.empty());
+  }
+}
+
+}  // namespace

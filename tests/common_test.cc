@@ -2,9 +2,12 @@
 
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "common/prng.h"
+#include "common/stats.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -142,6 +145,79 @@ TEST(Table, AlignsColumns) {
 TEST(Table, CellBeforeRowThrows) {
   Table t({"a"});
   EXPECT_THROW(t.Cell("x"), CheckError);
+}
+
+TEST(Stats, MeanHandlesEmptyAndValues) {
+  EXPECT_EQ(stats::Mean({}), 0.0);
+  EXPECT_EQ(stats::Mean({2.0, 4.0, 6.0}), 4.0);
+}
+
+TEST(Stats, GeoMean) {
+  EXPECT_DOUBLE_EQ(stats::GeoMean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(stats::GeoMean({2.0, 8.0}), 4.0);
+  EXPECT_THROW(stats::GeoMean({}), CheckError);
+  EXPECT_THROW(stats::GeoMean({1.0, -1.0}), CheckError);
+}
+
+TEST(Stats, NearestRankPercentile) {
+  EXPECT_EQ(stats::NearestRankPercentile({}, 0.5), 0.0);
+  // Nearest-rank: the smallest sample with >= q of the mass at or below.
+  std::vector<double> xs = {30.0, 10.0, 20.0, 40.0};
+  EXPECT_EQ(stats::NearestRankPercentile(xs, 0.0), 10.0);
+  EXPECT_EQ(stats::NearestRankPercentile(xs, 0.5), 20.0);
+  EXPECT_EQ(stats::NearestRankPercentile(xs, 0.75), 30.0);
+  EXPECT_EQ(stats::NearestRankPercentile(xs, 1.0), 40.0);
+  EXPECT_THROW(stats::NearestRankPercentile(xs, 1.5), CheckError);
+}
+
+TEST(Stats, Utilization) {
+  EXPECT_EQ(stats::Utilization(50.0, 10.0, 10.0), 0.5);
+  EXPECT_EQ(stats::Utilization(5.0, 0.0, 10.0), 0.0);
+  EXPECT_EQ(stats::Utilization(5.0, 10.0, 0.0), 0.0);
+}
+
+TEST(Json, WriterProducesDeterministicDocument) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.BeginObject();
+  w.Key("s").String("a\"b\n");
+  w.Key("i").Int(-7);
+  w.Key("n").Number(0.1);
+  w.Key("b").Bool(true);
+  w.Key("a").BeginArray();
+  w.Number(1.0);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(os.str(),
+            "{\"s\":\"a\\\"b\\n\",\"i\":-7,\"n\":0.1,\"b\":true,"
+            "\"a\":[1,null]}");
+}
+
+TEST(Json, NumberFormattingRoundTrips) {
+  for (double v : {0.0, -0.125, 1e-9, 99.487739298268963, 1e300}) {
+    const json::Value parsed = json::Parse(json::FormatNumber(v));
+    EXPECT_EQ(parsed.number, v);
+  }
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(json::Parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(json::Parse("[1,2"), std::runtime_error);
+  EXPECT_THROW(json::Parse("{} trailing"), std::runtime_error);
+}
+
+TEST(Json, ParsePreservesObjectOrderAndFind) {
+  const json::Value v = json::Parse("{\"z\":1,\"a\":[true,\"x\"]}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  const json::Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_TRUE(a->array[0].boolean);
+  EXPECT_EQ(a->array[1].string, "x");
+  EXPECT_EQ(v.Find("missing"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,311 @@
+// Tests for the observability layer (src/trace): event/metrics APIs, the
+// Chrome exporter, the instrumentation contracts (phase spans reproduce
+// PhaseBreakdown exactly; tracing never perturbs modeled numbers), and
+// byte-identical serialization across same-seed runs.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark.h"
+#include "common/json.h"
+#include "gpurt/cpu_task.h"
+#include "gpurt/gpu_task.h"
+#include "gpurt/job_program.h"
+#include "gpusim/device.h"
+#include "hadoop/engine.h"
+#include "trace/chrome.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace hd;
+
+constexpr std::int64_t kSplitBytes = 16 << 10;
+
+gpurt::MapTaskResult RunGpuTask(const apps::Benchmark& b,
+                                trace::Sink* sink,
+                                trace::Registry* metrics) {
+  gpurt::JobProgram job =
+      gpurt::CompileJob(b.map_source, b.combine_source, b.reduce_source);
+  gpusim::GpuDevice device(gpusim::DeviceConfig::TeslaK40());
+  gpurt::GpuTaskOptions opts;
+  opts.num_reducers = b.map_only ? 0 : b.num_reducers();
+  opts.sink = sink;
+  opts.metrics = metrics;
+  return gpurt::GpuMapTask(job, &device, opts)
+      .Run(b.generate(kSplitBytes, 20150615));
+}
+
+hadoop::JobResult RunSmallCluster(trace::Sink* sink,
+                                  trace::Registry* metrics) {
+  hadoop::CalibratedTaskSource::Params p;
+  p.num_maps = 37;
+  p.num_reducers = 2;
+  p.cpu_task_sec = 12.0;
+  p.gpu_task_sec = 2.0;
+  p.variation = 0.1;
+  hadoop::CalibratedTaskSource source(p);
+  hadoop::ClusterConfig c;
+  c.num_slaves = 2;
+  c.map_slots_per_node = 3;
+  c.gpus_per_node = 1;
+  c.sink = sink;
+  c.metrics = metrics;
+  return hadoop::JobEngine(c, &source, sched::Policy::kTail).Run();
+}
+
+TEST(TraceSink, PhaseSpansSumExactlyToPhaseTotal) {
+  trace::ChromeTraceSink sink;
+  const gpurt::MapTaskResult r = RunGpuTask(apps::GetBenchmark("WC"), &sink,
+                                            nullptr);
+  double sum = 0.0;
+  double cursor = 0.0;
+  int n = 0;
+  for (const auto& e : sink.events()) {
+    if (e.phase != 'X' || e.category != "phase") continue;
+    // Phases are laid out back-to-back in PhaseBreakdown order, so the
+    // running sum both equals the next start and reproduces Total().
+    EXPECT_EQ(cursor, e.start_sec);
+    sum += e.dur_sec;
+    cursor = e.start_sec + e.dur_sec;
+    ++n;
+  }
+  EXPECT_GE(n, 5);
+  EXPECT_EQ(sum, r.phases.Total());
+}
+
+TEST(TraceSink, KernelAndSmSpansStayWithinTheirPhase) {
+  trace::ChromeTraceSink sink;
+  RunGpuTask(apps::GetBenchmark("WC"), &sink, nullptr);
+  // Index phase spans by name, then check every kernel/SM span nests
+  // inside the phase span of the same name.
+  std::vector<const trace::ChromeTraceSink::Event*> phases;
+  for (const auto& e : sink.events()) {
+    if (e.phase == 'X' && e.category == "phase") phases.push_back(&e);
+  }
+  int checked = 0;
+  const double eps = 1e-12;
+  for (const auto& e : sink.events()) {
+    if (e.phase != 'X' ||
+        (e.category != "kernel" && e.category != "sm")) {
+      continue;
+    }
+    bool nested = false;
+    for (const auto* p : phases) {
+      if (p->name == e.name && e.start_sec >= p->start_sec - eps &&
+          e.start_sec + e.dur_sec <= p->start_sec + p->dur_sec + eps) {
+        nested = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(nested) << e.category << "/" << e.name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(TraceSink, TracingDoesNotPerturbGpuModeledNumbers) {
+  const apps::Benchmark& b = apps::GetBenchmark("WC");
+  const gpurt::MapTaskResult off = RunGpuTask(b, nullptr, nullptr);
+  trace::ChromeTraceSink sink;
+  trace::Registry reg;
+  const gpurt::MapTaskResult on = RunGpuTask(b, &sink, &reg);
+  EXPECT_EQ(off.phases.input_read, on.phases.input_read);
+  EXPECT_EQ(off.phases.record_count, on.phases.record_count);
+  EXPECT_EQ(off.phases.map, on.phases.map);
+  EXPECT_EQ(off.phases.aggregate, on.phases.aggregate);
+  EXPECT_EQ(off.phases.sort, on.phases.sort);
+  EXPECT_EQ(off.phases.combine, on.phases.combine);
+  EXPECT_EQ(off.phases.output_write, on.phases.output_write);
+  EXPECT_EQ(off.stats.output_bytes, on.stats.output_bytes);
+  EXPECT_EQ(off.stats.out_kv_pairs, on.stats.out_kv_pairs);
+}
+
+TEST(TraceSink, TracingDoesNotPerturbClusterModeledNumbers) {
+  const hadoop::JobResult off = RunSmallCluster(nullptr, nullptr);
+  trace::ChromeTraceSink sink;
+  trace::Registry reg;
+  const hadoop::JobResult on = RunSmallCluster(&sink, &reg);
+  EXPECT_EQ(off.makespan_sec, on.makespan_sec);
+  EXPECT_EQ(off.cpu_tasks, on.cpu_tasks);
+  EXPECT_EQ(off.gpu_tasks, on.gpu_tasks);
+}
+
+TEST(TraceSink, SameSeedRunsSerializeByteIdentically) {
+  std::string serialized[2];
+  for (int i = 0; i < 2; ++i) {
+    trace::ChromeTraceSink sink;
+    RunGpuTask(apps::GetBenchmark("WC"), &sink, nullptr);
+    RunSmallCluster(&sink, nullptr);
+    std::ostringstream os;
+    sink.Write(os);
+    serialized[i] = os.str();
+  }
+  EXPECT_FALSE(serialized[0].empty());
+  EXPECT_EQ(serialized[0], serialized[1]);
+}
+
+TEST(TraceSink, ChromeJsonIsWellFormedWithRequiredKeys) {
+  trace::ChromeTraceSink sink;
+  RunSmallCluster(&sink, nullptr);
+  std::ostringstream os;
+  sink.Write(os);
+  const json::Value doc = json::Parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* unit = doc.Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+  const json::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array.empty());
+  bool seen_data_event = false;
+  for (const json::Value& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const json::Value* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_NE(e.Find("pid"), nullptr);
+    EXPECT_NE(e.Find("tid"), nullptr);
+    EXPECT_NE(e.Find("name"), nullptr);
+    if (ph->string == "M") {
+      // Metadata (track naming) precedes every data event.
+      EXPECT_FALSE(seen_data_event);
+      continue;
+    }
+    seen_data_event = true;
+    EXPECT_TRUE(ph->string == "X" || ph->string == "i") << ph->string;
+    ASSERT_NE(e.Find("ts"), nullptr);
+    if (ph->string == "X") {
+      const json::Value* dur = e.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number, 0.0);
+    }
+  }
+  EXPECT_TRUE(seen_data_event);
+}
+
+TEST(TraceSink, ClusterTaskSpansDoNotOverlapPerLane) {
+  trace::ChromeTraceSink sink;
+  RunSmallCluster(&sink, nullptr);
+  // One map slot (lane) runs one task at a time: on each (pid, tid) the
+  // task spans must be disjoint in DES virtual time.
+  struct SpanRec {
+    double start, end;
+  };
+  std::map<std::pair<int, int>, std::vector<SpanRec>> lanes;
+  for (const auto& e : sink.events()) {
+    if (e.phase != 'X' || e.category != "task") continue;
+    lanes[{e.track.pid, e.track.tid}].push_back(
+        {e.start_sec, e.start_sec + e.dur_sec});
+  }
+  ASSERT_FALSE(lanes.empty());
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRec& a, const SpanRec& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1].end, spans[i].start + 1e-9)
+          << "overlap on pid=" << lane.first << " tid=" << lane.second;
+    }
+  }
+}
+
+TEST(TraceSink, ClusterRunEmitsSchedulingEvents) {
+  trace::ChromeTraceSink sink;
+  trace::Registry reg;
+  const hadoop::JobResult r = RunSmallCluster(&sink, &reg);
+  int heartbeats = 0, tasks = 0, jobs = 0;
+  bool saw_tail_onset = false;
+  for (const auto& e : sink.events()) {
+    if (e.category == "hadoop" && e.name == "heartbeat") ++heartbeats;
+    if (e.category == "task") ++tasks;
+    if (e.category == "job" && e.phase == 'X' && e.name != "map_phase") ++jobs;
+    if (e.category == "sched" && e.name == "tail_onset") saw_tail_onset = true;
+  }
+  EXPECT_GT(heartbeats, 0);
+  EXPECT_EQ(tasks, r.cpu_tasks + r.gpu_tasks);
+  EXPECT_EQ(jobs, 1);
+  EXPECT_TRUE(saw_tail_onset);
+  // The registry saw the same totals the JobResult reports.
+  const trace::Counter* cpu = reg.FindCounter("hadoop.cpu_tasks");
+  const trace::Counter* gpu = reg.FindCounter("hadoop.gpu_tasks");
+  ASSERT_NE(cpu, nullptr);
+  ASSERT_NE(gpu, nullptr);
+  EXPECT_EQ(cpu->value(), r.cpu_tasks);
+  EXPECT_EQ(gpu->value(), r.gpu_tasks);
+}
+
+TEST(TraceSink, GpuTaskFillsRegistry) {
+  trace::Registry reg;
+  const gpurt::MapTaskResult r =
+      RunGpuTask(apps::GetBenchmark("WC"), nullptr, &reg);
+  const trace::Counter* tasks = reg.FindCounter("gpurt.gpu.tasks");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_EQ(tasks->value(), 1);
+  const trace::Counter* out = reg.FindCounter("gpurt.gpu.output_bytes");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->value(), static_cast<std::int64_t>(r.stats.output_bytes));
+  const trace::Distribution* task_sec =
+      reg.FindDistribution("gpurt.gpu.task_sec");
+  ASSERT_NE(task_sec, nullptr);
+  EXPECT_EQ(task_sec->count(), 1);
+  EXPECT_EQ(task_sec->Mean(), r.phases.Total());
+}
+
+TEST(Registry, WriteJsonExportsFlatSortedObject) {
+  trace::Registry reg;
+  reg.counter("b.count").Add(3);
+  reg.gauge("a.gauge").Set(1.5);
+  auto& d = reg.distribution("c.dist");
+  d.Record(1.0);
+  d.Record(3.0);
+  d.Record(2.0);
+  std::ostringstream os;
+  reg.WriteJson(os);
+  const json::Value doc = json::Parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  // Counters export as integers, gauges as numbers, distributions expand.
+  const json::Value* count = doc.Find("b.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 3.0);
+  const json::Value* gauge = doc.Find("a.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->number, 1.5);
+  EXPECT_NE(doc.Find("c.dist.count"), nullptr);
+  EXPECT_EQ(doc.Find("c.dist.count")->number, 3.0);
+  EXPECT_EQ(doc.Find("c.dist.min")->number, 1.0);
+  EXPECT_EQ(doc.Find("c.dist.mean")->number, 2.0);
+  EXPECT_EQ(doc.Find("c.dist.p50")->number, 2.0);
+  EXPECT_EQ(doc.Find("c.dist.max")->number, 3.0);
+  // Keys come out sorted by metric name (distribution suffixes expand in a
+  // fixed order under their base name), and the export is deterministic.
+  std::vector<std::string> expected = {
+      "a.gauge",      "b.count",     "c.dist.count", "c.dist.min",
+      "c.dist.mean",  "c.dist.p50",  "c.dist.p95",   "c.dist.max"};
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : doc.object) keys.push_back(k);
+  EXPECT_EQ(keys, expected);
+  std::ostringstream again;
+  reg.WriteJson(again);
+  EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(Registry, NullSinkDiscardsEverything) {
+  trace::NullSink sink;
+  sink.NameProcess(0, "p");
+  sink.NameThread({0, 1}, "t");
+  sink.Span("c", "n", {0, 1}, 0.0, 1.0, {trace::Arg::Int("k", 1)});
+  sink.Instant("c", "n", {0, 1}, 0.5, {trace::Arg::Str("k", "v")});
+  // Nothing observable; this exercises the enabled-path API shape.
+  SUCCEED();
+}
+
+}  // namespace
