@@ -46,10 +46,13 @@ int main(int argc, char** argv) {
     std::ostringstream trace;
     c.trace = &trace;
     // Single node and two short runs: this is the DES event-trace showcase.
-    // Only the tail run feeds the structured trace so the two schemes don't
-    // collide on pid/tid tracks.
+    // Both schemes feed the structured trace on disjoint pid ranges
+    // (gpu-first at pid base 100, tail at 0) so hdprof can compare the two
+    // policies from one file; only the tail run fills the metrics registry
+    // so the flat export stays a single-run snapshot.
+    c.sink = rep.sink();
+    c.trace_pid_base = policy == Policy::kTail ? 0 : 100;
     if (policy == Policy::kTail) {
-      c.sink = rep.sink();
       c.metrics = rep.metrics();
     }
     hadoop::JobResult r = JobEngine(c, &source, policy).Run();

@@ -1,0 +1,128 @@
+// Continuous-benchmark harness: runs the figure/multijob bench suite and
+// writes one schema-versioned "heterodoop.bench-suite.v1" document
+// (BENCH_<rev>.json) that `hdprof compare` diffs across revisions.
+//
+//   regress [--smoke] [--rev <id>] [--out <path>] [--bin-dir <dir>]
+//
+// Each suite member is executed as a child process with --quiet --json so
+// the harness consumes exactly the artifact users see; --smoke shrinks the
+// inputs for CI. Because the simulator is deterministic, two runs of the
+// same revision produce byte-identical suite documents.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "prof/regress.h"
+
+namespace {
+
+const char* const kSuite[] = {
+    "fig4a_cluster1",     "fig4b_cluster2", "fig5_task_speedup",
+    "fig6_breakdown",     "fig7_optimizations",
+    "multijob_throughput",
+};
+
+[[noreturn]] void Usage(int code) {
+  std::fprintf(stderr,
+               "usage: regress [--smoke] [--rev <id>] [--out <path>] "
+               "[--bin-dir <dir>]\n"
+               "  --smoke          run the suite on shrunk inputs\n"
+               "  --rev <id>       revision id recorded in the document "
+               "(default: dev)\n"
+               "  --out <path>     output path (default: BENCH_<rev>.json)\n"
+               "  --bin-dir <dir>  where the bench binaries live (default: "
+               "this binary's directory)\n");
+  std::exit(code);
+}
+
+std::string Dirname(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw std::runtime_error("cannot read '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string rev = "dev";
+  std::string out_path;
+  std::string bin_dir = Dirname(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(2);
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--rev") {
+      rev = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--bin-dir") {
+      bin_dir = value();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(0);
+    } else {
+      Usage(2);
+    }
+  }
+  if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
+
+  hd::prof::Suite suite;
+  suite.rev = rev;
+  suite.smoke = smoke;
+  try {
+    for (const char* name : kSuite) {
+      const std::string report = out_path + "." + name + ".tmp";
+      std::string cmd = "\"" + bin_dir + "/" + name + "\" --quiet --json \"" +
+                        report + "\"";
+      if (smoke) cmd += " --smoke";
+      std::cout << "regress: running " << name << (smoke ? " (smoke)" : "")
+                << "...\n"
+                << std::flush;
+      const int status = std::system(cmd.c_str());
+      if (status != 0) {
+        std::fprintf(stderr, "regress: '%s' exited with status %d\n",
+                     cmd.c_str(), status);
+        return 1;
+      }
+      suite.runs.push_back(hd::prof::RunFromBenchReport(ReadFile(report)));
+      std::remove(report.c_str());
+    }
+
+    std::ofstream f(out_path, std::ios::binary);
+    if (!f.good()) {
+      std::fprintf(stderr, "regress: cannot open '%s'\n", out_path.c_str());
+      return 1;
+    }
+    hd::prof::WriteSuite(f, suite);
+    if (!f.good()) {
+      std::fprintf(stderr, "regress: write to '%s' failed\n",
+                   out_path.c_str());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "regress: %s\n", e.what());
+    return 1;
+  }
+  std::cout << "regress: wrote " << out_path << " (" << suite.runs.size()
+            << " benchmarks, rev " << rev << ")\n";
+  return 0;
+}

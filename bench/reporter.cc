@@ -70,12 +70,14 @@ NullBuf& TheNullBuf() {
 
 [[noreturn]] void Usage(const std::string& id, int code) {
   std::fprintf(stderr,
-               "usage: %s [--json <path>] [--trace <path>] [--smoke] "
-               "[--quiet]\n"
-               "  --json <path>   write the %s report\n"
-               "  --trace <path>  write a Chrome/Perfetto trace of the run\n"
-               "  --smoke         shrunk inputs (fast schema checks)\n"
-               "  --quiet         suppress the human-readable output\n",
+               "usage: %s [--json <path>] [--trace-out <path>] "
+               "[--metrics-out <path>] [--smoke] [--quiet]\n"
+               "  --json <path>         write the %s report\n"
+               "  --trace-out <path>    write a Chrome/Perfetto trace of the "
+               "run (alias: --trace)\n"
+               "  --metrics-out <path>  write just the flat metrics JSON\n"
+               "  --smoke               shrunk inputs (fast schema checks)\n"
+               "  --quiet               suppress the human-readable output\n",
                id.c_str(), kSchema);
   std::exit(code);
 }
@@ -147,9 +149,13 @@ Reporter::Reporter(std::string benchmark_id, int argc, char** argv)
       smoke_ = true;
     } else if (arg == "--quiet") {
       quiet_ = true;
-    } else if (arg == "--json" || arg == "--trace") {
+    } else if (arg == "--json" || arg == "--trace" || arg == "--trace-out" ||
+               arg == "--metrics-out") {
       if (i + 1 >= argc) Usage(benchmark_id_, 2);
-      (arg == "--json" ? json_path_ : trace_path_) = argv[++i];
+      std::string& slot = arg == "--json" ? json_path_
+                          : arg == "--metrics-out" ? metrics_path_
+                                                   : trace_path_;
+      slot = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage(benchmark_id_, 0);
     } else {
@@ -239,10 +245,18 @@ int Reporter::Finish() {
     HD_CHECK_MSG(f.good(), "write to '" << json_path_ << "' failed");
   }
 
+  if (!metrics_path_.empty()) {
+    std::ofstream f(metrics_path_, std::ios::binary);
+    HD_CHECK_MSG(f.good(),
+                 "cannot open --metrics-out path '" << metrics_path_ << "'");
+    registry_.WriteJson(f);
+    HD_CHECK_MSG(f.good(), "write to '" << metrics_path_ << "' failed");
+  }
+
   if (!trace_path_.empty()) {
     std::ofstream f(trace_path_, std::ios::binary);
-    HD_CHECK_MSG(f.good(), "cannot open --trace path '" << trace_path_
-                                                        << "'");
+    HD_CHECK_MSG(f.good(), "cannot open --trace-out path '" << trace_path_
+                                                            << "'");
     chrome_->Write(f);
     HD_CHECK_MSG(f.good(), "write to '" << trace_path_ << "' failed");
   }

@@ -5,11 +5,13 @@
 // the default; the same rows additionally serialize to a stable JSON
 // schema and the run's trace::Sink events to a Chrome trace file:
 //
-//   <bench>                     # aligned tables on stdout (as before)
-//   <bench> --json out.json     # + machine-readable report
-//   <bench> --trace out.trace   # + Perfetto-loadable event trace
-//   <bench> --smoke             # shrunk inputs for fast schema checks
-//   <bench> --quiet             # suppress the human output
+//   <bench>                         # aligned tables on stdout (as before)
+//   <bench> --json out.json         # + machine-readable report
+//   <bench> --trace-out out.trace   # + Perfetto-loadable event trace
+//                                   #   (--trace remains as an alias)
+//   <bench> --metrics-out out.json  # + just the flat metrics registry
+//   <bench> --smoke                 # shrunk inputs for fast schema checks
+//   <bench> --quiet                 # suppress the human output
 //
 // JSON schema "heterodoop.bench.v1" (all keys always present):
 //   {
@@ -76,7 +78,8 @@ class ReportTable {
 // metrics registry, and (when --trace is given) the Chrome trace sink.
 class Reporter {
  public:
-  // Parses --json/--trace/--quiet/--smoke from argv; prints usage and
+  // Parses --json/--trace-out/--metrics-out/--quiet/--smoke from argv
+  // (--trace accepted as an alias of --trace-out); prints usage and
   // exits(2) on unknown arguments. `benchmark_id` names the binary in the
   // report ("fig6_breakdown").
   Reporter(std::string benchmark_id, int argc, char** argv);
@@ -87,7 +90,7 @@ class Reporter {
   bool smoke() const { return smoke_; }
   bool quiet() const { return quiet_; }
 
-  // Null when --trace was not given: instrumentation stays disabled and
+  // Null when --trace-out was not given: instrumentation stays disabled and
   // modeled numbers are guaranteed bit-identical to an untraced run.
   trace::Sink* sink();
   // Always available: the registry the run's tasks/engines fill; exported
@@ -127,6 +130,7 @@ class Reporter {
   bool quiet_ = false;
   std::string json_path_;
   std::string trace_path_;
+  std::string metrics_path_;
   bool finished_ = false;
   double modeled_seconds_ = 0.0;
 

@@ -496,6 +496,12 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
     result.stats.global_atomics = report.global_atomics;
     result.stats.map_compute_cycles = report.compute_cycles;
     result.stats.map_mem_cycles = report.mem_cycles;
+    result.stats.map_mem_requests = report.mem_requests;
+    result.stats.map_bytes_requested = report.bytes_requested;
+    result.stats.shared_bank_conflicts = report.shared_bank_conflicts;
+    result.stats.atomic_conflicts = report.atomic_conflicts;
+    result.stats.map_divergence = report.WarpDivergenceRatio();
+    result.stats.map_coalescing = report.CoalescingEfficiency();
     if (opts_.sink != nullptr) {
       kernel_traces.push_back({"map", std::move(report), blocks, threads, true});
     }
@@ -692,6 +698,16 @@ MapTaskResult GpuMapTask::Run(const std::string& file_split) {
                trace::Arg::Float("mem_cycles", r.mem_cycles),
                trace::Arg::Int("transactions", r.transactions),
                trace::Arg::Int("bytes_moved", r.bytes_moved),
+               trace::Arg::Int("mem_requests", r.mem_requests),
+               trace::Arg::Int("bytes_requested", r.bytes_requested),
+               trace::Arg::Int("shared_accesses", r.shared_accesses),
+               trace::Arg::Int("shared_bank_conflicts",
+                               r.shared_bank_conflicts),
+               trace::Arg::Int("atomic_conflicts", r.atomic_conflicts),
+               trace::Arg::Float("divergence", r.WarpDivergenceRatio()),
+               trace::Arg::Float("coalescing", r.CoalescingEfficiency()),
+               trace::Arg::Float("transactions_per_request",
+                                 r.TransactionsPerRequest()),
                trace::Arg::Float("texture_hit_rate", r.TextureHitRate())});
           if (k->per_sm) {
             for (std::size_t sm = 0; sm < r.sm_busy_cycles.size(); ++sm) {

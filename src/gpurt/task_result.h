@@ -46,6 +46,14 @@ struct TaskStats {
   // Map-kernel roofline terms (modeled cycles), for diagnostics/ablations.
   double map_compute_cycles = 0.0;
   double map_mem_cycles = 0.0;
+  // Map-kernel hardware counters (gpusim::KernelReport): derived from the
+  // same lane accounting as the timing model but never fed back into it.
+  std::int64_t map_mem_requests = 0;
+  std::int64_t map_bytes_requested = 0;
+  std::int64_t shared_bank_conflicts = 0;
+  std::int64_t atomic_conflicts = 0;
+  double map_divergence = 0.0;   // KernelReport::WarpDivergenceRatio
+  double map_coalescing = 0.0;   // KernelReport::CoalescingEfficiency
   std::int64_t output_bytes = 0;
 };
 
@@ -82,9 +90,18 @@ inline void AddTaskMetrics(trace::Registry& registry, const MapTaskResult& m,
   registry.counter(prefix + ".texture_misses").Add(s.texture_misses);
   registry.counter(prefix + ".shared_atomics").Add(s.shared_atomics);
   registry.counter(prefix + ".global_atomics").Add(s.global_atomics);
+  registry.counter(prefix + ".mem_requests").Add(s.map_mem_requests);
+  registry.counter(prefix + ".bytes_requested").Add(s.map_bytes_requested);
+  registry.counter(prefix + ".shared_bank_conflicts")
+      .Add(s.shared_bank_conflicts);
+  registry.counter(prefix + ".atomic_conflicts").Add(s.atomic_conflicts);
   registry.counter(prefix + ".output_bytes").Add(s.output_bytes);
   registry.gauge(prefix + ".map_compute_cycles").Set(s.map_compute_cycles);
   registry.gauge(prefix + ".map_mem_cycles").Set(s.map_mem_cycles);
+  if (s.map_mem_requests > 0 || s.map_divergence > 0.0) {
+    registry.distribution(prefix + ".map_divergence").Record(s.map_divergence);
+    registry.distribution(prefix + ".map_coalescing").Record(s.map_coalescing);
+  }
   const PhaseBreakdown& p = m.phases;
   registry.distribution(prefix + ".task_sec").Record(p.Total());
   registry.distribution(prefix + ".input_read_sec").Record(p.input_read);

@@ -56,12 +56,16 @@ void KernelSim::ChargeOp(int block, int lane, OpClass op, std::int64_t count) {
 }
 
 void KernelSim::ChargeSharedAtomic(int block, int lane) {
-  Lane(block, lane).mem_cycles += config_.atomic_shared;
+  LaneStats& s = Lane(block, lane);
+  s.mem_cycles += config_.atomic_shared;
+  ++s.shared_atomic_ops;
   ++shared_atomics_;
 }
 
 void KernelSim::ChargeGlobalAtomic(int block, int lane) {
-  Lane(block, lane).mem_cycles += config_.atomic_global;
+  LaneStats& s = Lane(block, lane);
+  s.mem_cycles += config_.atomic_global;
+  ++s.global_atomic_ops;
   ++global_atomics_;
 }
 
@@ -80,6 +84,8 @@ void KernelSim::ChargeGlobalAccess(int block, int lane, const void* obj_id,
       vec ? (bytes + config_.vector_width_bytes - 1) /
                 config_.vector_width_bytes
           : bytes;
+  s.mem_requests += accesses;
+  s.bytes_requested += bytes;
   s.mem_cycles += static_cast<double>(accesses) * config_.l1_latency;
   s.compute_cycles += static_cast<double>(accesses) * config_.cycles_mem_issue;
   for (std::int64_t line = first; line <= last; ++line) {
@@ -107,6 +113,8 @@ void KernelSim::ChargeGlobalBytes(int block, int lane, std::int64_t bytes,
       vec ? (bytes + config_.vector_width_bytes - 1) /
                 config_.vector_width_bytes
           : bytes;
+  s.mem_requests += accesses;
+  s.bytes_requested += bytes;
   s.mem_cycles += static_cast<double>(accesses) * config_.l1_latency +
                   static_cast<double>(misses) *
                       (config_.global_latency - config_.l1_latency);
@@ -153,6 +161,7 @@ void KernelSim::ChargeTexture(int block, int lane, const void* obj_id,
 
 void KernelSim::ChargeShared(int block, int lane, std::int64_t accesses) {
   LaneStats& s = Lane(block, lane);
+  s.shared_accesses += accesses;
   s.mem_cycles += static_cast<double>(accesses) * config_.shared_latency;
   s.compute_cycles +=
       static_cast<double>(accesses) * config_.cycles_mem_issue;
@@ -211,26 +220,50 @@ KernelReport KernelSim::Finish() const {
   std::vector<double> sm_mem(config_.num_sms, 0.0);
   std::vector<double> sm_critical(config_.num_sms, 0.0);
   std::vector<int> sm_warps(config_.num_sms, 0);
+  std::int64_t global_atomics_total = 0;
+  std::int64_t global_atomics_max_lane = 0;
   for (int b = 0; b < num_blocks_; ++b) {
     const int sm = b % config_.num_sms;
     for (int w = 0; w < warps_per_block; ++w) {
       double warp_max_compute = 0.0;
+      double warp_lane_compute = 0.0;
+      int warp_lanes = 0;
+      std::int64_t warp_shared_atomics = 0;
+      std::int64_t warp_shared_atomics_max = 0;
       for (int t = w * warp; t < std::min((w + 1) * warp, threads_per_block_);
            ++t) {
         const LaneStats& s =
             lanes_[static_cast<std::size_t>(b) * threads_per_block_ + t];
         warp_max_compute = std::max(warp_max_compute, s.compute_cycles);
+        warp_lane_compute += s.compute_cycles;
+        ++warp_lanes;
+        warp_shared_atomics += s.shared_atomic_ops;
+        warp_shared_atomics_max =
+            std::max(warp_shared_atomics_max, s.shared_atomic_ops);
+        global_atomics_total += s.global_atomic_ops;
+        global_atomics_max_lane =
+            std::max(global_atomics_max_lane, s.global_atomic_ops);
         sm_mem[sm] += s.mem_cycles;
         sm_critical[sm] =
             std::max(sm_critical[sm], s.compute_cycles + s.mem_cycles);
         r.transactions += s.transactions;
         r.bytes_moved += s.bytes_moved;
+        r.mem_requests += s.mem_requests;
+        r.bytes_requested += s.bytes_requested;
+        r.shared_accesses += s.shared_accesses;
       }
       sm_compute[sm] += warp_max_compute;
       r.compute_cycles += warp_max_compute;
+      r.warp_issue_cycles += warp_max_compute * warp_lanes;
+      r.lane_compute_cycles += warp_lane_compute;
+      // Lockstep atomics to the warp's shared counter serialize: one lane
+      // per round proceeds conflict-free, the rest wait.
+      r.shared_bank_conflicts +=
+          warp_shared_atomics - warp_shared_atomics_max;
     }
     sm_warps[sm] += warps_per_block;
   }
+  r.atomic_conflicts = global_atomics_total - global_atomics_max_lane;
   for (int sm = 0; sm < config_.num_sms; ++sm) {
     r.mem_cycles += sm_mem[sm];
     const double hiding = std::max(

@@ -31,6 +31,14 @@ struct LaneStats {
   double mem_cycles = 0.0;
   std::int64_t transactions = 0;
   std::int64_t bytes_moved = 0;
+  // Hardware-counter inputs (counts only — never consulted by the timing
+  // arithmetic, so modeled numbers are identical whether or not anything
+  // reads them).
+  std::int64_t mem_requests = 0;     // global-memory instructions issued
+  std::int64_t bytes_requested = 0;  // bytes the program asked for
+  std::int64_t shared_accesses = 0;
+  std::int64_t shared_atomic_ops = 0;
+  std::int64_t global_atomic_ops = 0;
   // Recently touched 128-byte lines (a tiny per-lane L1 image): sequential
   // parsing of a record re-hits its current line until it crosses a line
   // boundary, and interleaved streams (KV slot + index array) do not
@@ -69,11 +77,48 @@ struct KernelReport {
   std::int64_t shared_atomics = 0;
   std::int64_t global_atomics = 0;
 
+  // Simulator hardware counters (definitions in DESIGN.md "Profiling &
+  // regression"). Derived from LaneStats counts in Finish(); they never
+  // feed back into the timing model.
+  std::int64_t mem_requests = 0;     // global-memory instructions issued
+  std::int64_t bytes_requested = 0;  // bytes the program asked for
+  std::int64_t shared_accesses = 0;
+  // Shared-memory atomics that serialized behind another lane of the same
+  // warp (per warp: total atomics minus the busiest lane's share).
+  std::int64_t shared_bank_conflicts = 0;
+  // Global atomics that contended device-wide (total minus the busiest
+  // lane's share — the winner of each round is conflict-free).
+  std::int64_t atomic_conflicts = 0;
+  // SIMD issue accounting: a warp issues warp-max compute cycles on every
+  // active lane; the lanes only had lane_compute_cycles of real work.
+  double warp_issue_cycles = 0.0;
+  double lane_compute_cycles = 0.0;
+
   double TextureHitRate() const {
     const std::int64_t total = texture_hits + texture_misses;
     return total == 0 ? 0.0
                       : static_cast<double>(texture_hits) /
                             static_cast<double>(total);
+  }
+  // Fraction of SIMD issue slots wasted on lockstep padding (divergence +
+  // load imbalance across a warp's lanes); 0 = perfectly converged.
+  double WarpDivergenceRatio() const {
+    return warp_issue_cycles == 0.0
+               ? 0.0
+               : 1.0 - lane_compute_cycles / warp_issue_cycles;
+  }
+  // Useful bytes per DRAM byte moved; 1.0 = perfectly coalesced, < 1 means
+  // partially-used 128-byte lines, > 1 means on-chip (L1 line) reuse.
+  double CoalescingEfficiency() const {
+    return bytes_moved == 0 ? 1.0
+                            : static_cast<double>(bytes_requested) /
+                                  static_cast<double>(bytes_moved);
+  }
+  // DRAM transactions per issued global-memory instruction.
+  double TransactionsPerRequest() const {
+    return mem_requests == 0 ? 0.0
+                             : static_cast<double>(transactions) /
+                                   static_cast<double>(mem_requests);
   }
 };
 

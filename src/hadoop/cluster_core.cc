@@ -18,6 +18,7 @@ void ValidateClusterConfig(const ClusterConfig& cfg) {
                "network_bytes_per_sec must be positive");
   HD_CHECK_MSG(cfg.reduce_slowstart >= 0.0 && cfg.reduce_slowstart <= 1.0,
                "reduce_slowstart must be a fraction in [0, 1]");
+  HD_CHECK_MSG(cfg.trace_pid_base >= 0, "trace_pid_base must be non-negative");
   if (!cfg.node_speed_factors.empty()) {
     HD_CHECK_MSG(static_cast<int>(cfg.node_speed_factors.size()) ==
                      cfg.num_slaves,
@@ -36,11 +37,12 @@ ClusterCore::ClusterCore(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     n.free_gpu = cfg_.gpus_per_node;
   }
   if (cfg_.sink != nullptr) {
-    cfg_.sink->NameProcess(0, "jobtracker");
+    cfg_.sink->NameProcess(cfg_.trace_pid_base, "jobtracker");
     free_cpu_lanes_.resize(nodes_.size());
     free_gpu_lanes_.resize(nodes_.size());
     for (int node = 0; node < cfg_.num_slaves; ++node) {
-      cfg_.sink->NameProcess(node + 1, "node" + std::to_string(node));
+      cfg_.sink->NameProcess(cfg_.trace_pid_base + node + 1,
+                             "node" + std::to_string(node));
       cfg_.sink->NameThread(NodeTrack(node, 0), "tasktracker");
       auto& cpu = free_cpu_lanes_[static_cast<std::size_t>(node)];
       auto& gpu = free_gpu_lanes_[static_cast<std::size_t>(node)];

@@ -43,12 +43,15 @@ struct ClusterConfig {
   std::ostream* trace = nullptr;
   // Structured observability (src/trace); null = off and bit-identical
   // modeled numbers. Timestamps are DES virtual seconds. Track layout:
-  // pid 0 is the JobTracker (one lane per job id), pid node+1 is cluster
-  // node `node` with tid 0 for heartbeats/decisions, tids
-  // 1..map_slots_per_node its CPU map slots and the next gpus_per_node
-  // tids its GPU slots.
+  // pid trace_pid_base is the JobTracker (one lane per job id), pid
+  // trace_pid_base+node+1 is cluster node `node` with tid 0 for
+  // heartbeats/decisions, tids 1..map_slots_per_node its CPU map slots and
+  // the next gpus_per_node tids its GPU slots. `trace_pid_base` lets
+  // several engine runs (e.g. two scheduling policies over the same seed)
+  // share one trace file on disjoint pid ranges.
   trace::Sink* sink = nullptr;
   trace::Registry* metrics = nullptr;
+  int trace_pid_base = 0;
 };
 
 // HD_CHECKs every ClusterConfig invariant (positive slot/heartbeat/
@@ -158,10 +161,10 @@ class ClusterCore {
   // JobTrack is the job's JobTracker lane. EmitHeartbeat is called by the
   // engines' heartbeat handlers.
   trace::Track NodeTrack(int node_id, int tid) const {
-    return trace::Track{node_id + 1, tid};
+    return trace::Track{cfg_.trace_pid_base + node_id + 1, tid};
   }
   trace::Track JobTrack(const JobState& job) const {
-    return trace::Track{0, job.id};
+    return trace::Track{cfg_.trace_pid_base, job.id};
   }
   void EmitHeartbeat(int node_id);
 

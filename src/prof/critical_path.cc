@@ -1,0 +1,259 @@
+#include "prof/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace hd::prof {
+
+namespace {
+
+// Matching tolerance for "this task's end meets the cursor": DES times are
+// exact doubles but ends are computed as start + dur, so allow a few ulps
+// scaled to the timeline magnitude.
+double Eps(double scale) { return 1e-9 * std::max(1.0, std::fabs(scale)); }
+
+// Nearest-rank median of an unsorted sample set; 0 when empty.
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.5 * static_cast<double>(v.size())));
+  return v[rank == 0 ? 0 : rank - 1];
+}
+
+// The engine run a node-process event belongs to: the greatest tracker pid
+// strictly below the event pid (node pids are tracker_pid + node + 1).
+std::int32_t TrackerFor(const std::set<std::int32_t>& trackers,
+                        std::int32_t pid) {
+  auto it = trackers.upper_bound(pid - 1);
+  if (it == trackers.begin()) return trackers.empty() ? 0 : *trackers.begin();
+  return *std::prev(it);
+}
+
+void BuildChain(JobAnalysis& job) {
+  const double eps = Eps(job.end_sec);
+  std::vector<ChainSegment> rev;  // latest-first during the walk
+  std::vector<bool> used(job.tasks.size(), false);
+
+  double cursor = job.end_sec;
+  bool trailing = true;  // the first uncovered gap is the shuffle/reduce tail
+  while (cursor > job.start_sec + eps) {
+    // Latest-ending unused task at or before the cursor; ties broken by
+    // earliest start then lowest task id so the walk is deterministic.
+    int best = -1;
+    for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+      if (used[i]) continue;
+      const TaskRecord& t = job.tasks[i];
+      if (t.end_sec() > cursor + eps) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      const TaskRecord& b = job.tasks[static_cast<std::size_t>(best)];
+      if (t.end_sec() > b.end_sec() + eps) {
+        best = static_cast<int>(i);
+      } else if (std::fabs(t.end_sec() - b.end_sec()) <= eps &&
+                 (t.start_sec < b.start_sec ||
+                  (t.start_sec == b.start_sec && t.task < b.task))) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      // Nothing left before the cursor: the head of the timeline is
+      // scheduling delay (first heartbeat).
+      ChainSegment s;
+      s.kind = ChainSegment::Kind::kWait;
+      s.name = "wait";
+      s.start_sec = job.start_sec;
+      s.dur_sec = cursor - job.start_sec;
+      rev.push_back(std::move(s));
+      break;
+    }
+    const TaskRecord& t = job.tasks[static_cast<std::size_t>(best)];
+    if (t.end_sec() < cursor - eps) {
+      ChainSegment s;
+      s.kind = trailing ? ChainSegment::Kind::kShuffleReduce
+                        : ChainSegment::Kind::kWait;
+      s.name = trailing ? "shuffle_reduce" : "wait";
+      s.start_sec = t.end_sec();
+      s.dur_sec = cursor - t.end_sec();
+      rev.push_back(std::move(s));
+      cursor = t.end_sec();
+    }
+    trailing = false;
+    used[static_cast<std::size_t>(best)] = true;
+    const double seg_start = std::max(job.start_sec, t.start_sec);
+    if (cursor - seg_start <= 0.0) continue;  // zero-length; skip
+    ChainSegment s;
+    s.kind = ChainSegment::Kind::kTask;
+    s.name = t.on_gpu ? "gpu_map" : "cpu_map";
+    s.task = t.task;
+    s.on_gpu = t.on_gpu;
+    s.start_sec = seg_start;
+    s.dur_sec = cursor - seg_start;
+    rev.push_back(std::move(s));
+    cursor = seg_start;
+  }
+  job.chain.assign(rev.rbegin(), rev.rend());
+}
+
+void AttributeStragglers(JobAnalysis& job, const CriticalPathOptions& opts) {
+  std::vector<double> cpu_durs;
+  std::vector<double> gpu_durs;
+  for (const TaskRecord& t : job.tasks) {
+    (t.on_gpu ? gpu_durs : cpu_durs).push_back(t.dur_sec);
+  }
+  const double cpu_median = Median(std::move(cpu_durs));
+  const double gpu_median = Median(std::move(gpu_durs));
+
+  for (auto it = job.chain.rbegin(); it != job.chain.rend(); ++it) {
+    if (it->kind != ChainSegment::Kind::kTask) continue;
+    const TaskRecord* rec = nullptr;
+    for (const TaskRecord& t : job.tasks) {
+      if (t.task == it->task && t.on_gpu == it->on_gpu) {
+        rec = &t;
+        break;
+      }
+    }
+    Straggler s;
+    s.task = it->task;
+    s.on_gpu = it->on_gpu;
+    s.dur_sec = rec != nullptr ? rec->dur_sec : it->dur_sec;
+    const double median = it->on_gpu ? gpu_median : cpu_median;
+    if (median > 0.0 && s.dur_sec > opts.skew_factor * median) {
+      s.cause = "input_skew";
+      s.excess_sec = s.dur_sec - median;
+    } else if (!it->on_gpu && job.max_observed_speedup > 1.0) {
+      s.cause = "device_placement";
+      s.excess_sec = s.dur_sec - s.dur_sec / job.max_observed_speedup;
+    }
+    job.stragglers.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+double JobAnalysis::ChainTotalSec() const {
+  double sum = 0.0;
+  for (const ChainSegment& s : chain) sum += s.dur_sec;
+  return sum;
+}
+
+double JobAnalysis::ChainWaitSec() const {
+  double sum = 0.0;
+  for (const ChainSegment& s : chain) {
+    if (s.kind == ChainSegment::Kind::kWait) sum += s.dur_sec;
+  }
+  return sum;
+}
+
+std::vector<JobAnalysis> AnalyzeJobs(const TraceFile& trace,
+                                     const CriticalPathOptions& opts) {
+  // Pass 1: the engine runs sharing this trace, identified by their job
+  // spans' pids (one JobTracker process per run).
+  std::set<std::int32_t> trackers;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase == 'X' && e.category == "job" && e.name != "map_phase") {
+      trackers.insert(e.pid);
+    }
+  }
+
+  // Pass 2: one JobAnalysis per (tracker pid, job id), keyed so results
+  // come out ordered.
+  std::map<std::pair<std::int32_t, int>, JobAnalysis> jobs;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase != 'X' || e.category != "job" || e.name == "map_phase") {
+      continue;
+    }
+    JobAnalysis a;
+    a.job_id = static_cast<int>(e.ArgNumber("job", e.tid));
+    a.tracker_pid = e.pid;
+    a.name = e.name;
+    a.policy = e.ArgString("policy");
+    a.start_sec = e.start_sec;
+    a.end_sec = e.end_sec();
+    a.makespan_sec = e.dur_sec;
+    a.max_observed_speedup = e.ArgNumber("max_observed_speedup", 1.0);
+    jobs.emplace(std::make_pair(e.pid, a.job_id), std::move(a));
+  }
+
+  auto find_job = [&jobs, &trackers](std::int32_t event_pid,
+                                     int job_id) -> JobAnalysis* {
+    const std::int32_t tracker = TrackerFor(trackers, event_pid);
+    auto it = jobs.find(std::make_pair(tracker, job_id));
+    return it == jobs.end() ? nullptr : &it->second;
+  };
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase == 'X' && e.category == "task") {
+      const int job_id = static_cast<int>(e.ArgNumber("job", -1.0));
+      JobAnalysis* a = find_job(e.pid, job_id);
+      if (a == nullptr) continue;
+      TaskRecord t;
+      t.task = static_cast<int>(e.ArgNumber("task", -1.0));
+      t.job = job_id;
+      t.on_gpu = e.name == "gpu_map";
+      t.pid = e.pid;
+      t.tid = e.tid;
+      t.start_sec = e.start_sec;
+      t.dur_sec = e.dur_sec;
+      a->tasks.push_back(std::move(t));
+    } else if (e.phase == 'i' && e.category == "sched") {
+      const int job_id = static_cast<int>(e.ArgNumber("job", -1.0));
+      if (e.name == "tail_onset") {
+        // Lives on the JobTracker lane itself.
+        auto it = jobs.find(std::make_pair(e.pid, job_id));
+        if (it != jobs.end() && it->second.tail_onset_sec < 0.0) {
+          it->second.tail_onset_sec = e.start_sec;
+        }
+      } else if (e.name == "forced_gpu") {
+        if (JobAnalysis* a = find_job(e.pid, job_id)) ++a->forced_gpu;
+      } else if (e.name == "gpu_bounce") {
+        if (JobAnalysis* a = find_job(e.pid, job_id)) ++a->gpu_bounces;
+      }
+    }
+  }
+
+  std::vector<JobAnalysis> out;
+  out.reserve(jobs.size());
+  for (auto& [key, a] : jobs) {
+    for (TaskRecord& t : a.tasks) t.slack_sec = a.end_sec - t.end_sec();
+    if (a.tail_onset_sec >= 0.0) {
+      for (const TaskRecord& t : a.tasks) {
+        if (t.on_gpu && t.start_sec >= a.tail_onset_sec - Eps(a.end_sec)) {
+          ++a.tail_tasks_rescued;
+        }
+      }
+    }
+    BuildChain(a);
+    AttributeStragglers(a, opts);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<PolicyComparison> ComparePolicies(
+    const std::vector<JobAnalysis>& jobs) {
+  std::vector<PolicyComparison> out;
+  for (const JobAnalysis& tail : jobs) {
+    if (tail.policy != "tail") continue;
+    for (const JobAnalysis& base : jobs) {
+      if (&base == &tail || base.policy == "tail") continue;
+      if (base.name != tail.name || base.job_id != tail.job_id) continue;
+      PolicyComparison c;
+      c.job_name = tail.name;
+      c.baseline_policy = base.policy;
+      c.baseline_makespan_sec = base.makespan_sec;
+      c.tail_makespan_sec = tail.makespan_sec;
+      c.saved_sec = base.makespan_sec - tail.makespan_sec;
+      c.saved_fraction =
+          base.makespan_sec > 0.0 ? c.saved_sec / base.makespan_sec : 0.0;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace hd::prof

@@ -1,0 +1,130 @@
+// Critical-path analysis over the Hadoop DES job timeline.
+//
+// The cluster engine (src/hadoop) traces every job as a span DAG: one
+// "job" span per job on its JobTracker lane, one "task" span per map
+// attempt on the executing node's slot lane, plus scheduling instants
+// (tail_onset / forced_gpu / gpu_bounce). This module reconstructs, per
+// job, the *makespan-critical chain*: the sequence of task spans — with
+// explicit "wait" segments for scheduling gaps and a trailing
+// "shuffle_reduce" segment for reduce jobs — that tiles the interval
+// [job start, job end] exactly, so chain segment durations sum to the job
+// makespan by construction.
+//
+// The walk is backwards from the job's end: at each cursor position pick
+// the task ending latest at or before the cursor (ties: earliest start,
+// then lowest task id — deterministic for a given trace); if that task
+// ends strictly before the cursor, the uncovered gap becomes a "wait"
+// segment (slots idle or occupied by off-chain work).
+//
+// On top of the chain sit two derived reports:
+//   * per-task slack (job end minus task end) and a straggler report for
+//     the chain's tasks, attributing tail time to input skew (duration
+//     beyond `skew_factor` x the same-device median) vs device placement
+//     (a CPU task that the job's observed GPU speedup would have shrunk);
+//   * Algorithm 2 accounting — tail-onset time, forced-GPU decisions,
+//     GPU bounces, tail tasks rescued (GPU tasks started after onset) —
+//     and a policy comparison quantifying the tail scheduler's makespan
+//     saving when one trace holds the same job under two policies on
+//     disjoint pid ranges (ClusterConfig::trace_pid_base).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/trace_file.h"
+
+namespace hd::prof {
+
+// One map attempt recovered from a "task" span.
+struct TaskRecord {
+  int task = -1;
+  int job = -1;
+  bool on_gpu = false;
+  std::int32_t pid = 0;  // node process in the trace
+  std::int32_t tid = 0;  // slot lane
+  double start_sec = 0.0;
+  double dur_sec = 0.0;
+  double slack_sec = 0.0;  // job end - task end; 0 for the final task
+
+  double end_sec() const { return start_sec + dur_sec; }
+};
+
+struct ChainSegment {
+  enum class Kind { kTask, kWait, kShuffleReduce };
+
+  Kind kind = Kind::kWait;
+  std::string name;  // "cpu_map"/"gpu_map", "wait", "shuffle_reduce"
+  int task = -1;     // kTask only
+  bool on_gpu = false;
+  double start_sec = 0.0;
+  double dur_sec = 0.0;
+};
+
+// Why a critical-chain task ran long.
+struct Straggler {
+  int task = -1;
+  bool on_gpu = false;
+  double dur_sec = 0.0;
+  // "input_skew": duration > skew_factor x same-device median.
+  // "device_placement": CPU task the job's observed speedup would shrink.
+  // "none": on the chain but neither skewed nor misplaced.
+  std::string cause = "none";
+  // Tail seconds the cause explains: duration beyond the device median for
+  // input skew, duration minus duration/speedup for device placement.
+  double excess_sec = 0.0;
+};
+
+struct JobAnalysis {
+  int job_id = 0;
+  std::int32_t tracker_pid = 0;  // the engine run this job belongs to
+  std::string name;              // job label from the trace
+  std::string policy;            // scheduling policy arg of the job span
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+  double makespan_sec = 0.0;  // end - start
+  double max_observed_speedup = 1.0;
+
+  std::vector<TaskRecord> tasks;  // all attempts, trace order
+  std::vector<ChainSegment> chain;  // tiles [start, end], earliest first
+  std::vector<Straggler> stragglers;  // chain tasks, latest-ending first
+
+  // Algorithm 2 accounting (zero / negative when the policy never forced).
+  double tail_onset_sec = -1.0;
+  int forced_gpu = 0;
+  int gpu_bounces = 0;
+  int tail_tasks_rescued = 0;  // GPU tasks started at/after tail onset
+
+  // Sum of chain segment durations; equals makespan_sec by construction
+  // (up to FP addition rounding).
+  double ChainTotalSec() const;
+  double ChainWaitSec() const;
+};
+
+struct CriticalPathOptions {
+  // A task is input-skewed when it runs longer than this factor times the
+  // median duration of same-device tasks in its job.
+  double skew_factor = 1.5;
+};
+
+// Analyses every job in the trace. Engine runs sharing the file on
+// disjoint pid ranges are told apart by their "jobtracker" process names;
+// results are ordered by (tracker pid, job id).
+std::vector<JobAnalysis> AnalyzeJobs(const TraceFile& trace,
+                                     const CriticalPathOptions& opts = {});
+
+// The tail scheduler's benefit for one job run under two policies in the
+// same trace (same job id and label, different tracker pid).
+struct PolicyComparison {
+  std::string job_name;
+  std::string baseline_policy;  // the non-tail run
+  double baseline_makespan_sec = 0.0;
+  double tail_makespan_sec = 0.0;
+  double saved_sec = 0.0;  // baseline - tail
+  double saved_fraction = 0.0;  // saved / baseline
+};
+
+std::vector<PolicyComparison> ComparePolicies(
+    const std::vector<JobAnalysis>& jobs);
+
+}  // namespace hd::prof

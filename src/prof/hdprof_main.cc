@@ -1,0 +1,360 @@
+// hdprof: post-mortem analysis of the traces and bench reports the
+// simulated stack emits.
+//
+//   hdprof critical-path <trace.json> [--skew-factor F] [--json]
+//     Per-job makespan-critical chain, slack/straggler report and
+//     Algorithm 2 (tail scheduling) accounting from a --trace-out file.
+//
+//   hdprof kernels <trace.json> [--top N] [--json]
+//     Per-kernel hardware-counter hotspot/roofline report.
+//
+//   hdprof compare <before.json> <after.json> [--threshold F] [--json]
+//     Diffs two bench/regress suite documents; exits 1 when a benchmark's
+//     modeled_seconds regressed beyond the threshold (or disappeared).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "prof/critical_path.h"
+#include "prof/kernels.h"
+#include "prof/regress.h"
+#include "prof/trace_file.h"
+
+namespace {
+
+using namespace hd;
+
+[[noreturn]] void Usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: hdprof <command> [args]\n"
+      "  critical-path <trace.json> [--skew-factor F] [--json]\n"
+      "      makespan-critical chain + straggler report per traced job\n"
+      "  kernels <trace.json> [--top N] [--json]\n"
+      "      per-kernel hardware-counter hotspot report\n"
+      "  compare <before.json> <after.json> [--threshold F] [--json]\n"
+      "      diff two bench/regress suite documents (exit 1 on regression)\n");
+  std::exit(code);
+}
+
+struct Flags {
+  std::vector<std::string> positional;
+  bool json = false;
+  double skew_factor = 1.5;
+  double threshold = 0.01;
+  int top = 10;
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags f;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(2);
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      f.json = true;
+    } else if (arg == "--skew-factor") {
+      f.skew_factor = std::atof(value().c_str());
+    } else if (arg == "--threshold") {
+      f.threshold = std::atof(value().c_str());
+    } else if (arg == "--top") {
+      f.top = std::atoi(value().c_str());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage(2);
+    } else {
+      f.positional.push_back(arg);
+    }
+  }
+  return f;
+}
+
+const char* SegmentKindName(prof::ChainSegment::Kind k) {
+  switch (k) {
+    case prof::ChainSegment::Kind::kTask: return "task";
+    case prof::ChainSegment::Kind::kWait: return "wait";
+    case prof::ChainSegment::Kind::kShuffleReduce: return "shuffle_reduce";
+  }
+  return "?";
+}
+
+int CmdCriticalPath(const Flags& f) {
+  if (f.positional.size() != 1) Usage(2);
+  const prof::TraceFile trace = prof::TraceFile::Load(f.positional[0]);
+  prof::CriticalPathOptions opts;
+  opts.skew_factor = f.skew_factor;
+  const std::vector<prof::JobAnalysis> jobs = prof::AnalyzeJobs(trace, opts);
+  const std::vector<prof::PolicyComparison> compares =
+      prof::ComparePolicies(jobs);
+
+  if (f.json) {
+    json::Writer w(std::cout);
+    w.BeginObject();
+    w.Key("jobs").BeginArray();
+    for (const prof::JobAnalysis& j : jobs) {
+      w.BeginObject();
+      w.Key("job").Int(j.job_id);
+      w.Key("name").String(j.name);
+      w.Key("policy").String(j.policy);
+      w.Key("tracker_pid").Int(j.tracker_pid);
+      w.Key("makespan_sec").Number(j.makespan_sec);
+      w.Key("chain_total_sec").Number(j.ChainTotalSec());
+      w.Key("chain_wait_sec").Number(j.ChainWaitSec());
+      w.Key("tail_onset_sec").Number(j.tail_onset_sec);
+      w.Key("forced_gpu").Int(j.forced_gpu);
+      w.Key("gpu_bounces").Int(j.gpu_bounces);
+      w.Key("tail_tasks_rescued").Int(j.tail_tasks_rescued);
+      w.Key("chain").BeginArray();
+      for (const prof::ChainSegment& s : j.chain) {
+        w.BeginObject();
+        w.Key("kind").String(SegmentKindName(s.kind));
+        w.Key("name").String(s.name);
+        if (s.kind == prof::ChainSegment::Kind::kTask) {
+          w.Key("task").Int(s.task);
+        }
+        w.Key("start_sec").Number(s.start_sec);
+        w.Key("dur_sec").Number(s.dur_sec);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("stragglers").BeginArray();
+      for (const prof::Straggler& s : j.stragglers) {
+        w.BeginObject();
+        w.Key("task").Int(s.task);
+        w.Key("device").String(s.on_gpu ? "gpu" : "cpu");
+        w.Key("dur_sec").Number(s.dur_sec);
+        w.Key("cause").String(s.cause);
+        w.Key("excess_sec").Number(s.excess_sec);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("policy_comparisons").BeginArray();
+    for (const prof::PolicyComparison& c : compares) {
+      w.BeginObject();
+      w.Key("job_name").String(c.job_name);
+      w.Key("baseline_policy").String(c.baseline_policy);
+      w.Key("baseline_makespan_sec").Number(c.baseline_makespan_sec);
+      w.Key("tail_makespan_sec").Number(c.tail_makespan_sec);
+      w.Key("saved_sec").Number(c.saved_sec);
+      w.Key("saved_fraction").Number(c.saved_fraction);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::cout << "\n";
+    return 0;
+  }
+
+  for (const prof::JobAnalysis& j : jobs) {
+    std::cout << "job " << j.job_id << " (" << j.name << ", policy "
+              << j.policy << "): makespan " << FormatDouble(j.makespan_sec, 3)
+              << " s, critical chain " << FormatDouble(j.ChainTotalSec(), 3)
+              << " s (" << FormatDouble(j.ChainWaitSec(), 3) << " s waiting)\n";
+    Table chain({"#", "segment", "task", "start (s)", "dur (s)"});
+    int idx = 0;
+    for (const prof::ChainSegment& s : j.chain) {
+      chain.Row()
+          .Cell(idx++)
+          .Cell(s.name)
+          .Cell(s.kind == prof::ChainSegment::Kind::kTask
+                    ? std::to_string(s.task)
+                    : std::string("-"))
+          .Cell(s.start_sec, 3)
+          .Cell(s.dur_sec, 3);
+    }
+    chain.Print(std::cout);
+    if (!j.stragglers.empty()) {
+      std::cout << "\nstragglers (critical-chain tasks, latest first):\n";
+      Table st({"task", "device", "dur (s)", "cause", "excess (s)"});
+      for (const prof::Straggler& s : j.stragglers) {
+        st.Row()
+            .Cell(s.task)
+            .Cell(s.on_gpu ? "gpu" : "cpu")
+            .Cell(s.dur_sec, 3)
+            .Cell(s.cause)
+            .Cell(s.excess_sec, 3);
+      }
+      st.Print(std::cout);
+    }
+    if (j.tail_onset_sec >= 0.0) {
+      std::cout << "tail scheduling: onset at "
+                << FormatDouble(j.tail_onset_sec, 3) << " s, "
+                << j.forced_gpu << " forced-GPU decisions, " << j.gpu_bounces
+                << " bounces, " << j.tail_tasks_rescued
+                << " tail tasks rescued onto the GPU\n";
+    }
+    std::cout << "\n";
+  }
+  for (const prof::PolicyComparison& c : compares) {
+    std::cout << "tail vs " << c.baseline_policy << " (" << c.job_name
+              << "): " << FormatDouble(c.baseline_makespan_sec, 3) << " -> "
+              << FormatDouble(c.tail_makespan_sec, 3) << " s, saved "
+              << FormatDouble(c.saved_sec, 3) << " s ("
+              << FormatDouble(c.saved_fraction * 100.0, 1) << "%)\n";
+  }
+  return 0;
+}
+
+int CmdKernels(const Flags& f) {
+  if (f.positional.size() != 1) Usage(2);
+  const prof::TraceFile trace = prof::TraceFile::Load(f.positional[0]);
+  prof::KernelProfile p = prof::ProfileKernels(trace);
+  const auto shown =
+      std::min<std::size_t>(p.kernels.size(),
+                            f.top > 0 ? static_cast<std::size_t>(f.top)
+                                      : p.kernels.size());
+  if (f.json) {
+    json::Writer w(std::cout);
+    w.BeginObject();
+    w.Key("total_sec").Number(p.total_sec);
+    w.Key("kernels").BeginArray();
+    for (std::size_t i = 0; i < shown; ++i) {
+      const prof::KernelStats& k = p.kernels[i];
+      w.BeginObject();
+      w.Key("name").String(k.name);
+      w.Key("launches").Int(k.launches);
+      w.Key("total_sec").Number(k.total_sec);
+      w.Key("bound").String(k.Bound());
+      w.Key("divergence").Number(k.Divergence());
+      w.Key("coalescing").Number(k.Coalescing());
+      w.Key("transactions_per_request").Number(k.TransactionsPerRequest());
+      w.Key("texture_hit_rate").Number(k.TextureHitRate());
+      w.Key("transactions").Int(k.transactions);
+      w.Key("bytes_moved").Int(k.bytes_moved);
+      w.Key("bytes_requested").Int(k.bytes_requested);
+      w.Key("shared_accesses").Int(k.shared_accesses);
+      w.Key("shared_bank_conflicts").Int(k.shared_bank_conflicts);
+      w.Key("atomic_conflicts").Int(k.atomic_conflicts);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << "kernel time: " << FormatDouble(p.total_sec, 6)
+            << " s across " << p.kernels.size() << " kernels (top " << shown
+            << ")\n";
+  Table t({"kernel", "launches", "time (s)", "%", "bound", "diverg.",
+           "coalesc.", "txn/req", "bank conf", "atomic conf"});
+  for (std::size_t i = 0; i < shown; ++i) {
+    const prof::KernelStats& k = p.kernels[i];
+    t.Row()
+        .Cell(k.name)
+        .Cell(k.launches)
+        .Cell(k.total_sec, 6)
+        .Cell(p.total_sec > 0.0 ? 100.0 * k.total_sec / p.total_sec : 0.0, 1)
+        .Cell(k.Bound())
+        .Cell(k.Divergence(), 3)
+        .Cell(k.Coalescing(), 3)
+        .Cell(k.TransactionsPerRequest(), 2)
+        .Cell(k.shared_bank_conflicts)
+        .Cell(k.atomic_conflicts);
+  }
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdCompare(const Flags& f) {
+  if (f.positional.size() != 2) Usage(2);
+  const prof::Suite before = prof::LoadSuite(f.positional[0]);
+  const prof::Suite after = prof::LoadSuite(f.positional[1]);
+  prof::CompareOptions opts;
+  opts.threshold = f.threshold;
+  const prof::CompareResult res = prof::Compare(before, after, opts);
+
+  if (f.json) {
+    json::Writer w(std::cout);
+    w.BeginObject();
+    w.Key("before_rev").String(before.rev);
+    w.Key("after_rev").String(after.rev);
+    w.Key("threshold").Number(opts.threshold);
+    w.Key("regressions").Int(res.regressions);
+    w.Key("improvements").Int(res.improvements);
+    w.Key("deltas").BeginArray();
+    for (const prof::Delta& d : res.deltas) {
+      w.BeginObject();
+      w.Key("benchmark").String(d.benchmark);
+      w.Key("metric").String(d.metric);
+      w.Key("before").Number(d.before);
+      w.Key("after").Number(d.after);
+      w.Key("rel_change").Number(d.rel_change);
+      w.Key("scored").Bool(d.scored);
+      w.Key("regression").Bool(d.regression);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("added_benchmarks").BeginArray();
+    for (const std::string& b : res.added_benchmarks) w.String(b);
+    w.EndArray();
+    w.Key("removed_benchmarks").BeginArray();
+    for (const std::string& b : res.removed_benchmarks) w.String(b);
+    w.EndArray();
+    w.EndObject();
+    std::cout << "\n";
+    return res.Failed() ? 1 : 0;
+  }
+
+  std::cout << "compare " << (before.rev.empty() ? "before" : before.rev)
+            << " -> " << (after.rev.empty() ? "after" : after.rev)
+            << " (threshold " << FormatDouble(opts.threshold * 100.0, 1)
+            << "%)\n";
+  if (res.deltas.empty() && res.added_benchmarks.empty() &&
+      res.removed_benchmarks.empty()) {
+    std::cout << "no deltas beyond the threshold; " << before.runs.size()
+              << " benchmarks match\n";
+    return 0;
+  }
+  Table t({"benchmark", "metric", "before", "after", "change (%)", "verdict"});
+  for (const prof::Delta& d : res.deltas) {
+    t.Row()
+        .Cell(d.benchmark)
+        .Cell(d.metric)
+        .Cell(d.before, 4)
+        .Cell(d.after, 4)
+        .Cell(d.rel_change * 100.0, 2)
+        .Cell(!d.scored ? "attribution"
+                        : d.regression ? "REGRESSION" : "improvement");
+  }
+  t.Print(std::cout);
+  for (const std::string& b : res.added_benchmarks) {
+    std::cout << "added benchmark: " << b << "\n";
+  }
+  for (const std::string& b : res.removed_benchmarks) {
+    std::cout << "REMOVED benchmark: " << b << "\n";
+  }
+  std::cout << res.regressions << " regression(s), " << res.improvements
+            << " improvement(s)\n";
+  return res.Failed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage(2);
+  const std::string cmd = argv[1];
+  try {
+    const Flags f = ParseFlags(argc, argv, 2);
+    if (cmd == "critical-path") return CmdCriticalPath(f);
+    if (cmd == "kernels") return CmdKernels(f);
+    if (cmd == "compare") return CmdCompare(f);
+    if (cmd == "--help" || cmd == "-h") Usage(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hdprof: %s\n", e.what());
+    return 2;
+  }
+  Usage(2);
+}

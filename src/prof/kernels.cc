@@ -1,0 +1,61 @@
+#include "prof/kernels.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hd::prof {
+
+std::string KernelStats::Bound() const {
+  if (dram_roof_cycles >= compute_cycles && dram_roof_cycles >= mem_cycles) {
+    return "dram";
+  }
+  return compute_cycles >= mem_cycles ? "compute" : "latency";
+}
+
+KernelProfile ProfileKernels(const TraceFile& trace) {
+  std::map<std::string, KernelStats> by_name;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase != 'X' || e.category != "kernel") continue;
+    KernelStats& k = by_name[e.name];
+    k.name = e.name;
+    ++k.launches;
+    k.total_sec += e.dur_sec;
+    k.device_cycles += e.ArgNumber("device_cycles");
+    k.compute_cycles += e.ArgNumber("compute_cycles");
+    k.mem_cycles += e.ArgNumber("mem_cycles");
+    k.dram_roof_cycles += e.ArgNumber("dram_roof_cycles");
+    k.transactions += static_cast<std::int64_t>(e.ArgNumber("transactions"));
+    k.bytes_moved += static_cast<std::int64_t>(e.ArgNumber("bytes_moved"));
+    k.mem_requests +=
+        static_cast<std::int64_t>(e.ArgNumber("mem_requests"));
+    k.bytes_requested +=
+        static_cast<std::int64_t>(e.ArgNumber("bytes_requested"));
+    k.shared_accesses +=
+        static_cast<std::int64_t>(e.ArgNumber("shared_accesses"));
+    k.shared_bank_conflicts +=
+        static_cast<std::int64_t>(e.ArgNumber("shared_bank_conflicts"));
+    k.atomic_conflicts +=
+        static_cast<std::int64_t>(e.ArgNumber("atomic_conflicts"));
+    k.divergence_weighted += e.ArgNumber("divergence") * e.dur_sec;
+    const double hit_rate = e.ArgNumber("texture_hit_rate");
+    if (hit_rate > 0.0) {
+      k.texture_hit_weighted += hit_rate * e.dur_sec;
+      k.texture_weight += e.dur_sec;
+    }
+  }
+
+  KernelProfile p;
+  p.kernels.reserve(by_name.size());
+  for (auto& [name, k] : by_name) {
+    p.total_sec += k.total_sec;
+    p.kernels.push_back(std::move(k));
+  }
+  std::sort(p.kernels.begin(), p.kernels.end(),
+            [](const KernelStats& a, const KernelStats& b) {
+              if (a.total_sec != b.total_sec) return a.total_sec > b.total_sec;
+              return a.name < b.name;
+            });
+  return p;
+}
+
+}  // namespace hd::prof

@@ -1,0 +1,78 @@
+// Per-kernel hardware-counter aggregation over "kernel" spans.
+//
+// The gpurt host driver emits one "kernel" span per launch, carrying the
+// gpusim KernelReport counters as args (cycles, DRAM transactions,
+// divergence, coalescing, bank/atomic conflicts, texture hit rate). This
+// module folds every launch of the same kernel name into one KernelStats
+// row, ranks the rows by total modeled time (the top-N hotspot list) and
+// classifies each kernel's roofline regime from the cycle components the
+// analytic timing model already exposes: DRAM-bound when the bandwidth
+// roof dominates, compute-bound when issue cycles do, latency-bound
+// otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/trace_file.h"
+
+namespace hd::prof {
+
+struct KernelStats {
+  std::string name;
+  int launches = 0;
+  double total_sec = 0.0;
+
+  // Summed cycle components from the timing model.
+  double device_cycles = 0.0;
+  double compute_cycles = 0.0;
+  double mem_cycles = 0.0;
+  double dram_roof_cycles = 0.0;
+
+  // Summed hardware counters.
+  std::int64_t transactions = 0;
+  std::int64_t bytes_moved = 0;
+  std::int64_t mem_requests = 0;
+  std::int64_t bytes_requested = 0;
+  std::int64_t shared_accesses = 0;
+  std::int64_t shared_bank_conflicts = 0;
+  std::int64_t atomic_conflicts = 0;
+
+  // Time-weighted sums for ratio counters (weight = launch elapsed sec).
+  double divergence_weighted = 0.0;
+  double texture_hit_weighted = 0.0;
+  double texture_weight = 0.0;  // only launches that touched the texture
+
+  // Aggregated ratios (same definitions as gpusim::KernelReport).
+  double Divergence() const {
+    return total_sec == 0.0 ? 0.0 : divergence_weighted / total_sec;
+  }
+  double Coalescing() const {
+    return bytes_moved == 0 ? 1.0
+                            : static_cast<double>(bytes_requested) /
+                                  static_cast<double>(bytes_moved);
+  }
+  double TransactionsPerRequest() const {
+    return mem_requests == 0 ? 0.0
+                             : static_cast<double>(transactions) /
+                                   static_cast<double>(mem_requests);
+  }
+  double TextureHitRate() const {
+    return texture_weight == 0.0 ? 0.0
+                                 : texture_hit_weighted / texture_weight;
+  }
+  // "dram" | "compute" | "latency": which cycle component dominates.
+  std::string Bound() const;
+};
+
+struct KernelProfile {
+  std::vector<KernelStats> kernels;  // sorted by total_sec, descending
+  double total_sec = 0.0;            // across every kernel launch
+};
+
+// Aggregates every "kernel" span in the trace. Stable output order: by
+// total time descending, ties by name.
+KernelProfile ProfileKernels(const TraceFile& trace);
+
+}  // namespace hd::prof

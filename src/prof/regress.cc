@@ -1,0 +1,180 @@
+#include "prof/regress.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace hd::prof {
+
+namespace {
+
+double RelChange(double before, double after) {
+  if (before == after) return 0.0;
+  if (before == 0.0) return after > 0.0 ? 1.0 : -1.0;
+  return (after - before) / std::fabs(before);
+}
+
+}  // namespace
+
+const double* BenchRun::FindMetric(const std::string& key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const BenchRun* Suite::FindRun(const std::string& benchmark) const {
+  for (const BenchRun& r : runs) {
+    if (r.benchmark == benchmark) return &r;
+  }
+  return nullptr;
+}
+
+Suite ParseSuite(std::string_view text) {
+  const json::Value doc = json::Parse(text);
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kSuiteSchema) {
+    throw std::runtime_error(std::string("not a ") + kSuiteSchema +
+                             " document");
+  }
+  Suite s;
+  if (const json::Value* rev = doc.Find("rev"); rev && rev->is_string()) {
+    s.rev = rev->string;
+  }
+  if (const json::Value* smoke = doc.Find("smoke")) s.smoke = smoke->boolean;
+  const json::Value* suite = doc.Find("suite");
+  if (suite == nullptr || !suite->is_array()) {
+    throw std::runtime_error("suite document has no 'suite' array");
+  }
+  for (const json::Value& entry : suite->array) {
+    if (!entry.is_object()) continue;
+    BenchRun r;
+    if (const json::Value* b = entry.Find("benchmark"); b && b->is_string()) {
+      r.benchmark = b->string;
+    }
+    if (const json::Value* m = entry.Find("modeled_seconds");
+        m && m->is_number()) {
+      r.modeled_seconds = m->number;
+    }
+    if (const json::Value* metrics = entry.Find("metrics");
+        metrics && metrics->is_object()) {
+      for (const auto& [k, v] : metrics->object) {
+        if (v.is_number()) r.metrics.emplace_back(k, v.number);
+      }
+    }
+    s.runs.push_back(std::move(r));
+  }
+  return s;
+}
+
+Suite LoadSuite(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw std::runtime_error("cannot read suite file '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseSuite(ss.str());
+}
+
+void WriteSuite(std::ostream& os, const Suite& suite) {
+  json::Writer w(os);
+  w.BeginObject();
+  w.Key("schema").String(kSuiteSchema);
+  w.Key("rev").String(suite.rev);
+  w.Key("smoke").Bool(suite.smoke);
+  w.Key("suite").BeginArray();
+  for (const BenchRun& r : suite.runs) {
+    w.BeginObject();
+    w.Key("benchmark").String(r.benchmark);
+    w.Key("modeled_seconds").Number(r.modeled_seconds);
+    w.Key("metrics").BeginObject();
+    for (const auto& [k, v] : r.metrics) w.Key(k).Number(v);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+}
+
+BenchRun RunFromBenchReport(std::string_view report_json) {
+  const json::Value doc = json::Parse(report_json);
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "heterodoop.bench.v1") {
+    throw std::runtime_error("not a heterodoop.bench.v1 report");
+  }
+  BenchRun r;
+  if (const json::Value* b = doc.Find("benchmark"); b && b->is_string()) {
+    r.benchmark = b->string;
+  }
+  if (const json::Value* m = doc.Find("modeled_seconds");
+      m && m->is_number()) {
+    r.modeled_seconds = m->number;
+  }
+  if (const json::Value* metrics = doc.Find("metrics");
+      metrics && metrics->is_object()) {
+    for (const auto& [k, v] : metrics->object) {
+      if (v.is_number()) r.metrics.emplace_back(k, v.number);
+    }
+  }
+  return r;
+}
+
+CompareResult Compare(const Suite& before, const Suite& after,
+                      const CompareOptions& opts) {
+  CompareResult res;
+  for (const BenchRun& b : before.runs) {
+    const BenchRun* a = after.FindRun(b.benchmark);
+    if (a == nullptr) {
+      res.removed_benchmarks.push_back(b.benchmark);
+      continue;
+    }
+    const double rel = RelChange(b.modeled_seconds, a->modeled_seconds);
+    if (std::fabs(rel) > opts.threshold) {
+      Delta d;
+      d.benchmark = b.benchmark;
+      d.metric = "modeled_seconds";
+      d.before = b.modeled_seconds;
+      d.after = a->modeled_seconds;
+      d.rel_change = rel;
+      d.scored = true;
+      d.regression = rel > 0.0;
+      if (d.regression) {
+        ++res.regressions;
+      } else {
+        ++res.improvements;
+      }
+      res.deltas.push_back(std::move(d));
+      // Attribution: every shared metric that moved beyond the threshold,
+      // in the (sorted) metric order of the before run.
+      for (const auto& [key, bv] : b.metrics) {
+        const double* av = a->FindMetric(key);
+        if (av == nullptr) continue;
+        const double mrel = RelChange(bv, *av);
+        if (std::fabs(mrel) <= opts.threshold) continue;
+        Delta md;
+        md.benchmark = b.benchmark;
+        md.metric = key;
+        md.before = bv;
+        md.after = *av;
+        md.rel_change = mrel;
+        res.deltas.push_back(std::move(md));
+      }
+    }
+  }
+  for (const BenchRun& a : after.runs) {
+    if (before.FindRun(a.benchmark) == nullptr) {
+      res.added_benchmarks.push_back(a.benchmark);
+    }
+  }
+  return res;
+}
+
+}  // namespace hd::prof

@@ -1,0 +1,95 @@
+// The continuous-benchmark suite document and its regression comparator.
+//
+// `bench/regress` runs the figure benches and serializes one suite
+// document per revision; `hdprof compare A.json B.json` diffs two such
+// documents. Schema "heterodoop.bench-suite.v1":
+//
+//   {
+//     "schema": "heterodoop.bench-suite.v1",
+//     "rev": "<revision id>",
+//     "smoke": <bool>,
+//     "suite": [
+//       {
+//         "benchmark": "<binary id>",
+//         "modeled_seconds": <number>,
+//         "metrics": { <flat numeric metrics from the bench report> }
+//       }, ...
+//     ]
+//   }
+//
+// Comparison semantics: `modeled_seconds` is the scored metric — a
+// relative increase beyond the noise threshold is a regression, a decrease
+// beyond it an improvement. Every other metric key present in both runs is
+// diffed for *attribution* only (what changed inside the regressing
+// bench), never scored. Benchmarks present on one side only are reported
+// as added/removed. Because same-seed simulator runs are bit-identical,
+// the default threshold guards only against intentional model changes, not
+// wall-clock noise.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hd::prof {
+
+inline constexpr const char* kSuiteSchema = "heterodoop.bench-suite.v1";
+
+struct BenchRun {
+  std::string benchmark;
+  double modeled_seconds = 0.0;
+  // Flat numeric metrics, sorted by key (the registry export order).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  const double* FindMetric(const std::string& key) const;
+};
+
+struct Suite {
+  std::string rev;
+  bool smoke = false;
+  std::vector<BenchRun> runs;
+
+  const BenchRun* FindRun(const std::string& benchmark) const;
+};
+
+// Parses a suite document; throws std::runtime_error on malformed input or
+// a schema mismatch.
+Suite ParseSuite(std::string_view text);
+Suite LoadSuite(const std::string& path);
+void WriteSuite(std::ostream& os, const Suite& suite);
+
+// Builds one suite entry from a "heterodoop.bench.v1" report document
+// (keeps `benchmark`, `modeled_seconds` and the numeric `metrics` keys).
+BenchRun RunFromBenchReport(std::string_view report_json);
+
+struct Delta {
+  std::string benchmark;
+  std::string metric;  // "modeled_seconds" or a metrics key
+  double before = 0.0;
+  double after = 0.0;
+  double rel_change = 0.0;  // (after - before) / before; 0/0 -> 0
+  bool scored = false;      // modeled_seconds rows only
+  bool regression = false;  // scored && rel_change > threshold
+};
+
+struct CompareOptions {
+  // Relative modeled_seconds change beyond which a delta counts.
+  double threshold = 0.01;
+};
+
+struct CompareResult {
+  std::vector<Delta> deltas;  // beyond-threshold changes, suite order
+  std::vector<std::string> added_benchmarks;    // in `after` only
+  std::vector<std::string> removed_benchmarks;  // in `before` only
+  int regressions = 0;
+  int improvements = 0;
+
+  bool Failed() const { return regressions > 0 || !removed_benchmarks.empty(); }
+};
+
+CompareResult Compare(const Suite& before, const Suite& after,
+                      const CompareOptions& opts = {});
+
+}  // namespace hd::prof

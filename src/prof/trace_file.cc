@@ -1,0 +1,100 @@
+#include "prof/trace_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hd::prof {
+
+namespace {
+
+constexpr double kMicrosPerSec = 1e6;
+
+double NumberField(const json::Value& obj, std::string_view key,
+                   double fallback) {
+  const json::Value* v = obj.Find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string StringField(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.Find(key);
+  return (v != nullptr && v->is_string()) ? v->string : std::string();
+}
+
+}  // namespace
+
+double TraceEvent::ArgNumber(std::string_view key, double fallback) const {
+  if (!args.is_object()) return fallback;
+  return NumberField(args, key, fallback);
+}
+
+std::string TraceEvent::ArgString(std::string_view key,
+                                  std::string fallback) const {
+  if (!args.is_object()) return fallback;
+  const json::Value* v = args.Find(key);
+  return (v != nullptr && v->is_string()) ? v->string : std::move(fallback);
+}
+
+TraceFile TraceFile::Parse(std::string_view text) {
+  const json::Value doc = json::Parse(text);
+  const json::Value* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error("not a Chrome trace: no traceEvents array");
+  }
+  TraceFile tf;
+  for (const json::Value& ev : events->array) {
+    if (!ev.is_object()) continue;
+    const std::string ph = StringField(ev, "ph");
+    const auto pid =
+        static_cast<std::int32_t>(NumberField(ev, "pid", 0.0));
+    const auto tid =
+        static_cast<std::int32_t>(NumberField(ev, "tid", 0.0));
+    const std::string name = StringField(ev, "name");
+    if (ph == "M") {
+      const json::Value* args = ev.Find("args");
+      if (args == nullptr || !args->is_object()) continue;
+      if (name == "process_name") {
+        tf.process_names_.emplace(pid, StringField(*args, "name"));
+      } else if (name == "thread_name") {
+        tf.thread_names_.emplace(std::make_pair(pid, tid),
+                                 StringField(*args, "name"));
+      }
+      // sort_index metadata only matters to viewers; skip.
+      continue;
+    }
+    if (ph != "X" && ph != "i") continue;
+    TraceEvent e;
+    e.phase = ph[0];
+    e.category = StringField(ev, "cat");
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.start_sec = NumberField(ev, "ts", 0.0) / kMicrosPerSec;
+    if (ph == "X") e.dur_sec = NumberField(ev, "dur", 0.0) / kMicrosPerSec;
+    if (const json::Value* args = ev.Find("args")) e.args = *args;
+    tf.events_.push_back(std::move(e));
+  }
+  return tf;
+}
+
+TraceFile TraceFile::Load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw std::runtime_error("cannot read trace file '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return Parse(ss.str());
+}
+
+std::string TraceFile::ProcessName(std::int32_t pid) const {
+  auto it = process_names_.find(pid);
+  return it == process_names_.end() ? std::string() : it->second;
+}
+
+std::string TraceFile::ThreadName(std::int32_t pid, std::int32_t tid) const {
+  auto it = thread_names_.find(std::make_pair(pid, tid));
+  return it == thread_names_.end() ? std::string() : it->second;
+}
+
+}  // namespace hd::prof

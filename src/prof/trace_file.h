@@ -1,0 +1,70 @@
+// Reader for the Chrome trace-event JSON files the ChromeTraceSink writes.
+//
+// hdprof consumes the same artifacts the benches emit under --trace-out, so
+// the reader only understands the subset the exporter produces: a
+// {"displayTimeUnit","traceEvents"} envelope holding 'M' metadata events
+// (process_name/thread_name/..._sort_index), 'X' complete spans and 'i'
+// instants. Timestamps are converted back from microseconds to the modeled
+// seconds every analysis works in; metadata events become the name maps and
+// are not kept in `events`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hd::prof {
+
+struct TraceEvent {
+  char phase = 'X';  // 'X' complete span, 'i' instant
+  std::string category;
+  std::string name;
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+  double start_sec = 0.0;
+  double dur_sec = 0.0;  // zero for instants
+
+  json::Value args;  // the "args" object (kNull when absent)
+
+  double end_sec() const { return start_sec + dur_sec; }
+
+  // Typed arg lookup; returns the fallback when the key is missing or of
+  // the wrong kind.
+  double ArgNumber(std::string_view key, double fallback = 0.0) const;
+  std::string ArgString(std::string_view key,
+                        std::string fallback = {}) const;
+};
+
+class TraceFile {
+ public:
+  // Parses a serialized trace document; throws std::runtime_error on
+  // malformed JSON or a missing traceEvents array.
+  static TraceFile Parse(std::string_view text);
+  // Reads and parses `path`; throws std::runtime_error when unreadable.
+  static TraceFile Load(const std::string& path);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::map<std::int32_t, std::string>& process_names() const {
+    return process_names_;
+  }
+  const std::map<std::pair<std::int32_t, std::int32_t>, std::string>&
+  thread_names() const {
+    return thread_names_;
+  }
+
+  // "" when the pid/lane was never named.
+  std::string ProcessName(std::int32_t pid) const;
+  std::string ThreadName(std::int32_t pid, std::int32_t tid) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::map<std::int32_t, std::string> process_names_;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::string> thread_names_;
+};
+
+}  // namespace hd::prof

@@ -79,6 +79,15 @@ void ChromeTraceSink::Write(std::ostream& os) const {
     w.Key("args").BeginObject().Key("name").String(name).EndObject();
     w.EndObject();
   }
+  for (const auto& [pid, name] : process_names_) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("process_sort_index");
+    w.Key("pid").Int(pid);
+    w.Key("tid").Int(0);
+    w.Key("args").BeginObject().Key("sort_index").Int(pid).EndObject();
+    w.EndObject();
+  }
   for (const auto& [track, name] : thread_names_) {
     w.BeginObject();
     w.Key("ph").String("M");
@@ -86,6 +95,18 @@ void ChromeTraceSink::Write(std::ostream& os) const {
     w.Key("pid").Int(track.pid);
     w.Key("tid").Int(track.tid);
     w.Key("args").BeginObject().Key("name").String(name).EndObject();
+    w.EndObject();
+  }
+  // Explicit numeric lane order: Perfetto sorts unlabelled lanes by name,
+  // which puts "sm10" before "sm2"; sort_index metadata pins each named
+  // lane to its tid so per-SM and per-slot lanes sort numerically.
+  for (const auto& [track, name] : thread_names_) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("thread_sort_index");
+    w.Key("pid").Int(track.pid);
+    w.Key("tid").Int(track.tid);
+    w.Key("args").BeginObject().Key("sort_index").Int(track.tid).EndObject();
     w.EndObject();
   }
   for (const Event& e : events_) {

@@ -5,7 +5,9 @@
 // and `dur` are microseconds, written as shortest-round-trip doubles so the
 // mapping is exact and two same-seed runs serialize byte-identical files.
 // Track naming goes through metadata events (`process_name`/`thread_name`),
-// emitted before the data events in registration order.
+// emitted before the data events in registration order, plus explicit
+// `process_sort_index`/`thread_sort_index` events pinning each named lane
+// to its numeric pid/tid (so "sm2" sorts before "sm10" in Perfetto).
 #pragma once
 
 #include <cstdint>

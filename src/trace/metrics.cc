@@ -99,6 +99,7 @@ void Registry::WriteJson(std::ostream& os) const {
         w.Key(name + ".mean").Number(dist.Mean());
         w.Key(name + ".p50").Number(dist.Percentile(0.50));
         w.Key(name + ".p95").Number(dist.Percentile(0.95));
+        w.Key(name + ".p99").Number(dist.Percentile(0.99));
         w.Key(name + ".max").Number(dist.Max());
       }
       ++d;

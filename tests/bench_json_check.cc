@@ -94,14 +94,28 @@ TEST(BenchJson, EveryBinaryEmitsTheSharedSchema) {
         bin_dir + "/" + bench + ".schema_check.json";
     const std::string trace_path =
         bin_dir + "/" + bench + ".schema_check.trace.json";
+    const std::string metrics_path =
+        bin_dir + "/" + bench + ".schema_check.metrics.json";
+    // --trace-out is the canonical flag name across every binary
+    // (--trace remains as an alias, exercised by the Reporter unit test).
     const std::string cmd = bin_dir + "/" + bench +
                             " --smoke --quiet --json " + json_path +
-                            " --trace " + trace_path;
+                            " --trace-out " + trace_path + " --metrics-out " +
+                            metrics_path;
     ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
     CheckReport(bench, json_path);
     CheckTrace(bench, trace_path);
+    // The standalone metrics export is the same flat object embedded in
+    // the report under "metrics".
+    const Value metrics = Parse(Slurp(metrics_path));
+    ASSERT_TRUE(metrics.is_object()) << bench;
+    const Value report = Parse(Slurp(json_path));
+    const Value* embedded = report.Find("metrics");
+    ASSERT_NE(embedded, nullptr) << bench;
+    EXPECT_EQ(metrics.object.size(), embedded->object.size()) << bench;
     std::remove(json_path.c_str());
     std::remove(trace_path.c_str());
+    std::remove(metrics_path.c_str());
   }
 }
 
@@ -141,6 +155,38 @@ TEST(Reporter, InProcessReportMatchesSchema) {
   EXPECT_EQ(rows->array[0].Find("x")->number, 1.5);
   EXPECT_EQ(doc.Find("metrics")->Find("unit.count")->number, 2.0);
   std::remove(json_path.c_str());
+}
+
+TEST(Reporter, TraceAliasAndMetricsOutWriteTheirFiles) {
+  const std::string trace_path =
+      std::string(HD_BENCH_BIN_DIR) + "/reporter_unit.trace.json";
+  const std::string metrics_path =
+      std::string(HD_BENCH_BIN_DIR) + "/reporter_unit.metrics.json";
+  std::string prog = "unit";
+  std::string arg_trace = "--trace";  // legacy alias of --trace-out
+  std::string arg_trace_path = trace_path;
+  std::string arg_metrics = "--metrics-out";
+  std::string arg_metrics_path = metrics_path;
+  std::string arg_quiet = "--quiet";
+  char* argv[] = {prog.data(),         arg_trace.data(), arg_trace_path.data(),
+                  arg_metrics.data(),  arg_metrics_path.data(),
+                  arg_quiet.data()};
+  {
+    hd::bench::Reporter rep("unit", 6, argv);
+    ASSERT_NE(rep.sink(), nullptr);  // the alias enables tracing
+    rep.sink()->Span("c", "s", {0, 0}, 0.0, 1.0);
+    rep.metrics()->distribution("unit.lat").Record(2.5);
+    EXPECT_EQ(rep.Finish(), 0);
+  }
+  const Value trace = Parse(Slurp(trace_path));
+  ASSERT_NE(trace.Find("traceEvents"), nullptr);
+  EXPECT_FALSE(trace.Find("traceEvents")->array.empty());
+  const Value metrics = Parse(Slurp(metrics_path));
+  ASSERT_TRUE(metrics.is_object());
+  EXPECT_EQ(metrics.Find("unit.lat.count")->number, 1.0);
+  EXPECT_EQ(metrics.Find("unit.lat.p99")->number, 2.5);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
 }
 
 }  // namespace

@@ -98,4 +98,45 @@ TEST(BenchPin, ModeledNumbersMatchPrePrValuesWithTracingOn) {
   }
 }
 
+TEST(BenchPin, HardwareCountersSurfaceWithoutPerturbingPins) {
+  // The gpusim hardware counters (divergence, coalescing, conflicts) ride
+  // along on kernel spans and the metrics registry; the exact-double pins
+  // above must keep holding with them enabled.
+  for (const Pin& pin : kPins) {
+    trace::ChromeTraceSink sink;
+    trace::Registry reg;
+    CheckPin(pin, &sink, &reg);
+
+    bool saw_kernel_counters = false;
+    for (const auto& e : sink.events()) {
+      if (e.phase != 'X' || e.category != "kernel") continue;
+      bool has_divergence = false, has_coalescing = false,
+           has_requests = false, has_conflicts = false;
+      for (const auto& a : e.args) {
+        if (a.key == "divergence") has_divergence = true;
+        if (a.key == "coalescing") has_coalescing = true;
+        if (a.key == "mem_requests") has_requests = true;
+        if (a.key == "atomic_conflicts") has_conflicts = true;
+      }
+      EXPECT_TRUE(has_divergence && has_coalescing && has_requests &&
+                  has_conflicts)
+          << pin.id << " kernel span " << e.name;
+      saw_kernel_counters = true;
+    }
+    EXPECT_TRUE(saw_kernel_counters) << pin.id;
+
+    EXPECT_NE(reg.FindCounter("gpurt.gpu.mem_requests"), nullptr) << pin.id;
+    EXPECT_NE(reg.FindCounter("gpurt.gpu.bytes_requested"), nullptr)
+        << pin.id;
+    EXPECT_NE(reg.FindCounter("gpurt.gpu.shared_bank_conflicts"), nullptr)
+        << pin.id;
+    EXPECT_NE(reg.FindCounter("gpurt.gpu.atomic_conflicts"), nullptr)
+        << pin.id;
+    EXPECT_NE(reg.FindDistribution("gpurt.gpu.map_divergence"), nullptr)
+        << pin.id;
+    EXPECT_NE(reg.FindDistribution("gpurt.gpu.map_coalescing"), nullptr)
+        << pin.id;
+  }
+}
+
 }  // namespace

@@ -230,6 +230,77 @@ TEST(Kernel, SharedAtomicCheaperThanGlobal) {
   EXPECT_EQ(gl.Finish().global_atomics, 100);
 }
 
+TEST(Kernel, WarpDivergenceRatioCountsLockstepPadding) {
+  DeviceConfig c = SmallDevice();
+  KernelSim balanced(c, 1, 32, "balanced");
+  for (int t = 0; t < 32; ++t) balanced.ChargeOp(0, t, OpClass::kIntAlu, 100);
+  const KernelReport rb = balanced.Finish();
+  EXPECT_DOUBLE_EQ(rb.WarpDivergenceRatio(), 0.0);
+
+  KernelSim skewed(c, 1, 32, "skewed");
+  skewed.ChargeOp(0, 0, OpClass::kIntAlu, 3200);
+  const KernelReport rs = skewed.Finish();
+  // One busy lane in a 32-wide warp wastes 31/32 of the issue slots.
+  EXPECT_DOUBLE_EQ(rs.WarpDivergenceRatio(), 1.0 - 1.0 / 32.0);
+  // The counters never feed the timing model: same totals as before.
+  EXPECT_DOUBLE_EQ(rs.compute_cycles, 3200.0 * c.cycles_int_alu);
+}
+
+TEST(Kernel, SharedBankConflictsCountWarpSerialization) {
+  DeviceConfig c = SmallDevice();
+  KernelSim solo(c, 1, 32, "solo");
+  for (int i = 0; i < 100; ++i) solo.ChargeSharedAtomic(0, 0);
+  // A single lane never waits on a warp-mate.
+  EXPECT_EQ(solo.Finish().shared_bank_conflicts, 0);
+
+  KernelSim contended(c, 1, 32, "contended");
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 25; ++i) contended.ChargeSharedAtomic(0, t);
+  }
+  // 100 atomics with the busiest lane holding 25: 75 serialized.
+  const KernelReport r = contended.Finish();
+  EXPECT_EQ(r.shared_atomics, 100);
+  EXPECT_EQ(r.shared_bank_conflicts, 75);
+}
+
+TEST(Kernel, AtomicConflictsCountDeviceWideContention) {
+  DeviceConfig c = SmallDevice();
+  KernelSim k(c, 2, 32, "atomics");  // contention spans blocks and warps
+  for (int i = 0; i < 30; ++i) k.ChargeGlobalAtomic(0, 0);
+  for (int i = 0; i < 20; ++i) k.ChargeGlobalAtomic(1, 5);
+  const KernelReport r = k.Finish();
+  EXPECT_EQ(r.global_atomics, 50);
+  EXPECT_EQ(r.atomic_conflicts, 20);  // total 50 minus the busiest lane's 30
+}
+
+TEST(Kernel, CoalescingEfficiencyTracksLineUtilization) {
+  DeviceConfig c = SmallDevice();
+  const std::int64_t line = c.mem_line_bytes;
+  int dummy = 0;
+  KernelSim seq(c, 1, 32, "seq");
+  seq.ChargeGlobalAccess(0, 0, &dummy, 0, line, /*vectorizable=*/true);
+  const KernelReport rs = seq.Finish();
+  EXPECT_EQ(rs.bytes_requested, line);
+  EXPECT_EQ(rs.bytes_moved, line);  // one fully-used transaction
+  EXPECT_DOUBLE_EQ(rs.CoalescingEfficiency(), 1.0);
+  EXPECT_GT(rs.mem_requests, 0);
+
+  KernelSim strided(c, 1, 32, "strided");
+  for (int i = 0; i < 8; ++i) {
+    // 4 useful bytes per otherwise-untouched line, strides far apart so
+    // the per-lane line cache cannot help.
+    strided.ChargeGlobalAccess(0, 0, &dummy, i * 16 * line, 4,
+                               /*vectorizable=*/true);
+  }
+  const KernelReport rt = strided.Finish();
+  EXPECT_EQ(rt.bytes_requested, 32);
+  EXPECT_EQ(rt.bytes_moved, 8 * line);
+  EXPECT_LT(rt.CoalescingEfficiency(), rs.CoalescingEfficiency());
+  EXPECT_DOUBLE_EQ(rt.TransactionsPerRequest(),
+                   static_cast<double>(rt.transactions) /
+                       static_cast<double>(rt.mem_requests));
+}
+
 TEST(Kernel, HooksRouteBySpace) {
   DeviceConfig c = SmallDevice();
   KernelSim k(c, 1, 32, "route");

@@ -284,18 +284,81 @@ TEST(Registry, WriteJsonExportsFlatSortedObject) {
   EXPECT_EQ(doc.Find("c.dist.min")->number, 1.0);
   EXPECT_EQ(doc.Find("c.dist.mean")->number, 2.0);
   EXPECT_EQ(doc.Find("c.dist.p50")->number, 2.0);
+  EXPECT_EQ(doc.Find("c.dist.p95")->number, 3.0);
+  EXPECT_EQ(doc.Find("c.dist.p99")->number, 3.0);
   EXPECT_EQ(doc.Find("c.dist.max")->number, 3.0);
   // Keys come out sorted by metric name (distribution suffixes expand in a
   // fixed order under their base name), and the export is deterministic.
   std::vector<std::string> expected = {
       "a.gauge",      "b.count",     "c.dist.count", "c.dist.min",
-      "c.dist.mean",  "c.dist.p50",  "c.dist.p95",   "c.dist.max"};
+      "c.dist.mean",  "c.dist.p50",  "c.dist.p95",   "c.dist.p99",
+      "c.dist.max"};
   std::vector<std::string> keys;
   for (const auto& [k, v] : doc.object) keys.push_back(k);
   EXPECT_EQ(keys, expected);
   std::ostringstream again;
   reg.WriteJson(again);
   EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(Registry, DistributionPercentilesAreNearestRankAndDeterministic) {
+  trace::Registry reg;
+  auto& d = reg.distribution("lat");
+  // Recorded in reverse so the export proves it sorts, not replays.
+  for (int i = 100; i >= 1; --i) d.Record(static_cast<double>(i));
+  std::ostringstream os;
+  reg.WriteJson(os);
+  const json::Value doc = json::Parse(os.str());
+  EXPECT_EQ(doc.Find("lat.p50")->number, 50.0);
+  EXPECT_EQ(doc.Find("lat.p95")->number, 95.0);
+  EXPECT_EQ(doc.Find("lat.p99")->number, 99.0);
+  EXPECT_EQ(doc.Find("lat.min")->number, 1.0);
+  EXPECT_EQ(doc.Find("lat.max")->number, 100.0);
+  std::ostringstream again;
+  reg.WriteJson(again);
+  EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(TraceSink, ChromeLanesCarryNumericSortIndexMetadata) {
+  trace::ChromeTraceSink sink;
+  // Two-digit vs one-digit lanes: Perfetto's lexicographic fallback would
+  // order "sm10" before "sm2"; the exporter pins numeric order instead.
+  sink.NameProcess(7, "device");
+  sink.NameThread({7, 2}, "sm2");
+  sink.NameThread({7, 10}, "sm10");
+  sink.Span("sm", "k", {7, 2}, 0.0, 1.0);
+  std::ostringstream os;
+  sink.Write(os);
+  const json::Value doc = json::Parse(os.str());
+  const json::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int process_sorts = 0;
+  std::map<int, double> thread_sorts;  // tid -> sort_index
+  bool seen_data_event = false;
+  for (const json::Value& e : events->array) {
+    const json::Value* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string != "M") {
+      seen_data_event = true;
+      continue;
+    }
+    EXPECT_FALSE(seen_data_event);  // all metadata precedes data events
+    const std::string name = e.Find("name")->string;
+    const json::Value* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    if (name == "process_sort_index") {
+      ++process_sorts;
+      EXPECT_EQ(args->Find("sort_index")->number, e.Find("pid")->number);
+    } else if (name == "thread_sort_index") {
+      thread_sorts[static_cast<int>(e.Find("tid")->number)] =
+          args->Find("sort_index")->number;
+    }
+  }
+  EXPECT_EQ(process_sorts, 1);
+  ASSERT_EQ(thread_sorts.size(), 2u);
+  EXPECT_EQ(thread_sorts[2], 2.0);
+  EXPECT_EQ(thread_sorts[10], 10.0);
+  EXPECT_LT(thread_sorts[2], thread_sorts[10]);
 }
 
 TEST(Registry, NullSinkDiscardsEverything) {
