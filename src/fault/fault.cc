@@ -1,0 +1,133 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace hd::fault {
+
+namespace {
+
+// Domain-separation tags so draws at different sites never alias.
+constexpr std::uint64_t kTagSlow = 0x51;
+constexpr std::uint64_t kTagHeartbeat = 0xb8;
+constexpr std::uint64_t kTagOom = 0x00a3;
+constexpr std::uint64_t kTagFail = 0xf1;
+constexpr std::uint64_t kTagFailPoint = 0xfb;
+
+// Stateless uniform double in [0, 1) hashed from up to four components.
+double HashDouble(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                  std::uint64_t b = 0, std::uint64_t c = 0) {
+  std::uint64_t x = SplitMix64(seed ^ SplitMix64(tag));
+  x = SplitMix64(x ^ a);
+  x = SplitMix64(x ^ b);
+  x = SplitMix64(x ^ c);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+void CheckProb(double p, const char* what) {
+  HD_CHECK_MSG(p >= 0.0 && p <= 1.0, what << " must be a probability in"
+                                          << " [0, 1], got " << p);
+}
+
+}  // namespace
+
+void ValidateFaultSpec(const FaultSpec& spec) {
+  HD_CHECK_MSG(spec.crash_mttf_sec >= 0.0,
+               "crash_mttf_sec must be non-negative (0 disables crashes)");
+  CheckProb(spec.permanent_fraction, "permanent_fraction");
+  HD_CHECK_MSG(spec.restart_sec > 0.0, "restart_sec must be positive");
+  HD_CHECK_MSG(spec.horizon_sec > 0.0, "horizon_sec must be positive");
+  CheckProb(spec.heartbeat_drop_prob, "heartbeat_drop_prob");
+  CheckProb(spec.cpu_fail_prob, "cpu_fail_prob");
+  CheckProb(spec.gpu_fail_prob, "gpu_fail_prob");
+  CheckProb(spec.gpu_oom_prob, "gpu_oom_prob");
+  CheckProb(spec.slow_node_prob, "slow_node_prob");
+  HD_CHECK_MSG(spec.slow_factor >= 1.0,
+               "slow_factor must be >= 1 (a degradation, not a speedup)");
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {
+  ValidateFaultSpec(spec_);
+}
+
+std::vector<NodeCrash> FaultInjector::CrashPlan(int num_nodes) const {
+  HD_CHECK(num_nodes > 0);
+  std::vector<NodeCrash> plan;
+  if (spec_.crash_mttf_sec <= 0.0) return plan;
+  for (int node = 0; node < num_nodes; ++node) {
+    // One PRNG stream per node so the plan for node i never depends on
+    // how many crashes earlier nodes drew.
+    Prng prng(SplitMix64(spec_.seed) ^
+              SplitMix64(0xc4a54ULL + static_cast<std::uint64_t>(node)));
+    double t = 0.0;
+    for (;;) {
+      double u = prng.NextDouble();
+      while (u <= 1e-300) u = prng.NextDouble();
+      t += -spec_.crash_mttf_sec * std::log(u);
+      if (t >= spec_.horizon_sec) break;
+      NodeCrash c;
+      c.node = node;
+      c.at_sec = t;
+      c.permanent = prng.NextDouble() < spec_.permanent_fraction;
+      c.down_sec = c.permanent ? 0.0 : spec_.restart_sec;
+      plan.push_back(c);
+      if (c.permanent) break;  // the node never comes back
+      t += spec_.restart_sec;  // next failure can only hit a live node
+    }
+  }
+  std::sort(plan.begin(), plan.end(), [](const NodeCrash& a,
+                                         const NodeCrash& b) {
+    return a.at_sec != b.at_sec ? a.at_sec < b.at_sec : a.node < b.node;
+  });
+  return plan;
+}
+
+double FaultInjector::SlowFactor(int node) const {
+  if (spec_.slow_node_prob <= 0.0) return 1.0;
+  const double u = HashDouble(spec_.seed, kTagSlow,
+                              static_cast<std::uint64_t>(node));
+  return u < spec_.slow_node_prob ? spec_.slow_factor : 1.0;
+}
+
+bool FaultInjector::DropHeartbeat(int node, std::int64_t seq) const {
+  if (spec_.heartbeat_drop_prob <= 0.0) return false;
+  return HashDouble(spec_.seed, kTagHeartbeat,
+                    static_cast<std::uint64_t>(node),
+                    static_cast<std::uint64_t>(seq)) <
+         spec_.heartbeat_drop_prob;
+}
+
+AttemptOutcome FaultInjector::DrawAttempt(int job, int task, int attempt,
+                                          bool on_gpu) const {
+  const auto j = static_cast<std::uint64_t>(job);
+  const auto t = static_cast<std::uint64_t>(task);
+  const auto a = static_cast<std::uint64_t>(attempt);
+  if (on_gpu) {
+    if (spec_.gpu_oom_prob > 0.0 &&
+        HashDouble(spec_.seed, kTagOom, j, t, a) < spec_.gpu_oom_prob) {
+      return AttemptOutcome::kDeviceOom;
+    }
+    if (spec_.gpu_fail_prob > 0.0 &&
+        HashDouble(spec_.seed, kTagFail, j, t, a ^ 0x8000u) <
+            spec_.gpu_fail_prob) {
+      return AttemptOutcome::kFail;
+    }
+    return AttemptOutcome::kOk;
+  }
+  if (spec_.cpu_fail_prob > 0.0 &&
+      HashDouble(spec_.seed, kTagFail, j, t, a) < spec_.cpu_fail_prob) {
+    return AttemptOutcome::kFail;
+  }
+  return AttemptOutcome::kOk;
+}
+
+double FaultInjector::FailPoint(int job, int task, int attempt) const {
+  return 0.1 + 0.8 * HashDouble(spec_.seed, kTagFailPoint,
+                                static_cast<std::uint64_t>(job),
+                                static_cast<std::uint64_t>(task),
+                                static_cast<std::uint64_t>(attempt));
+}
+
+}  // namespace hd::fault

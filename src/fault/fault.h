@@ -1,0 +1,108 @@
+// Deterministic fault injection for the cluster engine.
+//
+// A FaultInjector turns a seeded FaultSpec into a reproducible failure
+// schedule for a cluster run: TaskTracker crashes (permanent and
+// transient), dropped heartbeats, per-attempt task failures on CPU and
+// GPU (transient kernel fault vs. device OOM) and slow-node degradation
+// factors. Following the trace::Sink convention, a null FaultInjector*
+// on ClusterConfig means "fault-free" and costs one branch per site, so
+// every existing bench pin stays bit-identical.
+//
+// Every draw is *stateless*: outcomes are hashed from (seed, site
+// identity) with SplitMix64 rather than pulled from a shared PRNG
+// stream, so the schedule a spec produces is independent of the order
+// the engine happens to query it in. Two runs of the same seeded spec —
+// or the same spec under different scheduling policies — see the exact
+// same faults, which is what makes fault_sweep's policy columns and the
+// output-invariance checks comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hd::fault {
+
+// One scheduled TaskTracker crash. Transient crashes recover after
+// `down_sec`; permanent crashes never do.
+struct NodeCrash {
+  int node = 0;
+  double at_sec = 0.0;
+  bool permanent = false;
+  double down_sec = 0.0;  // 0 when permanent
+};
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+
+  // Per-node crash process: exponential inter-arrival with this mean
+  // time to failure; 0 disables crashes. Crashes are planned inside
+  // [0, horizon_sec); a permanent crash ends the node's schedule.
+  double crash_mttf_sec = 0.0;
+  double permanent_fraction = 0.5;  // fraction of crashes that are permanent
+  double restart_sec = 30.0;        // transient downtime
+  double horizon_sec = 100000.0;
+
+  // Probability that one TaskTracker heartbeat never reaches the
+  // JobTracker (the JT side sees silence; enough silence expires the node).
+  double heartbeat_drop_prob = 0.0;
+
+  // Per-attempt failure probabilities. A transient failure manifests
+  // partway through the attempt (the slot is held, then freed and the
+  // task retried with backoff); a device OOM fails the GPU launch
+  // immediately, like task_source.h's GpuTaskFailure.
+  double cpu_fail_prob = 0.0;
+  double gpu_fail_prob = 0.0;
+  double gpu_oom_prob = 0.0;
+
+  // Slow-node degradation: each node independently runs all its tasks
+  // `slow_factor` x slower with probability `slow_node_prob` (composes
+  // with ClusterConfig::node_speed_factors). The straggler feed for
+  // speculative execution.
+  double slow_node_prob = 0.0;
+  double slow_factor = 2.0;
+};
+
+// HD_CHECKs every FaultSpec invariant (probabilities in [0,1], positive
+// times, slow_factor >= 1). Called by the FaultInjector constructor.
+void ValidateFaultSpec(const FaultSpec& spec);
+
+// What an injected map attempt does.
+enum class AttemptOutcome {
+  kOk,         // runs to completion
+  kFail,       // transient failure partway through the attempt
+  kDeviceOom,  // GPU launch fails immediately (GPU attempts only)
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // The run's crash schedule for `num_nodes` TaskTrackers, ordered by
+  // (at_sec, node). Deterministic in (spec.seed, num_nodes); crashes of
+  // one node never overlap.
+  std::vector<NodeCrash> CrashPlan(int num_nodes) const;
+
+  // Degradation factor every task duration on `node` is multiplied by
+  // (1.0 for healthy nodes).
+  double SlowFactor(int node) const;
+
+  // Whether heartbeat number `seq` from `node` is lost in flight.
+  bool DropHeartbeat(int node, std::int64_t seq) const;
+
+  // Outcome of attempt `attempt` of (job, task) on the given processor.
+  AttemptOutcome DrawAttempt(int job, int task, int attempt,
+                             bool on_gpu) const;
+
+  // Where inside the attempt a kFail manifests, as a fraction of the
+  // attempt duration in [0.1, 0.9).
+  double FailPoint(int job, int task, int attempt) const;
+
+ private:
+  FaultSpec spec_;
+};
+
+}  // namespace hd::fault

@@ -19,6 +19,20 @@ void ValidateClusterConfig(const ClusterConfig& cfg) {
   HD_CHECK_MSG(cfg.reduce_slowstart >= 0.0 && cfg.reduce_slowstart <= 1.0,
                "reduce_slowstart must be a fraction in [0, 1]");
   HD_CHECK_MSG(cfg.trace_pid_base >= 0, "trace_pid_base must be non-negative");
+  HD_CHECK_MSG(cfg.heartbeat_expiry_sec > cfg.heartbeat_sec,
+               "heartbeat_expiry_sec must exceed the heartbeat interval or "
+               "every tracker expires between its own heartbeats");
+  HD_CHECK_MSG(cfg.max_task_attempts >= 1,
+               "max_task_attempts must allow at least one attempt");
+  HD_CHECK_MSG(cfg.max_gpu_attempts >= 1,
+               "max_gpu_attempts must allow at least one GPU attempt");
+  HD_CHECK_MSG(cfg.blacklist_task_failures >= 1,
+               "blacklist_task_failures must be at least 1");
+  HD_CHECK_MSG(cfg.retry_backoff_sec >= 0.0,
+               "retry_backoff_sec must be non-negative");
+  HD_CHECK_MSG(cfg.speculation_slowdown > 1.0,
+               "speculation_slowdown must exceed 1 (a straggler is slower "
+               "than the mean, not faster)");
   if (!cfg.node_speed_factors.empty()) {
     HD_CHECK_MSG(static_cast<int>(cfg.node_speed_factors.size()) ==
                      cfg.num_slaves,
@@ -36,6 +50,8 @@ ClusterCore::ClusterCore(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     n.free_cpu = cfg_.map_slots_per_node;
     n.free_gpu = cfg_.gpus_per_node;
   }
+  health_.resize(static_cast<std::size_t>(cfg_.num_slaves));
+  lost_tasks_.resize(static_cast<std::size_t>(cfg_.num_slaves));
   if (cfg_.sink != nullptr) {
     cfg_.sink->NameProcess(cfg_.trace_pid_base, "jobtracker");
     free_cpu_lanes_.resize(nodes_.size());
@@ -83,6 +99,14 @@ void ClusterCore::InitJob(JobState& job) {
   job.pending.resize(static_cast<std::size_t>(job.remaining_maps));
   for (int i = 0; i < job.remaining_maps; ++i) job.pending[i] = i;
   job.node_stats.assign(static_cast<std::size_t>(cfg_.num_slaves), {});
+  const auto n = static_cast<std::size_t>(job.remaining_maps);
+  job.task_state.assign(n, TaskState::kPending);
+  job.attempts_started.assign(n, 0);
+  job.attempts_failed.assign(n, 0);
+  job.gpu_faults.assign(n, 0);
+  job.cpu_only.assign(n, 0);
+  job.committed_node.assign(n, -1);
+  job.committed_bytes.assign(n, 0);
 }
 
 sched::NodeSched ClusterCore::SchedView(const JobState& job,
@@ -108,6 +132,238 @@ bool ClusterCore::NodeHasUsableSlot(const JobState& job, int node_id) const {
   const NodeSlots& n = nodes_[static_cast<std::size_t>(node_id)];
   if (n.free_cpu > 0) return true;
   return job.policy != sched::Policy::kCpuOnly && n.free_gpu > 0;
+}
+
+bool ClusterCore::NodeSchedulable(int node_id) const {
+  const NodeHealth& h = health_[static_cast<std::size_t>(node_id)];
+  return h.alive && !h.blacklisted;
+}
+
+bool ClusterCore::HeartbeatDelivered(int node_id) {
+  if (cfg_.faults == nullptr) return true;
+  NodeHealth& h = health_[static_cast<std::size_t>(node_id)];
+  if (!h.alive) return false;
+  ++h.heartbeat_seq;
+  if (cfg_.faults->DropHeartbeat(node_id, h.heartbeat_seq)) {
+    ++heartbeats_dropped_;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("fault.heartbeats_dropped").Add(1);
+    }
+    if (cfg_.sink != nullptr) {
+      cfg_.sink->Instant("fault", "heartbeat_drop", NodeTrack(node_id, 0),
+                         events_.now(),
+                         {trace::Arg::Int("seq", h.heartbeat_seq)});
+    }
+    return false;
+  }
+  h.last_heartbeat_sec = events_.now();
+  if (h.lost) {
+    // A tracker the JobTracker gave up on is heartbeating again: it
+    // re-registers as a fresh tracker with a clean failure record
+    // (whatever it was running was already re-enqueued at expiry).
+    h.lost = false;
+    h.blacklisted = false;
+    h.failed_attempts = 0;
+    if (cfg_.sink != nullptr) {
+      cfg_.sink->Instant("fault", "node_reregister", NodeTrack(node_id, 0),
+                         events_.now(), {});
+    }
+  }
+  CheckExpiry();
+  return true;
+}
+
+void ClusterCore::ScheduleFaultPlan() {
+  if (cfg_.faults == nullptr) return;
+  for (const fault::NodeCrash& crash : cfg_.faults->CrashPlan(cfg_.num_slaves)) {
+    events_.At(crash.at_sec, [this, crash] { CrashNode(crash); });
+  }
+}
+
+void ClusterCore::CrashNode(const fault::NodeCrash& crash) {
+  NodeHealth& h = health_[static_cast<std::size_t>(crash.node)];
+  if (!h.alive) return;  // CrashPlan leaves restart gaps; defensive anyway
+  h.alive = false;
+  h.down_since_sec = events_.now();
+  ++nodes_crashed_;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("fault.node_crashes").Add(1);
+  }
+  if (cfg_.sink != nullptr) {
+    cfg_.sink->Instant("fault", "node_crash", NodeTrack(crash.node, 0),
+                       events_.now(),
+                       {trace::Arg::Int("permanent", crash.permanent ? 1 : 0)});
+  }
+  if (cfg_.trace != nullptr) {
+    *cfg_.trace << "t=" << events_.now() << " crash node=" << crash.node
+                << (crash.permanent ? " permanent" : " transient") << "\n";
+  }
+  // The tracker process dies with its slots' contents: every running
+  // attempt is gone. The JobTracker only learns of it at heartbeat expiry
+  // (DeclareLost), which re-enqueues the work.
+  KillAttemptsOn(crash.node);
+  if (!crash.permanent) {
+    events_.After(crash.down_sec,
+                  [this, node = crash.node] { RecoverNode(node); });
+  }
+}
+
+void ClusterCore::RecoverNode(int node_id) {
+  NodeHealth& h = health_[static_cast<std::size_t>(node_id)];
+  HD_CHECK(!h.alive);
+  outages_.emplace_back(h.down_since_sec, events_.now());
+  h.alive = true;
+  h.lost = false;
+  h.blacklisted = false;
+  h.failed_attempts = 0;
+  h.last_heartbeat_sec = events_.now();
+  ++nodes_recovered_;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("fault.node_recoveries").Add(1);
+  }
+  if (cfg_.sink != nullptr) {
+    cfg_.sink->Instant("fault", "node_recover", NodeTrack(node_id, 0),
+                       events_.now(), {});
+  }
+  // The restarted tracker re-registers with empty slots. If the outage was
+  // shorter than the expiry window the JobTracker never declared it lost,
+  // so the attempts that died in the crash were still "running" on the
+  // books — reschedule them now, exactly as a re-registration does in
+  // Hadoop. (After an expiry, DeclareLost already drained this list.)
+  RequeueLostTasks(node_id);
+  OnNodeRecovered(node_id);
+}
+
+void ClusterCore::CheckExpiry() {
+  for (int node = 0; node < cfg_.num_slaves; ++node) {
+    NodeHealth& h = health_[static_cast<std::size_t>(node)];
+    if (h.lost) continue;
+    if (events_.now() - h.last_heartbeat_sec > cfg_.heartbeat_expiry_sec) {
+      DeclareLost(node);
+    }
+  }
+}
+
+void ClusterCore::DeclareLost(int node_id) {
+  NodeHealth& h = health_[static_cast<std::size_t>(node_id)];
+  h.lost = true;
+  ++nodes_lost_;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("hadoop.nodes_expired").Add(1);
+  }
+  if (cfg_.sink != nullptr) {
+    cfg_.sink->Instant("fault", "node_expired", NodeTrack(node_id, 0),
+                       events_.now(), {});
+  }
+  if (cfg_.trace != nullptr) {
+    *cfg_.trace << "t=" << events_.now() << " expired node=" << node_id
+                << "\n";
+  }
+  // If the tracker is actually alive (its heartbeats were dropped), the
+  // JobTracker still kills its attempts — same as real Hadoop, where a
+  // tracker declared lost has its tasks rescheduled even if it later
+  // turns out to be healthy.
+  KillAttemptsOn(node_id);
+  // Re-enqueue the in-flight work that died with the tracker.
+  RequeueLostTasks(node_id);
+  // Map outputs committed on the dead tracker lived on its local disk:
+  // jobs whose reducers still need them must re-execute those maps.
+  VisitActiveJobs([this, node_id](JobState& job) {
+    if (job.done || job.source->num_reducers() == 0) return;
+    const int total = job.source->num_map_tasks();
+    for (int task = 0; task < total; ++task) {
+      const auto t = static_cast<std::size_t>(task);
+      if (job.committed_node[t] != node_id) continue;
+      job.committed_node[t] = -1;
+      job.result.total_map_output_bytes -= job.committed_bytes[t];
+      job.committed_bytes[t] = 0;
+      job.task_state[t] = TaskState::kPending;
+      job.pending.push_back(task);
+      ++job.remaining_maps;
+      --job.maps_done;
+      ++job.result.maps_reexecuted;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("hadoop.maps_reexecuted").Add(1);
+      }
+      if (cfg_.sink != nullptr) {
+        cfg_.sink->Instant("fault", "map_reexecute", JobTrack(job),
+                           events_.now(),
+                           {trace::Arg::Int("job", job.id),
+                            trace::Arg::Int("task", task),
+                            trace::Arg::Int("lost_node", node_id)});
+      }
+    }
+  });
+}
+
+void ClusterCore::RequeueLostTasks(int node_id) {
+  auto& lost = lost_tasks_[static_cast<std::size_t>(node_id)];
+  for (auto& [job, task] : lost) {
+    if (job->done) continue;
+    const auto t = static_cast<std::size_t>(task);
+    if (job->task_state[t] != TaskState::kRunning) continue;
+    if (HasRunningAttempt(*job, task)) continue;  // speculative twin lives
+    RequeueTask(*job, task);
+  }
+  lost.clear();
+}
+
+bool ClusterCore::HasRunningAttempt(const JobState& job, int task) const {
+  for (const auto& [id, at] : running_) {
+    if (at.job == &job && at.task == task) return true;
+  }
+  return false;
+}
+
+void ClusterCore::KillAttemptsOn(int node_id) {
+  std::vector<std::int64_t> ids;
+  for (const auto& [id, at] : running_) {
+    if (at.node == node_id) ids.push_back(id);
+  }
+  for (std::int64_t id : ids) {
+    const Attempt& at = running_.at(id);
+    lost_tasks_[static_cast<std::size_t>(node_id)].emplace_back(at.job,
+                                                                at.task);
+    KillAttempt(id, "node_lost");
+  }
+}
+
+void ClusterCore::KillAttempt(std::int64_t id, const char* why) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  const Attempt at = it->second;
+  running_.erase(it);
+  JobState& job = *at.job;
+  const double elapsed = events_.now() - at.start_sec;
+  if (cfg_.sink != nullptr) {
+    trace::Args args = {trace::Arg::Int("job", job.id),
+                        trace::Arg::Int("task", at.task),
+                        trace::Arg::Str("label", job.label),
+                        trace::Arg::Float("duration_sec", elapsed),
+                        trace::Arg::Int("killed", 1),
+                        trace::Arg::Str("reason", why)};
+    if (at.index > 0) args.push_back(trace::Arg::Int("attempt", at.index));
+    if (at.speculative) args.push_back(trace::Arg::Int("speculative", 1));
+    cfg_.sink->Span("task", at.on_gpu ? "gpu_map" : "cpu_map",
+                    NodeTrack(at.node, at.lane), at.start_sec, elapsed, args);
+  }
+  if (cfg_.trace != nullptr) {
+    *cfg_.trace << "t=" << events_.now();
+    if (trace_job_ids_) *cfg_.trace << " job=" << job.id;
+    *cfg_.trace << " kill task=" << at.task << " node=" << at.node << " ("
+                << why << ")\n";
+  }
+  if (at.on_gpu) {
+    gpu_busy_sec_ += elapsed;
+  } else {
+    cpu_busy_sec_ += elapsed;
+  }
+  FreeSlot(at.node, at.on_gpu, at.lane);
+  --job.running_tasks;
+  ++job.result.killed_attempts;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("hadoop.killed_attempts").Add(1);
+  }
 }
 
 bool ClusterCore::IsLocal(const JobState& job, int node_id, int task) const {
@@ -136,6 +392,9 @@ std::vector<int> ClusterCore::PickTasks(JobState& job, int node_id,
     picked.push_back(job.pending.front());
     job.pending.erase(job.pending.begin());
   }
+  for (int task : picked) {
+    job.task_state[static_cast<std::size_t>(task)] = TaskState::kRunning;
+  }
   return picked;
 }
 
@@ -143,9 +402,11 @@ void ClusterCore::PlaceTask(JobState& job, int node_id, int task,
                             double maps_remaining_per_node) {
   NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
   const sched::NodeSched view = SchedView(job, node_id);
+  const bool demoted = job.cpu_only[static_cast<std::size_t>(task)] != 0;
   const bool want_gpu =
-      sched::PlaceOnGpu(job.policy, view, maps_remaining_per_node);
-  if (cfg_.sink != nullptr && job.policy == sched::Policy::kTail &&
+      !demoted && sched::PlaceOnGpu(job.policy, view, maps_remaining_per_node);
+  if (cfg_.sink != nullptr && !demoted &&
+      job.policy == sched::Policy::kTail &&
       sched::TailForces(view, maps_remaining_per_node)) {
     // Algorithm 2's forced-GPU decision, with the inputs that produced it.
     const trace::Args args = {
@@ -181,45 +442,88 @@ void ClusterCore::PlaceTask(JobState& job, int node_id, int task,
                            {trace::Arg::Int("job", job.id),
                             trace::Arg::Int("task", task)});
       }
+      job.task_state[static_cast<std::size_t>(task)] = TaskState::kPending;
       job.pending.insert(job.pending.begin(), task);
     }
     return;
   }
   if (node.free_cpu > 0) {
     StartMap(job, node_id, task, /*on_gpu=*/false);
-  } else if (job.policy != sched::Policy::kCpuOnly && node.free_gpu > 0) {
+  } else if (!demoted && job.policy != sched::Policy::kCpuOnly &&
+             node.free_gpu > 0) {
     StartMap(job, node_id, task, /*on_gpu=*/true);
   } else {
     // No capacity after all (tail cap raced with completions): put back.
+    job.task_state[static_cast<std::size_t>(task)] = TaskState::kPending;
     job.pending.insert(job.pending.begin(), task);
   }
 }
 
-void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu) {
+void ClusterCore::HandleGpuLaunchFailure(JobState& job, int node_id, int task,
+                                         bool speculative, bool injected_oom) {
   NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
+  // §5.1: the failure is reported to the TaskTracker, the GPU driver is
+  // revived, and the task is rescheduled — here directly onto a CPU slot
+  // when one is free.
+  ++job.result.gpu_failures;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("hadoop.gpu_failures").Add(1);
+    if (injected_oom) cfg_.metrics->counter("fault.gpu_oom").Add(1);
+  }
+  if (cfg_.sink != nullptr) {
+    trace::Args args = {trace::Arg::Int("job", job.id),
+                        trace::Arg::Int("task", task)};
+    if (injected_oom) args.push_back(trace::Arg::Int("oom", 1));
+    cfg_.sink->Instant("hadoop", "gpu_failure", NodeTrack(node_id, 0),
+                       events_.now(), args);
+  }
+  const auto t = static_cast<std::size_t>(task);
+  if (++job.gpu_faults[t] >= cfg_.max_gpu_attempts && job.cpu_only[t] == 0) {
+    // The GPU-failure rescheduling loop is bounded: after max_gpu_attempts
+    // faults the task is pinned to CPU slots, even under tail forcing.
+    job.cpu_only[t] = 1;
+    ++job.result.gpu_demotions;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("hadoop.gpu_demotions").Add(1);
+    }
+    if (cfg_.sink != nullptr) {
+      cfg_.sink->Instant("hadoop", "gpu_demotion", NodeTrack(node_id, 0),
+                         events_.now(),
+                         {trace::Arg::Int("job", job.id),
+                          trace::Arg::Int("task", task),
+                          trace::Arg::Int("gpu_faults", job.gpu_faults[t])});
+    }
+  }
+  if (speculative) return;  // the original attempt is still running
+  if (node.free_cpu > 0) {
+    StartMap(job, node_id, task, /*on_gpu=*/false);
+  } else {
+    job.task_state[t] = TaskState::kPending;
+    job.pending.insert(job.pending.begin(), task);
+  }
+}
+
+void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu,
+                           bool speculative) {
+  NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
+  const auto t = static_cast<std::size_t>(task);
+  const int attempt_index = job.attempts_started[t]++;
+  fault::AttemptOutcome outcome = fault::AttemptOutcome::kOk;
+  if (cfg_.faults != nullptr) {
+    outcome = cfg_.faults->DrawAttempt(job.id, task, attempt_index, on_gpu);
+  }
   MapTaskTiming timing;
   if (on_gpu) {
+    if (outcome == fault::AttemptOutcome::kDeviceOom) {
+      HandleGpuLaunchFailure(job, node_id, task, speculative,
+                             /*injected_oom=*/true);
+      return;
+    }
     try {
       timing = job.source->MapTask(task, /*on_gpu=*/true);
     } catch (const GpuTaskFailure&) {
-      // §5.1: the failure is reported to the TaskTracker, the GPU driver is
-      // revived, and the task is rescheduled — here directly onto a CPU
-      // slot when one is free.
-      ++job.result.gpu_failures;
-      if (cfg_.metrics != nullptr) {
-        cfg_.metrics->counter("hadoop.gpu_failures").Add(1);
-      }
-      if (cfg_.sink != nullptr) {
-        cfg_.sink->Instant("hadoop", "gpu_failure", NodeTrack(node_id, 0),
-                           events_.now(),
-                           {trace::Arg::Int("job", job.id),
-                            trace::Arg::Int("task", task)});
-      }
-      if (node.free_cpu > 0) {
-        StartMap(job, node_id, task, /*on_gpu=*/false);
-      } else {
-        job.pending.insert(job.pending.begin(), task);
-      }
+      HandleGpuLaunchFailure(job, node_id, task, speculative,
+                             /*injected_oom=*/false);
       return;
     }
     --node.free_gpu;
@@ -231,10 +535,14 @@ void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu) {
     ++job.result.cpu_tasks;
   }
   ++job.running_tasks;
+  job.task_state[t] = TaskState::kRunning;
   if (job.first_start_time < 0.0) job.first_start_time = events_.now();
   double duration = timing.seconds;
   if (!cfg_.node_speed_factors.empty()) {
     duration *= cfg_.node_speed_factors[static_cast<std::size_t>(node_id)];
+  }
+  if (cfg_.faults != nullptr) {
+    duration *= cfg_.faults->SlowFactor(node_id);
   }
   if (cfg_.trace != nullptr) {
     *cfg_.trace << "t=" << events_.now();
@@ -248,7 +556,6 @@ void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu) {
     duration += static_cast<double>(job.fs->Split(job.input_path, task).bytes) /
                 cfg_.network_bytes_per_sec;
   }
-  job.result.total_map_output_bytes += timing.output_bytes;
   int lane = -1;
   if (cfg_.sink != nullptr) {
     auto& lanes = on_gpu ? free_gpu_lanes_[static_cast<std::size_t>(node_id)]
@@ -257,59 +564,290 @@ void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu) {
     lane = lanes.back();
     lanes.pop_back();
   }
-  events_.After(duration, [this, &job, node_id, task, on_gpu, duration, lane] {
-    FinishMap(job, node_id, task, on_gpu, duration, lane);
-  });
+  Attempt at;
+  at.id = next_attempt_id_++;
+  at.job = &job;
+  at.task = task;
+  at.index = attempt_index;
+  at.node = node_id;
+  at.on_gpu = on_gpu;
+  at.speculative = speculative;
+  at.start_sec = events_.now();
+  at.duration = duration;
+  at.output_bytes = timing.output_bytes;
+  at.lane = lane;
+  const std::int64_t id = at.id;
+  running_.emplace(id, at);
+  // The completion/failure event carries only the attempt id: if the
+  // attempt has been killed by then (node loss, losing a speculative
+  // race), the lookup misses and the event is a no-op.
+  if (outcome == fault::AttemptOutcome::kFail) {
+    const double fail_at =
+        duration * cfg_.faults->FailPoint(job.id, task, attempt_index);
+    events_.After(fail_at, [this, id] { OnAttemptFailed(id); });
+  } else {
+    events_.After(duration, [this, id] { OnAttemptDone(id); });
+  }
 }
 
-void ClusterCore::FinishMap(JobState& job, int node_id, int task, bool on_gpu,
-                            double duration, int lane) {
-  NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
-  JobNodeStats& stats = job.node_stats[static_cast<std::size_t>(node_id)];
+void ClusterCore::MaybeSpeculate(JobState& job, int node_id) {
+  if (!cfg_.speculation || job.done || !job.pending.empty()) return;
+  const NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.free_cpu == 0 && node.free_gpu == 0) return;
+  // Count running attempts per task: only singly-attempted tasks qualify
+  // (one speculative duplicate at most), and not ones on this very node
+  // (a duplicate should not share the original's failure domain).
+  std::map<int, int> attempts_of;
+  for (const auto& [id, at] : running_) {
+    if (at.job == &job) ++attempts_of[at.task];
+  }
+  double best_ratio = cfg_.speculation_slowdown;
+  int best_task = -1;
+  for (const auto& [id, at] : running_) {
+    if (at.job != &job || at.speculative) continue;
+    if (at.node == node_id) continue;
+    if (attempts_of[at.task] != 1) continue;
+    const double mean = job.MeanDuration(at.on_gpu);
+    if (mean <= 0.0) continue;
+    const double ratio = (events_.now() - at.start_sec) / mean;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_task = at.task;
+    }
+  }
+  if (best_task < 0) return;
+  // Tail composition: a speculative attempt prefers an idle GPU — the
+  // straggler is by definition in the tail, where Algorithm 2 forces GPUs.
+  const bool on_gpu = job.policy != sched::Policy::kCpuOnly &&
+                      node.free_gpu > 0 &&
+                      job.cpu_only[static_cast<std::size_t>(best_task)] == 0;
+  if (!on_gpu && node.free_cpu == 0) return;
+  ++job.result.speculative_launched;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("hadoop.speculative_launched").Add(1);
+  }
   if (cfg_.sink != nullptr) {
-    cfg_.sink->Span("task", on_gpu ? "gpu_map" : "cpu_map",
-                    NodeTrack(node_id, lane), events_.now() - duration,
-                    duration,
-                    {trace::Arg::Int("job", job.id),
-                     trace::Arg::Int("task", task),
-                     trace::Arg::Str("label", job.label),
-                     trace::Arg::Float("duration_sec", duration)});
+    cfg_.sink->Instant("hadoop", "speculative_launch", NodeTrack(node_id, 0),
+                       events_.now(),
+                       {trace::Arg::Int("job", job.id),
+                        trace::Arg::Int("task", best_task),
+                        trace::Arg::Float("slowdown_ratio", best_ratio)});
+  }
+  StartMap(job, node_id, best_task, on_gpu, /*speculative=*/true);
+}
+
+void ClusterCore::FreeSlot(int node_id, bool on_gpu, int lane) {
+  NodeSlots& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (on_gpu) {
+    ++node.free_gpu;
+  } else {
+    ++node.free_cpu;
+  }
+  if (cfg_.sink != nullptr && lane >= 0) {
     auto& lanes = on_gpu ? free_gpu_lanes_[static_cast<std::size_t>(node_id)]
                          : free_cpu_lanes_[static_cast<std::size_t>(node_id)];
     lanes.push_back(lane);
   }
+}
+
+void ClusterCore::OnAttemptDone(std::int64_t id) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;  // killed while in flight
+  const Attempt at = it->second;
+  running_.erase(it);
+  JobState& job = *at.job;
+  JobNodeStats& stats = job.node_stats[static_cast<std::size_t>(at.node)];
+  const auto t = static_cast<std::size_t>(at.task);
+  if (cfg_.sink != nullptr) {
+    trace::Args args = {trace::Arg::Int("job", job.id),
+                        trace::Arg::Int("task", at.task),
+                        trace::Arg::Str("label", job.label),
+                        trace::Arg::Float("duration_sec", at.duration)};
+    if (at.index > 0) args.push_back(trace::Arg::Int("attempt", at.index));
+    if (at.speculative) args.push_back(trace::Arg::Int("speculative", 1));
+    cfg_.sink->Span("task", at.on_gpu ? "gpu_map" : "cpu_map",
+                    NodeTrack(at.node, at.lane), at.start_sec, at.duration,
+                    args);
+  }
   if (cfg_.metrics != nullptr) {
-    cfg_.metrics->counter(on_gpu ? "hadoop.gpu_tasks" : "hadoop.cpu_tasks")
+    cfg_.metrics
+        ->counter(at.on_gpu ? "hadoop.gpu_tasks" : "hadoop.cpu_tasks")
         .Add(1);
     cfg_.metrics
-        ->distribution(on_gpu ? "hadoop.gpu_task_sec" : "hadoop.cpu_task_sec")
-        .Record(duration);
+        ->distribution(at.on_gpu ? "hadoop.gpu_task_sec"
+                                 : "hadoop.cpu_task_sec")
+        .Record(at.duration);
   }
   if (cfg_.trace != nullptr) {
     *cfg_.trace << "t=" << events_.now();
     if (trace_job_ids_) *cfg_.trace << " job=" << job.id;
-    *cfg_.trace << " finish task=" << task << " node=" << node_id
-                << (on_gpu ? " GPU" : " CPU") << "\n";
+    *cfg_.trace << " finish task=" << at.task << " node=" << at.node
+                << (at.on_gpu ? " GPU" : " CPU") << "\n";
   }
-  if (on_gpu) {
-    ++node.free_gpu;
-    gpu_busy_sec_ += duration;
-    stats.gpu_avg = (stats.gpu_avg * stats.gpu_n + duration) / (stats.gpu_n + 1);
+  if (at.on_gpu) {
+    gpu_busy_sec_ += at.duration;
+    stats.gpu_avg =
+        (stats.gpu_avg * stats.gpu_n + at.duration) / (stats.gpu_n + 1);
     ++stats.gpu_n;
+    job.gpu_dur_sum += at.duration;
+    ++job.gpu_dur_n;
   } else {
-    ++node.free_cpu;
-    cpu_busy_sec_ += duration;
-    stats.cpu_avg = (stats.cpu_avg * stats.cpu_n + duration) / (stats.cpu_n + 1);
+    cpu_busy_sec_ += at.duration;
+    stats.cpu_avg =
+        (stats.cpu_avg * stats.cpu_n + at.duration) / (stats.cpu_n + 1);
     ++stats.cpu_n;
+    job.cpu_dur_sum += at.duration;
+    ++job.cpu_dur_n;
   }
+  FreeSlot(at.node, at.on_gpu, at.lane);
   job.max_speedup = std::max(job.max_speedup, stats.AveSpeedup());
   job.result.max_observed_speedup = job.max_speedup;
-  --job.remaining_maps;
-  ++job.maps_done;
   --job.running_tasks;
 
+  // Exactly-once commit: the first attempt to finish owns the task's
+  // output; any concurrent attempt is killed right here, so no later
+  // completion can reach this point for the same task.
+  job.task_state[t] = TaskState::kDone;
+  job.committed_node[t] = at.node;
+  job.committed_bytes[t] = at.output_bytes;
+  job.result.total_map_output_bytes += at.output_bytes;
+  --job.remaining_maps;
+  ++job.maps_done;
+  std::vector<std::int64_t> losers;
+  for (const auto& [oid, other] : running_) {
+    if (other.job == &job && other.task == at.task) losers.push_back(oid);
+  }
+  for (std::int64_t oid : losers) {
+    const bool loser_speculative = running_.at(oid).speculative;
+    KillAttempt(oid, "lost_race");
+    if (at.speculative) {
+      // accounted below: the speculative attempt won
+    } else if (loser_speculative) {
+      ++job.result.speculative_losses;
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("hadoop.speculative_losses").Add(1);
+      }
+    }
+  }
+  if (at.speculative) {
+    ++job.result.speculative_wins;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("hadoop.speculative_wins").Add(1);
+    }
+  }
+
   OnMapsProgress(job);
-  OnTaskFinished(job, node_id);
+  OnTaskFinished(job, at.node);
+}
+
+void ClusterCore::OnAttemptFailed(std::int64_t id) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;  // killed while in flight
+  const Attempt at = it->second;
+  running_.erase(it);
+  JobState& job = *at.job;
+  const auto t = static_cast<std::size_t>(at.task);
+  const double elapsed = events_.now() - at.start_sec;
+  if (cfg_.sink != nullptr) {
+    trace::Args args = {trace::Arg::Int("job", job.id),
+                        trace::Arg::Int("task", at.task),
+                        trace::Arg::Str("label", job.label),
+                        trace::Arg::Float("duration_sec", elapsed),
+                        trace::Arg::Int("failed", 1)};
+    if (at.index > 0) args.push_back(trace::Arg::Int("attempt", at.index));
+    if (at.speculative) args.push_back(trace::Arg::Int("speculative", 1));
+    cfg_.sink->Span("task", at.on_gpu ? "gpu_map" : "cpu_map",
+                    NodeTrack(at.node, at.lane), at.start_sec, elapsed, args);
+    cfg_.sink->Instant("fault", "task_fail", NodeTrack(at.node, 0),
+                       events_.now(),
+                       {trace::Arg::Int("job", job.id),
+                        trace::Arg::Int("task", at.task),
+                        trace::Arg::Int("attempt", at.index)});
+  }
+  if (cfg_.trace != nullptr) {
+    *cfg_.trace << "t=" << events_.now();
+    if (trace_job_ids_) *cfg_.trace << " job=" << job.id;
+    *cfg_.trace << " fail task=" << at.task << " node=" << at.node
+                << " attempt=" << at.index << "\n";
+  }
+  if (at.on_gpu) {
+    gpu_busy_sec_ += elapsed;
+  } else {
+    cpu_busy_sec_ += elapsed;
+  }
+  FreeSlot(at.node, at.on_gpu, at.lane);
+  --job.running_tasks;
+  ++job.result.task_failures;
+  ++job.attempts_failed[t];
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("fault.task_failures").Add(1);
+  }
+  // Tracker health: enough failures and the JobTracker stops trusting it —
+  // unless it is the last schedulable tracker standing (blacklisting it
+  // would leave pending work with nowhere to run, forever).
+  NodeHealth& h = health_[static_cast<std::size_t>(at.node)];
+  bool other_schedulable = false;
+  for (int n = 0; n < cfg_.num_slaves; ++n) {
+    if (n != at.node && NodeSchedulable(n)) {
+      other_schedulable = true;
+      break;
+    }
+  }
+  ++h.failed_attempts;
+  if (other_schedulable &&
+      h.failed_attempts >= cfg_.blacklist_task_failures && !h.blacklisted) {
+    h.blacklisted = true;
+    ++nodes_blacklisted_;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->counter("hadoop.nodes_blacklisted").Add(1);
+    }
+    if (cfg_.sink != nullptr) {
+      cfg_.sink->Instant("fault", "node_blacklisted", NodeTrack(at.node, 0),
+                         events_.now(),
+                         {trace::Arg::Int("failed_attempts",
+                                          h.failed_attempts)});
+    }
+  }
+  if (job.attempts_failed[t] >= cfg_.max_task_attempts) {
+    throw JobFailedError("job " + std::to_string(job.id) + " task " +
+                         std::to_string(at.task) + " failed " +
+                         std::to_string(job.attempts_failed[t]) +
+                         " attempts (max_task_attempts=" +
+                         std::to_string(cfg_.max_task_attempts) + ")");
+  }
+  if (HasRunningAttempt(job, at.task)) return;  // a twin may still commit
+  // Exponential backoff before the task becomes schedulable again.
+  job.task_state[t] = TaskState::kRetryWait;
+  const int shift = std::min(job.attempts_failed[t] - 1, 20);
+  const double backoff =
+      cfg_.retry_backoff_sec * static_cast<double>(std::int64_t{1} << shift);
+  JobState* jp = &job;
+  events_.After(backoff, [this, jp, task = at.task] {
+    if (jp->task_state[static_cast<std::size_t>(task)] ==
+        TaskState::kRetryWait) {
+      RequeueTask(*jp, task);
+    }
+  });
+}
+
+void ClusterCore::RequeueTask(JobState& job, int task) {
+  job.task_state[static_cast<std::size_t>(task)] = TaskState::kPending;
+  job.pending.push_back(task);
+  ++job.result.task_retries;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("hadoop.task_retries").Add(1);
+  }
+}
+
+double ClusterCore::NodeDownSeconds(double horizon_sec) const {
+  double down = 0.0;
+  for (const auto& [start, end] : outages_) {
+    down += std::max(0.0, std::min(end, horizon_sec) - start);
+  }
+  for (const NodeHealth& h : health_) {
+    if (!h.alive) down += std::max(0.0, horizon_sec - h.down_since_sec);
+  }
+  return down;
 }
 
 void ClusterCore::OnMapsProgress(JobState& job) {
@@ -357,6 +895,8 @@ void ClusterCore::FinishJob(JobState& job) {
   }
   job.result.makespan_sec = makespan;
   job.result.final_output = job.source->FinalOutput();
+  job.result.nodes_lost = nodes_lost_;
+  job.result.nodes_blacklisted = nodes_blacklisted_;
   if (cfg_.sink != nullptr) {
     const std::string name =
         job.label.empty() ? "job" + std::to_string(job.id) : job.label;

@@ -9,13 +9,33 @@
 // TaskTrackers; which job a freed slot serves is the caller's decision
 // (trivially "the job" for JobEngine, an inter-job scheduler for
 // multijob::MultiJobEngine).
+//
+// Fault tolerance follows the Hadoop 1.x JobTracker/TaskTracker contract:
+// every map execution is an *attempt* with an id; the first attempt of a
+// task to complete commits it (exactly-once — later duplicates are killed,
+// so job output is bit-identical with or without faults; recovery changes
+// timing, never answers). A TaskTracker silent past the expiry window is
+// declared lost: its running attempts are killed and re-enqueued, and map
+// outputs it committed are re-executed when reducers still need them (map
+// output lives on tracker-local disk). Failed attempts retry with
+// exponential backoff up to ClusterConfig::max_task_attempts; trackers
+// accumulating failures are blacklisted; stragglers in the tail optionally
+// get speculative second attempts that prefer idle GPUs (composing with
+// Algorithm 2's tail forcing). All of it is driven by an optional
+// fault::FaultInjector — null means fault-free and bit-identical modeled
+// numbers, the trace::Sink convention.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "gpurt/kv.h"
 #include "hadoop/des.h"
 #include "hadoop/task_source.h"
@@ -25,6 +45,14 @@
 #include "trace/trace.h"
 
 namespace hd::hadoop {
+
+// A map task exhausted ClusterConfig::max_task_attempts failed attempts;
+// Hadoop 1.x fails the whole job at this point, and so do we.
+class JobFailedError : public std::runtime_error {
+ public:
+  explicit JobFailedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct ClusterConfig {
   int num_slaves = 4;
@@ -38,6 +66,40 @@ struct ClusterConfig {
   // non-empty, entry i scales every task duration on node i (e.g. 2.0 =
   // an older node at half speed). Size must equal num_slaves.
   std::vector<double> node_speed_factors;
+
+  // --- Fault tolerance (Hadoop 1.x recovery semantics) -------------------
+  // Deterministic fault injection (src/fault); null = fault-free, the
+  // default, and bit-identical modeled numbers.
+  const fault::FaultInjector* faults = nullptr;
+  // A TaskTracker silent for longer than this is declared lost by the
+  // JobTracker (mapred.tasktracker.expiry.interval). Must exceed the
+  // heartbeat interval.
+  double heartbeat_expiry_sec = 30.0;
+  // Failed attempts allowed per task before the job aborts with
+  // JobFailedError (mapred.map.max.attempts).
+  int max_task_attempts = 4;
+  // GPU attempts of one task that may end in GpuTaskFailure / device OOM
+  // before the task is demoted to CPU-only placement. Bounds the §5.1
+  // GPU-failure rescheduling loop (kmeans on Cluster2), which is otherwise
+  // unbounded under tail forcing.
+  int max_gpu_attempts = 3;
+  // A TaskTracker accumulating this many failed attempts is blacklisted:
+  // it keeps heartbeating but receives no further tasks. A restarted
+  // tracker re-registers with a clean slate.
+  int blacklist_task_failures = 4;
+  // Exponential backoff base for re-enqueueing a failed attempt's task:
+  // the k-th failure of a task waits retry_backoff_sec * 2^(k-1).
+  double retry_backoff_sec = 1.0;
+  // Speculative execution of stragglers (off by default so fault-free runs
+  // stay pin-identical): once a job's pending queue drains, a second
+  // attempt of the slowest running task launches on a free slot —
+  // preferring GPUs, the tail-scheduling composition — and the first
+  // completion commits while the loser is killed.
+  bool speculation = false;
+  // A running attempt is a straggler once its elapsed time exceeds this
+  // multiple of the job's mean completed duration on the same device.
+  double speculation_slowdown = 1.5;
+
   // Optional schedule trace (one line per task start/finish), for debugging
   // and for the Fig. 3 bench's timeline rendering.
   std::ostream* trace = nullptr;
@@ -55,8 +117,9 @@ struct ClusterConfig {
 };
 
 // HD_CHECKs every ClusterConfig invariant (positive slot/heartbeat/
-// bandwidth values, slowstart fraction in [0,1], speed-factor arity).
-// Called from the ClusterCore constructor; throws CheckError on violation.
+// bandwidth values, slowstart fraction in [0,1], speed-factor arity,
+// attempt/blacklist/backoff/expiry bounds). Called from the ClusterCore
+// constructor; throws CheckError on violation.
 void ValidateClusterConfig(const ClusterConfig& cfg);
 
 struct JobResult {
@@ -68,6 +131,22 @@ struct JobResult {
   std::int64_t nonlocal_tasks = 0;
   std::int64_t total_map_output_bytes = 0;
   double max_observed_speedup = 1.0;
+
+  // --- Recovery accounting (all zero on a fault-free run) ----------------
+  std::int64_t task_failures = 0;   // attempts that failed partway through
+  std::int64_t task_retries = 0;    // re-enqueues after a failed attempt
+  std::int64_t killed_attempts = 0;  // killed by node loss or losing a race
+  std::int64_t maps_reexecuted = 0;  // committed maps rerun after node loss
+  std::int64_t gpu_demotions = 0;   // tasks forced CPU-only by the GPU cap
+  std::int64_t speculative_launched = 0;
+  std::int64_t speculative_wins = 0;    // speculative attempt committed
+  std::int64_t speculative_losses = 0;  // original won; speculative killed
+
+  // Cluster-level counters snapshotted at job completion (single-job runs;
+  // the multi-job engine reports them per workload instead).
+  std::int64_t nodes_lost = 0;         // expiry declarations
+  std::int64_t nodes_blacklisted = 0;
+
   // Functional sources only: the job's final output (reduce output, or map
   // output for map-only jobs).
   std::vector<gpurt::KvPair> final_output;
@@ -85,6 +164,15 @@ struct JobNodeStats {
     if (cpu_n == 0 || gpu_n == 0 || gpu_avg <= 0.0) return 1.0;
     return cpu_avg / gpu_avg;
   }
+};
+
+// Lifecycle of one map task under the attempt/commit protocol.
+enum class TaskState : unsigned char {
+  kPending,    // in JobState::pending, schedulable
+  kRunning,    // >= 1 attempt in flight (or lost with the tracker, until
+               // the JobTracker's expiry sweep re-enqueues it)
+  kRetryWait,  // last attempt failed; backoff timer pending
+  kDone,       // committed exactly once
 };
 
 // Everything belonging to one MapReduce job in flight.
@@ -108,15 +196,48 @@ struct JobState {
   bool done = false;
   bool tail_onset_traced = false;  // first forced-GPU decision emitted
 
+  // Per-task recovery bookkeeping (indexed by map task id).
+  std::vector<TaskState> task_state;
+  std::vector<int> attempts_started;  // next attempt index per task
+  std::vector<int> attempts_failed;   // toward max_task_attempts
+  std::vector<int> gpu_faults;        // toward max_gpu_attempts
+  std::vector<unsigned char> cpu_only;  // demoted by the GPU-attempt cap
+  std::vector<int> committed_node;    // node holding the map output; -1
+  std::vector<std::int64_t> committed_bytes;  // its map-output size
+
+  // Job-wide completed-duration averages feeding the speculation
+  // straggler threshold.
+  double cpu_dur_sum = 0.0;
+  std::int64_t cpu_dur_n = 0;
+  double gpu_dur_sum = 0.0;
+  std::int64_t gpu_dur_n = 0;
+
   double submit_time = 0.0;
   double first_start_time = -1.0;  // <0 until the first task launches
   JobResult result;
+
+  double MeanDuration(bool on_gpu) const {
+    const double sum = on_gpu ? gpu_dur_sum : cpu_dur_sum;
+    const std::int64_t n = on_gpu ? gpu_dur_n : cpu_dur_n;
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
 };
 
 // Free map slots of one TaskTracker. Cluster state: shared by all jobs.
 struct NodeSlots {
   int free_cpu = 0;
   int free_gpu = 0;
+};
+
+// Liveness/health of one TaskTracker as the JobTracker sees it.
+struct NodeHealth {
+  bool alive = true;         // false between a crash and its recovery
+  bool lost = false;         // declared lost by the expiry sweep
+  bool blacklisted = false;  // receives no new tasks
+  double last_heartbeat_sec = 0.0;
+  double down_since_sec = 0.0;   // valid while !alive
+  int failed_attempts = 0;       // toward blacklist_task_failures
+  std::int64_t heartbeat_seq = 0;
 };
 
 // Owns the cluster (nodes, slots, DES clock) and implements the map-task
@@ -128,8 +249,26 @@ class ClusterCore {
   virtual ~ClusterCore() = default;
 
  protected:
+  // One in-flight map attempt. The DES completion/failure event carries
+  // only the attempt id; an id no longer in the registry was killed and
+  // the event is a no-op — that is the whole cancellation mechanism.
+  struct Attempt {
+    std::int64_t id = 0;
+    JobState* job = nullptr;
+    int task = -1;
+    int index = 0;  // per-task attempt number
+    int node = 0;
+    bool on_gpu = false;
+    bool speculative = false;
+    double start_sec = 0.0;
+    double duration = 0.0;  // full would-be duration
+    std::int64_t output_bytes = 0;
+    int lane = -1;
+  };
+
   // Validates the job against the cluster and fills in the derived fields
-  // (pending list, per-node stats). Call once before scheduling it.
+  // (pending list, per-node stats, per-task recovery tables). Call once
+  // before scheduling it.
   void InitJob(JobState& job);
 
   // The sched::Policy view of `node_id` as seen by `job`: cluster slot
@@ -144,17 +283,39 @@ class ClusterCore {
   // Whether `node_id` has any slot this job could occupy right now.
   bool NodeHasUsableSlot(const JobState& job, int node_id) const;
 
+  // Whether the JobTracker may hand `node_id` new work at all (alive and
+  // not blacklisted).
+  bool NodeSchedulable(int node_id) const;
+
+  // TaskTracker-side heartbeat gate: false when the node is down or the
+  // injector drops this heartbeat. A delivered heartbeat refreshes the
+  // node's lease, re-registers a lost-but-alive tracker, and runs the
+  // JobTracker's expiry sweep over every node.
+  bool HeartbeatDelivered(int node_id);
+
+  // Schedules the injector's crash/recovery plan onto the DES clock. Call
+  // once at the start of Run(); a no-op without an injector.
+  void ScheduleFaultPlan();
+
   // Picks up to `max_tasks` pending tasks, preferring node-local splits.
   std::vector<int> PickTasks(JobState& job, int node_id, int max_tasks);
   bool IsLocal(const JobState& job, int node_id, int task) const;
 
   void PlaceTask(JobState& job, int node_id, int task,
                  double maps_remaining_per_node);
-  void StartMap(JobState& job, int node_id, int task, bool on_gpu);
-  void FinishMap(JobState& job, int node_id, int task, bool on_gpu,
-                 double duration, int lane);
+  void StartMap(JobState& job, int node_id, int task, bool on_gpu,
+                bool speculative = false);
+  // Launches a speculative duplicate of the job's worst straggler on a
+  // free slot of `node_id` (GPU preferred). Call after normal assignment
+  // when the job's pending queue is empty; a no-op unless
+  // cfg_.speculation is set.
+  void MaybeSpeculate(JobState& job, int node_id);
   void OnMapsProgress(JobState& job);
   void FinishJob(JobState& job);
+
+  // Sum of node-seconds spent down, for availability accounting; nodes
+  // still down at `horizon_sec` count up to the horizon.
+  double NodeDownSeconds(double horizon_sec) const;
 
   // Trace helpers (no-ops when cfg_.sink is null). NodeTrack is lane `tid`
   // of cluster node `node_id` under the layout documented on ClusterConfig;
@@ -172,10 +333,17 @@ class ClusterCore {
   // out-of-band heartbeat here) and after a job's last map completes.
   virtual void OnTaskFinished(JobState& job, int node_id) = 0;
   virtual void OnJobFinished(JobState& job) { (void)job; }
+  // Recovery needs to reach every in-flight job (a lost tracker may hold
+  // map outputs of several). Engines call `fn` for each active job.
+  virtual void VisitActiveJobs(const std::function<void(JobState&)>& fn) = 0;
+  // A transiently-crashed TaskTracker came back: the engine should restart
+  // its heartbeat pulse (the pulse chain stops while the node is down).
+  virtual void OnNodeRecovered(int node_id) { (void)node_id; }
 
   ClusterConfig cfg_;
   EventQueue events_;
   std::vector<NodeSlots> nodes_;
+  std::vector<NodeHealth> health_;
   bool trace_job_ids_ = false;  // multijob traces tag lines with job=<id>
 
   // Per-node free trace lanes (tids), maintained only when cfg_.sink is
@@ -188,6 +356,51 @@ class ClusterCore {
   double cpu_busy_sec_ = 0.0;   // map-slot-seconds spent on CPU tasks
   double gpu_busy_sec_ = 0.0;   // GPU-slot-seconds spent on GPU tasks
   std::int64_t gpu_bounces_ = 0;  // forced-GPU placements, every GPU busy
+
+  // Cluster-level fault/recovery accounting.
+  std::int64_t nodes_crashed_ = 0;
+  std::int64_t nodes_recovered_ = 0;
+  std::int64_t nodes_lost_ = 0;        // expiry declarations
+  std::int64_t nodes_blacklisted_ = 0;
+  std::int64_t heartbeats_dropped_ = 0;
+  // Completed outage intervals [crash, recover); open outages live in
+  // NodeHealth::down_since_sec. Kept as intervals so NodeDownSeconds can
+  // clamp to a horizon (crash-plan events keep firing after the last job
+  // completes; those must not count against availability).
+  std::vector<std::pair<double, double>> outages_;
+
+ private:
+  void CrashNode(const fault::NodeCrash& crash);
+  void RecoverNode(int node_id);
+  void CheckExpiry();
+  void DeclareLost(int node_id);
+  // Kills every running attempt on `node_id` (frees slots/lanes, emits
+  // truncated spans) and remembers the (job, task) pairs for the expiry
+  // sweep's re-enqueue.
+  void KillAttemptsOn(int node_id);
+  // Kills attempt `id` (slot/lane freed, truncated span); `why` labels the
+  // trace event.
+  void KillAttempt(std::int64_t id, const char* why);
+  void OnAttemptDone(std::int64_t id);
+  void OnAttemptFailed(std::int64_t id);
+  // The GPU path of StartMap failed to launch (GpuTaskFailure or injected
+  // OOM): account it, maybe demote the task, and rescue onto a CPU slot
+  // or back to pending.
+  void HandleGpuLaunchFailure(JobState& job, int node_id, int task,
+                              bool speculative, bool injected_oom);
+  // Reschedules the (job, task) pairs whose attempts died on `node_id`:
+  // called from DeclareLost (expiry) and from RecoverNode (re-registration
+  // after an outage shorter than the expiry window).
+  void RequeueLostTasks(int node_id);
+  bool HasRunningAttempt(const JobState& job, int task) const;
+  void FreeSlot(int node_id, bool on_gpu, int lane);
+  void RequeueTask(JobState& job, int task);
+
+  std::map<std::int64_t, Attempt> running_;
+  std::int64_t next_attempt_id_ = 1;
+  // (job, task) pairs whose attempts died with the node, awaiting the
+  // expiry sweep. Indexed by node.
+  std::vector<std::vector<std::pair<JobState*, int>>> lost_tasks_;
 };
 
 }  // namespace hd::hadoop

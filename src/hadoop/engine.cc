@@ -17,7 +17,10 @@ JobEngine::JobEngine(ClusterConfig config, TaskTimeSource* source,
 
 void JobEngine::Heartbeat(int node_id) {
   if (job_.done) return;
+  if (!HeartbeatDelivered(node_id)) return;
   EmitHeartbeat(node_id);
+  // A blacklisted tracker keeps heartbeating but gets no work.
+  if (!NodeSchedulable(node_id)) return;
   // JobTracker side: choose how many tasks this response carries, and the
   // numMapsRemainingPerNode estimate it ships alongside (Algorithm 2,
   // lines 8-9) — both computed before handing out this response's tasks.
@@ -27,6 +30,8 @@ void JobEngine::Heartbeat(int node_id) {
   const std::vector<int> tasks = PickTasks(job_, node_id, max_tasks);
   // TaskTracker side: place each assigned task.
   for (int task : tasks) PlaceTask(job_, node_id, task, remaining_per_node);
+  // With the pending queue drained, idle slots may hunt stragglers.
+  MaybeSpeculate(job_, node_id);
 }
 
 void JobEngine::OnTaskFinished(JobState& job, int node_id) {
@@ -36,23 +41,31 @@ void JobEngine::OnTaskFinished(JobState& job, int node_id) {
   }
 }
 
+void JobEngine::VisitActiveJobs(const std::function<void(JobState&)>& fn) {
+  fn(job_);
+}
+
+void JobEngine::OnNodeRecovered(int node_id) {
+  if (job_.done) return;
+  events_.After(cfg_.heartbeat_sec, [this, node_id] { PulseTick(node_id); });
+}
+
+void JobEngine::PulseTick(int node_id) {
+  if (job_.done) return;
+  // A dead tracker sends nothing; the chain resumes at recovery.
+  if (!health_[static_cast<std::size_t>(node_id)].alive) return;
+  Heartbeat(node_id);
+  events_.After(cfg_.heartbeat_sec, [this, node_id] { PulseTick(node_id); });
+}
+
 JobResult JobEngine::Run() {
+  ScheduleFaultPlan();
   // Staggered initial heartbeats, then one per interval per node until the
   // job completes. Completions additionally trigger out-of-band heartbeats.
   for (int n = 0; n < cfg_.num_slaves; ++n) {
     const double offset =
         cfg_.heartbeat_sec * (n + 1) / (cfg_.num_slaves + 1);
-    // Self-rescheduling periodic heartbeat.
-    struct Pulse {
-      JobEngine* engine;
-      int node;
-      void operator()() const {
-        if (engine->job_.done) return;
-        engine->Heartbeat(node);
-        engine->events_.After(engine->cfg_.heartbeat_sec, Pulse{engine, node});
-      }
-    };
-    events_.At(offset, Pulse{this, n});
+    events_.At(offset, [this, n] { PulseTick(n); });
   }
   events_.Run();
   HD_CHECK_MSG(job_.done, "event queue drained before the job completed");

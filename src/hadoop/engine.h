@@ -8,9 +8,17 @@
 //     reserved slot per GPU (the GPU driver of §5.1),
 //   * the scheduling policy (sched::Policy) decides GPU placement,
 //     including Algorithm 2's tail forcing,
-//   * failed GPU attempts are rescheduled (fault tolerance),
+//   * failed GPU attempts are rescheduled (fault tolerance), bounded by
+//     ClusterConfig::max_gpu_attempts,
 //   * reduce tasks start after the slow-start fraction of maps completes;
 //     their shuffle is modeled from map output volume.
+//
+// With a fault::FaultInjector attached the engine additionally models the
+// Hadoop 1.x recovery path: crashed or silent TaskTrackers expire and
+// their work — including committed map outputs — is re-executed, failed
+// attempts retry with backoff, failure-prone trackers are blacklisted,
+// and (when enabled) stragglers get speculative duplicate attempts.
+// Committed job output is bit-identical with or without faults.
 //
 // The slot/placement machinery lives in ClusterCore (cluster_core.h) so
 // that multijob::MultiJobEngine can run N concurrent jobs over the same
@@ -34,7 +42,12 @@ class JobEngine : private ClusterCore {
 
  private:
   void Heartbeat(int node_id);
+  // One link of a node's self-rescheduling heartbeat chain. The chain
+  // stops while the node is down; OnNodeRecovered restarts it.
+  void PulseTick(int node_id);
   void OnTaskFinished(JobState& job, int node_id) override;
+  void VisitActiveJobs(const std::function<void(JobState&)>& fn) override;
+  void OnNodeRecovered(int node_id) override;
 
   JobState job_;
 };

@@ -44,22 +44,36 @@ void MultiJobEngine::StartPulses() {
   const std::uint64_t gen = ++pulse_gen_;
   for (int n = 0; n < cfg_.num_slaves; ++n) {
     const double offset = cfg_.heartbeat_sec * (n + 1) / (cfg_.num_slaves + 1);
-    struct Pulse {
-      MultiJobEngine* engine;
-      int node;
-      std::uint64_t gen;
-      void operator()() const {
-        if (engine->pulse_gen_ != gen) return;  // cluster drained: retire
-        engine->ClusterHeartbeat(node);
-        engine->events_.After(engine->cfg_.heartbeat_sec, *this);
-      }
-    };
-    events_.After(offset, Pulse{this, n, gen});
+    events_.After(offset, [this, n, gen] { PulseTick(n, gen); });
   }
 }
 
+void MultiJobEngine::PulseTick(int node_id, std::uint64_t gen) {
+  if (pulse_gen_ != gen) return;  // cluster drained: retire
+  // A dead tracker sends nothing; the chain resumes at recovery.
+  if (!health_[static_cast<std::size_t>(node_id)].alive) return;
+  ClusterHeartbeat(node_id);
+  events_.After(cfg_.heartbeat_sec,
+                [this, node_id, gen] { PulseTick(node_id, gen); });
+}
+
+void MultiJobEngine::OnNodeRecovered(int node_id) {
+  if (active_jobs_ == 0) return;  // next Activate() restarts every pulse
+  events_.After(cfg_.heartbeat_sec, [this, node_id, gen = pulse_gen_] {
+    PulseTick(node_id, gen);
+  });
+}
+
+void MultiJobEngine::VisitActiveJobs(
+    const std::function<void(hadoop::JobState&)>& fn) {
+  for (JobState* job : active_) fn(*job);
+}
+
 void MultiJobEngine::ClusterHeartbeat(int node_id) {
+  if (!HeartbeatDelivered(node_id)) return;
   EmitHeartbeat(node_id);
+  // A blacklisted tracker keeps heartbeating but gets no work.
+  if (!NodeSchedulable(node_id)) return;
   // Per-job heartbeat allowances and numMapsRemainingPerNode estimates,
   // computed once at response-construction time exactly as the single-job
   // JobTracker does (Algorithm 2 lines 8-9).
@@ -98,6 +112,11 @@ void MultiJobEngine::ClusterHeartbeat(int node_id) {
     // allowance, as it does in the single-job response.
     ++assigned[i];
     PlaceTask(job, node_id, task[0], rem_per_node[i]);
+  }
+  // With every pending queue this node can serve drained, idle slots may
+  // hunt stragglers across the active jobs.
+  for (std::size_t i = 0; i < n_active; ++i) {
+    MaybeSpeculate(*active_[i], node_id);
   }
 }
 
@@ -155,6 +174,7 @@ void MultiJobEngine::CompleteJob(JobState& job) {
 }
 
 WorkloadMetrics MultiJobEngine::Run() {
+  ScheduleFaultPlan();
   events_.Run();
   HD_CHECK_MSG(completed_ == submitted_,
                "event queue drained with jobs still in flight");
@@ -174,6 +194,16 @@ WorkloadMetrics MultiJobEngine::Run() {
       gpu_busy_sec_,
       static_cast<double>(cfg_.num_slaves) * cfg_.gpus_per_node, horizon);
   metrics_.gpu_bounces = gpu_bounces_;
+  metrics_.nodes_crashed = nodes_crashed_;
+  metrics_.nodes_recovered = nodes_recovered_;
+  metrics_.nodes_lost = nodes_lost_;
+  metrics_.nodes_blacklisted = nodes_blacklisted_;
+  metrics_.heartbeats_dropped = heartbeats_dropped_;
+  if (horizon > 0.0 && cfg_.num_slaves > 0) {
+    metrics_.availability =
+        1.0 - NodeDownSeconds(horizon) /
+                  (static_cast<double>(cfg_.num_slaves) * horizon);
+  }
   if (cfg_.metrics != nullptr) {
     cfg_.metrics->gauge("multijob.makespan_sec").Set(metrics_.makespan_sec);
     cfg_.metrics->gauge("multijob.cpu_utilization")
@@ -182,6 +212,13 @@ WorkloadMetrics MultiJobEngine::Run() {
         .Set(metrics_.gpu_utilization);
     cfg_.metrics->counter("multijob.gpu_bounces").Set(gpu_bounces_);
     cfg_.metrics->counter("multijob.jobs_submitted").Set(submitted_);
+    if (cfg_.faults != nullptr) {
+      cfg_.metrics->gauge("multijob.availability").Set(metrics_.availability);
+      cfg_.metrics->counter("multijob.task_retries")
+          .Set(metrics_.TotalTaskRetries());
+      cfg_.metrics->counter("multijob.maps_reexecuted")
+          .Set(metrics_.TotalMapsReexecuted());
+    }
   }
   return metrics_;
 }

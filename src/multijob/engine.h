@@ -55,11 +55,18 @@ class MultiJobEngine : public hadoop::ClusterCore {
  private:
   void Activate(hadoop::JobState* job);
   void StartPulses();
+  // One link of a node's heartbeat chain for generation `gen`; the chain
+  // retires on generation bumps and stops while the node is down
+  // (OnNodeRecovered restarts it).
+  void PulseTick(int node_id, std::uint64_t gen);
   // Serves every active job from one TaskTracker heartbeat.
   void ClusterHeartbeat(int node_id);
   void CompleteJob(hadoop::JobState& job);
   void OnTaskFinished(hadoop::JobState& job, int node_id) override;
   void OnJobFinished(hadoop::JobState& job) override;
+  void VisitActiveJobs(
+      const std::function<void(hadoop::JobState&)>& fn) override;
+  void OnNodeRecovered(int node_id) override;
 
   std::unique_ptr<InterJobScheduler> scheduler_;
   std::vector<std::unique_ptr<hadoop::JobState>> jobs_;  // stable addresses

@@ -16,6 +16,48 @@ std::int64_t WorkloadMetrics::TotalGpuTasks() const {
   return n;
 }
 
+std::int64_t WorkloadMetrics::TotalTaskFailures() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.task_failures;
+  return n;
+}
+
+std::int64_t WorkloadMetrics::TotalTaskRetries() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.task_retries;
+  return n;
+}
+
+std::int64_t WorkloadMetrics::TotalKilledAttempts() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.killed_attempts;
+  return n;
+}
+
+std::int64_t WorkloadMetrics::TotalMapsReexecuted() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.maps_reexecuted;
+  return n;
+}
+
+std::int64_t WorkloadMetrics::TotalSpeculativeLaunched() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.speculative_launched;
+  return n;
+}
+
+std::int64_t WorkloadMetrics::TotalSpeculativeWins() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.speculative_wins;
+  return n;
+}
+
+std::int64_t WorkloadMetrics::TotalSpeculativeLosses() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.speculative_losses;
+  return n;
+}
+
 double WorkloadMetrics::MeanQueueWait() const {
   std::vector<double> waits;
   waits.reserve(jobs.size());
@@ -41,7 +83,16 @@ void PrintSummaryRow(std::ostream& os, const WorkloadMetrics& m) {
      << "s p95=" << m.LatencyPercentile(0.95)
      << "s p99=" << m.LatencyPercentile(0.99)
      << "s wait=" << m.MeanQueueWait() << "s cpu=" << m.cpu_utilization
-     << " gpu=" << m.gpu_utilization << " bounces=" << m.gpu_bounces << "\n";
+     << " gpu=" << m.gpu_utilization << " bounces=" << m.gpu_bounces;
+  if (m.nodes_crashed > 0 || m.TotalTaskFailures() > 0 ||
+      m.TotalSpeculativeLaunched() > 0) {
+    os << " crashes=" << m.nodes_crashed << " lost=" << m.nodes_lost
+       << " retries=" << m.TotalTaskRetries()
+       << " reexec=" << m.TotalMapsReexecuted()
+       << " spec=" << m.TotalSpeculativeLaunched() << "/"
+       << m.TotalSpeculativeWins() << " avail=" << m.availability;
+  }
+  os << "\n";
 }
 
 }  // namespace hd::multijob

@@ -37,8 +37,24 @@ struct WorkloadMetrics {
   // the inter-job GPU-slot contention signal.
   std::int64_t gpu_bounces = 0;
 
+  // Cluster-level fault/recovery accounting (all zero without an injector).
+  std::int64_t nodes_crashed = 0;
+  std::int64_t nodes_recovered = 0;
+  std::int64_t nodes_lost = 0;         // heartbeat-expiry declarations
+  std::int64_t nodes_blacklisted = 0;
+  std::int64_t heartbeats_dropped = 0;
+  // Alive node-seconds over (nodes x makespan); 1.0 without crashes.
+  double availability = 1.0;
+
   std::int64_t TotalCpuTasks() const;
   std::int64_t TotalGpuTasks() const;
+  std::int64_t TotalTaskFailures() const;
+  std::int64_t TotalTaskRetries() const;
+  std::int64_t TotalKilledAttempts() const;
+  std::int64_t TotalMapsReexecuted() const;
+  std::int64_t TotalSpeculativeLaunched() const;
+  std::int64_t TotalSpeculativeWins() const;
+  std::int64_t TotalSpeculativeLosses() const;
   double MeanQueueWait() const;
   // Nearest-rank percentile over per-job latencies; q in [0, 1].
   double LatencyPercentile(double q) const;

@@ -87,8 +87,12 @@ void BuildChain(JobAnalysis& job) {
     const double seg_start = std::max(job.start_sec, t.start_sec);
     if (cursor - seg_start <= 0.0) continue;  // zero-length; skip
     ChainSegment s;
-    s.kind = ChainSegment::Kind::kTask;
-    s.name = t.on_gpu ? "gpu_map" : "cpu_map";
+    // Retry / speculative / killed / failed attempts on the chain are
+    // recovery time: makespan spent because of a fault, not first-attempt
+    // work. They tile the interval like any other segment.
+    s.kind = t.IsRecovery() ? ChainSegment::Kind::kRecovery
+                            : ChainSegment::Kind::kTask;
+    s.name = t.IsRecovery() ? "recovery" : (t.on_gpu ? "gpu_map" : "cpu_map");
     s.task = t.task;
     s.on_gpu = t.on_gpu;
     s.start_sec = seg_start;
@@ -149,6 +153,14 @@ double JobAnalysis::ChainWaitSec() const {
   return sum;
 }
 
+double JobAnalysis::ChainRecoverySec() const {
+  double sum = 0.0;
+  for (const ChainSegment& s : chain) {
+    if (s.kind == ChainSegment::Kind::kRecovery) sum += s.dur_sec;
+  }
+  return sum;
+}
+
 std::vector<JobAnalysis> AnalyzeJobs(const TraceFile& trace,
                                      const CriticalPathOptions& opts) {
   // Pass 1: the engine runs sharing this trace, identified by their job
@@ -199,6 +211,14 @@ std::vector<JobAnalysis> AnalyzeJobs(const TraceFile& trace,
       t.tid = e.tid;
       t.start_sec = e.start_sec;
       t.dur_sec = e.dur_sec;
+      t.attempt = static_cast<int>(e.ArgNumber("attempt", 0.0));
+      t.speculative = e.ArgNumber("speculative", 0.0) != 0.0;
+      t.killed = e.ArgNumber("killed", 0.0) != 0.0;
+      t.failed = e.ArgNumber("failed", 0.0) != 0.0;
+      if (t.attempt > 0) ++a->retry_attempts;
+      if (t.speculative) ++a->speculative_attempts;
+      if (t.killed) ++a->killed_attempts;
+      if (t.failed) ++a->failed_attempts;
       a->tasks.push_back(std::move(t));
     } else if (e.phase == 'i' && e.category == "sched") {
       const int job_id = static_cast<int>(e.ArgNumber("job", -1.0));

@@ -47,15 +47,28 @@ struct TaskRecord {
   double dur_sec = 0.0;
   double slack_sec = 0.0;  // job end - task end; 0 for the final task
 
+  // Fault-tolerance span args (all default on a fault-free trace).
+  int attempt = 0;          // per-task attempt index
+  bool speculative = false;  // duplicate straggler attempt
+  bool killed = false;       // truncated by node loss or losing the race
+  bool failed = false;       // injected transient failure
+
+  // Whether this attempt's slot time is recovery work rather than the
+  // job's first-attempt execution.
+  bool IsRecovery() const {
+    return attempt > 0 || speculative || killed || failed;
+  }
+
   double end_sec() const { return start_sec + dur_sec; }
 };
 
 struct ChainSegment {
-  enum class Kind { kTask, kWait, kShuffleReduce };
+  enum class Kind { kTask, kWait, kShuffleReduce, kRecovery };
 
   Kind kind = Kind::kWait;
-  std::string name;  // "cpu_map"/"gpu_map", "wait", "shuffle_reduce"
-  int task = -1;     // kTask only
+  // "cpu_map"/"gpu_map", "wait", "shuffle_reduce", "recovery".
+  std::string name;
+  int task = -1;     // kTask / kRecovery only
   bool on_gpu = false;
   double start_sec = 0.0;
   double dur_sec = 0.0;
@@ -95,10 +108,20 @@ struct JobAnalysis {
   int gpu_bounces = 0;
   int tail_tasks_rescued = 0;  // GPU tasks started at/after tail onset
 
+  // Fault-tolerance accounting (all zero on a fault-free trace).
+  int retry_attempts = 0;        // attempts with attempt index > 0
+  int speculative_attempts = 0;
+  int killed_attempts = 0;
+  int failed_attempts = 0;
+
   // Sum of chain segment durations; equals makespan_sec by construction
   // (up to FP addition rounding).
   double ChainTotalSec() const;
   double ChainWaitSec() const;
+  // Chain time attributable to recovery and speculation: segments whose
+  // critical attempt was a retry, a speculative duplicate, or an attempt
+  // that failed or was killed. Part of the exact makespan tiling.
+  double ChainRecoverySec() const;
 };
 
 struct CriticalPathOptions {

@@ -84,6 +84,7 @@ const char* SegmentKindName(prof::ChainSegment::Kind k) {
     case prof::ChainSegment::Kind::kTask: return "task";
     case prof::ChainSegment::Kind::kWait: return "wait";
     case prof::ChainSegment::Kind::kShuffleReduce: return "shuffle_reduce";
+    case prof::ChainSegment::Kind::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -110,6 +111,11 @@ int CmdCriticalPath(const Flags& f) {
       w.Key("makespan_sec").Number(j.makespan_sec);
       w.Key("chain_total_sec").Number(j.ChainTotalSec());
       w.Key("chain_wait_sec").Number(j.ChainWaitSec());
+      w.Key("chain_recovery_sec").Number(j.ChainRecoverySec());
+      w.Key("retry_attempts").Int(j.retry_attempts);
+      w.Key("speculative_attempts").Int(j.speculative_attempts);
+      w.Key("killed_attempts").Int(j.killed_attempts);
+      w.Key("failed_attempts").Int(j.failed_attempts);
       w.Key("tail_onset_sec").Number(j.tail_onset_sec);
       w.Key("forced_gpu").Int(j.forced_gpu);
       w.Key("gpu_bounces").Int(j.gpu_bounces);
@@ -119,7 +125,8 @@ int CmdCriticalPath(const Flags& f) {
         w.BeginObject();
         w.Key("kind").String(SegmentKindName(s.kind));
         w.Key("name").String(s.name);
-        if (s.kind == prof::ChainSegment::Kind::kTask) {
+        if (s.kind == prof::ChainSegment::Kind::kTask ||
+            s.kind == prof::ChainSegment::Kind::kRecovery) {
           w.Key("task").Int(s.task);
         }
         w.Key("start_sec").Number(s.start_sec);
@@ -162,14 +169,20 @@ int CmdCriticalPath(const Flags& f) {
     std::cout << "job " << j.job_id << " (" << j.name << ", policy "
               << j.policy << "): makespan " << FormatDouble(j.makespan_sec, 3)
               << " s, critical chain " << FormatDouble(j.ChainTotalSec(), 3)
-              << " s (" << FormatDouble(j.ChainWaitSec(), 3) << " s waiting)\n";
+              << " s (" << FormatDouble(j.ChainWaitSec(), 3) << " s waiting";
+    if (j.ChainRecoverySec() > 0.0) {
+      std::cout << ", " << FormatDouble(j.ChainRecoverySec(), 3)
+                << " s recovery";
+    }
+    std::cout << ")\n";
     Table chain({"#", "segment", "task", "start (s)", "dur (s)"});
     int idx = 0;
     for (const prof::ChainSegment& s : j.chain) {
       chain.Row()
           .Cell(idx++)
           .Cell(s.name)
-          .Cell(s.kind == prof::ChainSegment::Kind::kTask
+          .Cell(s.kind == prof::ChainSegment::Kind::kTask ||
+                        s.kind == prof::ChainSegment::Kind::kRecovery
                     ? std::to_string(s.task)
                     : std::string("-"))
           .Cell(s.start_sec, 3)
@@ -195,6 +208,15 @@ int CmdCriticalPath(const Flags& f) {
                 << j.forced_gpu << " forced-GPU decisions, " << j.gpu_bounces
                 << " bounces, " << j.tail_tasks_rescued
                 << " tail tasks rescued onto the GPU\n";
+    }
+    if (j.retry_attempts > 0 || j.speculative_attempts > 0 ||
+        j.killed_attempts > 0 || j.failed_attempts > 0) {
+      std::cout << "fault recovery: " << j.retry_attempts << " retries, "
+                << j.speculative_attempts << " speculative, "
+                << j.killed_attempts << " killed, " << j.failed_attempts
+                << " failed attempts; "
+                << FormatDouble(j.ChainRecoverySec(), 3)
+                << " s of the critical chain is recovery\n";
     }
     std::cout << "\n";
   }

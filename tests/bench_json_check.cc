@@ -23,7 +23,7 @@ constexpr const char* kBenches[] = {
     "table2_workloads", "table3_clusters",  "fig3_tail_example",
     "fig4a_cluster1",   "fig4b_cluster2",   "fig5_task_speedup",
     "fig6_breakdown",   "fig7_optimizations", "ablation_tuning",
-    "multijob_throughput",
+    "multijob_throughput", "fault_sweep",
 };
 
 std::string Slurp(const std::string& path) {
@@ -117,6 +117,49 @@ TEST(BenchJson, EveryBinaryEmitsTheSharedSchema) {
     std::remove(trace_path.c_str());
     std::remove(metrics_path.c_str());
   }
+}
+
+// fault_sweep's contract beyond the shared schema: its private --seed flag
+// is accepted, every fault_invariance row reports bit-identical output, and
+// the faulted rows carry real recovery activity (the invariant is not
+// vacuously true).
+TEST(BenchJson, FaultSweepReportsOutputInvariance) {
+  const std::string bin_dir = HD_BENCH_BIN_DIR;
+  const std::string json_path = bin_dir + "/fault_sweep.invariance.json";
+  const std::string cmd = bin_dir +
+                          "/fault_sweep --smoke --quiet --seed 907 --json " +
+                          json_path;
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  const Value doc = Parse(Slurp(json_path));
+  ASSERT_TRUE(doc.is_object());
+  const Value* rows = doc.Find("rows");
+  ASSERT_NE(rows, nullptr);
+  int invariance_rows = 0;
+  double recovery_events = 0.0;
+  for (const Value& row : rows->array) {
+    const Value* table = row.Find("table");
+    ASSERT_NE(table, nullptr);
+    if (table->string != "fault_invariance") continue;
+    ++invariance_rows;
+    const Value* identical = row.Find("output_identical");
+    ASSERT_NE(identical, nullptr);
+    EXPECT_EQ(identical->number, 1.0)
+        << "faults=" << row.Find("faults")->string;
+    recovery_events += row.Find("fails")->number +
+                       row.Find("retries")->number +
+                       row.Find("reexec")->number;
+  }
+  EXPECT_EQ(invariance_rows, 3);  // none / light / heavy
+  EXPECT_GT(recovery_events, 0.0);
+  const Value* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Value* flag = metrics->Find("fault_sweep.output_identical");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag->number, 1.0);
+  // The seed threads into the config echo, so CI's per-seed runs are
+  // distinguishable in their reports.
+  EXPECT_EQ(doc.Find("config")->Find("seed")->number, 907.0);
+  std::remove(json_path.c_str());
 }
 
 TEST(Reporter, InProcessReportMatchesSchema) {

@@ -230,6 +230,87 @@ TEST(CriticalPath, Fig3TailSchedulingChainSumsToMakespanAndBeatsGpuFirst) {
   EXPECT_GT(cmp[0].saved_fraction, 0.0);
 }
 
+// A faulted run's trace: retry/speculative/killed/failed attempts become
+// "recovery" chain segments, and the chain — recovery included — still
+// tiles the makespan exactly.
+TEST(CriticalPath, RecoverySegmentsTileTheMakespanUnderFaults) {
+  fault::FaultSpec s;
+  s.seed = 23;
+  s.crash_mttf_sec = 150.0;
+  s.permanent_fraction = 0.0;
+  s.restart_sec = 40.0;
+  s.horizon_sec = 600.0;
+  s.cpu_fail_prob = 0.15;
+  s.gpu_fail_prob = 0.1;
+  s.slow_node_prob = 0.3;
+  const fault::FaultInjector inj(s);
+
+  trace::ChromeTraceSink sink;
+  hadoop::CalibratedTaskSource::Params p;
+  p.num_maps = 32;
+  p.num_reducers = 0;
+  p.cpu_task_sec = 10.0;
+  p.gpu_task_sec = 2.0;
+  p.variation = 0.0;
+  hadoop::CalibratedTaskSource source(p);
+  hadoop::ClusterConfig c;
+  c.num_slaves = 4;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  c.heartbeat_sec = 1.0;
+  c.heartbeat_expiry_sec = 5.0;
+  c.faults = &inj;
+  c.speculation = true;
+  c.max_task_attempts = 16;
+  c.sink = &sink;
+  const hadoop::JobResult r =
+      hadoop::JobEngine(c, &source, sched::Policy::kTail).Run();
+  ASSERT_GT(r.task_failures + r.killed_attempts, 0);  // faults engaged
+
+  const std::vector<prof::JobAnalysis> jobs =
+      prof::AnalyzeJobs(Roundtrip(sink));
+  ASSERT_EQ(jobs.size(), 1u);
+  const prof::JobAnalysis& j = jobs[0];
+  // Every attempt — including failed, killed and speculative ones — is a
+  // task record, so there are more records than map tasks.
+  EXPECT_GT(static_cast<int>(j.tasks.size()), p.num_maps);
+  EXPECT_EQ(j.retry_attempts + j.failed_attempts + j.killed_attempts > 0,
+            true);
+  EXPECT_EQ(static_cast<std::int64_t>(j.failed_attempts), r.task_failures);
+  EXPECT_EQ(static_cast<std::int64_t>(j.killed_attempts), r.killed_attempts);
+  EXPECT_EQ(static_cast<std::int64_t>(j.speculative_attempts),
+            r.speculative_launched);
+
+  // The acceptance criterion: with a "recovery" segment class in the walk,
+  // chain segments still tile [start, end] exactly.
+  EXPECT_NEAR(j.ChainTotalSec(), j.makespan_sec, 1e-9);
+  ASSERT_FALSE(j.chain.empty());
+  EXPECT_NEAR(j.chain.back().start_sec + j.chain.back().dur_sec, j.end_sec,
+              1e-9);
+  EXPECT_GE(j.ChainRecoverySec(), 0.0);
+  EXPECT_LE(j.ChainRecoverySec(), j.makespan_sec + 1e-9);
+  double tiled = 0.0;
+  bool has_recovery = false;
+  for (const prof::ChainSegment& seg : j.chain) {
+    tiled += seg.dur_sec;
+    if (seg.kind == prof::ChainSegment::Kind::kRecovery) {
+      has_recovery = true;
+      EXPECT_EQ(seg.name, "recovery");
+      EXPECT_GE(seg.task, 0);
+    }
+  }
+  EXPECT_NEAR(tiled, j.makespan_sec, 1e-9);
+  EXPECT_EQ(j.ChainRecoverySec() > 0.0, has_recovery);
+
+  // Fault instants parse as trace events (node_crash/node_recover live on
+  // node lanes); the analysis must not choke on the new category.
+  bool saw_fault_event = false;
+  std::ostringstream os;
+  sink.Write(os);
+  saw_fault_event = os.str().find("node_crash") != std::string::npos;
+  EXPECT_TRUE(saw_fault_event);
+}
+
 TEST(Kernels, AggregatesLaunchesAndRanksHotspots) {
   trace::ChromeTraceSink sink;
   for (int launch = 0; launch < 2; ++launch) {
