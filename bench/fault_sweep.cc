@@ -5,9 +5,9 @@
 // bit-identical with faults injected and without. Faults change *when*
 // everything happens, never *what* the job computes.
 //
-// Beyond the shared Reporter flags this binary accepts `--seed N`
-// (default 20150615) so CI's chaos-smoke job can assert output invariance
-// across several injector seeds.
+// The shared Reporter `--seed N` flag (default 20150615) selects the
+// injector seed, so CI's chaos-smoke job can assert output invariance
+// across several seeds.
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -145,18 +145,8 @@ int main(int argc, char** argv) {
   using multijob::WorkloadMetrics;
   using multijob::WorkloadSpec;
 
-  // Reporter rejects unknown flags, so strip our private --seed first.
-  std::uint64_t seed = 20150615;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
-  bench::Reporter rep("fault_sweep", static_cast<int>(args.size()),
-                      args.data());
+  bench::Reporter rep("fault_sweep", argc, argv);
+  const std::uint64_t seed = rep.seed(20150615);
 
   const int num_jobs = rep.smoke() ? 6 : 16;
   hadoop::ClusterConfig cluster;

@@ -47,8 +47,9 @@ int main(int argc, char** argv) {
 
   auto& t = rep.AddTable(
       "multijob_open",
-      {"sched", "policy", "rate/s", "p50 s", "p95 s", "p99 s", "wait s",
-       "makespan s", "cpu%", "gpu%", "bounces", "jobs/h"});
+      {"sched", "policy", "rate/s", "stable", "growth", "p50 s", "p95 s",
+       "p99 s", "p999 s", "wait s", "makespan s", "cpu%", "gpu%", "bounces",
+       "jobs/h"});
   for (double rate : rates) {
     for (SchedulerKind sk : schedulers) {
       for (sched::Policy policy : policies) {
@@ -61,13 +62,19 @@ int main(int argc, char** argv) {
         const WorkloadMetrics m =
             multijob::RunWorkload(cluster, sk, mix, spec);
         rep.AddModeledSeconds(m.makespan_sec);
+        // An overloaded open-loop queue never converges: report the
+        // queue-growth verdict alongside the percentiles so an unstable
+        // row's p99 reads as "still growing at 40 jobs", not steady state.
         t.Row()
             .Cell(multijob::SchedulerKindName(sk))
             .Cell(sched::PolicyName(policy))
             .Cell(rate, 3)
+            .Cell(m.OpenLoopStable() ? "yes" : "NO")
+            .Cell(m.QueueWaitGrowth(), 2)
             .Cell(m.LatencyPercentile(0.50), 1)
             .Cell(m.LatencyPercentile(0.95), 1)
             .Cell(m.LatencyPercentile(0.99), 1)
+            .Cell(m.LatencyPercentile(0.999), 1)
             .Cell(m.MeanQueueWait(), 1)
             .Cell(m.makespan_sec, 1)
             .Cell(100.0 * m.cpu_utilization, 1)
@@ -118,6 +125,10 @@ int main(int argc, char** argv) {
                "(within-job tails dominate), but under heavy arrival rates\n"
                "forced-GPU placements from overlapping job tails contend for\n"
                "the same GPU slots (bounces column) and fair/capacity spread\n"
-               "the queue wait that FIFO concentrates on late arrivals.\n";
+               "the queue wait that FIFO concentrates on late arrivals.\n"
+               "Rows with stable=NO never reached steady state: queue wait\n"
+               "kept growing across submissions (growth column), so their\n"
+               "latency percentiles describe the first 40 jobs of an\n"
+               "unbounded backlog, not a converged distribution.\n";
   return rep.Finish();
 }

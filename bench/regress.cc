@@ -24,7 +24,7 @@ namespace {
 const char* const kSuite[] = {
     "fig4a_cluster1",     "fig4b_cluster2", "fig5_task_speedup",
     "fig6_breakdown",     "fig7_optimizations",
-    "multijob_throughput",
+    "multijob_throughput", "stream_steady",
 };
 
 [[noreturn]] void Usage(int code) {

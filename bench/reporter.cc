@@ -71,11 +71,13 @@ NullBuf& TheNullBuf() {
 [[noreturn]] void Usage(const std::string& id, int code) {
   std::fprintf(stderr,
                "usage: %s [--json <path>] [--trace-out <path>] "
-               "[--metrics-out <path>] [--smoke] [--quiet]\n"
+               "[--metrics-out <path>] [--seed <n>] [--smoke] [--quiet]\n"
                "  --json <path>         write the %s report\n"
                "  --trace-out <path>    write a Chrome/Perfetto trace of the "
                "run (alias: --trace)\n"
                "  --metrics-out <path>  write just the flat metrics JSON\n"
+               "  --seed <n>            workload/injector seed (ignored by "
+               "fully deterministic binaries)\n"
                "  --smoke               shrunk inputs (fast schema checks)\n"
                "  --quiet               suppress the human-readable output\n",
                id.c_str(), kSchema);
@@ -149,6 +151,12 @@ Reporter::Reporter(std::string benchmark_id, int argc, char** argv)
       smoke_ = true;
     } else if (arg == "--quiet") {
       quiet_ = true;
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) Usage(benchmark_id_, 2);
+      char* end = nullptr;
+      seed_ = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') Usage(benchmark_id_, 2);
+      has_seed_ = true;
     } else if (arg == "--json" || arg == "--trace" || arg == "--trace-out" ||
                arg == "--metrics-out") {
       if (i + 1 >= argc) Usage(benchmark_id_, 2);

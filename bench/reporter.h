@@ -12,6 +12,8 @@
 //   <bench> --metrics-out out.json  # + just the flat metrics registry
 //   <bench> --smoke                 # shrunk inputs for fast schema checks
 //   <bench> --quiet                 # suppress the human output
+//   <bench> --seed N                # workload/injector seed (binaries that
+//                                   #   sample read it via seed(default))
 //
 // JSON schema "heterodoop.bench.v1" (all keys always present):
 //   {
@@ -90,6 +92,14 @@ class Reporter {
   bool smoke() const { return smoke_; }
   bool quiet() const { return quiet_; }
 
+  // The public --seed flag, shared by every bench binary: returns the
+  // parsed value, or `fallback` when --seed was not given. Deterministic
+  // binaries ignore it; sampling binaries (fault_sweep, stream_steady)
+  // must draw every stochastic input from it and echo it under config.
+  std::uint64_t seed(std::uint64_t fallback) const {
+    return has_seed_ ? seed_ : fallback;
+  }
+
   // Null when --trace-out was not given: instrumentation stays disabled and
   // modeled numbers are guaranteed bit-identical to an untraced run.
   trace::Sink* sink();
@@ -128,6 +138,8 @@ class Reporter {
   std::string benchmark_id_;
   bool smoke_ = false;
   bool quiet_ = false;
+  bool has_seed_ = false;
+  std::uint64_t seed_ = 0;
   std::string json_path_;
   std::string trace_path_;
   std::string metrics_path_;

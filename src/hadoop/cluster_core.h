@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <stdexcept>
@@ -184,6 +185,11 @@ struct JobState {
   const hdfs::Hdfs* fs = nullptr;
   std::string input_path;
   int pool = 0;  // multijob Capacity scheduler pool
+  // Absolute simulated completion target. Infinity (the default) marks a
+  // batch job with no latency SLO; streaming window jobs carry
+  // seal_time + slo so deadline-aware inter-job schedulers (multijob's
+  // MakeSloScheduler) can prioritize the window nearest to violation.
+  double deadline_sec = std::numeric_limits<double>::infinity();
 
   std::vector<int> pending;    // unscheduled map task ids (FIFO)
   int remaining_maps = 0;      // scheduled-or-pending, not yet finished

@@ -27,6 +27,7 @@ int MultiJobEngine::Submit(double when, JobSpec spec) {
   job->fs = spec.fs;
   job->input_path = std::move(spec.input_path);
   job->pool = spec.pool;
+  job->deadline_sec = spec.deadline_sec;
   job->submit_time = when;
   InitJob(*job);
   JobState* ptr = job.get();
@@ -170,6 +171,7 @@ void MultiJobEngine::CompleteJob(JobState& job) {
   stats.finish_sec = job.result.makespan_sec;
   stats.result = job.result;
   metrics_.jobs.push_back(stats);
+  OnJobCompleted(stats);
   if (on_job_done_) on_job_done_(stats);
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,9 @@ struct JobSpec {
   std::string input_path;
   int pool = 0;       // Capacity scheduler pool
   std::string label;  // app id, reported in JobStats
+  // Absolute completion target for deadline-aware schedulers; infinity
+  // (the default) marks a batch job without an SLO.
+  double deadline_sec = std::numeric_limits<double>::infinity();
 };
 
 class MultiJobEngine : public hadoop::ClusterCore {
@@ -51,6 +55,12 @@ class MultiJobEngine : public hadoop::ClusterCore {
 
   double now() const { return events_.now(); }
   int active_jobs() const { return active_jobs_; }
+
+ protected:
+  // Invoked at each job's simulated completion time, before the public
+  // on_job_done callback. Subclasses running standing pipelines (the
+  // stream engine) override this to tie completions back to windows.
+  virtual void OnJobCompleted(const JobStats& stats) { (void)stats; }
 
  private:
   void Activate(hadoop::JobState* job);

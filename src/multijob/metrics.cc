@@ -77,6 +77,21 @@ double WorkloadMetrics::ThroughputJobsPerHour() const {
   return static_cast<double>(jobs.size()) * 3600.0 / makespan_sec;
 }
 
+double WorkloadMetrics::QueueWaitGrowth(double tau_sec) const {
+  // jobs is kept in submission (job id) order, which for open-loop runs is
+  // arrival order.
+  const std::size_t n = jobs.size();
+  const std::size_t third = n / 3;
+  if (third == 0) return 1.0;
+  double first = 0.0;
+  double last = 0.0;
+  for (std::size_t i = 0; i < third; ++i) first += jobs[i].QueueWait();
+  for (std::size_t i = n - third; i < n; ++i) last += jobs[i].QueueWait();
+  first /= static_cast<double>(third);
+  last /= static_cast<double>(third);
+  return (last + tau_sec) / (first + tau_sec);
+}
+
 void PrintSummaryRow(std::ostream& os, const WorkloadMetrics& m) {
   os << "jobs=" << m.jobs.size() << " makespan=" << m.makespan_sec
      << "s p50=" << m.LatencyPercentile(0.50)

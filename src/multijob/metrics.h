@@ -59,6 +59,18 @@ struct WorkloadMetrics {
   // Nearest-rank percentile over per-job latencies; q in [0, 1].
   double LatencyPercentile(double q) const;
   double ThroughputJobsPerHour() const;
+
+  // Open-loop overload accounting. When the offered rate exceeds cluster
+  // capacity the queue never converges: per-job wait grows with the
+  // submission index, and a single "converged" latency percentile over the
+  // finite run is misleading. QueueWaitGrowth compares the mean queue wait
+  // of the last third of submissions against the first third
+  // (tau-smoothed so near-zero waits do not explode the ratio); a stable
+  // queue keeps it near 1, an overloaded one grows without bound as the
+  // job count rises.
+  double QueueWaitGrowth(double tau_sec = 5.0) const;
+  // Queue-stability verdict for open-loop runs: growth ratio <= 2.
+  bool OpenLoopStable() const { return QueueWaitGrowth() <= 2.0; }
 };
 
 // One row per workload configuration, suitable for common/table.h benches.

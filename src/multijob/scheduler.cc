@@ -1,5 +1,6 @@
 #include "multijob/scheduler.h"
 
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
@@ -87,6 +88,42 @@ class CapacityScheduler final : public InterJobScheduler {
   std::vector<double> weights_;
 };
 
+class SloScheduler final : public InterJobScheduler {
+ public:
+  explicit SloScheduler(std::unique_ptr<InterJobScheduler> inner)
+      : inner_(std::move(inner)) {
+    HD_CHECK(inner_ != nullptr);
+  }
+
+  const char* name() const override { return "slo"; }
+  const InterJobScheduler* inner() const { return inner_.get(); }
+
+  std::size_t PickJob(const std::vector<const JobState*>& runnable,
+                      const std::vector<const JobState*>& active) override {
+    // Earliest deadline first over the deadline-carrying (streaming window)
+    // jobs: the window nearest to SLO violation takes the slot. Jobs
+    // without a deadline (infinity: plain batch) never preempt one that
+    // has one; with no deadline in sight the inner scheduler decides, so
+    // pure-batch workloads behave exactly as the inner policy.
+    std::size_t best = runnable.size();
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+      const JobState& j = *runnable[i];
+      if (std::isinf(j.deadline_sec)) continue;
+      const bool better =
+          best == runnable.size() ||
+          j.deadline_sec < runnable[best]->deadline_sec ||
+          (j.deadline_sec == runnable[best]->deadline_sec &&
+           j.id < runnable[best]->id);
+      if (better) best = i;
+    }
+    if (best != runnable.size()) return best;
+    return inner_->PickJob(runnable, active);
+  }
+
+ private:
+  std::unique_ptr<InterJobScheduler> inner_;
+};
+
 }  // namespace
 
 const char* SchedulerKindName(SchedulerKind k) {
@@ -109,6 +146,11 @@ std::unique_ptr<InterJobScheduler> MakeFairScheduler() {
 std::unique_ptr<InterJobScheduler> MakeCapacityScheduler(
     std::vector<double> pool_weights) {
   return std::make_unique<CapacityScheduler>(std::move(pool_weights));
+}
+
+std::unique_ptr<InterJobScheduler> MakeSloScheduler(
+    std::unique_ptr<InterJobScheduler> inner) {
+  return std::make_unique<SloScheduler>(std::move(inner));
 }
 
 std::unique_ptr<InterJobScheduler> MakeScheduler(

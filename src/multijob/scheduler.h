@@ -48,6 +48,15 @@ std::unique_ptr<InterJobScheduler> MakeFairScheduler();
 std::unique_ptr<InterJobScheduler> MakeCapacityScheduler(
     std::vector<double> pool_weights);
 
+// SLO-aware composition: earliest-deadline-first over the runnable jobs
+// that carry a finite JobState::deadline_sec (streaming window jobs get
+// seal_time + slo), ties broken by job id; when no runnable job has a
+// deadline the decision is delegated to `inner`, so batch jobs — and
+// whole batch workloads — schedule exactly as before. The per-job
+// sched::Policy (Algorithm 2 tail forcing) still picks the processor.
+std::unique_ptr<InterJobScheduler> MakeSloScheduler(
+    std::unique_ptr<InterJobScheduler> inner);
+
 // Factory over SchedulerKind; Capacity uses `pool_weights` (defaults to
 // two pools at 2:1 when empty).
 std::unique_ptr<InterJobScheduler> MakeScheduler(

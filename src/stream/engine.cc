@@ -1,0 +1,353 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace hd::stream {
+
+bool StreamMetrics::Stable() const {
+  for (const PipelineMetrics& p : pipelines) {
+    if (!p.stable) return false;
+  }
+  return true;
+}
+
+double StreamMetrics::AchievedQps() const {
+  if (horizon_sec <= 0.0) return 0.0;
+  std::int64_t n = 0;
+  for (const PipelineMetrics& p : pipelines) n += p.records_processed;
+  return static_cast<double>(n) / horizon_sec;
+}
+
+double StreamMetrics::OfferedQps() const {
+  double r = 0.0;
+  for (const PipelineMetrics& p : pipelines) r += p.offered_rate_per_sec;
+  return r;
+}
+
+std::int64_t StreamMetrics::TotalRecordsShed() const {
+  std::int64_t n = 0;
+  for (const PipelineMetrics& p : pipelines) n += p.records_shed;
+  return n;
+}
+
+std::int64_t StreamMetrics::TotalSloViolations() const {
+  std::int64_t n = 0;
+  for (const PipelineMetrics& p : pipelines) n += p.slo_violations;
+  return n;
+}
+
+std::int64_t StreamMetrics::TotalWindowsCompleted() const {
+  std::int64_t n = 0;
+  for (const PipelineMetrics& p : pipelines) n += p.windows_completed;
+  return n;
+}
+
+StreamEngine::StreamEngine(
+    hadoop::ClusterConfig cfg,
+    std::unique_ptr<multijob::InterJobScheduler> scheduler)
+    : multijob::MultiJobEngine(std::move(cfg), std::move(scheduler)) {}
+
+int StreamEngine::AddPipeline(PipelineSpec spec) {
+  HD_CHECK_MSG(!streaming_, "pipelines must be registered before RunStream");
+  ValidatePipelineSpec(spec);
+  const int id = static_cast<int>(pipes_.size());
+  pipes_.push_back(std::make_unique<Pipeline>(std::move(spec)));
+  Pipeline& pipe = *pipes_.back();
+  pipe.metrics.label = pipe.spec.label;
+  pipe.metrics.slo_sec = pipe.spec.slo_sec;
+  pipe.metrics.offered_rate_per_sec = pipe.spec.source.mean_rate_per_sec;
+  return id;
+}
+
+trace::Track StreamEngine::StreamTrack(int p) const {
+  // One pid above the cluster nodes' pid range, one lane per pipeline.
+  return trace::Track{cfg_.trace_pid_base + cfg_.num_slaves + 1, p};
+}
+
+StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
+  HD_CHECK_MSG(horizon_sec > 0.0, "stream horizon must be positive");
+  HD_CHECK_MSG(warmup_sec >= 0.0 && warmup_sec < horizon_sec,
+               "warmup must lie in [0, horizon)");
+  HD_CHECK_MSG(!streaming_, "RunStream is not reentrant");
+  streaming_ = true;
+  horizon_sec_ = horizon_sec;
+  warmup_sec_ = warmup_sec;
+
+  if (cfg_.sink != nullptr && !pipes_.empty()) {
+    cfg_.sink->NameProcess(cfg_.trace_pid_base + cfg_.num_slaves + 1,
+                           "stream");
+  }
+  for (std::size_t p = 0; p < pipes_.size(); ++p) {
+    Pipeline& pipe = *pipes_[p];
+    if (cfg_.sink != nullptr) {
+      cfg_.sink->NameThread(StreamTrack(static_cast<int>(p)),
+                            pipe.spec.label);
+    }
+    pipe.open.open_sec = now();
+    ArmTimeTrigger(static_cast<int>(p));
+    ScheduleNextArrival(static_cast<int>(p));
+  }
+  if (!pipes_.empty()) {
+    // The service horizon: sources already stop before it (no arrival is
+    // scheduled at or past horizon), this seals every open window without
+    // reopening and snapshots the ingress backlog the run leaves behind.
+    events_.At(horizon_sec_, [this] {
+      for (std::size_t p = 0; p < pipes_.size(); ++p) {
+        SealWindow(static_cast<int>(p), "horizon");
+        Pipeline& pipe = *pipes_[p];
+        pipe.metrics.backlog_at_horizon =
+            static_cast<std::int64_t>(pipe.pending.size()) + pipe.inflight;
+      }
+    });
+  }
+
+  StreamMetrics out;
+  out.workload = Run();  // drains every admitted window
+  out.horizon_sec = horizon_sec_;
+  out.warmup_sec = warmup_sec_;
+  for (std::unique_ptr<Pipeline>& pipe : pipes_) {
+    FinalizePipeline(*pipe);
+    out.pipelines.push_back(pipe->metrics);
+  }
+  streaming_ = false;
+  return out;
+}
+
+void StreamEngine::ScheduleNextArrival(int p) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  const double t = pipe.source.NextArrival(now());
+  // Also false for +infinity (exhausted replay source).
+  if (!(t < horizon_sec_)) return;
+  events_.At(t, [this, p] { OnArrival(p); });
+}
+
+void StreamEngine::OnArrival(int p) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  ++pipe.metrics.records_arrived;
+  ++pipe.open.records;
+  // Sealing (which arms the next window's time trigger) happens before the
+  // next arrival is drawn, so at an exact count/time tie the trigger holds
+  // the earlier insertion sequence — the convention pipeline.h documents.
+  if (pipe.open.records >= pipe.spec.trigger.count) SealWindow(p, "count");
+  ScheduleNextArrival(p);
+}
+
+void StreamEngine::ArmTimeTrigger(int p) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  const double when = pipe.open.open_sec + pipe.spec.trigger.span_sec;
+  if (when >= horizon_sec_) return;  // the horizon seal covers this window
+  const std::uint64_t gen = pipe.window_gen;
+  events_.At(when, [this, p, gen] {
+    if (pipes_[static_cast<std::size_t>(p)]->window_gen != gen) {
+      return;  // the window sealed by count first; trigger retired
+    }
+    SealWindow(p, "time");
+  });
+}
+
+void StreamEngine::SealWindow(int p, const char* reason) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  const bool at_horizon = std::strcmp(reason, "horizon") == 0;
+  WindowStats w;
+  w.seq = pipe.next_seq++;
+  w.records = pipe.open.records;
+  w.open_sec = pipe.open.open_sec;
+  w.seal_sec = now();
+  w.seal_reason = reason;
+  ++pipe.window_gen;  // retires the armed time trigger
+  ++pipe.metrics.windows_sealed;
+  if (std::strcmp(reason, "count") == 0) ++pipe.metrics.seals_by_count;
+  if (std::strcmp(reason, "time") == 0) ++pipe.metrics.seals_by_time;
+  if (!at_horizon) {
+    pipe.open = Window{};
+    pipe.open.open_sec = now();
+    ArmTimeTrigger(p);
+  }
+  if (w.records == 0) {
+    // A span elapsed with no arrivals: no job to run, the watermark passes
+    // immediately.
+    w.empty = true;
+    ++pipe.metrics.windows_empty;
+    w.submit_sec = w.seal_sec;
+    w.finish_sec = w.seal_sec;
+    FinishWindow(p, std::move(w));
+  } else {
+    AdmitOrQueue(p, std::move(w));
+  }
+  SampleQueueDepth(pipe);
+}
+
+void StreamEngine::AdmitOrQueue(int p, WindowStats w) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  if (pipe.inflight < pipe.spec.max_inflight_windows) {
+    SubmitWindow(p, std::move(w));
+    return;
+  }
+  const bool at_bound =
+      static_cast<int>(pipe.pending.size()) >= pipe.spec.max_pending_windows;
+  if (at_bound && pipe.spec.backpressure == Backpressure::kShed) {
+    w.shed = true;
+    ++pipe.metrics.windows_shed;
+    if (InSteadyState(w)) ++pipe.metrics.windows_shed_steady;
+    pipe.metrics.records_shed += w.records;
+    w.submit_sec = w.seal_sec;
+    w.finish_sec = w.seal_sec;  // the watermark passes a shed window
+    FinishWindow(p, std::move(w));
+    return;
+  }
+  // kBlock rides past the bound: an open-loop source cannot be paused, so
+  // the queue absorbs the excess and sustained depth shows up in the
+  // stability verdict instead.
+  pipe.pending.push_back(std::move(w));
+}
+
+void StreamEngine::SubmitWindow(int p, WindowStats w) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  w.submit_sec = now();
+  const WindowJobTemplate& t = pipe.spec.job;
+  hadoop::CalibratedTaskSource::Params tp;
+  tp.num_maps = static_cast<int>((w.records + t.records_per_map - 1) /
+                                 t.records_per_map);
+  tp.num_reducers = t.num_reducers;
+  tp.cpu_task_sec = t.cpu_task_sec;
+  tp.gpu_task_sec = t.gpu_task_sec;
+  tp.variation = t.variation;
+  tp.map_output_bytes = t.map_output_bytes;
+  tp.reduce_sec = t.reduce_sec;
+  // Per-window task timings derive from (pipeline seed, window seq), so a
+  // same-seed rerun replays the exact workload window by window.
+  tp.seed = SplitMix64(SplitMix64(pipe.spec.source.seed) ^
+                       static_cast<std::uint64_t>(w.seq));
+  window_sources_.push_back(
+      std::make_unique<hadoop::CalibratedTaskSource>(tp));
+
+  multijob::JobSpec js;
+  js.source = window_sources_.back().get();
+  js.policy = pipe.spec.policy;
+  js.pool = pipe.spec.pool;
+  js.label = pipe.spec.label + "/w" + std::to_string(w.seq);
+  js.deadline_sec = w.seal_sec + pipe.spec.slo_sec;
+  const int id = Submit(now(), std::move(js));
+  ++pipe.inflight;
+  inflight_windows_.emplace(id, std::make_pair(p, std::move(w)));
+}
+
+void StreamEngine::OnJobCompleted(const multijob::JobStats& stats) {
+  const auto it = inflight_windows_.find(stats.job_id);
+  if (it == inflight_windows_.end()) return;  // a batch job sharing the run
+  const int p = it->second.first;
+  WindowStats w = std::move(it->second.second);
+  inflight_windows_.erase(it);
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  --pipe.inflight;
+  w.finish_sec = stats.finish_sec;
+  pipe.metrics.records_processed += w.records;
+  FinishWindow(p, std::move(w));
+  // The freed admission slot pulls the oldest queued window.
+  while (!pipe.pending.empty() &&
+         pipe.inflight < pipe.spec.max_inflight_windows) {
+    WindowStats next = std::move(pipe.pending.front());
+    pipe.pending.pop_front();
+    SubmitWindow(p, std::move(next));
+  }
+}
+
+void StreamEngine::FinishWindow(int p, WindowStats w) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  const bool ran = !w.shed && !w.empty;  // executed as a job instance
+  if (!w.shed) ++pipe.metrics.windows_completed;
+  if (ran && InSteadyState(w)) {
+    pipe.metrics.latencies_sec.push_back(w.Latency());
+    if (w.Latency() > pipe.spec.slo_sec) ++pipe.metrics.slo_violations;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics
+          ->distribution("stream." + pipe.spec.label + ".window_latency_sec")
+          .Record(w.Latency());
+    }
+  }
+  // Ordered low-watermark: advance over the contiguous completed prefix.
+  pipe.done_seals[w.seq] = w.seal_sec;
+  for (auto it = pipe.done_seals.find(pipe.watermark_seq);
+       it != pipe.done_seals.end();
+       it = pipe.done_seals.find(pipe.watermark_seq)) {
+    pipe.watermark_sec = it->second;
+    pipe.done_seals.erase(it);
+    ++pipe.watermark_seq;
+  }
+  if (InSteadyState(w)) {
+    const double lag = now() - pipe.watermark_sec;
+    pipe.metrics.watermark_lags_sec.push_back(lag);
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics
+          ->distribution("stream." + pipe.spec.label + ".watermark_lag_sec")
+          .Record(lag);
+    }
+  }
+  if (cfg_.sink != nullptr) {
+    trace::Args args = {trace::Arg::Int("seq", w.seq),
+                        trace::Arg::Int("records", w.records),
+                        trace::Arg::Str("seal", w.seal_reason)};
+    if (ran) {
+      cfg_.sink->Span("stream", "window", StreamTrack(p), w.seal_sec,
+                      w.finish_sec - w.seal_sec, std::move(args));
+    } else {
+      cfg_.sink->Instant("stream", w.shed ? "window_shed" : "window_empty",
+                         StreamTrack(p), w.seal_sec, std::move(args));
+    }
+  }
+}
+
+void StreamEngine::SampleQueueDepth(Pipeline& pipe) {
+  const std::int64_t depth =
+      static_cast<std::int64_t>(pipe.pending.size()) + pipe.inflight;
+  pipe.metrics.max_queue_depth =
+      std::max(pipe.metrics.max_queue_depth, depth);
+  if (now() >= warmup_sec_) {
+    pipe.metrics.queue_depths.push_back(static_cast<double>(depth));
+  }
+}
+
+void StreamEngine::FinalizePipeline(Pipeline& pipe) {
+  PipelineMetrics& m = pipe.metrics;
+  const std::vector<double>& d = m.queue_depths;
+  const std::size_t third = d.size() / 3;
+  double growth = 1.0;
+  if (third > 0) {
+    double first = 0.0, last = 0.0;
+    for (std::size_t i = 0; i < third; ++i) first += d[i];
+    for (std::size_t i = d.size() - third; i < d.size(); ++i) last += d[i];
+    // The +1-window smoothing keeps a near-empty queue from exploding the
+    // ratio, mirroring multijob's QueueWaitGrowth tau.
+    growth = (last / static_cast<double>(third) + 1.0) /
+             (first / static_cast<double>(third) + 1.0);
+  }
+  m.depth_growth = growth;
+  const std::int64_t bound =
+      pipe.spec.max_inflight_windows + pipe.spec.max_pending_windows;
+  m.stable = m.windows_shed_steady == 0 && growth <= 2.0 &&
+             m.backlog_at_horizon <= bound;
+  if (cfg_.metrics != nullptr) {
+    trace::Registry& reg = *cfg_.metrics;
+    const std::string pfx = "stream." + pipe.spec.label + ".";
+    reg.counter(pfx + "records_arrived").Set(m.records_arrived);
+    reg.counter(pfx + "records_processed").Set(m.records_processed);
+    reg.counter(pfx + "records_shed").Set(m.records_shed);
+    reg.counter(pfx + "windows_sealed").Set(m.windows_sealed);
+    reg.counter(pfx + "windows_empty").Set(m.windows_empty);
+    reg.counter(pfx + "windows_shed").Set(m.windows_shed);
+    reg.counter(pfx + "windows_completed").Set(m.windows_completed);
+    reg.counter(pfx + "slo_violations").Set(m.slo_violations);
+    reg.counter(pfx + "max_queue_depth").Set(m.max_queue_depth);
+    reg.gauge(pfx + "depth_growth").Set(m.depth_growth);
+    reg.gauge(pfx + "stable").Set(m.stable ? 1.0 : 0.0);
+    reg.gauge(pfx + "watermark_sec").Set(pipe.watermark_sec);
+  }
+}
+
+}  // namespace hd::stream

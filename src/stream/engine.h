@@ -1,0 +1,142 @@
+// Continuous-streaming service mode: standing pipelines over the
+// multi-job cluster engine.
+//
+// A StreamEngine is a MultiJobEngine that stays up for a whole service
+// horizon. Each registered pipeline is a standing `#pragma mapreduce`
+// job: a seeded open-loop source (src/stream/source.h) emits records onto
+// the DES clock; records buffer in the pipeline's open window until a
+// watermark-style trigger seals it (count or modeled-time span, whichever
+// fires first); each sealed non-empty window is admitted as one job
+// instance over the existing map/shuffle/reduce machinery — so per-window
+// output inherits the attempt-commit registry's exactly-once guarantee,
+// fault injection, speculative execution and Algorithm 2 tail forcing
+// unchanged.
+//
+// Admission control: at most max_inflight_windows of a pipeline execute
+// concurrently; further sealed windows wait in a bounded ingress queue.
+// At the bound the backpressure policy applies — kBlock lets the queue
+// grow (depth growth is the instability signal), kShed drops the window
+// with accounting. Window jobs carry deadline = seal + slo, which the
+// SLO-aware inter-job scheduler (multijob::MakeSloScheduler) turns into
+// earliest-deadline-first slot assignment, composed with FIFO/Fair/
+// Capacity for batch jobs sharing the cluster.
+//
+// The watermark is the classic ordered low-watermark: it advances to the
+// seal time of the latest window prefix whose members all completed
+// (empty and shed windows complete at their seal). Watermark lag — now
+// minus watermark, sampled at completions — measures how far the service
+// runs behind its input.
+//
+// Streaming off is the null-source convention (trace::Sink, FaultInjector
+// precedent): an engine with no pipelines is bit-identical to a plain
+// MultiJobEngine, and batch-only workloads never see stream code.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hadoop/task_source.h"
+#include "multijob/engine.h"
+#include "stream/pipeline.h"
+#include "stream/source.h"
+
+namespace hd::stream {
+
+// Everything a RunStream service horizon produced: per-pipeline
+// steady-state metrics plus the underlying per-window-job workload
+// metrics (latency there is per job instance, not per window).
+struct StreamMetrics {
+  std::vector<PipelineMetrics> pipelines;
+  multijob::WorkloadMetrics workload;
+  double horizon_sec = 0.0;
+  double warmup_sec = 0.0;
+
+  // Queue-stability verdict over every pipeline.
+  bool Stable() const;
+  // Records processed (all pipelines) per horizon second.
+  double AchievedQps() const;
+  // Sum of configured mean source rates.
+  double OfferedQps() const;
+  std::int64_t TotalRecordsShed() const;
+  std::int64_t TotalSloViolations() const;
+  std::int64_t TotalWindowsCompleted() const;
+};
+
+class StreamEngine : public multijob::MultiJobEngine {
+ public:
+  StreamEngine(hadoop::ClusterConfig cfg,
+               std::unique_ptr<multijob::InterJobScheduler> scheduler);
+
+  // Registers a standing pipeline; call before RunStream. Returns the
+  // pipeline id (registration order).
+  int AddPipeline(PipelineSpec spec);
+
+  // Runs the service for `horizon_sec` of modeled time: sources emit
+  // until the horizon, the open windows seal at it, and the run drains
+  // every admitted window before returning. Windows sealed before
+  // `warmup_sec` are excluded from the steady-state sample sets.
+  // Batch jobs Submit()ed beforehand run alongside the pipelines.
+  StreamMetrics RunStream(double horizon_sec, double warmup_sec = 0.0);
+
+ protected:
+  void OnJobCompleted(const multijob::JobStats& stats) override;
+
+ private:
+  struct Window {
+    std::int64_t seq = -1;  // assigned at seal
+    std::int64_t records = 0;
+    double open_sec = 0.0;
+    double seal_sec = 0.0;
+  };
+
+  struct Pipeline {
+    PipelineSpec spec;
+    ArrivalSource source;
+    PipelineMetrics metrics;
+
+    Window open;
+    std::uint64_t window_gen = 0;  // bumped on seal; stale triggers no-op
+    std::int64_t next_seq = 0;
+    std::deque<WindowStats> pending;  // sealed, waiting for admission
+    int inflight = 0;
+
+    // Ordered low-watermark bookkeeping.
+    std::map<std::int64_t, double> done_seals;  // out-of-order completions
+    std::int64_t watermark_seq = 0;  // first seq not yet complete
+    double watermark_sec = 0.0;
+
+    explicit Pipeline(PipelineSpec s)
+        : spec(std::move(s)), source(spec.source) {}
+  };
+
+  void OnArrival(int p);
+  void ScheduleNextArrival(int p);
+  void ArmTimeTrigger(int p);
+  void SealWindow(int p, const char* reason);
+  void AdmitOrQueue(int p, WindowStats w);
+  void SubmitWindow(int p, WindowStats w);
+  void FinishWindow(int p, WindowStats w);  // completion, empty or shed
+  void SampleQueueDepth(Pipeline& pipe);
+  void FinalizePipeline(Pipeline& pipe);
+  bool InSteadyState(const WindowStats& w) const {
+    return w.seal_sec >= warmup_sec_;
+  }
+  trace::Track StreamTrack(int p) const;
+
+  std::vector<std::unique_ptr<Pipeline>> pipes_;
+  // Calibrated sources backing submitted window jobs; stable addresses
+  // for the engine's lifetime.
+  std::vector<std::unique_ptr<hadoop::CalibratedTaskSource>> window_sources_;
+  // job id -> (pipeline, window) for completions; windows in flight as
+  // jobs live here.
+  std::map<int, std::pair<int, WindowStats>> inflight_windows_;
+  double horizon_sec_ = 0.0;
+  double warmup_sec_ = 0.0;
+  bool streaming_ = false;  // inside RunStream
+};
+
+}  // namespace hd::stream

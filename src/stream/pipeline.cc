@@ -1,0 +1,60 @@
+#include "stream/pipeline.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace hd::stream {
+
+const char* BackpressureName(Backpressure b) {
+  switch (b) {
+    case Backpressure::kBlock: return "block";
+    case Backpressure::kShed: return "shed";
+  }
+  return "?";
+}
+
+void ValidatePipelineSpec(const PipelineSpec& spec) {
+  HD_CHECK_MSG(!spec.label.empty(), "pipeline label must be non-empty");
+  ValidateSourceSpec(spec.source);
+  HD_CHECK_MSG(spec.trigger.count >= 1, "window count trigger must be >= 1");
+  HD_CHECK_MSG(spec.trigger.span_sec > 0.0, "window span must be positive");
+  HD_CHECK_MSG(spec.job.records_per_map >= 1, "records per map must be >= 1");
+  HD_CHECK_MSG(spec.job.num_reducers >= 0, "reducer count must be >= 0");
+  HD_CHECK_MSG(spec.job.cpu_task_sec > 0.0, "CPU task time must be positive");
+  HD_CHECK_MSG(spec.job.gpu_task_sec > 0.0, "GPU task time must be positive");
+  HD_CHECK_MSG(spec.job.variation >= 0.0, "task variation must be >= 0");
+  HD_CHECK_MSG(spec.job.map_output_bytes >= 0,
+               "map output bytes must be >= 0");
+  HD_CHECK_MSG(spec.job.reduce_sec >= 0.0, "reduce time must be >= 0");
+  HD_CHECK_MSG(spec.slo_sec > 0.0, "SLO must be positive");
+  HD_CHECK_MSG(spec.max_inflight_windows >= 1,
+               "at least one window must be admitted in flight");
+  HD_CHECK_MSG(spec.max_pending_windows >= 0,
+               "pending-window bound must be >= 0");
+}
+
+double PipelineMetrics::LatencyPercentile(double q) const {
+  return stats::NearestRankPercentile(latencies_sec, q);
+}
+
+double PipelineMetrics::WatermarkLagPercentile(double q) const {
+  return stats::NearestRankPercentile(watermark_lags_sec, q);
+}
+
+double PipelineMetrics::MeanQueueDepth() const {
+  return stats::Mean(queue_depths);
+}
+
+double PipelineMetrics::ShedFraction() const {
+  if (records_arrived == 0) return 0.0;
+  return static_cast<double>(records_shed) /
+         static_cast<double>(records_arrived);
+}
+
+double PipelineMetrics::SloViolationFraction() const {
+  if (latencies_sec.empty()) return 0.0;
+  return static_cast<double>(slo_violations) /
+         static_cast<double>(latencies_sec.size());
+}
+
+}  // namespace hd::stream

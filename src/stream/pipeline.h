@@ -1,0 +1,130 @@
+// Standing-pipeline configuration and steady-state metrics for the
+// streaming service mode (see engine.h for the execution model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/policy.h"
+#include "stream/source.h"
+
+namespace hd::stream {
+
+// Micro-batch window cut: a window seals when it holds `count` records or
+// `span_sec` modeled seconds after it opened — whichever fires first. At
+// an exact tie the DES pops the (earlier-scheduled) time trigger before
+// the tying arrival, so the time window seals and the tying record opens
+// the next window; the convention is pinned by tests/stream_test.cc.
+struct WindowTrigger {
+  int count = 64;
+  double span_sec = 10.0;
+};
+
+// How a sealed window becomes a MapReduce job instance: records pack into
+// map tasks (`records_per_map` each, at least one map), executed through
+// the same calibrated timing model batch jobs use.
+struct WindowJobTemplate {
+  int records_per_map = 8;
+  int num_reducers = 1;
+  double cpu_task_sec = 2.0;
+  double gpu_task_sec = 0.5;
+  double variation = 0.10;
+  std::int64_t map_output_bytes = 1 << 20;
+  double reduce_sec = 0.5;
+};
+
+// What happens when a window seals while the pipeline's ingress queue is
+// at max_pending_windows:
+//   * kBlock — the window queues anyway; the bound is a watermark, not a
+//     wall (an open-loop source cannot be paused), and sustained depth
+//     beyond it is exactly the queue-growth signal the stability verdict
+//     reads.
+//   * kShed — the window is dropped with full accounting (records_shed /
+//     windows_shed); the watermark passes it so the pipeline stays live.
+enum class Backpressure { kBlock, kShed };
+
+const char* BackpressureName(Backpressure b);
+
+struct PipelineSpec {
+  std::string label;  // pipeline id in traces, metrics and reports
+  SourceSpec source;
+  WindowTrigger trigger;
+  WindowJobTemplate job;
+  sched::Policy policy = sched::Policy::kTail;
+  int pool = 0;  // Capacity scheduler pool
+  // Per-window latency SLO, measured seal -> completion. Window jobs carry
+  // deadline = seal + slo_sec for the SLO-aware inter-job scheduler.
+  double slo_sec = 30.0;
+  // Admission control: windows executing as jobs concurrently, and sealed
+  // windows waiting in the ingress queue before backpressure applies.
+  int max_inflight_windows = 2;
+  int max_pending_windows = 4;
+  Backpressure backpressure = Backpressure::kBlock;
+};
+
+// HD_CHECKs every PipelineSpec invariant (including its SourceSpec);
+// throws CheckError on violation.
+void ValidatePipelineSpec(const PipelineSpec& spec);
+
+// One completed (or shed) window's lifecycle timestamps.
+struct WindowStats {
+  std::int64_t seq = 0;
+  std::int64_t records = 0;
+  double open_sec = 0.0;
+  double seal_sec = 0.0;
+  double submit_sec = 0.0;  // admission time (== seal unless queued)
+  double finish_sec = 0.0;  // job completion (empty/shed: == seal)
+  const char* seal_reason = "";  // "count" | "time" | "horizon"
+  bool empty = false;
+  bool shed = false;
+
+  double Latency() const { return finish_sec - seal_sec; }
+  double QueueWait() const { return submit_sec - seal_sec; }
+};
+
+// Steady-state accounting of one pipeline over a RunStream horizon. The
+// latency/lag/depth sample sets exclude windows sealed before the warmup
+// cutoff, so percentiles describe steady state, not ramp-up.
+struct PipelineMetrics {
+  std::string label;
+  double slo_sec = 0.0;
+  double offered_rate_per_sec = 0.0;  // the source's configured mean
+
+  std::int64_t records_arrived = 0;
+  std::int64_t records_processed = 0;
+  std::int64_t records_shed = 0;
+  std::int64_t windows_sealed = 0;
+  std::int64_t windows_empty = 0;
+  std::int64_t windows_shed = 0;
+  std::int64_t windows_shed_steady = 0;  // shed at/after the warmup cutoff
+  std::int64_t windows_completed = 0;
+  std::int64_t seals_by_count = 0;
+  std::int64_t seals_by_time = 0;
+  std::int64_t slo_violations = 0;  // completed windows past their SLO
+
+  // Steady-state sample sets (seal_sec >= warmup only).
+  std::vector<double> latencies_sec;      // seal -> completion
+  std::vector<double> watermark_lags_sec; // now - watermark, at completions
+  std::vector<double> queue_depths;       // pending + inflight, at seals
+
+  // Ingress backlog (pending + inflight windows) left when the source
+  // stopped at the horizon, and the deepest queue ever observed.
+  std::int64_t backlog_at_horizon = 0;
+  std::int64_t max_queue_depth = 0;
+
+  // Queue-stability verdict (computed by the engine at drain): no window
+  // shed in steady state, and the steady-state queue-depth series did not
+  // grow (last-third mean vs first-third mean, smoothed) nor end above the
+  // admission bound.
+  bool stable = true;
+  double depth_growth = 1.0;  // the smoothed last/first ratio
+
+  double LatencyPercentile(double q) const;
+  double WatermarkLagPercentile(double q) const;
+  double MeanQueueDepth() const;
+  double ShedFraction() const;  // records shed / records arrived
+  double SloViolationFraction() const;
+};
+
+}  // namespace hd::stream

@@ -1,0 +1,112 @@
+#include "stream/source.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hd::stream {
+
+namespace {
+constexpr double kPi = 3.141592653589793;
+}  // namespace
+
+const char* RateShapeName(RateShape s) {
+  switch (s) {
+    case RateShape::kPoisson: return "poisson";
+    case RateShape::kBursty: return "bursty";
+    case RateShape::kDiurnal: return "diurnal";
+    case RateShape::kReplay: return "replay";
+  }
+  return "?";
+}
+
+void ValidateSourceSpec(const SourceSpec& spec) {
+  if (spec.shape == RateShape::kReplay) {
+    for (double g : spec.replay_gaps) {
+      HD_CHECK_MSG(g >= 0.0, "replay gaps must be non-negative");
+    }
+    return;
+  }
+  HD_CHECK_MSG(spec.mean_rate_per_sec > 0.0, "mean rate must be positive");
+  if (spec.shape == RateShape::kBursty) {
+    HD_CHECK_MSG(spec.burst_period_sec > 0.0, "burst period must be positive");
+    HD_CHECK_MSG(spec.burst_duty > 0.0 && spec.burst_duty < 1.0,
+                 "burst duty must lie in (0, 1)");
+    HD_CHECK_MSG(spec.burst_factor >= 1.0, "burst factor must be >= 1");
+    HD_CHECK_MSG(spec.burst_factor * spec.burst_duty <= 1.0,
+                 "burst factor x duty must be <= 1 (mean preservation)");
+  }
+  if (spec.shape == RateShape::kDiurnal) {
+    HD_CHECK_MSG(spec.diurnal_period_sec > 0.0,
+                 "diurnal period must be positive");
+    HD_CHECK_MSG(
+        spec.diurnal_amplitude >= 0.0 && spec.diurnal_amplitude < 1.0,
+        "diurnal amplitude must lie in [0, 1)");
+  }
+}
+
+ArrivalSource::ArrivalSource(SourceSpec spec)
+    : spec_(std::move(spec)),
+      prng_(SplitMix64(spec_.seed ^ 0x73747265616d00ULL)) {  // "stream"
+  ValidateSourceSpec(spec_);
+}
+
+double ArrivalSource::RateAt(double t) const {
+  switch (spec_.shape) {
+    case RateShape::kPoisson:
+      return spec_.mean_rate_per_sec;
+    case RateShape::kBursty: {
+      const double phase =
+          t - std::floor(t / spec_.burst_period_sec) * spec_.burst_period_sec;
+      const bool on = phase < spec_.burst_duty * spec_.burst_period_sec;
+      if (on) return spec_.mean_rate_per_sec * spec_.burst_factor;
+      // The off-rate compensates the burst so the long-run mean holds.
+      return spec_.mean_rate_per_sec *
+             (1.0 - spec_.burst_factor * spec_.burst_duty) /
+             (1.0 - spec_.burst_duty);
+    }
+    case RateShape::kDiurnal:
+      return spec_.mean_rate_per_sec *
+             (1.0 + spec_.diurnal_amplitude *
+                        std::sin(2.0 * kPi * t / spec_.diurnal_period_sec));
+    case RateShape::kReplay:
+      return 0.0;  // rate is meaningless for replay
+  }
+  return 0.0;
+}
+
+double ArrivalSource::PeakRate() const {
+  switch (spec_.shape) {
+    case RateShape::kPoisson:
+      return spec_.mean_rate_per_sec;
+    case RateShape::kBursty:
+      return spec_.mean_rate_per_sec * spec_.burst_factor;
+    case RateShape::kDiurnal:
+      return spec_.mean_rate_per_sec * (1.0 + spec_.diurnal_amplitude);
+    case RateShape::kReplay:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double ArrivalSource::NextArrival(double t) {
+  if (spec_.shape == RateShape::kReplay) {
+    if (replay_next_ >= spec_.replay_gaps.size()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return t + spec_.replay_gaps[replay_next_++];
+  }
+  // Lewis–Shedler thinning: draw candidate arrivals at the peak rate and
+  // accept each with probability rate(t)/peak. Every draw comes from the
+  // per-source Prng in a fixed order, so the sequence is bit-reproducible.
+  const double peak = PeakRate();
+  for (;;) {
+    double u = prng_.NextDouble();
+    while (u >= 1.0 - 1e-16) u = prng_.NextDouble();  // guard log(0)
+    t += -std::log(1.0 - u) / peak;
+    if (prng_.NextDouble() * peak <= RateAt(t)) return t;
+  }
+}
+
+}  // namespace hd::stream

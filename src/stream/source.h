@@ -1,0 +1,77 @@
+// Seeded open-loop record sources for standing pipelines.
+//
+// A streaming pipeline ingests an unbounded record stream; the simulator
+// models it as a deterministic arrival process over the DES clock. Three
+// rate shapes cover the service-traffic patterns the steady-state bench
+// sweeps — constant Poisson, on/off bursty, and a diurnal sinusoid — plus
+// a replay shape that plays back an explicit gap list for tests that need
+// exact arrival instants (trigger ties, empty windows).
+//
+// All shapes are sampled by Lewis–Shedler thinning over the instantaneous
+// rate with a per-source Prng, so a (spec, seed) pair generates the same
+// arrival sequence on every machine. The bursty and diurnal shapes are
+// normalised to the configured *mean* rate: ramping mean_rate_per_sec
+// scales offered load without changing the shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace hd::stream {
+
+enum class RateShape { kPoisson, kBursty, kDiurnal, kReplay };
+
+const char* RateShapeName(RateShape s);
+
+struct SourceSpec {
+  RateShape shape = RateShape::kPoisson;
+  double mean_rate_per_sec = 1.0;  // long-run average record rate
+  std::uint64_t seed = 1;
+
+  // kBursty: each period spends `burst_duty` of its length at
+  // burst_factor x the mean rate and the remainder at the compensating low
+  // rate, so the long-run mean stays mean_rate_per_sec. Requires
+  // burst_factor * burst_duty <= 1.
+  double burst_period_sec = 120.0;
+  double burst_duty = 0.25;
+  double burst_factor = 3.0;
+
+  // kDiurnal: rate(t) = mean * (1 + amplitude * sin(2*pi*t/period)),
+  // amplitude in [0, 1).
+  double diurnal_period_sec = 600.0;
+  double diurnal_amplitude = 0.5;
+
+  // kReplay: explicit inter-arrival gaps, played back verbatim and then
+  // exhausted. The deterministic hook for windowing edge-case tests.
+  std::vector<double> replay_gaps;
+};
+
+// HD_CHECKs every SourceSpec invariant; throws CheckError on violation.
+void ValidateSourceSpec(const SourceSpec& spec);
+
+// Deterministic open-loop arrival process. Single consumer: gaps are drawn
+// sequentially, so one ArrivalSource feeds exactly one pipeline.
+class ArrivalSource {
+ public:
+  explicit ArrivalSource(SourceSpec spec);
+
+  // Instantaneous record rate of the shape at absolute time `t`.
+  double RateAt(double t) const;
+  // The thinning envelope: max over t of RateAt(t).
+  double PeakRate() const;
+
+  // The next arrival instant strictly after `t`; +infinity when the
+  // source is exhausted (replay shapes only).
+  double NextArrival(double t);
+
+  const SourceSpec& spec() const { return spec_; }
+
+ private:
+  SourceSpec spec_;
+  Prng prng_;
+  std::size_t replay_next_ = 0;
+};
+
+}  // namespace hd::stream

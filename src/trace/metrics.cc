@@ -100,6 +100,7 @@ void Registry::WriteJson(std::ostream& os) const {
         w.Key(name + ".p50").Number(dist.Percentile(0.50));
         w.Key(name + ".p95").Number(dist.Percentile(0.95));
         w.Key(name + ".p99").Number(dist.Percentile(0.99));
+        w.Key(name + ".p999").Number(dist.Percentile(0.999));
         w.Key(name + ".max").Number(dist.Max());
       }
       ++d;

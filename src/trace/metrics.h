@@ -9,8 +9,8 @@
 //
 // Export is a single flat JSON object sorted by metric name: counters as
 // integers, gauges as numbers, distributions expanded to
-// `<name>.count/min/mean/p50/p95/p99/max` (nearest-rank percentiles from
-// common/stats.h, deterministic for a given sample set). Flat keys keep
+// `<name>.count/min/mean/p50/p95/p99/p999/max` (nearest-rank percentiles
+// from common/stats.h, deterministic for a given sample set). Flat keys keep
 // downstream validation trivial (`json.load` + key lookup, no schema
 // walker).
 #pragma once

@@ -23,7 +23,7 @@ constexpr const char* kBenches[] = {
     "table2_workloads", "table3_clusters",  "fig3_tail_example",
     "fig4a_cluster1",   "fig4b_cluster2",   "fig5_task_speedup",
     "fig6_breakdown",   "fig7_optimizations", "ablation_tuning",
-    "multijob_throughput", "fault_sweep",
+    "multijob_throughput", "fault_sweep", "stream_steady",
 };
 
 std::string Slurp(const std::string& path) {
@@ -119,8 +119,9 @@ TEST(BenchJson, EveryBinaryEmitsTheSharedSchema) {
   }
 }
 
-// fault_sweep's contract beyond the shared schema: its private --seed flag
-// is accepted, every fault_invariance row reports bit-identical output, and
+// fault_sweep's contract beyond the shared schema: the shared --seed flag
+// threads through, every fault_invariance row reports bit-identical output,
+// and
 // the faulted rows carry real recovery activity (the invariant is not
 // vacuously true).
 TEST(BenchJson, FaultSweepReportsOutputInvariance) {

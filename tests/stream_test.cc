@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "hadoop/task_source.h"
+#include "multijob/engine.h"
+#include "multijob/scheduler.h"
+#include "stream/engine.h"
+#include "stream/pipeline.h"
+#include "stream/source.h"
+
+namespace hd::stream {
+namespace {
+
+using hadoop::CalibratedTaskSource;
+using hadoop::ClusterConfig;
+using multijob::MakeFairScheduler;
+using multijob::MakeSloScheduler;
+using multijob::WorkloadMetrics;
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.num_slaves = 4;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+PipelineSpec ReplayPipeline(std::vector<double> gaps) {
+  PipelineSpec spec;
+  spec.label = "replay";
+  spec.source.shape = RateShape::kReplay;
+  spec.source.replay_gaps = std::move(gaps);
+  spec.job.records_per_map = 1;
+  spec.job.cpu_task_sec = 2.0;
+  spec.job.gpu_task_sec = 0.5;
+  spec.job.variation = 0.0;
+  return spec;
+}
+
+TEST(ArrivalSource, PoissonHoldsItsMeanAndReplays) {
+  SourceSpec spec;
+  spec.mean_rate_per_sec = 2.0;
+  spec.seed = 11;
+  ArrivalSource a(spec), b(spec);
+  double ta = 0.0, tb = 0.0;
+  int n = 0;
+  for (;;) {
+    ta = a.NextArrival(ta);
+    tb = b.NextArrival(tb);
+    EXPECT_EQ(ta, tb);  // bit-identical twin
+    if (ta >= 5000.0) break;
+    ++n;
+  }
+  // Long-run rate within 5% of the configured mean.
+  EXPECT_NEAR(n / 5000.0, 2.0, 0.1);
+}
+
+TEST(ArrivalSource, ShapedSourcesPreserveTheConfiguredMean) {
+  for (RateShape shape : {RateShape::kBursty, RateShape::kDiurnal}) {
+    SourceSpec spec;
+    spec.shape = shape;
+    spec.mean_rate_per_sec = 3.0;
+    spec.seed = 7;
+    ArrivalSource src(spec);
+    double t = 0.0;
+    int n = 0;
+    while ((t = src.NextArrival(t)) < 6000.0) ++n;
+    EXPECT_NEAR(n / 6000.0, 3.0, 0.15) << RateShapeName(shape);
+  }
+}
+
+TEST(ArrivalSource, ValidationRejectsBadSpecs) {
+  SourceSpec bad;
+  bad.mean_rate_per_sec = 0.0;
+  EXPECT_THROW(ValidateSourceSpec(bad), CheckError);
+  SourceSpec burst;
+  burst.shape = RateShape::kBursty;
+  burst.burst_factor = 5.0;
+  burst.burst_duty = 0.5;  // 5 x 0.5 > 1 breaks mean preservation
+  EXPECT_THROW(ValidateSourceSpec(burst), CheckError);
+  PipelineSpec p;
+  p.label = "";
+  EXPECT_THROW(ValidatePipelineSpec(p), CheckError);
+}
+
+// A replay source with no arrivals: every span elapses empty. Empty
+// windows run no job, complete at their seal, and the watermark passes
+// straight through them.
+TEST(StreamEngine, EmptyWindowsCompleteAtTheirSeal) {
+  StreamEngine eng(SmallCluster(), MakeSloScheduler(MakeFairScheduler()));
+  PipelineSpec spec = ReplayPipeline({});
+  spec.trigger.count = 10;
+  spec.trigger.span_sec = 5.0;
+  eng.AddPipeline(spec);
+  const StreamMetrics sm = eng.RunStream(26.0);
+
+  ASSERT_EQ(sm.pipelines.size(), 1u);
+  const PipelineMetrics& p = sm.pipelines[0];
+  // Time seals at 5/10/15/20/25, the horizon seal at 26.
+  EXPECT_EQ(p.windows_sealed, 6);
+  EXPECT_EQ(p.windows_empty, 6);
+  EXPECT_EQ(p.seals_by_time, 5);
+  EXPECT_EQ(p.windows_completed, 6);
+  EXPECT_EQ(p.records_arrived, 0);
+  EXPECT_TRUE(p.latencies_sec.empty());  // no job instances ran
+  EXPECT_TRUE(sm.workload.jobs.empty());
+  EXPECT_TRUE(p.stable);
+}
+
+// The documented trigger-tie convention: a record arriving at the exact
+// instant the window's time trigger fires does NOT complete the count —
+// the time trigger holds the earlier insertion sequence in the DES, the
+// window seals by time, and the tying record opens the next window.
+TEST(StreamEngine, CountTimeTieSealsByTime) {
+  StreamEngine eng(SmallCluster(), MakeSloScheduler(MakeFairScheduler()));
+  PipelineSpec spec = ReplayPipeline({1.0, 9.0});  // arrivals at t=1, t=10
+  spec.trigger.count = 2;
+  spec.trigger.span_sec = 10.0;  // trigger at t=10: exact tie
+  eng.AddPipeline(spec);
+  const StreamMetrics sm = eng.RunStream(15.0);
+
+  const PipelineMetrics& p = sm.pipelines[0];
+  EXPECT_EQ(p.records_arrived, 2);
+  EXPECT_EQ(p.seals_by_time, 1);   // the tie went to the time trigger
+  EXPECT_EQ(p.seals_by_count, 0);  // ...never to the tying record
+  EXPECT_EQ(p.windows_sealed, 2);  // [1 record @ time], [1 record @ horizon]
+  EXPECT_EQ(p.records_processed, 2);
+}
+
+// Control for the tie test: one second more of span and the same arrivals
+// seal by count.
+TEST(StreamEngine, CountWinsWithoutTheTie) {
+  StreamEngine eng(SmallCluster(), MakeSloScheduler(MakeFairScheduler()));
+  PipelineSpec spec = ReplayPipeline({1.0, 9.0});
+  spec.trigger.count = 2;
+  spec.trigger.span_sec = 11.0;
+  eng.AddPipeline(spec);
+  const StreamMetrics sm = eng.RunStream(15.0);
+
+  const PipelineMetrics& p = sm.pipelines[0];
+  EXPECT_EQ(p.seals_by_count, 1);
+  EXPECT_EQ(p.seals_by_time, 0);
+}
+
+PipelineSpec OverloadPipeline(Backpressure bp) {
+  // 30 records at 1/s into 5-record windows of 30 s CPU maps: windows seal
+  // every ~5 s but each takes far longer to drain, so admission backs up.
+  PipelineSpec spec = ReplayPipeline(std::vector<double>(30, 1.0));
+  spec.trigger.count = 5;
+  spec.trigger.span_sec = 100.0;
+  spec.job.cpu_task_sec = 30.0;
+  spec.job.gpu_task_sec = 10.0;
+  spec.max_inflight_windows = 1;
+  spec.max_pending_windows = 0;
+  spec.backpressure = bp;
+  return spec;
+}
+
+// Shed-vs-block accounting: shedding drops whole windows with record-exact
+// accounting; blocking processes everything and shows the overload as
+// queue depth instead.
+TEST(StreamEngine, ShedAndBlockAccountForEveryRecord) {
+  StreamEngine shed(SmallCluster(), MakeSloScheduler(MakeFairScheduler()));
+  shed.AddPipeline(OverloadPipeline(Backpressure::kShed));
+  const StreamMetrics sm = shed.RunStream(40.0);
+  const PipelineMetrics& ps = sm.pipelines[0];
+  EXPECT_GT(ps.records_shed, 0);
+  EXPECT_GT(ps.windows_shed, 0);
+  EXPECT_EQ(ps.records_shed + ps.records_processed, ps.records_arrived);
+  EXPECT_EQ(ps.windows_shed + ps.windows_completed, ps.windows_sealed);
+  EXPECT_FALSE(ps.stable);  // steady-state shedding is instability
+
+  StreamEngine block(SmallCluster(), MakeSloScheduler(MakeFairScheduler()));
+  block.AddPipeline(OverloadPipeline(Backpressure::kBlock));
+  const StreamMetrics bm = block.RunStream(40.0);
+  const PipelineMetrics& pb = bm.pipelines[0];
+  EXPECT_EQ(pb.records_shed, 0);
+  EXPECT_EQ(pb.records_processed, pb.records_arrived);
+  // The queue rode past the admission bound instead of dropping.
+  EXPECT_GT(pb.max_queue_depth, 1);
+  EXPECT_FALSE(pb.stable);
+  // More records flowed through than the shedding run processed.
+  EXPECT_GT(pb.records_processed, ps.records_processed);
+}
+
+StreamMetrics SeededServiceRun() {
+  StreamEngine eng(SmallCluster(), MakeSloScheduler(MakeFairScheduler()));
+  PipelineSpec clicks;
+  clicks.label = "clicks";
+  clicks.source.mean_rate_per_sec = 2.0;
+  clicks.source.seed = 42;
+  clicks.trigger.count = 12;
+  clicks.trigger.span_sec = 8.0;
+  clicks.slo_sec = 25.0;
+  eng.AddPipeline(clicks);
+  PipelineSpec logs;
+  logs.label = "logs";
+  logs.source.shape = RateShape::kBursty;
+  logs.source.mean_rate_per_sec = 1.0;
+  logs.source.seed = 43;
+  logs.trigger.count = 16;
+  logs.trigger.span_sec = 12.0;
+  logs.backpressure = Backpressure::kShed;
+  eng.AddPipeline(logs);
+  return eng.RunStream(300.0, 60.0);
+}
+
+// Two runs of the same seeded service are bit-identical, window by window.
+TEST(StreamEngine, SeededReplayIsBitIdentical) {
+  const StreamMetrics a = SeededServiceRun();
+  const StreamMetrics b = SeededServiceRun();
+  ASSERT_EQ(a.pipelines.size(), b.pipelines.size());
+  for (std::size_t i = 0; i < a.pipelines.size(); ++i) {
+    const PipelineMetrics& pa = a.pipelines[i];
+    const PipelineMetrics& pb = b.pipelines[i];
+    EXPECT_EQ(pa.records_arrived, pb.records_arrived);
+    EXPECT_EQ(pa.windows_sealed, pb.windows_sealed);
+    EXPECT_EQ(pa.latencies_sec, pb.latencies_sec);  // exact doubles
+    EXPECT_EQ(pa.watermark_lags_sec, pb.watermark_lags_sec);
+    EXPECT_EQ(pa.LatencyPercentile(0.99), pb.LatencyPercentile(0.99));
+  }
+  EXPECT_EQ(a.workload.makespan_sec, b.workload.makespan_sec);
+  // And the run did real work in steady state.
+  EXPECT_GT(a.pipelines[0].latencies_sec.size(), 5u);
+}
+
+// The null-source convention: a StreamEngine with no pipelines is a plain
+// MultiJobEngine — batch workloads see bit-identical numbers.
+TEST(StreamEngine, NoPipelinesIsExactlyBatch) {
+  CalibratedTaskSource::Params tp;
+  tp.num_maps = 12;
+  tp.num_reducers = 2;
+  tp.cpu_task_sec = 10.0;
+  tp.gpu_task_sec = 2.0;
+  tp.seed = 5;
+
+  auto submit_three = [&](multijob::MultiJobEngine& eng,
+                          std::vector<std::unique_ptr<CalibratedTaskSource>>&
+                              keep) {
+    for (int i = 0; i < 3; ++i) {
+      keep.push_back(std::make_unique<CalibratedTaskSource>(tp));
+      multijob::JobSpec js;
+      js.source = keep.back().get();
+      js.policy = sched::Policy::kTail;
+      js.label = "batch";
+      eng.Submit(10.0 * i, js);
+    }
+  };
+
+  std::vector<std::unique_ptr<CalibratedTaskSource>> keep_batch;
+  multijob::MultiJobEngine batch(SmallCluster(), MakeFairScheduler());
+  submit_three(batch, keep_batch);
+  const WorkloadMetrics mb = batch.Run();
+
+  std::vector<std::unique_ptr<CalibratedTaskSource>> keep_stream;
+  // Same inner scheduler: with no finite deadline anywhere, the SLO
+  // composition always delegates.
+  StreamEngine stream(SmallCluster(), MakeSloScheduler(MakeFairScheduler()));
+  submit_three(stream, keep_stream);
+  const StreamMetrics sm = stream.RunStream(1.0);
+
+  EXPECT_TRUE(sm.pipelines.empty());
+  EXPECT_EQ(sm.workload.makespan_sec, mb.makespan_sec);
+  ASSERT_EQ(sm.workload.jobs.size(), mb.jobs.size());
+  for (std::size_t i = 0; i < mb.jobs.size(); ++i) {
+    EXPECT_EQ(sm.workload.jobs[i].start_sec, mb.jobs[i].start_sec);
+    EXPECT_EQ(sm.workload.jobs[i].finish_sec, mb.jobs[i].finish_sec);
+  }
+  EXPECT_EQ(sm.workload.cpu_utilization, mb.cpu_utilization);
+  EXPECT_EQ(sm.workload.gpu_utilization, mb.gpu_utilization);
+}
+
+// Window jobs carry seal + SLO as their deadline, and the SLO scheduler
+// picks the window nearest to violation first.
+TEST(SloScheduler, PrefersTheNearestFiniteDeadline) {
+  auto slo = MakeSloScheduler(MakeFairScheduler());
+  hadoop::JobState batch, late, soon;
+  batch.id = 0;  // infinite deadline
+  late.id = 1;
+  late.deadline_sec = 200.0;
+  soon.id = 2;
+  soon.deadline_sec = 50.0;
+  const std::vector<const hadoop::JobState*> runnable = {&batch, &late, &soon};
+  EXPECT_EQ(slo->PickJob(runnable, runnable), 2u);
+  // Without any finite deadline the inner scheduler decides (fair: fewest
+  // running tasks, ties by submission order -> index 0).
+  const std::vector<const hadoop::JobState*> batch_only = {&batch};
+  EXPECT_EQ(slo->PickJob(batch_only, batch_only), 0u);
+}
+
+}  // namespace
+}  // namespace hd::stream

@@ -286,13 +286,14 @@ TEST(Registry, WriteJsonExportsFlatSortedObject) {
   EXPECT_EQ(doc.Find("c.dist.p50")->number, 2.0);
   EXPECT_EQ(doc.Find("c.dist.p95")->number, 3.0);
   EXPECT_EQ(doc.Find("c.dist.p99")->number, 3.0);
+  EXPECT_EQ(doc.Find("c.dist.p999")->number, 3.0);
   EXPECT_EQ(doc.Find("c.dist.max")->number, 3.0);
   // Keys come out sorted by metric name (distribution suffixes expand in a
   // fixed order under their base name), and the export is deterministic.
   std::vector<std::string> expected = {
       "a.gauge",      "b.count",     "c.dist.count", "c.dist.min",
       "c.dist.mean",  "c.dist.p50",  "c.dist.p95",   "c.dist.p99",
-      "c.dist.max"};
+      "c.dist.p999",  "c.dist.max"};
   std::vector<std::string> keys;
   for (const auto& [k, v] : doc.object) keys.push_back(k);
   EXPECT_EQ(keys, expected);
@@ -312,6 +313,8 @@ TEST(Registry, DistributionPercentilesAreNearestRankAndDeterministic) {
   EXPECT_EQ(doc.Find("lat.p50")->number, 50.0);
   EXPECT_EQ(doc.Find("lat.p95")->number, 95.0);
   EXPECT_EQ(doc.Find("lat.p99")->number, 99.0);
+  // Nearest-rank p999 over 100 samples is the 100th (ceil(99.9)): the max.
+  EXPECT_EQ(doc.Find("lat.p999")->number, 100.0);
   EXPECT_EQ(doc.Find("lat.min")->number, 1.0);
   EXPECT_EQ(doc.Find("lat.max")->number, 100.0);
   std::ostringstream again;
