@@ -1,0 +1,17 @@
+// Rejected by hdinfer: the record loop carries `prev` between iterations
+// (each record emits the previous record's number), so records are not
+// independently processable and no mapper directive can be synthesized.
+int main() {
+  char *line;
+  size_t nbytes = 256;
+  int cur, prev, read;
+  prev = 0;
+  line = (char*) malloc(nbytes * sizeof(char));
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    cur = atoi(line);
+    printf("%d\t%d\n", cur, prev);
+    prev = cur;
+  }
+  free(line);
+  return 0;
+}

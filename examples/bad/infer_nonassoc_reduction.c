@@ -1,0 +1,25 @@
+// Rejected by hdinfer: the combiner accumulates with floating-point
+// subtraction. GPU threads combine key-group partials in a different order
+// than the sequential stream, and `-=` on double is not associative under
+// rounding, so the reduction cannot be parallelized as written.
+int main() {
+  char key[32], prevKey[32];
+  double bal, delta;
+  int read;
+  prevKey[0] = '\0';
+  bal = 0.0;
+  {
+    while ((read = scanf("%s %lf", key, &delta)) == 2) {
+      if (strcmp(key, prevKey) != 0) {
+        if (prevKey[0] != '\0')
+          printf("%s\t%.4f\n", prevKey, bal);
+        strcpy(prevKey, key);
+        bal = 0.0;
+      }
+      bal -= delta;
+    }
+    if (prevKey[0] != '\0')
+      printf("%s\t%.4f\n", prevKey, bal);
+  }
+  return 0;
+}

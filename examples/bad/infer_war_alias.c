@@ -1,0 +1,24 @@
+// Rejected by hdinfer: the record loop updates table[h] in place and reads
+// the updated element back on later records — write-after-read aliasing
+// through an outer array that parallel GPU threads would race on.
+int main() {
+  char *line;
+  size_t nbytes = 256;
+  int table[64];
+  int h, hits, read, i;
+  i = 0;
+  while (i < 64) {
+    table[i] = 0;
+    i = i + 1;
+  }
+  line = (char*) malloc(nbytes * sizeof(char));
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    h = atoi(line) % 64;
+    if (h < 0) h = h + 64;
+    table[h] = table[h] + 1;
+    hits = table[h];
+    printf("%d\t%d\n", h, hits);
+  }
+  free(line);
+  return 0;
+}

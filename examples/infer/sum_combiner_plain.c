@@ -1,0 +1,27 @@
+// A plain mini-C streaming sum combiner with no mapreduce pragma: the
+// block form (KV loop plus trailing group flush) is the idiom hdinfer
+// recognises as a keyed reduction. Inference attaches the directive to the
+// block so the flush stays inside the combiner region:
+//
+//   hdinfer --rewrite sum_combiner_plain.c
+int main() {
+  char key[32], prevKey[32];
+  int count, val, read;
+  prevKey[0] = '\0';
+  count = 0;
+  {
+    while ((read = scanf("%s %d", key, &val)) == 2) {
+      if (strcmp(key, prevKey) == 0) {
+        count += val;
+      } else {
+        if (prevKey[0] != '\0')
+          printf("%s\t%d\n", prevKey, count);
+        strcpy(prevKey, key);
+        count = val;
+      }
+    }
+    if (prevKey[0] != '\0')
+      printf("%s\t%d\n", prevKey, count);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// A plain mini-C wordcount mapper with no mapreduce pragma. Feed it to
+// hdinfer to synthesize the directive:
+//
+//   hdinfer --rewrite wordcount_plain.c > wordcount.c && hdlint wordcount.c
+//
+// (word[32] keeps the key slot a multiple of 4 so the vectorization audit
+// stays silent even under hdlint --werror.)
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+  int i = offset;
+  int j = 0;
+  while (i < read && !isalnum(line[i])) i++;
+  if (i >= read) return -1;
+  while (i < read && isalnum(line[i]) && j < maxw - 1) {
+    word[j] = line[i];
+    i++;
+    j++;
+  }
+  word[j] = '\0';
+  return i - offset;
+}
+int main() {
+  char word[32], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 32)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}

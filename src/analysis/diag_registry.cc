@@ -1,0 +1,107 @@
+#include "analysis/diag_registry.h"
+
+namespace hd::analysis {
+
+const std::vector<DiagInfo>& DiagRegistry() {
+  static const std::vector<DiagInfo> kRegistry = {
+      // parse
+      {"HD001", "parse", Severity::kError,
+       "source failed to lex or parse as mini-C"},
+      // directive-check (HD101 escalates to error in translator mode)
+      {"HD101", "directive-check", Severity::kWarning,
+       "program has no main() function"},
+      {"HD102", "directive-check", Severity::kNote,
+       "no mapreduce directive found in main()"},
+      {"HD103", "directive-check", Severity::kError,
+       "directive is missing the mandatory key()/value() clauses"},
+      {"HD104", "directive-check", Severity::kError,
+       "combiner directive is missing keyin()/valuein()"},
+      {"HD105", "directive-check", Severity::kError,
+       "combiner-only clause used on a mapper"},
+      {"HD106", "directive-check", Severity::kError,
+       "mapper-only clause used on a combiner"},
+      {"HD107", "directive-check", Severity::kError,
+       "clause has the wrong number of arguments"},
+      {"HD108", "directive-check", Severity::kError,
+       "clause expects a positive integer argument"},
+      {"HD109", "directive-check", Severity::kWarning,
+       "unknown clause is ignored"},
+      {"HD110", "directive-check", Severity::kError,
+       "variable appears in more than one placement clause"},
+      {"HD111", "directive-check", Severity::kError,
+       "clause names a variable the region does not use"},
+      {"HD112", "directive-check", Severity::kError,
+       "texture clause applied to a scalar"},
+      {"HD113", "directive-check", Severity::kWarning,
+       "directive outside main() is ignored"},
+      {"HD114", "directive-check", Severity::kWarning,
+       "duplicate mapper/combiner directive is ignored"},
+      // race-check
+      {"HD201", "race-check", Severity::kError,
+       "sharedRO variable written inside the region"},
+      {"HD202", "race-check", Severity::kError,
+       "texture variable written inside the region"},
+      {"HD203", "race-check", Severity::kWarning,
+       "accumulation into an auto-privatized outer scalar"},
+      {"HD204", "race-check", Severity::kWarning,
+       "element write to an auto-privatized outer array"},
+      // kv-bounds
+      {"HD301", "kv-bounds", Severity::kError,
+       "length clause exceeds the emitted buffer's declared size"},
+      {"HD302", "kv-bounds", Severity::kWarning,
+       "length clause smaller than the emitted buffer"},
+      {"HD303", "kv-bounds", Severity::kError,
+       "a record path emits more pairs than kvpairs() reserves"},
+      {"HD304", "kv-bounds", Severity::kWarning,
+       "emission inside a nested loop may exceed the kvpairs() hint"},
+      {"HD305", "kv-bounds", Severity::kWarning,
+       "mapper region never emits a KV pair"},
+      // placement-audit
+      {"HD401", "placement-audit", Severity::kNote,
+       "Algorithm 1 placement explanation (--audit)"},
+      {"HD402", "placement-audit", Severity::kWarning,
+       "texture-eligible read-only array lost texture placement"},
+      {"HD403", "placement-audit", Severity::kWarning,
+       "char[] KV slot width defeats char4 vectorization"},
+      // portability
+      {"HD501", "portability", Severity::kError,
+       "recursive function cannot be offloaded"},
+      {"HD502", "portability", Severity::kError,
+       "call to a function that is neither defined nor a builtin"},
+      {"HD503", "portability", Severity::kWarning,
+       "loop never modifies its condition variables"},
+      {"HD504", "portability", Severity::kError,
+       "host-only call (malloc/free/exit/fprintf) inside a region"},
+      // infer (directive synthesis)
+      {"HD601", "infer", Severity::kNote,
+       "loop classified and directive synthesized"},
+      {"HD602", "infer", Severity::kNote,
+       "per-clause provenance of a synthesized directive"},
+      {"HD603", "infer", Severity::kError,
+       "no candidate record loop found to annotate"},
+      {"HD604", "infer", Severity::kError,
+       "candidate region never emits a KV pair"},
+      {"HD605", "infer", Severity::kError,
+       "emission sites disagree on the key/value pair"},
+      {"HD606", "infer", Severity::kError,
+       "loop-carried dependence defeats parallelization"},
+      {"HD607", "infer", Severity::kError,
+       "carried reduction uses a non-associative operator"},
+      {"HD608", "infer", Severity::kError,
+       "write-after-read aliasing on an outer array"},
+      {"HD609", "infer", Severity::kError,
+       "KV input/output shape cannot be inferred"},
+      {"HD610", "infer", Severity::kNote,
+       "region already annotated; left unchanged"},
+  };
+  return kRegistry;
+}
+
+const DiagInfo* FindDiag(const std::string& id) {
+  for (const DiagInfo& d : DiagRegistry()) {
+    if (id == d.id) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace hd::analysis

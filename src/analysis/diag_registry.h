@@ -1,0 +1,31 @@
+// Single registry of every HDnnn diagnostic id the analysis tools emit.
+//
+// Each hundred-block belongs to one pass family (HD0xx parse, HD1xx
+// directive-check, HD2xx race-check, HD3xx kv-bounds, HD4xx placement-audit,
+// HD5xx portability, HD6xx infer). The registry is the one place a new id is
+// minted: a test cross-checks it against the ids actually emitted in the
+// analysis sources and fails on duplicates or gaps, and the SARIF renderer
+// publishes it as the tool's rule table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+
+namespace hd::analysis {
+
+struct DiagInfo {
+  const char* id;    // "HDnnn"
+  const char* pass;  // producing pass family
+  Severity severity; // default severity (some ids escalate by mode)
+  const char* summary;  // one-line rule description (SARIF shortDescription)
+};
+
+// All registered diagnostics, ordered by id.
+const std::vector<DiagInfo>& DiagRegistry();
+
+// Lookup by id; null when unregistered.
+const DiagInfo* FindDiag(const std::string& id);
+
+}  // namespace hd::analysis

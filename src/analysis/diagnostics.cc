@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
+
+#include "analysis/diag_registry.h"
 
 namespace hd::analysis {
 
@@ -119,6 +122,60 @@ std::string DiagnosticEngine::RenderJson() const {
   }
   os << "],\"errors\":" << ErrorCount() << ",\"warnings\":" << WarningCount()
      << ",\"notes\":" << NoteCount() << "}";
+  return os.str();
+}
+
+std::string DiagnosticEngine::RenderSarif(const std::string& tool_name) const {
+  // Rule table: the registered ids this run used, sorted, with their
+  // registry summaries; index map for ruleIndex references.
+  std::map<std::string, int> rule_index;
+  for (const auto& d : diags_) rule_index.emplace(d.id, 0);
+  int next = 0;
+  for (auto& [id, idx] : rule_index) idx = next++;
+
+  auto level_of = [](Severity s) {
+    switch (s) {
+      case Severity::kError: return "error";
+      case Severity::kWarning: return "warning";
+      case Severity::kNote: return "note";
+    }
+    return "none";
+  };
+
+  std::ostringstream os;
+  os << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+     << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+     << "\"name\":\"" << JsonEscape(tool_name) << "\","
+     << "\"informationUri\":\"https://github.com/heterodoop\","
+     << "\"rules\":[";
+  bool first = true;
+  for (const auto& [id, idx] : rule_index) {
+    const DiagInfo* info = FindDiag(id);
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":\"" << JsonEscape(id) << "\"";
+    if (info != nullptr) {
+      os << ",\"shortDescription\":{\"text\":\"" << JsonEscape(info->summary)
+         << "\"},\"properties\":{\"pass\":\"" << JsonEscape(info->pass)
+         << "\"}";
+    }
+    os << '}';
+  }
+  os << "]}},\"columnKind\":\"utf16CodeUnits\",\"results\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) os << ',';
+    std::string text = d.message;
+    if (!d.hint.empty()) text += " (hint: " + d.hint + ")";
+    os << "{\"ruleId\":\"" << JsonEscape(d.id)
+       << "\",\"ruleIndex\":" << rule_index.at(d.id) << ",\"level\":\""
+       << level_of(d.severity) << "\",\"message\":{\"text\":\""
+       << JsonEscape(text) << "\"},\"locations\":[{\"physicalLocation\":{"
+       << "\"artifactLocation\":{\"uri\":\"" << JsonEscape(d.file)
+       << "\"},\"region\":{\"startLine\":" << std::max(1, d.line)
+       << ",\"startColumn\":" << std::max(1, d.col) << "}}}]}";
+  }
+  os << "]}]}";
   return os.str();
 }
 

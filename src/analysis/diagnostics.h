@@ -59,6 +59,12 @@ class DiagnosticEngine {
   // (schema documented in DESIGN.md).
   std::string RenderJson() const;
 
+  // SARIF 2.1.0 document (CI code-scanning interchange): one run for
+  // `tool_name` (hdlint / hdinfer) whose rule table is drawn from the
+  // DiagRegistry entries this run actually used. Output is deterministic —
+  // rules sorted by id, results in the engine's (source-sorted) order.
+  std::string RenderSarif(const std::string& tool_name) const;
+
  private:
   std::vector<Diagnostic> diags_;
 };

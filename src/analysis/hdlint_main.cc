@@ -1,9 +1,9 @@
 // hdlint: command-line front end for the HeteroDoop static analyzer.
 //
-//   hdlint [--json] [--audit] [--werror] file.c ...
+//   hdlint [--json|--sarif] [--audit] [--werror] file.c ...
 //
 // Runs every analysis pass over each input and prints diagnostics as text
-// (or one JSON document per file with --json). Exit status: 0 when no file
+// (or one JSON/SARIF document per file). Exit status: 0 when no file
 // produced an error, 1 when any did (or any warning under --werror), 2 on
 // usage/IO problems.
 #include <cstdio>
@@ -18,8 +18,11 @@ namespace {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: hdlint [--json] [--audit] [--werror] file.c ...\n"
+               "usage: hdlint [--json|--sarif] [--audit] [--werror] "
+               "file.c ...\n"
                "  --json    print diagnostics as one JSON document per file\n"
+               "  --sarif   print diagnostics as one SARIF 2.1.0 document "
+               "per file\n"
                "  --audit   add placement-audit notes explaining Algorithm 1\n"
                "  --werror  treat warnings as errors for the exit status\n");
 }
@@ -27,12 +30,14 @@ void PrintUsage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false, audit = false, werror = false;
+  bool json = false, sarif = false, audit = false, werror = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--werror") {
@@ -48,7 +53,7 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) {
+  if (files.empty() || (json && sarif)) {
     PrintUsage();
     return 2;
   }
@@ -69,8 +74,14 @@ int main(int argc, char** argv) {
     const hd::analysis::AnalysisResult result =
         hd::analysis::AnalyzeSource(buf.str(), opts);
 
-    const std::string rendered =
-        json ? result.diags.RenderJson() + "\n" : result.diags.RenderText();
+    std::string rendered;
+    if (json) {
+      rendered = result.diags.RenderJson() + "\n";
+    } else if (sarif) {
+      rendered = result.diags.RenderSarif("hdlint") + "\n";
+    } else {
+      rendered = result.diags.RenderText();
+    }
     std::fputs(rendered.c_str(), stdout);
     if (result.diags.HasErrors() ||
         (werror && result.diags.WarningCount() > 0)) {

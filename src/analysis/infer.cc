@@ -1,0 +1,802 @@
+#include "analysis/infer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "analysis/passes.h"
+#include "minic/lexer.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace hd::analysis {
+
+using minic::AccumSite;
+using minic::AssignOp;
+using minic::Expr;
+using minic::ExprKind;
+using minic::Stmt;
+using minic::StmtKind;
+using minic::Type;
+
+const char* LoopClassName(LoopClass c) {
+  switch (c) {
+    case LoopClass::kMapEmission: return "map-emission";
+    case LoopClass::kKeyedReduction: return "keyed-reduction";
+    case LoopClass::kNotParallelizable: return "not-parallelizable";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kPass = "infer";
+
+// ---------------------------------------------------------------------------
+// Pragma stripping.
+// ---------------------------------------------------------------------------
+
+bool IsMapreducePragma(const std::string& line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return false;
+  i = line.find_first_not_of(" \t", i + 1);
+  if (i == std::string::npos || line.compare(i, 6, "pragma") != 0) return false;
+  i = line.find_first_not_of(" \t", i + 6);
+  return i != std::string::npos && line.compare(i, 9, "mapreduce") == 0;
+}
+
+bool EndsWithBackslash(const std::string& line) {
+  const std::size_t i = line.find_last_not_of(" \t");
+  return i != std::string::npos && line[i] == '\\';
+}
+
+std::vector<std::string> SplitLines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    if (nl == std::string::npos) {
+      if (pos < source.size()) lines.push_back(source.substr(pos));
+      break;
+    }
+    lines.push_back(source.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripDirectives(const std::string& source) {
+  const std::vector<std::string> lines = SplitLines(source);
+  std::vector<std::string> kept;
+  kept.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!IsMapreducePragma(lines[i])) {
+      kept.push_back(lines[i]);
+      continue;
+    }
+    while (EndsWithBackslash(lines[i]) && i + 1 < lines.size()) ++i;
+  }
+  return JoinLines(kept);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Candidate discovery.
+// ---------------------------------------------------------------------------
+
+// One loop nest that could carry a mapreduce directive: the attachment
+// statement (while loop or block) plus the record/KV loop whose iterations
+// would become GPU threads.
+struct Candidate {
+  const Stmt* region = nullptr;
+  const Stmt* loop = nullptr;
+  bool is_mapper = false;
+};
+
+void WalkExprTree(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  if (e.a) WalkExprTree(*e.a, fn);
+  if (e.b) WalkExprTree(*e.b, fn);
+  if (e.c) WalkExprTree(*e.c, fn);
+  for (const auto& arg : e.args) WalkExprTree(*arg, fn);
+}
+
+void WalkStmtExprs(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+  if (s.expr) WalkExprTree(*s.expr, fn);
+  if (s.step) WalkExprTree(*s.step, fn);
+  for (const auto& d : s.decls) {
+    if (d.init) WalkExprTree(*d.init, fn);
+  }
+  for (const Stmt* sub : {s.then_stmt.get(), s.else_stmt.get(), s.body.get(),
+                          s.init_stmt.get()}) {
+    if (sub) WalkStmtExprs(*sub, fn);
+  }
+  for (const auto& sub : s.stmts) WalkStmtExprs(*sub, fn);
+}
+
+bool ExprCallsAny(const Expr& e, std::initializer_list<const char*> names) {
+  bool found = false;
+  WalkExprTree(e, [&](const Expr& sub) {
+    if (found || sub.kind != ExprKind::kCall) return;
+    for (const char* n : names) {
+      if (sub.string_value == n) found = true;
+    }
+  });
+  return found;
+}
+
+bool IsLoop(const Stmt& s) {
+  return s.kind == StmtKind::kWhile || s.kind == StmtKind::kDoWhile;
+}
+
+bool CondCallsAny(const Stmt& s, std::initializer_list<const char*> names) {
+  return s.expr != nullptr && ExprCallsAny(*s.expr, names);
+}
+
+// First while/do-while under `s` whose condition consumes the sorted KV
+// stream; null when there is none.
+const Stmt* FindKvLoop(const Stmt& s) {
+  if (IsLoop(s) && CondCallsAny(s, {"scanf", "getKV"})) return &s;
+  for (const Stmt* sub : {s.then_stmt.get(), s.else_stmt.get(), s.body.get(),
+                          s.init_stmt.get()}) {
+    if (sub != nullptr) {
+      if (const Stmt* found = FindKvLoop(*sub)) return found;
+    }
+  }
+  for (const auto& sub : s.stmts) {
+    if (const Stmt* found = FindKvLoop(*sub)) return found;
+  }
+  return nullptr;
+}
+
+bool ContainsRecordLoop(const Stmt& s) {
+  if (IsLoop(s) && CondCallsAny(s, {"getline", "getRecord"})) return true;
+  for (const Stmt* sub : {s.then_stmt.get(), s.else_stmt.get(), s.body.get(),
+                          s.init_stmt.get()}) {
+    if (sub != nullptr && ContainsRecordLoop(*sub)) return true;
+  }
+  for (const auto& sub : s.stmts) {
+    if (ContainsRecordLoop(*sub)) return true;
+  }
+  return false;
+}
+
+void FindCandidates(const Stmt& s, std::vector<Candidate>* out,
+                    std::vector<const Stmt*>* annotated) {
+  if (s.directive != nullptr) {
+    annotated->push_back(&s);
+    return;  // hands off regions the programmer already annotated
+  }
+  if (IsLoop(s) && CondCallsAny(s, {"getline", "getRecord"})) {
+    out->push_back({&s, &s, /*is_mapper=*/true});
+    return;
+  }
+  if (IsLoop(s) && CondCallsAny(s, {"scanf", "getKV"})) {
+    out->push_back({&s, &s, /*is_mapper=*/false});
+    return;
+  }
+  if (s.kind == StmtKind::kBlock) {
+    // A declaration-free block wrapping a KV loop (the combiner idiom: loop
+    // plus trailing group flush) is the attachment point; a block that
+    // declares variables or reads records is just scoping — descend.
+    const bool has_decls =
+        std::any_of(s.stmts.begin(), s.stmts.end(), [](const auto& sub) {
+          return sub->kind == StmtKind::kDecl;
+        });
+    if (!has_decls && !ContainsRecordLoop(s)) {
+      if (const Stmt* loop = FindKvLoop(s)) {
+        out->push_back({&s, loop, /*is_mapper=*/false});
+        return;
+      }
+    }
+    for (const auto& sub : s.stmts) FindCandidates(*sub, out, annotated);
+    return;
+  }
+  for (const Stmt* sub : {s.then_stmt.get(), s.else_stmt.get(), s.body.get(),
+                          s.init_stmt.get()}) {
+    if (sub != nullptr) FindCandidates(*sub, out, annotated);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Emission-shape inference.
+// ---------------------------------------------------------------------------
+
+// Accepts exactly the translator's emitKV idiom: a two-conversion format
+// "%<spec>\t%<spec>\n" (escapes already decoded by the lexer).
+bool IsKvFormat(const std::string& fmt) {
+  const std::size_t tab = fmt.find('\t');
+  if (tab == std::string::npos || fmt.find('\t', tab + 1) != std::string::npos)
+    return false;
+  if (fmt.empty() || fmt.back() != '\n') return false;
+  auto one_conversion = [](const std::string& seg) {
+    if (seg.size() < 2 || seg[0] != '%') return false;
+    if (seg.find('%', 1) != std::string::npos) return false;
+    return std::isalpha(static_cast<unsigned char>(seg.back())) != 0;
+  };
+  return one_conversion(fmt.substr(0, tab)) &&
+         one_conversion(fmt.substr(tab + 1, fmt.size() - tab - 2));
+}
+
+struct EmissionSite {
+  std::string key, value;
+  int line = 0, col = 0;
+};
+
+struct ShapeResult {
+  std::vector<EmissionSite> sites;
+  bool rejected = false;  // an HD609 was reported
+};
+
+ShapeResult CollectEmissions(const Stmt& region, const std::string& file,
+                             const char* region_kind, DiagnosticEngine* de) {
+  ShapeResult out;
+  WalkStmtExprs(region, [&](const Expr& e) {
+    if (e.kind != ExprKind::kCall || e.string_value != "printf") return;
+    if (e.args.empty() || e.args[0]->kind != ExprKind::kStringLit) {
+      de->Error("HD609", kPass, file, e.line, e.col,
+                std::string("printf in the candidate ") + region_kind +
+                    " region has a non-literal format: the emission shape "
+                    "cannot be inferred",
+                "emit with printf(\"%s\\t%d\\n\", key, value)");
+      out.rejected = true;
+      return;
+    }
+    const std::string& fmt = e.args[0]->string_value;
+    if (!IsKvFormat(fmt) || e.args.size() != 3 ||
+        e.args[1]->kind != ExprKind::kVarRef ||
+        e.args[2]->kind != ExprKind::kVarRef) {
+      de->Error("HD609", kPass, file, e.line, e.col,
+                std::string("printf in the candidate ") + region_kind +
+                    " region is not a \"key\\tvalue\\n\" emission of two "
+                    "plain variables",
+                "every printf inside the region becomes an emitKV call; "
+                "format exactly one key and one value field");
+      out.rejected = true;
+      return;
+    }
+    out.sites.push_back({e.args[1]->string_value, e.args[2]->string_value,
+                         e.line, e.col});
+  });
+  return out;
+}
+
+// keyin/valuein: the first two data arguments of the scanf consuming the
+// sorted KV stream (stripping &).
+struct InputShape {
+  std::string keyin, valuein;
+  int line = 0, col = 0;
+  bool ok = false;
+};
+
+const std::string* ScanfArgVar(const Expr& arg) {
+  if (arg.kind == ExprKind::kVarRef) return &arg.string_value;
+  if (arg.kind == ExprKind::kUnary && arg.un_op == minic::UnOp::kAddrOf &&
+      arg.a->kind == ExprKind::kVarRef) {
+    return &arg.a->string_value;
+  }
+  return nullptr;
+}
+
+InputShape FindInputShape(const Stmt& loop, const std::string& file,
+                          DiagnosticEngine* de) {
+  InputShape out;
+  bool reported = false;
+  WalkStmtExprs(loop, [&](const Expr& e) {
+    if (out.ok || reported) return;
+    if (e.kind != ExprKind::kCall ||
+        (e.string_value != "scanf" && e.string_value != "getKV")) {
+      return;
+    }
+    if (e.args.size() < 3) {
+      de->Error("HD609", kPass, file, e.line, e.col,
+                "combiner input scanf must read at least a key and a value "
+                "field from the sorted KV stream",
+                "scan with scanf(\"%s %d\", key, &val)");
+      reported = true;
+      return;
+    }
+    const std::string* k = ScanfArgVar(*e.args[1]);
+    const std::string* v = ScanfArgVar(*e.args[2]);
+    if (k == nullptr || v == nullptr) {
+      de->Error("HD609", kPass, file, e.line, e.col,
+                "combiner scanf key/value arguments must be plain variables "
+                "(optionally address-taken)",
+                "scan directly into the declared key buffer and value "
+                "variable");
+      reported = true;
+      return;
+    }
+    out.keyin = *k;
+    out.valuein = *v;
+    out.line = e.line;
+    out.col = e.col;
+    out.ok = true;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reduction-pattern matcher over the loop-carried write sites.
+// ---------------------------------------------------------------------------
+
+enum class SiteClass { kAssociative, kReset, kNonAssociative };
+
+const char* AssignOpName(AssignOp op) {
+  switch (op) {
+    case AssignOp::kAssign: return "=";
+    case AssignOp::kAdd: return "+";
+    case AssignOp::kSub: return "-";
+    case AssignOp::kMul: return "*";
+    case AssignOp::kDiv: return "/";
+    case AssignOp::kMod: return "%";
+  }
+  return "?";
+}
+
+// Commutative/associative reduction operators: +, *, ++ always; integer -
+// and -- accumulate a sum of negated operands; / and % reorder-unsafe; a
+// comparison-guarded rebind is the min/max idiom; plain assignments that do
+// not read the old value reset the accumulator at group boundaries.
+SiteClass ClassifySite(const AccumSite& s, bool floating) {
+  if (s.increment) return SiteClass::kAssociative;
+  if (s.decrement) {
+    return floating ? SiteClass::kNonAssociative : SiteClass::kAssociative;
+  }
+  if (s.via_builtin) return SiteClass::kReset;
+  switch (s.op) {
+    case AssignOp::kAdd:
+    case AssignOp::kMul:
+      return SiteClass::kAssociative;
+    case AssignOp::kSub:
+      return floating ? SiteClass::kNonAssociative : SiteClass::kAssociative;
+    case AssignOp::kDiv:
+    case AssignOp::kMod:
+      return SiteClass::kNonAssociative;
+    case AssignOp::kAssign:
+      if (s.minmax_guarded) return SiteClass::kAssociative;
+      if (!s.rhs_reads_self) return SiteClass::kReset;
+      return SiteClass::kNonAssociative;
+  }
+  return SiteClass::kNonAssociative;
+}
+
+const char* SiteOpName(const AccumSite& s) {
+  if (s.increment) return "++";
+  if (s.decrement) return "--";
+  if (s.minmax_guarded) return "min/max";
+  return AssignOpName(s.op);
+}
+
+struct CarriedVerdict {
+  bool allowed = false;       // combiner may keep it (firstprivate)
+  bool reduction = false;     // all writes are associative accumulation
+  bool aliasing = false;      // array with element write sites
+  const AccumSite* bad_site = nullptr;  // first non-associative site
+};
+
+CarriedVerdict JudgeCarried(const std::string& name,
+                            const minic::LoopDepInfo& dep, const Type& t) {
+  CarriedVerdict v;
+  auto it = dep.accum_sites.find(name);
+  const std::vector<AccumSite>* sites =
+      it != dep.accum_sites.end() ? &it->second : nullptr;
+  if (t.is_array || t.is_pointer) {
+    const bool element =
+        sites != nullptr &&
+        std::any_of(sites->begin(), sites->end(),
+                    [](const AccumSite& s) { return s.element; });
+    v.aliasing = element;
+    // Whole-array rebinds (strcpy into a char[] tracker) are reset-style.
+    v.allowed = !element && sites != nullptr &&
+                std::all_of(sites->begin(), sites->end(), [&](const AccumSite& s) {
+                  return ClassifySite(s, t.IsFloating()) != SiteClass::kNonAssociative;
+                });
+    return v;
+  }
+  if (sites == nullptr || sites->empty()) return v;  // escaped: unknown
+  bool any_assoc = false;
+  for (const AccumSite& s : *sites) {
+    switch (ClassifySite(s, t.IsFloating())) {
+      case SiteClass::kAssociative:
+        any_assoc = true;
+        break;
+      case SiteClass::kReset:
+        break;
+      case SiteClass::kNonAssociative:
+        if (v.bad_site == nullptr) v.bad_site = &s;
+        break;
+    }
+  }
+  if (v.bad_site != nullptr) return v;
+  v.allowed = true;
+  v.reduction = any_assoc;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Clause synthesis.
+// ---------------------------------------------------------------------------
+
+struct Clause {
+  std::string text;        // "key(word)"
+  std::string provenance;  // HD602 note body
+};
+
+bool IsCharArray(const Type& t) {
+  return t.is_array && t.scalar == minic::Scalar::kChar && t.array_size > 0;
+}
+
+std::string DirectiveText(bool is_mapper, const std::vector<Clause>& clauses) {
+  std::string out = std::string("#pragma mapreduce ") +
+                    (is_mapper ? "mapper" : "combiner");
+  for (const auto& c : clauses) {
+    out += ' ';
+    out += c.text;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The per-candidate synthesis pipeline.
+// ---------------------------------------------------------------------------
+
+struct Synthesis {
+  bool ok = false;
+  InferredRegion region;
+};
+
+Synthesis SynthesizeCandidate(const minic::FunctionDef& fn,
+                              const Candidate& cand, const InferOptions& opts,
+                              DiagnosticEngine* de) {
+  const std::string& file = opts.source_name;
+  const char* kind_name = cand.is_mapper ? "mapper" : "combiner";
+  Synthesis out;
+  out.region.is_mapper = cand.is_mapper;
+  out.region.line = cand.region->line;
+
+  const minic::RegionInfo info = minic::AnalyzeRegion(fn, *cand.region);
+  const minic::LoopDepInfo dep = minic::AnalyzeLoopDependence(fn, *cand.loop);
+
+  // 1. Emission shape: every printf in the region must be a KV emission and
+  //    all sites must agree on the (key, value) pair.
+  ShapeResult shape = CollectEmissions(*cand.region, file, kind_name, de);
+  if (shape.rejected) return out;
+  if (shape.sites.empty()) {
+    de->Error("HD604", kPass, file, cand.region->line, cand.region->col,
+              std::string("candidate ") + kind_name +
+                  " region never emits a KV pair (no printf on any path)",
+              "emit with printf(\"%s\\t%d\\n\", key, value) — the translator "
+              "rewrites it to emitKV");
+    return out;
+  }
+  const EmissionSite& first = shape.sites.front();
+  for (const EmissionSite& s : shape.sites) {
+    if (s.key != first.key || s.value != first.value) {
+      de->Error("HD605", kPass, file, s.line, s.col,
+                "emission sites disagree on the KV pair: (" + first.key +
+                    ", " + first.value + ") at " + std::to_string(first.line) +
+                    ":" + std::to_string(first.col) + " vs (" + s.key + ", " +
+                    s.value + ")",
+                "a region emits exactly one key variable and one value "
+                "variable");
+      return out;
+    }
+  }
+
+  // 2. Combiner input shape (keyin/valuein).
+  InputShape input;
+  if (!cand.is_mapper) {
+    input = FindInputShape(*cand.loop, file, de);
+    if (!input.ok) return out;
+  }
+
+  // 3. Loop-carried dependence test / reduction matcher.
+  std::vector<std::string> firstprivate;
+  bool dep_rejected = false;
+  for (const std::string& name : dep.carried) {
+    const Type& t = dep.region.outer_types.at(name);
+    const CarriedVerdict verdict = JudgeCarried(name, dep, t);
+    auto first_read = dep.region.first_use.find(name);
+    const int rline = first_read != dep.region.first_use.end()
+                          ? first_read->second.first
+                          : cand.loop->line;
+    const int rcol = first_read != dep.region.first_use.end()
+                         ? first_read->second.second
+                         : 0;
+    if (cand.is_mapper) {
+      // Mapper threads each own one record: any carry between iterations
+      // breaks the parallelization, associative or not.
+      if (verdict.aliasing) {
+        de->Error("HD608", kPass, file, rline, rcol,
+                  "write-after-read aliasing on outer array '" + name +
+                      "': the loop reads state an earlier iteration's "
+                      "element write produced",
+                  "cross-record aggregation must flow through emitKV "
+                  "(printf) and the combiner/reducer");
+      } else if (verdict.allowed && verdict.reduction) {
+        de->Error("HD606", kPass, file, rline, rcol,
+                  "'" + name + "' is a loop-carried reduction across records "
+                      "('" + SiteOpName(dep.accum_sites.at(name).front()) +
+                      "' accumulation): a mapper must be dependence-free",
+                  "emit the per-record partial as a KV pair and sum it in a "
+                  "combiner");
+      } else {
+        de->Error("HD606", kPass, file, rline, rcol,
+                  "loop-carried dependence on '" + name +
+                      "': each iteration reads the value the previous "
+                      "iteration wrote",
+                  "records must be independently processable to run one per "
+                  "GPU thread");
+      }
+      dep_rejected = true;
+      continue;
+    }
+    // Combiner threads own contiguous key groups of the sorted stream, so
+    // the key-group tracker and associative accumulators are legal carries.
+    if (name == first.key || verdict.allowed) {
+      firstprivate.push_back(name);
+      continue;
+    }
+    if (verdict.aliasing) {
+      de->Error("HD608", kPass, file, rline, rcol,
+                "write-after-read aliasing on outer array '" + name +
+                    "' in the combiner loop",
+                "aggregate through scalar accumulators or emit and re-reduce");
+      dep_rejected = true;
+    } else if (verdict.bad_site != nullptr) {
+      de->Error("HD607", kPass, file, verdict.bad_site->line,
+                verdict.bad_site->col,
+                "reduction into '" + name + "' uses non-associative '" +
+                    SiteOpName(*verdict.bad_site) + "' on " +
+                    minic::TypeName(dep.region.outer_types.at(name)) +
+                    ": combining partial results in a different order "
+                    "changes the output",
+                "rewrite as an associative accumulation (+, *, min, max) or "
+                "keep this stage in the sequential reducer");
+      dep_rejected = true;
+    } else {
+      de->Error("HD606", kPass, file, rline, rcol,
+                "loop-carried dependence on '" + name +
+                    "': the update is not a recognizable reduction",
+                "only key-group trackers and associative accumulators may "
+                "carry values between incoming pairs");
+      dep_rejected = true;
+    }
+  }
+  if (dep_rejected) return out;
+
+  // 4. Clause synthesis.
+  std::vector<Clause> clauses;
+  auto loc = [](int line, int col) {
+    return std::to_string(line) + ":" + std::to_string(col);
+  };
+  clauses.push_back({"key(" + first.key + ")",
+                     "key(" + first.key + "): emitted as the first printf "
+                     "field at " + loc(first.line, first.col)});
+  clauses.push_back({"value(" + first.value + ")",
+                     "value(" + first.value + "): emitted as the second "
+                     "printf field at " + loc(first.line, first.col)});
+  if (!cand.is_mapper) {
+    clauses.push_back({"keyin(" + input.keyin + ")",
+                       "keyin(" + input.keyin + "): first scanf field of the "
+                       "incoming KV stream at " + loc(input.line, input.col)});
+    clauses.push_back({"valuein(" + input.valuein + ")",
+                       "valuein(" + input.valuein + "): second scanf field "
+                       "of the incoming KV stream at " +
+                       loc(input.line, input.col)});
+  }
+  auto add_length = [&](const char* clause, const std::string& var) {
+    auto t = info.outer_types.find(var);
+    if (t == info.outer_types.end() || !IsCharArray(t->second)) return;
+    const std::string n = std::to_string(t->second.array_size);
+    clauses.push_back({std::string(clause) + "(" + n + ")",
+                       std::string(clause) + "(" + n + "): '" + var +
+                       "' is declared char[" + n + "]"});
+  };
+  add_length("keylength", first.key);
+  add_length("vallength", first.value);
+  if (cand.is_mapper) {
+    const Stmt* per_record =
+        cand.region->body ? cand.region->body.get() : cand.region;
+    const EmitShape es = ComputeEmitShape(*per_record);
+    if (es.max_path == 1 && !es.in_loop) {
+      clauses.push_back({"kvpairs(1)",
+                         "kvpairs(1): every path through the record body "
+                         "emits at most one pair"});
+    }
+    // Texture hints mirror hdlint's HD402 eligibility: read-only fixed
+    // arrays with indexed reads, excluding the emitted pair.
+    std::vector<std::string> texture;
+    for (const std::string& name : info.used_outer) {
+      if (name == first.key || name == first.value) continue;
+      const Type& t = info.outer_types.at(name);
+      if (!t.is_array || t.array_size <= 0) continue;
+      if (!info.never_written.count(name)) continue;
+      if (!info.indexed_read.count(name)) continue;
+      texture.push_back(name);
+    }
+    if (!texture.empty()) {
+      std::string args;
+      for (const auto& name : texture) {
+        if (!args.empty()) args += ", ";
+        args += name;
+      }
+      clauses.push_back({"texture(" + args + ")",
+                         "texture(" + args + "): read-only array(s) with "
+                         "indexed reads, never written in the region"});
+    }
+  } else if (!firstprivate.empty()) {
+    std::sort(firstprivate.begin(), firstprivate.end());
+    std::string args;
+    for (const auto& name : firstprivate) {
+      if (!args.empty()) args += ", ";
+      args += name;
+    }
+    std::string why;
+    for (const auto& name : firstprivate) {
+      if (!why.empty()) why += "; ";
+      if (name == first.key) {
+        why += "'" + name + "' tracks the current key group";
+      } else {
+        why += "'" + name + "' is an associative accumulator ('" +
+               SiteOpName(dep.accum_sites.at(name).front()) + "')";
+      }
+    }
+    clauses.push_back({"firstprivate(" + args + ")",
+                       "firstprivate(" + args + "): carried across incoming "
+                       "pairs — " + why});
+  }
+
+  out.ok = true;
+  out.region.cls = cand.is_mapper ? LoopClass::kMapEmission
+                                  : LoopClass::kKeyedReduction;
+  out.region.directive = DirectiveText(cand.is_mapper, clauses);
+
+  de->Note("HD601", kPass, file, cand.region->line, 0,
+           std::string("classified ") + LoopClassName(out.region.cls) +
+               "; synthesized: " + out.region.directive);
+  if (opts.provenance_notes) {
+    for (const auto& c : clauses) {
+      de->Note("HD602", kPass, file, cand.region->line, 0, c.provenance);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Source rewriting.
+// ---------------------------------------------------------------------------
+
+// Inserts each directive above its region line, matching the region's
+// indentation and wrapping long directives with backslash continuations
+// (the lexer folds them back into one pragma line).
+std::string InsertDirectives(
+    const std::string& source,
+    std::vector<std::pair<int, std::string>> inserts) {
+  std::vector<std::string> lines = SplitLines(source);
+  std::sort(inserts.begin(), inserts.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [line_no, directive] : inserts) {
+    const std::size_t idx =
+        std::min<std::size_t>(line_no > 0 ? line_no - 1 : 0, lines.size());
+    std::string indent;
+    if (idx < lines.size()) {
+      const std::size_t ws = lines[idx].find_first_not_of(" \t");
+      indent = lines[idx].substr(0, ws == std::string::npos ? 0 : ws);
+    }
+    std::vector<std::string> wrapped;
+    std::istringstream toks(directive);
+    std::string tok, current;
+    while (toks >> tok) {
+      if (current.empty()) {
+        current = indent + tok;
+      } else if (current.size() + 1 + tok.size() > 76) {
+        wrapped.push_back(current + " \\");
+        current = indent + "  " + tok;
+      } else {
+        current += ' ';
+        current += tok;
+      }
+    }
+    if (!current.empty()) wrapped.push_back(current);
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx),
+                 wrapped.begin(), wrapped.end());
+  }
+  return JoinLines(lines);
+}
+
+}  // namespace
+
+InferResult InferDirectives(const std::string& source,
+                            const InferOptions& opts) {
+  InferResult result;
+  result.stripped_source =
+      opts.strip_existing ? StripDirectives(source) : source;
+  result.annotated_source = result.stripped_source;
+  try {
+    result.unit = minic::Parse(result.stripped_source);
+  } catch (const std::exception& e) {
+    result.diags.Error("HD001", "parse", opts.source_name, 0, 0,
+                       std::string("cannot parse source: ") + e.what());
+    return result;
+  }
+
+  const minic::FunctionDef* main_fn = result.unit->FindFunction("main");
+  if (main_fn == nullptr) {
+    result.diags.Error("HD603", kPass, opts.source_name, 0, 0,
+                       "program has no main(): nothing to infer",
+                       "HeteroDoop filters are whole programs with a main() "
+                       "entry");
+    return result;
+  }
+
+  std::vector<Candidate> candidates;
+  std::vector<const Stmt*> annotated;
+  for (const auto& s : main_fn->body->stmts) {
+    FindCandidates(*s, &candidates, &annotated);
+  }
+
+  for (const Stmt* s : annotated) {
+    result.diags.Note("HD610", kPass, opts.source_name, s->directive->line, 0,
+                      "region already carries a mapreduce directive; left "
+                      "unchanged",
+                      "run with --strip to discard it and re-infer");
+    InferredRegion r;
+    r.cls = s->directive->kind == minic::Directive::Kind::kMapper
+                ? LoopClass::kMapEmission
+                : LoopClass::kKeyedReduction;
+    r.is_mapper = s->directive->kind == minic::Directive::Kind::kMapper;
+    r.line = s->line;
+    r.already_annotated = true;
+    result.regions.push_back(std::move(r));
+  }
+  if (candidates.empty() && annotated.empty()) {
+    result.diags.Error("HD603", kPass, opts.source_name, main_fn->line, 0,
+                       "no candidate record loop found in main(): nothing to "
+                       "parallelize",
+                       "mappers read records with a getline/getRecord while "
+                       "loop; combiners consume the sorted stream with "
+                       "scanf/getKV");
+    return result;
+  }
+
+  std::vector<std::pair<int, std::string>> inserts;
+  int synthesized = 0;
+  for (const Candidate& cand : candidates) {
+    Synthesis s = SynthesizeCandidate(*main_fn, cand, opts, &result.diags);
+    if (s.ok) {
+      ++synthesized;
+      inserts.emplace_back(s.region.line, s.region.directive);
+    }
+    result.regions.push_back(std::move(s.region));
+  }
+  result.diags.SortBySource();
+
+  if (!inserts.empty()) {
+    result.annotated_source =
+        InsertDirectives(result.stripped_source, std::move(inserts));
+  }
+  result.ok =
+      !result.diags.HasErrors() && (synthesized > 0 || !annotated.empty());
+  return result;
+}
+
+}  // namespace hd::analysis

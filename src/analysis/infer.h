@@ -1,0 +1,95 @@
+// hdinfer: Casper-style directive synthesis for plain mini-C programs.
+//
+// The engine walks un-annotated loop nests in main(), classifies each
+// candidate as map-emission / keyed-reduction / not-parallelizable, and
+// synthesizes a complete `#pragma mapreduce` directive:
+//
+//   candidate discovery   a while loop reading records (getline/getRecord
+//                         in the condition) is a mapper candidate; a block
+//                         (or bare loop) consuming the sorted KV stream
+//                         (scanf/getKV) is a combiner candidate
+//   dependence test       loop-carried variables (minic::AnalyzeLoopDependence
+//                         over the sema write sites) must be absent from a
+//                         mapper; in a combiner they must be the key-group
+//                         tracker or a commutative/associative accumulator
+//                         (+, *, ++, min/max via guarded rebind, resets)
+//   emission shape        key/value variables from the printf "k\tv\n"
+//                         emission sites; keyin/valuein from the scanf
+//                         fields; keylength/vallength from declared char[]
+//                         capacities; kvpairs from the static emission count
+//   placement hints       texture(...) for read-only indexed arrays (the
+//                         same eligibility rule as hdlint's HD402);
+//                         firstprivate(...) for accepted carried variables
+//
+// Every clause carries a provenance note (HD602) and the whole directive a
+// summary note (HD601); rejections are structured HD6xx errors, never
+// crashes. Correctness is pinned by round-trip equivalence tests: stripping
+// the pragmas from every benchmark app, re-inferring, and comparing both
+// kernel plans and executed map-task output byte-for-byte.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "minic/ast.h"
+
+namespace hd::analysis {
+
+struct InferOptions {
+  // Name used in diagnostic locations ("<source>" for in-memory programs).
+  std::string source_name = "<source>";
+  // Remove pre-existing mapreduce pragmas before inference (re-infer from
+  // scratch); otherwise annotated regions are left unchanged (HD610 note).
+  bool strip_existing = false;
+  // Emit one HD602 note per synthesized clause explaining where it came
+  // from (suppressed by the translator's inference hook).
+  bool provenance_notes = true;
+};
+
+// Classification of one candidate loop nest.
+enum class LoopClass {
+  kMapEmission,        // dependence-free record loop emitting KV pairs
+  kKeyedReduction,     // sorted-stream consumer with reduction-only carries
+  kNotParallelizable,  // carried dependence / no recognizable emission
+};
+
+const char* LoopClassName(LoopClass c);
+
+struct InferredRegion {
+  LoopClass cls = LoopClass::kNotParallelizable;
+  bool is_mapper = false;
+  // Line of the statement the directive attaches to (in the stripped
+  // source's numbering).
+  int line = 0;
+  // Complete single-line directive text ("#pragma mapreduce mapper ...");
+  // empty when the region was rejected or already annotated.
+  std::string directive;
+  bool already_annotated = false;
+};
+
+struct InferResult {
+  // Parse of the (possibly stripped) input; null on HD001 parse failure.
+  std::shared_ptr<minic::TranslationUnit> unit;
+  std::vector<InferredRegion> regions;
+  DiagnosticEngine diags;
+  // The input with mapreduce pragmas removed (== input unless
+  // strip_existing found any).
+  std::string stripped_source;
+  // stripped_source with every synthesized directive inserted (wrapped with
+  // backslash continuations) directly above its region.
+  std::string annotated_source;
+  // No errors and at least one region is annotated or was synthesized.
+  bool ok = false;
+};
+
+// Removes every `#pragma mapreduce` line, including backslash-continuation
+// lines, leaving all other source text untouched.
+std::string StripDirectives(const std::string& source);
+
+// Runs the full synthesis pipeline over `source`.
+InferResult InferDirectives(const std::string& source,
+                            const InferOptions& opts = {});
+
+}  // namespace hd::analysis

@@ -737,6 +737,11 @@ void RunPortabilityImpl(const PassContext& ctx, DiagnosticEngine* de) {
 
 }  // namespace
 
+EmitShape ComputeEmitShape(const minic::Stmt& per_record_body) {
+  const EmitCount ec = CountEmits(per_record_body);
+  return {ec.max_path, ec.in_loop};
+}
+
 void RunDirectiveCheck(const PassContext& ctx, DiagnosticEngine* de) {
   for (const RegionContext& rc : *ctx.regions) {
     CheckRegionDirective(rc, *ctx.opts, de);

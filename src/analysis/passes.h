@@ -27,4 +27,14 @@ void RunPlacementAudit(const PassContext& ctx, DiagnosticEngine* de);
 // Constructs the GPU path cannot execute (HD501..HD504).
 void RunPortability(const PassContext& ctx, DiagnosticEngine* de);
 
+// Static emission shape per record iteration (shared by kv-bounds and the
+// directive-synthesis engine): the longest straight-line emission count
+// through the per-record body, plus whether any emission sits inside a
+// further nested loop (statically unbounded).
+struct EmitShape {
+  int max_path = 0;
+  bool in_loop = false;
+};
+EmitShape ComputeEmitShape(const minic::Stmt& per_record_body);
+
 }  // namespace hd::analysis

@@ -8,12 +8,20 @@ namespace hd::gpurt {
 JobProgram CompileJob(const std::string& map_source,
                       const std::string& combine_source,
                       const std::string& reduce_source) {
+  return CompileJob(map_source, combine_source, reduce_source,
+                    translator::TranslateOptions{});
+}
+
+JobProgram CompileJob(const std::string& map_source,
+                      const std::string& combine_source,
+                      const std::string& reduce_source,
+                      const translator::TranslateOptions& options) {
   JobProgram job;
-  job.map = translator::Translate(map_source);
+  job.map = translator::Translate(map_source, options);
   HD_CHECK_MSG(job.map.map_plan.has_value(),
                "map source carries no mapper directive");
   if (!combine_source.empty()) {
-    job.combine = translator::Translate(combine_source);
+    job.combine = translator::Translate(combine_source, options);
     HD_CHECK_MSG(job.combine->combine_plan.has_value(),
                  "combine source carries no combiner directive");
   }

@@ -29,4 +29,11 @@ JobProgram CompileJob(const std::string& map_source,
                       const std::string& combine_source = "",
                       const std::string& reduce_source = "");
 
+// As above with explicit translator knobs — e.g. infer_missing_directives
+// to compile plain (pragma-free) map/combine filters via hdinfer synthesis.
+JobProgram CompileJob(const std::string& map_source,
+                      const std::string& combine_source,
+                      const std::string& reduce_source,
+                      const translator::TranslateOptions& options);
+
 }  // namespace hd::gpurt

@@ -141,8 +141,9 @@ class Parser {
   // --- statements ----------------------------------------------------------
 
   StmtPtr ParseBlock() {
+    const int line = Cur().line, col = Cur().col;  // the '{' itself
     Expect(Tok::kLBrace);
-    auto blk = std::make_unique<Stmt>(StmtKind::kBlock, Cur().line, Cur().col);
+    auto blk = std::make_unique<Stmt>(StmtKind::kBlock, line, col);
     while (!At(Tok::kRBrace)) {
       if (At(Tok::kEof)) Fail("unterminated block");
       blk->stmts.push_back(ParseStmt());

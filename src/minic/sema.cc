@@ -356,6 +356,228 @@ RegionInfo AnalyzeRegion(const FunctionDef& fn, const Stmt& region) {
   return info;
 }
 
+namespace {
+
+// Second, narrower walk over the loop: collects operator-classified write
+// sites (AccumSite) for the already-identified carried variables. Scope
+// tracking mirrors RegionWalker so shadowed redeclarations are skipped.
+class AccumWalker {
+ public:
+  AccumWalker(const std::set<std::string>& carried, LoopDepInfo* out)
+      : carried_(carried), out_(out) {
+    scopes_.emplace_back();
+  }
+
+  void WalkStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        WalkExpr(*s.expr);
+        break;
+      case StmtKind::kDecl:
+        for (const auto& d : s.decls) {
+          if (d.init) WalkExpr(*d.init);
+          scopes_.back().insert(d.name);
+        }
+        break;
+      case StmtKind::kBlock:
+        scopes_.emplace_back();
+        for (const auto& sub : s.stmts) WalkStmt(*sub);
+        scopes_.pop_back();
+        break;
+      case StmtKind::kIf:
+        WalkExpr(*s.expr);
+        if_conds_.push_back(s.expr.get());
+        WalkStmt(*s.then_stmt);
+        if (s.else_stmt) WalkStmt(*s.else_stmt);
+        if_conds_.pop_back();
+        break;
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+        WalkExpr(*s.expr);
+        WalkStmt(*s.body);
+        break;
+      case StmtKind::kFor:
+        scopes_.emplace_back();
+        if (s.init_stmt) WalkStmt(*s.init_stmt);
+        if (s.expr) WalkExpr(*s.expr);
+        WalkStmt(*s.body);
+        if (s.step) WalkExpr(*s.step);
+        scopes_.pop_back();
+        break;
+      case StmtKind::kReturn:
+        if (s.expr) WalkExpr(*s.expr);
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        break;
+    }
+  }
+
+ private:
+  bool DeclaredInside(const std::string& name) const {
+    for (const auto& sc : scopes_) {
+      if (sc.count(name)) return true;
+    }
+    return false;
+  }
+
+  // Resolves the base variable of an lvalue, noting element writes.
+  const Expr* BaseVar(const Expr& lhs, bool* element) const {
+    const Expr* base = &lhs;
+    for (;;) {
+      if (base->kind == ExprKind::kCast) {
+        base = base->a.get();
+      } else if (base->kind == ExprKind::kIndex) {
+        *element = true;
+        base = base->a.get();
+      } else if (base->kind == ExprKind::kUnary &&
+                 base->un_op == UnOp::kDeref) {
+        *element = true;
+        base = base->a.get();
+      } else {
+        break;
+      }
+    }
+    return base->kind == ExprKind::kVarRef ? base : nullptr;
+  }
+
+  static bool ExprReads(const Expr& e, const std::string& name) {
+    if (e.kind == ExprKind::kVarRef) return e.string_value == name;
+    bool found = false;
+    auto visit = [&](const Expr* sub) {
+      if (sub && !found) found = ExprReads(*sub, name);
+    };
+    visit(e.a.get());
+    visit(e.b.get());
+    visit(e.c.get());
+    for (const auto& arg : e.args) visit(arg.get());
+    return found;
+  }
+
+  // The min/max idiom: the innermost enclosing if compares the carried
+  // variable (v < x, x > v, ...) and the guarded body rebinds it.
+  bool UnderComparisonOf(const std::string& name) const {
+    if (if_conds_.empty()) return false;
+    const Expr& cond = *if_conds_.back();
+    if (cond.kind != ExprKind::kBinary) return false;
+    if (cond.bin_op != BinOp::kLt && cond.bin_op != BinOp::kLe &&
+        cond.bin_op != BinOp::kGt && cond.bin_op != BinOp::kGe) {
+      return false;
+    }
+    return ExprReads(cond, name);
+  }
+
+  void Record(const Expr& lhs, AccumSite site) {
+    bool element = false;
+    const Expr* base = BaseVar(lhs, &element);
+    if (base == nullptr) return;
+    const std::string& name = base->string_value;
+    if (DeclaredInside(name) || !carried_.count(name)) return;
+    site.line = lhs.line;
+    site.col = lhs.col;
+    site.element = element;
+    out_->accum_sites[name].push_back(site);
+  }
+
+  void WalkExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kStringLit:
+      case ExprKind::kVarRef:
+      case ExprKind::kSizeof:
+        return;
+      case ExprKind::kIndex:
+      case ExprKind::kCast:
+        WalkExpr(*e.a);
+        if (e.b) WalkExpr(*e.b);
+        return;
+      case ExprKind::kUnary:
+        switch (e.un_op) {
+          case UnOp::kPreInc:
+          case UnOp::kPostInc: {
+            AccumSite site;
+            site.increment = true;
+            Record(*e.a, site);
+            break;
+          }
+          case UnOp::kPreDec:
+          case UnOp::kPostDec: {
+            AccumSite site;
+            site.decrement = true;
+            Record(*e.a, site);
+            break;
+          }
+          default:
+            break;
+        }
+        WalkExpr(*e.a);
+        return;
+      case ExprKind::kBinary:
+      case ExprKind::kTernary:
+        WalkExpr(*e.a);
+        if (e.b) WalkExpr(*e.b);
+        if (e.c) WalkExpr(*e.c);
+        return;
+      case ExprKind::kAssign: {
+        AccumSite site;
+        site.op = e.assign_op;
+        if (e.assign_op == AssignOp::kAssign) {
+          bool element = false;
+          const Expr* base = BaseVar(*e.a, &element);
+          if (base != nullptr) {
+            site.rhs_reads_self = ExprReads(*e.b, base->string_value);
+            site.minmax_guarded =
+                !site.rhs_reads_self && UnderComparisonOf(base->string_value);
+          }
+        }
+        Record(*e.a, site);
+        WalkExpr(*e.b);
+        WalkExpr(*e.a);
+        return;
+      }
+      case ExprKind::kCall:
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          const Expr& arg = *e.args[i];
+          if (BuiltinWritesArg(e.string_value, i)) {
+            AccumSite site;
+            site.via_builtin = true;
+            if (arg.kind == ExprKind::kUnary && arg.un_op == UnOp::kAddrOf) {
+              Record(*arg.a, site);
+            } else {
+              Record(arg, site);
+            }
+          }
+          WalkExpr(arg);
+        }
+        return;
+    }
+  }
+
+  const std::set<std::string>& carried_;
+  LoopDepInfo* out_;
+  std::vector<std::set<std::string>> scopes_;
+  std::vector<const Expr*> if_conds_;
+};
+
+}  // namespace
+
+LoopDepInfo AnalyzeLoopDependence(const FunctionDef& fn, const Stmt& loop) {
+  LoopDepInfo info;
+  info.region = AnalyzeRegion(fn, loop);
+  for (const auto& name : info.region.read_before_write) {
+    auto it = info.region.write_sites.find(name);
+    if (it != info.region.write_sites.end() && !it->second.empty()) {
+      info.carried.insert(name);
+    }
+  }
+  if (!info.carried.empty()) {
+    AccumWalker walker(info.carried, &info);
+    walker.WalkStmt(loop);
+  }
+  return info;
+}
+
 const Stmt* FindDirectiveRegion(const FunctionDef& fn, Directive::Kind kind) {
   const Stmt* found = nullptr;
   std::function<void(const Stmt&)> walk = [&](const Stmt& s) {

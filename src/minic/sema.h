@@ -60,6 +60,50 @@ struct RegionInfo {
 // region is actually reachable inside the function body.
 RegionInfo AnalyzeRegion(const FunctionDef& fn, const Stmt& region);
 
+// ---------------------------------------------------------------------------
+// Loop-carried dependence facts (directive synthesis, hdinfer).
+// ---------------------------------------------------------------------------
+
+// One write to a loop-carried variable, with the operator detail the
+// reduction-pattern matcher needs (WriteSite only records *that* a compound
+// write happened, not which operator carried the old value forward).
+struct AccumSite {
+  int line = 0;
+  int col = 0;
+  // Compound assignment operator (v op= e); kAssign for plain assignments,
+  // ++/--, and builtin writes.
+  AssignOp op = AssignOp::kAssign;
+  bool increment = false;    // v++ / ++v
+  bool decrement = false;    // v-- / --v
+  bool element = false;      // wrote one element (v[i] / *v)
+  bool via_builtin = false;  // write-only builtin argument (strcpy dst, ...)
+  // Plain assignment whose RHS reads v (v = v - x escapes the compound
+  // check; the matcher treats it like the equivalent compound write).
+  bool rhs_reads_self = false;
+  // Plain assignment guarded by an if whose condition compares v against
+  // the assigned value: the min/max reduction idiom.
+  bool minmax_guarded = false;
+};
+
+// Dependence facts for one candidate loop: which outer variables carry a
+// value from iteration i into iteration i+1. A variable is loop-carried
+// when the loop both writes it and (on some path) reads it before every
+// write of the same iteration — the next iteration then observes the
+// previous one's store, so iterations cannot run as independent threads
+// unless the carried updates form a commutative/associative reduction.
+struct LoopDepInfo {
+  // The underlying region facts for the loop statement itself.
+  RegionInfo region;
+  // Outer variables carried across iterations, in name order.
+  std::set<std::string> carried;
+  // Every write to a carried variable, with operator detail, source order.
+  std::map<std::string, std::vector<AccumSite>> accum_sites;
+};
+
+// Analyzes the loop-carried dependences of `loop` (a while/do/for statement
+// within fn->body). HD_CHECKs that the loop is reachable in the function.
+LoopDepInfo AnalyzeLoopDependence(const FunctionDef& fn, const Stmt& loop);
+
 // Finds the first statement in the function carrying a directive of the
 // given kind, or null.
 const Stmt* FindDirectiveRegion(const FunctionDef& fn, Directive::Kind kind);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/analyzer.h"
+#include "analysis/infer.h"
 #include "common/check.h"
 
 namespace hd::translator {
@@ -149,10 +150,26 @@ KernelPlan BuildPlan(const analysis::RegionContext& rc,
 
 TranslatedProgram Translate(const std::string& source,
                             const TranslateOptions& options) {
+  // Phase 0 (opt-in): synthesize directives for plain mini-C programs.
+  std::string annotated = source;
+  if (options.infer_missing_directives &&
+      source.find("mapreduce") == std::string::npos) {
+    analysis::InferOptions iopts;
+    iopts.source_name = options.source_name;
+    iopts.provenance_notes = false;
+    analysis::InferResult ir = analysis::InferDirectives(source, iopts);
+    if (!ir.ok) {
+      throw TranslateError(
+          "cannot infer mapreduce directives:\n" + ir.diags.RenderText(),
+          ir.diags.diagnostics());
+    }
+    annotated = ir.annotated_source;
+  }
+
   // Phase 1: run the full hdlint pass pipeline. Any error aborts with one
   // TranslateError reporting every problem found, not just the first.
   analysis::AnalysisResult ar =
-      analysis::AnalyzeSource(source, AnalyzerOptionsFor(options));
+      analysis::AnalyzeSource(annotated, AnalyzerOptionsFor(options));
   if (ar.diags.HasErrors()) {
     throw TranslateError(
         "mapreduce program failed static analysis:\n" + ar.diags.RenderText(),

@@ -113,6 +113,10 @@ struct TranslateOptions {
   int double_text_bytes = 28;
   // Name used in diagnostic locations ("<source>" for in-memory programs).
   std::string source_name = "<source>";
+  // When the source carries no mapreduce pragma, run the hdinfer synthesis
+  // engine first and translate the annotated program it produces. Inference
+  // failures surface as a TranslateError carrying the HD6xx diagnostics.
+  bool infer_missing_directives = false;
 };
 
 // Parses `source`, runs every hdlint analysis pass, and builds kernel plans

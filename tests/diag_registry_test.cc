@@ -1,0 +1,121 @@
+// The HDnnn registry is the single minting point for diagnostic ids. These
+// tests fail the build when an id is duplicated, a hundred-block has gaps,
+// or the registry drifts from the ids the analysis sources actually emit.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diag_registry.h"
+
+namespace hd::analysis {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Every "HDnnn" string literal in a source file.
+std::set<std::string> IdsInFile(const std::string& path) {
+  const std::string text = ReadFile(path);
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i + 6 <= text.size(); ++i) {
+    if (text[i] != '"' || text.compare(i + 1, 2, "HD") != 0) continue;
+    if (i + 6 < text.size() && std::isdigit(text[i + 3]) &&
+        std::isdigit(text[i + 4]) && std::isdigit(text[i + 5]) &&
+        text[i + 6] == '"') {
+      ids.insert(text.substr(i + 1, 5));
+    }
+  }
+  return ids;
+}
+
+// The analysis sources that emit diagnostics (excluding the registry
+// itself, which by construction mentions every id).
+const std::vector<std::string>& EmittingSources() {
+  static const std::vector<std::string> files = {
+      std::string(HD_REPO_DIR) + "/src/analysis/analyzer.cc",
+      std::string(HD_REPO_DIR) + "/src/analysis/passes.cc",
+      std::string(HD_REPO_DIR) + "/src/analysis/infer.cc",
+  };
+  return files;
+}
+
+TEST(DiagRegistry, NoDuplicateIds) {
+  std::set<std::string> seen;
+  for (const DiagInfo& d : DiagRegistry()) {
+    EXPECT_TRUE(seen.insert(d.id).second) << "duplicate id " << d.id;
+  }
+}
+
+TEST(DiagRegistry, IdsAreOrderedAndWellFormed) {
+  std::string prev;
+  for (const DiagInfo& d : DiagRegistry()) {
+    const std::string id = d.id;
+    ASSERT_EQ(id.size(), 5u) << id;
+    ASSERT_EQ(id.substr(0, 2), "HD") << id;
+    EXPECT_LT(prev, id) << "registry must be sorted by id";
+    prev = id;
+    EXPECT_NE(std::string(d.pass), "") << id;
+    EXPECT_NE(std::string(d.summary), "") << id;
+  }
+}
+
+TEST(DiagRegistry, HundredBlocksAreGapless) {
+  // Within each hundred-block (one pass family) ids run consecutively from
+  // n*100 + 1: a gap means an id was retired without renumbering or a new
+  // id skipped ahead.
+  std::map<int, std::vector<int>> blocks;
+  for (const DiagInfo& d : DiagRegistry()) {
+    const int n = std::stoi(std::string(d.id).substr(2));
+    blocks[n / 100].push_back(n % 100);
+  }
+  EXPECT_FALSE(blocks.empty());
+  for (const auto& [block, ids] : blocks) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(ids[i], static_cast<int>(i) + 1)
+          << "gap in HD" << block << "xx block at position " << i;
+    }
+  }
+}
+
+TEST(DiagRegistry, EveryEmittedIdIsRegistered) {
+  for (const std::string& file : EmittingSources()) {
+    for (const std::string& id : IdsInFile(file)) {
+      EXPECT_NE(FindDiag(id), nullptr)
+          << id << " is emitted in " << file << " but not registered";
+    }
+  }
+}
+
+TEST(DiagRegistry, EveryRegisteredIdIsEmittedSomewhere) {
+  std::set<std::string> emitted;
+  for (const std::string& file : EmittingSources()) {
+    const auto ids = IdsInFile(file);
+    emitted.insert(ids.begin(), ids.end());
+  }
+  for (const DiagInfo& d : DiagRegistry()) {
+    EXPECT_TRUE(emitted.count(d.id))
+        << d.id << " is registered but no analysis source emits it";
+  }
+}
+
+TEST(DiagRegistry, FindDiagHandlesUnknownIds) {
+  EXPECT_EQ(FindDiag("HD999"), nullptr);
+  EXPECT_EQ(FindDiag(""), nullptr);
+  const DiagInfo* d = FindDiag("HD601");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(std::string(d->pass), "infer");
+}
+
+}  // namespace
+}  // namespace hd::analysis

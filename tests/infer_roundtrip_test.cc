@@ -1,0 +1,158 @@
+// Round-trip equivalence: strip the hand-written #pragma mapreduce
+// directives from every benchmark app, re-infer them with hdinfer, and pin
+// the result — the inferred kernel plans must agree with the hand-annotated
+// plans, and the executed map tasks (CPU and GPU paths) must produce
+// byte-identical partitions across input seeds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/infer.h"
+#include "apps/benchmark.h"
+#include "gpurt/cpu_task.h"
+#include "gpurt/gpu_task.h"
+#include "gpurt/job_program.h"
+#include "translator/translator.h"
+
+namespace hd {
+namespace {
+
+using apps::Benchmark;
+using apps::GetBenchmark;
+
+constexpr std::uint64_t kSeeds[] = {1, 7, 42};
+
+// Strips the pragma and re-infers, asserting success; returns the
+// re-annotated source.
+std::string ReInfer(const std::string& source, const std::string& what) {
+  const std::string stripped = analysis::StripDirectives(source);
+  EXPECT_NE(stripped, source) << what << ": app source carries no pragma?";
+  analysis::InferOptions opts;
+  opts.source_name = what;
+  const analysis::InferResult r = analysis::InferDirectives(stripped, opts);
+  EXPECT_TRUE(r.ok) << what << " failed to infer:\n" << r.diags.RenderText();
+  return r.annotated_source;
+}
+
+void ExpectPlansAgree(const translator::KernelPlan& orig,
+                      const translator::KernelPlan& inf,
+                      const std::string& what) {
+  EXPECT_EQ(orig.kind, inf.kind) << what;
+  EXPECT_EQ(orig.key_var, inf.key_var) << what;
+  EXPECT_EQ(orig.value_var, inf.value_var) << what;
+  EXPECT_EQ(orig.keyin_var, inf.keyin_var) << what;
+  EXPECT_EQ(orig.valuein_var, inf.valuein_var) << what;
+  EXPECT_EQ(orig.kv.key_slot_bytes, inf.kv.key_slot_bytes) << what;
+  EXPECT_EQ(orig.kv.val_slot_bytes, inf.kv.val_slot_bytes) << what;
+  EXPECT_EQ(orig.kv.key_is_array, inf.kv.key_is_array) << what;
+  EXPECT_EQ(orig.kv.val_is_array, inf.kv.val_is_array) << what;
+  // Algorithm-1 placements must match variable by variable: a texture or
+  // firstprivate drift would silently change the GPU execution.
+  ASSERT_EQ(orig.vars.size(), inf.vars.size()) << what;
+  for (std::size_t i = 0; i < orig.vars.size(); ++i) {
+    EXPECT_EQ(orig.vars[i].name, inf.vars[i].name) << what;
+    EXPECT_EQ(orig.vars[i].cls, inf.vars[i].cls)
+        << what << " var " << orig.vars[i].name;
+  }
+}
+
+void ExpectSamePartitions(const gpurt::MapTaskResult& a,
+                          const gpurt::MapTaskResult& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.partitions.size(), b.partitions.size()) << what;
+  for (std::size_t p = 0; p < a.partitions.size(); ++p) {
+    ASSERT_EQ(a.partitions[p].size(), b.partitions[p].size())
+        << what << " partition " << p;
+    for (std::size_t i = 0; i < a.partitions[p].size(); ++i) {
+      ASSERT_EQ(a.partitions[p][i].key, b.partitions[p][i].key)
+          << what << " partition " << p << " pair " << i;
+      ASSERT_EQ(a.partitions[p][i].value, b.partitions[p][i].value)
+          << what << " partition " << p << " pair " << i;
+    }
+  }
+}
+
+class InferRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InferRoundTrip, StrippedBenchmarkReInfersAndPinsOutputs) {
+  const Benchmark& bench = GetBenchmark(GetParam());
+
+  // strip -> infer -> re-annotate both filters.
+  const std::string map_inferred = ReInfer(bench.map_source, bench.id + ".map");
+  std::string combine_inferred;
+  if (bench.has_combiner) {
+    combine_inferred = ReInfer(bench.combine_source, bench.id + ".combine");
+  }
+  if (::testing::Test::HasFailure()) return;
+
+  const gpurt::JobProgram orig = gpurt::CompileJob(
+      bench.map_source, bench.combine_source, bench.reduce_source);
+  const gpurt::JobProgram inferred = gpurt::CompileJob(
+      map_inferred, combine_inferred, bench.reduce_source);
+
+  ASSERT_TRUE(orig.map.map_plan && inferred.map.map_plan);
+  ExpectPlansAgree(*orig.map.map_plan, *inferred.map.map_plan,
+                   bench.id + ".map");
+  ASSERT_EQ(orig.has_combiner(), inferred.has_combiner());
+  if (orig.has_combiner()) {
+    ASSERT_TRUE(orig.combine->combine_plan && inferred.combine->combine_plan);
+    ExpectPlansAgree(*orig.combine->combine_plan,
+                     *inferred.combine->combine_plan, bench.id + ".combine");
+  }
+
+  // Pinned outputs: identical schedules must yield byte-identical
+  // partitions on both execution paths, for every seed.
+  const gpusim::CpuConfig cpu = gpusim::CpuConfig::XeonE5_2680();
+  for (const std::uint64_t seed : kSeeds) {
+    const std::string split = bench.generate(2500, seed);
+    const std::string what = bench.id + " seed " + std::to_string(seed);
+
+    gpurt::CpuTaskOptions copts;
+    copts.num_reducers = bench.map_only ? 0 : 2;
+    ExpectSamePartitions(gpurt::CpuMapTask(orig, cpu, copts).Run(split),
+                         gpurt::CpuMapTask(inferred, cpu, copts).Run(split),
+                         what + " cpu");
+
+    gpurt::GpuTaskOptions gopts;
+    gopts.num_reducers = bench.map_only ? 0 : 2;
+    gopts.blocks = 4;
+    gopts.threads = 64;
+    gpusim::GpuDevice d0(gpusim::DeviceConfig::TeslaK40());
+    gpusim::GpuDevice d1(gpusim::DeviceConfig::TeslaK40());
+    ExpectSamePartitions(gpurt::GpuMapTask(orig, &d0, gopts).Run(split),
+                         gpurt::GpuMapTask(inferred, &d1, gopts).Run(split),
+                         what + " gpu");
+  }
+}
+
+TEST_P(InferRoundTrip, TranslatorHookCompilesStrippedSources) {
+  // The one-call path: CompileJob with infer_missing_directives compiles
+  // pragma-free filters directly.
+  const Benchmark& bench = GetBenchmark(GetParam());
+  translator::TranslateOptions opts;
+  opts.infer_missing_directives = true;
+  const gpurt::JobProgram job = gpurt::CompileJob(
+      analysis::StripDirectives(bench.map_source),
+      bench.has_combiner ? analysis::StripDirectives(bench.combine_source)
+                         : std::string(),
+      bench.reduce_source, opts);
+  ASSERT_TRUE(job.map.map_plan.has_value());
+  EXPECT_EQ(job.has_combiner(), bench.has_combiner);
+}
+
+std::vector<std::string> AllIds() {
+  std::vector<std::string> ids;
+  for (const auto& b : apps::AllBenchmarks()) ids.push_back(b.id);
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, InferRoundTrip,
+                         ::testing::ValuesIn(AllIds()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace hd

@@ -1,0 +1,374 @@
+// Tests for the hdinfer directive-synthesis engine: pragma stripping,
+// candidate classification, clause synthesis with provenance, the
+// inference-negative corpus (golden-compared), source rewriting, and the
+// deterministic JSON/SARIF renderings.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/diag_registry.h"
+#include "analysis/infer.h"
+#include "translator/translator.h"
+
+namespace hd::analysis {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const Diagnostic* FindId(const DiagnosticEngine& de, const std::string& id) {
+  for (const auto& d : de.diagnostics()) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+int CountId(const DiagnosticEngine& de, const std::string& id) {
+  int n = 0;
+  for (const auto& d : de.diagnostics()) {
+    if (d.id == id) ++n;
+  }
+  return n;
+}
+
+constexpr const char* kPlainWordcount = R"(
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+  int i = offset;
+  int j = 0;
+  while (i < read && !isalnum(line[i])) i++;
+  if (i >= read) return -1;
+  while (i < read && isalnum(line[i]) && j < maxw - 1) {
+    word[j] = line[i];
+    i++;
+    j++;
+  }
+  word[j] = '\0';
+  return i - offset;
+}
+int main() {
+  char word[32], *line;
+  size_t nbytes = 10000;
+  int read, linePtr, offset, one;
+  line = (char*) malloc(nbytes * sizeof(char));
+  while ((read = getline(&line, &nbytes, stdin)) != -1) {
+    linePtr = 0;
+    offset = 0;
+    one = 1;
+    while ((linePtr = getWord(line, offset, word, read, 32)) != -1) {
+      printf("%s\t%d\n", word, one);
+      offset += linePtr;
+    }
+  }
+  free(line);
+  return 0;
+}
+)";
+
+constexpr const char* kPlainSumCombiner = R"(
+int main() {
+  char key[32], prevKey[32];
+  int count, val, read;
+  prevKey[0] = '\0';
+  count = 0;
+  {
+    while ((read = scanf("%s %d", key, &val)) == 2) {
+      if (strcmp(key, prevKey) == 0) {
+        count += val;
+      } else {
+        if (prevKey[0] != '\0')
+          printf("%s\t%d\n", prevKey, count);
+        strcpy(prevKey, key);
+        count = val;
+      }
+    }
+    if (prevKey[0] != '\0')
+      printf("%s\t%d\n", prevKey, count);
+  }
+  return 0;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// StripDirectives.
+// ---------------------------------------------------------------------------
+
+TEST(StripDirectives, RemovesPragmaAndContinuationLines) {
+  const std::string src =
+      "int main() {\n"
+      "  #pragma mapreduce mapper key(k) value(v) \\\n"
+      "    keylength(16) \\\n"
+      "    kvpairs(1)\n"
+      "  while (x) { }\n"
+      "  return 0;\n"
+      "}\n";
+  EXPECT_EQ(StripDirectives(src),
+            "int main() {\n  while (x) { }\n  return 0;\n}\n");
+}
+
+TEST(StripDirectives, LeavesOtherPragmasAndTextAlone) {
+  const std::string src = "#pragma once\nint x;\n";
+  EXPECT_EQ(StripDirectives(src), src);
+}
+
+// ---------------------------------------------------------------------------
+// Mapper synthesis.
+// ---------------------------------------------------------------------------
+
+TEST(InferMapper, SynthesizesWordcountDirective) {
+  const InferResult r = InferDirectives(kPlainWordcount);
+  ASSERT_TRUE(r.ok) << r.diags.RenderText();
+  ASSERT_EQ(r.regions.size(), 1u);
+  EXPECT_EQ(r.regions[0].cls, LoopClass::kMapEmission);
+  EXPECT_TRUE(r.regions[0].is_mapper);
+  EXPECT_EQ(r.regions[0].directive,
+            "#pragma mapreduce mapper key(word) value(one) keylength(32)");
+  EXPECT_NE(FindId(r.diags, "HD601"), nullptr);
+  // One provenance note per synthesized clause.
+  EXPECT_EQ(CountId(r.diags, "HD602"), 3);
+}
+
+TEST(InferMapper, RewrittenSourceCarriesTheDirective) {
+  const InferResult r = InferDirectives(kPlainWordcount);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.annotated_source.find(
+                "  #pragma mapreduce mapper key(word) value(one)"),
+            std::string::npos);
+  // The annotated program passes the translator unmodified.
+  const auto prog = translator::Translate(r.annotated_source);
+  ASSERT_TRUE(prog.map_plan.has_value());
+  EXPECT_EQ(prog.map_plan->key_var, "word");
+  EXPECT_EQ(prog.map_plan->value_var, "one");
+  EXPECT_EQ(prog.map_plan->kv.key_slot_bytes, 32);
+}
+
+TEST(InferMapper, ReInferringAnnotatedSourceReportsHD610) {
+  const InferResult first = InferDirectives(kPlainWordcount);
+  ASSERT_TRUE(first.ok);
+  const InferResult again = InferDirectives(first.annotated_source);
+  EXPECT_TRUE(again.ok);
+  ASSERT_EQ(again.regions.size(), 1u);
+  EXPECT_TRUE(again.regions[0].already_annotated);
+  EXPECT_NE(FindId(again.diags, "HD610"), nullptr);
+  // --strip mode discards the pragma and re-synthesizes the same directive.
+  InferOptions strip;
+  strip.strip_existing = true;
+  const InferResult redo = InferDirectives(first.annotated_source, strip);
+  ASSERT_TRUE(redo.ok);
+  ASSERT_EQ(redo.regions.size(), 1u);
+  EXPECT_EQ(redo.regions[0].directive,
+            "#pragma mapreduce mapper key(word) value(one) keylength(32)");
+}
+
+// ---------------------------------------------------------------------------
+// Combiner synthesis.
+// ---------------------------------------------------------------------------
+
+TEST(InferCombiner, SynthesizesSumCombinerDirective) {
+  const InferResult r = InferDirectives(kPlainSumCombiner);
+  ASSERT_TRUE(r.ok) << r.diags.RenderText();
+  ASSERT_EQ(r.regions.size(), 1u);
+  EXPECT_EQ(r.regions[0].cls, LoopClass::kKeyedReduction);
+  EXPECT_FALSE(r.regions[0].is_mapper);
+  EXPECT_EQ(r.regions[0].directive,
+            "#pragma mapreduce combiner key(prevKey) value(count) keyin(key) "
+            "valuein(val) keylength(32) firstprivate(count, prevKey)");
+}
+
+TEST(InferCombiner, DirectiveAttachesToTheBlockNotTheLoop) {
+  const InferResult r = InferDirectives(kPlainSumCombiner);
+  ASSERT_TRUE(r.ok);
+  // The pragma must sit above the `{` so the trailing group flush stays
+  // inside the combiner region.
+  const std::size_t pragma_pos = r.annotated_source.find("#pragma mapreduce");
+  const std::size_t block_pos = r.annotated_source.find("\n  {\n");
+  ASSERT_NE(pragma_pos, std::string::npos);
+  ASSERT_NE(block_pos, std::string::npos);
+  EXPECT_LT(pragma_pos, block_pos);
+  const auto prog = translator::Translate(r.annotated_source);
+  ASSERT_TRUE(prog.combine_plan.has_value());
+  EXPECT_EQ(prog.combine_plan->key_var, "prevKey");
+  EXPECT_EQ(prog.combine_plan->keyin_var, "key");
+  EXPECT_EQ(prog.combine_plan->valuein_var, "val");
+}
+
+// ---------------------------------------------------------------------------
+// Rejections are structured diagnostics, never crashes.
+// ---------------------------------------------------------------------------
+
+TEST(InferNegative, NoMainIsHD603) {
+  const InferResult r = InferDirectives("int helper(int x) { return x; }\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(FindId(r.diags, "HD603"), nullptr);
+}
+
+TEST(InferNegative, NoCandidateLoopIsHD603) {
+  const InferResult r = InferDirectives(
+      "int main() {\n  int i;\n  i = 0;\n  while (i < 10) i++;\n"
+      "  return 0;\n}\n");
+  EXPECT_FALSE(r.ok);
+  const Diagnostic* d = FindId(r.diags, "HD603");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("no candidate record loop"), std::string::npos);
+}
+
+TEST(InferNegative, RecordLoopThatNeverEmitsIsHD604) {
+  const InferResult r = InferDirectives(
+      "int main() {\n"
+      "  char *line;\n"
+      "  size_t nbytes = 128;\n"
+      "  int read, total;\n"
+      "  total = 0;\n"
+      "  line = (char*) malloc(nbytes * sizeof(char));\n"
+      "  while ((read = getline(&line, &nbytes, stdin)) != -1) {\n"
+      "    read = read + 0;\n"
+      "  }\n"
+      "  free(line);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(FindId(r.diags, "HD604"), nullptr);
+}
+
+TEST(InferNegative, DisagreeingEmissionSitesAreHD605) {
+  const InferResult r = InferDirectives(
+      "int main() {\n"
+      "  char *line;\n"
+      "  size_t nbytes = 128;\n"
+      "  int read, a, b;\n"
+      "  line = (char*) malloc(nbytes * sizeof(char));\n"
+      "  while ((read = getline(&line, &nbytes, stdin)) != -1) {\n"
+      "    a = atoi(line);\n"
+      "    b = a + 1;\n"
+      "    if (a > 0) printf(\"%d\\t%d\\n\", a, b);\n"
+      "    else printf(\"%d\\t%d\\n\", b, a);\n"
+      "  }\n"
+      "  free(line);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(FindId(r.diags, "HD605"), nullptr);
+}
+
+TEST(InferNegative, NonLiteralEmissionShapeIsHD609) {
+  const InferResult r = InferDirectives(
+      "int main() {\n"
+      "  char *line;\n"
+      "  size_t nbytes = 128;\n"
+      "  int read, a;\n"
+      "  line = (char*) malloc(nbytes * sizeof(char));\n"
+      "  while ((read = getline(&line, &nbytes, stdin)) != -1) {\n"
+      "    a = atoi(line);\n"
+      "    printf(\"%d %d\\n\", a, read);\n"
+      "  }\n"
+      "  free(line);\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(FindId(r.diags, "HD609"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Inference-negative corpus: examples/bad/<case>.c vs <case>.expected.
+// ---------------------------------------------------------------------------
+
+void CheckGolden(const std::string& name, const std::string& want_id) {
+  const std::string dir = std::string(HD_REPO_DIR) + "/examples/bad/";
+  const std::string source = ReadFile(dir + name + ".c");
+  const std::string expected = ReadFile(dir + name + ".expected");
+  InferOptions opts;
+  opts.source_name = name + ".c";  // goldens are recorded with bare names
+  const InferResult r = InferDirectives(source, opts);
+  EXPECT_FALSE(r.ok) << "corpus case " << name;
+  EXPECT_EQ(r.diags.RenderText(), expected) << "corpus case " << name;
+  EXPECT_NE(FindId(r.diags, want_id), nullptr) << "corpus case " << name;
+}
+
+TEST(InferBadCorpus, LoopCarriedGolden) {
+  CheckGolden("infer_loop_carried", "HD606");
+}
+TEST(InferBadCorpus, NonAssociativeReductionGolden) {
+  CheckGolden("infer_nonassoc_reduction", "HD607");
+}
+TEST(InferBadCorpus, WriteAfterReadAliasGolden) {
+  CheckGolden("infer_war_alias", "HD608");
+}
+
+// The positive corpus infers cleanly and the rewrite is hdlint-clean.
+TEST(InferCorpus, PlainExamplesInferAndRewriteCleanly) {
+  const std::string dir = std::string(HD_REPO_DIR) + "/examples/infer/";
+  for (const char* name : {"wordcount_plain", "sum_combiner_plain"}) {
+    const InferResult r = InferDirectives(ReadFile(dir + name + ".c"));
+    EXPECT_TRUE(r.ok) << name << "\n" << r.diags.RenderText();
+    EXPECT_NO_THROW(translator::Translate(r.annotated_source)) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Translator integration: infer_missing_directives.
+// ---------------------------------------------------------------------------
+
+TEST(TranslatorHook, InfersDirectivesForPlainSources) {
+  translator::TranslateOptions opts;
+  opts.infer_missing_directives = true;
+  const auto prog = translator::Translate(kPlainWordcount, opts);
+  ASSERT_TRUE(prog.map_plan.has_value());
+  EXPECT_EQ(prog.map_plan->key_var, "word");
+  EXPECT_EQ(prog.map_plan->kv.key_slot_bytes, 32);
+}
+
+TEST(TranslatorHook, InferenceFailureSurfacesHD6xxDiagnostics) {
+  translator::TranslateOptions opts;
+  opts.infer_missing_directives = true;
+  const std::string dir = std::string(HD_REPO_DIR) + "/examples/bad/";
+  try {
+    translator::Translate(ReadFile(dir + "infer_loop_carried.c"), opts);
+    FAIL() << "expected TranslateError";
+  } catch (const translator::TranslateError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics()[0].id, "HD606");
+  }
+}
+
+TEST(TranslatorHook, OffByDefaultStillRequiresDirectives) {
+  EXPECT_THROW(translator::Translate(kPlainWordcount),
+               translator::TranslateError);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic machine-readable renderings.
+// ---------------------------------------------------------------------------
+
+TEST(InferOutput, JsonAndSarifAreDeterministic) {
+  const InferResult a = InferDirectives(kPlainWordcount);
+  const InferResult b = InferDirectives(kPlainWordcount);
+  EXPECT_EQ(a.diags.RenderJson(), b.diags.RenderJson());
+  EXPECT_EQ(a.diags.RenderSarif("hdinfer"), b.diags.RenderSarif("hdinfer"));
+  EXPECT_EQ(a.annotated_source, b.annotated_source);
+}
+
+TEST(InferOutput, SarifCarriesRegistryRulesAndResults) {
+  const std::string dir = std::string(HD_REPO_DIR) + "/examples/bad/";
+  InferOptions opts;
+  opts.source_name = "infer_war_alias.c";
+  const InferResult r =
+      InferDirectives(ReadFile(dir + "infer_war_alias.c"), opts);
+  const std::string sarif = r.diags.RenderSarif("hdinfer");
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"hdinfer\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"HD608\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+  // The rule table entry comes from the shared registry.
+  const DiagInfo* info = FindDiag("HD608");
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(sarif.find(info->summary), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hd::analysis
