@@ -1,0 +1,369 @@
+// DES core scaling: events/sec of the redesigned event core on a
+// synthetic 10k-tracker / 1M-task trace — the million-task workload
+// ROADMAP's "DES hot-path speed" item calls for, replayed directly
+// against des::Scheduler so the measurement isolates the event core
+// from JobTracker bookkeeping.
+//
+// The trace mirrors the cluster engines' event mix:
+//   - per-tracker heartbeat chains (staggered offsets, one standing event
+//     per tracker that reschedules itself every heartbeat_sec until the
+//     horizon) — the O(pending) pressure that motivates the calendar
+//     queue's O(1) amortized push/pop;
+//   - one pre-scheduled task-outcome event per task at a pseudo-random
+//     time in the horizon (the AttemptDone/AttemptFailed population);
+//   - a speculation duel on every 16th task: the handler schedules a
+//     shadow attempt and cancels the previous duel's handle, exercising
+//     generation-checked cancellation on the hot path.
+//
+// Four cores replay it:
+//   legacy    — a faithful replica of the pre-redesign EventQueue (binary
+//               heap of 48-byte nodes, one heap-allocated std::function
+//               per event, cancellation by dead-closure no-op). The
+//               baseline the tentpole is measured against.
+//   heap      — des::Scheduler reference backend: same binary-heap
+//               discipline, but pooled records and 24-byte keys.
+//   calendar  — the calendar-queue backend (the repo-wide default).
+//   calendar+batch-hb — calendar again, with the heartbeat chains
+//               collapsed to one cluster-wide chain whose tick services
+//               every tracker (ClusterConfig::batch_heartbeats' shape).
+//
+// Every row reports *serviced* trace events per second: the logical
+// heartbeats, task outcomes, and surviving shadow attempts delivered to
+// handlers. A batched tick services `trackers` heartbeats at once, and a
+// dead closure services nothing, so the numerator is the same modeled
+// workload (2,000,001 events at full scale) for all four rows — the
+// throughput column divides like-for-like.
+//
+// The run checksums the live event stream (FNV over time bits x a visit
+// counter) and HD_CHECKs all per-tracker cores agree — legacy included.
+// The redesigned core must reproduce the legacy core's event stream
+// bit-identically; this is the contract every modeled pin relies on,
+// asserted at million-event scale.
+//
+// modeled_seconds is the deterministic horizon sum (never wall-clock),
+// so the suite document stays comparable across machines; the wall-clock
+// throughputs are exported as "pinned." metrics, which hdprof compare
+// scores against its generous pinned threshold only.
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench/reporter.h"
+#include "common/check.h"
+#include "common/prng.h"
+#include "common/strings.h"
+#include "des/scheduler.h"
+
+namespace {
+
+struct TraceParams {
+  int trackers = 0;
+  std::int64_t tasks = 0;
+  double horizon_sec = 0.0;
+  double heartbeat_sec = 3.0;
+  bool batch_heartbeats = false;
+  std::uint64_t seed = 0;
+};
+
+// ---------------------------------------------------------------------
+// The pre-redesign core, replicated verbatim from the seed's
+// hadoop::EventQueue: a binary heap of {time, seq, std::function} nodes.
+// Every schedule heap-allocates a closure; every pop copies one off the
+// heap top; canceled work stays queued and pops as a no-op.
+class LegacyQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void At(double time, Fn fn) {
+    heap_.push(Event{time, seq_++, std::move(fn)});
+  }
+  void After(double delay, Fn fn) { At(now_ + delay, std::move(fn)); }
+  double now() const { return now_; }
+
+  bool Step() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Fn fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+// Shared replay state: one instance per (core, params) run.
+struct Replay {
+  hd::des::Scheduler* sched = nullptr;
+  TraceParams p;
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;  // FNV-1a basis
+  std::uint64_t serviced = 0;  // logical trace events delivered
+  hd::des::EventHandle duel;  // last speculation shadow, canceled by the next
+
+  // Folds (now, serviced-counter) into the checksum. Only live events
+  // observe, so the stream is comparable across all per-tracker cores.
+  void Observe(double now) {
+    checksum = (checksum ^ std::bit_cast<std::uint64_t>(now)) *
+               0x100000001b3ULL;
+    checksum = (checksum ^ ++serviced) * 0x100000001b3ULL;
+  }
+};
+
+void ShadowEvent(void* ctx, const hd::des::Payload&) {
+  Replay& r = *static_cast<Replay*>(ctx);
+  r.Observe(r.sched->now());
+}
+
+void TaskEvent(void* ctx, const hd::des::Payload& pay) {
+  Replay& r = *static_cast<Replay*>(ctx);
+  r.Observe(r.sched->now());
+  if ((pay.u0 & 15u) == 0) {
+    // Speculation duel: launch a shadow attempt, kill the previous one.
+    r.sched->Cancel(r.duel);
+    r.duel = r.sched->After(r.p.heartbeat_sec * 0.5, &ShadowEvent, &r,
+                            hd::des::Payload{pay.u0, 1});
+  }
+}
+
+void HeartbeatEvent(void* ctx, const hd::des::Payload& pay) {
+  Replay& r = *static_cast<Replay*>(ctx);
+  // A batched tick services every tracker's heartbeat at once; a
+  // per-tracker tick services one.
+  if (r.p.batch_heartbeats) {
+    for (int n = 0; n < r.p.trackers; ++n) r.Observe(r.sched->now());
+  } else {
+    r.Observe(r.sched->now());
+  }
+  const double next = r.sched->now() + r.p.heartbeat_sec;
+  if (next < r.p.horizon_sec) {
+    r.sched->At(next, &HeartbeatEvent, &r, pay);
+  }
+}
+
+struct RunResult {
+  std::uint64_t serviced = 0;
+  std::uint64_t checksum = 0;
+  double wall_sec = 0.0;
+  double events_per_sec = 0.0;
+
+  void FinishTiming(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point stop) {
+    wall_sec = std::chrono::duration<double>(stop - start).count();
+    events_per_sec =
+        wall_sec > 0.0 ? static_cast<double>(serviced) / wall_sec : 0.0;
+  }
+};
+
+// Builds the task-event times once per run; schedule order fixes the
+// (time, seq) pop order, so every core must build the trace identically:
+// heartbeat chains first, then the task population.
+RunResult RunTrace(const std::string& backend, const TraceParams& p) {
+  const auto sched = hd::des::MakeScheduler(backend);
+  Replay r;
+  r.sched = sched.get();
+  r.p = p;
+
+  const int chains = p.batch_heartbeats ? 1 : p.trackers;
+  for (int n = 0; n < chains; ++n) {
+    const double offset = p.heartbeat_sec * (n + 1) / (chains + 1);
+    sched->At(offset, &HeartbeatEvent, &r,
+              hd::des::Payload{static_cast<std::uint64_t>(n), 0});
+  }
+  hd::Prng prng(p.seed);
+  for (std::int64_t i = 0; i < p.tasks; ++i) {
+    const double t = prng.NextDouble(0.0, p.horizon_sec);
+    sched->At(t, &TaskEvent, &r,
+              hd::des::Payload{static_cast<std::uint64_t>(i), 0});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  sched->Run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.serviced = r.serviced;
+  out.checksum = r.checksum;
+  out.FinishTiming(start, stop);
+  return out;
+}
+
+// The same trace through the legacy core, in its native idiom: one
+// closure per event, speculation canceled by generation-checked no-op
+// closures (the dead event still pops; it just does nothing).
+RunResult RunLegacyTrace(const TraceParams& p) {
+  struct State {
+    LegacyQueue q;
+    Replay r;  // only checksum/serviced used
+    TraceParams p;
+    std::uint64_t duel_gen = 0;
+  } s;
+  s.p = p;
+
+  std::function<void(int)> chain = [&s, &chain](int n) {
+    s.r.Observe(s.q.now());
+    const double next = s.q.now() + s.p.heartbeat_sec;
+    if (next < s.p.horizon_sec) {
+      s.q.At(next, [&chain, n] { chain(n); });
+    }
+  };
+  for (int n = 0; n < p.trackers; ++n) {
+    const double offset = p.heartbeat_sec * (n + 1) / (p.trackers + 1);
+    s.q.At(offset, [&chain, n] { chain(n); });
+  }
+  hd::Prng prng(p.seed);
+  for (std::int64_t i = 0; i < p.tasks; ++i) {
+    const double t = prng.NextDouble(0.0, p.horizon_sec);
+    s.q.At(t, [&s, i] {
+      s.r.Observe(s.q.now());
+      if ((static_cast<std::uint64_t>(i) & 15u) == 0) {
+        const std::uint64_t gen = ++s.duel_gen;
+        s.q.After(s.p.heartbeat_sec * 0.5, [&s, gen] {
+          if (s.duel_gen != gen) return;  // canceled: dead closure no-op
+          s.r.Observe(s.q.now());
+        });
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  s.q.Run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.serviced = s.r.serviced;
+  out.checksum = s.r.checksum;
+  out.FinishTiming(start, stop);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hd;
+
+  bench::Reporter rep("des_scale", argc, argv);
+
+  TraceParams p;
+  p.trackers = rep.smoke() ? 1000 : 10000;
+  p.tasks = rep.smoke() ? 100000 : 1000000;
+  p.horizon_sec = rep.smoke() ? 60.0 : 300.0;
+  p.heartbeat_sec = 3.0;
+  p.seed = rep.seed(20150615);  // HPDC'15
+
+  rep.Config("trackers", p.trackers);
+  rep.Config("tasks", static_cast<std::int64_t>(p.tasks));
+  rep.Config("horizon_sec", p.horizon_sec);
+  rep.Config("heartbeat_sec", p.heartbeat_sec);
+  rep.Config("seed", static_cast<std::int64_t>(p.seed));
+
+  rep.out() << "DES core scaling: " << p.trackers
+            << " heartbeat chains + " << p.tasks
+            << " task events over a " << p.horizon_sec
+            << " s horizon, replayed on\nthe pre-redesign core (legacy: "
+               "closure events on a binary heap) and the\npooled "
+               "des::Scheduler backends. Every per-tracker core must "
+               "deliver the\nidentical live event stream (checksum column) "
+               "— the contract that keeps\nevery modeled pin bit-identical "
+               "across backends.\n\n";
+
+  auto& t = rep.AddTable("des_scale",
+                         {"core", "chains", "serviced", "wall s",
+                          "events/s", "checksum"});
+
+  const RunResult legacy = RunLegacyTrace(p);
+  rep.AddModeledSeconds(p.horizon_sec);
+  const RunResult heap = RunTrace("heap", p);
+  rep.AddModeledSeconds(p.horizon_sec);
+  const RunResult calendar = RunTrace("calendar", p);
+  rep.AddModeledSeconds(p.horizon_sec);
+  HD_CHECK_MSG(heap.checksum == calendar.checksum &&
+                   heap.serviced == calendar.serviced,
+               "calendar and heap delivered different event streams");
+  HD_CHECK_MSG(legacy.checksum == heap.checksum &&
+                   legacy.serviced == heap.serviced,
+               "pooled cores delivered a different event stream than the "
+               "legacy closure core");
+
+  TraceParams batched = p;
+  batched.batch_heartbeats = true;
+  const RunResult batch = RunTrace("calendar", batched);
+  rep.AddModeledSeconds(p.horizon_sec);
+  HD_CHECK_MSG(batch.serviced == heap.serviced,
+               "batched heartbeats serviced a different logical workload");
+
+  auto row = [&](const char* name, int chains, const RunResult& r) {
+    t.Row()
+        .Cell(name)
+        .Cell(chains)
+        .Cell(r.serviced)
+        .Cell(r.wall_sec, 3)
+        .Cell(r.events_per_sec, 0)
+        .Cell(std::to_string(r.checksum));
+  };
+  row("legacy-closure-heap", p.trackers, legacy);
+  row("heap", p.trackers, heap);
+  row("calendar", p.trackers, calendar);
+  row("calendar+batch-hb", 1, batch);
+  rep.Print(t);
+
+  // The headline: the default core (calendar queue + batched heartbeats,
+  // what ClusterConfig ships) against the pre-redesign closure core, on
+  // the identical modeled workload.
+  const double core_speedup = legacy.events_per_sec > 0.0
+                                  ? batch.events_per_sec /
+                                        legacy.events_per_sec
+                                  : 0.0;
+  const double backend_speedup = heap.events_per_sec > 0.0
+                                     ? calendar.events_per_sec /
+                                           heap.events_per_sec
+                                     : 0.0;
+  rep.out() << "\nredesigned core (calendar + batched heartbeats) vs "
+               "legacy closure core: "
+            << FormatDouble(core_speedup, 1)
+            << "x events/sec\ncalendar vs pooled heap backend: "
+            << FormatDouble(backend_speedup, 2)
+            << "x; batching collapses " << p.trackers
+            << " standing heartbeat events into 1.\n";
+
+  // Deterministic gauges (identical on every machine)...
+  rep.metrics()->counter("des.events_total").Set(
+      static_cast<std::int64_t>(heap.serviced));
+  rep.metrics()->gauge("des.order_identical").Set(1.0);
+  // ...and the wall-clock pins hdprof compare scores with its generous
+  // pinned threshold: absolute default-core throughput, the redesign's
+  // end-to-end speedup, and the calendar/heap backend ratio.
+  rep.metrics()->gauge("pinned.des.events_per_sec")
+      .Set(batch.events_per_sec);
+  rep.metrics()->gauge("pinned.des.core_speedup").Set(core_speedup);
+  rep.metrics()->gauge("pinned.des.calendar_speedup").Set(backend_speedup);
+
+  rep.out() << "\nReading guide: the legacy core pays a heap allocation "
+               "per scheduled\nclosure and O(log pending) per 48-byte "
+               "heap node, with pending dominated\nby the standing "
+               "heartbeat chains; the pooled core schedules function\n"
+               "pointers into an arena, orders 24-byte keys in O(1) "
+               "amortized calendar\ndays, and services every tracker from "
+               "one batched tick. The pinned\nevents/sec metrics fail the "
+               "bench-regress gate only on order-of-magnitude\ncollapse "
+               "(machine noise never trips them).\n";
+  return rep.Finish();
+}

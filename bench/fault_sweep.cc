@@ -165,17 +165,26 @@ int main(int argc, char** argv) {
 
   const std::vector<FaultLevel> levels = Levels(seed);
   const std::vector<multijob::AppTemplate> mix = multijob::Table2Mix(24, 2);
+  // --scheduler / --policy override the sweep dimension (even under
+  // --smoke); unknown names fail fast listing the valid ones.
   const std::vector<SchedulerKind> schedulers =
-      rep.smoke() ? std::vector<SchedulerKind>{SchedulerKind::kFair}
-                  : std::vector<SchedulerKind>{SchedulerKind::kFifo,
-                                               SchedulerKind::kFair,
-                                               SchedulerKind::kCapacity};
+      !rep.scheduler().empty()
+          ? std::vector<SchedulerKind>{multijob::SchedulerKindFromName(
+                rep.scheduler())}
+      : rep.smoke() ? std::vector<SchedulerKind>{SchedulerKind::kFair}
+                    : std::vector<SchedulerKind>{SchedulerKind::kFifo,
+                                                 SchedulerKind::kFair,
+                                                 SchedulerKind::kCapacity};
   const std::vector<sched::Policy> policies =
-      rep.smoke()
+      !rep.policy().empty()
+          ? std::vector<sched::Policy>{sched::MakePolicy(rep.policy())}
+      : rep.smoke()
           ? std::vector<sched::Policy>{sched::Policy::kTail}
           : std::vector<sched::Policy>{sched::Policy::kCpuOnly,
                                        sched::Policy::kGpuFirst,
                                        sched::Policy::kTail};
+  if (!rep.scheduler().empty()) rep.Config("scheduler", rep.scheduler());
+  if (!rep.policy().empty()) rep.Config("policy", rep.policy());
 
   rep.out() << "Fault sweep: " << num_jobs
             << " closed-loop jobs over the Table 2 mix with the seeded\n"

@@ -32,10 +32,23 @@ int main(int argc, char** argv) {
   rep.Config("gpus_per_node", cluster.gpus_per_node);
 
   const std::vector<multijob::AppTemplate> mix = multijob::Table2Mix(24, 2);
-  const std::vector<SchedulerKind> schedulers = {
-      SchedulerKind::kFifo, SchedulerKind::kFair, SchedulerKind::kCapacity};
-  const std::vector<sched::Policy> policies = {
-      sched::Policy::kCpuOnly, sched::Policy::kGpuFirst, sched::Policy::kTail};
+  // --scheduler / --policy narrow the sweep to a single named dimension;
+  // unknown names fail fast listing the valid ones.
+  const std::vector<SchedulerKind> schedulers =
+      rep.scheduler().empty()
+          ? std::vector<SchedulerKind>{SchedulerKind::kFifo,
+                                       SchedulerKind::kFair,
+                                       SchedulerKind::kCapacity}
+          : std::vector<SchedulerKind>{
+                multijob::SchedulerKindFromName(rep.scheduler())};
+  const std::vector<sched::Policy> policies =
+      rep.policy().empty()
+          ? std::vector<sched::Policy>{sched::Policy::kCpuOnly,
+                                       sched::Policy::kGpuFirst,
+                                       sched::Policy::kTail}
+          : std::vector<sched::Policy>{sched::MakePolicy(rep.policy())};
+  if (!rep.scheduler().empty()) rep.Config("scheduler", rep.scheduler());
+  if (!rep.policy().empty()) rep.Config("policy", rep.policy());
   // Jobs average ~24 maps x ~20 s CPU over 40 slots: lightly loaded at one
   // job per 100 s, heavily contended at one per 25 s.
   const std::vector<double> rates = {0.01, 0.04};

@@ -7,7 +7,9 @@
 // Each suite member is executed as a child process with --quiet --json so
 // the harness consumes exactly the artifact users see; --smoke shrinks the
 // inputs for CI. Because the simulator is deterministic, two runs of the
-// same revision produce byte-identical suite documents.
+// same revision produce byte-identical suite documents — except des_scale's
+// "pinned." wall-clock throughput metrics, which hdprof compare scores
+// against its separate, generous pinned threshold.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -24,7 +26,7 @@ namespace {
 const char* const kSuite[] = {
     "fig4a_cluster1",     "fig4b_cluster2", "fig5_task_speedup",
     "fig6_breakdown",     "fig7_optimizations",
-    "multijob_throughput", "stream_steady",
+    "multijob_throughput", "stream_steady",  "des_scale",
 };
 
 [[noreturn]] void Usage(int code) {

@@ -71,13 +71,18 @@ NullBuf& TheNullBuf() {
 [[noreturn]] void Usage(const std::string& id, int code) {
   std::fprintf(stderr,
                "usage: %s [--json <path>] [--trace-out <path>] "
-               "[--metrics-out <path>] [--seed <n>] [--smoke] [--quiet]\n"
+               "[--metrics-out <path>] [--seed <n>] [--policy <name>] "
+               "[--scheduler <name>] [--smoke] [--quiet]\n"
                "  --json <path>         write the %s report\n"
                "  --trace-out <path>    write a Chrome/Perfetto trace of the "
                "run (alias: --trace)\n"
                "  --metrics-out <path>  write just the flat metrics JSON\n"
                "  --seed <n>            workload/injector seed (ignored by "
                "fully deterministic binaries)\n"
+               "  --policy <name>       run only this per-job policy "
+               "(cpu-only, gpu-first, tail)\n"
+               "  --scheduler <name>    run only this inter-job scheduler "
+               "(fifo, fair, capacity, slo-*)\n"
                "  --smoke               shrunk inputs (fast schema checks)\n"
                "  --quiet               suppress the human-readable output\n",
                id.c_str(), kSchema);
@@ -157,6 +162,9 @@ Reporter::Reporter(std::string benchmark_id, int argc, char** argv)
       seed_ = std::strtoull(argv[++i], &end, 10);
       if (end == nullptr || *end != '\0') Usage(benchmark_id_, 2);
       has_seed_ = true;
+    } else if (arg == "--policy" || arg == "--scheduler") {
+      if (i + 1 >= argc) Usage(benchmark_id_, 2);
+      (arg == "--policy" ? policy_ : scheduler_) = argv[++i];
     } else if (arg == "--json" || arg == "--trace" || arg == "--trace-out" ||
                arg == "--metrics-out") {
       if (i + 1 >= argc) Usage(benchmark_id_, 2);

@@ -14,6 +14,8 @@
 //   <bench> --quiet                 # suppress the human output
 //   <bench> --seed N                # workload/injector seed (binaries that
 //                                   #   sample read it via seed(default))
+//   <bench> --policy NAME           # restrict to one per-job sched::Policy
+//   <bench> --scheduler NAME        # restrict to one inter-job scheduler
 //
 // JSON schema "heterodoop.bench.v1" (all keys always present):
 //   {
@@ -100,6 +102,14 @@ class Reporter {
     return has_seed_ ? seed_ : fallback;
   }
 
+  // --policy / --scheduler: named selections for binaries that sweep
+  // scheduling dimensions. Empty (the default) means "sweep everything";
+  // a name is resolved by the binary through sched::MakePolicy /
+  // multijob::MakeScheduler, which reject unknown names listing the valid
+  // ones. Binaries without the dimension ignore the flag.
+  const std::string& policy() const { return policy_; }
+  const std::string& scheduler() const { return scheduler_; }
+
   // Null when --trace-out was not given: instrumentation stays disabled and
   // modeled numbers are guaranteed bit-identical to an untraced run.
   trace::Sink* sink();
@@ -140,6 +150,8 @@ class Reporter {
   bool quiet_ = false;
   bool has_seed_ = false;
   std::uint64_t seed_ = 0;
+  std::string policy_;
+  std::string scheduler_;
   std::string json_path_;
   std::string trace_path_;
   std::string metrics_path_;

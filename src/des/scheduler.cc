@@ -1,0 +1,161 @@
+#include "des/scheduler.h"
+
+#include <cmath>
+#include <queue>
+
+namespace hd::des {
+
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler() {
+  // Pending closure events own their std::function; free them so a
+  // scheduler destroyed mid-run (engine teardown after JobFailedError)
+  // does not leak under ASan.
+  for (Record& r : pool_) {
+    if (r.live && r.fn == &Scheduler::RunClosure) {
+      delete static_cast<std::function<void()>*>(r.ctx);
+    }
+  }
+}
+
+std::uint32_t Scheduler::Acquire() {
+  if (free_head_ != kNoFree) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    return slot;
+  }
+  HD_CHECK_MSG(pool_.size() < kNoFree, "event pool exhausted");
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void Scheduler::Release(std::uint32_t slot) {
+  Record& r = pool_[slot];
+  r.live = false;
+  r.fn = nullptr;
+  r.ctx = nullptr;
+  // Bumping the generation is what invalidates outstanding handles and
+  // any stale key still sitting in the backend. Generation 0 is the
+  // null-handle sentinel; skip it on wraparound.
+  if (++r.gen == 0) r.gen = 1;
+  r.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventHandle Scheduler::At(double time, Handler fn, void* ctx,
+                          Payload payload) {
+  HD_CHECK_MSG(std::isfinite(time) && time >= now_,
+               "event scheduled in the past or at a non-finite time (t="
+                   << time << ", now=" << now_ << ")");
+  HD_CHECK(fn != nullptr);
+  const std::uint32_t slot = Acquire();
+  Record& r = pool_[slot];
+  r.fn = fn;
+  r.ctx = ctx;
+  r.payload = payload;
+  r.live = true;
+  ++live_;
+  Push(Key{time, seq_++, slot, r.gen});
+  return EventHandle{slot, r.gen};
+}
+
+EventHandle Scheduler::After(double delay, Handler fn, void* ctx,
+                             Payload payload) {
+  HD_CHECK_MSG(std::isfinite(delay) && delay >= 0.0,
+               "After() requires a finite non-negative delay, got " << delay);
+  return At(now_ + delay, fn, ctx, payload);
+}
+
+void Scheduler::RunClosure(void* ctx, const Payload&) {
+  // unique_ptr so the function is freed even when the callback throws
+  // (JobFailedError propagates out of Run() by design).
+  std::unique_ptr<std::function<void()>> fn(
+      static_cast<std::function<void()>*>(ctx));
+  (*fn)();
+}
+
+EventHandle Scheduler::At(double time, std::function<void()> fn) {
+  auto* boxed = new std::function<void()>(std::move(fn));
+  try {
+    return At(time, &Scheduler::RunClosure, boxed);
+  } catch (...) {
+    delete boxed;
+    throw;
+  }
+}
+
+EventHandle Scheduler::After(double delay, std::function<void()> fn) {
+  HD_CHECK_MSG(std::isfinite(delay) && delay >= 0.0,
+               "After() requires a finite non-negative delay, got " << delay);
+  return At(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::Cancel(EventHandle h) {
+  if (h.null() || h.slot >= pool_.size()) return false;
+  Record& r = pool_[h.slot];
+  if (!r.live || r.gen != h.gen) return false;
+  if (r.fn == &Scheduler::RunClosure) {
+    delete static_cast<std::function<void()>*>(r.ctx);
+  }
+  Release(h.slot);
+  --live_;
+  return true;
+}
+
+bool Scheduler::Pending(EventHandle h) const {
+  if (h.null() || h.slot >= pool_.size()) return false;
+  const Record& r = pool_[h.slot];
+  return r.live && r.gen == h.gen;
+}
+
+bool Scheduler::Step() {
+  Key k;
+  while (PopMin(&k)) {
+    if (DispatchKey(k)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Reference backend: binary heap over 24-byte keys. O(log n) push/pop.
+class HeapScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "heap"; }
+
+ private:
+  struct KeyGreater {
+    bool operator()(const Key& a, const Key& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void Push(const Key& k) override { heap_.push(k); }
+
+  bool PopMin(Key* k) override {
+    if (heap_.empty()) return false;
+    *k = heap_.top();
+    heap_.pop();
+    if (!heap_.empty()) PrefetchSlot(heap_.top().slot);
+    return true;
+  }
+
+  std::priority_queue<Key, std::vector<Key>, KeyGreater> heap_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> MakeHeapScheduler() {
+  return std::make_unique<HeapScheduler>();
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& backend) {
+  if (backend == "calendar") return MakeCalendarScheduler();
+  if (backend == "heap") return MakeHeapScheduler();
+  HD_CHECK_MSG(false, "unknown DES backend '" << backend
+                                              << "' (valid: " << kBackendNames
+                                              << ")");
+  return nullptr;  // unreachable; HD_CHECK_MSG throws
+}
+
+}  // namespace hd::des

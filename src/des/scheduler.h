@@ -1,0 +1,203 @@
+// The simulator core: a backend-pluggable discrete-event scheduler.
+//
+// Every engine in the repo (hadoop::JobEngine, multijob::MultiJobEngine,
+// stream::StreamEngine) drives one des::Scheduler. The API is built for
+// million-event traces:
+//
+//   * Events are pooled records, not heap-allocated closures. The hot
+//     path schedules a plain function pointer plus a 16-byte POD payload
+//     (Payload) drawn from an arena with a free list — zero allocations
+//     once the pool is warm. A std::function overload remains for cold
+//     paths (tests, one-shot horizon events); it allocates.
+//   * Scheduling returns an EventHandle: a (slot, generation) pair.
+//     Cancel(handle) retires the event in O(1) without touching the
+//     backend — the stored key goes stale and is skipped at pop time
+//     (lazy deletion). This replaces the old dead-closure convention
+//     where killed work left a no-op event to drain.
+//   * The queue discipline is strict (time, seq) order, seq assigned at
+//     schedule time. Ties in time therefore break by insertion order on
+//     *every* backend, which is what makes backends interchangeable:
+//     identical pop order => identical modeled doubles => every exact
+//     bench pin holds bit-identically on "heap" and "calendar".
+//
+// Backends:
+//   "heap"      — binary heap (std::priority_queue) over 24-byte keys;
+//                 O(log n) push/pop. The reference implementation.
+//   "calendar"  — classic calendar queue (R. Brown, CACM 1988): an array
+//                 of day buckets of width ~3x the mean event gap, resized
+//                 on occupancy thresholds; O(1) amortized push/pop, and
+//                 the default everywhere (ClusterConfig::des_backend).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hd::des {
+
+// The intrusive event payload: two words the handler interprets itself
+// (an attempt id, a packed node+generation, a bit_cast double...). Big
+// enough for every engine event; small enough that a whole record stays
+// on one cache line.
+struct Payload {
+  std::uint64_t u0 = 0;
+  std::uint64_t u1 = 0;
+};
+
+inline std::uint64_t PackDouble(double d) {
+  return std::bit_cast<std::uint64_t>(d);
+}
+inline double UnpackDouble(std::uint64_t u) { return std::bit_cast<double>(u); }
+template <typename T>
+std::uint64_t PackPtr(T* p) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+template <typename T>
+T* UnpackPtr(std::uint64_t u) {
+  return reinterpret_cast<T*>(static_cast<std::uintptr_t>(u));
+}
+
+// A typed event callback: `ctx` is the scheduling object (engine), the
+// payload identifies the work. No captures, no allocation.
+using Handler = void (*)(void* ctx, const Payload& payload);
+
+// Generation-checked reference to a pending event. Default-constructed
+// handles are null; a handle goes stale once its event fires or is
+// canceled, after which Cancel/Pending return false.
+struct EventHandle {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;  // 0 = null (live generations start at 1)
+  bool null() const { return gen == 0; }
+};
+
+class Scheduler {
+ public:
+  Scheduler();
+  virtual ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  virtual const char* name() const = 0;
+
+  double now() const { return now_; }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
+
+  // Schedules `fn(ctx, payload)` at absolute time `time` (>= now(),
+  // finite). Returns a handle usable with Cancel until the event fires.
+  EventHandle At(double time, Handler fn, void* ctx, Payload payload = {});
+  // Relative form; `delay` must be finite and non-negative — a NaN or
+  // negative delay is rejected here, at the call site, with the
+  // offending value in the message.
+  EventHandle After(double delay, Handler fn, void* ctx, Payload payload = {});
+
+  // Closure convenience (allocates; cold paths only).
+  EventHandle At(double time, std::function<void()> fn);
+  EventHandle After(double delay, std::function<void()> fn);
+
+  // Retires a pending event in O(1). Returns true when the handle was
+  // live (the event will now never fire); false for null, already-fired,
+  // already-canceled handles.
+  bool Cancel(EventHandle h);
+  // Whether the handle still refers to a pending event.
+  bool Pending(EventHandle h) const;
+
+  // Runs the next live event; returns false when the queue is drained.
+  bool Step();
+  // Drains the queue. Backends may override with a staged drain loop
+  // (pop a batch of due keys, prefetch every record, then dispatch) as
+  // long as dispatch order stays exactly (time, seq).
+  virtual void Run() {
+    while (Step()) {
+    }
+  }
+
+ protected:
+  // What backends order: strict (time, seq) min-first. slot/gen identify
+  // the pooled record; a key whose generation no longer matches the
+  // record was canceled and is skipped at pop.
+  struct Key {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  static bool KeyLess(const Key& a, const Key& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  virtual void Push(const Key& k) = 0;
+  // Pops the minimum stored key, stale or live; false when the backend
+  // holds nothing.
+  virtual bool PopMin(Key* k) = 0;
+
+  // Backends that can predict the next pop's slot (the heap's new top,
+  // the calendar's new bucket minimum) call this from PopMin so the
+  // record is in cache by the time the next Step() needs it. At a
+  // million live events the pool outgrows cache and this random fetch
+  // is the dominant per-event cost; the current handler's execution
+  // hides the latency. Purely a hint — never affects pop order.
+  void PrefetchSlot(std::uint32_t slot) const {
+    if (slot < pool_.size()) __builtin_prefetch(&pool_[slot]);
+  }
+
+  // Fires the event behind a popped key: skips it when stale (canceled),
+  // otherwise advances now(), recycles the record, and invokes the
+  // handler. The one dispatch path every drain loop — Step() and any
+  // backend-staged Run() — funnels through, so ordering and release
+  // semantics cannot diverge between them. Returns whether it fired.
+  bool DispatchKey(const Key& k) {
+    const Record& r = pool_[k.slot];
+    if (!r.live || r.gen != k.gen) return false;  // canceled: stale key
+    now_ = k.time;
+    const Handler fn = r.fn;
+    void* ctx = r.ctx;
+    const Payload payload = r.payload;
+    // Release before invoking: the handler may schedule (and the pool
+    // may grow), so no reference into pool_ survives past this point.
+    Release(k.slot);
+    --live_;
+    fn(ctx, payload);
+    return true;
+  }
+
+ private:
+  struct Record {
+    Handler fn = nullptr;
+    void* ctx = nullptr;
+    Payload payload{};
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = 0;
+    bool live = false;
+  };
+
+  static void RunClosure(void* ctx, const Payload&);
+
+  std::uint32_t Acquire();
+  void Release(std::uint32_t slot);
+
+  std::vector<Record> pool_;
+  std::uint32_t free_head_ = kNoFree;
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
+  std::uint64_t seq_ = 0;
+  std::size_t live_ = 0;
+  double now_ = 0.0;
+};
+
+// Named backend factory: "heap" or "calendar". Unknown names throw
+// CheckError listing the valid options.
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& backend);
+
+// The valid --des-backend / ClusterConfig::des_backend names, for error
+// messages and validation.
+inline constexpr const char* kBackendNames = "calendar, heap";
+
+std::unique_ptr<Scheduler> MakeHeapScheduler();
+std::unique_ptr<Scheduler> MakeCalendarScheduler();
+
+}  // namespace hd::des

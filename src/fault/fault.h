@@ -17,7 +17,9 @@
 // output-invariance checks comparable.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -32,6 +34,27 @@ struct NodeCrash {
   bool permanent = false;
   double down_sec = 0.0;  // 0 when permanent
 };
+
+// Packs a planned crash into the two 64-bit words of a pooled DES event
+// payload (src/des): node and the permanent flag in the first word,
+// down_sec bit_cast into the second. `at_sec` travels as the event's own
+// timestamp, so the pair round-trips a NodeCrash exactly.
+inline std::pair<std::uint64_t, std::uint64_t> PackNodeCrash(
+    const NodeCrash& c) {
+  return {static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.node)) |
+              (c.permanent ? std::uint64_t{1} << 32 : 0),
+          std::bit_cast<std::uint64_t>(c.down_sec)};
+}
+
+inline NodeCrash UnpackNodeCrash(std::uint64_t u0, std::uint64_t u1,
+                                 double at_sec) {
+  NodeCrash c;
+  c.node = static_cast<int>(static_cast<std::uint32_t>(u0));
+  c.at_sec = at_sec;
+  c.permanent = (u0 >> 32) != 0;
+  c.down_sec = std::bit_cast<double>(u1);
+  return c;
+}
 
 struct FaultSpec {
   std::uint64_t seed = 1;

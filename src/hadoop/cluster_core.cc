@@ -6,45 +6,74 @@
 
 namespace hd::hadoop {
 
-void ValidateClusterConfig(const ClusterConfig& cfg) {
-  HD_CHECK_MSG(cfg.num_slaves > 0, "cluster needs at least one slave");
-  HD_CHECK_MSG(cfg.map_slots_per_node > 0,
-               "each slave needs at least one CPU map slot");
-  HD_CHECK_MSG(cfg.reduce_slots_per_node >= 0,
-               "reduce_slots_per_node must be non-negative");
-  HD_CHECK_MSG(cfg.gpus_per_node >= 0, "gpus_per_node must be non-negative");
-  HD_CHECK_MSG(cfg.heartbeat_sec > 0.0, "heartbeat_sec must be positive");
-  HD_CHECK_MSG(cfg.network_bytes_per_sec > 0.0,
-               "network_bytes_per_sec must be positive");
-  HD_CHECK_MSG(cfg.reduce_slowstart >= 0.0 && cfg.reduce_slowstart <= 1.0,
-               "reduce_slowstart must be a fraction in [0, 1]");
-  HD_CHECK_MSG(cfg.trace_pid_base >= 0, "trace_pid_base must be non-negative");
-  HD_CHECK_MSG(cfg.heartbeat_expiry_sec > cfg.heartbeat_sec,
-               "heartbeat_expiry_sec must exceed the heartbeat interval or "
-               "every tracker expires between its own heartbeats");
-  HD_CHECK_MSG(cfg.max_task_attempts >= 1,
-               "max_task_attempts must allow at least one attempt");
-  HD_CHECK_MSG(cfg.max_gpu_attempts >= 1,
-               "max_gpu_attempts must allow at least one GPU attempt");
-  HD_CHECK_MSG(cfg.blacklist_task_failures >= 1,
-               "blacklist_task_failures must be at least 1");
-  HD_CHECK_MSG(cfg.retry_backoff_sec >= 0.0,
-               "retry_backoff_sec must be non-negative");
-  HD_CHECK_MSG(cfg.speculation_slowdown > 1.0,
-               "speculation_slowdown must exceed 1 (a straggler is slower "
-               "than the mean, not faster)");
-  if (!cfg.node_speed_factors.empty()) {
-    HD_CHECK_MSG(static_cast<int>(cfg.node_speed_factors.size()) ==
-                     cfg.num_slaves,
-                 "node_speed_factors must have one entry per slave");
-    for (double f : cfg.node_speed_factors) {
-      HD_CHECK_MSG(f > 0.0, "node speed factors must be positive");
+void ClusterConfig::Validate() const {
+  // Collect every violation and report them in one CheckError (the
+  // translator::Translate convention): a misconfigured sweep surfaces all
+  // of its problems in a single run.
+  std::vector<std::string> violations;
+  auto require = [&violations](bool ok, std::string msg) {
+    if (!ok) violations.push_back(std::move(msg));
+  };
+  require(num_slaves > 0, "cluster needs at least one slave");
+  require(map_slots_per_node > 0,
+          "each slave needs at least one CPU map slot");
+  require(reduce_slots_per_node >= 0,
+          "reduce_slots_per_node must be non-negative");
+  require(gpus_per_node >= 0, "gpus_per_node must be non-negative");
+  require(heartbeat_sec > 0.0, "heartbeat_sec must be positive");
+  require(network_bytes_per_sec > 0.0,
+          "network_bytes_per_sec must be positive");
+  require(reduce_slowstart >= 0.0 && reduce_slowstart <= 1.0,
+          "reduce_slowstart must be a fraction in [0, 1]");
+  require(trace_pid_base >= 0, "trace_pid_base must be non-negative");
+  require(heartbeat_expiry_sec > heartbeat_sec,
+          "heartbeat_expiry_sec must exceed the heartbeat interval or "
+          "every tracker expires between its own heartbeats");
+  require(max_task_attempts >= 1,
+          "max_task_attempts must allow at least one attempt");
+  require(max_gpu_attempts >= 1,
+          "max_gpu_attempts must allow at least one GPU attempt");
+  require(blacklist_task_failures >= 1,
+          "blacklist_task_failures must be at least 1");
+  require(retry_backoff_sec >= 0.0, "retry_backoff_sec must be non-negative");
+  require(speculation_slowdown > 1.0,
+          "speculation_slowdown must exceed 1 (a straggler is slower "
+          "than the mean, not faster)");
+  require(des_backend == "calendar" || des_backend == "heap",
+          "des_backend '" + des_backend +
+              "' unknown (valid: " + des::kBackendNames + ")");
+  if (!node_speed_factors.empty()) {
+    require(static_cast<int>(node_speed_factors.size()) == num_slaves,
+            "node_speed_factors must have one entry per slave");
+    for (double f : node_speed_factors) {
+      if (!(f > 0.0)) {
+        require(false, "node speed factors must be positive");
+        break;
+      }
     }
   }
+  if (violations.empty()) return;
+  std::string msg = "invalid ClusterConfig (" +
+                    std::to_string(violations.size()) + " violation" +
+                    (violations.size() == 1 ? "" : "s") + "):";
+  for (const std::string& v : violations) msg += "\n  - " + v;
+  HD_CHECK_MSG(false, msg);
 }
 
-ClusterCore::ClusterCore(ClusterConfig cfg) : cfg_(std::move(cfg)) {
-  ValidateClusterConfig(cfg_);
+void ValidateClusterConfig(const ClusterConfig& cfg) { cfg.Validate(); }
+
+namespace {
+// Validates before ClusterCore's EventQueue member is constructed from
+// cfg_.des_backend, so an unknown backend is reported alongside every
+// other violation instead of throwing from the queue factory first.
+ClusterConfig Validated(ClusterConfig cfg) {
+  cfg.Validate();
+  return cfg;
+}
+}  // namespace
+
+ClusterCore::ClusterCore(ClusterConfig cfg)
+    : cfg_(Validated(std::move(cfg))), events_(cfg_.des_backend) {
   nodes_.resize(static_cast<std::size_t>(cfg_.num_slaves));
   for (auto& n : nodes_) {
     n.free_cpu = cfg_.map_slots_per_node;
@@ -173,10 +202,41 @@ bool ClusterCore::HeartbeatDelivered(int node_id) {
   return true;
 }
 
+void ClusterCore::CrashEvent(void* ctx, const des::Payload& p) {
+  auto* core = static_cast<ClusterCore*>(ctx);
+  core->CrashNode(fault::UnpackNodeCrash(p.u0, p.u1, core->events_.now()));
+}
+
+void ClusterCore::RecoverEvent(void* ctx, const des::Payload& p) {
+  static_cast<ClusterCore*>(ctx)->RecoverNode(static_cast<int>(p.u0));
+}
+
+void ClusterCore::AttemptDoneEvent(void* ctx, const des::Payload& p) {
+  static_cast<ClusterCore*>(ctx)->OnAttemptDone(
+      static_cast<std::int64_t>(p.u0));
+}
+
+void ClusterCore::AttemptFailedEvent(void* ctx, const des::Payload& p) {
+  static_cast<ClusterCore*>(ctx)->OnAttemptFailed(
+      static_cast<std::int64_t>(p.u0));
+}
+
+void ClusterCore::RetryTimerEvent(void* ctx, const des::Payload& p) {
+  auto* core = static_cast<ClusterCore*>(ctx);
+  auto* job = des::UnpackPtr<JobState>(p.u0);
+  const int task = static_cast<int>(p.u1);
+  if (job->task_state[static_cast<std::size_t>(task)] ==
+      TaskState::kRetryWait) {
+    core->RequeueTask(*job, task);
+  }
+}
+
 void ClusterCore::ScheduleFaultPlan() {
   if (cfg_.faults == nullptr) return;
   for (const fault::NodeCrash& crash : cfg_.faults->CrashPlan(cfg_.num_slaves)) {
-    events_.At(crash.at_sec, [this, crash] { CrashNode(crash); });
+    const auto [u0, u1] = fault::PackNodeCrash(crash);
+    events_.At(crash.at_sec, &ClusterCore::CrashEvent, this,
+               des::Payload{u0, u1});
   }
 }
 
@@ -203,8 +263,9 @@ void ClusterCore::CrashNode(const fault::NodeCrash& crash) {
   // (DeclareLost), which re-enqueues the work.
   KillAttemptsOn(crash.node);
   if (!crash.permanent) {
-    events_.After(crash.down_sec,
-                  [this, node = crash.node] { RecoverNode(node); });
+    events_.After(
+        crash.down_sec, &ClusterCore::RecoverEvent, this,
+        des::Payload{static_cast<std::uint64_t>(crash.node), 0});
   }
 }
 
@@ -333,6 +394,7 @@ void ClusterCore::KillAttempt(std::int64_t id, const char* why) {
   if (it == running_.end()) return;
   const Attempt at = it->second;
   running_.erase(it);
+  events_.Cancel(at.outcome_event);
   JobState& job = *at.job;
   const double elapsed = events_.now() - at.start_sec;
   if (cfg_.sink != nullptr) {
@@ -577,17 +639,20 @@ void ClusterCore::StartMap(JobState& job, int node_id, int task, bool on_gpu,
   at.output_bytes = timing.output_bytes;
   at.lane = lane;
   const std::int64_t id = at.id;
-  running_.emplace(id, at);
-  // The completion/failure event carries only the attempt id: if the
-  // attempt has been killed by then (node loss, losing a speculative
-  // race), the lookup misses and the event is a no-op.
+  // The completion/failure event carries only the attempt id; its
+  // generation handle lives on the registry entry, and KillAttempt
+  // cancels the event outright (no dead closure left to drain).
+  const des::Payload payload{static_cast<std::uint64_t>(id), 0};
   if (outcome == fault::AttemptOutcome::kFail) {
     const double fail_at =
         duration * cfg_.faults->FailPoint(job.id, task, attempt_index);
-    events_.After(fail_at, [this, id] { OnAttemptFailed(id); });
+    at.outcome_event =
+        events_.After(fail_at, &ClusterCore::AttemptFailedEvent, this, payload);
   } else {
-    events_.After(duration, [this, id] { OnAttemptDone(id); });
+    at.outcome_event =
+        events_.After(duration, &ClusterCore::AttemptDoneEvent, this, payload);
   }
+  running_.emplace(id, at);
 }
 
 void ClusterCore::MaybeSpeculate(JobState& job, int node_id) {
@@ -821,13 +886,9 @@ void ClusterCore::OnAttemptFailed(std::int64_t id) {
   const int shift = std::min(job.attempts_failed[t] - 1, 20);
   const double backoff =
       cfg_.retry_backoff_sec * static_cast<double>(std::int64_t{1} << shift);
-  JobState* jp = &job;
-  events_.After(backoff, [this, jp, task = at.task] {
-    if (jp->task_state[static_cast<std::size_t>(task)] ==
-        TaskState::kRetryWait) {
-      RequeueTask(*jp, task);
-    }
-  });
+  events_.After(backoff, &ClusterCore::RetryTimerEvent, this,
+                des::Payload{des::PackPtr(&job),
+                             static_cast<std::uint64_t>(at.task)});
 }
 
 void ClusterCore::RequeueTask(JobState& job, int task) {

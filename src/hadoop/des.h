@@ -1,12 +1,18 @@
-// Minimal discrete-event simulation core for the cluster engine.
+// The cluster engines' event queue: a thin facade over the pluggable
+// simulator core in src/des/. The backend ("calendar" by default, or
+// the reference "heap") comes from ClusterConfig::des_backend; both pop
+// in identical (time, seq) order, so modeled numbers are bit-identical
+// across backends.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
+#include "des/scheduler.h"
 
 namespace hd::hadoop {
 
@@ -15,45 +21,42 @@ class EventQueue {
  public:
   using Fn = std::function<void()>;
 
-  void At(double time, Fn fn) {
-    HD_CHECK_MSG(time >= now_, "event scheduled in the past");
-    heap_.push(Event{time, seq_++, std::move(fn)});
+  EventQueue() : sched_(des::MakeCalendarScheduler()) {}
+  explicit EventQueue(const std::string& backend)
+      : sched_(des::MakeScheduler(backend)) {}
+
+  // Closure forms (allocate; cold paths and tests).
+  void At(double time, Fn fn) { sched_->At(time, std::move(fn)); }
+  void After(double delay, Fn fn) { sched_->After(delay, std::move(fn)); }
+
+  // Pooled forms (allocation-free hot path). The returned handle cancels
+  // the event in O(1) via Cancel().
+  des::EventHandle At(double time, des::Handler fn, void* ctx,
+                      des::Payload payload = {}) {
+    return sched_->At(time, fn, ctx, payload);
+  }
+  des::EventHandle After(double delay, des::Handler fn, void* ctx,
+                         des::Payload payload = {}) {
+    return sched_->After(delay, fn, ctx, payload);
   }
 
-  void After(double delay, Fn fn) { At(now_ + delay, std::move(fn)); }
+  bool Cancel(des::EventHandle h) { return sched_->Cancel(h); }
+  bool Pending(des::EventHandle h) const { return sched_->Pending(h); }
 
-  double now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  double now() const { return sched_->now(); }
+  bool empty() const { return sched_->empty(); }
+  std::size_t pending() const { return sched_->pending(); }
 
   // Runs one event; returns false when the queue is empty.
-  bool Step() {
-    if (heap_.empty()) return false;
-    Event ev = heap_.top();
-    heap_.pop();
-    now_ = ev.time;
-    ev.fn();
-    return true;
-  }
+  bool Step() { return sched_->Step(); }
 
   // Drains the queue.
-  void Run() {
-    while (Step()) {
-    }
-  }
+  void Run() { sched_->Run(); }
+
+  const char* backend() const { return sched_->name(); }
 
  private:
-  struct Event {
-    double time;
-    std::uint64_t seq;
-    Fn fn;
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
-  std::uint64_t seq_ = 0;
-  double now_ = 0.0;
+  std::unique_ptr<des::Scheduler> sched_;
 };
 
 }  // namespace hd::hadoop

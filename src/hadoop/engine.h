@@ -45,6 +45,11 @@ class JobEngine : private ClusterCore {
   // One link of a node's self-rescheduling heartbeat chain. The chain
   // stops while the node is down; OnNodeRecovered restarts it.
   void PulseTick(int node_id);
+  // ClusterConfig::batch_heartbeats: one cluster-wide link serving every
+  // live tracker in node order per interval.
+  void BatchTick();
+  static void PulseTickEvent(void* ctx, const des::Payload& p);
+  static void BatchTickEvent(void* ctx, const des::Payload& p);
   void OnTaskFinished(JobState& job, int node_id) override;
   void VisitActiveJobs(const std::function<void(JobState&)>& fn) override;
   void OnNodeRecovered(int node_id) override;

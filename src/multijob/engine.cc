@@ -32,8 +32,27 @@ int MultiJobEngine::Submit(double when, JobSpec spec) {
   InitJob(*job);
   JobState* ptr = job.get();
   jobs_.push_back(std::move(job));
-  events_.At(when, [this, ptr] { Activate(ptr); });
+  events_.At(when, &MultiJobEngine::ActivateEvent, this,
+             des::Payload{des::PackPtr(ptr), 0});
   return id;
+}
+
+void MultiJobEngine::ActivateEvent(void* ctx, const des::Payload& p) {
+  static_cast<MultiJobEngine*>(ctx)->Activate(
+      des::UnpackPtr<JobState>(p.u0));
+}
+
+void MultiJobEngine::PulseTickEvent(void* ctx, const des::Payload& p) {
+  static_cast<MultiJobEngine*>(ctx)->PulseTick(static_cast<int>(p.u0), p.u1);
+}
+
+void MultiJobEngine::BatchTickEvent(void* ctx, const des::Payload& p) {
+  static_cast<MultiJobEngine*>(ctx)->BatchTick(p.u0);
+}
+
+void MultiJobEngine::CompleteJobEvent(void* ctx, const des::Payload& p) {
+  static_cast<MultiJobEngine*>(ctx)->CompleteJob(
+      *des::UnpackPtr<JobState>(p.u0));
 }
 
 void MultiJobEngine::Activate(JobState* job) {
@@ -43,9 +62,15 @@ void MultiJobEngine::Activate(JobState* job) {
 
 void MultiJobEngine::StartPulses() {
   const std::uint64_t gen = ++pulse_gen_;
+  if (cfg_.batch_heartbeats) {
+    events_.After(cfg_.heartbeat_sec, &MultiJobEngine::BatchTickEvent, this,
+                  des::Payload{gen, 0});
+    return;
+  }
   for (int n = 0; n < cfg_.num_slaves; ++n) {
     const double offset = cfg_.heartbeat_sec * (n + 1) / (cfg_.num_slaves + 1);
-    events_.After(offset, [this, n, gen] { PulseTick(n, gen); });
+    events_.After(offset, &MultiJobEngine::PulseTickEvent, this,
+                  des::Payload{static_cast<std::uint64_t>(n), gen});
   }
 }
 
@@ -54,15 +79,29 @@ void MultiJobEngine::PulseTick(int node_id, std::uint64_t gen) {
   // A dead tracker sends nothing; the chain resumes at recovery.
   if (!health_[static_cast<std::size_t>(node_id)].alive) return;
   ClusterHeartbeat(node_id);
-  events_.After(cfg_.heartbeat_sec,
-                [this, node_id, gen] { PulseTick(node_id, gen); });
+  events_.After(cfg_.heartbeat_sec, &MultiJobEngine::PulseTickEvent, this,
+                des::Payload{static_cast<std::uint64_t>(node_id), gen});
+}
+
+void MultiJobEngine::BatchTick(std::uint64_t gen) {
+  if (pulse_gen_ != gen) return;  // cluster drained: retire
+  for (int n = 0; n < cfg_.num_slaves; ++n) {
+    if (pulse_gen_ != gen) break;  // drained mid-tick
+    if (!health_[static_cast<std::size_t>(n)].alive) continue;
+    ClusterHeartbeat(n);
+  }
+  if (pulse_gen_ != gen) return;
+  events_.After(cfg_.heartbeat_sec, &MultiJobEngine::BatchTickEvent, this,
+                des::Payload{gen, 0});
 }
 
 void MultiJobEngine::OnNodeRecovered(int node_id) {
   if (active_jobs_ == 0) return;  // next Activate() restarts every pulse
-  events_.After(cfg_.heartbeat_sec, [this, node_id, gen = pulse_gen_] {
-    PulseTick(node_id, gen);
-  });
+  // In batch mode the cluster-wide chain never stopped; the recovered
+  // node is picked up on its next tick.
+  if (cfg_.batch_heartbeats) return;
+  events_.After(cfg_.heartbeat_sec, &MultiJobEngine::PulseTickEvent, this,
+                des::Payload{static_cast<std::uint64_t>(node_id), pulse_gen_});
 }
 
 void MultiJobEngine::VisitActiveJobs(
@@ -133,7 +172,8 @@ void MultiJobEngine::OnJobFinished(JobState& job) {
   // feeders and latency metrics see full completions.
   const double delay = job.result.makespan_sec - events_.now();
   HD_CHECK(delay >= 0.0);
-  events_.After(delay, [this, &job] { CompleteJob(job); });
+  events_.After(delay, &MultiJobEngine::CompleteJobEvent, this,
+                des::Payload{des::PackPtr(&job), 0});
 }
 
 void MultiJobEngine::CompleteJob(JobState& job) {

@@ -69,6 +69,13 @@ class MultiJobEngine : public hadoop::ClusterCore {
   // retires on generation bumps and stops while the node is down
   // (OnNodeRecovered restarts it).
   void PulseTick(int node_id, std::uint64_t gen);
+  // ClusterConfig::batch_heartbeats: one cluster-wide link per interval
+  // serving every live tracker in node order.
+  void BatchTick(std::uint64_t gen);
+  static void ActivateEvent(void* ctx, const hd::des::Payload& p);
+  static void PulseTickEvent(void* ctx, const hd::des::Payload& p);
+  static void BatchTickEvent(void* ctx, const hd::des::Payload& p);
+  static void CompleteJobEvent(void* ctx, const hd::des::Payload& p);
   // Serves every active job from one TaskTracker heartbeat.
   void ClusterHeartbeat(int node_id);
   void CompleteJob(hadoop::JobState& job);

@@ -165,4 +165,28 @@ std::unique_ptr<InterJobScheduler> MakeScheduler(
   return nullptr;
 }
 
+SchedulerKind SchedulerKindFromName(const std::string& name) {
+  if (name == "fifo") return SchedulerKind::kFifo;
+  if (name == "fair") return SchedulerKind::kFair;
+  if (name == "capacity") return SchedulerKind::kCapacity;
+  HD_CHECK_MSG(false, "unknown inter-job scheduler kind '" << name
+                          << "' (valid: " << kSchedulerKindNames << ")");
+  return SchedulerKind::kFifo;  // unreachable; HD_CHECK_MSG throws
+}
+
+std::unique_ptr<InterJobScheduler> MakeScheduler(
+    const std::string& name, std::vector<double> pool_weights) {
+  if (name.rfind("slo-", 0) == 0) {
+    return MakeSloScheduler(MakeScheduler(
+        SchedulerKindFromName(name.substr(4)), std::move(pool_weights)));
+  }
+  if (name == "fifo" || name == "fair" || name == "capacity") {
+    return MakeScheduler(SchedulerKindFromName(name),
+                         std::move(pool_weights));
+  }
+  HD_CHECK_MSG(false, "unknown inter-job scheduler '" << name
+                          << "' (valid: " << kSchedulerNames << ")");
+  return nullptr;  // unreachable; HD_CHECK_MSG throws
+}
+
 }  // namespace hd::multijob

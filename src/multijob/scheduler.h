@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hadoop/cluster_core.h"
@@ -61,5 +62,19 @@ std::unique_ptr<InterJobScheduler> MakeSloScheduler(
 // two pools at 2:1 when empty).
 std::unique_ptr<InterJobScheduler> MakeScheduler(
     SchedulerKind kind, std::vector<double> pool_weights = {});
+
+// Inverse of SchedulerKindName. Throws CheckError listing the valid names.
+SchedulerKind SchedulerKindFromName(const std::string& name);
+
+// Named factory for bench --scheduler flags: "fifo" / "fair" / "capacity"
+// plus the SLO compositions "slo-fifo" / "slo-fair" / "slo-capacity"
+// (MakeSloScheduler over the named inner). Throws CheckError listing the
+// valid names on anything else.
+std::unique_ptr<InterJobScheduler> MakeScheduler(
+    const std::string& name, std::vector<double> pool_weights = {});
+
+inline constexpr const char* kSchedulerKindNames = "fifo, fair, capacity";
+inline constexpr const char* kSchedulerNames =
+    "fifo, fair, capacity, slo-fifo, slo-fair, slo-capacity";
 
 }  // namespace hd::multijob

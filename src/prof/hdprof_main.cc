@@ -39,8 +39,11 @@ using namespace hd;
       "      makespan-critical chain + straggler report per traced job\n"
       "  kernels <trace.json> [--top N] [--json]\n"
       "      per-kernel hardware-counter hotspot report\n"
-      "  compare <before.json> <after.json> [--threshold F] [--json]\n"
-      "      diff two bench/regress suite documents (exit 1 on regression)\n");
+      "  compare <before.json> <after.json> [--threshold F] "
+      "[--pinned-threshold F] [--json]\n"
+      "      diff two bench/regress suite documents (exit 1 on regression;\n"
+      "      'pinned.' wall-clock metrics fail only past the pinned "
+      "threshold)\n");
   std::exit(code);
 }
 
@@ -49,6 +52,7 @@ struct Flags {
   bool json = false;
   double skew_factor = 1.5;
   double threshold = 0.01;
+  double pinned_threshold = 0.9;
   int top = 10;
 };
 
@@ -66,6 +70,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       f.skew_factor = std::atof(value().c_str());
     } else if (arg == "--threshold") {
       f.threshold = std::atof(value().c_str());
+    } else if (arg == "--pinned-threshold") {
+      f.pinned_threshold = std::atof(value().c_str());
     } else if (arg == "--top") {
       f.top = std::atoi(value().c_str());
     } else if (arg == "--help" || arg == "-h") {
@@ -296,6 +302,7 @@ int CmdCompare(const Flags& f) {
   const prof::Suite after = prof::LoadSuite(f.positional[1]);
   prof::CompareOptions opts;
   opts.threshold = f.threshold;
+  opts.pinned_threshold = f.pinned_threshold;
   const prof::CompareResult res = prof::Compare(before, after, opts);
 
   if (f.json) {
@@ -304,6 +311,7 @@ int CmdCompare(const Flags& f) {
     w.Key("before_rev").String(before.rev);
     w.Key("after_rev").String(after.rev);
     w.Key("threshold").Number(opts.threshold);
+    w.Key("pinned_threshold").Number(opts.pinned_threshold);
     w.Key("regressions").Int(res.regressions);
     w.Key("improvements").Int(res.improvements);
     w.Key("deltas").BeginArray();

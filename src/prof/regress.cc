@@ -18,6 +18,10 @@ double RelChange(double before, double after) {
   return (after - before) / std::fabs(before);
 }
 
+bool IsPinned(const std::string& key) {
+  return key.rfind(kPinnedPrefix, 0) == 0;
+}
+
 }  // namespace
 
 const double* BenchRun::FindMetric(const std::string& key) const {
@@ -153,8 +157,10 @@ CompareResult Compare(const Suite& before, const Suite& after,
       }
       res.deltas.push_back(std::move(d));
       // Attribution: every shared metric that moved beyond the threshold,
-      // in the (sorted) metric order of the before run.
+      // in the (sorted) metric order of the before run. Pinned metrics
+      // are scored separately below, never attributed.
       for (const auto& [key, bv] : b.metrics) {
+        if (IsPinned(key)) continue;
         const double* av = a->FindMetric(key);
         if (av == nullptr) continue;
         const double mrel = RelChange(bv, *av);
@@ -167,6 +173,26 @@ CompareResult Compare(const Suite& before, const Suite& after,
         md.rel_change = mrel;
         res.deltas.push_back(std::move(md));
       }
+    }
+    // Pinned wall-clock metrics: higher is better, scored against the
+    // generous pinned threshold. A key that disappeared scores as a full
+    // collapse — removing the pin silently is exactly what this guards.
+    for (const auto& [key, bv] : b.metrics) {
+      if (!IsPinned(key)) continue;
+      const double* av = a->FindMetric(key);
+      const double after_v = av != nullptr ? *av : 0.0;
+      const double rel = RelChange(bv, after_v);
+      if (rel >= -opts.pinned_threshold && av != nullptr) continue;
+      Delta d;
+      d.benchmark = b.benchmark;
+      d.metric = key;
+      d.before = bv;
+      d.after = after_v;
+      d.rel_change = rel;
+      d.scored = true;
+      d.regression = true;
+      ++res.regressions;
+      res.deltas.push_back(std::move(d));
     }
   }
   for (const BenchRun& a : after.runs) {

@@ -19,12 +19,16 @@
 //
 // Comparison semantics: `modeled_seconds` is the scored metric — a
 // relative increase beyond the noise threshold is a regression, a decrease
-// beyond it an improvement. Every other metric key present in both runs is
-// diffed for *attribution* only (what changed inside the regressing
-// bench), never scored. Benchmarks present on one side only are reported
-// as added/removed. Because same-seed simulator runs are bit-identical,
-// the default threshold guards only against intentional model changes, not
-// wall-clock noise.
+// beyond it an improvement. Metrics whose key starts with "pinned." are
+// additionally scored as higher-is-better *wall-clock* numbers (events/sec
+// throughput pins): because they are machine-dependent, they get their own
+// generous `pinned_threshold` — only a collapse beyond it (or the key
+// disappearing) counts as a regression. Every other metric key present in
+// both runs is diffed for *attribution* only (what changed inside the
+// regressing bench), never scored. Benchmarks present on one side only are
+// reported as added/removed. Because same-seed simulator runs are
+// bit-identical, the default threshold guards only against intentional
+// model changes, not wall-clock noise.
 #pragma once
 
 #include <iosfwd>
@@ -70,13 +74,23 @@ struct Delta {
   double before = 0.0;
   double after = 0.0;
   double rel_change = 0.0;  // (after - before) / before; 0/0 -> 0
-  bool scored = false;      // modeled_seconds rows only
-  bool regression = false;  // scored && rel_change > threshold
+  bool scored = false;      // modeled_seconds and "pinned." rows only
+  bool regression = false;  // scored && beyond the metric's threshold
 };
+
+// Key prefix marking a wall-clock throughput metric scored with
+// `pinned_threshold` (higher is better) instead of being
+// attribution-only.
+inline constexpr const char* kPinnedPrefix = "pinned.";
 
 struct CompareOptions {
   // Relative modeled_seconds change beyond which a delta counts.
   double threshold = 0.01;
+  // Relative drop in a "pinned." metric beyond which the drop is a
+  // regression. Pinned metrics are wall-clock measurements, so the
+  // default only fails on order-of-magnitude collapses (a 10x slowdown
+  // is -0.9), never on machine-to-machine noise.
+  double pinned_threshold = 0.9;
 };
 
 struct CompareResult {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace hd::sched {
 
 const char* PolicyName(Policy p) {
@@ -11,6 +13,15 @@ const char* PolicyName(Policy p) {
     case Policy::kTail: return "tail";
   }
   return "?";
+}
+
+Policy MakePolicy(const std::string& name) {
+  if (name == "cpu-only") return Policy::kCpuOnly;
+  if (name == "gpu-first") return Policy::kGpuFirst;
+  if (name == "tail") return Policy::kTail;
+  HD_CHECK_MSG(false, "unknown scheduling policy '" << name
+                          << "' (valid: " << kPolicyNames << ")");
+  return Policy::kTail;  // unreachable; HD_CHECK_MSG throws
 }
 
 int MaxTasksThisHeartbeat(Policy policy, const NodeSched& node,

@@ -12,6 +12,8 @@
 // i.e. force GPU iff numMapsRemainingPerNode <= taskTail.
 #pragma once
 
+#include <string>
+
 namespace hd::sched {
 
 enum class Policy {
@@ -21,6 +23,13 @@ enum class Policy {
 };
 
 const char* PolicyName(Policy p);
+
+// Inverse of PolicyName: "cpu-only" / "gpu-first" / "tail". Throws
+// CheckError listing the valid names on anything else — bench binaries
+// route their --policy flag straight through here.
+Policy MakePolicy(const std::string& name);
+
+inline constexpr const char* kPolicyNames = "cpu-only, gpu-first, tail";
 
 // Per-node view used by the policy decisions.
 struct NodeSched {

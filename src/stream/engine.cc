@@ -97,14 +97,7 @@ StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
     // The service horizon: sources already stop before it (no arrival is
     // scheduled at or past horizon), this seals every open window without
     // reopening and snapshots the ingress backlog the run leaves behind.
-    events_.At(horizon_sec_, [this] {
-      for (std::size_t p = 0; p < pipes_.size(); ++p) {
-        SealWindow(static_cast<int>(p), "horizon");
-        Pipeline& pipe = *pipes_[p];
-        pipe.metrics.backlog_at_horizon =
-            static_cast<std::int64_t>(pipe.pending.size()) + pipe.inflight;
-      }
-    });
+    events_.At(horizon_sec_, &StreamEngine::HorizonEvent, this);
   }
 
   StreamMetrics out;
@@ -119,12 +112,34 @@ StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
   return out;
 }
 
+void StreamEngine::ArrivalEvent(void* ctx, const des::Payload& p) {
+  static_cast<StreamEngine*>(ctx)->OnArrival(static_cast<int>(p.u0));
+}
+
+void StreamEngine::TimeTriggerEvent(void* ctx, const des::Payload& p) {
+  static_cast<StreamEngine*>(ctx)->SealWindow(static_cast<int>(p.u0), "time");
+}
+
+void StreamEngine::HorizonEvent(void* ctx, const des::Payload&) {
+  static_cast<StreamEngine*>(ctx)->SealAtHorizon();
+}
+
+void StreamEngine::SealAtHorizon() {
+  for (std::size_t p = 0; p < pipes_.size(); ++p) {
+    SealWindow(static_cast<int>(p), "horizon");
+    Pipeline& pipe = *pipes_[p];
+    pipe.metrics.backlog_at_horizon =
+        static_cast<std::int64_t>(pipe.pending.size()) + pipe.inflight;
+  }
+}
+
 void StreamEngine::ScheduleNextArrival(int p) {
   Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
   const double t = pipe.source.NextArrival(now());
   // Also false for +infinity (exhausted replay source).
   if (!(t < horizon_sec_)) return;
-  events_.At(t, [this, p] { OnArrival(p); });
+  events_.At(t, &StreamEngine::ArrivalEvent, this,
+             des::Payload{static_cast<std::uint64_t>(p), 0});
 }
 
 void StreamEngine::OnArrival(int p) {
@@ -142,13 +157,9 @@ void StreamEngine::ArmTimeTrigger(int p) {
   Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
   const double when = pipe.open.open_sec + pipe.spec.trigger.span_sec;
   if (when >= horizon_sec_) return;  // the horizon seal covers this window
-  const std::uint64_t gen = pipe.window_gen;
-  events_.At(when, [this, p, gen] {
-    if (pipes_[static_cast<std::size_t>(p)]->window_gen != gen) {
-      return;  // the window sealed by count first; trigger retired
-    }
-    SealWindow(p, "time");
-  });
+  pipe.time_trigger =
+      events_.At(when, &StreamEngine::TimeTriggerEvent, this,
+                 des::Payload{static_cast<std::uint64_t>(p), 0});
 }
 
 void StreamEngine::SealWindow(int p, const char* reason) {
@@ -160,7 +171,10 @@ void StreamEngine::SealWindow(int p, const char* reason) {
   w.open_sec = pipe.open.open_sec;
   w.seal_sec = now();
   w.seal_reason = reason;
-  ++pipe.window_gen;  // retires the armed time trigger
+  // Retire the armed time trigger (a no-op when this seal *is* the
+  // trigger firing — its handle is already spent).
+  events_.Cancel(pipe.time_trigger);
+  pipe.time_trigger = {};
   ++pipe.metrics.windows_sealed;
   if (std::strcmp(reason, "count") == 0) ++pipe.metrics.seals_by_count;
   if (std::strcmp(reason, "time") == 0) ++pipe.metrics.seals_by_time;

@@ -99,7 +99,9 @@ class StreamEngine : public multijob::MultiJobEngine {
     PipelineMetrics metrics;
 
     Window open;
-    std::uint64_t window_gen = 0;  // bumped on seal; stale triggers no-op
+    // The open window's armed time trigger; sealing cancels it outright
+    // (generation-handle cancellation, no stale closure left to fire).
+    des::EventHandle time_trigger;
     std::int64_t next_seq = 0;
     std::deque<WindowStats> pending;  // sealed, waiting for admission
     int inflight = 0;
@@ -113,9 +115,13 @@ class StreamEngine : public multijob::MultiJobEngine {
         : spec(std::move(s)), source(spec.source) {}
   };
 
+  static void ArrivalEvent(void* ctx, const des::Payload& p);
+  static void TimeTriggerEvent(void* ctx, const des::Payload& p);
+  static void HorizonEvent(void* ctx, const des::Payload& p);
   void OnArrival(int p);
   void ScheduleNextArrival(int p);
   void ArmTimeTrigger(int p);
+  void SealAtHorizon();
   void SealWindow(int p, const char* reason);
   void AdmitOrQueue(int p, WindowStats w);
   void SubmitWindow(int p, WindowStats w);

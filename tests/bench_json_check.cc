@@ -23,7 +23,7 @@ constexpr const char* kBenches[] = {
     "table2_workloads", "table3_clusters",  "fig3_tail_example",
     "fig4a_cluster1",   "fig4b_cluster2",   "fig5_task_speedup",
     "fig6_breakdown",   "fig7_optimizations", "ablation_tuning",
-    "multijob_throughput", "fault_sweep", "stream_steady",
+    "multijob_throughput", "fault_sweep", "stream_steady", "des_scale",
 };
 
 std::string Slurp(const std::string& path) {

@@ -36,7 +36,8 @@ constexpr Pin kPins[] = {
      0.0024715470605624805, 115491, 549.59423397684782, 233.35577433165221},
 };
 
-void CheckPin(const Pin& pin, trace::Sink* sink, trace::Registry* metrics) {
+void CheckPin(const Pin& pin, trace::Sink* sink, trace::Registry* metrics,
+              const char* des_backend = nullptr) {
   const apps::Benchmark& b = apps::GetBenchmark(pin.id);
   bench::MeasureConfig cfg;
   cfg.sink = sink;
@@ -67,6 +68,7 @@ void CheckPin(const Pin& pin, trace::Sink* sink, trace::Registry* metrics) {
   cluster.network_bytes_per_sec = 6.0e9;
   cluster.sink = sink;
   cluster.metrics = metrics;
+  if (des_backend != nullptr) cluster.des_backend = des_backend;
 
   {
     hadoop::CalibratedTaskSource source(p);
@@ -86,6 +88,16 @@ void CheckPin(const Pin& pin, trace::Sink* sink, trace::Registry* metrics) {
 
 TEST(BenchPin, ModeledNumbersMatchPrePrValuesWithTracingOff) {
   for (const Pin& pin : kPins) CheckPin(pin, nullptr, nullptr);
+}
+
+TEST(BenchPin, ModeledNumbersBitIdenticalOnBothDesBackends) {
+  // The des::Scheduler contract assigns seq at schedule time and pops in
+  // strict (time, seq) order on every backend, so swapping the calendar
+  // queue for the reference heap must not move a single bit of any
+  // modeled double. Same exact-double pins, explicitly per backend.
+  for (const char* backend : {"heap", "calendar"}) {
+    for (const Pin& pin : kPins) CheckPin(pin, nullptr, nullptr, backend);
+  }
 }
 
 TEST(BenchPin, ModeledNumbersMatchPrePrValuesWithTracingOn) {

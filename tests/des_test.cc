@@ -1,0 +1,310 @@
+// des::Scheduler contract tests: the heap and calendar backends must be
+// observationally identical — same pop order on any schedule, including
+// exact-time ties, reentrant scheduling from callbacks, and cancellation
+// — because every modeled bench pin relies on backend interchangeability.
+#include <cmath>
+#include <limits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "des/scheduler.h"
+
+namespace {
+
+using hd::des::EventHandle;
+using hd::des::MakeScheduler;
+using hd::des::Payload;
+using hd::des::Scheduler;
+
+// ---------------------------------------------------------------------
+// Property: identical pop order across backends.
+
+// One observed event: (time, tag). Comparing full logs across backends
+// is stronger than comparing checksums — failures print the divergence.
+struct LogEntry {
+  double time;
+  std::uint64_t tag;
+  bool operator==(const LogEntry&) const = default;
+};
+
+struct PropertyReplay {
+  Scheduler* sched = nullptr;
+  std::vector<LogEntry> log;
+  hd::Prng prng{0};
+  double horizon = 0.0;
+  std::vector<EventHandle> cancelable;
+
+  static void Event(void* ctx, const Payload& pay);
+};
+
+void PropertyReplay::Event(void* ctx, const Payload& pay) {
+  auto& r = *static_cast<PropertyReplay*>(ctx);
+  r.log.push_back({r.sched->now(), pay.u0});
+  // Reentrant scheduling: some handlers schedule follow-up work, with a
+  // bias toward zero and near-zero delays so same-instant ordering and
+  // the calendar's staged-drain flush path (a mid-stage push that lands
+  // before the rest of the stage) both get exercised.
+  const std::uint64_t dice = r.prng.NextBounded(8);
+  if (r.sched->now() >= r.horizon) return;
+  if (dice == 0) {
+    r.sched->After(0.0, &PropertyReplay::Event, &r, Payload{pay.u0 + 1000, 0});
+  } else if (dice == 1) {
+    r.sched->After(r.prng.NextDouble(0.0, 1e-4), &PropertyReplay::Event, &r,
+                   Payload{pay.u0 + 2000, 0});
+  } else if (dice == 2) {
+    const EventHandle h =
+        r.sched->After(r.prng.NextDouble(0.0, 5.0), &PropertyReplay::Event,
+                       &r, Payload{pay.u0 + 3000, 0});
+    r.cancelable.push_back(h);
+  } else if (dice == 3 && !r.cancelable.empty()) {
+    // Cancel a random outstanding handle (it may already have fired —
+    // Cancel on a stale handle must be a harmless no-op).
+    const std::size_t i = r.prng.NextBounded(r.cancelable.size());
+    r.sched->Cancel(r.cancelable[i]);
+  }
+}
+
+std::vector<LogEntry> ReplaySchedule(const std::string& backend,
+                                     std::uint64_t seed) {
+  const auto sched = MakeScheduler(backend);
+  PropertyReplay r;
+  r.sched = sched.get();
+  r.prng = hd::Prng(seed);
+  r.horizon = 50.0;
+  hd::Prng build(seed ^ 0x9e3779b97f4a7c15ULL);
+  const int initial = 50 + static_cast<int>(build.NextBounded(200));
+  for (int i = 0; i < initial; ++i) {
+    // Coarse times make exact-time ties common across independent
+    // schedules.
+    const double t = static_cast<double>(build.NextBounded(500)) * 0.1;
+    sched->At(t, &PropertyReplay::Event, &r,
+              Payload{static_cast<std::uint64_t>(i), 0});
+  }
+  sched->Run();
+  return r.log;
+}
+
+TEST(DesProperty, BackendsPopIdenticalOrderOnRandomSchedules) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto heap = ReplaySchedule("heap", seed);
+    const auto calendar = ReplaySchedule("calendar", seed);
+    ASSERT_EQ(heap.size(), calendar.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+      ASSERT_TRUE(heap[i] == calendar[i])
+          << "seed " << seed << " diverged at event " << i << ": heap=("
+          << heap[i].time << "," << heap[i].tag << ") calendar=("
+          << calendar[i].time << "," << calendar[i].tag << ")";
+    }
+    // Times are non-decreasing — a basic sanity on the order itself.
+    for (std::size_t i = 1; i < heap.size(); ++i) {
+      ASSERT_LE(heap[i - 1].time, heap[i].time) << "seed " << seed;
+    }
+  }
+}
+
+// Exact-time ties must break by insertion order on both backends.
+TEST(DesProperty, TiesBreakByInsertionOrderOnBothBackends) {
+  for (const char* backend : {"heap", "calendar"}) {
+    const auto sched = MakeScheduler(backend);
+    std::vector<std::uint64_t> order;
+    struct Ctx {
+      std::vector<std::uint64_t>* order;
+    } ctx{&order};
+    const auto record = [](void* c, const Payload& pay) {
+      static_cast<Ctx*>(c)->order->push_back(pay.u0);
+    };
+    // Interleave two tied instants, scheduled out of time order.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      sched->At(2.0, record, &ctx, Payload{100 + i, 0});
+      sched->At(1.0, record, &ctx, Payload{i, 0});
+    }
+    sched->Run();
+    ASSERT_EQ(order.size(), 20u) << backend;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(order[i], i) << backend;            // t=1 batch, FIFO
+      EXPECT_EQ(order[10 + i], 100 + i) << backend;  // t=2 batch, FIFO
+    }
+  }
+}
+
+// A calendar pushed through several grow-resizes must still drain in
+// exact order (resize re-estimates width and reinserts every key).
+TEST(DesProperty, CalendarResizeKeepsExactOrderAtLargeN) {
+  const auto sched = MakeScheduler("calendar");
+  hd::Prng prng(7);
+  struct Ctx {
+    double last = -1.0;
+    std::uint64_t last_seq = 0;
+    std::uint64_t fired = 0;
+  } ctx;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double t = prng.NextDouble(0.0, 1000.0);
+    sched->At(t, [](void* c, const Payload& pay) {
+      auto& x = *static_cast<Ctx*>(c);
+      const double t2 = hd::des::UnpackDouble(pay.u0);
+      ASSERT_GE(t2, x.last);
+      x.last = t2;
+      ++x.fired;
+    }, &ctx, Payload{hd::des::PackDouble(t), 0});
+  }
+  sched->Run();
+  EXPECT_EQ(ctx.fired, static_cast<std::uint64_t>(kN));
+}
+
+// ---------------------------------------------------------------------
+// Cancellation handles.
+
+TEST(DesHandle, CancelRetiresEventAndInvalidatesHandle) {
+  for (const char* backend : {"heap", "calendar"}) {
+    const auto sched = MakeScheduler(backend);
+    int fired = 0;
+    const auto bump = [](void* c, const Payload&) {
+      ++*static_cast<int*>(c);
+    };
+    const EventHandle h = sched->After(1.0, bump, &fired);
+    EXPECT_TRUE(sched->Pending(h)) << backend;
+    EXPECT_TRUE(sched->Cancel(h)) << backend;
+    EXPECT_FALSE(sched->Pending(h)) << backend;
+    // Double-cancel is a no-op returning false.
+    EXPECT_FALSE(sched->Cancel(h)) << backend;
+    sched->Run();
+    EXPECT_EQ(fired, 0) << backend;
+  }
+}
+
+TEST(DesHandle, HandleGoesStaleAfterFiring) {
+  for (const char* backend : {"heap", "calendar"}) {
+    const auto sched = MakeScheduler(backend);
+    int fired = 0;
+    const auto bump = [](void* c, const Payload&) {
+      ++*static_cast<int*>(c);
+    };
+    const EventHandle h = sched->After(1.0, bump, &fired);
+    sched->Run();
+    EXPECT_EQ(fired, 1) << backend;
+    EXPECT_FALSE(sched->Pending(h)) << backend;
+    EXPECT_FALSE(sched->Cancel(h)) << backend;
+  }
+}
+
+TEST(DesHandle, SlotReuseDoesNotResurrectOldHandles) {
+  const auto sched = MakeScheduler("calendar");
+  int fired = 0;
+  const auto bump = [](void* c, const Payload&) { ++*static_cast<int*>(c); };
+  const EventHandle old = sched->After(1.0, bump, &fired);
+  ASSERT_TRUE(sched->Cancel(old));
+  // The freed slot is recycled for the next event; the old handle's
+  // generation no longer matches, so it can neither cancel nor observe
+  // the new occupant.
+  const EventHandle fresh = sched->After(2.0, bump, &fired);
+  EXPECT_EQ(old.slot, fresh.slot);
+  EXPECT_NE(old.gen, fresh.gen);
+  EXPECT_FALSE(sched->Pending(old));
+  EXPECT_FALSE(sched->Cancel(old));
+  EXPECT_TRUE(sched->Pending(fresh));
+  sched->Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(DesHandle, NullHandleIsInert) {
+  const auto sched = MakeScheduler("calendar");
+  EventHandle null;
+  EXPECT_TRUE(null.null());
+  EXPECT_FALSE(sched->Pending(null));
+  EXPECT_FALSE(sched->Cancel(null));
+}
+
+// ---------------------------------------------------------------------
+// Argument validation at the call site.
+
+TEST(DesValidation, AfterRejectsNaNAndNegativeDelays) {
+  const auto sched = MakeScheduler("calendar");
+  const auto nop = [](void*, const Payload&) {};
+  try {
+    sched->After(std::nan(""), nop, nullptr);
+    FAIL() << "NaN delay accepted";
+  } catch (const hd::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("nan"), std::string::npos)
+        << e.what();
+  }
+  try {
+    sched->After(-2.5, nop, nullptr);
+    FAIL() << "negative delay accepted";
+  } catch (const hd::CheckError& e) {
+    // The offending value must appear in the message.
+    EXPECT_NE(std::string(e.what()).find("-2.5"), std::string::npos)
+        << e.what();
+  }
+  // The closure overload validates identically.
+  EXPECT_THROW(sched->After(-1.0, [] {}), hd::CheckError);
+  EXPECT_THROW(
+      sched->After(std::numeric_limits<double>::infinity(), nop, nullptr),
+      hd::CheckError);
+}
+
+TEST(DesValidation, AtRejectsPastAndNonFiniteTimes) {
+  const auto sched = MakeScheduler("heap");
+  const auto nop = [](void*, const Payload&) {};
+  sched->At(5.0, nop, nullptr);
+  sched->Run();
+  ASSERT_EQ(sched->now(), 5.0);
+  try {
+    sched->At(4.0, nop, nullptr);
+    FAIL() << "past time accepted";
+  } catch (const hd::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(sched->At(std::nan(""), nop, nullptr), hd::CheckError);
+}
+
+TEST(DesValidation, FactoryRejectsUnknownBackendListingOptions) {
+  try {
+    MakeScheduler("splay");
+    FAIL() << "unknown backend accepted";
+  } catch (const hd::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("splay"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("calendar"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("heap"), std::string::npos) << msg;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pool bookkeeping.
+
+TEST(DesPool, PendingCountTracksLiveEventsOnly) {
+  const auto sched = MakeScheduler("calendar");
+  const auto nop = [](void*, const Payload&) {};
+  EXPECT_TRUE(sched->empty());
+  const EventHandle a = sched->After(1.0, nop, nullptr);
+  sched->After(2.0, nop, nullptr);
+  EXPECT_EQ(sched->pending(), 2u);
+  sched->Cancel(a);
+  // The canceled key is still stored (lazy deletion) but no longer live.
+  EXPECT_EQ(sched->pending(), 1u);
+  sched->Run();
+  EXPECT_TRUE(sched->empty());
+  EXPECT_EQ(sched->pending(), 0u);
+}
+
+TEST(DesPool, ClosureOverloadRunsAndRecycles) {
+  for (const char* backend : {"heap", "calendar"}) {
+    const auto sched = MakeScheduler(backend);
+    int order = 0;
+    sched->After(2.0, [&order] { EXPECT_EQ(++order, 2); });
+    sched->At(1.0, [&order] { EXPECT_EQ(++order, 1); });
+    // A canceled closure must be freed, not leaked (ASan-enforced).
+    const EventHandle h = sched->After(3.0, [&order] { ++order; });
+    sched->Cancel(h);
+    sched->Run();
+    EXPECT_EQ(order, 2) << backend;
+  }
+}
+
+}  // namespace

@@ -258,6 +258,29 @@ TEST(Engine, InvalidClusterConfigRejected) {
   EXPECT_NO_THROW(ValidateClusterConfig(ClusterConfig{}));
 }
 
+// A misconfigured cluster reports EVERY violation in one error, so a
+// sweep with several bad fields surfaces all of them in a single run.
+TEST(Engine, ValidateReportsAllViolationsAtOnce) {
+  ClusterConfig c = SmallCluster();
+  c.num_slaves = 0;
+  c.heartbeat_sec = -3.0;
+  c.reduce_slowstart = 1.5;
+  c.des_backend = "splay";
+  try {
+    ValidateClusterConfig(c);
+    FAIL() << "invalid config accepted";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("4 violations"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("at least one slave"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("heartbeat_sec"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reduce_slowstart"), std::string::npos) << msg;
+    // The unknown backend is named, and the valid options are listed.
+    EXPECT_NE(msg.find("splay"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("calendar"), std::string::npos) << msg;
+  }
+}
+
 TEST(Engine, BadSpeedFactorsRejected) {
   CalibratedTaskSource src(BaseParams());
   ClusterConfig c = SmallCluster();
@@ -393,6 +416,31 @@ TEST(FunctionalCluster, HdfsBackedRunMatchesInMemory) {
   auto r1 = JobEngine(c, &hdfs_src, Policy::kGpuFirst, &fs, "/wc").Run();
   auto r2 = JobEngine(c, &mem_src, Policy::kGpuFirst).Run();
   EXPECT_EQ(r1.final_output, r2.final_output);
+}
+
+// Batched heartbeats change the event shape (one cluster-wide pulse
+// instead of per-tracker chains) but must not change what the job
+// computes: the final output is identical either way.
+TEST(FunctionalCluster, BatchedHeartbeatsComputeIdenticalOutput) {
+  gpurt::JobProgram job = gpurt::CompileJob(kWcMap, kWcCombine, kWcReduce);
+  std::vector<std::string> splits = {"alpha beta\n", "beta gamma\n",
+                                     "gamma alpha\n", "alpha beta gamma\n"};
+  FunctionalTaskSource::Options fopts;
+  fopts.num_reducers = 2;
+  FunctionalTaskSource src_chained(job, splits, fopts);
+  FunctionalTaskSource src_batched(job, splits, fopts);
+  ClusterConfig c;
+  c.num_slaves = 2;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  c.heartbeat_sec = 0.01;
+  c.batch_heartbeats = false;
+  auto chained = JobEngine(c, &src_chained, Policy::kGpuFirst).Run();
+  c.batch_heartbeats = true;
+  auto batched = JobEngine(c, &src_batched, Policy::kGpuFirst).Run();
+  EXPECT_EQ(chained.final_output, batched.final_output);
+  EXPECT_EQ(chained.cpu_tasks + chained.gpu_tasks,
+            batched.cpu_tasks + batched.gpu_tasks);
 }
 
 TEST(FunctionalCluster, GpuOomFallsBackAndStillCorrect) {

@@ -451,4 +451,86 @@ TEST(Regress, ImprovementsAndMissingBenchmarks) {
   EXPECT_FALSE(added.Failed());  // new coverage is fine
 }
 
+prof::Suite MakePinnedSuite() {
+  prof::Suite s = MakeSuite();
+  prof::BenchRun d;
+  d.benchmark = "des_scale";
+  d.modeled_seconds = 300.0;
+  d.metrics = {{"des.events_total", 2000001.0},
+               {"pinned.des.events_per_sec", 4.0e7}};
+  s.runs.push_back(d);
+  return s;
+}
+
+TEST(Regress, PinnedMetricsTolerateWallClockNoise) {
+  // "pinned." metrics are wall-clock throughput numbers; machine noise —
+  // even a 2x swing either way — must not score at all under the default
+  // generous pinned_threshold of 0.9.
+  const prof::Suite base = MakePinnedSuite();
+  prof::Suite halved = base;
+  halved.runs[2].metrics[1].second = 2.0e7;  // events/sec 40M -> 20M
+  const prof::CompareResult slow = prof::Compare(base, halved);
+  EXPECT_TRUE(slow.deltas.empty());
+  EXPECT_FALSE(slow.Failed());
+
+  prof::Suite doubled = base;
+  doubled.runs[2].metrics[1].second = 8.0e7;
+  const prof::CompareResult fast = prof::Compare(base, doubled);
+  EXPECT_TRUE(fast.deltas.empty());  // no improvement credit either
+  EXPECT_FALSE(fast.Failed());
+}
+
+TEST(Regress, PinnedMetricCollapseIsAScoredRegression) {
+  const prof::Suite base = MakePinnedSuite();
+  prof::Suite collapsed = base;
+  collapsed.runs[2].metrics[1].second = 2.0e6;  // 40M -> 2M: -95%
+  const prof::CompareResult r = prof::Compare(base, collapsed);
+  EXPECT_EQ(r.regressions, 1);
+  EXPECT_TRUE(r.Failed());
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].benchmark, "des_scale");
+  EXPECT_EQ(r.deltas[0].metric, "pinned.des.events_per_sec");
+  EXPECT_TRUE(r.deltas[0].scored);
+  EXPECT_TRUE(r.deltas[0].regression);
+  EXPECT_NEAR(r.deltas[0].rel_change, -0.95, 1e-12);
+
+  // A tighter --pinned-threshold turns the 50% dip into a failure too.
+  prof::Suite halved = base;
+  halved.runs[2].metrics[1].second = 2.0e7;
+  prof::CompareOptions tight;
+  tight.pinned_threshold = 0.3;
+  const prof::CompareResult strict = prof::Compare(base, halved, tight);
+  EXPECT_EQ(strict.regressions, 1);
+  EXPECT_TRUE(strict.Failed());
+}
+
+TEST(Regress, DisappearedPinnedKeyScoresAsFullCollapse) {
+  // Silently dropping the pin from the report must fail the gate even
+  // though no number got worse — that is exactly what the pin guards.
+  const prof::Suite base = MakePinnedSuite();
+  prof::Suite unpinned = base;
+  unpinned.runs[2].metrics.pop_back();
+  const prof::CompareResult r = prof::Compare(base, unpinned);
+  EXPECT_EQ(r.regressions, 1);
+  EXPECT_TRUE(r.Failed());
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].metric, "pinned.des.events_per_sec");
+  EXPECT_EQ(r.deltas[0].after, 0.0);
+  EXPECT_NEAR(r.deltas[0].rel_change, -1.0, 1e-12);
+}
+
+TEST(Regress, PinnedMetricsNeverRideAsAttribution) {
+  // When modeled_seconds regresses, shared metrics attribute the change —
+  // but pinned wall-clock keys are excluded from attribution: they only
+  // ever appear as their own scored rows.
+  const prof::Suite base = MakePinnedSuite();
+  prof::Suite cur = base;
+  cur.runs[2].modeled_seconds = 330.0;       // +10% modeled regression
+  cur.runs[2].metrics[1].second = 2.0e7;     // pinned halves (noise)
+  const prof::CompareResult r = prof::Compare(base, cur);
+  EXPECT_EQ(r.regressions, 1);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].metric, "modeled_seconds");
+}
+
 }  // namespace
