@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
       if (sk == SchedulerKind::kFair && policy == sched::Policy::kTail) {
         c.sink = rep.sink();
         c.metrics = rep.metrics();
+        c.timeseries = rep.timeseries();
       }
       const WorkloadMetrics m = multijob::RunWorkload(c, sk, mix, spec);
       rep.AddModeledSeconds(m.makespan_sec);

@@ -71,12 +71,19 @@ NullBuf& TheNullBuf() {
 [[noreturn]] void Usage(const std::string& id, int code) {
   std::fprintf(stderr,
                "usage: %s [--json <path>] [--trace-out <path>] "
-               "[--metrics-out <path>] [--seed <n>] [--policy <name>] "
+               "[--metrics-out <path>] [--timeseries-out <path>] "
+               "[--sample-interval <sec>] [--seed <n>] [--policy <name>] "
                "[--scheduler <name>] [--smoke] [--quiet]\n"
                "  --json <path>         write the %s report\n"
                "  --trace-out <path>    write a Chrome/Perfetto trace of the "
                "run (alias: --trace)\n"
                "  --metrics-out <path>  write just the flat metrics JSON\n"
+               "  --timeseries-out <path>  write live telemetry sampled over "
+               "modeled time\n"
+               "                        (heterodoop.timeseries.v1 JSONL; "
+               "read with `hdprof timeline`)\n"
+               "  --sample-interval <sec>  telemetry sampling period in "
+               "modeled seconds (default 5)\n"
                "  --seed <n>            workload/injector seed (ignored by "
                "fully deterministic binaries)\n"
                "  --policy <name>       run only this per-job policy "
@@ -165,12 +172,21 @@ Reporter::Reporter(std::string benchmark_id, int argc, char** argv)
     } else if (arg == "--policy" || arg == "--scheduler") {
       if (i + 1 >= argc) Usage(benchmark_id_, 2);
       (arg == "--policy" ? policy_ : scheduler_) = argv[++i];
-    } else if (arg == "--json" || arg == "--trace" || arg == "--trace-out" ||
-               arg == "--metrics-out") {
+    } else if (arg == "--sample-interval") {
       if (i + 1 >= argc) Usage(benchmark_id_, 2);
-      std::string& slot = arg == "--json" ? json_path_
+      char* end = nullptr;
+      sample_interval_ = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || !(sample_interval_ > 0.0)) {
+        Usage(benchmark_id_, 2);
+      }
+    } else if (arg == "--json" || arg == "--trace" || arg == "--trace-out" ||
+               arg == "--metrics-out" || arg == "--timeseries-out") {
+      if (i + 1 >= argc) Usage(benchmark_id_, 2);
+      std::string& slot = arg == "--json"          ? json_path_
                           : arg == "--metrics-out" ? metrics_path_
-                                                   : trace_path_;
+                          : arg == "--timeseries-out"
+                              ? timeseries_path_
+                              : trace_path_;
       slot = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage(benchmark_id_, 0);
@@ -180,6 +196,11 @@ Reporter::Reporter(std::string benchmark_id, int argc, char** argv)
   }
   if (!trace_path_.empty()) {
     chrome_ = std::make_unique<trace::ChromeTraceSink>();
+  }
+  if (!timeseries_path_.empty()) {
+    trace::TimeSeriesOptions opts;
+    opts.sample_interval_sec = sample_interval_;
+    timeseries_ = std::make_unique<trace::TimeSeries>(opts);
   }
   null_out_ = std::make_unique<std::ostream>(&TheNullBuf());
 }
@@ -256,6 +277,21 @@ int Reporter::Finish() {
     std::ostringstream ms;
     registry_.WriteJson(ms);
     WriteValue(w, json::Parse(ms.str()));
+    // Always present: SLO alert transitions from the telemetry sampler,
+    // empty without --timeseries-out (schema stability over brevity).
+    w.Key("alerts");
+    w.BeginArray();
+    if (timeseries_ != nullptr) {
+      for (const trace::AlertEvent& a : timeseries_->slo_monitor().alerts()) {
+        w.BeginObject();
+        w.Key("t").Number(a.at_sec);
+        w.Key("rule").String(a.rule);
+        w.Key("state").String(a.firing ? "firing" : "resolved");
+        w.Key("value").Number(a.value);
+        w.EndObject();
+      }
+    }
+    w.EndArray();
     w.EndObject();
     f << "\n";
     HD_CHECK_MSG(f.good(), "write to '" << json_path_ << "' failed");
@@ -275,6 +311,14 @@ int Reporter::Finish() {
                                                             << "'");
     chrome_->Write(f);
     HD_CHECK_MSG(f.good(), "write to '" << trace_path_ << "' failed");
+  }
+
+  if (!timeseries_path_.empty()) {
+    std::ofstream f(timeseries_path_, std::ios::binary);
+    HD_CHECK_MSG(f.good(), "cannot open --timeseries-out path '"
+                               << timeseries_path_ << "'");
+    timeseries_->WriteJsonl(f);
+    HD_CHECK_MSG(f.good(), "write to '" << timeseries_path_ << "' failed");
   }
   return 0;
 }

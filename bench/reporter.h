@@ -10,6 +10,10 @@
 //   <bench> --trace-out out.trace   # + Perfetto-loadable event trace
 //                                   #   (--trace remains as an alias)
 //   <bench> --metrics-out out.json  # + just the flat metrics registry
+//   <bench> --timeseries-out out.jsonl  # + live telemetry sampled over
+//                                   #   modeled time (heterodoop.timeseries.v1
+//                                   #   JSONL; feed to `hdprof timeline`)
+//   <bench> --sample-interval SEC   # telemetry sampling period (default 5)
 //   <bench> --smoke                 # shrunk inputs for fast schema checks
 //   <bench> --quiet                 # suppress the human output
 //   <bench> --seed N                # workload/injector seed (binaries that
@@ -25,7 +29,9 @@
 //     "config": { <flat string/number/bool settings> },
 //     "modeled_seconds": <total modeled simulated time reported>,
 //     "rows": [ {"table": "<table title>", "<column>": <typed cell>, ...} ],
-//     "metrics": { <flat trace::Registry export> }
+//     "metrics": { <flat trace::Registry export> },
+//     "alerts": [ {"t": <sec>, "rule": "<name>", "state": "firing"|"resolved",
+//                  "value": <number>}, ... ]   # empty without --timeseries-out
 //   }
 //
 // Determinism: cells are serialized with shortest-round-trip number
@@ -42,6 +48,7 @@
 #include "common/json.h"
 #include "trace/chrome.h"
 #include "trace/metrics.h"
+#include "trace/timeseries.h"
 #include "trace/trace.h"
 
 namespace hd::bench {
@@ -116,6 +123,11 @@ class Reporter {
   // Always available: the registry the run's tasks/engines fill; exported
   // under "metrics".
   trace::Registry* metrics() { return &registry_; }
+  // Null when --timeseries-out was not given (the sampler convention, same
+  // as sink()): hand it to ClusterConfig::timeseries on the run whose
+  // telemetry should be exported. Its sample interval is --sample-interval.
+  trace::TimeSeries* timeseries() { return timeseries_.get(); }
+  double sample_interval_sec() const { return sample_interval_; }
 
   // Free-text human output (headings, reading guides); /dev/null-like
   // under --quiet.
@@ -155,11 +167,14 @@ class Reporter {
   std::string json_path_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string timeseries_path_;
+  double sample_interval_ = 5.0;
   bool finished_ = false;
   double modeled_seconds_ = 0.0;
 
   trace::Registry registry_;
   std::unique_ptr<trace::ChromeTraceSink> chrome_;
+  std::unique_ptr<trace::TimeSeries> timeseries_;
   std::vector<std::unique_ptr<ReportTable>> tables_;
   std::vector<std::pair<std::string, json::Value>> config_;
   std::unique_ptr<std::ostream> null_out_;

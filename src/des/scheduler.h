@@ -87,6 +87,9 @@ class Scheduler {
   double now() const { return now_; }
   bool empty() const { return live_ == 0; }
   std::size_t pending() const { return live_; }
+  // Total events dispatched (fired, not canceled) since construction.
+  // Monotone; the telemetry sampler derives events/sec from its deltas.
+  std::uint64_t serviced() const { return serviced_; }
 
   // Schedules `fn(ctx, payload)` at absolute time `time` (>= now(),
   // finite). Returns a handle usable with Cancel until the event fires.
@@ -162,6 +165,7 @@ class Scheduler {
     // may grow), so no reference into pool_ survives past this point.
     Release(k.slot);
     --live_;
+    ++serviced_;
     fn(ctx, payload);
     return true;
   }
@@ -186,6 +190,7 @@ class Scheduler {
   static constexpr std::uint32_t kNoFree = 0xffffffffu;
   std::uint64_t seq_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t serviced_ = 0;
   double now_ = 0.0;
 };
 

@@ -231,6 +231,64 @@ void ClusterCore::RetryTimerEvent(void* ctx, const des::Payload& p) {
   }
 }
 
+void ClusterCore::SampleEvent(void* ctx, const des::Payload& p) {
+  static_cast<ClusterCore*>(ctx)->SampleTick(static_cast<std::int64_t>(p.u0));
+}
+
+void ClusterCore::StartTelemetry() {
+  trace::TimeSeries* ts = cfg_.timeseries;
+  if (ts == nullptr) return;
+  const double cpu_slots =
+      static_cast<double>(cfg_.num_slaves) * cfg_.map_slots_per_node;
+  if (cpu_slots > 0.0) {
+    ts->AddRateProbe(
+        "cluster.cpu_util", [this] { return cpu_busy_sec_; },
+        1.0 / cpu_slots);
+  }
+  const double gpu_slots =
+      static_cast<double>(cfg_.num_slaves) * cfg_.gpus_per_node;
+  if (gpu_slots > 0.0) {
+    ts->AddRateProbe(
+        "cluster.gpu_util", [this] { return gpu_busy_sec_; },
+        1.0 / gpu_slots);
+  }
+  ts->AddGaugeProbe("cluster.running_attempts", [this] {
+    return static_cast<double>(running_.size());
+  });
+  ts->AddGaugeProbe("cluster.live_trackers", [this] {
+    double n = 0.0;
+    for (const NodeHealth& h : health_) n += h.alive ? 1.0 : 0.0;
+    return n;
+  });
+  // Availability over modeled time: the fraction of trackers currently up
+  // (fault::FaultInjector crash plans carve this below 1.0); the run-total
+  // availability gauge integrates the same signal.
+  ts->AddGaugeProbe("cluster.available_frac", [this] {
+    if (health_.empty()) return 1.0;
+    double n = 0.0;
+    for (const NodeHealth& h : health_) n += h.alive ? 1.0 : 0.0;
+    return n / static_cast<double>(health_.size());
+  });
+  ts->AddRateProbe("des.events_per_sec", [this] {
+    return static_cast<double>(events_.serviced());
+  });
+  SampleTick(0);
+}
+
+void ClusterCore::SampleTick(std::int64_t k) {
+  trace::TimeSeries* ts = cfg_.timeseries;
+  if (k > 0) ts->Sample(events_.now(), cfg_.metrics, cfg_.sink);
+  // Re-arm while the simulation still has events of its own: when the
+  // sampler would be alone in the queue, the run is over and the queue
+  // must drain. Tick times are k * interval — multiplication, not
+  // accumulation, so a million ticks carry no floating-point drift.
+  if (k == 0 || events_.pending() > 0) {
+    events_.At(static_cast<double>(k + 1) * ts->sample_interval_sec(),
+               &ClusterCore::SampleEvent, this,
+               des::Payload{static_cast<std::uint64_t>(k + 1), 0});
+  }
+}
+
 void ClusterCore::ScheduleFaultPlan() {
   if (cfg_.faults == nullptr) return;
   for (const fault::NodeCrash& crash : cfg_.faults->CrashPlan(cfg_.num_slaves)) {

@@ -43,6 +43,7 @@
 #include "hdfs/hdfs.h"
 #include "sched/policy.h"
 #include "trace/metrics.h"
+#include "trace/timeseries.h"
 #include "trace/trace.h"
 
 namespace hd::hadoop {
@@ -127,6 +128,14 @@ struct ClusterConfig {
   // share one trace file on disjoint pid ranges.
   trace::Sink* sink = nullptr;
   trace::Registry* metrics = nullptr;
+  // Live telemetry (src/trace/timeseries.h); null = off, the default, and
+  // bit-identical modeled numbers. When set, the engine schedules a
+  // read-only sample event at every multiple of the sampler's interval:
+  // the event snapshots cluster gauges (live trackers, running attempts,
+  // slot utilization, DES events/sec, availability) plus whatever probes
+  // the engine registered, then re-arms while other events remain — so
+  // the queue still drains when the simulation is done.
+  trace::TimeSeries* timeseries = nullptr;
   int trace_pid_base = 0;
 
   // Throws one CheckError listing every violated invariant (see
@@ -356,6 +365,14 @@ class ClusterCore {
   }
   void EmitHeartbeat(int node_id);
 
+  // Registers the cluster-level telemetry probes and schedules the first
+  // sample tick at cfg_.timeseries->sample_interval_sec. Engines call it
+  // once at the top of Run(), after registering their own probes; a no-op
+  // when cfg_.timeseries is null. Tick times are exact multiples of the
+  // interval (k * interval, computed by multiplication), and the sample
+  // handler only reads state — it never perturbs modeled arithmetic.
+  void StartTelemetry();
+
   // Called after each map completion (slot freed; Hadoop 1.x sends an
   // out-of-band heartbeat here) and after a job's last map completes.
   virtual void OnTaskFinished(JobState& job, int node_id) = 0;
@@ -402,9 +419,14 @@ class ClusterCore {
   // pair — never a heap-allocated closure.
   static void CrashEvent(void* ctx, const des::Payload& p);
   static void RecoverEvent(void* ctx, const des::Payload& p);
+  static void SampleEvent(void* ctx, const des::Payload& p);
   static void AttemptDoneEvent(void* ctx, const des::Payload& p);
   static void AttemptFailedEvent(void* ctx, const des::Payload& p);
   static void RetryTimerEvent(void* ctx, const des::Payload& p);
+
+  // One telemetry sample at tick k (modeled time k * interval); re-arms
+  // tick k+1 while other events remain in the queue.
+  void SampleTick(std::int64_t k);
 
   void CrashNode(const fault::NodeCrash& crash);
   void RecoverNode(int node_id);

@@ -46,6 +46,7 @@ class EventQueue {
   double now() const { return sched_->now(); }
   bool empty() const { return sched_->empty(); }
   std::size_t pending() const { return sched_->pending(); }
+  std::uint64_t serviced() const { return sched_->serviced(); }
 
   // Runs one event; returns false when the queue is empty.
   bool Step() { return sched_->Step(); }

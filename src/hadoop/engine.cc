@@ -84,6 +84,7 @@ void JobEngine::BatchTick() {
 
 JobResult JobEngine::Run() {
   ScheduleFaultPlan();
+  StartTelemetry();
   if (cfg_.batch_heartbeats) {
     // One cluster-wide heartbeat tick per interval: O(1) standing events
     // instead of O(nodes). Trackers are served in node order; the

@@ -179,6 +179,8 @@ void MultiJobEngine::OnJobFinished(JobState& job) {
 void MultiJobEngine::CompleteJob(JobState& job) {
   active_.erase(std::find(active_.begin(), active_.end(), &job));
   ++completed_;
+  // Infinite deadline (batch) never misses.
+  if (job.result.makespan_sec > job.deadline_sec) ++deadline_misses_;
   if (--active_jobs_ == 0) ++pulse_gen_;  // retire pulses lazily
 
   if (cfg_.sink != nullptr) {
@@ -217,6 +219,33 @@ void MultiJobEngine::CompleteJob(JobState& job) {
 
 WorkloadMetrics MultiJobEngine::Run() {
   ScheduleFaultPlan();
+  if (cfg_.timeseries != nullptr) {
+    trace::TimeSeries& ts = *cfg_.timeseries;
+    ts.AddGaugeProbe("multijob.active_jobs", [this] {
+      return static_cast<double>(active_jobs_);
+    });
+    ts.AddCumulativeProbe("multijob.jobs_submitted", [this] {
+      return static_cast<double>(submitted_);
+    });
+    ts.AddCumulativeProbe("multijob.jobs_completed", [this] {
+      return static_cast<double>(completed_);
+    });
+    ts.AddCumulativeProbe("multijob.deadline_misses", [this] {
+      return static_cast<double>(deadline_misses_);
+    });
+    // Default SLO rule: jobs with finite deadlines may miss 5% of
+    // completions before the budget burns. Deadline-free workloads never
+    // fire it (0 misses over any window evaluates to zero burn).
+    trace::SloRule rule;
+    rule.name = "multijob.deadline_miss_burn";
+    rule.kind = trace::SloRule::Kind::kBurnRate;
+    rule.bad_series = "multijob.deadline_misses";
+    rule.total_series = "multijob.jobs_completed";
+    rule.budget = 0.05;
+    rule.track = trace::Track{cfg_.trace_pid_base, 0};
+    ts.slo().AddRule(rule);
+  }
+  StartTelemetry();
   events_.Run();
   HD_CHECK_MSG(completed_ == submitted_,
                "event queue drained with jobs still in flight");

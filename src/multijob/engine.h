@@ -91,6 +91,10 @@ class MultiJobEngine : public hadoop::ClusterCore {
   int submitted_ = 0;
   int completed_ = 0;
   int active_jobs_ = 0;
+  // Jobs that finished past a finite deadline_sec; maintained live (at
+  // each completion) so telemetry burn-rate rules can watch the budget
+  // being spent mid-run.
+  std::int64_t deadline_misses_ = 0;
   // Heartbeat pulses carry a generation; bumping it retires them when the
   // cluster drains, and Activate() starts a fresh set on 0 -> 1.
   std::uint64_t pulse_gen_ = 0;

@@ -11,11 +11,18 @@
 //   hdprof compare <before.json> <after.json> [--threshold F] [--json]
 //     Diffs two bench/regress suite documents; exits 1 when a benchmark's
 //     modeled_seconds regressed beyond the threshold (or disappeared).
+//     When both inputs are heterodoop.timeseries.v1 exports, diffs their
+//     per-series steady-state means instead.
+//
+//   hdprof timeline <telemetry.jsonl> [--width N] [--json]
+//     Renders a --timeseries-out telemetry export: per-group timeline
+//     tables with ASCII sparklines plus the SLO alert log.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +32,7 @@
 #include "prof/critical_path.h"
 #include "prof/kernels.h"
 #include "prof/regress.h"
+#include "prof/timeline.h"
 #include "prof/trace_file.h"
 
 namespace {
@@ -43,7 +51,13 @@ using namespace hd;
       "[--pinned-threshold F] [--json]\n"
       "      diff two bench/regress suite documents (exit 1 on regression;\n"
       "      'pinned.' wall-clock metrics fail only past the pinned "
-      "threshold)\n");
+      "threshold);\n"
+      "      two timeseries.v1 exports diff their steady-state means "
+      "instead\n"
+      "  timeline <telemetry.jsonl> [--width N] [--json]\n"
+      "      render a --timeseries-out telemetry export: sparkline "
+      "timelines\n"
+      "      per metric group plus the SLO alert log\n");
   std::exit(code);
 }
 
@@ -54,6 +68,7 @@ struct Flags {
   double threshold = 0.01;
   double pinned_threshold = 0.9;
   int top = 10;
+  int width = 48;
 };
 
 Flags ParseFlags(int argc, char** argv, int first) {
@@ -74,6 +89,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       f.pinned_threshold = std::atof(value().c_str());
     } else if (arg == "--top") {
       f.top = std::atoi(value().c_str());
+    } else if (arg == "--width") {
+      f.width = std::atoi(value().c_str());
     } else if (arg == "--help" || arg == "-h") {
       Usage(0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -296,8 +313,188 @@ int CmdKernels(const Flags& f) {
   return 0;
 }
 
+// Metric grouping for the timeline tables: stream series are named
+// "stream.<pipeline>.<metric>", so they group per pipeline; everything
+// else groups by its first dotted component ("cluster", "des",
+// "multijob"). Group order follows the export (sorted by series name).
+std::string TimelineGroup(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) return name;
+  if (name.compare(0, dot, "stream") == 0) {
+    const std::size_t dot2 = name.find('.', dot + 1);
+    if (dot2 != std::string::npos) return name.substr(0, dot2);
+  }
+  return name.substr(0, dot);
+}
+
+int CmdTimeline(const Flags& f) {
+  if (f.positional.size() != 1) Usage(2);
+  const prof::TimeSeriesFile ts = prof::TimeSeriesFile::Load(f.positional[0]);
+
+  if (f.json) {
+    json::Writer w(std::cout);
+    w.BeginObject();
+    w.Key("sample_interval_sec").Number(ts.sample_interval_sec);
+    w.Key("samples").Int(ts.samples);
+    w.Key("series").BeginArray();
+    for (const prof::TsSeries& s : ts.series) {
+      w.BeginObject();
+      w.Key("name").String(s.name);
+      w.Key("kind").String(s.kind);
+      w.Key("group").String(TimelineGroup(s.name));
+      w.Key("points").Int(static_cast<std::int64_t>(s.points.size()));
+      if (!s.points.empty()) {
+        w.Key("min").Number(s.Min());
+        w.Key("mean").Number(s.Mean());
+        w.Key("steady_mean").Number(s.SteadyMean());
+        w.Key("last").Number(s.Last());
+        w.Key("max").Number(s.Max());
+        w.Key("sparkline").String(prof::Sparkline(s.points, f.width));
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("alerts").BeginArray();
+    for (const prof::TsAlert& a : ts.alerts) {
+      w.BeginObject();
+      w.Key("t").Number(a.t);
+      w.Key("rule").String(a.rule);
+      w.Key("state").String(a.state);
+      w.Key("value").Number(a.value);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::cout << "\n";
+    return 0;
+  }
+
+  double horizon = 0.0;
+  for (const prof::TsSeries& s : ts.series) {
+    if (!s.points.empty()) horizon = std::max(horizon, s.points.back().first);
+  }
+  std::cout << "telemetry: " << ts.samples << " samples @ "
+            << FormatDouble(ts.sample_interval_sec, 3) << " s over "
+            << FormatDouble(horizon, 1) << " s of modeled time, "
+            << ts.series.size() << " series, " << ts.alerts.size()
+            << " alert transition(s)\n";
+
+  // One table per metric group, series in export (name-sorted) order.
+  std::string group;
+  std::unique_ptr<Table> t;
+  auto flush = [&] {
+    if (t != nullptr) t->Print(std::cout);
+    t.reset();
+  };
+  for (const prof::TsSeries& s : ts.series) {
+    const std::string g = TimelineGroup(s.name);
+    if (t == nullptr || g != group) {
+      flush();
+      group = g;
+      std::cout << "\n[" << group << "]\n";
+      t = std::make_unique<Table>(std::vector<std::string>{
+          "metric", "kind", "n", "min", "mean", "last", "max", "timeline"});
+    }
+    // Show the metric name relative to its group header.
+    const std::string label = s.name.size() > group.size() + 1
+                                  ? s.name.substr(group.size() + 1)
+                                  : s.name;
+    auto& row = t->Row().Cell(label).Cell(s.kind).Cell(
+        static_cast<std::int64_t>(s.points.size()));
+    if (s.points.empty()) {
+      row.Cell("-").Cell("-").Cell("-").Cell("-").Cell("");
+    } else {
+      row.Cell(s.Min(), 3)
+          .Cell(s.Mean(), 3)
+          .Cell(s.Last(), 3)
+          .Cell(s.Max(), 3)
+          .Cell(prof::Sparkline(s.points, f.width));
+    }
+  }
+  flush();
+
+  if (!ts.alerts.empty()) {
+    std::cout << "\nSLO alerts:\n";
+    Table at({"t (s)", "rule", "state", "value"});
+    for (const prof::TsAlert& a : ts.alerts) {
+      at.Row().Cell(a.t, 1).Cell(a.rule).Cell(a.state).Cell(a.value, 3);
+    }
+    at.Print(std::cout);
+  } else {
+    std::cout << "\nno SLO alert transitions.\n";
+  }
+  return 0;
+}
+
+int CmdCompareTimeSeries(const Flags& f) {
+  const prof::TimeSeriesFile before =
+      prof::TimeSeriesFile::Load(f.positional[0]);
+  const prof::TimeSeriesFile after =
+      prof::TimeSeriesFile::Load(f.positional[1]);
+  const prof::CompareResult res =
+      prof::CompareTimeSeries(before, after, f.threshold);
+
+  if (f.json) {
+    json::Writer w(std::cout);
+    w.BeginObject();
+    w.Key("threshold").Number(f.threshold);
+    w.Key("deltas").BeginArray();
+    for (const prof::Delta& d : res.deltas) {
+      w.BeginObject();
+      w.Key("series").String(d.benchmark);
+      w.Key("before").Number(d.before);
+      w.Key("after").Number(d.after);
+      w.Key("rel_change").Number(d.rel_change);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("added_series").BeginArray();
+    for (const std::string& s : res.added_benchmarks) w.String(s);
+    w.EndArray();
+    w.Key("removed_series").BeginArray();
+    for (const std::string& s : res.removed_benchmarks) w.String(s);
+    w.EndArray();
+    w.EndObject();
+    std::cout << "\n";
+    return res.Failed() ? 1 : 0;
+  }
+
+  std::cout << "compare telemetry steady-state means (threshold "
+            << FormatDouble(f.threshold * 100.0, 1) << "%)\n";
+  if (res.deltas.empty() && res.added_benchmarks.empty() &&
+      res.removed_benchmarks.empty()) {
+    std::cout << "no series moved beyond the threshold; "
+              << before.series.size() << " series match\n";
+    return 0;
+  }
+  Table t({"series", "before", "after", "change (%)"});
+  for (const prof::Delta& d : res.deltas) {
+    t.Row()
+        .Cell(d.benchmark)
+        .Cell(d.before, 4)
+        .Cell(d.after, 4)
+        .Cell(d.rel_change * 100.0, 2);
+  }
+  t.Print(std::cout);
+  for (const std::string& s : res.added_benchmarks) {
+    std::cout << "added series: " << s << "\n";
+  }
+  for (const std::string& s : res.removed_benchmarks) {
+    std::cout << "REMOVED series: " << s << "\n";
+  }
+  return res.Failed() ? 1 : 0;
+}
+
 int CmdCompare(const Flags& f) {
   if (f.positional.size() != 2) Usage(2);
+  // Telemetry exports carry their schema on the first line; when both
+  // inputs are timeseries files the compare switches to steady-state
+  // means. Mixing one of each falls through to the suite loader, whose
+  // schema check produces the clearer error.
+  if (prof::IsTimeSeriesFile(f.positional[0]) &&
+      prof::IsTimeSeriesFile(f.positional[1])) {
+    return CmdCompareTimeSeries(f);
+  }
   const prof::Suite before = prof::LoadSuite(f.positional[0]);
   const prof::Suite after = prof::LoadSuite(f.positional[1]);
   prof::CompareOptions opts;
@@ -381,6 +578,7 @@ int main(int argc, char** argv) {
     if (cmd == "critical-path") return CmdCriticalPath(f);
     if (cmd == "kernels") return CmdKernels(f);
     if (cmd == "compare") return CmdCompare(f);
+    if (cmd == "timeline") return CmdTimeline(f);
     if (cmd == "--help" || cmd == "-h") Usage(0);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hdprof: %s\n", e.what());

@@ -1,0 +1,232 @@
+#include "prof/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace hd::prof {
+
+namespace {
+
+double RelChange(double before, double after) {
+  if (before == after) return 0.0;
+  if (before == 0.0) return after > 0.0 ? 1.0 : -1.0;
+  return (after - before) / std::fabs(before);
+}
+
+double MeanOf(const std::vector<std::pair<double, double>>& pts,
+              std::size_t first) {
+  if (first >= pts.size()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = first; i < pts.size(); ++i) sum += pts[i].second;
+  return sum / static_cast<double>(pts.size() - first);
+}
+
+}  // namespace
+
+double TsSeries::Min() const {
+  HD_CHECK(!points.empty());
+  double m = points[0].second;
+  for (const auto& [t, v] : points) m = std::min(m, v);
+  return m;
+}
+
+double TsSeries::Max() const {
+  HD_CHECK(!points.empty());
+  double m = points[0].second;
+  for (const auto& [t, v] : points) m = std::max(m, v);
+  return m;
+}
+
+double TsSeries::Mean() const { return MeanOf(points, 0); }
+
+double TsSeries::Last() const {
+  HD_CHECK(!points.empty());
+  return points.back().second;
+}
+
+double TsSeries::SteadyMean() const { return MeanOf(points, points.size() / 2); }
+
+TimeSeriesFile TimeSeriesFile::Parse(std::string_view text) {
+  TimeSeriesFile f;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    const json::Value doc = json::Parse(line);
+    if (!doc.is_object()) {
+      throw std::runtime_error("timeseries line " + std::to_string(lineno) +
+                               " is not a JSON object");
+    }
+    if (!saw_header) {
+      const json::Value* schema = doc.Find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->string != kTimelineSchema) {
+        throw std::runtime_error(std::string("not a ") + kTimelineSchema +
+                                 " export");
+      }
+      if (const json::Value* v = doc.Find("sample_interval_sec");
+          v && v->is_number()) {
+        f.sample_interval_sec = v->number;
+      }
+      if (const json::Value* v = doc.Find("samples"); v && v->is_number()) {
+        f.samples = static_cast<std::int64_t>(v->number);
+      }
+      saw_header = true;
+      continue;
+    }
+    const json::Value* type = doc.Find("type");
+    if (type == nullptr || !type->is_string()) {
+      throw std::runtime_error("timeseries line " + std::to_string(lineno) +
+                               " has no 'type'");
+    }
+    if (type->string == "series") {
+      TsSeries s;
+      if (const json::Value* v = doc.Find("name"); v && v->is_string()) {
+        s.name = v->string;
+      }
+      if (const json::Value* v = doc.Find("kind"); v && v->is_string()) {
+        s.kind = v->string;
+      }
+      if (const json::Value* v = doc.Find("points"); v && v->is_array()) {
+        for (const json::Value& p : v->array) {
+          if (!p.is_array() || p.array.size() != 2 ||
+              !p.array[0].is_number() || !p.array[1].is_number()) {
+            throw std::runtime_error("timeseries line " +
+                                     std::to_string(lineno) +
+                                     ": malformed point");
+          }
+          s.points.emplace_back(p.array[0].number, p.array[1].number);
+        }
+      }
+      f.series.push_back(std::move(s));
+    } else if (type->string == "alert") {
+      TsAlert a;
+      if (const json::Value* v = doc.Find("t"); v && v->is_number()) {
+        a.t = v->number;
+      }
+      if (const json::Value* v = doc.Find("rule"); v && v->is_string()) {
+        a.rule = v->string;
+      }
+      if (const json::Value* v = doc.Find("state"); v && v->is_string()) {
+        a.state = v->string;
+      }
+      if (const json::Value* v = doc.Find("value"); v && v->is_number()) {
+        a.value = v->number;
+      }
+      f.alerts.push_back(std::move(a));
+    } else {
+      throw std::runtime_error("timeseries line " + std::to_string(lineno) +
+                               ": unknown type '" + type->string + "'");
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error(std::string("not a ") + kTimelineSchema +
+                             " export (empty file)");
+  }
+  return f;
+}
+
+TimeSeriesFile TimeSeriesFile::Load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw std::runtime_error("cannot read timeseries file '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return Parse(ss.str());
+}
+
+const TsSeries* TimeSeriesFile::Find(const std::string& name) const {
+  for (const TsSeries& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool IsTimeSeriesFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  std::string line;
+  if (!std::getline(f, line)) return false;
+  return line.find(kTimelineSchema) != std::string::npos;
+}
+
+std::string Sparkline(const std::vector<std::pair<double, double>>& points,
+                      int width) {
+  // 8 brightness levels; space is reserved for "no data in this column".
+  static constexpr const char kRamp[] = "_.-:=*#%@";
+  static constexpr int kLevels = 9;
+  if (points.empty() || width <= 0) return "";
+  const int cols = std::min<int>(width, static_cast<int>(points.size()));
+  double lo = points[0].second, hi = points[0].second;
+  for (const auto& [t, v] : points) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(cols));
+  const std::size_t n = points.size();
+  for (int c = 0; c < cols; ++c) {
+    // Bucket by point index: [c*n/cols, (c+1)*n/cols).
+    const std::size_t first = static_cast<std::size_t>(c) * n /
+                              static_cast<std::size_t>(cols);
+    const std::size_t last = static_cast<std::size_t>(c + 1) * n /
+                             static_cast<std::size_t>(cols);
+    double sum = 0.0;
+    for (std::size_t i = first; i < last; ++i) sum += points[i].second;
+    const double mean = sum / static_cast<double>(last - first);
+    // A constant series renders as the lowest glyph, not as blanks.
+    const int level =
+        span <= 0.0
+            ? 0
+            : std::min(kLevels - 1,
+                       static_cast<int>((mean - lo) / span * kLevels));
+    out.push_back(kRamp[level]);
+  }
+  return out;
+}
+
+CompareResult CompareTimeSeries(const TimeSeriesFile& before,
+                                const TimeSeriesFile& after,
+                                double threshold) {
+  CompareResult res;
+  for (const TsSeries& b : before.series) {
+    const TsSeries* a = after.Find(b.name);
+    if (a == nullptr) {
+      res.removed_benchmarks.push_back(b.name);
+      continue;
+    }
+    const double bv = b.SteadyMean();
+    const double av = a->SteadyMean();
+    const double rel = RelChange(bv, av);
+    if (std::fabs(rel) <= threshold) continue;
+    Delta d;
+    d.benchmark = b.name;
+    d.metric = "steady_mean";
+    d.before = bv;
+    d.after = av;
+    d.rel_change = rel;
+    res.deltas.push_back(std::move(d));
+  }
+  for (const TsSeries& a : after.series) {
+    if (before.Find(a.name) == nullptr) {
+      res.added_benchmarks.push_back(a.name);
+    }
+  }
+  return res;
+}
+
+}  // namespace hd::prof

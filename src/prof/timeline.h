@@ -1,0 +1,81 @@
+// Reader and renderer for "heterodoop.timeseries.v1" telemetry exports
+// (bench `--timeseries-out`): per-series timeline tables with ASCII
+// sparklines, the SLO alert log, and a steady-state comparator that lets
+// `hdprof compare` diff two telemetry files directly.
+//
+// The wire format is JSONL: a header line ({"schema", "sample_interval_sec",
+// "samples", "series", "alerts"}), one line per series ({"type":"series",
+// "name", "kind", "points":[[t,v],...]}), and one line per SLO alert
+// transition ({"type":"alert", "t", "rule", "state", "value"}). hdprof is
+// a consumer of that wire format, so the schema string is restated here
+// rather than pulling in the producer (src/trace) as a dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "prof/regress.h"
+
+namespace hd::prof {
+
+inline constexpr const char* kTimelineSchema = "heterodoop.timeseries.v1";
+
+// One exported metric series: (modeled time, value) points in time order.
+struct TsSeries {
+  std::string name;
+  std::string kind;  // "gauge" | "counter" | "rate" | "window"
+  std::vector<std::pair<double, double>> points;
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Last() const;
+  // Mean over the last half of the points — the steady-state summary the
+  // timeline table and the telemetry comparator score. The front half
+  // absorbs warmup/ramp so two runs of different horizons stay comparable.
+  double SteadyMean() const;
+};
+
+// One SLO alert transition ("firing" or "resolved") at a sample instant.
+struct TsAlert {
+  double t = 0.0;
+  std::string rule;
+  std::string state;
+  double value = 0.0;
+};
+
+struct TimeSeriesFile {
+  double sample_interval_sec = 0.0;
+  std::int64_t samples = 0;
+  std::vector<TsSeries> series;  // export order (sorted by name)
+  std::vector<TsAlert> alerts;   // time order
+
+  // Parses a JSONL export; throws std::runtime_error on malformed lines
+  // or a schema mismatch in the header.
+  static TimeSeriesFile Parse(std::string_view text);
+  static TimeSeriesFile Load(const std::string& path);
+
+  const TsSeries* Find(const std::string& name) const;
+};
+
+// Cheap sniff: does the file's first line carry the timeseries schema?
+// `hdprof compare` uses this to auto-detect telemetry inputs; returns
+// false for unreadable files (the suite loader then reports the error).
+bool IsTimeSeriesFile(const std::string& path);
+
+// ASCII sparkline of the series values, downsampled (bucket mean over
+// point index) to at most `width` columns. Constant series render flat.
+std::string Sparkline(const std::vector<std::pair<double, double>>& points,
+                      int width);
+
+// Diffs the steady-state means of every shared series beyond `threshold`
+// (attribution-only deltas, never scored as regressions); series present
+// on one side only surface as added/removed, and a removed series fails
+// the compare just like a removed benchmark.
+CompareResult CompareTimeSeries(const TimeSeriesFile& before,
+                                const TimeSeriesFile& after, double threshold);
+
+}  // namespace hd::prof

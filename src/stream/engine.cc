@@ -99,6 +99,11 @@ StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
     // reopening and snapshots the ingress backlog the run leaves behind.
     events_.At(horizon_sec_, &StreamEngine::HorizonEvent, this);
   }
+  if (cfg_.timeseries != nullptr) {
+    for (std::size_t p = 0; p < pipes_.size(); ++p) {
+      RegisterPipelineTelemetry(static_cast<int>(p));
+    }
+  }
 
   StreamMetrics out;
   out.workload = Run();  // drains every admitted window
@@ -110,6 +115,68 @@ StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
   }
   streaming_ = false;
   return out;
+}
+
+void StreamEngine::RegisterPipelineTelemetry(int p) {
+  trace::TimeSeries& ts = *cfg_.timeseries;
+  Pipeline* pipe = pipes_[static_cast<std::size_t>(p)].get();
+  const std::string pfx = "stream." + pipe->spec.label + ".";
+  ts.AddGaugeProbe(pfx + "queue_depth", [pipe] {
+    return static_cast<double>(pipe->pending.size()) + pipe->inflight;
+  });
+  ts.AddGaugeProbe(pfx + "inflight", [pipe] {
+    return static_cast<double>(pipe->inflight);
+  });
+  ts.AddGaugeProbe(pfx + "watermark_lag", [this, pipe] {
+    return now() - pipe->watermark_sec;
+  });
+  ts.AddCumulativeProbe(pfx + "records_arrived", [pipe] {
+    return static_cast<double>(pipe->metrics.records_arrived);
+  });
+  ts.AddCumulativeProbe(pfx + "records_processed", [pipe] {
+    return static_cast<double>(pipe->metrics.records_processed);
+  });
+  ts.AddCumulativeProbe(pfx + "records_shed", [pipe] {
+    return static_cast<double>(pipe->metrics.records_shed);
+  });
+  ts.AddCumulativeProbe(pfx + "windows_completed", [pipe] {
+    return static_cast<double>(pipe->metrics.windows_completed);
+  });
+  ts.AddCumulativeProbe(pfx + "slo_violations", [pipe] {
+    return static_cast<double>(pipe->metrics.slo_violations);
+  });
+
+  // Default SLO rules from the pipeline spec: a shed-rate budget and a
+  // deadline-miss budget as multi-window burn rates, plus a queue-depth
+  // threshold at the admission bound (the instability signal the
+  // stability verdict reads post-hoc, live).
+  const trace::Track track = StreamTrack(p);
+  trace::SloRule shed;
+  shed.name = pfx + "shed_budget_burn";
+  shed.kind = trace::SloRule::Kind::kBurnRate;
+  shed.bad_series = pfx + "records_shed";
+  shed.total_series = pfx + "records_arrived";
+  shed.budget = pipe->spec.shed_budget_fraction;
+  shed.track = track;
+  ts.slo().AddRule(shed);
+
+  trace::SloRule miss;
+  miss.name = pfx + "deadline_miss_burn";
+  miss.kind = trace::SloRule::Kind::kBurnRate;
+  miss.bad_series = pfx + "slo_violations";
+  miss.total_series = pfx + "windows_completed";
+  miss.budget = pipe->spec.miss_budget_fraction;
+  miss.track = track;
+  ts.slo().AddRule(miss);
+
+  trace::SloRule depth;
+  depth.name = pfx + "queue_depth_high";
+  depth.kind = trace::SloRule::Kind::kAbove;
+  depth.series = pfx + "queue_depth";
+  depth.threshold = static_cast<double>(pipe->spec.max_inflight_windows +
+                                        pipe->spec.max_pending_windows);
+  depth.track = track;
+  ts.slo().AddRule(depth);
 }
 
 void StreamEngine::ArrivalEvent(void* ctx, const des::Payload& p) {
@@ -276,6 +343,12 @@ void StreamEngine::FinishWindow(int p, WindowStats w) {
   Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
   const bool ran = !w.shed && !w.empty;  // executed as a job instance
   if (!w.shed) ++pipe.metrics.windows_completed;
+  if (ran && cfg_.timeseries != nullptr) {
+    // Per-interval latency percentiles (tumbling buckets, no warmup
+    // filter: the timeline should show ramp-up too).
+    cfg_.timeseries->windowed("stream." + pipe.spec.label + ".latency_sec")
+        .Record(now(), w.Latency());
+  }
   if (ran && InSteadyState(w)) {
     pipe.metrics.latencies_sec.push_back(w.Latency());
     if (w.Latency() > pipe.spec.slo_sec) ++pipe.metrics.slo_violations;
@@ -293,6 +366,11 @@ void StreamEngine::FinishWindow(int p, WindowStats w) {
     pipe.watermark_sec = it->second;
     pipe.done_seals.erase(it);
     ++pipe.watermark_seq;
+  }
+  if (cfg_.timeseries != nullptr) {
+    cfg_.timeseries
+        ->windowed("stream." + pipe.spec.label + ".watermark_lag_sec")
+        .Record(now(), now() - pipe.watermark_sec);
   }
   if (InSteadyState(w)) {
     const double lag = now() - pipe.watermark_sec;

@@ -128,6 +128,12 @@ class StreamEngine : public multijob::MultiJobEngine {
   void FinishWindow(int p, WindowStats w);  // completion, empty or shed
   void SampleQueueDepth(Pipeline& pipe);
   void FinalizePipeline(Pipeline& pipe);
+  // Registers pipeline p's telemetry probes (depth/inflight/lag gauges,
+  // cumulative record/window counters) and its default SLO rules (shed
+  // and deadline-miss burn-rate budgets from the spec, queue depth above
+  // the admission bound). Called from RunStream when cfg_.timeseries is
+  // configured.
+  void RegisterPipelineTelemetry(int p);
   bool InSteadyState(const WindowStats& w) const {
     return w.seal_sec >= warmup_sec_;
   }

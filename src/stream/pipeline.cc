@@ -31,6 +31,12 @@ void ValidatePipelineSpec(const PipelineSpec& spec) {
                "at least one window must be admitted in flight");
   HD_CHECK_MSG(spec.max_pending_windows >= 0,
                "pending-window bound must be >= 0");
+  HD_CHECK_MSG(
+      spec.shed_budget_fraction > 0.0 && spec.shed_budget_fraction <= 1.0,
+      "shed budget fraction must be in (0, 1]");
+  HD_CHECK_MSG(
+      spec.miss_budget_fraction > 0.0 && spec.miss_budget_fraction <= 1.0,
+      "miss budget fraction must be in (0, 1]");
 }
 
 double PipelineMetrics::LatencyPercentile(double q) const {

@@ -61,6 +61,13 @@ struct PipelineSpec {
   int max_inflight_windows = 2;
   int max_pending_windows = 4;
   Backpressure backpressure = Backpressure::kBlock;
+
+  // Error budgets feeding the default telemetry SLO rules (trace::SloRule,
+  // registered by StreamEngine when a sampler is configured): the fraction
+  // of arrived records that may be shed, and of completed windows that may
+  // miss their latency SLO, before the multi-window burn-rate alert fires.
+  double shed_budget_fraction = 0.01;
+  double miss_budget_fraction = 0.05;
 };
 
 // HD_CHECKs every PipelineSpec invariant (including its SourceSpec);

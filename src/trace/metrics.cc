@@ -1,27 +1,93 @@
 #include "trace/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/json.h"
+#include "common/prng.h"
 #include "common/stats.h"
 
 namespace hd::trace {
 
+void Distribution::Record(double x) {
+  if (count_ == 0 || x < min_) min_ = x;
+  if (count_ == 0 || x > max_) max_ = x;
+  sum_ += x;
+  ++count_;
+  if (cap_ == 0 || static_cast<std::int64_t>(samples_.size()) < cap_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R: the i-th sample (1-based count_) replaces a random
+  // reservoir slot with probability cap/i. The SplitMix64 chain makes the
+  // draw sequence a pure function of (seed, record index).
+  rng_ = SplitMix64(rng_);
+  const std::uint64_t j = rng_ % static_cast<std::uint64_t>(count_);
+  if (j < static_cast<std::uint64_t>(cap_)) {
+    samples_[static_cast<std::size_t>(j)] = x;
+  }
+}
+
+void Distribution::SetReservoirCap(std::int64_t cap, std::uint64_t seed) {
+  HD_CHECK_MSG(cap > 0, "reservoir cap must be positive, got " << cap);
+  HD_CHECK_MSG(static_cast<std::int64_t>(samples_.size()) <= cap,
+               "SetReservoirCap(" << cap << ") applied after "
+                                  << samples_.size()
+                                  << " samples were already retained");
+  cap_ = cap;
+  rng_ = SplitMix64(seed);
+}
+
 double Distribution::Min() const {
-  HD_CHECK(!samples_.empty());
-  return *std::min_element(samples_.begin(), samples_.end());
+  HD_CHECK(count_ > 0);
+  return min_;
 }
 
 double Distribution::Max() const {
-  HD_CHECK(!samples_.empty());
-  return *std::max_element(samples_.begin(), samples_.end());
+  HD_CHECK(count_ > 0);
+  return max_;
 }
 
-double Distribution::Mean() const { return stats::Mean(samples_); }
+double Distribution::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
 
 double Distribution::Percentile(double q) const {
   return stats::NearestRankPercentile(samples_, q);
+}
+
+WindowedDistribution::WindowedDistribution(double bucket_width_sec)
+    : width_(bucket_width_sec) {
+  HD_CHECK_MSG(std::isfinite(width_) && width_ > 0.0,
+               "WindowedDistribution bucket width must be positive, got "
+                   << width_);
+}
+
+std::int64_t WindowedDistribution::BucketIndex(double t) const {
+  return static_cast<std::int64_t>(std::floor(t / width_));
+}
+
+void WindowedDistribution::Record(double t, double x) {
+  buckets_[BucketIndex(t)].push_back(x);
+}
+
+WindowSummary WindowedDistribution::Summarize(std::int64_t k) {
+  WindowSummary s;
+  const auto it = buckets_.find(k);
+  if (it == buckets_.end() || it->second.empty()) {
+    if (it != buckets_.end()) buckets_.erase(it);
+    return s;
+  }
+  const std::vector<double>& v = it->second;
+  s.count = static_cast<std::int64_t>(v.size());
+  s.min = *std::min_element(v.begin(), v.end());
+  s.mean = stats::Mean(v);
+  s.p50 = stats::NearestRankPercentile(v, 0.50);
+  s.p99 = stats::NearestRankPercentile(v, 0.99);
+  s.max = *std::max_element(v.begin(), v.end());
+  buckets_.erase(it);
+  return s;
 }
 
 Counter& Registry::counter(std::string_view name) {
@@ -102,6 +168,7 @@ void Registry::WriteJson(std::ostream& os) const {
         w.Key(name + ".p99").Number(dist.Percentile(0.99));
         w.Key(name + ".p999").Number(dist.Percentile(0.999));
         w.Key(name + ".max").Number(dist.Max());
+        w.Key(name + ".sum").Number(dist.Sum());
       }
       ++d;
     }

@@ -9,7 +9,7 @@
 //
 // Export is a single flat JSON object sorted by metric name: counters as
 // integers, gauges as numbers, distributions expanded to
-// `<name>.count/min/mean/p50/p95/p99/p999/max` (nearest-rank percentiles
+// `<name>.count/min/mean/p50/p95/p99/p999/max/sum` (nearest-rank percentiles
 // from common/stats.h, deterministic for a given sample set). Flat keys keep
 // downstream validation trivial (`json.load` + key lookup, no schema
 // walker).
@@ -44,20 +44,75 @@ class Gauge {
 };
 
 // A recorded sample set summarised at export time.
+//
+// count/Sum/Mean/Min/Max are exact for every sample ever recorded (running
+// accumulators). Percentiles come from the retained sample vector, which is
+// everything by default; SetReservoirCap bounds it with deterministic
+// reservoir sampling (Algorithm R over a seeded SplitMix64 stream), after
+// which percentiles are an unbiased estimate past the cap while the running
+// statistics stay exact. Under the cap nothing changes — same samples, same
+// order, same bits.
 class Distribution {
  public:
-  void Record(double x) { samples_.push_back(x); }
-  std::int64_t count() const {
-    return static_cast<std::int64_t>(samples_.size());
-  }
+  void Record(double x);
+  std::int64_t count() const { return count_; }
   double Min() const;
   double Max() const;
   double Mean() const;
+  double Sum() const { return sum_; }
   // Nearest-rank percentile, q in [0, 1].
   double Percentile(double q) const;
 
+  // Bounds the retained sample vector to `cap` entries (> 0). Must be set
+  // before the cap is exceeded; the seed makes replacement draws
+  // reproducible. Default: unbounded (cap 0).
+  void SetReservoirCap(std::int64_t cap, std::uint64_t seed);
+  std::int64_t reservoir_cap() const { return cap_; }
+  // Retained samples (== count() while unbounded or under the cap).
+  std::int64_t retained() const {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+
  private:
   std::vector<double> samples_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::int64_t cap_ = 0;  // 0 = unbounded
+  std::uint64_t rng_ = 0;
+};
+
+// Per-interval percentile summary for one completed tumbling bucket.
+struct WindowSummary {
+  std::int64_t count = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Tumbling-bucket windowed sample set: Record(t, x) files x under bucket
+// floor(t / bucket_width); Summarize(k) reduces bucket k to percentiles
+// and drops its samples, so a long run holds at most the open buckets.
+// Everything is modeled-time driven and deterministic — same records,
+// same buckets, same summaries.
+class WindowedDistribution {
+ public:
+  explicit WindowedDistribution(double bucket_width_sec);
+
+  double bucket_width_sec() const { return width_; }
+  std::int64_t BucketIndex(double t) const;
+
+  void Record(double t, double x);
+  // Summary of bucket k; erases the bucket's samples. A never-filled
+  // bucket yields count == 0.
+  WindowSummary Summarize(std::int64_t k);
+
+ private:
+  double width_;
+  std::map<std::int64_t, std::vector<double>> buckets_;
 };
 
 class Registry {
@@ -74,6 +129,16 @@ class Registry {
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && distributions_.empty();
+  }
+
+  // Name-sorted iteration for snapshotters (the telemetry sampler reads
+  // counters and gauges each tick; distributions are summarized per
+  // window by trace::WindowedDistribution instead).
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
   }
 
   // The flat metrics JSON object described above.

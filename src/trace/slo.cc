@@ -1,0 +1,87 @@
+#include "trace/slo.h"
+
+#include "common/check.h"
+#include "trace/timeseries.h"
+
+namespace hd::trace {
+
+void SloMonitor::AddRule(SloRule rule) {
+  HD_CHECK_MSG(!rule.name.empty(), "SLO rule needs a name");
+  if (rule.kind == SloRule::Kind::kBurnRate) {
+    HD_CHECK_MSG(rule.budget > 0.0 && rule.budget <= 1.0,
+                 "rule " << rule.name << ": budget must be in (0, 1], got "
+                         << rule.budget);
+    HD_CHECK_MSG(rule.short_window_sec > 0.0 &&
+                     rule.long_window_sec >= rule.short_window_sec,
+                 "rule " << rule.name
+                         << ": windows must satisfy 0 < short <= long");
+    HD_CHECK_MSG(!rule.bad_series.empty() && !rule.total_series.empty(),
+                 "rule " << rule.name
+                         << ": burn-rate rules need bad/total series");
+  } else {
+    HD_CHECK_MSG(!rule.series.empty(),
+                 "rule " << rule.name << ": threshold rules need a series");
+  }
+  rules_.push_back(std::move(rule));
+  firing_.push_back(false);
+}
+
+std::int64_t SloMonitor::firing_count() const {
+  std::int64_t n = 0;
+  for (const bool f : firing_) n += f ? 1 : 0;
+  return n;
+}
+
+double SloMonitor::EvalValue(const SloRule& rule, const TimeSeries& ts,
+                             bool* want_firing) {
+  switch (rule.kind) {
+    case SloRule::Kind::kAbove: {
+      const double v = ts.LastValue(rule.series);
+      *want_firing = v > rule.threshold;
+      return v;
+    }
+    case SloRule::Kind::kBelow: {
+      const double v = ts.LastValue(rule.series);
+      *want_firing = v < rule.threshold;
+      return v;
+    }
+    case SloRule::Kind::kBurnRate: {
+      const auto burn = [&](double window_sec) {
+        const double bad = ts.DeltaOver(rule.bad_series, window_sec);
+        const double total = ts.DeltaOver(rule.total_series, window_sec);
+        if (total <= 0.0) return 0.0;  // no traffic burns no budget
+        return (bad / total) / rule.budget;
+      };
+      const double short_burn = burn(rule.short_window_sec);
+      const double long_burn = burn(rule.long_window_sec);
+      *want_firing = short_burn >= rule.burn_threshold &&
+                     long_burn >= rule.burn_threshold;
+      return short_burn;
+    }
+  }
+  *want_firing = false;
+  return 0.0;
+}
+
+void SloMonitor::Evaluate(double now, const TimeSeries& ts, Sink* sink) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    bool want = false;
+    const double value = EvalValue(rule, ts, &want);
+    if (want == static_cast<bool>(firing_[i])) continue;
+    firing_[i] = want;
+    AlertEvent ev;
+    ev.at_sec = now;
+    ev.rule = rule.name;
+    ev.firing = want;
+    ev.value = value;
+    alerts_.push_back(ev);
+    if (sink != nullptr) {
+      sink->Instant("slo", rule.name, rule.track, now,
+                    {Arg::Str("state", want ? "firing" : "resolved"),
+                     Arg::Float("value", value)});
+    }
+  }
+}
+
+}  // namespace hd::trace

@@ -1,0 +1,89 @@
+// Declarative SLO rules evaluated at telemetry sample points.
+//
+// Two rule shapes cover the health questions the engines ask:
+//
+//   * kAbove / kBelow — a plain threshold on the latest value of one
+//     series (a queue depth, a lag gauge, a utilization rate).
+//   * kBurnRate — SRE-style multi-window burn rate on an error budget:
+//     over a trailing window, burn = (bad_delta / total_delta) / budget,
+//     i.e. how many times faster than allowed the budget is being spent.
+//     The rule fires only while BOTH the short and the long window burn
+//     at >= burn_threshold: the short window makes alerts responsive,
+//     the long window keeps one bad interval from paging.
+//
+// The monitor is a state machine per rule: Evaluate() compares the wanted
+// firing state against the current one and records an AlertEvent (plus a
+// trace instant, category "slo") on every transition. Everything is
+// driven by modeled time and the deterministic sample series, so the
+// alert stream is bit-reproducible for a seeded run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hd::trace {
+
+class TimeSeries;
+
+struct SloRule {
+  enum class Kind { kAbove, kBelow, kBurnRate };
+
+  std::string name;  // alert name, e.g. "stream.clicks.shed_budget_burn"
+  Kind kind = Kind::kAbove;
+
+  // kAbove / kBelow: fire while `series`'s latest value is strictly
+  // above / below `threshold`.
+  std::string series;
+  double threshold = 0.0;
+
+  // kBurnRate: cumulative event series (monotone counters sampled into
+  // the time series) and the error-budget fraction they may burn.
+  std::string bad_series;
+  std::string total_series;
+  double budget = 0.01;
+  double short_window_sec = 60.0;
+  double long_window_sec = 300.0;
+  double burn_threshold = 2.0;
+
+  // Where alert instants render in the trace.
+  Track track;
+};
+
+// One firing/resolved transition, in modeled time.
+struct AlertEvent {
+  double at_sec = 0.0;
+  std::string rule;
+  bool firing = false;  // false = resolved
+  double value = 0.0;   // the evaluated value at the transition
+};
+
+class SloMonitor {
+ public:
+  void AddRule(SloRule rule);
+  const std::vector<SloRule>& rules() const { return rules_; }
+
+  // Every transition recorded so far, in time order.
+  const std::vector<AlertEvent>& alerts() const { return alerts_; }
+  // Rules currently in the firing state.
+  std::int64_t firing_count() const;
+
+  // Evaluates every rule against the sampler state at `now`; emits a
+  // trace instant per transition when `sink` is non-null.
+  void Evaluate(double now, const TimeSeries& ts, Sink* sink);
+
+  // The value a rule evaluates to right now (threshold rules: the latest
+  // series value; burn rules: the short-window burn). Exposed for tests
+  // and the timeline renderer.
+  static double EvalValue(const SloRule& rule, const TimeSeries& ts,
+                          bool* want_firing);
+
+ private:
+  std::vector<SloRule> rules_;
+  std::vector<bool> firing_;
+  std::vector<AlertEvent> alerts_;
+};
+
+}  // namespace hd::trace

@@ -1,0 +1,196 @@
+#include "trace/timeseries.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace hd::trace {
+
+TimeSeries::TimeSeries(TimeSeriesOptions opts) : opts_(opts) {
+  HD_CHECK_MSG(
+      std::isfinite(opts_.sample_interval_sec) &&
+          opts_.sample_interval_sec > 0.0,
+      "sample_interval_sec must be positive, got " << opts_.sample_interval_sec);
+  HD_CHECK_MSG(opts_.max_points_per_series > 1,
+               "max_points_per_series must exceed 1");
+}
+
+void TimeSeries::AddGaugeProbe(std::string name, ProbeFn fn) {
+  RegisterProbeName(name);
+  probes_.push_back({std::move(name), Probe::Kind::kGauge, std::move(fn), 1.0});
+}
+
+void TimeSeries::AddCumulativeProbe(std::string name, ProbeFn fn) {
+  RegisterProbeName(name);
+  probes_.push_back(
+      {std::move(name), Probe::Kind::kCumulative, std::move(fn), 1.0});
+}
+
+void TimeSeries::AddRateProbe(std::string name, ProbeFn fn, double scale) {
+  RegisterProbeName(name);
+  probes_.push_back(
+      {std::move(name), Probe::Kind::kRate, std::move(fn), scale});
+}
+
+void TimeSeries::RegisterProbeName(const std::string& name) {
+  // Duplicate probes would double-append per tick and corrupt the derived
+  // rate series. One TimeSeries serves one engine run; a second engine
+  // re-registering the same probes is the usual way to trip this.
+  HD_CHECK_MSG(probe_names_.insert(name).second,
+               "telemetry probe '" << name << "' registered twice");
+}
+
+WindowedDistribution& TimeSeries::windowed(std::string_view name) {
+  auto it = windowed_.find(name);
+  if (it == windowed_.end()) {
+    it = windowed_
+             .emplace(std::string(name),
+                      WindowedDistribution(opts_.sample_interval_sec))
+             .first;
+  }
+  return it->second;
+}
+
+void TimeSeries::Append(std::string_view name, const char* kind, double t,
+                        double v) {
+  HD_CHECK_MSG(std::isfinite(v),
+               "non-finite telemetry value for series " << name);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(name), Series{}).first;
+    it->second.kind = kind;
+  }
+  Series& s = it->second;
+  s.points.emplace_back(t, v);
+  if (s.points.size() > opts_.max_points_per_series) s.points.pop_front();
+}
+
+const TimeSeries::Series* TimeSeries::Find(std::string_view name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+double TimeSeries::LastValue(std::string_view name) const {
+  const Series* s = Find(name);
+  if (s == nullptr || s->points.empty()) return 0.0;
+  return s->points.back().second;
+}
+
+double TimeSeries::DeltaOver(std::string_view name, double window_sec) const {
+  const Series* s = Find(name);
+  if (s == nullptr || s->points.empty()) return 0.0;
+  const Point& latest = s->points.back();
+  const double target = latest.first - window_sec;
+  // Baseline: the value at the last sample at or before `target`. Counters
+  // start at 0 at t = 0, so a window reaching past the first sample (or
+  // before t = 0) sees a zero baseline. The per-series ring must cover the
+  // longest SLO window — at the defaults, 4096 points vs 300 s, it does by
+  // two orders of magnitude.
+  double baseline = 0.0;
+  for (const Point& p : s->points) {
+    if (p.first > target) break;
+    baseline = p.second;
+  }
+  return latest.second - baseline;
+}
+
+void TimeSeries::Sample(double now, const Registry* registry, Sink* sink) {
+  const double interval = opts_.sample_interval_sec;
+  const std::int64_t tick = std::llround(now / interval);
+
+  for (Probe& probe : probes_) {
+    const double v = probe.fn();
+    switch (probe.kind) {
+      case Probe::Kind::kGauge:
+        Append(probe.name, "gauge", now, v);
+        break;
+      case Probe::Kind::kCumulative: {
+        const double prev = LastValue(probe.name);
+        Append(probe.name, "counter", now, v);
+        Append(probe.name + ".rate", "rate", now, (v - prev) / interval);
+        break;
+      }
+      case Probe::Kind::kRate: {
+        // The raw accumulator is not itself a series, so the previous
+        // snapshot lives on the probe rather than in a series point.
+        const double rate = (v - probe.prev_raw) / interval * probe.scale;
+        probe.prev_raw = v;
+        Append(probe.name, "rate", now, rate);
+        break;
+      }
+    }
+  }
+
+  if (registry != nullptr) {
+    for (const auto& [name, counter] : registry->counters()) {
+      if (probe_names_.count(name) != 0) continue;  // live probe wins
+      const double v = static_cast<double>(counter.value());
+      const double prev = LastValue(name);
+      Append(name, "counter", now, v);
+      Append(name + ".rate", "rate", now, (v - prev) / interval);
+    }
+    for (const auto& [name, gauge] : registry->gauges()) {
+      if (probe_names_.count(name) != 0) continue;
+      Append(name, "gauge", now, gauge.value());
+    }
+  }
+
+  // Summarize the just-completed tumbling bucket (bucket tick-1 covers
+  // [(tick-1) * interval, tick * interval)).
+  for (auto& [name, wd] : windowed_) {
+    const WindowSummary s = wd.Summarize(tick - 1);
+    Append(name + ".count", "window", now, static_cast<double>(s.count));
+    if (s.count > 0) {
+      Append(name + ".p50", "window", now, s.p50);
+      Append(name + ".p99", "window", now, s.p99);
+      Append(name + ".max", "window", now, s.max);
+    }
+  }
+
+  slo_.Evaluate(now, *this, sink);
+  ++samples_taken_;
+}
+
+void TimeSeries::WriteJsonl(std::ostream& os) const {
+  {
+    json::Writer w(os);
+    w.BeginObject();
+    w.Key("schema").String(kTimeSeriesSchema);
+    w.Key("sample_interval_sec").Number(opts_.sample_interval_sec);
+    w.Key("samples").Int(samples_taken_);
+    w.Key("series").Int(static_cast<std::int64_t>(series_.size()));
+    w.Key("alerts").Int(static_cast<std::int64_t>(slo_.alerts().size()));
+    w.EndObject();
+    os << '\n';
+  }
+  for (const auto& [name, s] : series_) {
+    json::Writer w(os);
+    w.BeginObject();
+    w.Key("type").String("series");
+    w.Key("name").String(name);
+    w.Key("kind").String(s.kind);
+    w.Key("points").BeginArray();
+    for (const Point& p : s.points) {
+      w.BeginArray();
+      w.Number(p.first).Number(p.second);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+    os << '\n';
+  }
+  for (const AlertEvent& a : slo_.alerts()) {
+    json::Writer w(os);
+    w.BeginObject();
+    w.Key("type").String("alert");
+    w.Key("t").Number(a.at_sec);
+    w.Key("rule").String(a.rule);
+    w.Key("state").String(a.firing ? "firing" : "resolved");
+    w.Key("value").Number(a.value);
+    w.EndObject();
+    os << '\n';
+  }
+}
+
+}  // namespace hd::trace

@@ -1,0 +1,139 @@
+// Live telemetry: a DES-driven periodic sampler over modeled time.
+//
+// The engines treat a TimeSeries like a Sink or Registry — a null pointer
+// means "off", and a configured sampler never touches modeled state: the
+// sample event only *reads* engine counters and registry values, so every
+// exact-double bench pin holds bit-identically with telemetry on or off
+// (tests/bench_pin_test.cc proves it). Inserting the sampler's events
+// shifts other events' schedule-time seq numbers uniformly without
+// reordering any pair of them, which is all the (time, seq) queue
+// discipline needs for the rest of the run to replay identically.
+//
+// Engines register *probes* before Run() and then call Sample() from a
+// periodic DES event at exact modeled times k * sample_interval_sec
+// (computed by multiplication, not accumulation, so tick times carry no
+// floating-point drift). Each sample snapshots:
+//
+//   * every registered probe — kGauge (instantaneous value), kCumulative
+//     (monotone counter: raw value plus a derived `<name>.rate` series of
+//     delta/interval), kRate (delta/interval * scale only, e.g. slot
+//     utilization from busy-seconds),
+//   * every Registry counter (raw + `.rate`) and gauge, when a registry
+//     is passed,
+//   * the just-completed bucket of every WindowedDistribution — per-
+//     interval p50/p99 instead of run-total percentiles,
+//
+// into per-series ring buffers of (t, value) points, then evaluates the
+// SloMonitor rules. Export is the `heterodoop.timeseries.v1` JSONL
+// schema: a header line, one line per series (name-sorted), one line per
+// alert transition (time-sorted) — deterministic byte-for-byte for a
+// seeded run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/metrics.h"
+#include "trace/slo.h"
+#include "trace/trace.h"
+
+namespace hd::trace {
+
+inline constexpr const char* kTimeSeriesSchema = "heterodoop.timeseries.v1";
+
+struct TimeSeriesOptions {
+  double sample_interval_sec = 5.0;
+  // Ring capacity per series; the oldest points fall off first. 4096
+  // points at 5 s covers a 5.6-hour modeled horizon.
+  std::size_t max_points_per_series = 4096;
+};
+
+class TimeSeries {
+ public:
+  // (modeled seconds, value)
+  using Point = std::pair<double, double>;
+
+  struct Series {
+    std::string kind;  // "gauge" | "counter" | "rate" | "window"
+    std::deque<Point> points;
+  };
+
+  explicit TimeSeries(TimeSeriesOptions opts = {});
+
+  double sample_interval_sec() const { return opts_.sample_interval_sec; }
+  std::int64_t samples_taken() const { return samples_taken_; }
+
+  // --- Probe registration (engines, before Run) --------------------------
+  using ProbeFn = std::function<double()>;
+  // Instantaneous value sampled as-is.
+  void AddGaugeProbe(std::string name, ProbeFn fn);
+  // Monotone counter: records the raw value under `name` and
+  // delta/interval under `<name>.rate`.
+  void AddCumulativeProbe(std::string name, ProbeFn fn);
+  // Rate-only: records delta/interval * scale under `name` (the raw
+  // accumulator — e.g. busy slot-seconds — is not itself a series).
+  void AddRateProbe(std::string name, ProbeFn fn, double scale = 1.0);
+
+  // Lookup-or-create a tumbling-bucket distribution whose bucket width is
+  // the sample interval; each Sample() summarizes the just-completed
+  // bucket into `<name>.count/.p50/.p99/.max` series points.
+  WindowedDistribution& windowed(std::string_view name);
+
+  SloMonitor& slo() { return slo_; }
+  const SloMonitor& slo_monitor() const { return slo_; }
+
+  // --- Sampling (the engines' periodic DES event) ------------------------
+  // Takes one snapshot at modeled time `now`: probes, the registry's
+  // counters/gauges (when non-null), windowed-bucket summaries, then SLO
+  // evaluation. Alert transitions become trace instants on `sink`.
+  void Sample(double now, const Registry* registry, Sink* sink);
+
+  // --- Read side ---------------------------------------------------------
+  const std::map<std::string, Series, std::less<>>& series() const {
+    return series_;
+  }
+  const Series* Find(std::string_view name) const;
+  // Latest recorded value; 0 when the series is unknown or empty.
+  double LastValue(std::string_view name) const;
+  // Value change over the trailing `window_sec` ending at the latest
+  // point (clamped to the earliest retained point). 0 for unknown series.
+  double DeltaOver(std::string_view name, double window_sec) const;
+
+  // The heterodoop.timeseries.v1 JSONL export described above.
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  struct Probe {
+    enum class Kind { kGauge, kCumulative, kRate };
+    std::string name;
+    Kind kind;
+    ProbeFn fn;
+    double scale = 1.0;
+    double prev_raw = 0.0;  // kRate: raw accumulator at the last sample
+  };
+
+  void Append(std::string_view name, const char* kind, double t, double v);
+  void RegisterProbeName(const std::string& name);
+
+  TimeSeriesOptions opts_;
+  std::vector<Probe> probes_;
+  // Probe names shadow same-named registry metrics during Sample(): an
+  // engine's live probe (e.g. multijob.jobs_completed) wins over the
+  // registry counter of the same name, which may only be filled at the
+  // end of the run — and double-appending would zero the derived .rate.
+  std::set<std::string, std::less<>> probe_names_;
+  std::map<std::string, Series, std::less<>> series_;
+  std::map<std::string, WindowedDistribution, std::less<>> windowed_;
+  SloMonitor slo_;
+  std::int64_t samples_taken_ = 0;
+};
+
+}  // namespace hd::trace

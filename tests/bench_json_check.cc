@@ -67,6 +67,28 @@ void CheckReport(const std::string& bench, const std::string& path) {
   const Value* metrics = doc.Find("metrics");
   ASSERT_NE(metrics, nullptr) << bench;
   EXPECT_TRUE(metrics->is_object()) << bench;
+  // Distribution exports always carry the running-sum key alongside the
+  // percentile expansion.
+  for (const auto& [key, v] : metrics->object) {
+    const std::string k = key;
+    if (k.size() > 6 && k.compare(k.size() - 6, 6, ".count") == 0 &&
+        metrics->Find(k.substr(0, k.size() - 6) + ".p50") != nullptr) {
+      EXPECT_NE(metrics->Find(k.substr(0, k.size() - 6) + ".sum"), nullptr)
+          << bench << " " << k;
+    }
+  }
+  // "alerts" is always present — SLO alert transitions when a telemetry
+  // sampler ran, an empty array otherwise.
+  const Value* alerts = doc.Find("alerts");
+  ASSERT_NE(alerts, nullptr) << bench;
+  EXPECT_TRUE(alerts->is_array()) << bench;
+  for (const Value& a : alerts->array) {
+    ASSERT_TRUE(a.is_object()) << bench;
+    EXPECT_NE(a.Find("t"), nullptr) << bench;
+    EXPECT_NE(a.Find("rule"), nullptr) << bench;
+    EXPECT_NE(a.Find("state"), nullptr) << bench;
+    EXPECT_NE(a.Find("value"), nullptr) << bench;
+  }
 }
 
 void CheckTrace(const std::string& bench, const std::string& path) {

@@ -10,6 +10,7 @@
 #include "hadoop/engine.h"
 #include "trace/chrome.h"
 #include "trace/metrics.h"
+#include "trace/timeseries.h"
 
 namespace {
 
@@ -37,7 +38,8 @@ constexpr Pin kPins[] = {
 };
 
 void CheckPin(const Pin& pin, trace::Sink* sink, trace::Registry* metrics,
-              const char* des_backend = nullptr) {
+              const char* des_backend = nullptr,
+              trace::TimeSeries* timeseries = nullptr) {
   const apps::Benchmark& b = apps::GetBenchmark(pin.id);
   bench::MeasureConfig cfg;
   cfg.sink = sink;
@@ -80,6 +82,9 @@ void CheckPin(const Pin& pin, trace::Sink* sink, trace::Registry* metrics,
   }
   {
     hadoop::CalibratedTaskSource source(p);
+    // One TimeSeries serves one engine run (probes register once), so
+    // only the tail run carries the sampler.
+    cluster.timeseries = timeseries;
     const hadoop::JobResult r =
         hadoop::JobEngine(cluster, &source, sched::Policy::kTail).Run();
     EXPECT_EQ(r.makespan_sec, pin.tail_makespan) << pin.id;
@@ -107,6 +112,24 @@ TEST(BenchPin, ModeledNumbersMatchPrePrValuesWithTracingOn) {
     CheckPin(pin, &sink, &reg);
     EXPECT_FALSE(sink.events().empty());
     EXPECT_FALSE(reg.empty());
+  }
+}
+
+TEST(BenchPin, ModeledNumbersMatchPrePrValuesWithTelemetryOn) {
+  // The telemetry sampler adds periodic DES events, but its handlers only
+  // read state: every exact-double pin must keep holding with sampling
+  // enabled, and the sampler must actually have run.
+  for (const Pin& pin : kPins) {
+    trace::TimeSeriesOptions opts;
+    opts.sample_interval_sec = 5.0;
+    trace::TimeSeries ts(opts);
+    CheckPin(pin, nullptr, nullptr, nullptr, &ts);
+    EXPECT_GT(ts.samples_taken(), 0) << pin.id;
+    const trace::TimeSeries::Series* eps = ts.Find("des.events_per_sec");
+    ASSERT_NE(eps, nullptr) << pin.id;
+    EXPECT_FALSE(eps->points.empty()) << pin.id;
+    EXPECT_NE(ts.Find("cluster.running_attempts"), nullptr) << pin.id;
+    EXPECT_NE(ts.Find("cluster.available_frac"), nullptr) << pin.id;
   }
 }
 

@@ -11,8 +11,10 @@
 #include "prof/critical_path.h"
 #include "prof/kernels.h"
 #include "prof/regress.h"
+#include "prof/timeline.h"
 #include "prof/trace_file.h"
 #include "trace/chrome.h"
+#include "trace/timeseries.h"
 
 namespace {
 
@@ -531,6 +533,126 @@ TEST(Regress, PinnedMetricsNeverRideAsAttribution) {
   EXPECT_EQ(r.regressions, 1);
   ASSERT_EQ(r.deltas.size(), 1u);
   EXPECT_EQ(r.deltas[0].metric, "modeled_seconds");
+}
+
+// Produce a real producer-side export and read it back through the hdprof
+// timeline parser — the round trip covers both ends of the wire format.
+std::string SampleExport() {
+  trace::TimeSeriesOptions opts;
+  opts.sample_interval_sec = 2.0;
+  trace::TimeSeries ts(opts);
+  double work = 0.0, depth = 0.0;
+  ts.AddCumulativeProbe("stream.clicks.records_arrived", [&] { return work; });
+  ts.AddGaugeProbe("stream.clicks.queue_depth", [&] { return depth; });
+  ts.AddGaugeProbe("cluster.running_attempts", [&] { return 3.0; });
+  trace::SloRule r;
+  r.name = "stream.clicks.queue_depth_high";
+  r.kind = trace::SloRule::Kind::kAbove;
+  r.series = "stream.clicks.queue_depth";
+  r.threshold = 4.0;
+  ts.slo().AddRule(r);
+  for (int t = 1; t <= 10; ++t) {
+    work += 10.0;
+    depth = t >= 6 ? 6.0 : 1.0;  // backlog appears at t = 12 s
+    ts.Sample(2.0 * t, nullptr, nullptr);
+  }
+  std::ostringstream os;
+  ts.WriteJsonl(os);
+  return os.str();
+}
+
+TEST(Timeline, ParsesProducerExportRoundTrip) {
+  const prof::TimeSeriesFile f = prof::TimeSeriesFile::Parse(SampleExport());
+  EXPECT_EQ(f.sample_interval_sec, 2.0);
+  EXPECT_EQ(f.samples, 10);
+  const prof::TsSeries* depth = f.Find("stream.clicks.queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->kind, "gauge");
+  ASSERT_EQ(depth->points.size(), 10u);
+  EXPECT_EQ(depth->points[0].first, 2.0);
+  EXPECT_EQ(depth->Min(), 1.0);
+  EXPECT_EQ(depth->Max(), 6.0);
+  EXPECT_EQ(depth->Last(), 6.0);
+  // SteadyMean covers the back half: samples 6..10 all sit at depth 6.
+  EXPECT_EQ(depth->SteadyMean(), 6.0);
+  const prof::TsSeries* rate = f.Find("stream.clicks.records_arrived.rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->kind, "rate");
+  EXPECT_EQ(rate->Last(), 5.0);  // 10 records per 2 s tick
+  // The alert transition survived the round trip.
+  ASSERT_EQ(f.alerts.size(), 1u);
+  EXPECT_EQ(f.alerts[0].rule, "stream.clicks.queue_depth_high");
+  EXPECT_EQ(f.alerts[0].state, "firing");
+  EXPECT_EQ(f.alerts[0].t, 12.0);
+}
+
+TEST(Timeline, RejectsNonTimeseriesInput) {
+  EXPECT_THROW(prof::TimeSeriesFile::Parse("{\"schema\": \"other\"}"),
+               std::runtime_error);
+  EXPECT_THROW(prof::TimeSeriesFile::Parse(""), std::runtime_error);
+  EXPECT_THROW(
+      prof::TimeSeriesFile::Parse(
+          "{\"schema\": \"heterodoop.timeseries.v1\"}\n{\"no\": \"type\"}"),
+      std::runtime_error);
+}
+
+TEST(Timeline, SparklineDownsamplesAndHandlesConstants) {
+  std::vector<std::pair<double, double>> ramp;
+  for (int i = 0; i < 100; ++i) {
+    ramp.emplace_back(static_cast<double>(i), static_cast<double>(i));
+  }
+  const std::string s = prof::Sparkline(ramp, 10);
+  EXPECT_EQ(s.size(), 10u);
+  // Monotone input yields a non-decreasing glyph ramp ending at the top
+  // (glyph order follows the brightness ramp, not ASCII codes).
+  const std::string glyphs = "_.-:=*#%@";
+  EXPECT_EQ(s.back(), '@');
+  std::size_t prev = 0;
+  for (char c : s) {
+    const std::size_t level = glyphs.find(c);
+    ASSERT_NE(level, std::string::npos) << s;
+    EXPECT_GE(level, prev) << s;
+    prev = level;
+  }
+  // Constant series render flat at the lowest glyph, never blank.
+  const std::vector<std::pair<double, double>> flat(20, {0.0, 7.0});
+  const std::string fs = prof::Sparkline(flat, 10);
+  EXPECT_EQ(fs, std::string(10, '_'));
+  // Fewer points than columns: one glyph per point.
+  EXPECT_EQ(prof::Sparkline(flat, 60).size(), 20u);
+  EXPECT_TRUE(prof::Sparkline({}, 10).empty());
+}
+
+TEST(Timeline, CompareDiffsSteadyStateMeans) {
+  const prof::TimeSeriesFile before =
+      prof::TimeSeriesFile::Parse(SampleExport());
+  prof::TimeSeriesFile after = before;
+  // Identical exports compare clean.
+  const prof::CompareResult same =
+      prof::CompareTimeSeries(before, after, 0.01);
+  EXPECT_TRUE(same.deltas.empty());
+  EXPECT_FALSE(same.Failed());
+  // Doubling the steady-state queue depth surfaces as a delta; dropping a
+  // series fails the compare like a removed benchmark.
+  for (prof::TsSeries& s : after.series) {
+    if (s.name == "stream.clicks.queue_depth") {
+      for (auto& [t, v] : s.points) v *= 2.0;
+    }
+  }
+  after.series.pop_back();  // whichever sorts last
+  const prof::CompareResult r = prof::CompareTimeSeries(before, after, 0.01);
+  ASSERT_FALSE(r.deltas.empty());
+  bool saw_depth = false;
+  for (const prof::Delta& d : r.deltas) {
+    if (d.benchmark == "stream.clicks.queue_depth") {
+      saw_depth = true;
+      EXPECT_NEAR(d.rel_change, 1.0, 1e-12);
+      EXPECT_FALSE(d.scored);  // attribution-only, never a regression count
+    }
+  }
+  EXPECT_TRUE(saw_depth);
+  EXPECT_EQ(r.removed_benchmarks.size(), 1u);
+  EXPECT_TRUE(r.Failed());
 }
 
 }  // namespace

@@ -21,6 +21,8 @@
 #include "hadoop/engine.h"
 #include "trace/chrome.h"
 #include "trace/metrics.h"
+#include "trace/slo.h"
+#include "trace/timeseries.h"
 #include "trace/trace.h"
 
 namespace {
@@ -288,12 +290,13 @@ TEST(Registry, WriteJsonExportsFlatSortedObject) {
   EXPECT_EQ(doc.Find("c.dist.p99")->number, 3.0);
   EXPECT_EQ(doc.Find("c.dist.p999")->number, 3.0);
   EXPECT_EQ(doc.Find("c.dist.max")->number, 3.0);
+  EXPECT_EQ(doc.Find("c.dist.sum")->number, 6.0);
   // Keys come out sorted by metric name (distribution suffixes expand in a
   // fixed order under their base name), and the export is deterministic.
   std::vector<std::string> expected = {
       "a.gauge",      "b.count",     "c.dist.count", "c.dist.min",
       "c.dist.mean",  "c.dist.p50",  "c.dist.p95",   "c.dist.p99",
-      "c.dist.p999",  "c.dist.max"};
+      "c.dist.p999",  "c.dist.max",  "c.dist.sum"};
   std::vector<std::string> keys;
   for (const auto& [k, v] : doc.object) keys.push_back(k);
   EXPECT_EQ(keys, expected);
@@ -372,6 +375,325 @@ TEST(Registry, NullSinkDiscardsEverything) {
   sink.Instant("c", "n", {0, 1}, 0.5, {trace::Arg::Str("k", "v")});
   // Nothing observable; this exercises the enabled-path API shape.
   SUCCEED();
+}
+
+TEST(Registry, FindIsLookupOnlyAndEmptyReflectsState) {
+  trace::Registry reg;
+  EXPECT_TRUE(reg.empty());
+  // Find* never creates: a miss on an empty registry leaves it empty.
+  EXPECT_EQ(reg.FindCounter("nope"), nullptr);
+  EXPECT_EQ(reg.FindGauge("nope"), nullptr);
+  EXPECT_EQ(reg.FindDistribution("nope"), nullptr);
+  EXPECT_TRUE(reg.empty());
+  reg.counter("c");
+  EXPECT_FALSE(reg.empty());
+  EXPECT_NE(reg.FindCounter("c"), nullptr);
+  // A counter name is invisible to the other families.
+  EXPECT_EQ(reg.FindGauge("c"), nullptr);
+  EXPECT_EQ(reg.FindDistribution("c"), nullptr);
+}
+
+TEST(Registry, WriteJsonIsByteIdenticalAcrossCreationOrders) {
+  // Interleaved creation orders must serialize identically: the export is
+  // keyed by sorted metric name, not by registration history.
+  trace::Registry a;
+  a.counter("z.count").Add(7);
+  a.gauge("m.gauge").Set(2.5);
+  a.distribution("a.dist").Record(4.0);
+  trace::Registry b;
+  b.distribution("a.dist").Record(4.0);
+  b.counter("z.count").Add(7);
+  b.gauge("m.gauge").Set(2.5);
+  std::ostringstream osa, osb;
+  a.WriteJson(osa);
+  b.WriteJson(osb);
+  EXPECT_EQ(osa.str(), osb.str());
+}
+
+TEST(Registry, EmptyRegistryWritesEmptyObject) {
+  trace::Registry reg;
+  std::ostringstream os;
+  reg.WriteJson(os);
+  const json::Value doc = json::Parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.object.empty());
+}
+
+TEST(Distribution, ReservoirCapKeepsRunningStatsExact) {
+  trace::Distribution capped;
+  capped.SetReservoirCap(8, 42);
+  trace::Distribution full;
+  for (int i = 1; i <= 1000; ++i) {
+    capped.Record(static_cast<double>(i));
+    full.Record(static_cast<double>(i));
+  }
+  // count/sum/min/max/mean stay exact under the cap — only the retained
+  // sample set (and thus percentiles) is approximate.
+  EXPECT_EQ(capped.count(), 1000);
+  EXPECT_EQ(capped.Sum(), full.Sum());
+  EXPECT_EQ(capped.Min(), 1.0);
+  EXPECT_EQ(capped.Max(), 1000.0);
+  EXPECT_EQ(capped.Mean(), full.Mean());
+  EXPECT_EQ(capped.retained(), 8);
+  EXPECT_EQ(full.retained(), 1000);
+  // Approximate percentiles still come from genuine recorded values.
+  const double p50 = capped.Percentile(0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 1000.0);
+}
+
+TEST(Distribution, UnderTheCapBehaviorIsExactlyUnbounded) {
+  trace::Distribution capped;
+  capped.SetReservoirCap(100, 7);
+  trace::Distribution full;
+  for (int i = 50; i >= 1; --i) {
+    capped.Record(static_cast<double>(i));
+    full.Record(static_cast<double>(i));
+  }
+  // Below the cap the reservoir never evicts, so every statistic matches
+  // the unbounded distribution bit for bit.
+  for (double q : {0.50, 0.95, 0.99, 0.999}) {
+    EXPECT_EQ(capped.Percentile(q), full.Percentile(q));
+  }
+  EXPECT_EQ(capped.retained(), 50);
+}
+
+TEST(Distribution, ReservoirIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    trace::Distribution d;
+    d.SetReservoirCap(16, seed);
+    for (int i = 1; i <= 500; ++i) d.Record(static_cast<double>(i));
+    std::vector<double> qs;
+    for (double q : {0.25, 0.50, 0.75, 0.99}) qs.push_back(d.Percentile(q));
+    return qs;
+  };
+  EXPECT_EQ(run(1), run(1));  // same seed, same reservoir
+  trace::Distribution d;
+  EXPECT_EQ(d.reservoir_cap(), 0);  // default: unbounded
+}
+
+TEST(WindowedDistribution, TumblingBucketsSummarizeAndForget) {
+  trace::WindowedDistribution w(10.0);
+  w.Record(1.0, 5.0);
+  w.Record(9.0, 15.0);
+  w.Record(12.0, 100.0);  // next bucket
+  const trace::WindowSummary s0 = w.Summarize(0);
+  EXPECT_EQ(s0.count, 2);
+  EXPECT_EQ(s0.min, 5.0);
+  EXPECT_EQ(s0.mean, 10.0);
+  EXPECT_EQ(s0.max, 15.0);
+  EXPECT_EQ(s0.p50, 5.0);   // nearest-rank over {5, 15}
+  EXPECT_EQ(s0.p99, 15.0);
+  // Summarize consumes the bucket: a second call sees it empty.
+  EXPECT_EQ(w.Summarize(0).count, 0);
+  const trace::WindowSummary s1 = w.Summarize(1);
+  EXPECT_EQ(s1.count, 1);
+  EXPECT_EQ(s1.p50, 100.0);
+  // Bucket indexing is floor(t / width): t=10 lands in bucket 1, not 0.
+  w.Record(10.0, 1.0);
+  EXPECT_EQ(w.Summarize(1).count, 1);
+}
+
+TEST(TimeSeries, ProbesSampleGaugesCumulativesAndRates) {
+  trace::TimeSeriesOptions opts;
+  opts.sample_interval_sec = 10.0;
+  trace::TimeSeries ts(opts);
+  double depth = 3.0;
+  double total = 0.0;
+  ts.AddGaugeProbe("q.depth", [&] { return depth; });
+  ts.AddCumulativeProbe("work.done", [&] { return total; });
+  total = 40.0;
+  ts.Sample(10.0, nullptr, nullptr);
+  depth = 5.0;
+  total = 100.0;
+  ts.Sample(20.0, nullptr, nullptr);
+  EXPECT_EQ(ts.samples_taken(), 2);
+  const trace::TimeSeries::Series* q = ts.Find("q.depth");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->kind, "gauge");
+  ASSERT_EQ(q->points.size(), 2u);
+  EXPECT_EQ(q->points[0].second, 3.0);
+  EXPECT_EQ(q->points[1].second, 5.0);
+  // Cumulative probes export the raw counter and a derived per-second
+  // rate over the sampling interval.
+  EXPECT_EQ(ts.LastValue("work.done"), 100.0);
+  const trace::TimeSeries::Series* rate = ts.Find("work.done.rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->kind, "rate");
+  EXPECT_EQ(rate->points[0].second, 4.0);   // 40 over the first 10 s
+  EXPECT_EQ(rate->points[1].second, 6.0);   // (100-40)/10
+}
+
+TEST(TimeSeries, RegistrySnapshotSkipsNamesShadowedByProbes) {
+  trace::Registry reg;
+  reg.counter("jobs.done").Add(5);
+  reg.gauge("free.slots").Set(9.0);
+  trace::TimeSeriesOptions opts;
+  opts.sample_interval_sec = 5.0;
+  trace::TimeSeries ts(opts);
+  // A live probe with the same name as a registry counter must win; the
+  // registry copy would double-append and zero the derived rate.
+  ts.AddCumulativeProbe("jobs.done", [] { return 7.0; });
+  ts.Sample(5.0, &reg, nullptr);
+  EXPECT_EQ(ts.LastValue("jobs.done"), 7.0);
+  EXPECT_EQ(ts.LastValue("jobs.done.rate"), 7.0 / 5.0);
+  ASSERT_EQ(ts.Find("jobs.done")->points.size(), 1u);
+  // Unshadowed registry metrics snapshot normally.
+  EXPECT_EQ(ts.LastValue("free.slots"), 9.0);
+}
+
+TEST(TimeSeries, DeltaOverReadsBackToTheWindowBaseline) {
+  trace::TimeSeriesOptions opts;
+  opts.sample_interval_sec = 1.0;
+  trace::TimeSeries ts(opts);
+  double v = 0.0;
+  ts.AddCumulativeProbe("c", [&] { return v; });
+  for (int t = 1; t <= 10; ++t) {
+    v = static_cast<double>(t * t);
+    ts.Sample(static_cast<double>(t), nullptr, nullptr);
+  }
+  // Delta over the trailing 3 s window: 100 - 49.
+  EXPECT_EQ(ts.DeltaOver("c", 3.0), 51.0);
+  // A window reaching before the first sample baselines at zero.
+  EXPECT_EQ(ts.DeltaOver("c", 100.0), 100.0);
+  EXPECT_EQ(ts.DeltaOver("missing", 3.0), 0.0);
+}
+
+TEST(TimeSeries, RingBufferDropsOldestPoints)  {
+  trace::TimeSeriesOptions opts;
+  opts.sample_interval_sec = 1.0;
+  opts.max_points_per_series = 4;
+  trace::TimeSeries ts(opts);
+  double v = 0.0;
+  ts.AddGaugeProbe("g", [&] { return v; });
+  for (int t = 1; t <= 10; ++t) {
+    v = static_cast<double>(t);
+    ts.Sample(static_cast<double>(t), nullptr, nullptr);
+  }
+  const trace::TimeSeries::Series* g = ts.Find("g");
+  ASSERT_NE(g, nullptr);
+  ASSERT_EQ(g->points.size(), 4u);
+  EXPECT_EQ(g->points.front().second, 7.0);
+  EXPECT_EQ(g->points.back().second, 10.0);
+}
+
+TEST(SloMonitor, ThresholdRulesFireAndResolveWithInstants) {
+  trace::TimeSeriesOptions opts;
+  opts.sample_interval_sec = 1.0;
+  trace::TimeSeries ts(opts);
+  double depth = 0.0;
+  ts.AddGaugeProbe("q", [&] { return depth; });
+  trace::SloRule r;
+  r.name = "q_high";
+  r.kind = trace::SloRule::Kind::kAbove;
+  r.series = "q";
+  r.threshold = 10.0;
+  ts.slo().AddRule(r);
+  trace::ChromeTraceSink sink;
+  depth = 5.0;
+  ts.Sample(1.0, nullptr, &sink);
+  EXPECT_EQ(ts.slo_monitor().firing_count(), 0);
+  depth = 12.0;
+  ts.Sample(2.0, nullptr, &sink);
+  EXPECT_EQ(ts.slo_monitor().firing_count(), 1);
+  depth = 3.0;
+  ts.Sample(3.0, nullptr, &sink);
+  EXPECT_EQ(ts.slo_monitor().firing_count(), 0);
+  const auto& alerts = ts.slo_monitor().alerts();
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].at_sec, 2.0);
+  EXPECT_TRUE(alerts[0].firing);
+  EXPECT_EQ(alerts[0].value, 12.0);
+  EXPECT_EQ(alerts[1].at_sec, 3.0);
+  EXPECT_FALSE(alerts[1].firing);
+  // The transitions also land in the trace as slo instants.
+  std::ostringstream os;
+  sink.Write(os);
+  EXPECT_NE(os.str().find("q_high"), std::string::npos);
+}
+
+TEST(SloMonitor, BurnRateNeedsBothWindowsHot) {
+  trace::TimeSeriesOptions opts;
+  opts.sample_interval_sec = 1.0;
+  trace::TimeSeries ts(opts);
+  double bad = 0.0, total = 0.0;
+  ts.AddCumulativeProbe("bad", [&] { return bad; });
+  ts.AddCumulativeProbe("total", [&] { return total; });
+  trace::SloRule r;
+  r.name = "burn";
+  r.kind = trace::SloRule::Kind::kBurnRate;
+  r.bad_series = "bad";
+  r.total_series = "total";
+  r.budget = 0.10;           // 10% error budget
+  r.short_window_sec = 2.0;
+  r.long_window_sec = 5.0;
+  r.burn_threshold = 2.0;    // fire at 2x budget consumption
+  ts.slo().AddRule(r);
+  // Clean traffic for 5 s: no alert (0/0 and 0/N both burn zero).
+  for (int t = 1; t <= 5; ++t) {
+    total += 10.0;
+    ts.Sample(static_cast<double>(t), nullptr, nullptr);
+  }
+  EXPECT_EQ(ts.slo_monitor().firing_count(), 0);
+  // A sudden 50% bad fraction is 5x the budget: both windows blow past
+  // the 2x threshold once the long window accumulates enough bad delta.
+  for (int t = 6; t <= 10; ++t) {
+    total += 10.0;
+    bad += 5.0;
+    ts.Sample(static_cast<double>(t), nullptr, nullptr);
+  }
+  EXPECT_EQ(ts.slo_monitor().firing_count(), 1);
+  ASSERT_FALSE(ts.slo_monitor().alerts().empty());
+  const trace::AlertEvent& first = ts.slo_monitor().alerts().front();
+  EXPECT_TRUE(first.firing);
+  EXPECT_EQ(first.value, (5.0 / 10.0) / 0.10);  // short-window burn = 5x
+  // Recovery: clean traffic drains both windows and the alert resolves.
+  for (int t = 11; t <= 20; ++t) {
+    total += 10.0;
+    ts.Sample(static_cast<double>(t), nullptr, nullptr);
+  }
+  EXPECT_EQ(ts.slo_monitor().firing_count(), 0);
+  EXPECT_FALSE(ts.slo_monitor().alerts().back().firing);
+}
+
+TEST(TimeSeries, WriteJsonlIsDeterministicAndSchemaTagged) {
+  auto build = [] {
+    trace::TimeSeriesOptions opts;
+    opts.sample_interval_sec = 2.0;
+    trace::TimeSeries ts(opts);
+    double v = 0.0;
+    ts.AddCumulativeProbe("z.count", [&] { return v; });
+    ts.AddGaugeProbe("a.gauge", [&] { return 1.5; });
+    v = 8.0;
+    ts.Sample(2.0, nullptr, nullptr);
+    v = 20.0;
+    ts.Sample(4.0, nullptr, nullptr);
+    std::ostringstream os;
+    ts.WriteJsonl(os);
+    return os.str();
+  };
+  const std::string out = build();
+  EXPECT_EQ(out, build());  // byte-identical across identical runs
+  // Line 1 is the schema header; every line parses as standalone JSON.
+  std::istringstream is(out);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  const json::Value header = json::Parse(line);
+  EXPECT_EQ(header.Find("schema")->string, trace::kTimeSeriesSchema);
+  EXPECT_EQ(header.Find("sample_interval_sec")->number, 2.0);
+  EXPECT_EQ(header.Find("samples")->number, 2.0);
+  std::vector<std::string> names;
+  while (std::getline(is, line)) {
+    const json::Value doc = json::Parse(line);
+    ASSERT_TRUE(doc.is_object());
+    if (doc.Find("type")->string == "series") {
+      names.push_back(doc.Find("name")->string);
+    }
+  }
+  // Series lines come out sorted by name.
+  const std::vector<std::string> expected = {"a.gauge", "z.count",
+                                             "z.count.rate"};
+  EXPECT_EQ(names, expected);
 }
 
 }  // namespace
