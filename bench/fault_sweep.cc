@@ -5,6 +5,13 @@
 // bit-identical with faults injected and without. Faults change *when*
 // everything happens, never *what* the job computes.
 //
+// The elastic-churn table reruns a fixed multi-tenant workload under
+// runtime membership churn (join + drain leave + hard leave) with and
+// without preemptive quotas, and the kill->restore row proves the HA
+// story in-process: the churn run is snapshotted mid-flight, replayed
+// from the checkpoint on a fresh engine, and the restored metrics must
+// be bit-identical (the fault_sweep.restore_identical gauge).
+//
 // The shared Reporter `--seed N` flag (default 20150615) selects the
 // injector seed, so CI's chaos-smoke job can assert output invariance
 // across several seeds.
@@ -14,12 +21,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench/reporter.h"
 #include "fault/fault.h"
 #include "gpurt/job_program.h"
 #include "hadoop/engine.h"
 #include "hadoop/functional_source.h"
 #include "hadoop/task_source.h"
+#include "multijob/engine.h"
 #include "multijob/metrics.h"
 #include "multijob/scheduler.h"
 #include "multijob/workload.h"
@@ -135,6 +145,34 @@ std::map<std::string, long> Histogram(
   std::map<std::string, long> h;
   for (const auto& kv : kvs) h[kv.key] += std::strtol(kv.value.c_str(), nullptr, 10);
   return h;
+}
+
+// Exact (==, no tolerance) workload equality for the kill->restore check:
+// every modeled number a warm restart must reproduce bit-identically.
+bool SameWorkload(const hd::multijob::WorkloadMetrics& a,
+                  const hd::multijob::WorkloadMetrics& b) {
+  if (a.jobs.size() != b.jobs.size()) return false;
+  bool same = a.makespan_sec == b.makespan_sec &&
+              a.cpu_utilization == b.cpu_utilization &&
+              a.gpu_utilization == b.gpu_utilization &&
+              a.availability == b.availability &&
+              a.gpu_bounces == b.gpu_bounces &&
+              a.nodes_joined == b.nodes_joined &&
+              a.nodes_left == b.nodes_left &&
+              a.leaves_refused == b.leaves_refused &&
+              a.preemptions == b.preemptions;
+  for (std::size_t i = 0; same && i < a.jobs.size(); ++i) {
+    const auto& x = a.jobs[i];
+    const auto& y = b.jobs[i];
+    same = x.submit_sec == y.submit_sec && x.start_sec == y.start_sec &&
+           x.finish_sec == y.finish_sec &&
+           x.result.cpu_tasks == y.result.cpu_tasks &&
+           x.result.gpu_tasks == y.result.gpu_tasks &&
+           x.result.killed_attempts == y.result.killed_attempts &&
+           x.result.maps_reexecuted == y.result.maps_reexecuted &&
+           x.result.preempted_attempts == y.result.preempted_attempts;
+  }
+  return same;
 }
 
 }  // namespace
@@ -381,6 +419,137 @@ int main(int argc, char** argv) {
   rep.Print(inv);
   rep.metrics()->gauge("fault_sweep.output_identical")
       .Set(all_identical ? 1.0 : 0.0);
+
+  // --- Elastic churn + kill->restore -------------------------------------
+  // A fixed multi-tenant workload under runtime membership churn: one
+  // tracker joins mid-run, one drains out, one is yanked hard. The
+  // preempt variant arms per-tenant quota kills on top. The same-seed
+  // static row anchors the comparison.
+  rep.out() << "\nElastic churn (runtime resize + preemptive quotas):\n\n";
+  std::vector<std::string> churn_ckpts;
+  const double churn_interval = 13.7;
+  auto run_churn = [&](bool churn, int budget, double ckpt_interval,
+                       bool capture, const std::string* restore_text,
+                       bool attach_reporting) {
+    hadoop::ClusterConfig c;
+    c.num_slaves = 6;
+    c.map_slots_per_node = 3;
+    c.reduce_slots_per_node = 2;
+    c.gpus_per_node = 1;
+    c.speculation = true;
+    c.preemption_budget = budget;
+    c.checkpoint_interval_sec = ckpt_interval;
+    if (capture) {
+      c.on_checkpoint = [&churn_ckpts](int, const std::string& text) {
+        churn_ckpts.push_back(text);
+      };
+    }
+    if (attach_reporting) {
+      c.sink = rep.sink();
+      c.metrics = rep.metrics();
+      c.trace_pid_base = pid_base;
+      pid_base += 100;
+    }
+    multijob::MultiJobEngine eng(c,
+                                 multijob::MakeCapacityScheduler({3.0, 1.0}));
+    if (churn) {
+      eng.ScheduleJoin(15.0);
+      eng.ScheduleLeave(40.0, 1, /*drain=*/true);
+      eng.ScheduleLeave(60.0, 2, /*drain=*/false);
+    }
+    static constexpr int kMaps[] = {24, 32, 16, 24, 20, 28};
+    static constexpr double kCpu[] = {9.0, 12.0, 7.0, 10.0, 8.0, 11.0};
+    static constexpr double kSubmit[] = {0.0, 5.0, 9.0, 13.0, 17.0, 21.0};
+    static constexpr sched::Policy kPolicies[] = {
+        sched::Policy::kTail, sched::Policy::kCpuOnly,
+        sched::Policy::kGpuFirst};
+    const int num_churn_jobs = rep.smoke() ? 3 : 6;
+    std::vector<std::unique_ptr<hadoop::CalibratedTaskSource>> keep;
+    for (int j = 0; j < num_churn_jobs; ++j) {
+      hadoop::CalibratedTaskSource::Params p;
+      p.num_maps = kMaps[j];
+      p.num_reducers = 2;
+      p.cpu_task_sec = kCpu[j];
+      p.gpu_task_sec = kCpu[j] / 2.0;
+      p.variation = 0.3;
+      p.seed = seed + static_cast<std::uint64_t>(j);
+      keep.push_back(std::make_unique<hadoop::CalibratedTaskSource>(p));
+      multijob::JobSpec s;
+      s.source = keep.back().get();
+      s.policy = kPolicies[j % 3];
+      s.pool = j % 2;
+      s.label = "churn" + std::to_string(j);
+      eng.Submit(kSubmit[j], s);
+    }
+    if (restore_text != nullptr) eng.RestoreFromText(*restore_text);
+    const multijob::WorkloadMetrics m = eng.Run();
+    if (attach_reporting) rep.AddModeledSeconds(m.makespan_sec);
+    return m;
+  };
+
+  auto& ct = rep.AddTable(
+      "fault_churn",
+      {"variant", "makespan s", "avail", "joins", "leaves", "killed",
+       "reexec", "preempt", "p50 s", "p99 s"});
+  struct ChurnVariant {
+    const char* name;
+    bool churn;
+    int budget;
+    double interval;
+    bool capture;
+  };
+  // The preempt row doubles as the restore donor: it writes checkpoints on
+  // the way (snapshot writes are proven not to perturb modeled numbers —
+  // tests/ha_test.cc pins that).
+  const ChurnVariant variants[] = {
+      {"static", false, 0, 0.0, false},
+      {"churn", true, 0, 0.0, false},
+      {"churn+preempt", true, 2, churn_interval, true},
+  };
+  multijob::WorkloadMetrics donor;
+  for (const ChurnVariant& v : variants) {
+    const multijob::WorkloadMetrics m = run_churn(
+        v.churn, v.budget, v.interval, v.capture, nullptr,
+        /*attach_reporting=*/true);
+    if (v.capture) donor = m;
+    ct.Row()
+        .Cell(v.name)
+        .Cell(m.makespan_sec, 1)
+        .Cell(m.availability, 4)
+        .Cell(m.nodes_joined)
+        .Cell(m.nodes_left)
+        .Cell(m.TotalKilledAttempts())
+        .Cell(m.TotalMapsReexecuted())
+        .Cell(m.preemptions)
+        .Cell(m.LatencyPercentile(0.5), 2)
+        .Cell(m.LatencyPercentile(0.99), 2);
+  }
+  rep.Print(ct);
+
+  // The kill->restore identity: replay the churn+preempt run from its
+  // middle checkpoint on a fresh engine (same config, same submissions,
+  // same membership plan — the warm-restart contract) and require every
+  // modeled number to come out bit-identical.
+  rep.out() << "\nKill->restore identity (churn+preempt, mid-run snapshot):\n\n";
+  bool restore_identical = false;
+  int restore_seq = 0;
+  if (!churn_ckpts.empty()) {
+    restore_seq = static_cast<int>(churn_ckpts.size()) / 2 + 1;
+    const std::string& snap = churn_ckpts[churn_ckpts.size() / 2];
+    const multijob::WorkloadMetrics restored = run_churn(
+        /*churn=*/true, /*budget=*/2, churn_interval, /*capture=*/false,
+        &snap, /*attach_reporting=*/false);
+    restore_identical = SameWorkload(donor, restored);
+  }
+  auto& rt = rep.AddTable("fault_restore",
+                          {"checkpoints", "restored from", "identical"});
+  rt.Row()
+      .Cell(static_cast<std::int64_t>(churn_ckpts.size()))
+      .Cell(restore_seq)
+      .Cell(static_cast<std::int64_t>(restore_identical ? 1 : 0));
+  rep.Print(rt);
+  rep.metrics()->gauge("fault_sweep.restore_identical")
+      .Set(restore_identical ? 1.0 : 0.0);
 
   rep.out() << "\nReading guide: availability falls and makespan grows with\n"
                "the failure level, but output_identical stays 1 — recovery\n"

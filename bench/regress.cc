@@ -27,6 +27,7 @@ const char* const kSuite[] = {
     "fig4a_cluster1",     "fig4b_cluster2", "fig5_task_speedup",
     "fig6_breakdown",     "fig7_optimizations",
     "multijob_throughput", "stream_steady",  "des_scale",
+    "fault_sweep",
 };
 
 [[noreturn]] void Usage(int code) {

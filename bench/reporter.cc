@@ -73,7 +73,7 @@ NullBuf& TheNullBuf() {
                "usage: %s [--json <path>] [--trace-out <path>] "
                "[--metrics-out <path>] [--timeseries-out <path>] "
                "[--sample-interval <sec>] [--seed <n>] [--policy <name>] "
-               "[--scheduler <name>] [--smoke] [--quiet]\n"
+               "[--scheduler <name>] [--fail-on-alert] [--smoke] [--quiet]\n"
                "  --json <path>         write the %s report\n"
                "  --trace-out <path>    write a Chrome/Perfetto trace of the "
                "run (alias: --trace)\n"
@@ -90,6 +90,10 @@ NullBuf& TheNullBuf() {
                "(cpu-only, gpu-first, tail)\n"
                "  --scheduler <name>    run only this inter-job scheduler "
                "(fifo, fair, capacity, slo-*)\n"
+               "  --fail-on-alert       exit nonzero when any telemetry SLO "
+               "alert fired during\n"
+               "                        the run (needs --timeseries-out to "
+               "enable the sampler)\n"
                "  --smoke               shrunk inputs (fast schema checks)\n"
                "  --quiet               suppress the human-readable output\n",
                id.c_str(), kSchema);
@@ -163,6 +167,8 @@ Reporter::Reporter(std::string benchmark_id, int argc, char** argv)
       smoke_ = true;
     } else if (arg == "--quiet") {
       quiet_ = true;
+    } else if (arg == "--fail-on-alert") {
+      fail_on_alert_ = true;
     } else if (arg == "--seed") {
       if (i + 1 >= argc) Usage(benchmark_id_, 2);
       char* end = nullptr;
@@ -240,7 +246,7 @@ void Reporter::Config(const std::string& key, bool value) {
 }
 
 int Reporter::Finish() {
-  if (finished_) return 0;
+  if (finished_) return exit_code_;
   finished_ = true;
 
   if (!json_path_.empty()) {
@@ -320,7 +326,25 @@ int Reporter::Finish() {
     timeseries_->WriteJsonl(f);
     HD_CHECK_MSG(f.good(), "write to '" << timeseries_path_ << "' failed");
   }
-  return 0;
+
+  // CI gate: with --fail-on-alert, any SLO rule that transitioned to
+  // firing during the run turns into a nonzero exit, with the offending
+  // transitions listed on stderr.
+  if (fail_on_alert_ && timeseries_ != nullptr) {
+    int firing = 0;
+    for (const trace::AlertEvent& a : timeseries_->slo_monitor().alerts()) {
+      if (!a.firing) continue;
+      ++firing;
+      std::fprintf(stderr, "%s: SLO alert '%s' fired at t=%g (value %g)\n",
+                   benchmark_id_.c_str(), a.rule.c_str(), a.at_sec, a.value);
+    }
+    if (firing > 0) {
+      std::fprintf(stderr, "%s: --fail-on-alert: %d alert%s fired\n",
+                   benchmark_id_.c_str(), firing, firing == 1 ? "" : "s");
+      exit_code_ = 1;
+    }
+  }
+  return exit_code_;
 }
 
 }  // namespace hd::bench

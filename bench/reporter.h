@@ -14,6 +14,8 @@
 //                                   #   modeled time (heterodoop.timeseries.v1
 //                                   #   JSONL; feed to `hdprof timeline`)
 //   <bench> --sample-interval SEC   # telemetry sampling period (default 5)
+//   <bench> --fail-on-alert         # exit nonzero if any SLO alert fired
+//                                   #   (pairs with --timeseries-out)
 //   <bench> --smoke                 # shrunk inputs for fast schema checks
 //   <bench> --quiet                 # suppress the human output
 //   <bench> --seed N                # workload/injector seed (binaries that
@@ -153,7 +155,8 @@ class Reporter {
   double modeled_seconds() const { return modeled_seconds_; }
 
   // Writes the JSON report and trace file if requested. Idempotent; the
-  // destructor calls it. Returns 0 (main's exit code).
+  // destructor calls it. Returns main's exit code: 0, or 1 when
+  // --fail-on-alert was given and an SLO alert fired during the run.
   int Finish();
 
  private:
@@ -169,7 +172,9 @@ class Reporter {
   std::string metrics_path_;
   std::string timeseries_path_;
   double sample_interval_ = 5.0;
+  bool fail_on_alert_ = false;
   bool finished_ = false;
+  int exit_code_ = 0;
   double modeled_seconds_ = 0.0;
 
   trace::Registry registry_;

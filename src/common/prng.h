@@ -5,6 +5,7 @@
 // both the generator (xoshiro256**) and the samplers ourselves.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -72,6 +73,15 @@ class Prng {
     const double u2 = NextDouble();
     return std::sqrt(-2.0 * std::log(u1)) *
            std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+  // Raw generator state, for checkpointing. Restoring the four words
+  // reproduces the exact draw sequence from the capture point.
+  std::array<std::uint64_t, 4> State() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void SetState(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
   }
 
  private:

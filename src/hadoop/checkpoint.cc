@@ -1,0 +1,128 @@
+#include "hadoop/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hd::hadoop::ckpt {
+
+json::Value ParseCheckpoint(const std::string& text) {
+  json::Value doc;
+  try {
+    doc = json::Parse(text);
+  } catch (const std::exception& e) {
+    throw CheckpointError(std::string("corrupt checkpoint: ") + e.what());
+  }
+  if (!doc.is_object()) {
+    throw CheckpointError("corrupt checkpoint: document is not an object");
+  }
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    throw CheckpointError("corrupt checkpoint: missing schema marker");
+  }
+  if (schema->string != kCheckpointSchema) {
+    throw CheckpointError("checkpoint schema '" + schema->string +
+                          "' is not " + kCheckpointSchema);
+  }
+  return doc;
+}
+
+const json::Value& Get(const json::Value& obj, const char* key) {
+  if (!obj.is_object()) {
+    throw CheckpointError(std::string("corrupt checkpoint: expected object "
+                                      "holding '") +
+                          key + "'");
+  }
+  const json::Value* v = obj.Find(key);
+  if (v == nullptr) {
+    throw CheckpointError(std::string("corrupt checkpoint: missing field '") +
+                          key + "'");
+  }
+  return *v;
+}
+
+double Num(const json::Value& obj, const char* key) {
+  const json::Value& v = Get(obj, key);
+  if (!v.is_number()) {
+    throw CheckpointError(std::string("corrupt checkpoint: field '") + key +
+                          "' is not a number");
+  }
+  return v.number;
+}
+
+std::int64_t Int(const json::Value& obj, const char* key) {
+  return static_cast<std::int64_t>(Num(obj, key));
+}
+
+bool Bool(const json::Value& obj, const char* key) {
+  const json::Value& v = Get(obj, key);
+  if (v.kind != json::Value::Kind::kBool) {
+    throw CheckpointError(std::string("corrupt checkpoint: field '") + key +
+                          "' is not a bool");
+  }
+  return v.boolean;
+}
+
+const std::string& Str(const json::Value& obj, const char* key) {
+  const json::Value& v = Get(obj, key);
+  if (!v.is_string()) {
+    throw CheckpointError(std::string("corrupt checkpoint: field '") + key +
+                          "' is not a string");
+  }
+  return v.string;
+}
+
+const std::vector<json::Value>& Arr(const json::Value& obj, const char* key) {
+  const json::Value& v = Get(obj, key);
+  if (!v.is_array()) {
+    throw CheckpointError(std::string("corrupt checkpoint: field '") + key +
+                          "' is not an array");
+  }
+  return v.array;
+}
+
+std::uint64_t U64(const json::Value& obj, const char* key) {
+  const std::string& s = Str(obj, key);
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || s.empty()) {
+    throw CheckpointError(std::string("corrupt checkpoint: field '") + key +
+                          "' is not a decimal u64");
+  }
+  return v;
+}
+
+std::string U64Str(std::uint64_t v) { return std::to_string(v); }
+
+void AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good()) {
+      throw CheckpointError("cannot open checkpoint temp file '" + tmp + "'");
+    }
+    f << contents;
+    f.flush();
+    if (!f.good()) {
+      throw CheckpointError("write to checkpoint temp file '" + tmp +
+                            "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw CheckpointError("cannot rename checkpoint into place at '" + path +
+                          "'");
+  }
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    throw CheckpointError("cannot open checkpoint '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace hd::hadoop::ckpt

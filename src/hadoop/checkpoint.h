@@ -1,0 +1,75 @@
+// JobTracker checkpoint format "heterodoop.ckpt.v1" — shared helpers.
+//
+// A checkpoint is one JSON document snapshotting the whole control-plane
+// state of a MultiJobEngine/StreamEngine run at a checkpoint boundary
+// (modeled time k * checkpoint_interval_sec): job/task/attempt tables,
+// scheduler queues, node health and blacklists, the membership plan,
+// pipeline window seqs and watermarks, and the metrics registry. Every
+// number is serialized with shortest-round-trip formatting (common/json.h),
+// and 64-bit generator states as decimal strings (JSON doubles only hold 53
+// bits), so a restore reproduces the captured state bit-for-bit.
+//
+// Restore contract (MultiJobEngine::RestoreFromText): the caller rebuilds
+// an engine with the same configuration, re-registers the same pipelines,
+// re-submits the same batch jobs in the same order and re-schedules the
+// same membership plan, then restores. The engine overlays the snapshot:
+// committed work is never redone, in-flight attempts resume with their
+// original completion times, and the continued run produces byte-identical
+// final output and metrics to the uninterrupted same-seed run (ties between
+// unrelated standing chains at the exact capture instant excepted — pick a
+// cadence that does not align with heartbeats, see DESIGN.md).
+//
+// This header holds the error type and the typed JSON field accessors the
+// engine-side writers/readers share; the engine state itself is serialized
+// by ClusterCore/MultiJobEngine/StreamEngine (they own the fields).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hd::hadoop {
+
+inline constexpr const char* kCheckpointSchema = "heterodoop.ckpt.v1";
+
+// A checkpoint could not be parsed, failed schema validation, or does not
+// match the engine it is being restored into. The message lists every
+// mismatch found (the ClusterConfig::Validate convention).
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace ckpt {
+
+// Parses a checkpoint document and validates the schema marker. Throws
+// CheckpointError (with the parser's byte offset) on malformed input,
+// truncation, or a wrong/missing schema.
+json::Value ParseCheckpoint(const std::string& text);
+
+// Typed field access; each throws CheckpointError naming the missing or
+// mistyped key, so a corrupt document is rejected with a structured error
+// instead of a crash.
+const json::Value& Get(const json::Value& obj, const char* key);
+double Num(const json::Value& obj, const char* key);
+std::int64_t Int(const json::Value& obj, const char* key);
+bool Bool(const json::Value& obj, const char* key);
+const std::string& Str(const json::Value& obj, const char* key);
+const std::vector<json::Value>& Arr(const json::Value& obj, const char* key);
+// 64-bit word stored as a decimal string (full precision).
+std::uint64_t U64(const json::Value& obj, const char* key);
+std::string U64Str(std::uint64_t v);
+
+// Writes `contents` to `path` atomically (temp file + rename), so a crash
+// mid-write never leaves a truncated checkpoint behind.
+void AtomicWriteFile(const std::string& path, const std::string& contents);
+
+// Reads a whole file; throws CheckpointError when it cannot be opened.
+std::string ReadFile(const std::string& path);
+
+}  // namespace ckpt
+}  // namespace hd::hadoop

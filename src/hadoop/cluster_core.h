@@ -38,6 +38,7 @@
 
 #include "fault/fault.h"
 #include "gpurt/kv.h"
+#include "hadoop/checkpoint.h"
 #include "hadoop/des.h"
 #include "hadoop/task_source.h"
 #include "hdfs/hdfs.h"
@@ -138,6 +139,31 @@ struct ClusterConfig {
   trace::TimeSeries* timeseries = nullptr;
   int trace_pid_base = 0;
 
+  // --- Elastic HA serving (checkpoint / resize / preemption) -------------
+  // JobTracker checkpoint cadence in modeled seconds; 0 (the default) = off
+  // and zero perturbation. When positive, the multi-job engines write a
+  // heterodoop.ckpt.v1 snapshot at every multiple of the interval
+  // (tick k at k * interval, multiplication not accumulation) to
+  // checkpoint_path (atomic tmp+rename overwrite) and/or on_checkpoint.
+  double checkpoint_interval_sec = 0.0;
+  std::string checkpoint_path;
+  // Test/kill-restart hook: halt the run right after writing checkpoint
+  // `stop_at_checkpoint` (>= 1), leaving the engine mid-flight — the
+  // SIGKILL-equivalent a warm restart recovers from. 0 = never halt.
+  int stop_at_checkpoint = 0;
+  // Observation hook invoked after each checkpoint write with (seq, text);
+  // read-only with respect to modeled state.
+  std::function<void(int, const std::string&)> on_checkpoint;
+  // Preemptive per-tenant quotas (Capacity scheduler pools): how many times
+  // one job may have attempts killed for quota enforcement before it is
+  // exempt (the anti-livelock bound). 0 (the default) disables preemption
+  // entirely — bit-identical scheduling to the non-preemptive engine.
+  int preemption_budget = 0;
+  // Runtime resize floor: a ScheduleLeave that would drop the registered
+  // tracker count below this is refused (counted, traced). The default 1
+  // keeps the last tracker from draining away under active jobs.
+  int min_tracker_floor = 1;
+
   // Throws one CheckError listing every violated invariant (see
   // ValidateClusterConfig below).
   void Validate() const;
@@ -170,6 +196,7 @@ struct JobResult {
   std::int64_t speculative_launched = 0;
   std::int64_t speculative_wins = 0;    // speculative attempt committed
   std::int64_t speculative_losses = 0;  // original won; speculative killed
+  std::int64_t preempted_attempts = 0;  // killed by quota enforcement
 
   // Cluster-level counters snapshotted at job completion (single-job runs;
   // the multi-job engine reports them per workload instead).
@@ -227,6 +254,7 @@ struct JobState {
   std::vector<JobNodeStats> node_stats;  // one per slave
   bool reduces_scheduled = false;
   std::vector<double> reduce_start;
+  bool activated = false;  // the submission's activation event fired
   bool done = false;
   bool tail_onset_traced = false;  // first forced-GPU decision emitted
 
@@ -238,6 +266,9 @@ struct JobState {
   std::vector<unsigned char> cpu_only;  // demoted by the GPU-attempt cap
   std::vector<int> committed_node;    // node holding the map output; -1
   std::vector<std::int64_t> committed_bytes;  // its map-output size
+  // Absolute fire time of a kRetryWait task's pending backoff timer
+  // (checkpointed so a restore re-arms it); -1 otherwise.
+  std::vector<double> retry_at;
 
   // Job-wide completed-duration averages feeding the speculation
   // straggler threshold.
@@ -272,6 +303,18 @@ struct NodeHealth {
   double down_since_sec = 0.0;   // valid while !alive
   int failed_attempts = 0;       // toward blacklist_task_failures
   std::int64_t heartbeat_seq = 0;
+
+  // --- Runtime membership (elastic resize) -------------------------------
+  // `member` is false for a tracker whose join is scheduled but has not
+  // fired yet; `departed` marks one that has left for good. Initial nodes
+  // are members from time 0. A draining tracker finishes its running
+  // attempts but receives no new ones, then departs.
+  bool member = true;
+  bool draining = false;
+  bool departed = false;
+  double joined_sec = 0.0;
+  double departed_sec = -1.0;   // < 0 while still registered
+  double recover_at_sec = -1.0;  // pending RecoverEvent time; < 0 if none
 };
 
 // Owns the cluster (nodes, slots, DES clock) and implements the map-task
@@ -281,6 +324,29 @@ class ClusterCore {
  public:
   explicit ClusterCore(ClusterConfig cfg);
   virtual ~ClusterCore() = default;
+
+  // --- Runtime cluster resize (DES-driven membership) --------------------
+  // Schedules a fresh TaskTracker to join at modeled time `when` and
+  // returns its node id (ids continue past the initial num_slaves). The
+  // tracker exists immediately (so traces/arrays are sized) but is not a
+  // member — it takes no work and accrues no availability denominator —
+  // until the join event fires, at which point active jobs rebalance onto
+  // it via an immediate heartbeat.
+  int ScheduleJoin(double when);
+  // Schedules tracker `node` to leave at `when`. Drain (the default)
+  // finishes running attempts before departing; a hard leave kills them
+  // and re-enqueues their tasks through the node-loss recovery path. A
+  // leave that would drop the registered count below
+  // ClusterConfig::min_tracker_floor is refused and counted.
+  void ScheduleLeave(double when, int node, bool drain = true);
+  // Trackers currently registered (members that have not departed).
+  int registered_nodes() const;
+
+  // True when the run stopped early at checkpoint stop_at_checkpoint —
+  // the SIGKILL-equivalent state a warm restart recovers from.
+  bool halted() const { return halted_; }
+  // Sequence number of the last checkpoint written (0 = none yet).
+  int checkpoint_seq() const { return checkpoint_seq_; }
 
  protected:
   // One in-flight map attempt. The DES completion/failure event carries
@@ -299,6 +365,9 @@ class ClusterCore {
     double duration = 0.0;  // full would-be duration
     std::int64_t output_bytes = 0;
     int lane = -1;
+    bool will_fail = false;   // outcome event is a failure, not completion
+    double outcome_at = 0.0;  // absolute outcome time (checkpointable)
+    bool restored = false;    // resumed from a checkpoint, not started live
     des::EventHandle outcome_event;  // pending completion/failure event
   };
 
@@ -358,7 +427,10 @@ class ClusterCore {
   // JobTrack is the job's JobTracker lane. EmitHeartbeat is called by the
   // engines' heartbeat handlers.
   trace::Track NodeTrack(int node_id, int tid) const {
-    return trace::Track{cfg_.trace_pid_base + node_id + 1, tid};
+    // Joined trackers shift one pid up: trace_pid_base + num_slaves + 1 is
+    // reserved for the stream engine's pipeline lane.
+    const int shift = node_id < cfg_.num_slaves ? 1 : 2;
+    return trace::Track{cfg_.trace_pid_base + node_id + shift, tid};
   }
   trace::Track JobTrack(const JobState& job) const {
     return trace::Track{cfg_.trace_pid_base, job.id};
@@ -383,6 +455,84 @@ class ClusterCore {
   // A transiently-crashed TaskTracker came back: the engine should restart
   // its heartbeat pulse (the pulse chain stops while the node is down).
   virtual void OnNodeRecovered(int node_id) { (void)node_id; }
+  // A scheduled join fired and `node_id` is now a registered member: the
+  // engine should size its per-job node tables, start the tracker's
+  // heartbeat pulse, and rebalance active work onto it.
+  virtual void OnClusterGrown(int node_id) { (void)node_id; }
+
+  // --- Checkpoint machinery ---------------------------------------------
+  // Serializes the full engine state as a heterodoop.ckpt.v1 document.
+  // Engines that support warm restart override this; the base
+  // implementation refuses (single-job JobEngine has no checkpoint story).
+  virtual std::string CheckpointToText();
+  // Per-job hook for extra checkpoint fields (the stream engine tags
+  // window jobs with their pipeline/seq so a restore can rebuild their
+  // synthetic task sources). Default: nothing.
+  virtual void WriteJobExtra(json::Writer& w, const JobState& job) const {
+    (void)w;
+    (void)job;
+  }
+
+  // Arms the first checkpoint tick (seq restored_seq_+1) when
+  // cfg_.checkpoint_interval_sec > 0; a no-op otherwise. Call from Run()
+  // before draining events.
+  void ScheduleCheckpointTicks();
+  // Drains the event queue: events_.Run(), except when a stop_at_checkpoint
+  // halt is armed, in which case it single-steps so the halt can freeze the
+  // queue mid-flight.
+  void DrainEvents();
+
+  // Writes the "cluster" section (node health/slots, attempt registry,
+  // lost-task list, membership plan, fault counters) into an open object.
+  void WriteClusterSection(json::Writer& w);
+  // Serializes one JobState (including its JobResult) as an object value.
+  void WriteJobState(json::Writer& w, const JobState& job);
+
+  // Restore passes (see checkpoint.h for the contract). ApplyClusterPre
+  // overlays node health/slots/counters and re-schedules recovery and
+  // membership events; ApplyJobState overlays one job's tables and arms its
+  // retry timers; ApplyAttempts rebuilds the in-flight attempt registry in
+  // ascending id order (preserving event-queue tie order) and the lost-task
+  // list, resolving jobs through `job_by_id`.
+  void ApplyClusterPre(const json::Value& cluster);
+  void ApplyJobState(const json::Value& entry, JobState& job);
+  void ApplyAttempts(const json::Value& cluster,
+                     const std::function<JobState*(int)>& job_by_id);
+
+  // Grows the per-node arrays (slots, health, lanes, lost-task lists) to
+  // hold `n` trackers; new entries are non-members with zero slots until
+  // admitted.
+  void GrowArraysTo(int n);
+  // Re-enqueues committed map outputs held by `node_id` for re-execution
+  // (map output lives on tracker-local disk). Shared by the expiry sweep
+  // and hard leaves.
+  void ReexecuteCommittedMaps(int node_id);
+
+  // Registered-tracker node-seconds up to `horizon_sec`, the availability
+  // denominator. Equals num_slaves * horizon for a static cluster (fast
+  // path, bit-exact); with membership churn each tracker contributes its
+  // [joined, departed) overlap instead.
+  double RegisteredNodeSeconds(double horizon_sec) const;
+
+  // Kills attempt `id` (slot/lane freed, truncated span); `why` labels the
+  // trace event. Protected so the multi-job engine's quota preemption can
+  // kill victims through the same path node loss uses.
+  void KillAttempt(std::int64_t id, const char* why);
+  void RequeueTask(JobState& job, int task);
+  bool HasRunningAttempt(const JobState& job, int task) const;
+
+  // One scheduled membership change. The plan is checkpointed (fired
+  // entries and all) so a restored run can match it against the caller's
+  // re-scheduled plan and cancel the already-fired events.
+  struct MembershipOp {
+    enum class Kind : unsigned char { kJoin, kLeave };
+    Kind kind = Kind::kJoin;
+    double when = 0.0;
+    int node = 0;
+    bool drain = true;
+    bool fired = false;
+    des::EventHandle event;
+  };
 
   ClusterConfig cfg_;
   EventQueue events_;
@@ -413,6 +563,34 @@ class ClusterCore {
   // completes; those must not count against availability).
   std::vector<std::pair<double, double>> outages_;
 
+  // Membership accounting.
+  std::int64_t nodes_joined_ = 0;
+  std::int64_t nodes_left_ = 0;
+  std::int64_t leaves_refused_ = 0;  // blocked by min_tracker_floor
+  std::vector<MembershipOp> membership_plan_;
+  bool membership_used_ = false;  // any join/leave scheduled this run
+  int joins_scheduled_ = 0;
+  // Pending RecoverEvent per node, cancellable on departure. Parallel to
+  // health_.
+  std::vector<des::EventHandle> recover_events_;
+
+  // In-flight attempt registry (Hadoop 1.x attempt ids). Protected so the
+  // multi-job engine's preemption can pick victims and the checkpoint
+  // writer can serialize it.
+  std::map<std::int64_t, Attempt> running_;
+  std::int64_t next_attempt_id_ = 1;
+  // (job, task) pairs whose attempts died with the node, awaiting the
+  // expiry sweep. Indexed by node.
+  std::vector<std::vector<std::pair<JobState*, int>>> lost_tasks_;
+
+  // Checkpoint / warm-restart state. restored_at_ >= 0 marks an engine
+  // restored from checkpoint restored_seq_ at that modeled time; ticks and
+  // telemetry resume *after* it instead of from 0.
+  bool halted_ = false;
+  int checkpoint_seq_ = 0;
+  int restored_seq_ = 0;
+  double restored_at_ = -1.0;
+
  private:
   // Pooled DES event trampolines (ctx is the ClusterCore): the payload
   // carries an attempt id, a node id, a packed crash, or a (job, task)
@@ -423,10 +601,19 @@ class ClusterCore {
   static void AttemptDoneEvent(void* ctx, const des::Payload& p);
   static void AttemptFailedEvent(void* ctx, const des::Payload& p);
   static void RetryTimerEvent(void* ctx, const des::Payload& p);
+  static void JoinEvent(void* ctx, const des::Payload& p);
+  static void LeaveEvent(void* ctx, const des::Payload& p);
+  static void CheckpointEvent(void* ctx, const des::Payload& p);
 
   // One telemetry sample at tick k (modeled time k * interval); re-arms
   // tick k+1 while other events remain in the queue.
   void SampleTick(std::int64_t k);
+
+  // Standing auxiliary events (telemetry samples, checkpoint ticks)
+  // currently in the queue. Each chain re-arms only while the queue holds
+  // more than the auxiliary events, so two self-re-arming chains cannot
+  // keep each other alive after the simulation proper has drained.
+  std::int64_t aux_pending_ = 0;
 
   void CrashNode(const fault::NodeCrash& crash);
   void RecoverNode(int node_id);
@@ -436,9 +623,14 @@ class ClusterCore {
   // truncated spans) and remembers the (job, task) pairs for the expiry
   // sweep's re-enqueue.
   void KillAttemptsOn(int node_id);
-  // Kills attempt `id` (slot/lane freed, truncated span); `why` labels the
-  // trace event.
-  void KillAttempt(std::int64_t id, const char* why);
+  // Membership event bodies: a join admits the tracker and notifies the
+  // engine; a leave drains or hard-kills, then departs.
+  void AdmitNode(int node_id);
+  void LeaveNow(int node_id, bool drain);
+  void DepartNode(int node_id);
+  // Writes checkpoint `k` (file and/or hook), then either halts the run
+  // (stop_at_checkpoint) or re-arms tick k+1 while events remain.
+  void CheckpointTick(int k);
   void OnAttemptDone(std::int64_t id);
   void OnAttemptFailed(std::int64_t id);
   // The GPU path of StartMap failed to launch (GpuTaskFailure or injected
@@ -450,15 +642,7 @@ class ClusterCore {
   // called from DeclareLost (expiry) and from RecoverNode (re-registration
   // after an outage shorter than the expiry window).
   void RequeueLostTasks(int node_id);
-  bool HasRunningAttempt(const JobState& job, int task) const;
   void FreeSlot(int node_id, bool on_gpu, int lane);
-  void RequeueTask(JobState& job, int task);
-
-  std::map<std::int64_t, Attempt> running_;
-  std::int64_t next_attempt_id_ = 1;
-  // (job, task) pairs whose attempts died with the node, awaiting the
-  // expiry sweep. Indexed by node.
-  std::vector<std::vector<std::pair<JobState*, int>>> lost_tasks_;
 };
 
 }  // namespace hd::hadoop

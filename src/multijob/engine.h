@@ -51,16 +51,40 @@ class MultiJobEngine : public hadoop::ClusterCore {
   }
 
   // Runs until every submitted job completes; returns aggregate metrics.
+  // With checkpoint_interval_sec set, writes heterodoop.ckpt.v1 snapshots
+  // on the way; with stop_at_checkpoint set, may halt mid-flight (see
+  // ClusterCore::halted()).
   WorkloadMetrics Run();
+
+  // Warm restart: overlays a heterodoop.ckpt.v1 snapshot onto this engine.
+  // Call after rebuilding the same configuration, re-registering the same
+  // pipelines, re-submitting the same jobs in the same order and
+  // re-scheduling the same membership plan — then Run() continues the
+  // interrupted run and produces byte-identical final output and metrics.
+  // Throws CheckpointError on corrupt input or an engine mismatch.
+  void RestoreFromText(const std::string& text);
+  void RestoreFromFile(const std::string& path);
 
   double now() const { return events_.now(); }
   int active_jobs() const { return active_jobs_; }
+  std::int64_t preemptions() const { return preemptions_; }
 
  protected:
   // Invoked at each job's simulated completion time, before the public
   // on_job_done callback. Subclasses running standing pipelines (the
   // stream engine) override this to tie completions back to windows.
   virtual void OnJobCompleted(const JobStats& stats) { (void)stats; }
+
+  // Checkpoint extension points for subclasses (the stream engine): extra
+  // top-level sections next to "cluster"/"jobs"/"multijob", their restore
+  // pre-pass (runs before the cluster/job overlay), and the rebuild of a
+  // checkpointed job this engine's caller cannot re-submit (stream window
+  // jobs own synthetic sources). The base engine supports none of that.
+  virtual void WriteExtraSections(json::Writer& w) { (void)w; }
+  virtual void RestoreExtraSections(const json::Value& doc) { (void)doc; }
+  virtual JobSpec MakeRestoredJobSpec(const json::Value& entry);
+
+  std::string CheckpointToText() override;
 
  private:
   void Activate(hadoop::JobState* job);
@@ -78,12 +102,21 @@ class MultiJobEngine : public hadoop::ClusterCore {
   static void CompleteJobEvent(void* ctx, const hd::des::Payload& p);
   // Serves every active job from one TaskTracker heartbeat.
   void ClusterHeartbeat(int node_id);
+  // Capacity-quota preemption: if a pool with pending work sits below its
+  // slot quota, kill the youngest attempt of an over-quota pool on this
+  // node and requeue its task. `cap` is the heartbeat's per-active-job
+  // allowance; a preemption transfers one slot of allowance from the
+  // victim to the claimant (the allowance was computed from free slots
+  // before the kill freed one). Returns true when an attempt was preempted
+  // (the fill loop then reruns for the freed slot).
+  bool MaybePreemptOn(int node_id, std::vector<int>& cap);
   void CompleteJob(hadoop::JobState& job);
   void OnTaskFinished(hadoop::JobState& job, int node_id) override;
   void OnJobFinished(hadoop::JobState& job) override;
   void VisitActiveJobs(
       const std::function<void(hadoop::JobState&)>& fn) override;
   void OnNodeRecovered(int node_id) override;
+  void OnClusterGrown(int node_id) override;
 
   std::unique_ptr<InterJobScheduler> scheduler_;
   std::vector<std::unique_ptr<hadoop::JobState>> jobs_;  // stable addresses
@@ -98,6 +131,15 @@ class MultiJobEngine : public hadoop::ClusterCore {
   // Heartbeat pulses carry a generation; bumping it retires them when the
   // cluster drains, and Activate() starts a fresh set on 0 -> 1.
   std::uint64_t pulse_gen_ = 0;
+  // Pending activation events, parallel to jobs_; restore cancels the ones
+  // whose activation is already inside the snapshot.
+  std::vector<hd::des::EventHandle> activate_events_;
+  // Next scheduled fire time of each node's current-generation pulse chain
+  // (-1 while stopped) and of the cluster-wide batch chain; checkpointed so
+  // a restored run re-arms the heartbeat rotation at the original phases.
+  std::vector<double> pulse_next_;
+  double batch_next_ = -1.0;
+  std::int64_t preemptions_ = 0;
   std::function<void(const JobStats&)> on_job_done_;
   WorkloadMetrics metrics_;
 };

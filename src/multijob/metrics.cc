@@ -58,6 +58,12 @@ std::int64_t WorkloadMetrics::TotalSpeculativeLosses() const {
   return n;
 }
 
+std::int64_t WorkloadMetrics::TotalPreemptedAttempts() const {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) n += j.result.preempted_attempts;
+  return n;
+}
+
 double WorkloadMetrics::MeanQueueWait() const {
   std::vector<double> waits;
   waits.reserve(jobs.size());

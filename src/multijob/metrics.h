@@ -43,8 +43,18 @@ struct WorkloadMetrics {
   std::int64_t nodes_lost = 0;         // heartbeat-expiry declarations
   std::int64_t nodes_blacklisted = 0;
   std::int64_t heartbeats_dropped = 0;
-  // Alive node-seconds over (nodes x makespan); 1.0 without crashes.
+  // Alive node-seconds over registered node-seconds; with runtime resize
+  // the denominator only counts the interval each tracker was a member, so
+  // a cluster at partial capacity is not charged for absent trackers.
+  // 1.0 without crashes.
   double availability = 1.0;
+
+  // Runtime membership churn (zero without ScheduleJoin/ScheduleLeave).
+  std::int64_t nodes_joined = 0;
+  std::int64_t nodes_left = 0;
+  std::int64_t leaves_refused = 0;  // blocked by min_tracker_floor
+  // Quota-preemption kills across the workload (zero with budget 0).
+  std::int64_t preemptions = 0;
 
   std::int64_t TotalCpuTasks() const;
   std::int64_t TotalGpuTasks() const;
@@ -55,6 +65,7 @@ struct WorkloadMetrics {
   std::int64_t TotalSpeculativeLaunched() const;
   std::int64_t TotalSpeculativeWins() const;
   std::int64_t TotalSpeculativeLosses() const;
+  std::int64_t TotalPreemptedAttempts() const;
   double MeanQueueWait() const;
   // Nearest-rank percentile over per-job latencies; q in [0, 1].
   double LatencyPercentile(double q) const;

@@ -79,6 +79,10 @@ class CapacityScheduler final : public InterJobScheduler {
     return best;
   }
 
+  const std::vector<double>* pool_weights() const override {
+    return &weights_;
+  }
+
  private:
   std::size_t PoolOf(const JobState& j) const {
     if (j.pool < 0 || j.pool >= static_cast<int>(weights_.size())) return 0;
@@ -97,6 +101,10 @@ class SloScheduler final : public InterJobScheduler {
 
   const char* name() const override { return "slo"; }
   const InterJobScheduler* inner() const { return inner_.get(); }
+
+  const std::vector<double>* pool_weights() const override {
+    return inner_->pool_weights();
+  }
 
   std::size_t PickJob(const std::vector<const JobState*>& runnable,
                       const std::vector<const JobState*>& active) override {

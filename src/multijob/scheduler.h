@@ -32,6 +32,12 @@ class InterJobScheduler {
   virtual std::size_t PickJob(
       const std::vector<const hadoop::JobState*>& runnable,
       const std::vector<const hadoop::JobState*>& active) = 0;
+
+  // Pool weights for quota-based preemption, or nullptr when this
+  // scheduler has no pool notion (FIFO/Fair). The Capacity scheduler
+  // returns its weight vector; the SLO wrapper forwards to its inner
+  // scheduler so slo-capacity preempts too.
+  virtual const std::vector<double>* pool_weights() const { return nullptr; }
 };
 
 // FIFO: strict submission order — the earliest-submitted runnable job gets

@@ -93,6 +93,7 @@ void BuildChain(JobAnalysis& job) {
     s.kind = t.IsRecovery() ? ChainSegment::Kind::kRecovery
                             : ChainSegment::Kind::kTask;
     s.name = t.IsRecovery() ? "recovery" : (t.on_gpu ? "gpu_map" : "cpu_map");
+    s.recovery_class = t.RecoveryClass();
     s.task = t.task;
     s.on_gpu = t.on_gpu;
     s.start_sec = seg_start;
@@ -161,6 +162,16 @@ double JobAnalysis::ChainRecoverySec() const {
   return sum;
 }
 
+double JobAnalysis::ChainRecoveryClassSec(const char* cls) const {
+  double sum = 0.0;
+  for (const ChainSegment& s : chain) {
+    if (s.kind == ChainSegment::Kind::kRecovery && s.recovery_class == cls) {
+      sum += s.dur_sec;
+    }
+  }
+  return sum;
+}
+
 std::vector<JobAnalysis> AnalyzeJobs(const TraceFile& trace,
                                      const CriticalPathOptions& opts) {
   // Pass 1: the engine runs sharing this trace, identified by their job
@@ -215,10 +226,14 @@ std::vector<JobAnalysis> AnalyzeJobs(const TraceFile& trace,
       t.speculative = e.ArgNumber("speculative", 0.0) != 0.0;
       t.killed = e.ArgNumber("killed", 0.0) != 0.0;
       t.failed = e.ArgNumber("failed", 0.0) != 0.0;
+      t.preempted = t.killed && e.ArgString("reason") == "preempted";
+      t.restored = e.ArgNumber("restored", 0.0) != 0.0;
       if (t.attempt > 0) ++a->retry_attempts;
       if (t.speculative) ++a->speculative_attempts;
       if (t.killed) ++a->killed_attempts;
       if (t.failed) ++a->failed_attempts;
+      if (t.preempted) ++a->preempted_attempts;
+      if (t.restored) ++a->restored_attempts;
       a->tasks.push_back(std::move(t));
     } else if (e.phase == 'i' && e.category == "sched") {
       const int job_id = static_cast<int>(e.ArgNumber("job", -1.0));

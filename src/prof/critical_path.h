@@ -52,11 +52,27 @@ struct TaskRecord {
   bool speculative = false;  // duplicate straggler attempt
   bool killed = false;       // truncated by node loss or losing the race
   bool failed = false;       // injected transient failure
+  bool preempted = false;    // killed by a capacity-quota preemption
+  bool restored = false;     // resumed across a checkpoint warm restart
 
   // Whether this attempt's slot time is recovery work rather than the
   // job's first-attempt execution.
   bool IsRecovery() const {
-    return attempt > 0 || speculative || killed || failed;
+    return attempt > 0 || speculative || killed || failed || restored;
+  }
+
+  // The dominant recovery class of this attempt ("" when not recovery):
+  // "preemption" (quota kill), "speculation", "fault" (injected failure or
+  // a node-loss/race kill), "retry" (a later attempt of a failed task), or
+  // "checkpoint_replay" (an otherwise-clean attempt re-armed from a
+  // heterodoop.ckpt.v1 snapshot by a warm restart).
+  const char* RecoveryClass() const {
+    if (!IsRecovery()) return "";
+    if (preempted) return "preemption";
+    if (speculative) return "speculation";
+    if (failed || killed) return "fault";
+    if (attempt > 0) return "retry";
+    return "checkpoint_replay";
   }
 
   double end_sec() const { return start_sec + dur_sec; }
@@ -68,6 +84,9 @@ struct ChainSegment {
   Kind kind = Kind::kWait;
   // "cpu_map"/"gpu_map", "wait", "shuffle_reduce", "recovery".
   std::string name;
+  // kRecovery only: the critical attempt's TaskRecord::RecoveryClass()
+  // ("preemption", "speculation", "fault", "retry", "checkpoint_replay").
+  std::string recovery_class;
   int task = -1;     // kTask / kRecovery only
   bool on_gpu = false;
   double start_sec = 0.0;
@@ -113,6 +132,8 @@ struct JobAnalysis {
   int speculative_attempts = 0;
   int killed_attempts = 0;
   int failed_attempts = 0;
+  int preempted_attempts = 0;  // quota-preemption kills
+  int restored_attempts = 0;   // attempts resumed across a warm restart
 
   // Sum of chain segment durations; equals makespan_sec by construction
   // (up to FP addition rounding).
@@ -122,6 +143,9 @@ struct JobAnalysis {
   // critical attempt was a retry, a speculative duplicate, or an attempt
   // that failed or was killed. Part of the exact makespan tiling.
   double ChainRecoverySec() const;
+  // Recovery chain time of one class ("preemption", "checkpoint_replay",
+  // ...); the classes partition ChainRecoverySec().
+  double ChainRecoveryClassSec(const char* cls) const;
 };
 
 struct CriticalPathOptions {

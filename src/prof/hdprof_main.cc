@@ -135,10 +135,16 @@ int CmdCriticalPath(const Flags& f) {
       w.Key("chain_total_sec").Number(j.ChainTotalSec());
       w.Key("chain_wait_sec").Number(j.ChainWaitSec());
       w.Key("chain_recovery_sec").Number(j.ChainRecoverySec());
+      w.Key("chain_preemption_sec")
+          .Number(j.ChainRecoveryClassSec("preemption"));
+      w.Key("chain_replay_sec")
+          .Number(j.ChainRecoveryClassSec("checkpoint_replay"));
       w.Key("retry_attempts").Int(j.retry_attempts);
       w.Key("speculative_attempts").Int(j.speculative_attempts);
       w.Key("killed_attempts").Int(j.killed_attempts);
       w.Key("failed_attempts").Int(j.failed_attempts);
+      w.Key("preempted_attempts").Int(j.preempted_attempts);
+      w.Key("restored_attempts").Int(j.restored_attempts);
       w.Key("tail_onset_sec").Number(j.tail_onset_sec);
       w.Key("forced_gpu").Int(j.forced_gpu);
       w.Key("gpu_bounces").Int(j.gpu_bounces);
@@ -148,6 +154,9 @@ int CmdCriticalPath(const Flags& f) {
         w.BeginObject();
         w.Key("kind").String(SegmentKindName(s.kind));
         w.Key("name").String(s.name);
+        if (s.kind == prof::ChainSegment::Kind::kRecovery) {
+          w.Key("class").String(s.recovery_class);
+        }
         if (s.kind == prof::ChainSegment::Kind::kTask ||
             s.kind == prof::ChainSegment::Kind::kRecovery) {
           w.Key("task").Int(s.task);
@@ -203,7 +212,8 @@ int CmdCriticalPath(const Flags& f) {
     for (const prof::ChainSegment& s : j.chain) {
       chain.Row()
           .Cell(idx++)
-          .Cell(s.name)
+          .Cell(s.recovery_class.empty() ? s.name
+                                         : s.name + ":" + s.recovery_class)
           .Cell(s.kind == prof::ChainSegment::Kind::kTask ||
                         s.kind == prof::ChainSegment::Kind::kRecovery
                     ? std::to_string(s.task)
@@ -233,13 +243,24 @@ int CmdCriticalPath(const Flags& f) {
                 << " tail tasks rescued onto the GPU\n";
     }
     if (j.retry_attempts > 0 || j.speculative_attempts > 0 ||
-        j.killed_attempts > 0 || j.failed_attempts > 0) {
+        j.killed_attempts > 0 || j.failed_attempts > 0 ||
+        j.restored_attempts > 0) {
       std::cout << "fault recovery: " << j.retry_attempts << " retries, "
                 << j.speculative_attempts << " speculative, "
                 << j.killed_attempts << " killed, " << j.failed_attempts
                 << " failed attempts; "
                 << FormatDouble(j.ChainRecoverySec(), 3)
                 << " s of the critical chain is recovery\n";
+      if (j.preempted_attempts > 0 || j.restored_attempts > 0) {
+        std::cout << "elastic serving: " << j.preempted_attempts
+                  << " quota preemptions ("
+                  << FormatDouble(j.ChainRecoveryClassSec("preemption"), 3)
+                  << " s on the chain), " << j.restored_attempts
+                  << " attempts replayed from checkpoint ("
+                  << FormatDouble(
+                         j.ChainRecoveryClassSec("checkpoint_replay"), 3)
+                  << " s on the chain)\n";
+      }
     }
     std::cout << "\n";
   }

@@ -7,8 +7,109 @@
 
 #include "common/check.h"
 #include "common/prng.h"
+#include "hadoop/checkpoint.h"
 
 namespace hd::stream {
+
+using hadoop::CheckpointError;
+namespace ckpt = hadoop::ckpt;
+
+namespace {
+
+// WindowStats carry a static seal-reason literal; restore maps the stored
+// string back onto the same literals so the pointers stay valid.
+const char* SealReasonLiteral(const std::string& s) {
+  if (s == "count") return "count";
+  if (s == "time") return "time";
+  if (s == "horizon") return "horizon";
+  if (s.empty()) return "";
+  throw CheckpointError("corrupt checkpoint: unknown seal reason '" + s +
+                        "'");
+}
+
+void WriteWindow(json::Writer& w, const WindowStats& ws) {
+  w.BeginObject();
+  w.Key("seq").Int(ws.seq);
+  w.Key("records").Int(ws.records);
+  w.Key("open").Number(ws.open_sec);
+  w.Key("seal").Number(ws.seal_sec);
+  w.Key("submit").Number(ws.submit_sec);
+  w.Key("finish").Number(ws.finish_sec);
+  w.Key("reason").String(ws.seal_reason);
+  w.Key("empty").Bool(ws.empty);
+  w.Key("shed").Bool(ws.shed);
+  w.EndObject();
+}
+
+WindowStats ReadWindow(const json::Value& v) {
+  WindowStats ws;
+  ws.seq = ckpt::Int(v, "seq");
+  ws.records = ckpt::Int(v, "records");
+  ws.open_sec = ckpt::Num(v, "open");
+  ws.seal_sec = ckpt::Num(v, "seal");
+  ws.submit_sec = ckpt::Num(v, "submit");
+  ws.finish_sec = ckpt::Num(v, "finish");
+  ws.seal_reason = SealReasonLiteral(ckpt::Str(v, "reason"));
+  ws.empty = ckpt::Bool(v, "empty");
+  ws.shed = ckpt::Bool(v, "shed");
+  return ws;
+}
+
+void WriteDoubles(json::Writer& w, const char* key,
+                  const std::vector<double>& xs) {
+  w.Key(key).BeginArray();
+  for (double x : xs) w.Number(x);
+  w.EndArray();
+}
+
+std::vector<double> ReadDoubles(const json::Value& obj, const char* key) {
+  std::vector<double> out;
+  for (const json::Value& v : ckpt::Arr(obj, key)) out.push_back(v.number);
+  return out;
+}
+
+// label/slo/offered_rate are rebuilt from the spec at AddPipeline and the
+// stability verdict is recomputed at finalize, so only the accumulators
+// and steady-state sample sets travel through the checkpoint.
+void WritePipelineMetrics(json::Writer& w, const PipelineMetrics& m) {
+  w.Key("records_arrived").Int(m.records_arrived);
+  w.Key("records_processed").Int(m.records_processed);
+  w.Key("records_shed").Int(m.records_shed);
+  w.Key("windows_sealed").Int(m.windows_sealed);
+  w.Key("windows_empty").Int(m.windows_empty);
+  w.Key("windows_shed").Int(m.windows_shed);
+  w.Key("windows_shed_steady").Int(m.windows_shed_steady);
+  w.Key("windows_completed").Int(m.windows_completed);
+  w.Key("seals_by_count").Int(m.seals_by_count);
+  w.Key("seals_by_time").Int(m.seals_by_time);
+  w.Key("slo_violations").Int(m.slo_violations);
+  WriteDoubles(w, "latencies", m.latencies_sec);
+  WriteDoubles(w, "lags", m.watermark_lags_sec);
+  WriteDoubles(w, "depths", m.queue_depths);
+  w.Key("backlog_at_horizon").Int(m.backlog_at_horizon);
+  w.Key("max_queue_depth").Int(m.max_queue_depth);
+}
+
+void ReadPipelineMetrics(const json::Value& obj, PipelineMetrics& m) {
+  m.records_arrived = ckpt::Int(obj, "records_arrived");
+  m.records_processed = ckpt::Int(obj, "records_processed");
+  m.records_shed = ckpt::Int(obj, "records_shed");
+  m.windows_sealed = ckpt::Int(obj, "windows_sealed");
+  m.windows_empty = ckpt::Int(obj, "windows_empty");
+  m.windows_shed = ckpt::Int(obj, "windows_shed");
+  m.windows_shed_steady = ckpt::Int(obj, "windows_shed_steady");
+  m.windows_completed = ckpt::Int(obj, "windows_completed");
+  m.seals_by_count = ckpt::Int(obj, "seals_by_count");
+  m.seals_by_time = ckpt::Int(obj, "seals_by_time");
+  m.slo_violations = ckpt::Int(obj, "slo_violations");
+  m.latencies_sec = ReadDoubles(obj, "latencies");
+  m.watermark_lags_sec = ReadDoubles(obj, "lags");
+  m.queue_depths = ReadDoubles(obj, "depths");
+  m.backlog_at_horizon = ckpt::Int(obj, "backlog_at_horizon");
+  m.max_queue_depth = ckpt::Int(obj, "max_queue_depth");
+}
+
+}  // namespace
 
 bool StreamMetrics::Stable() const {
   for (const PipelineMetrics& p : pipelines) {
@@ -75,6 +176,15 @@ StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
   HD_CHECK_MSG(warmup_sec >= 0.0 && warmup_sec < horizon_sec,
                "warmup must lie in [0, horizon)");
   HD_CHECK_MSG(!streaming_, "RunStream is not reentrant");
+  if (stream_restored_) {
+    // The snapshot pinned the service window, and RestoreExtraSections
+    // already re-armed the captured trigger/arrival/horizon frontier
+    // against it; continuing under a different one would diverge from the
+    // uninterrupted run.
+    HD_CHECK_MSG(horizon_sec == horizon_sec_ && warmup_sec == warmup_sec_,
+                 "restored stream run must keep the checkpointed horizon "
+                 "and warmup");
+  }
   streaming_ = true;
   horizon_sec_ = horizon_sec;
   warmup_sec_ = warmup_sec;
@@ -89,11 +199,13 @@ StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
       cfg_.sink->NameThread(StreamTrack(static_cast<int>(p)),
                             pipe.spec.label);
     }
-    pipe.open.open_sec = now();
-    ArmTimeTrigger(static_cast<int>(p));
-    ScheduleNextArrival(static_cast<int>(p));
+    if (!stream_restored_) {
+      pipe.open.open_sec = now();
+      ArmTimeTrigger(static_cast<int>(p));
+      ScheduleNextArrival(static_cast<int>(p));
+    }
   }
-  if (!pipes_.empty()) {
+  if (!pipes_.empty() && !stream_restored_) {
     // The service horizon: sources already stop before it (no arrival is
     // scheduled at or past horizon), this seals every open window without
     // reopening and snapshots the ingress backlog the run leaves behind.
@@ -110,7 +222,10 @@ StreamMetrics StreamEngine::RunStream(double horizon_sec, double warmup_sec) {
   out.horizon_sec = horizon_sec_;
   out.warmup_sec = warmup_sec_;
   for (std::unique_ptr<Pipeline>& pipe : pipes_) {
-    FinalizePipeline(*pipe);
+    // A stop_at_checkpoint halt leaves the service mid-flight: report the
+    // accumulated metrics as captured — the stability verdict and the
+    // registry rollup belong to the restored continuation.
+    if (!halted()) FinalizePipeline(*pipe);
     out.pipelines.push_back(pipe->metrics);
   }
   streaming_ = false;
@@ -204,7 +319,11 @@ void StreamEngine::ScheduleNextArrival(int p) {
   Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
   const double t = pipe.source.NextArrival(now());
   // Also false for +infinity (exhausted replay source).
-  if (!(t < horizon_sec_)) return;
+  if (!(t < horizon_sec_)) {
+    pipe.next_arrival = -1.0;
+    return;
+  }
+  pipe.next_arrival = t;
   events_.At(t, &StreamEngine::ArrivalEvent, this,
              des::Payload{static_cast<std::uint64_t>(p), 0});
 }
@@ -224,6 +343,7 @@ void StreamEngine::ArmTimeTrigger(int p) {
   Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
   const double when = pipe.open.open_sec + pipe.spec.trigger.span_sec;
   if (when >= horizon_sec_) return;  // the horizon seal covers this window
+  pipe.trigger_at = when;
   pipe.time_trigger =
       events_.At(when, &StreamEngine::TimeTriggerEvent, this,
                  des::Payload{static_cast<std::uint64_t>(p), 0});
@@ -242,6 +362,7 @@ void StreamEngine::SealWindow(int p, const char* reason) {
   // trigger firing — its handle is already spent).
   events_.Cancel(pipe.time_trigger);
   pipe.time_trigger = {};
+  pipe.trigger_at = -1.0;
   ++pipe.metrics.windows_sealed;
   if (std::strcmp(reason, "count") == 0) ++pipe.metrics.seals_by_count;
   if (std::strcmp(reason, "time") == 0) ++pipe.metrics.seals_by_time;
@@ -288,12 +409,12 @@ void StreamEngine::AdmitOrQueue(int p, WindowStats w) {
   pipe.pending.push_back(std::move(w));
 }
 
-void StreamEngine::SubmitWindow(int p, WindowStats w) {
+multijob::JobSpec StreamEngine::MakeWindowJobSpec(int p, std::int64_t seq,
+                                                  std::int64_t records) {
   Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
-  w.submit_sec = now();
   const WindowJobTemplate& t = pipe.spec.job;
   hadoop::CalibratedTaskSource::Params tp;
-  tp.num_maps = static_cast<int>((w.records + t.records_per_map - 1) /
+  tp.num_maps = static_cast<int>((records + t.records_per_map - 1) /
                                  t.records_per_map);
   tp.num_reducers = t.num_reducers;
   tp.cpu_task_sec = t.cpu_task_sec;
@@ -302,9 +423,10 @@ void StreamEngine::SubmitWindow(int p, WindowStats w) {
   tp.map_output_bytes = t.map_output_bytes;
   tp.reduce_sec = t.reduce_sec;
   // Per-window task timings derive from (pipeline seed, window seq), so a
-  // same-seed rerun replays the exact workload window by window.
+  // same-seed rerun — or a checkpoint restore — replays the exact workload
+  // window by window.
   tp.seed = SplitMix64(SplitMix64(pipe.spec.source.seed) ^
-                       static_cast<std::uint64_t>(w.seq));
+                       static_cast<std::uint64_t>(seq));
   window_sources_.push_back(
       std::make_unique<hadoop::CalibratedTaskSource>(tp));
 
@@ -312,9 +434,17 @@ void StreamEngine::SubmitWindow(int p, WindowStats w) {
   js.source = window_sources_.back().get();
   js.policy = pipe.spec.policy;
   js.pool = pipe.spec.pool;
-  js.label = pipe.spec.label + "/w" + std::to_string(w.seq);
+  js.label = pipe.spec.label + "/w" + std::to_string(seq);
+  return js;
+}
+
+void StreamEngine::SubmitWindow(int p, WindowStats w) {
+  Pipeline& pipe = *pipes_[static_cast<std::size_t>(p)];
+  w.submit_sec = now();
+  multijob::JobSpec js = MakeWindowJobSpec(p, w.seq, w.records);
   js.deadline_sec = w.seal_sec + pipe.spec.slo_sec;
   const int id = Submit(now(), std::move(js));
+  window_jobs_.emplace(id, WindowRef{p, w.seq, w.records});
   ++pipe.inflight;
   inflight_windows_.emplace(id, std::make_pair(p, std::move(w)));
 }
@@ -440,6 +570,198 @@ void StreamEngine::FinalizePipeline(Pipeline& pipe) {
     reg.gauge(pfx + "stable").Set(m.stable ? 1.0 : 0.0);
     reg.gauge(pfx + "watermark_sec").Set(pipe.watermark_sec);
   }
+}
+
+// --- Checkpoint / warm restart ---------------------------------------------
+
+void StreamEngine::WriteJobExtra(json::Writer& w,
+                                 const hadoop::JobState& job) const {
+  const auto it = window_jobs_.find(job.id);
+  if (it == window_jobs_.end()) return;  // a batch job sharing the run
+  w.Key("window").BeginObject();
+  w.Key("pipe").Int(it->second.pipe);
+  w.Key("seq").Int(it->second.seq);
+  w.Key("records").Int(it->second.records);
+  w.EndObject();
+}
+
+void StreamEngine::WriteExtraSections(json::Writer& w) {
+  if (!streaming_ || pipes_.empty()) return;
+  w.Key("stream").BeginObject();
+  w.Key("horizon").Number(horizon_sec_);
+  w.Key("warmup").Number(warmup_sec_);
+  w.Key("pipes").BeginArray();
+  for (std::size_t p = 0; p < pipes_.size(); ++p) {
+    const Pipeline& pipe = *pipes_[p];
+    w.BeginObject();
+    w.Key("label").String(pipe.spec.label);
+    w.Key("next_seq").Int(pipe.next_seq);
+    w.Key("watermark_seq").Int(pipe.watermark_seq);
+    w.Key("watermark_sec").Number(pipe.watermark_sec);
+    w.Key("open").BeginObject();
+    w.Key("records").Int(pipe.open.records);
+    w.Key("open_sec").Number(pipe.open.open_sec);
+    w.EndObject();
+    w.Key("trigger").Number(pipe.trigger_at);
+    w.Key("next_arrival").Number(pipe.next_arrival);
+    const std::array<std::uint64_t, 4> rng = pipe.source.rng_state();
+    w.Key("rng").BeginObject();
+    w.Key("s0").String(ckpt::U64Str(rng[0]));
+    w.Key("s1").String(ckpt::U64Str(rng[1]));
+    w.Key("s2").String(ckpt::U64Str(rng[2]));
+    w.Key("s3").String(ckpt::U64Str(rng[3]));
+    w.EndObject();
+    w.Key("replay_next")
+        .Int(static_cast<std::int64_t>(pipe.source.replay_next()));
+    w.Key("pending").BeginArray();
+    for (const WindowStats& ws : pipe.pending) WriteWindow(w, ws);
+    w.EndArray();
+    w.Key("done_seals").BeginArray();
+    for (const auto& [seq, seal] : pipe.done_seals) {
+      w.BeginArray();
+      w.Int(seq);
+      w.Number(seal);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("inflight").BeginArray();
+    for (const auto& [job_id, pw] : inflight_windows_) {
+      if (pw.first != static_cast<int>(p)) continue;
+      w.BeginArray();
+      w.Int(job_id);
+      WriteWindow(w, pw.second);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("metrics").BeginObject();
+    WritePipelineMetrics(w, pipe.metrics);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+multijob::JobSpec StreamEngine::MakeRestoredJobSpec(
+    const json::Value& entry) {
+  const json::Value* win = entry.Find("window");
+  // Untagged jobs are batch workloads: the base engine's diagnostic (the
+  // caller must re-submit them) applies.
+  if (win == nullptr) return MultiJobEngine::MakeRestoredJobSpec(entry);
+  const int id = static_cast<int>(ckpt::Int(entry, "id"));
+  const int p = static_cast<int>(ckpt::Int(*win, "pipe"));
+  if (p < 0 || p >= static_cast<int>(pipes_.size())) {
+    throw CheckpointError(
+        "corrupt checkpoint: window job references pipeline " +
+        std::to_string(p));
+  }
+  const std::int64_t seq = ckpt::Int(*win, "seq");
+  const std::int64_t records = ckpt::Int(*win, "records");
+  // Keep the tag table current so checkpoints written by the restored
+  // continuation tag these jobs identically.
+  window_jobs_[id] = WindowRef{p, seq, records};
+  return MakeWindowJobSpec(p, seq, records);
+}
+
+void StreamEngine::RestoreExtraSections(const json::Value& doc) {
+  const json::Value* sec = doc.Find("stream");
+  if (sec == nullptr) {
+    if (!pipes_.empty()) {
+      throw CheckpointError(
+          "this engine has registered pipelines but the checkpoint was "
+          "written by a batch-only run");
+    }
+    return;
+  }
+  if (pipes_.empty()) {
+    throw CheckpointError(
+        "checkpoint holds stream state — register the original pipelines "
+        "(AddPipeline) before restoring");
+  }
+  horizon_sec_ = ckpt::Num(*sec, "horizon");
+  warmup_sec_ = ckpt::Num(*sec, "warmup");
+  const double captured = ckpt::Num(doc, "time");
+  const auto& arr = ckpt::Arr(*sec, "pipes");
+  if (arr.size() != pipes_.size()) {
+    throw CheckpointError(
+        "checkpoint holds " + std::to_string(arr.size()) +
+        " pipelines but " + std::to_string(pipes_.size()) +
+        " are registered");
+  }
+  inflight_windows_.clear();
+  for (std::size_t p = 0; p < arr.size(); ++p) {
+    const json::Value& e = arr[p];
+    Pipeline& pipe = *pipes_[p];
+    if (ckpt::Str(e, "label") != pipe.spec.label) {
+      throw CheckpointError("pipeline " + std::to_string(p) + " is '" +
+                            ckpt::Str(e, "label") +
+                            "' in the checkpoint but '" + pipe.spec.label +
+                            "' here");
+    }
+    pipe.next_seq = ckpt::Int(e, "next_seq");
+    pipe.watermark_seq = ckpt::Int(e, "watermark_seq");
+    pipe.watermark_sec = ckpt::Num(e, "watermark_sec");
+    const json::Value& open = ckpt::Get(e, "open");
+    pipe.open = Window{};
+    pipe.open.records = ckpt::Int(open, "records");
+    pipe.open.open_sec = ckpt::Num(open, "open_sec");
+    pipe.trigger_at = ckpt::Num(e, "trigger");
+    pipe.next_arrival = ckpt::Num(e, "next_arrival");
+    const json::Value& rng = ckpt::Get(e, "rng");
+    pipe.source.set_rng_state({ckpt::U64(rng, "s0"), ckpt::U64(rng, "s1"),
+                               ckpt::U64(rng, "s2"), ckpt::U64(rng, "s3")});
+    pipe.source.set_replay_next(
+        static_cast<std::size_t>(ckpt::Int(e, "replay_next")));
+    pipe.pending.clear();
+    for (const json::Value& v : ckpt::Arr(e, "pending")) {
+      pipe.pending.push_back(ReadWindow(v));
+    }
+    pipe.done_seals.clear();
+    for (const json::Value& v : ckpt::Arr(e, "done_seals")) {
+      if (!v.is_array() || v.array.size() != 2 ||
+          !v.array[0].is_number() || !v.array[1].is_number()) {
+        throw CheckpointError("corrupt checkpoint: done_seals entries "
+                              "must be [seq, seal] pairs");
+      }
+      pipe.done_seals[static_cast<std::int64_t>(v.array[0].number)] =
+          v.array[1].number;
+    }
+    pipe.inflight = 0;
+    for (const json::Value& v : ckpt::Arr(e, "inflight")) {
+      if (!v.is_array() || v.array.size() != 2 ||
+          !v.array[0].is_number()) {
+        throw CheckpointError("corrupt checkpoint: inflight entries must "
+                              "be [job, window] pairs");
+      }
+      const int job_id = static_cast<int>(v.array[0].number);
+      inflight_windows_.emplace(
+          job_id,
+          std::make_pair(static_cast<int>(p), ReadWindow(v.array[1])));
+      ++pipe.inflight;
+    }
+    ReadPipelineMetrics(ckpt::Get(e, "metrics"), pipe.metrics);
+  }
+  // Re-arm the captured stream frontier now, before the base overlay
+  // re-schedules pulse and attempt events: the original run inserted the
+  // initial triggers, arrivals and the horizon seal ahead of every
+  // heartbeat chain too, so exact-time ties (an empty-window trigger grid
+  // landing on a heartbeat multiple) keep the original pop order.
+  for (std::size_t p = 0; p < pipes_.size(); ++p) {
+    Pipeline& pipe = *pipes_[p];
+    if (pipe.trigger_at >= 0.0) {
+      pipe.time_trigger =
+          events_.At(pipe.trigger_at, &StreamEngine::TimeTriggerEvent, this,
+                     des::Payload{static_cast<std::uint64_t>(p), 0});
+    }
+    if (pipe.next_arrival >= 0.0) {
+      events_.At(pipe.next_arrival, &StreamEngine::ArrivalEvent, this,
+                 des::Payload{static_cast<std::uint64_t>(p), 0});
+    }
+  }
+  if (captured < horizon_sec_) {
+    events_.At(horizon_sec_, &StreamEngine::HorizonEvent, this);
+  }
+  stream_restored_ = true;
 }
 
 }  // namespace hd::stream

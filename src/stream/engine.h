@@ -85,6 +85,16 @@ class StreamEngine : public multijob::MultiJobEngine {
  protected:
   void OnJobCompleted(const multijob::JobStats& stats) override;
 
+  // heterodoop.ckpt.v1 stream state: a "stream" top-level section (window
+  // frontiers, source generator states, pending/inflight windows, pipeline
+  // metrics) plus a per-job "window" tag so a restore can rebuild window
+  // jobs' synthetic task sources the caller never owned.
+  void WriteExtraSections(json::Writer& w) override;
+  void RestoreExtraSections(const json::Value& doc) override;
+  multijob::JobSpec MakeRestoredJobSpec(const json::Value& entry) override;
+  void WriteJobExtra(json::Writer& w,
+                     const hadoop::JobState& job) const override;
+
  private:
   struct Window {
     std::int64_t seq = -1;  // assigned at seal
@@ -102,6 +112,11 @@ class StreamEngine : public multijob::MultiJobEngine {
     // The open window's armed time trigger; sealing cancels it outright
     // (generation-handle cancellation, no stale closure left to fire).
     des::EventHandle time_trigger;
+    // Live event-frontier bookkeeping for checkpoints: the armed trigger's
+    // absolute fire time and the pending arrival instant (-1 when none is
+    // scheduled), so a restore re-arms both at their original positions.
+    double trigger_at = -1.0;
+    double next_arrival = -1.0;
     std::int64_t next_seq = 0;
     std::deque<WindowStats> pending;  // sealed, waiting for admission
     int inflight = 0;
@@ -125,6 +140,11 @@ class StreamEngine : public multijob::MultiJobEngine {
   void SealWindow(int p, const char* reason);
   void AdmitOrQueue(int p, WindowStats w);
   void SubmitWindow(int p, WindowStats w);
+  // Builds the job spec (and its calibrated source) for pipeline p's
+  // window `seq` holding `records`; shared by live submission and
+  // checkpoint restore so both derive the identical per-window seed.
+  multijob::JobSpec MakeWindowJobSpec(int p, std::int64_t seq,
+                                      std::int64_t records);
   void FinishWindow(int p, WindowStats w);  // completion, empty or shed
   void SampleQueueDepth(Pipeline& pipe);
   void FinalizePipeline(Pipeline& pipe);
@@ -146,9 +166,22 @@ class StreamEngine : public multijob::MultiJobEngine {
   // job id -> (pipeline, window) for completions; windows in flight as
   // jobs live here.
   std::map<int, std::pair<int, WindowStats>> inflight_windows_;
+  // Window identity (pipeline, seq, records) of every window job ever
+  // submitted; unlike inflight_windows_ entries are never erased, so a
+  // checkpoint can tag completed window jobs for restore too.
+  struct WindowRef {
+    int pipe = 0;
+    std::int64_t seq = 0;
+    std::int64_t records = 0;
+  };
+  std::map<int, WindowRef> window_jobs_;
   double horizon_sec_ = 0.0;
   double warmup_sec_ = 0.0;
   bool streaming_ = false;  // inside RunStream
+  // RestoreExtraSections overlaid a stream section: RunStream must keep
+  // the checkpointed horizon/warmup and skip the fresh arming (the
+  // restore already re-armed the captured frontier).
+  bool stream_restored_ = false;
 };
 
 }  // namespace hd::stream

@@ -14,6 +14,7 @@
 // scales offered load without changing the shape.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -67,6 +68,16 @@ class ArrivalSource {
   double NextArrival(double t);
 
   const SourceSpec& spec() const { return spec_; }
+
+  // Checkpoint access: the generator words plus the replay cursor are the
+  // whole draw state, so restoring both reproduces the arrival sequence
+  // from the capture point exactly.
+  std::array<std::uint64_t, 4> rng_state() const { return prng_.State(); }
+  void set_rng_state(const std::array<std::uint64_t, 4>& s) {
+    prng_.SetState(s);
+  }
+  std::size_t replay_next() const { return replay_next_; }
+  void set_replay_next(std::size_t n) { replay_next_ = n; }
 
  private:
   SourceSpec spec_;

@@ -73,6 +73,23 @@ class Distribution {
     return static_cast<std::int64_t>(samples_.size());
   }
 
+  // Checkpoint support: raw retained samples plus the running accumulators
+  // and reservoir state, so a restored registry reproduces the original's
+  // export bit-for-bit and keeps recording from the same reservoir stream.
+  const std::vector<double>& samples() const { return samples_; }
+  std::uint64_t reservoir_rng() const { return rng_; }
+  void RestoreState(std::vector<double> samples, std::int64_t count,
+                    double sum, double min, double max, std::int64_t cap,
+                    std::uint64_t rng) {
+    samples_ = std::move(samples);
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    cap_ = cap;
+    rng_ = rng;
+  }
+
  private:
   std::vector<double> samples_;
   std::int64_t count_ = 0;
@@ -139,6 +156,10 @@ class Registry {
   }
   const std::map<std::string, Gauge, std::less<>>& gauges() const {
     return gauges_;
+  }
+  const std::map<std::string, Distribution, std::less<>>& distributions()
+      const {
+    return distributions_;
   }
 
   // The flat metrics JSON object described above.

@@ -1,0 +1,795 @@
+// Elastic HA serving: checkpointed warm restart, runtime cluster resize
+// and preemptive multi-tenant quotas.
+//
+// The headline contract under test: a same-seed run killed at ANY
+// checkpoint boundary and restored into a fresh engine produces
+// byte-identical final output and metrics — exact-double comparisons
+// throughout, never tolerances. The sweep exercises every captured
+// boundary of a workload that mixes membership churn, quota preemption
+// and (separately) fault injection, plus the streaming service.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/benchmark.h"
+#include "common/check.h"
+#include "fault/fault.h"
+#include "gpurt/job_program.h"
+#include "hadoop/checkpoint.h"
+#include "hadoop/cluster_core.h"
+#include "hadoop/functional_source.h"
+#include "hadoop/task_source.h"
+#include "multijob/engine.h"
+#include "multijob/metrics.h"
+#include "multijob/scheduler.h"
+#include "stream/engine.h"
+#include "stream/pipeline.h"
+
+namespace hd {
+namespace {
+
+using hadoop::CalibratedTaskSource;
+using hadoop::CheckpointError;
+using hadoop::ClusterConfig;
+using multijob::JobSpec;
+using multijob::JobStats;
+using multijob::MakeCapacityScheduler;
+using multijob::MakeFairScheduler;
+using multijob::MakeFifoScheduler;
+using multijob::MakeSloScheduler;
+using multijob::MultiJobEngine;
+using multijob::WorkloadMetrics;
+using sched::Policy;
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.num_slaves = 4;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+CalibratedTaskSource::Params CalibParams(int maps, double cpu_sec,
+                                         std::uint64_t seed) {
+  CalibratedTaskSource::Params p;
+  p.num_maps = maps;
+  p.num_reducers = 2;
+  p.cpu_task_sec = cpu_sec;
+  p.gpu_task_sec = 2.0;
+  p.variation = 0.3;  // seeded per-task jitter: boundaries land mid-attempt
+  p.seed = seed;
+  p.reduce_sec = 1.0;
+  return p;
+}
+
+// Byte-identical workload comparison: every modeled number is an exact
+// double, so EXPECT_EQ (no tolerance) is the assertion of record.
+void ExpectSameWorkload(const WorkloadMetrics& a, const WorkloadMetrics& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobStats& x = a.jobs[i];
+    const JobStats& y = b.jobs[i];
+    EXPECT_EQ(x.job_id, y.job_id);
+    EXPECT_EQ(x.label, y.label);
+    EXPECT_EQ(x.submit_sec, y.submit_sec) << "job " << x.job_id;
+    EXPECT_EQ(x.start_sec, y.start_sec) << "job " << x.job_id;
+    EXPECT_EQ(x.finish_sec, y.finish_sec) << "job " << x.job_id;
+    EXPECT_EQ(x.result.cpu_tasks, y.result.cpu_tasks) << "job " << x.job_id;
+    EXPECT_EQ(x.result.gpu_tasks, y.result.gpu_tasks) << "job " << x.job_id;
+    EXPECT_EQ(x.result.task_failures, y.result.task_failures);
+    EXPECT_EQ(x.result.task_retries, y.result.task_retries);
+    EXPECT_EQ(x.result.killed_attempts, y.result.killed_attempts);
+    EXPECT_EQ(x.result.maps_reexecuted, y.result.maps_reexecuted);
+    EXPECT_EQ(x.result.preempted_attempts, y.result.preempted_attempts);
+    EXPECT_EQ(x.result.final_output, y.result.final_output);
+  }
+  EXPECT_EQ(a.makespan_sec, b.makespan_sec);
+  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
+  EXPECT_EQ(a.gpu_utilization, b.gpu_utilization);
+  EXPECT_EQ(a.gpu_bounces, b.gpu_bounces);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.nodes_crashed, b.nodes_crashed);
+  EXPECT_EQ(a.nodes_recovered, b.nodes_recovered);
+  EXPECT_EQ(a.nodes_lost, b.nodes_lost);
+  EXPECT_EQ(a.heartbeats_dropped, b.heartbeats_dropped);
+  EXPECT_EQ(a.nodes_joined, b.nodes_joined);
+  EXPECT_EQ(a.nodes_left, b.nodes_left);
+  EXPECT_EQ(a.leaves_refused, b.leaves_refused);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+// The churn workload: four staggered two-pool jobs on a cluster that
+// gains one tracker, drains another and hard-kills a third mid-run, with
+// quota preemption armed. One deterministic scenario covering all three
+// tentpole legs at once. `restore_text` null runs it from scratch;
+// `capture` non-null collects every checkpoint written.
+WorkloadMetrics RunChurnScenario(ClusterConfig cfg,
+                                 const std::string* restore_text,
+                                 std::vector<std::string>* capture) {
+  cfg.checkpoint_interval_sec = 7.3;  // off the 3 s heartbeat grid
+  cfg.preemption_budget = 2;
+  if (capture != nullptr) {
+    cfg.on_checkpoint = [capture](int, const std::string& text) {
+      capture->push_back(text);
+    };
+  }
+  MultiJobEngine eng(cfg, MakeCapacityScheduler({3.0, 1.0}));
+  // The membership plan must be re-scheduled identically before a
+  // restore; the overlay then cancels the entries that already fired.
+  eng.ScheduleJoin(12.0);
+  eng.ScheduleLeave(30.0, 1, /*drain=*/true);
+  eng.ScheduleLeave(45.0, 2, /*drain=*/false);
+
+  std::vector<std::unique_ptr<CalibratedTaskSource>> keep;
+  const int maps[] = {24, 32, 16, 24};
+  const double cpu[] = {9.0, 12.0, 7.0, 10.0};
+  const double submit[] = {0.0, 5.0, 9.0, 13.0};
+  const Policy pol[] = {Policy::kTail, Policy::kCpuOnly, Policy::kGpuFirst,
+                        Policy::kTail};
+  for (int j = 0; j < 4; ++j) {
+    keep.push_back(std::make_unique<CalibratedTaskSource>(
+        CalibParams(maps[j], cpu[j], 11 + static_cast<std::uint64_t>(j))));
+    JobSpec spec;
+    spec.source = keep.back().get();
+    spec.policy = pol[j];
+    spec.pool = j % 2;
+    spec.label = "churn" + std::to_string(j);
+    eng.Submit(submit[j], spec);
+  }
+  if (restore_text != nullptr) eng.RestoreFromText(*restore_text);
+  return eng.Run();
+}
+
+TEST(Checkpoint, KillAtEveryBoundaryRestoresByteIdentical) {
+  std::vector<std::string> ckpts;
+  const WorkloadMetrics base =
+      RunChurnScenario(SmallCluster(), nullptr, &ckpts);
+  ASSERT_EQ(base.jobs.size(), 4u);
+  EXPECT_EQ(base.nodes_joined, 1);
+  EXPECT_EQ(base.nodes_left, 2);
+  ASSERT_GE(ckpts.size(), 3u) << "scenario too short to exercise the sweep";
+  // Kill at every boundary: a fresh engine restored from checkpoint k
+  // must finish with the exact metrics of the uninterrupted run.
+  for (std::size_t k = 0; k < ckpts.size(); ++k) {
+    SCOPED_TRACE("checkpoint " + std::to_string(k + 1));
+    const WorkloadMetrics restored =
+        RunChurnScenario(SmallCluster(), &ckpts[k], nullptr);
+    ExpectSameWorkload(base, restored);
+  }
+}
+
+TEST(Checkpoint, WritingSnapshotsDoesNotPerturbModeledNumbers) {
+  // The checkpoint writer only reads modeled state: the same workload with
+  // the cadence off must produce the exact numbers of the captured run.
+  std::vector<std::string> ckpts;
+  const WorkloadMetrics with = RunChurnScenario(SmallCluster(), nullptr, &ckpts);
+  ASSERT_FALSE(ckpts.empty());
+
+  // Same scenario minus any checkpoint machinery (interval 0, no hook;
+  // preemption stays on to keep the modeled run identical).
+  ClusterConfig off = SmallCluster();
+  off.preemption_budget = 2;
+  MultiJobEngine eng2(off, MakeCapacityScheduler({3.0, 1.0}));
+  eng2.ScheduleJoin(12.0);
+  eng2.ScheduleLeave(30.0, 1, true);
+  eng2.ScheduleLeave(45.0, 2, false);
+  std::vector<std::unique_ptr<CalibratedTaskSource>> keep;
+  const int maps[] = {24, 32, 16, 24};
+  const double cpu[] = {9.0, 12.0, 7.0, 10.0};
+  const double submit[] = {0.0, 5.0, 9.0, 13.0};
+  const Policy pol[] = {Policy::kTail, Policy::kCpuOnly, Policy::kGpuFirst,
+                        Policy::kTail};
+  for (int j = 0; j < 4; ++j) {
+    keep.push_back(std::make_unique<CalibratedTaskSource>(
+        CalibParams(maps[j], cpu[j], 11 + static_cast<std::uint64_t>(j))));
+    JobSpec spec;
+    spec.source = keep.back().get();
+    spec.policy = pol[j];
+    spec.pool = j % 2;
+    spec.label = "churn" + std::to_string(j);
+    eng2.Submit(submit[j], spec);
+  }
+  ExpectSameWorkload(with, eng2.Run());
+}
+
+TEST(Checkpoint, StopAtCheckpointHaltsAndFileRestoreContinues) {
+  const std::string path = ::testing::TempDir() + "/heterodoop_ha_test.ckpt";
+  std::vector<std::string> ckpts;
+  const WorkloadMetrics base =
+      RunChurnScenario(SmallCluster(), nullptr, &ckpts);
+  ASSERT_GE(ckpts.size(), 2u);
+
+  // The SIGKILL stand-in: halt right after checkpoint 2 hits disk.
+  ClusterConfig cfg = SmallCluster();
+  cfg.checkpoint_path = path;
+  cfg.stop_at_checkpoint = 2;
+  {
+    cfg.checkpoint_interval_sec = 7.3;
+    cfg.preemption_budget = 2;
+    MultiJobEngine eng(cfg, MakeCapacityScheduler({3.0, 1.0}));
+    eng.ScheduleJoin(12.0);
+    eng.ScheduleLeave(30.0, 1, true);
+    eng.ScheduleLeave(45.0, 2, false);
+    std::vector<std::unique_ptr<CalibratedTaskSource>> keep;
+    const int maps[] = {24, 32, 16, 24};
+    const double cpu[] = {9.0, 12.0, 7.0, 10.0};
+    const double submit[] = {0.0, 5.0, 9.0, 13.0};
+    const Policy pol[] = {Policy::kTail, Policy::kCpuOnly, Policy::kGpuFirst,
+                          Policy::kTail};
+    for (int j = 0; j < 4; ++j) {
+      keep.push_back(std::make_unique<CalibratedTaskSource>(
+          CalibParams(maps[j], cpu[j], 11 + static_cast<std::uint64_t>(j))));
+      JobSpec spec;
+      spec.source = keep.back().get();
+      spec.policy = pol[j];
+      spec.pool = j % 2;
+      spec.label = "churn" + std::to_string(j);
+      eng.Submit(submit[j], spec);
+    }
+    const WorkloadMetrics partial = eng.Run();
+    EXPECT_TRUE(eng.halted());
+    EXPECT_EQ(eng.checkpoint_seq(), 2);
+    // The halt froze the run mid-flight: not everything completed.
+    EXPECT_LT(partial.jobs.size(), base.jobs.size());
+  }
+  // Warm restart from the file the killed run left behind.
+  const std::string on_disk = hadoop::ckpt::ReadFile(path);
+  EXPECT_EQ(on_disk, ckpts[1]);  // same boundary => same bytes
+  const WorkloadMetrics restored =
+      RunChurnScenario(SmallCluster(), &on_disk, nullptr);
+  ExpectSameWorkload(base, restored);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FaultedRunRestoresByteIdentical) {
+  // Crash/recovery state (outages, lost trackers, pending recoveries,
+  // requeued tasks) must survive the snapshot too. The injector's plan is
+  // deterministic, and ScheduleFaultPlan skips crashes at or before the
+  // restore point — they already happened inside the checkpoint.
+  fault::FaultSpec fs;
+  fs.seed = 7;
+  fs.crash_mttf_sec = 220.0;
+  fs.restart_sec = 25.0;
+  fs.permanent_fraction = 0.0;
+  fs.horizon_sec = 600.0;
+  const fault::FaultInjector inj(fs);
+
+  auto run = [&inj](const std::string* restore_text,
+                    std::vector<std::string>* capture) {
+    ClusterConfig cfg = SmallCluster();
+    cfg.faults = &inj;
+    cfg.checkpoint_interval_sec = 11.7;
+    if (capture != nullptr) {
+      cfg.on_checkpoint = [capture](int, const std::string& text) {
+        capture->push_back(text);
+      };
+    }
+    MultiJobEngine eng(cfg, MakeFifoScheduler());
+    std::vector<std::unique_ptr<CalibratedTaskSource>> keep;
+    for (int j = 0; j < 3; ++j) {
+      keep.push_back(std::make_unique<CalibratedTaskSource>(
+          CalibParams(32, 10.0, 100 + static_cast<std::uint64_t>(j))));
+      JobSpec spec;
+      spec.source = keep.back().get();
+      spec.policy = Policy::kTail;
+      spec.label = "faulted" + std::to_string(j);
+      eng.Submit(8.0 * j, spec);
+    }
+    if (restore_text != nullptr) eng.RestoreFromText(*restore_text);
+    return eng.Run();
+  };
+
+  std::vector<std::string> ckpts;
+  const WorkloadMetrics base = run(nullptr, &ckpts);
+  ASSERT_GE(ckpts.size(), 2u);
+  for (std::size_t k = 0; k < ckpts.size(); ++k) {
+    SCOPED_TRACE("checkpoint " + std::to_string(k + 1));
+    ExpectSameWorkload(base, run(&ckpts[k], nullptr));
+  }
+}
+
+TEST(Checkpoint, FunctionalOutputIdenticalAcrossWarmRestart) {
+  // Real map/reduce programs: the restored run must emit byte-identical
+  // final KV output, not just matching timings — committed work is never
+  // redone, uncommitted attempts replay to the same answers.
+  const std::vector<std::string> ids = {"WC", "GR"};
+  ClusterConfig cfg;
+  cfg.num_slaves = 2;
+  cfg.map_slots_per_node = 2;
+  cfg.gpus_per_node = 1;
+  cfg.heartbeat_sec = 0.01;
+
+  std::vector<gpurt::JobProgram> programs;
+  std::vector<std::vector<std::string>> split_sets;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const apps::Benchmark& b = apps::GetBenchmark(ids[i]);
+    programs.push_back(
+        gpurt::CompileJob(b.map_source, b.combine_source, b.reduce_source));
+    std::vector<std::string> splits;
+    for (int s = 0; s < 4; ++s) {
+      splits.push_back(b.generate(1200, /*seed=*/100 * (i + 1) + s));
+    }
+    split_sets.push_back(std::move(splits));
+  }
+  hadoop::FunctionalTaskSource::Options fopts;
+  fopts.num_reducers = 1;
+  fopts.gpu.blocks = 2;
+  fopts.gpu.threads = 32;
+
+  auto run = [&](double interval, const std::string* restore_text,
+                 std::vector<std::string>* capture) {
+    ClusterConfig c = cfg;
+    c.checkpoint_interval_sec = interval;
+    if (capture != nullptr) {
+      c.on_checkpoint = [capture](int, const std::string& text) {
+        capture->push_back(text);
+      };
+    }
+    MultiJobEngine eng(c, MakeFifoScheduler());
+    std::vector<std::unique_ptr<hadoop::FunctionalTaskSource>> sources;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      sources.push_back(std::make_unique<hadoop::FunctionalTaskSource>(
+          programs[i], split_sets[i], fopts));
+      JobSpec spec;
+      spec.source = sources.back().get();
+      spec.policy = Policy::kGpuFirst;
+      spec.label = ids[i];
+      eng.Submit(0.0, spec);
+    }
+    if (restore_text != nullptr) eng.RestoreFromText(*restore_text);
+    return eng.Run();
+  };
+
+  // Pass 1 sizes the cadence off the real makespan so boundaries land
+  // mid-flight; pass 2 captures them; pass 3 sweeps every boundary.
+  const WorkloadMetrics plain = run(0.0, nullptr, nullptr);
+  ASSERT_EQ(plain.jobs.size(), ids.size());
+  const double interval = plain.makespan_sec * 0.23;
+  ASSERT_GT(interval, 0.0);
+  std::vector<std::string> ckpts;
+  const WorkloadMetrics base = run(interval, nullptr, &ckpts);
+  ExpectSameWorkload(plain, base);  // the writer perturbed nothing
+  ASSERT_GE(ckpts.size(), 2u);
+  for (std::size_t k = 0; k < ckpts.size(); ++k) {
+    SCOPED_TRACE("checkpoint " + std::to_string(k + 1));
+    const WorkloadMetrics restored = run(interval, &ckpts[k], nullptr);
+    ExpectSameWorkload(base, restored);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(restored.jobs[i].result.final_output,
+                plain.jobs[i].result.final_output)
+          << ids[i];
+    }
+  }
+}
+
+// --- streaming service -----------------------------------------------------
+
+stream::PipelineSpec ClicksPipeline() {
+  stream::PipelineSpec clicks;
+  clicks.label = "clicks";
+  clicks.source.mean_rate_per_sec = 2.0;
+  clicks.source.seed = 42;
+  clicks.trigger.count = 12;
+  clicks.trigger.span_sec = 8.0;
+  clicks.slo_sec = 25.0;
+  return clicks;
+}
+
+stream::PipelineSpec LogsPipeline() {
+  stream::PipelineSpec logs;
+  logs.label = "logs";
+  logs.source.shape = stream::RateShape::kBursty;
+  logs.source.mean_rate_per_sec = 1.0;
+  logs.source.seed = 43;
+  logs.trigger.count = 16;
+  logs.trigger.span_sec = 12.0;
+  logs.backpressure = stream::Backpressure::kShed;
+  return logs;
+}
+
+stream::StreamMetrics RunStreamScenario(const std::string* restore_text,
+                                        std::vector<std::string>* capture) {
+  ClusterConfig cfg = SmallCluster();
+  cfg.checkpoint_interval_sec = 7.3;
+  if (capture != nullptr) {
+    cfg.on_checkpoint = [capture](int, const std::string& text) {
+      capture->push_back(text);
+    };
+  }
+  stream::StreamEngine eng(cfg, MakeSloScheduler(MakeFairScheduler()));
+  eng.AddPipeline(ClicksPipeline());
+  eng.AddPipeline(LogsPipeline());
+  if (restore_text != nullptr) eng.RestoreFromText(*restore_text);
+  return eng.RunStream(120.0, 30.0);
+}
+
+void ExpectSameStream(const stream::StreamMetrics& a,
+                      const stream::StreamMetrics& b) {
+  ASSERT_EQ(a.pipelines.size(), b.pipelines.size());
+  for (std::size_t i = 0; i < a.pipelines.size(); ++i) {
+    const stream::PipelineMetrics& x = a.pipelines[i];
+    const stream::PipelineMetrics& y = b.pipelines[i];
+    EXPECT_EQ(x.label, y.label);
+    EXPECT_EQ(x.records_arrived, y.records_arrived) << x.label;
+    EXPECT_EQ(x.records_processed, y.records_processed) << x.label;
+    EXPECT_EQ(x.records_shed, y.records_shed) << x.label;
+    EXPECT_EQ(x.windows_sealed, y.windows_sealed) << x.label;
+    EXPECT_EQ(x.windows_empty, y.windows_empty) << x.label;
+    EXPECT_EQ(x.windows_shed, y.windows_shed) << x.label;
+    EXPECT_EQ(x.windows_completed, y.windows_completed) << x.label;
+    EXPECT_EQ(x.seals_by_count, y.seals_by_count) << x.label;
+    EXPECT_EQ(x.seals_by_time, y.seals_by_time) << x.label;
+    EXPECT_EQ(x.slo_violations, y.slo_violations) << x.label;
+    EXPECT_EQ(x.latencies_sec, y.latencies_sec) << x.label;
+    EXPECT_EQ(x.watermark_lags_sec, y.watermark_lags_sec) << x.label;
+    EXPECT_EQ(x.queue_depths, y.queue_depths) << x.label;
+    EXPECT_EQ(x.backlog_at_horizon, y.backlog_at_horizon) << x.label;
+    EXPECT_EQ(x.max_queue_depth, y.max_queue_depth) << x.label;
+    EXPECT_EQ(x.stable, y.stable) << x.label;
+    EXPECT_EQ(x.depth_growth, y.depth_growth) << x.label;
+  }
+  ASSERT_EQ(a.workload.jobs.size(), b.workload.jobs.size());
+  for (std::size_t i = 0; i < a.workload.jobs.size(); ++i) {
+    EXPECT_EQ(a.workload.jobs[i].finish_sec, b.workload.jobs[i].finish_sec);
+  }
+  EXPECT_EQ(a.workload.makespan_sec, b.workload.makespan_sec);
+}
+
+TEST(Checkpoint, StreamServiceRestoresBitIdentical) {
+  // The stream section carries window frontiers, source generator states,
+  // pending/inflight windows and the watermark: a service killed at any
+  // boundary and re-armed finishes window-for-window identical.
+  std::vector<std::string> ckpts;
+  const stream::StreamMetrics base = RunStreamScenario(nullptr, &ckpts);
+  ASSERT_EQ(base.pipelines.size(), 2u);
+  EXPECT_GT(base.pipelines[0].windows_completed, 0);
+  ASSERT_GE(ckpts.size(), 5u);
+  for (std::size_t k = 0; k < ckpts.size(); ++k) {
+    SCOPED_TRACE("checkpoint " + std::to_string(k + 1));
+    const stream::StreamMetrics restored = RunStreamScenario(&ckpts[k], nullptr);
+    ExpectSameStream(base, restored);
+  }
+}
+
+// --- rejection of bad snapshots --------------------------------------------
+
+TEST(Checkpoint, RejectsCorruptAndTruncatedSnapshots) {
+  std::vector<std::string> ckpts;
+  RunChurnScenario(SmallCluster(), nullptr, &ckpts);
+  ASSERT_FALSE(ckpts.empty());
+  const std::string& good = ckpts.back();
+
+  // Fresh engines with the scenario's membership plan re-scheduled (the
+  // cluster overlay verifies it) but the jobs NOT re-submitted.
+  auto fresh = [] {
+    auto eng = std::make_unique<MultiJobEngine>(
+        SmallCluster(), MakeCapacityScheduler({3.0, 1.0}));
+    eng->ScheduleJoin(12.0);
+    eng->ScheduleLeave(30.0, 1, true);
+    eng->ScheduleLeave(45.0, 2, false);
+    return eng;
+  };
+  // Not JSON at all.
+  EXPECT_THROW(fresh()->RestoreFromText("this is not a checkpoint"),
+               CheckpointError);
+  // Truncated mid-document (torn write).
+  EXPECT_THROW(fresh()->RestoreFromText(good.substr(0, good.size() / 2)),
+               CheckpointError);
+  // Valid JSON, wrong schema tag.
+  EXPECT_THROW(fresh()->RestoreFromText("{\"schema\": \"heterodoop.ckpt.v9\"}"),
+               CheckpointError);
+  // Structurally valid but the workload was never re-submitted.
+  try {
+    fresh()->RestoreFromText(good);
+    FAIL() << "restore without re-submitted jobs accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("re-submitted"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, RejectsMismatchedConfigurationListingEveryDifference) {
+  std::vector<std::string> ckpts;
+  RunChurnScenario(SmallCluster(), nullptr, &ckpts);
+  ASSERT_FALSE(ckpts.empty());
+
+  ClusterConfig other = SmallCluster();
+  other.num_slaves = 5;
+  other.gpus_per_node = 0;
+  MultiJobEngine eng(other, MakeCapacityScheduler({3.0, 1.0}));
+  try {
+    eng.RestoreFromText(ckpts.front());
+    FAIL() << "cross-configuration restore accepted";
+  } catch (const CheckpointError& e) {
+    const std::string msg = e.what();
+    // Collect-all reporting: both differences in one error.
+    EXPECT_NE(msg.find("2 mismatches"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("num_slaves"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gpus"), std::string::npos) << msg;
+  }
+}
+
+TEST(Checkpoint, RejectsRestoreIntoARunEngine) {
+  std::vector<std::string> ckpts;
+  RunChurnScenario(SmallCluster(), nullptr, &ckpts);
+  ASSERT_FALSE(ckpts.empty());
+
+  MultiJobEngine eng(SmallCluster(), MakeFifoScheduler());
+  CalibratedTaskSource src(CalibParams(8, 5.0, 1));
+  JobSpec spec;
+  spec.source = &src;
+  spec.policy = Policy::kTail;
+  eng.Submit(0.0, spec);
+  eng.Run();
+  // Overlaying a snapshot onto consumed state would corrupt silently;
+  // the fresh-engine invariant refuses it outright.
+  EXPECT_THROW(eng.RestoreFromText(ckpts.front()), CheckError);
+}
+
+TEST(Checkpoint, RejectsBatchStreamShapeMismatches) {
+  // A batch snapshot into a pipelined engine... (the batch run uses the
+  // same 'slo' scheduler so the shape mismatch is the first difference,
+  // not the config fingerprint).
+  std::vector<std::string> batch_ckpts;
+  {
+    ClusterConfig cfg = SmallCluster();
+    cfg.checkpoint_interval_sec = 7.3;
+    cfg.on_checkpoint = [&batch_ckpts](int, const std::string& text) {
+      batch_ckpts.push_back(text);
+    };
+    MultiJobEngine eng(cfg, MakeSloScheduler(MakeFairScheduler()));
+    CalibratedTaskSource src(CalibParams(32, 10.0, 9));
+    JobSpec spec;
+    spec.source = &src;
+    spec.policy = Policy::kTail;
+    eng.Submit(0.0, spec);
+    eng.Run();
+  }
+  ASSERT_FALSE(batch_ckpts.empty());
+  {
+    ClusterConfig cfg = SmallCluster();
+    stream::StreamEngine eng(cfg, MakeSloScheduler(MakeFairScheduler()));
+    eng.AddPipeline(ClicksPipeline());
+    try {
+      eng.RestoreFromText(batch_ckpts.front());
+      FAIL() << "batch snapshot accepted by a pipelined engine";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("batch-only"), std::string::npos)
+          << e.what();
+    }
+  }
+  // ...and a stream snapshot into an engine with no pipelines registered.
+  std::vector<std::string> stream_ckpts;
+  RunStreamScenario(nullptr, &stream_ckpts);
+  ASSERT_FALSE(stream_ckpts.empty());
+  {
+    ClusterConfig cfg = SmallCluster();
+    stream::StreamEngine eng(cfg, MakeSloScheduler(MakeFairScheduler()));
+    try {
+      eng.RestoreFromText(stream_ckpts.front());
+      FAIL() << "stream snapshot accepted without its pipelines";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("AddPipeline"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// --- runtime resize ---------------------------------------------------------
+
+TEST(Resize, JoinExpandsCapacityMidRun) {
+  auto run = [](bool join) {
+    ClusterConfig c;
+    c.num_slaves = 2;
+    c.map_slots_per_node = 2;
+    c.gpus_per_node = 0;
+    MultiJobEngine eng(c, MakeFifoScheduler());
+    if (join) eng.ScheduleJoin(6.0);
+    CalibratedTaskSource src(CalibParams(32, 10.0, 3));
+    JobSpec spec;
+    spec.source = &src;
+    spec.policy = Policy::kCpuOnly;
+    eng.Submit(0.0, spec);
+    return eng.Run();
+  };
+  const WorkloadMetrics grown = run(true);
+  const WorkloadMetrics fixed = run(false);
+  EXPECT_EQ(grown.nodes_joined, 1);
+  EXPECT_EQ(fixed.nodes_joined, 0);
+  // The joined tracker took real work off the original two.
+  EXPECT_LT(grown.makespan_sec, fixed.makespan_sec);
+  EXPECT_EQ(grown.jobs[0].result.cpu_tasks, 32);
+  // No outage anywhere: partial-capacity intervals are availability-neutral
+  // because the denominator only counts registered node-seconds.
+  EXPECT_EQ(grown.availability, 1.0);
+}
+
+TEST(Resize, DrainLeaveFinishesRunningAttempts) {
+  ClusterConfig c;
+  c.num_slaves = 3;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 0;
+  MultiJobEngine eng(c, MakeFifoScheduler());
+  eng.ScheduleLeave(12.0, 2, /*drain=*/true);
+  CalibratedTaskSource src(CalibParams(30, 10.0, 4));
+  JobSpec spec;
+  spec.source = &src;
+  spec.policy = Policy::kCpuOnly;
+  eng.Submit(0.0, spec);
+  const WorkloadMetrics m = eng.Run();
+  EXPECT_EQ(m.nodes_left, 1);
+  EXPECT_EQ(eng.registered_nodes(), 2);
+  // Draining is graceful: nothing was killed, nothing re-executed.
+  EXPECT_EQ(m.jobs[0].result.killed_attempts, 0);
+  EXPECT_EQ(m.jobs[0].result.maps_reexecuted, 0);
+  EXPECT_EQ(m.jobs[0].result.cpu_tasks, 30);
+  EXPECT_EQ(m.availability, 1.0);
+}
+
+TEST(Resize, HardLeaveKillsAttemptsAndRecoversExactlyOnce) {
+  ClusterConfig c;
+  c.num_slaves = 3;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 0;
+  MultiJobEngine eng(c, MakeFifoScheduler());
+  eng.ScheduleLeave(12.0, 2, /*drain=*/false);
+  CalibratedTaskSource src(CalibParams(30, 10.0, 4));
+  JobSpec spec;
+  spec.source = &src;
+  spec.policy = Policy::kCpuOnly;
+  eng.Submit(0.0, spec);
+  const WorkloadMetrics m = eng.Run();
+  EXPECT_EQ(m.nodes_left, 1);
+  // The departing tracker's running attempts died with it...
+  EXPECT_GT(m.jobs[0].result.killed_attempts, 0);
+  // ...and every task still committed exactly once. cpu_tasks counts
+  // launches, so the extras are one relaunch per killed attempt plus the
+  // re-runs of committed outputs the departed tracker's disk took with it.
+  EXPECT_EQ(m.jobs[0].result.cpu_tasks,
+            30 + m.jobs[0].result.killed_attempts +
+                m.jobs[0].result.maps_reexecuted);
+}
+
+TEST(Resize, FloorRefusesDrainingTheLastTrackers) {
+  ClusterConfig c;
+  c.num_slaves = 2;
+  c.map_slots_per_node = 2;
+  c.gpus_per_node = 0;
+  c.min_tracker_floor = 2;
+  MultiJobEngine eng(c, MakeFifoScheduler());
+  eng.ScheduleLeave(5.0, 1, /*drain=*/true);
+  CalibratedTaskSource src(CalibParams(16, 8.0, 5));
+  JobSpec spec;
+  spec.source = &src;
+  spec.policy = Policy::kCpuOnly;
+  eng.Submit(0.0, spec);
+  const WorkloadMetrics m = eng.Run();
+  EXPECT_EQ(m.leaves_refused, 1);
+  EXPECT_EQ(m.nodes_left, 0);
+  EXPECT_EQ(eng.registered_nodes(), 2);
+}
+
+// --- preemptive quotas ------------------------------------------------------
+
+TEST(Preemption, QuotaKillsOverQuotaAttemptsWithinBudget) {
+  // A light-pool job grabs the whole cluster; when the heavy pool's job
+  // arrives, preemption claws slots back instead of waiting for natural
+  // completions — bounded by the per-job budget.
+  auto run = [](int budget) {
+    ClusterConfig c;
+    c.num_slaves = 2;
+    c.map_slots_per_node = 4;
+    c.gpus_per_node = 0;
+    c.preemption_budget = budget;
+    MultiJobEngine eng(c, MakeCapacityScheduler({3.0, 1.0}));
+    std::vector<std::unique_ptr<CalibratedTaskSource>> keep;
+    keep.push_back(std::make_unique<CalibratedTaskSource>(
+        CalibParams(40, 30.0, 6)));
+    JobSpec light;
+    light.source = keep.back().get();
+    light.policy = Policy::kCpuOnly;
+    light.pool = 1;
+    eng.Submit(0.0, light);
+    keep.push_back(std::make_unique<CalibratedTaskSource>(
+        CalibParams(24, 10.0, 7)));
+    JobSpec heavy;
+    heavy.source = keep.back().get();
+    heavy.policy = Policy::kCpuOnly;
+    heavy.pool = 0;
+    eng.Submit(6.0, heavy);
+    return eng.Run();
+  };
+  const WorkloadMetrics with = run(2);
+  const WorkloadMetrics without = run(0);
+  EXPECT_EQ(without.preemptions, 0);
+  ASSERT_GT(with.preemptions, 0);
+  EXPECT_EQ(with.preemptions, with.TotalPreemptedAttempts());
+  // The anti-livelock bound: one victim job, at most `budget` kills.
+  EXPECT_LE(with.jobs[0].result.preempted_attempts, 2);
+  // The starved heavy-pool job got its slots back sooner.
+  EXPECT_LT(with.jobs[1].finish_sec, without.jobs[1].finish_sec);
+  // Preempted tasks were requeued and still committed exactly once each:
+  // launches = 40 maps + one relaunch per preempted attempt.
+  EXPECT_EQ(with.jobs[0].result.cpu_tasks,
+            40 + with.jobs[0].result.preempted_attempts);
+  EXPECT_EQ(with.jobs[1].result.cpu_tasks, 24);
+}
+
+TEST(Preemption, NoStarvationMeansNoKills) {
+  // Budget armed but a single tenant: the quota check never finds a
+  // starved pool, so the engine must behave exactly like budget 0.
+  auto run = [](int budget) {
+    ClusterConfig c = SmallCluster();
+    c.preemption_budget = budget;
+    MultiJobEngine eng(c, MakeCapacityScheduler({3.0, 1.0}));
+    CalibratedTaskSource src(CalibParams(32, 10.0, 8));
+    JobSpec spec;
+    spec.source = &src;
+    spec.policy = Policy::kTail;
+    eng.Submit(0.0, spec);
+    return eng.Run();
+  };
+  const WorkloadMetrics armed = run(3);
+  const WorkloadMetrics off = run(0);
+  EXPECT_EQ(armed.preemptions, 0);
+  ExpectSameWorkload(armed, off);
+}
+
+// --- ClusterConfig validation of the elastic knobs --------------------------
+
+TEST(HaConfig, ValidationRejectsBadElasticKnobs) {
+  auto reject = [](void (*mutate)(ClusterConfig&)) {
+    ClusterConfig c = SmallCluster();
+    mutate(c);
+    EXPECT_THROW(hadoop::ValidateClusterConfig(c), CheckError);
+  };
+  reject([](ClusterConfig& c) { c.checkpoint_interval_sec = -1.0; });
+  reject([](ClusterConfig& c) { c.stop_at_checkpoint = -1; });
+  reject([](ClusterConfig& c) { c.stop_at_checkpoint = 1; });  // no cadence
+  reject([](ClusterConfig& c) { c.preemption_budget = -1; });
+  reject([](ClusterConfig& c) { c.min_tracker_floor = -1; });
+  reject([](ClusterConfig& c) { c.min_tracker_floor = c.num_slaves + 1; });
+  // The combinations that must pass: cadence with a stop, floor at the
+  // cluster size, budget on.
+  ClusterConfig ok = SmallCluster();
+  ok.checkpoint_interval_sec = 10.0;
+  ok.stop_at_checkpoint = 3;
+  ok.preemption_budget = 2;
+  ok.min_tracker_floor = ok.num_slaves;
+  EXPECT_NO_THROW(hadoop::ValidateClusterConfig(ok));
+}
+
+TEST(HaConfig, AllElasticViolationsReportedAtOnce) {
+  ClusterConfig c = SmallCluster();
+  c.checkpoint_interval_sec = -2.0;
+  c.stop_at_checkpoint = -1;
+  c.preemption_budget = -3;
+  c.min_tracker_floor = 9;
+  try {
+    hadoop::ValidateClusterConfig(c);
+    FAIL() << "invalid config accepted";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    // -1 stop trips both its own sign check and the no-cadence pairing.
+    EXPECT_NE(msg.find("5 violations"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("checkpoint_interval_sec must be non-negative"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("stop_at_checkpoint must be non-negative"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("stop_at_checkpoint requires a positive"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("preemption_budget"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("min_tracker_floor"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace hd
